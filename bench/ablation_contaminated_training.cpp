@@ -1,0 +1,57 @@
+// Ablation: contaminated training data. The original FRaC paper's selling
+// point is semi-/unsupervised operation — training populations that contain
+// some (unlabeled) anomalies. This bench injects anomalies into the
+// training set at increasing rates and tracks full FRaC and the random
+// filter ensemble.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "frac/ensemble.hpp"
+
+int main() {
+  using namespace frac;
+  using namespace frac::benchtool;
+
+  ExpressionModelConfig generator;
+  generator.features = 300;
+  generator.modules = 10;
+  generator.genes_per_module = 10;
+  generator.noise_sd = 0.4;
+  generator.anomaly_mix = 2.0;
+  generator.disease_modules = 5;
+  generator.seed = 71;
+  const ExpressionModel model(generator);
+
+  std::cout << "ABLATION — anomalies hidden in the training set (semi-supervised FRaC)\n\n";
+  TextTable table({"contamination", "full FRaC AUC", "filter-ensemble AUC"});
+  for (const double rate : {0.0, 0.05, 0.1, 0.2}) {
+    Rng rng(72);
+    const std::size_t n_train = 60;
+    const auto n_contaminated = static_cast<std::size_t>(rate * n_train);
+    Dataset train_normals = model.sample(n_train - n_contaminated, Label::kNormal, rng);
+    Replicate rep;
+    if (n_contaminated > 0) {
+      // Contaminants are anomalous samples mislabeled as normal.
+      Dataset contaminants = model.sample(n_contaminated, Label::kAnomaly, rng);
+      Matrix values = contaminants.values();
+      const Dataset disguised(contaminants.schema(), values,
+                              std::vector<Label>(n_contaminated, Label::kNormal));
+      rep.train = concat_samples(train_normals, disguised);
+    } else {
+      rep.train = std::move(train_normals);
+    }
+    rep.test = concat_samples(model.sample(20, Label::kNormal, rng),
+                              model.sample(20, Label::kAnomaly, rng));
+
+    const ScoredRun full = run_frac(rep, {}, pool());
+    Rng ens_rng(73);
+    const ScoredRun ens = run_random_filter_ensemble(rep, {}, 0.1, 10, ens_rng, pool());
+    table.add_row({format("%.0f%%", rate * 100),
+                   format("%.3f", auc(full.test_scores, rep.test.labels())),
+                   format("%.3f", auc(ens.test_scores, rep.test.labels()))});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape (original FRaC paper): detection degrades gracefully —\n"
+               "moderate contamination widens the error models but does not collapse AUC.\n";
+  return 0;
+}

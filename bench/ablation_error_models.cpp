@@ -1,0 +1,38 @@
+// Ablation: Gaussian vs KDE error models for continuous targets. The paper
+// replaces the original FRaC's nonparametric error models with plain
+// Gaussians, arguing small samples can't support more detail; this bench
+// measures that choice on the paper-analog expression cohorts.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace frac;
+  using namespace frac::benchtool;
+
+  std::cout << "ABLATION — continuous error model: Gaussian (this paper) vs KDE\n"
+            << "(the original FRaC), full runs over " << bench_replicates()
+            << " replicates\n\n";
+
+  TextTable table({"data set", "Gaussian AUC", "KDE AUC", "Gaussian time", "KDE time"});
+  for (const std::string name : {"breast.basal", "smokers2", "biomarkers"}) {
+    const CohortSpec& spec = cohort_by_name(name);
+    FracConfig gauss_config = paper_frac_config(spec);
+    FracConfig kde_config = gauss_config;
+    kde_config.continuous_error = ContinuousErrorKind::kKde;
+
+    const PerReplicate gauss = run_on_cohort(
+        spec, [&](const Replicate& rep, Rng&) { return run_frac(rep, gauss_config, pool()); },
+        spec.seed + 91);
+    const PerReplicate kde = run_on_cohort(
+        spec, [&](const Replicate& rep, Rng&) { return run_frac(rep, kde_config, pool()); },
+        spec.seed + 91);
+    table.add_row({spec.name, fmt_mean_sd(aggregate(gauss).auc), fmt_mean_sd(aggregate(kde).auc),
+                   fmt_time(aggregate(gauss).mean_cpu_seconds),
+                   fmt_time(aggregate(kde).mean_cpu_seconds)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape (the paper's argument): at these sample sizes the\n"
+               "Gaussian model matches or beats the KDE, at lower cost.\n";
+  return 0;
+}

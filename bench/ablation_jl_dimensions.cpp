@@ -1,0 +1,65 @@
+// Ablation: the JL lemma's dimension bounds and a measured check of the
+// distance-preservation guarantee — including the paper's headline numbers
+// (k = 1024 ⇔ δ = 0.05, ε = 0.057: "19 of every 20 pairs of points have
+// their square distance distorted by a factor in [0.943, 1.057]").
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "jl/dimension.hpp"
+#include "jl/projection.hpp"
+
+int main() {
+  using namespace frac;
+  using namespace frac::benchtool;
+
+  std::cout << "ABLATION — JL dimension bounds\n\n";
+  {
+    TextTable table({"epsilon", "delta", "k (probabilistic)", "k (pointset, n=1000)"});
+    for (const double eps : {0.3, 0.2, 0.1, 0.057, 0.05}) {
+      for (const double delta : {0.05}) {
+        table.add_row({format("%.3f", eps), format("%.2f", delta),
+                       std::to_string(jl_dimension_probabilistic(eps, delta)),
+                       std::to_string(jl_dimension_pointset(1000, eps))});
+      }
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nEpsilon achieved by k=1024 at delta=0.05: "
+            << format("%.4f", jl_epsilon_for_dimension(1024, 0.05))
+            << "\n(the paper cites 0.057, which by its own formula would need k="
+            << jl_dimension_probabilistic(0.057, 0.05) << " — see EXPERIMENTS.md)\n\n";
+
+  // Measured distortion: fraction of pairs within 1±eps at k=1024.
+  const std::size_t d = 2000, n = 60, k = 1024;
+  const double eps = jl_epsilon_for_dimension(k, 0.05);
+  Rng rng(91);
+  Matrix points(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (double& v : points.row(i)) v = rng.normal();
+  }
+  std::cout << "Measured check over " << n << " random points in " << d << " dims:\n";
+  TextTable table({"projection", "pairs within 1±" + format("%.3f", eps), "guarantee"});
+  for (const auto [kind, name] :
+       {std::pair{RandomMatrixKind::kGaussian, "Gaussian"},
+        std::pair{RandomMatrixKind::kUniform, "Uniform(-1,1)"},
+        std::pair{RandomMatrixKind::kAchlioptas, "Achlioptas sparse"}}) {
+    const JlProjection proj(d, k, kind, rng);
+    const Matrix projected = proj.project(points, pool());
+    std::size_t ok = 0, total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double ratio = squared_distance(projected.row(i), projected.row(j)) /
+                             squared_distance(points.row(i), points.row(j));
+        ok += (ratio >= 1.0 - eps && ratio <= 1.0 + eps);
+        ++total;
+      }
+    }
+    table.add_row({name, format("%.1f%%", 100.0 * static_cast<double>(ok) /
+                                              static_cast<double>(total)),
+                   ">= 95% in expectation"});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation: model choice inside the JL-projected space on discrete (SNP)
+// data. The paper suspects its weak JL results there come from using
+// "entropy-minimizing decision trees in the transformed space", a model that
+// is "not invariant under linear transformation", and concludes one should
+// pick preprocessing compatible with the learner. Here: trees vs linear SVR
+// in the projected space, at two dimensions.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "frac/preprojection.hpp"
+
+int main() {
+  using namespace frac;
+  using namespace frac::benchtool;
+
+  const CohortSpec& schizo = cohort_by_name("schizophrenia");
+  const Replicate rep = make_confounded_replicate(schizo);
+  const std::size_t repeats = 3;
+
+  std::cout << "ABLATION — learner & projection in the JL space (schizophrenia cohort)\n\n";
+  TextTable table({"d", "tree AUC", "tree sd", "SVR AUC", "SVR sd", "tree+sketch AUC",
+                   "tree+sketch sd"});
+  Rng master(schizo.seed + 81);
+  for (const std::size_t paper_dim : {1024u, 4096u}) {
+    const std::size_t dim = jl_dim_analog(paper_dim);
+    std::vector<double> tree_aucs, svr_aucs, sketch_aucs;
+    for (std::size_t r = 0; r < repeats; ++r) {
+      JlPipelineConfig jl;
+      jl.output_dim = dim;
+      jl.seed = master.split(paper_dim * 10 + r)();
+
+      FracConfig tree_config = paper_frac_config(schizo);  // trees (paper setup)
+      const ScoredRun tree_run = run_jl_frac(rep, tree_config, jl, pool());
+      tree_aucs.push_back(auc(tree_run.test_scores, rep.test.labels()));
+
+      FracConfig svr_config = paper_frac_config(schizo);
+      svr_config.predictor.regressor = RegressorKind::kLinearSvr;  // compatible model
+      const ScoredRun svr_run = run_jl_frac(rep, svr_config, jl, pool());
+      svr_aucs.push_back(auc(svr_run.test_scores, rep.test.labels()));
+
+      // The paper's future-work idea: a projection tailored to discrete
+      // data. CountSketch keeps each 1-hot indicator on a single signed
+      // coordinate, so axis-aligned trees can still see genotype structure.
+      JlPipelineConfig sketch = jl;
+      sketch.kind = RandomMatrixKind::kCountSketch;
+      const ScoredRun sketch_run = run_jl_frac(rep, tree_config, sketch, pool());
+      sketch_aucs.push_back(auc(sketch_run.test_scores, rep.test.labels()));
+    }
+    const MeanSd tree_stats = mean_sd(tree_aucs);
+    const MeanSd svr_stats = mean_sd(svr_aucs);
+    const MeanSd sketch_stats = mean_sd(sketch_aucs);
+    table.add_row({std::to_string(dim), format("%.3f", tree_stats.mean),
+                   format("%.3f", tree_stats.sd), format("%.3f", svr_stats.mean),
+                   format("%.3f", svr_stats.sd), format("%.3f", sketch_stats.mean),
+                   format("%.3f", sketch_stats.sd)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape (paper discussion + future work): at small d the\n"
+               "rotation-invariant linear model outperforms axis-aligned trees under a\n"
+               "dense projection, and a discrete-structure-preserving projection\n"
+               "(CountSketch) narrows the tree model's gap; by larger d the three\n"
+               "converge.\n";
+  return 0;
+}

@@ -1,0 +1,133 @@
+// google-benchmark micro-kernels for the substrate: SVR/tree training, JL
+// projection, KDE entropy, AUC, and the vector primitives underneath FRaC.
+#include <benchmark/benchmark.h>
+
+#include "data/expression_generator.hpp"
+#include "frac/frac.hpp"
+#include "jl/projection.hpp"
+#include "linalg/kernels.hpp"
+#include "ml/kde/gaussian_kde.hpp"
+#include "ml/metrics.hpp"
+#include "ml/svm/linear_svr.hpp"
+#include "ml/tree/decision_tree.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace frac;
+
+Matrix random_matrix_values(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (double& v : m.row(i)) v = rng.normal();
+  }
+  return m;
+}
+
+void BM_Dot(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const Matrix m = random_matrix_values(2, d, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dot(m.row(0), m.row(1)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * d * 2 * sizeof(double)));
+}
+BENCHMARK(BM_Dot)->Arg(256)->Arg(1024)->Arg(8192);
+
+void BM_SvrFit(benchmark::State& state) {
+  const std::size_t n = 50;
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const Matrix x = random_matrix_values(n, d, 2);
+  std::vector<double> y(n);
+  Rng rng(3);
+  for (double& v : y) v = rng.normal();
+  for (auto _ : state) {
+    LinearSvr svr;
+    svr.fit(x, y, {});
+    benchmark::DoNotOptimize(svr.bias());
+  }
+}
+BENCHMARK(BM_SvrFit)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_TreeFitSnp(benchmark::State& state) {
+  const std::size_t n = 200;
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  Matrix x(n, d);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (double& v : x.row(i)) v = static_cast<double>(rng.uniform_index(3));
+    y[i] = static_cast<double>(rng.uniform_index(3));
+  }
+  const std::vector<std::uint32_t> arities(d, 3);
+  DecisionTreeConfig config;
+  config.max_depth = 6;
+  for (auto _ : state) {
+    DecisionTree tree;
+    tree.fit(x, y, arities, TreeTask::kClassification, 3, config);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+}
+BENCHMARK(BM_TreeFitSnp)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_JlProject(benchmark::State& state) {
+  const std::size_t d = 4096;
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  const JlProjection proj(d, k, RandomMatrixKind::kAchlioptas, rng);
+  const Matrix points = random_matrix_values(1, d, 6);
+  std::vector<double> out(k);
+  for (auto _ : state) {
+    proj.project_row(points.row(0), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_JlProject)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_KdeEntropy(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<double> values(n);
+  for (double& v : values) v = rng.normal();
+  for (auto _ : state) {
+    GaussianKde kde;
+    kde.fit(values);
+    benchmark::DoNotOptimize(kde.differential_entropy());
+  }
+}
+BENCHMARK(BM_KdeEntropy)->Arg(50)->Arg(200);
+
+void BM_Auc(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  std::vector<double> scores(n);
+  std::vector<Label> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scores[i] = rng.normal();
+    labels[i] = rng.bernoulli(0.3) ? Label::kAnomaly : Label::kNormal;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(auc(scores, labels));
+  }
+}
+BENCHMARK(BM_Auc)->Arg(100)->Arg(10000);
+
+void BM_FracTrainSmall(benchmark::State& state) {
+  ExpressionModelConfig c;
+  c.features = static_cast<std::size_t>(state.range(0));
+  c.modules = 4;
+  c.genes_per_module = 6;
+  c.seed = 9;
+  const ExpressionModel model(c);
+  Rng rng(10);
+  const Dataset train = model.sample(30, Label::kNormal, rng);
+  ThreadPool pool(1);
+  for (auto _ : state) {
+    const FracModel frac_model = FracModel::train(train, {}, pool);
+    benchmark::DoNotOptimize(frac_model.unit_count());
+  }
+}
+BENCHMARK(BM_FracTrainSmall)->Arg(32)->Arg(64);
+
+}  // namespace

@@ -1,0 +1,22 @@
+// Table I: number of features, normal samples, and anomaly samples for each
+// data set — paper values next to this reproduction's scaled cohorts.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace frac;
+  std::cout << "TABLE I — datasets (paper values vs scaled analog cohorts)\n";
+  std::cout << "Feature counts are scaled for single-machine runs; sample counts are the paper's.\n\n";
+  TextTable table({"data set", "paper features", "our features", "normal", "anomaly", "type"});
+  for (const CohortSpec& spec : paper_cohorts()) {
+    table.add_row({spec.name, std::to_string(spec.paper_features),
+                   std::to_string(spec.scaled_features()), std::to_string(spec.normal_samples),
+                   std::to_string(spec.anomaly_samples),
+                   spec.kind == CohortKind::kExpression ? "expression" : "SNP"});
+  }
+  table.print(std::cout);
+  std::cout << "\n(schizophrenia: " << cohort_by_name("schizophrenia").test_normal_samples
+            << " additional held-out normals form the fixed test set)\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Table II: full FRaC on every cohort — mean AUC (sd), CPU time, and
+// paper-equivalent model memory. The schizophrenia row is extrapolated from
+// the autism run, exactly as the paper does (it is printed in brackets).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace frac;
+  using namespace frac::benchtool;
+
+  std::cout << "TABLE II — full FRaC runs (" << bench_replicates()
+            << " replicates; linear SVR for expression, trees for SNP)\n\n";
+
+  FullBaselineCache cache;
+  TextTable table({"data set", "AUC", "Time", "Mem"});
+  for (const CohortSpec& spec : table_grid_cohorts()) {
+    const PerReplicate& results = cache.full_results(spec);
+    const AggregateStats stats = aggregate(results);
+    table.add_row({spec.name, fmt_mean_sd(stats.auc), fmt_time(stats.mean_cpu_seconds),
+                   fmt_bytes(stats.mean_peak_bytes)});
+  }
+
+  // Schizophrenia: never run in full; extrapolate from autism (paper method).
+  const CohortSpec& autism = cohort_by_name("autism");
+  const CohortSpec& schizo = cohort_by_name("schizophrenia");
+  const ExtrapolatedFull extrapolated =
+      extrapolate_full(cache.full_results(autism), autism, schizo);
+  table.add_row({"schizophrenia", "N/A (not run)",
+                 "[" + fmt_time(extrapolated.cpu_seconds) + "]",
+                 "[" + fmt_bytes(extrapolated.peak_bytes) + "]"});
+  table.print(std::cout);
+  std::cout << "\n[bracketed] = extrapolated from the autism run, as in the paper.\n";
+  return 0;
+}

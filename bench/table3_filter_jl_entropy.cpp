@@ -1,0 +1,83 @@
+// Table III: Random-Filter-Ensemble (10 members at p=0.05, per-feature
+// median), JL preprojection, and Entropy Filtering (p=0.05) — AUC%, Time%,
+// Mem% as fractions of the full runs of Table II.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "frac/ensemble.hpp"
+#include "frac/filtering.hpp"
+#include "frac/preprojection.hpp"
+
+int main() {
+  using namespace frac;
+  using namespace frac::benchtool;
+
+  const std::size_t jl_dim = jl_dim_analog(1024);
+  std::cout << "TABLE III — Random Filter Ensemble (10 x p=0.05), JL (k=" << jl_dim
+            << ", the k=1024 analog at our feature scale), Entropy Filtering (p=0.05)\n"
+            << "All cells are fractions of the Table II full run.\n\n";
+
+  FullBaselineCache cache;
+  TextTable table({"data set", "RFE AUC%", "RFE Time%", "RFE Mem%", "JL AUC%", "JL Time%",
+                   "JL Mem%", "Ent AUC%", "Ent Time%", "Ent Mem%"});
+
+  struct Avg {
+    double auc = 0, time = 0, mem = 0;
+  } avg_rfe, avg_jl, avg_ent;
+
+  const auto grid = table_grid_cohorts();
+  for (const CohortSpec& spec : grid) {
+    const PerReplicate& full = cache.full_results(spec);
+    const FracConfig config = paper_frac_config(spec);
+
+    const PerReplicate rfe = run_on_cohort(
+        spec,
+        [&](const Replicate& rep, Rng& rng) {
+          return run_random_filter_ensemble(rep, config, 0.05, 10, rng, pool());
+        },
+        spec.seed + 21);
+
+    const PerReplicate jl = run_on_cohort(
+        spec,
+        [&](const Replicate& rep, Rng& rng) {
+          JlPipelineConfig jl_config;
+          jl_config.output_dim = jl_dim;
+          jl_config.seed = rng();
+          return run_jl_frac(rep, config, jl_config, pool());
+        },
+        spec.seed + 22);
+
+    const PerReplicate entropy = run_on_cohort(
+        spec,
+        [&](const Replicate& rep, Rng& rng) {
+          return run_full_filtered_frac(rep, config, FilterMethod::kEntropy, 0.05, rng, pool());
+        },
+        spec.seed + 23);
+
+    const FractionStats f_rfe = fraction_of(rfe, full);
+    const FractionStats f_jl = fraction_of(jl, full);
+    const FractionStats f_ent = fraction_of(entropy, full);
+    table.add_row({spec.name, fmt_mean_sd(f_rfe.auc_fraction), fmt_fraction(f_rfe.time_fraction),
+                   fmt_fraction(f_rfe.mem_fraction), fmt_mean_sd(f_jl.auc_fraction),
+                   fmt_fraction(f_jl.time_fraction), fmt_fraction(f_jl.mem_fraction),
+                   fmt_mean_sd(f_ent.auc_fraction), fmt_fraction(f_ent.time_fraction),
+                   fmt_fraction(f_ent.mem_fraction)});
+    avg_rfe.auc += f_rfe.auc_fraction.mean;
+    avg_rfe.time += f_rfe.time_fraction;
+    avg_rfe.mem += f_rfe.mem_fraction;
+    avg_jl.auc += f_jl.auc_fraction.mean;
+    avg_jl.time += f_jl.time_fraction;
+    avg_jl.mem += f_jl.mem_fraction;
+    avg_ent.auc += f_ent.auc_fraction.mean;
+    avg_ent.time += f_ent.time_fraction;
+    avg_ent.mem += f_ent.mem_fraction;
+  }
+  const double n = static_cast<double>(grid.size());
+  table.add_row({"Avg", fmt_fraction(avg_rfe.auc / n), fmt_fraction(avg_rfe.time / n),
+                 fmt_fraction(avg_rfe.mem / n), fmt_fraction(avg_jl.auc / n),
+                 fmt_fraction(avg_jl.time / n), fmt_fraction(avg_jl.mem / n),
+                 fmt_fraction(avg_ent.auc / n), fmt_fraction(avg_ent.time / n),
+                 fmt_fraction(avg_ent.mem / n)});
+  table.print(std::cout);
+  return 0;
+}

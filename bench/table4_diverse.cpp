@@ -1,0 +1,61 @@
+// Table IV: Diverse FRaC (p = 1/2) and Diverse Ensemble (10 members at
+// p = 1/20) as fractions of the Table II full runs.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "frac/diverse.hpp"
+#include "frac/ensemble.hpp"
+
+int main() {
+  using namespace frac;
+  using namespace frac::benchtool;
+
+  std::cout << "TABLE IV — Diverse (p=1/2) and Diverse Ensemble (10 x p=1/20)\n"
+            << "All cells are fractions of the Table II full run.\n\n";
+
+  FullBaselineCache cache;
+  TextTable table({"data set", "Div AUC%", "Div Time%", "Div Mem%", "DivEns AUC%",
+                   "DivEns Time%", "DivEns Mem%"});
+
+  struct Avg {
+    double auc = 0, time = 0, mem = 0;
+  } avg_div, avg_ens;
+
+  const auto grid = table_grid_cohorts();
+  for (const CohortSpec& spec : grid) {
+    const PerReplicate& full = cache.full_results(spec);
+    const FracConfig config = paper_frac_config(spec);
+
+    const PerReplicate diverse = run_on_cohort(
+        spec,
+        [&](const Replicate& rep, Rng& rng) {
+          return run_diverse_frac(rep, config, 0.5, 1, rng, pool());
+        },
+        spec.seed + 31);
+
+    const PerReplicate diverse_ensemble = run_on_cohort(
+        spec,
+        [&](const Replicate& rep, Rng& rng) {
+          return run_diverse_ensemble(rep, config, 1.0 / 20.0, 10, rng, pool());
+        },
+        spec.seed + 32);
+
+    const FractionStats f_div = fraction_of(diverse, full);
+    const FractionStats f_ens = fraction_of(diverse_ensemble, full);
+    table.add_row({spec.name, fmt_mean_sd(f_div.auc_fraction), fmt_fraction(f_div.time_fraction),
+                   fmt_fraction(f_div.mem_fraction), fmt_mean_sd(f_ens.auc_fraction),
+                   fmt_fraction(f_ens.time_fraction), fmt_fraction(f_ens.mem_fraction)});
+    avg_div.auc += f_div.auc_fraction.mean;
+    avg_div.time += f_div.time_fraction;
+    avg_div.mem += f_div.mem_fraction;
+    avg_ens.auc += f_ens.auc_fraction.mean;
+    avg_ens.time += f_ens.time_fraction;
+    avg_ens.mem += f_ens.mem_fraction;
+  }
+  const double n = static_cast<double>(grid.size());
+  table.add_row({"Avg", fmt_fraction(avg_div.auc / n), fmt_fraction(avg_div.time / n),
+                 fmt_fraction(avg_div.mem / n), fmt_fraction(avg_ens.auc / n),
+                 fmt_fraction(avg_ens.time / n), fmt_fraction(avg_ens.mem / n)});
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// CSAX workflow: not just *detecting* anomalous expression samples but
+// *characterizing* them — which gene sets (pathways) are dysregulated?
+// This is the system the paper's scalable FRaC variants were built to feed
+// ("we then used FRaC as a component of CSAX, a method for identifying and
+// interpreting anomalies in individual gene expression samples").
+#include <iostream>
+
+#include "csax/csax.hpp"
+#include "expt/tables.hpp"
+#include "ml/metrics.hpp"
+#include "util/string_util.hpp"
+
+int main() {
+  using namespace frac;
+
+  // Cohort with two disease modules among eight; the disease program in
+  // anomalies loads on modules 0 and 1.
+  ExpressionModelConfig generator;
+  generator.features = 200;
+  generator.modules = 8;
+  generator.genes_per_module = 10;
+  generator.noise_sd = 0.4;
+  generator.anomaly_mix = 2.0;
+  generator.disease_modules = 2;
+  generator.seed = 51;
+  const ExpressionModel model(generator);
+
+  Rng rng(52);
+  Replicate rep;
+  rep.train = model.sample(60, Label::kNormal, rng);
+  rep.test = concat_samples(model.sample(10, Label::kNormal, rng),
+                            model.sample(10, Label::kAnomaly, rng));
+
+  // Gene sets: one per generator module (with 20% annotation dropout, like
+  // real pathway databases) plus six decoys.
+  GeneSetCollection sets = make_module_gene_sets(model, 0.2, 6, rng);
+  std::cout << "characterize_anomaly — " << generator.features << " genes, "
+            << sets.size() << " gene sets (8 modules + 6 decoys), "
+            << "disease program on module0/module1\n\n";
+
+  CsaxConfig config;
+  config.bootstraps = 8;
+  config.top_sets = 2;
+  ThreadPool pool;
+  const CsaxModel csax = CsaxModel::train(rep.train, std::move(sets), config, pool);
+  const std::vector<CsaxScore> scores = csax.score(rep.test, pool);
+
+  std::vector<double> anomaly_scores;
+  for (const CsaxScore& s : scores) anomaly_scores.push_back(s.anomaly_score);
+  std::cout << "CSAX anomaly-score AUC: " << auc(anomaly_scores, rep.test.labels()) << "\n\n";
+
+  TextTable table({"sample", "label", "CSAX score", "top set", "2nd set"});
+  for (std::size_t r = 0; r < scores.size(); ++r) {
+    const auto top = scores[r].top_sets(2);
+    table.add_row({std::to_string(r),
+                   rep.test.label(r) == Label::kAnomaly ? "anomaly" : "normal",
+                   format("%.3f", scores[r].anomaly_score),
+                   csax.gene_sets()[top[0]].name + format(" (%.2f)",
+                                                          scores[r].set_enrichment[top[0]]),
+                   csax.gene_sets()[top[1]].name + format(" (%.2f)",
+                                                          scores[r].set_enrichment[top[1]])});
+  }
+  table.print(std::cout);
+  std::cout << "\nAnomalous samples should be characterized by module0/module1 — the\n"
+               "planted disease sets — while decoys stay uninformative.\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Expression-cohort workflow: run full FRaC and the scalable variants the
+// paper recommends on a realistic (scaled) expression dataset, then use the
+// per-feature NS contributions for interpretation — the property the paper
+// highlights as the reason to prefer random filter ensembles over JL.
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "expt/registry.hpp"
+#include "frac/ensemble.hpp"
+#include "frac/filtering.hpp"
+#include "frac/preprojection.hpp"
+#include "ml/metrics.hpp"
+
+int main() {
+  using namespace frac;
+
+  // The biomarkers-analog cohort from the experiment registry (ER+ vs ER-
+  // breast tumors in the paper): 74 normals, 53 anomalies.
+  const CohortSpec& spec = cohort_by_name("biomarkers");
+  const auto replicates = make_cohort_replicates(spec, 1);
+  const Replicate& rep = replicates.front();
+  const FracConfig config = paper_frac_config(spec);
+  ThreadPool pool;
+
+  std::cout << "expression_anomaly — cohort '" << spec.name << "' ("
+            << rep.train.feature_count() << " genes, " << rep.train.sample_count()
+            << " training normals)\n\n";
+
+  // Full FRaC.
+  const ScoredRun full = run_frac(rep, config, pool);
+  std::cout << "full FRaC:              AUC=" << auc(full.test_scores, rep.test.labels())
+            << "  time=" << full.resources.cpu_seconds << "s"
+            << "  mem=" << static_cast<double>(full.resources.peak_bytes) / (1024 * 1024)
+            << "MB\n";
+
+  // Random filter ensemble — the paper's recommendation for interpretability.
+  Rng rng(spec.seed + 1);
+  const ScoredRun ensemble = run_random_filter_ensemble(rep, config, 0.05, 10, rng, pool);
+  std::cout << "random filter ensemble: AUC=" << auc(ensemble.test_scores, rep.test.labels())
+            << "  time=" << ensemble.resources.cpu_seconds << "s"
+            << "  mem=" << static_cast<double>(ensemble.resources.peak_bytes) / (1024 * 1024)
+            << "MB\n";
+
+  // JL preprojection — fastest, least interpretable.
+  JlPipelineConfig jl;
+  jl.output_dim = 64;
+  const ScoredRun projected = run_jl_frac(rep, config, jl, pool);
+  std::cout << "JL preprojection (k=64): AUC=" << auc(projected.test_scores, rep.test.labels())
+            << "  time=" << projected.resources.cpu_seconds << "s"
+            << "  mem=" << static_cast<double>(projected.resources.peak_bytes) / (1024 * 1024)
+            << "MB\n\n";
+
+  // Interpretation: which genes drive anomaly calls? Average the per-gene
+  // NS contribution over the anomalous test samples and rank.
+  const FracModel model = FracModel::train(rep.train, config, pool);
+  const Matrix per_gene = model.per_feature_scores(rep.test, pool);
+  std::vector<double> anomaly_mean(per_gene.cols(), 0.0);
+  std::size_t anomalies = 0;
+  for (std::size_t r = 0; r < rep.test.sample_count(); ++r) {
+    if (rep.test.label(r) != Label::kAnomaly) continue;
+    ++anomalies;
+    for (std::size_t g = 0; g < per_gene.cols(); ++g) {
+      if (!is_missing(per_gene(r, g))) anomaly_mean[g] += per_gene(r, g);
+    }
+  }
+  for (double& v : anomaly_mean) v /= static_cast<double>(anomalies);
+
+  std::vector<std::size_t> order(anomaly_mean.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return anomaly_mean[a] > anomaly_mean[b]; });
+
+  std::cout << "top 10 genes by mean NS contribution over anomalous samples\n"
+               "(the generator plants the disease signal in the first "
+            << spec.expression.disease_modules * spec.expression.genes_per_module
+            << " gene indices — these should dominate):\n";
+  std::size_t planted_hits = 0;
+  const std::size_t planted =
+      spec.expression.disease_modules * spec.expression.genes_per_module;
+  for (std::size_t i = 0; i < 10; ++i) {
+    const std::size_t g = order[i];
+    const bool is_planted = g < planted;
+    planted_hits += is_planted;
+    std::cout << "  " << rep.train.schema()[g].name << "  mean NS=" << anomaly_mean[g]
+              << (is_planted ? "  [planted disease gene]" : "") << "\n";
+  }
+  std::cout << planted_hits << "/10 of the top genes are planted disease genes.\n";
+  return 0;
+}

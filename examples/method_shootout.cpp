@@ -1,0 +1,93 @@
+// Side-by-side shootout of every detector in the library — full FRaC, all
+// five scalable variants, and the LOF / one-class-SVM baselines — on one
+// expression replicate, with AUC, CPU time, and model memory.
+#include <iostream>
+
+#include "data/expression_generator.hpp"
+#include "expt/tables.hpp"
+#include "frac/diverse.hpp"
+#include "frac/ensemble.hpp"
+#include "frac/filtering.hpp"
+#include "frac/preprojection.hpp"
+#include "ml/baseline/lof.hpp"
+#include "ml/baseline/ocsvm.hpp"
+#include "util/stopwatch.hpp"
+#include "util/string_util.hpp"
+
+int main() {
+  using namespace frac;
+
+  ExpressionModelConfig generator;
+  generator.features = 300;
+  generator.modules = 8;
+  generator.genes_per_module = 10;
+  generator.noise_sd = 0.6;
+  generator.anomaly_mix = 1.5;
+  generator.disease_modules = 4;
+  generator.seed = 31;
+  const ExpressionModel model(generator);
+  Rng rng(32);
+  Replicate rep;
+  rep.train = model.sample(60, Label::kNormal, rng);
+  rep.test = concat_samples(model.sample(20, Label::kNormal, rng),
+                            model.sample(20, Label::kAnomaly, rng));
+
+  std::cout << "method_shootout — " << generator.features << " genes, "
+            << rep.train.sample_count() << " training normals, "
+            << rep.test.sample_count() << " test samples\n\n";
+
+  ThreadPool pool;
+  const FracConfig config;
+  TextTable table({"method", "AUC", "time", "model mem"});
+
+  const auto add = [&](const std::string& name, const ScoredRun& run) {
+    table.add_row({name, format("%.3f", auc(run.test_scores, rep.test.labels())),
+                   fmt_time(run.resources.cpu_seconds),
+                   fmt_bytes(static_cast<double>(run.resources.peak_bytes))});
+  };
+
+  add("FRaC (full)", run_frac(rep, config, pool));
+  Rng r1(1);
+  add("FRaC random filter p=.05 x10", run_random_filter_ensemble(rep, config, 0.05, 10, r1, pool));
+  Rng r2(2);
+  add("FRaC entropy filter p=.05",
+      run_full_filtered_frac(rep, config, FilterMethod::kEntropy, 0.05, r2, pool));
+  Rng r3(3);
+  add("FRaC diverse p=1/2", run_diverse_frac(rep, config, 0.5, 1, r3, pool));
+  Rng r4(4);
+  add("FRaC diverse ensemble p=1/20 x10", run_diverse_ensemble(rep, config, 0.05, 10, r4, pool));
+  JlPipelineConfig jl;
+  jl.output_dim = 64;
+  add("FRaC JL k=64", run_jl_frac(rep, config, jl, pool));
+
+  // Baselines (trained on the raw feature matrix).
+  {
+    const CpuStopwatch cpu;
+    Lof lof;
+    lof.fit(rep.train.values(), {.k = 10});
+    ScoredRun run;
+    for (std::size_t i = 0; i < rep.test.sample_count(); ++i) {
+      run.test_scores.push_back(lof.score(rep.test.values().row(i)));
+    }
+    run.resources.cpu_seconds = cpu.seconds();
+    run.resources.peak_bytes = rep.train.bytes();  // LOF memorizes the training set
+    add("LOF k=10", run);
+  }
+  {
+    const CpuStopwatch cpu;
+    OneClassSvm ocsvm;
+    ocsvm.fit(rep.train.values(), {});
+    ScoredRun run;
+    for (std::size_t i = 0; i < rep.test.sample_count(); ++i) {
+      run.test_scores.push_back(ocsvm.score(rep.test.values().row(i)));
+    }
+    run.resources.cpu_seconds = cpu.seconds();
+    run.resources.peak_bytes = rep.train.feature_count() * sizeof(double);
+    add("one-class SVM", run);
+  }
+
+  table.print(std::cout);
+  std::cout << "\nThe FRaC family should lead the baselines on this irrelevant-variable-\n"
+               "heavy cohort, with the variants close to full FRaC at a fraction of cost.\n";
+  return 0;
+}

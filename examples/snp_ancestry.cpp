@@ -1,0 +1,105 @@
+// SNP-cohort workflow with the schizophrenia-style ancestry confound:
+// train on population-A normals, test against population-B "patients", and
+// show (a) that entropy-filtered FRaC separates them near-perfectly, and
+// (b) that the most predictive SNP models sit on ancestry-divergent SNPs —
+// the diagnosis the paper reaches for its AUC≈1.0 result.
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "data/snp_generator.hpp"
+#include "frac/filtering.hpp"
+#include "ml/metrics.hpp"
+
+int main() {
+  using namespace frac;
+
+  SnpModelConfig generator;
+  generator.features = 3000;
+  generator.block_size = 20;
+  generator.ld_strength = 0.7;
+  // Ancestry-informative-marker structure (see DESIGN.md): divergence
+  // concentrated in high-heterozygosity SNPs of a large reference
+  // population — the regime in which the paper's entropy filter scores ≈1.
+  generator.fst = 0.5;
+  generator.fst_het_exponent = 100.0;
+  generator.reference_drift_scale = 0.1;
+  generator.populations = 2;
+  generator.seed = 21;
+  const SnpModel model(generator);
+
+  Rng rng(22);
+  Replicate rep;
+  rep.train = model.sample(/*population=*/0, 270, Label::kNormal, rng);
+  rep.test = concat_samples(model.sample(0, 10, Label::kNormal, rng),
+                            model.sample(1, 54, Label::kAnomaly, rng));
+
+  std::cout << "snp_ancestry — " << generator.features << " ternary SNPs; training normals\n"
+            << "from population A, test 'patients' from population B (Fst=" << generator.fst
+            << ")\n\n";
+
+  FracConfig config;
+  config.predictor.classifier = ClassifierKind::kDecisionTree;
+  config.predictor.regressor = RegressorKind::kRegressionTree;
+  config.predictor.tree.max_depth = 6;
+  ThreadPool pool;
+
+  // Entropy filtering at 5%, the paper's Table V winner.
+  Rng method_rng(23);
+  const std::vector<std::size_t> kept =
+      select_filtered_features(rep.train, FilterMethod::kEntropy, 0.05, method_rng);
+  const Dataset train_kept = rep.train.select_features(kept);
+  const Dataset test_kept = rep.test.select_features(kept);
+  const FracModel frac_model = FracModel::train(train_kept, config, pool);
+  const std::vector<double> scores = frac_model.score(test_kept, pool);
+  std::cout << "entropy-filtered FRaC (5% of SNPs): AUC = "
+            << auc(scores, rep.test.labels()) << "\n\n";
+
+  // Which SNP models matter? Rank kept SNPs by mean NS contribution over the
+  // population-B samples, then compare against each SNP's true
+  // allele-frequency divergence between the populations.
+  const Matrix per_snp = frac_model.per_feature_scores(test_kept, pool);
+  std::vector<double> anomaly_mean(per_snp.cols(), 0.0);
+  std::size_t anomalies = 0;
+  for (std::size_t r = 0; r < rep.test.sample_count(); ++r) {
+    if (rep.test.label(r) != Label::kAnomaly) continue;
+    ++anomalies;
+    for (std::size_t j = 0; j < per_snp.cols(); ++j) {
+      if (!is_missing(per_snp(r, j))) anomaly_mean[j] += per_snp(r, j);
+    }
+  }
+  for (double& v : anomaly_mean) v /= static_cast<double>(anomalies);
+
+  std::vector<std::size_t> order(anomaly_mean.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return anomaly_mean[a] > anomaly_mean[b]; });
+
+  // Median |Δ allele frequency| over all SNPs, as the ancestry baseline.
+  std::vector<double> all_divergences;
+  for (std::size_t j = 0; j < generator.features; ++j) {
+    all_divergences.push_back(
+        std::abs(model.allele_frequency(0, j) - model.allele_frequency(1, j)));
+  }
+  std::nth_element(all_divergences.begin(),
+                   all_divergences.begin() + static_cast<std::ptrdiff_t>(all_divergences.size() / 2),
+                   all_divergences.end());
+  const double median_divergence = all_divergences[all_divergences.size() / 2];
+
+  std::cout << "top 10 SNP models by mean NS over population-B samples\n"
+            << "(|Δp| = allele-frequency divergence between populations; cohort median |Δp| = "
+            << median_divergence << "):\n";
+  std::size_t above_median = 0;
+  for (std::size_t i = 0; i < 10 && i < order.size(); ++i) {
+    const std::size_t snp = kept[order[i]];
+    const double divergence =
+        std::abs(model.allele_frequency(0, snp) - model.allele_frequency(1, snp));
+    above_median += divergence > median_divergence;
+    std::cout << "  snp" << snp << "  mean NS=" << anomaly_mean[order[i]]
+              << "  |Δp|=" << divergence << "\n";
+  }
+  std::cout << above_median
+            << "/10 of the top SNPs are more ancestry-divergent than the median —\n"
+               "the signal is ancestry, not disease (the paper's conclusion).\n";
+  return 0;
+}

@@ -1,0 +1,136 @@
+#include "csax/csax.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/kernels.hpp"
+#include "util/stopwatch.hpp"
+
+namespace frac {
+
+std::vector<std::size_t> CsaxScore::top_sets(std::size_t k) const {
+  std::vector<std::size_t> order(set_enrichment.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return set_enrichment[a] > set_enrichment[b];
+  });
+  order.resize(std::min(k, order.size()));
+  return order;
+}
+
+CsaxModel CsaxModel::train(const Dataset& train, GeneSetCollection sets,
+                           const CsaxConfig& config, ThreadPool& pool) {
+  if (config.bootstraps == 0) throw std::invalid_argument("csax: need at least one bootstrap");
+  if (config.member_keep_fraction <= 0.0 || config.member_keep_fraction > 1.0) {
+    throw std::invalid_argument("csax: member_keep_fraction must be in (0, 1]");
+  }
+  sets.validate(train.feature_count());
+
+  const CpuStopwatch cpu;
+  CsaxModel model;
+  model.sets_ = std::move(sets);
+  model.config_ = config;
+
+  Rng master(config.seed);
+  const std::size_t n = train.sample_count();
+  for (std::size_t b = 0; b < config.bootstraps; ++b) {
+    Rng rng = master.split(b);
+    // Bootstrap resample of the training rows.
+    std::vector<std::size_t> rows(n);
+    for (std::size_t i = 0; i < n; ++i) rows[i] = rng.uniform_index(n);
+    std::sort(rows.begin(), rows.end());
+    Dataset boot = train.select_samples(rows);
+
+    Member member;
+    if (config.member_keep_fraction < 1.0) {
+      member.feature_ids = select_filtered_features(boot, FilterMethod::kRandom,
+                                                    config.member_keep_fraction, rng);
+      boot = boot.select_features(member.feature_ids);
+    } else {
+      member.feature_ids.resize(train.feature_count());
+      std::iota(member.feature_ids.begin(), member.feature_ids.end(), std::size_t{0});
+    }
+    FracConfig frac_config = config.frac;
+    frac_config.seed = rng.split(1000)();
+    member.model = FracModel::train(boot, frac_config, pool);
+    // Bootstrap members coexist for scoring: peaks add.
+    model.report_.merge_concurrent(member.model.report());
+    model.members_.push_back(std::move(member));
+  }
+  model.report_.cpu_seconds = cpu.seconds();
+  return model;
+}
+
+std::vector<CsaxScore> CsaxModel::score(const Dataset& test, ThreadPool& pool) const {
+  if (members_.empty()) throw std::logic_error("CsaxModel::score before train");
+  const std::size_t n = test.sample_count();
+  const std::size_t set_count = sets_.size();
+
+  // enrichment[member] is an n × set_count matrix. Per member, the ranking
+  // universe is restricted to the genes that member actually modeled, and
+  // every gene set is shrunk to its modeled genes (standard GSEA practice
+  // for unmeasured genes); sets with no modeled gene get NaN and drop out
+  // of the across-member median.
+  std::vector<Matrix> enrichment;
+  enrichment.reserve(members_.size());
+  for (const Member& member : members_) {
+    const Dataset member_test = member.feature_ids.size() == test.feature_count()
+                                    ? test
+                                    : test.select_features(member.feature_ids);
+    const Matrix per_feature = member.model.per_feature_scores(member_test, pool);
+
+    // Gene sets in member space.
+    std::vector<std::size_t> position(test.feature_count(),
+                                      std::numeric_limits<std::size_t>::max());
+    for (std::size_t c = 0; c < member.feature_ids.size(); ++c) {
+      position[member.feature_ids[c]] = c;
+    }
+    std::vector<GeneSet> restricted;
+    restricted.reserve(set_count);
+    for (const GeneSet& set : sets_.sets()) {
+      GeneSet local;
+      local.name = set.name;
+      for (const std::size_t g : set.genes) {
+        if (position[g] != std::numeric_limits<std::size_t>::max()) {
+          local.genes.push_back(position[g]);
+        }
+      }
+      std::sort(local.genes.begin(), local.genes.end());
+      restricted.push_back(std::move(local));
+    }
+
+    Matrix scores(n, set_count, kMissing);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t s = 0; s < set_count; ++s) {
+        if (restricted[s].genes.empty()) continue;  // unmeasured set: NaN
+        scores(r, s) =
+            enrichment_score(per_feature.row(r), restricted[s], config_.gsea);
+      }
+    }
+    enrichment.push_back(std::move(scores));
+  }
+
+  // Median over members per (sample, set); anomaly score = mean of top-k.
+  std::vector<CsaxScore> out(n);
+  std::vector<double> member_values;
+  for (std::size_t r = 0; r < n; ++r) {
+    CsaxScore& score = out[r];
+    score.set_enrichment.resize(set_count);
+    for (std::size_t s = 0; s < set_count; ++s) {
+      member_values.clear();
+      for (std::size_t m = 0; m < members_.size(); ++m) {
+        if (!is_missing(enrichment[m](r, s))) member_values.push_back(enrichment[m](r, s));
+      }
+      score.set_enrichment[s] = member_values.empty() ? 0.0 : median(member_values);
+    }
+    const std::vector<std::size_t> top = score.top_sets(config_.top_sets);
+    double acc = 0.0;
+    for (const std::size_t s : top) acc += score.set_enrichment[s];
+    score.anomaly_score = top.empty() ? 0.0 : acc / static_cast<double>(top.size());
+  }
+  return out;
+}
+
+}  // namespace frac

@@ -1,0 +1,79 @@
+// CSAX — Characterizing Systematic Anomalies in eXpression data
+// (Noto, Majidi, Edlow, Wick, Bianchi, Slonim — J. Comput. Biol. 2015).
+//
+// The system this paper's scalable FRaC variants were built to serve: FRaC
+// says *that* a sample is anomalous; CSAX says *why*, by finding gene sets
+// enriched among the sample's most surprising genes. Because "CSAX includes
+// bootstrapping over multiple FRaC runs" (this paper, §I), its cost is a
+// multiple of FRaC's — which is exactly the motivation for the scalable
+// variants. The trainer therefore optionally runs its FRaC members through
+// random full filtering (`member_keep_fraction < 1`), tying the two papers
+// together.
+//
+// Pipeline per test sample:
+//   1. each of B bootstrap-trained FRaC members produces per-gene NS
+//      contributions;
+//   2. per member, every gene set gets a GSEA-style enrichment score over
+//      the member's gene ranking;
+//   3. per set, the enrichment is median-aggregated across members
+//      (bootstrap stabilization, like the paper's filter ensembles);
+//   4. the sample's anomaly score is the mean of its top-k set enrichments,
+//      and the per-set vector is the interpretable characterization.
+#pragma once
+
+#include "csax/gene_sets.hpp"
+#include "csax/gsea.hpp"
+#include "frac/filtering.hpp"
+#include "frac/frac.hpp"
+
+namespace frac {
+
+struct CsaxConfig {
+  std::size_t bootstraps = 10;       ///< B FRaC members on bootstrap resamples
+  std::size_t top_sets = 3;          ///< sets averaged into the anomaly score
+  /// < 1 trains each member on a random feature subset (this paper's full
+  /// filtering) for scalability; 1.0 = plain FRaC members.
+  double member_keep_fraction = 1.0;
+  FracConfig frac;
+  GseaConfig gsea;
+  std::uint64_t seed = 29;
+};
+
+/// One test sample's characterization.
+struct CsaxScore {
+  double anomaly_score = 0.0;
+  /// Median-over-members enrichment per gene set (collection order).
+  std::vector<double> set_enrichment;
+
+  /// Indices of the most enriched sets, descending.
+  std::vector<std::size_t> top_sets(std::size_t k) const;
+};
+
+class CsaxModel {
+ public:
+  /// Trains B bootstrap FRaC members. `sets` is validated against the
+  /// training schema.
+  static CsaxModel train(const Dataset& train, GeneSetCollection sets,
+                         const CsaxConfig& config, ThreadPool& pool);
+
+  /// Characterizes every test sample.
+  std::vector<CsaxScore> score(const Dataset& test, ThreadPool& pool) const;
+
+  const GeneSetCollection& gene_sets() const noexcept { return sets_; }
+  std::size_t member_count() const noexcept { return members_.size(); }
+  const ResourceReport& report() const noexcept { return report_; }
+
+ private:
+  struct Member {
+    FracModel model;
+    /// Original-feature index per member-model feature (filtered members).
+    std::vector<std::size_t> feature_ids;
+  };
+
+  std::vector<Member> members_;
+  GeneSetCollection sets_;
+  CsaxConfig config_;
+  ResourceReport report_;
+};
+
+}  // namespace frac

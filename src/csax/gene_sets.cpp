@@ -1,0 +1,115 @@
+#include "csax/gene_sets.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace frac {
+
+GeneSetCollection::GeneSetCollection(std::vector<GeneSet> sets) : sets_(std::move(sets)) {}
+
+void GeneSetCollection::validate(std::size_t feature_count) const {
+  for (const GeneSet& set : sets_) {
+    if (set.genes.empty()) {
+      throw std::invalid_argument("gene set '" + set.name + "' is empty");
+    }
+    if (!std::is_sorted(set.genes.begin(), set.genes.end())) {
+      throw std::invalid_argument("gene set '" + set.name + "' is not sorted");
+    }
+    if (std::adjacent_find(set.genes.begin(), set.genes.end()) != set.genes.end()) {
+      throw std::invalid_argument("gene set '" + set.name + "' has duplicate genes");
+    }
+    if (set.genes.back() >= feature_count) {
+      throw std::invalid_argument(format("gene set '%s' references gene %zu of %zu",
+                                         set.name.c_str(), set.genes.back(), feature_count));
+    }
+  }
+}
+
+GeneSetCollection read_gene_sets_gmt(std::istream& in) {
+  std::vector<GeneSet> sets;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = split(line, '\t');
+    if (cells.size() < 3) {
+      throw std::invalid_argument(format("GMT line %zu: want name, description, genes...",
+                                         line_no));
+    }
+    GeneSet set;
+    set.name = cells[0];
+    for (std::size_t i = 2; i < cells.size(); ++i) {
+      if (trim(cells[i]).empty()) continue;
+      set.genes.push_back(parse_size(cells[i], format("GMT line %zu", line_no)));
+    }
+    std::sort(set.genes.begin(), set.genes.end());
+    set.genes.erase(std::unique(set.genes.begin(), set.genes.end()), set.genes.end());
+    if (set.genes.empty()) {
+      throw std::invalid_argument(format("GMT line %zu: set '%s' has no genes", line_no,
+                                         set.name.c_str()));
+    }
+    sets.push_back(std::move(set));
+  }
+  return GeneSetCollection(std::move(sets));
+}
+
+void write_gene_sets_gmt(std::ostream& out, const GeneSetCollection& sets) {
+  for (const GeneSet& set : sets.sets()) {
+    out << set.name << "\tna";
+    for (const std::size_t g : set.genes) out << '\t' << g;
+    out << '\n';
+  }
+}
+
+GeneSetCollection make_module_gene_sets(const ExpressionModel& model, double dropout,
+                                        std::size_t decoy_sets, Rng& rng) {
+  if (dropout < 0.0 || dropout >= 1.0) {
+    throw std::invalid_argument("make_module_gene_sets: dropout must be in [0, 1)");
+  }
+  const ExpressionModelConfig& config = model.config();
+  const std::size_t relevant = config.modules * config.genes_per_module;
+  std::vector<GeneSet> sets;
+
+  for (std::size_t m = 0; m < config.modules; ++m) {
+    GeneSet set;
+    set.name = "module" + std::to_string(m);
+    std::set<std::size_t> genes;
+    for (std::size_t g = 0; g < config.genes_per_module; ++g) {
+      const std::size_t gene = m * config.genes_per_module + g;
+      if (rng.uniform() < dropout) {
+        // Imperfect annotation: swap in a random gene from anywhere.
+        genes.insert(rng.uniform_index(config.features));
+      } else {
+        genes.insert(gene);
+      }
+    }
+    set.genes.assign(genes.begin(), genes.end());
+    sets.push_back(std::move(set));
+  }
+
+  if (decoy_sets > 0 && config.features - relevant < config.genes_per_module) {
+    throw std::invalid_argument(
+        "make_module_gene_sets: not enough irrelevant genes for decoy sets");
+  }
+  for (std::size_t d = 0; d < decoy_sets; ++d) {
+    GeneSet set;
+    set.name = "decoy" + std::to_string(d);
+    // Decoys avoid the relevant block, so they are pure negative controls.
+    std::set<std::size_t> genes;
+    while (genes.size() < config.genes_per_module) {
+      genes.insert(relevant + rng.uniform_index(config.features - relevant));
+    }
+    set.genes.assign(genes.begin(), genes.end());
+    sets.push_back(std::move(set));
+  }
+  return GeneSetCollection(std::move(sets));
+}
+
+}  // namespace frac

@@ -1,0 +1,59 @@
+// Gene-set collections for CSAX-style anomaly characterization.
+//
+// CSAX (Noto et al., J. Comput. Biol. 2015) — the system this paper's FRaC
+// scalability work feeds — interprets an anomalous expression sample by
+// finding *gene sets* (pathways, GO terms) enriched among the genes FRaC
+// finds most surprising. Real deployments load MSigDB-style collections;
+// this module provides the data structure, a GMT-like text format, and a
+// synthetic collection generator aligned with ExpressionModel's modules so
+// the full CSAX loop can run against the paper-analog cohorts.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "data/expression_generator.hpp"
+#include "util/rng.hpp"
+
+namespace frac {
+
+/// One named set of gene (feature) indices.
+struct GeneSet {
+  std::string name;
+  std::vector<std::size_t> genes;  // ascending, unique
+};
+
+/// An ordered collection of gene sets.
+class GeneSetCollection {
+ public:
+  GeneSetCollection() = default;
+  explicit GeneSetCollection(std::vector<GeneSet> sets);
+
+  std::size_t size() const noexcept { return sets_.size(); }
+  const GeneSet& operator[](std::size_t i) const { return sets_.at(i); }
+  const std::vector<GeneSet>& sets() const noexcept { return sets_; }
+
+  /// Throws std::invalid_argument if any gene index ≥ feature_count or any
+  /// set is empty/unsorted/duplicated.
+  void validate(std::size_t feature_count) const;
+
+ private:
+  std::vector<GeneSet> sets_;
+};
+
+/// GMT-like text format: one set per line, tab-separated:
+///   name<TAB>description<TAB>gene_index...
+GeneSetCollection read_gene_sets_gmt(std::istream& in);
+void write_gene_sets_gmt(std::ostream& out, const GeneSetCollection& sets);
+
+/// Builds a synthetic collection for an ExpressionModel cohort:
+///  * one "true" set per generator module (its member genes, with
+///    `dropout` of them randomly replaced by irrelevant genes, modelling
+///    imperfect pathway annotations);
+///  * `decoy_sets` additional sets of random genes of matching sizes.
+/// Module sets come first, in module order.
+GeneSetCollection make_module_gene_sets(const ExpressionModel& model, double dropout,
+                                        std::size_t decoy_sets, Rng& rng);
+
+}  // namespace frac

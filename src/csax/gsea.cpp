@@ -1,0 +1,118 @@
+#include "csax/gsea.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace frac {
+
+namespace {
+
+/// Shared core: enrichment of `member` flags over a fixed gene order.
+double running_sum_max(const std::vector<std::size_t>& order,
+                       const std::vector<char>& member, std::span<const double> scores,
+                       double weight) {
+  // Normalizers: total member weight and non-member count.
+  double member_weight = 0.0;
+  std::size_t non_members = 0;
+  for (const std::size_t g : order) {
+    if (member[g]) {
+      member_weight += std::pow(std::abs(scores[g]), weight);
+    } else {
+      ++non_members;
+    }
+  }
+  if (member_weight <= 0.0) {
+    // All member scores are 0 (or weight made them 0): fall back to
+    // rank-only steps so the statistic stays defined.
+    member_weight = static_cast<double>(order.size() - non_members);
+  }
+  const double down_step = non_members > 0 ? 1.0 / static_cast<double>(non_members) : 0.0;
+
+  double running = 0.0;
+  double best = 0.0;
+  for (const std::size_t g : order) {
+    if (member[g]) {
+      double up = std::pow(std::abs(scores[g]), weight);
+      if (up <= 0.0) up = 1.0;  // matches the fallback normalizer
+      running += up / member_weight;
+    } else {
+      running -= down_step;
+    }
+    best = std::max(best, running);
+  }
+  return best;
+}
+
+std::vector<double> sanitized(std::span<const double> scores) {
+  std::vector<double> out(scores.begin(), scores.end());
+  for (double& v : out) {
+    if (std::isnan(v)) v = 0.0;
+  }
+  return out;
+}
+
+std::vector<std::size_t> descending_order(const std::vector<double>& scores) {
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+  return order;
+}
+
+std::vector<char> membership(std::size_t features, const GeneSet& set) {
+  std::vector<char> member(features, 0);
+  for (const std::size_t g : set.genes) {
+    if (g >= features) throw std::invalid_argument("enrichment: gene index out of range");
+    member[g] = 1;
+  }
+  return member;
+}
+
+}  // namespace
+
+double enrichment_score(std::span<const double> scores, const GeneSet& set,
+                        const GseaConfig& config) {
+  if (scores.empty()) throw std::invalid_argument("enrichment: no scores");
+  const std::vector<double> clean = sanitized(scores);
+  const std::vector<std::size_t> order = descending_order(clean);
+  const std::vector<char> member = membership(scores.size(), set);
+  return running_sum_max(order, member, clean, config.weight);
+}
+
+std::vector<double> enrichment_scores(std::span<const double> scores,
+                                      const GeneSetCollection& sets,
+                                      const GseaConfig& config) {
+  if (scores.empty()) throw std::invalid_argument("enrichment: no scores");
+  const std::vector<double> clean = sanitized(scores);
+  const std::vector<std::size_t> order = descending_order(clean);
+  std::vector<double> out;
+  out.reserve(sets.size());
+  for (const GeneSet& set : sets.sets()) {
+    out.push_back(running_sum_max(order, membership(scores.size(), set), clean, config.weight));
+  }
+  return out;
+}
+
+double enrichment_p_value(std::span<const double> scores, const GeneSet& set,
+                          std::size_t permutations, Rng& rng, const GseaConfig& config) {
+  if (permutations == 0) throw std::invalid_argument("enrichment_p_value: no permutations");
+  const double observed = enrichment_score(scores, set, config);
+  const std::vector<double> clean = sanitized(scores);
+  const std::vector<std::size_t> order = descending_order(clean);
+  // Permute set membership over genes (gene-label permutation null).
+  std::vector<std::size_t> genes(scores.size());
+  std::iota(genes.begin(), genes.end(), std::size_t{0});
+  std::size_t at_least = 0;
+  for (std::size_t p = 0; p < permutations; ++p) {
+    const std::vector<std::size_t> picks =
+        rng.sample_without_replacement(scores.size(), set.genes.size());
+    std::vector<char> member(scores.size(), 0);
+    for (const std::size_t g : picks) member[g] = 1;
+    if (running_sum_max(order, member, clean, config.weight) >= observed) ++at_least;
+  }
+  return static_cast<double>(at_least + 1) / static_cast<double>(permutations + 1);
+}
+
+}  // namespace frac

@@ -1,0 +1,41 @@
+// Gene-set enrichment for CSAX: given per-gene anomaly scores for one
+// sample, how concentrated are a set's genes at the top of the ranking?
+//
+// The statistic is GSEA's weighted Kolmogorov–Smirnov running sum
+// (Subramanian et al. 2005): walk the genes in decreasing score order,
+// stepping up (proportionally to |score|^weight) on set members and down on
+// non-members; the enrichment score is the maximum positive deviation.
+// Significance against the no-structure null is estimated by permuting gene
+// labels.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "csax/gene_sets.hpp"
+
+namespace frac {
+
+struct GseaConfig {
+  /// Exponent on |score| in the running-sum increments. 0 = classic KS
+  /// (rank-only); 1 = GSEA default weighting.
+  double weight = 1.0;
+};
+
+/// Enrichment score in [0, 1]: maximum positive running-sum deviation of
+/// `set` under the per-gene `scores` ranking. NaN scores (genes a variant
+/// never modeled) are treated as 0 (no evidence).
+double enrichment_score(std::span<const double> scores, const GeneSet& set,
+                        const GseaConfig& config = {});
+
+/// Enrichment of every set in the collection.
+std::vector<double> enrichment_scores(std::span<const double> scores,
+                                      const GeneSetCollection& sets,
+                                      const GseaConfig& config = {});
+
+/// Permutation p-value: fraction of `permutations` random gene-label
+/// shuffles whose enrichment ≥ the observed one ((r+1)/(n+1) estimator).
+double enrichment_p_value(std::span<const double> scores, const GeneSet& set,
+                          std::size_t permutations, Rng& rng, const GseaConfig& config = {});
+
+}  // namespace frac

@@ -1,0 +1,112 @@
+#include "data/dataset.hpp"
+
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace frac {
+
+Dataset::Dataset(Schema schema, Matrix values, std::vector<Label> labels)
+    : schema_(std::move(schema)), values_(std::move(values)), labels_(std::move(labels)) {
+  if (values_.rows() != labels_.size()) {
+    throw std::invalid_argument(format("dataset: %zu rows but %zu labels", values_.rows(),
+                                       labels_.size()));
+  }
+  if (values_.cols() != schema_.size()) {
+    throw std::invalid_argument(format("dataset: %zu columns but schema has %zu features",
+                                       values_.cols(), schema_.size()));
+  }
+}
+
+std::size_t Dataset::normal_count() const {
+  std::size_t n = 0;
+  for (const Label l : labels_) n += (l == Label::kNormal);
+  return n;
+}
+
+std::size_t Dataset::anomaly_count() const { return labels_.size() - normal_count(); }
+
+std::vector<std::size_t> Dataset::normal_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == Label::kNormal) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dataset::anomaly_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == Label::kAnomaly) out.push_back(i);
+  }
+  return out;
+}
+
+Dataset Dataset::select_samples(const std::vector<std::size_t>& rows) const {
+  Matrix values(rows.size(), values_.cols());
+  std::vector<Label> labels(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::size_t r = rows[i];
+    if (r >= values_.rows()) {
+      throw std::out_of_range(format("select_samples: row %zu out of %zu", r, values_.rows()));
+    }
+    const auto src = values_.row(r);
+    const auto dst = values.row(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+    labels[i] = labels_[r];
+  }
+  return Dataset(schema_, std::move(values), std::move(labels));
+}
+
+Dataset Dataset::select_features(const std::vector<std::size_t>& cols) const {
+  for (const std::size_t c : cols) {
+    if (c >= values_.cols()) {
+      throw std::out_of_range(format("select_features: col %zu out of %zu", c, values_.cols()));
+    }
+  }
+  Matrix values(values_.rows(), cols.size());
+  for (std::size_t r = 0; r < values_.rows(); ++r) {
+    const auto src = values_.row(r);
+    const auto dst = values.row(r);
+    for (std::size_t j = 0; j < cols.size(); ++j) dst[j] = src[cols[j]];
+  }
+  return Dataset(schema_.select(cols), std::move(values), labels_);
+}
+
+void Dataset::validate() const {
+  for (std::size_t c = 0; c < schema_.size(); ++c) {
+    if (!schema_.is_categorical(c)) continue;
+    const double arity = schema_[c].arity;
+    for (std::size_t r = 0; r < values_.rows(); ++r) {
+      const double v = values_(r, c);
+      if (is_missing(v)) continue;
+      if (v < 0.0 || v >= arity || v != std::floor(v)) {
+        throw std::invalid_argument(
+            format("dataset: cell (%zu, %zu) = %g is not a code in [0, %u)", r, c, v,
+                   schema_[c].arity));
+      }
+    }
+  }
+}
+
+Dataset concat_samples(const Dataset& a, const Dataset& b) {
+  if (!(a.schema() == b.schema())) {
+    throw std::invalid_argument("concat_samples: schemas differ");
+  }
+  Matrix values(a.sample_count() + b.sample_count(), a.feature_count());
+  std::vector<Label> labels;
+  labels.reserve(values.rows());
+  for (std::size_t r = 0; r < a.sample_count(); ++r) {
+    const auto src = a.values().row(r);
+    std::copy(src.begin(), src.end(), values.row(r).begin());
+    labels.push_back(a.label(r));
+  }
+  for (std::size_t r = 0; r < b.sample_count(); ++r) {
+    const auto src = b.values().row(r);
+    std::copy(src.begin(), src.end(), values.row(a.sample_count() + r).begin());
+    labels.push_back(b.label(r));
+  }
+  return Dataset(a.schema(), std::move(values), std::move(labels));
+}
+
+}  // namespace frac

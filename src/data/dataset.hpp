@@ -1,0 +1,77 @@
+// Labeled mixed-type dataset: a samples × features value matrix plus a
+// schema and per-sample normal/anomaly labels.
+//
+// Values are doubles; categorical cells hold integral codes in [0, arity).
+// Missing values are NaN — the NS definition in the paper scores undefined
+// features as zero, and the FRaC scorer honors that.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/schema.hpp"
+#include "linalg/matrix.hpp"
+
+namespace frac {
+
+enum class Label : std::uint8_t { kNormal = 0, kAnomaly = 1 };
+
+/// Sentinel for missing values.
+inline constexpr double kMissing = std::numeric_limits<double>::quiet_NaN();
+
+/// True if a cell value denotes "missing".
+inline bool is_missing(double v) noexcept { return std::isnan(v); }
+
+/// Owning dataset. Invariants (checked by validate()):
+///  * values.rows() == labels.size()
+///  * values.cols() == schema.size()
+///  * categorical cells are integers in [0, arity) or NaN
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(Schema schema, Matrix values, std::vector<Label> labels);
+
+  const Schema& schema() const noexcept { return schema_; }
+  const Matrix& values() const noexcept { return values_; }
+  Matrix& mutable_values() noexcept { return values_; }
+  const std::vector<Label>& labels() const noexcept { return labels_; }
+
+  std::size_t sample_count() const noexcept { return values_.rows(); }
+  std::size_t feature_count() const noexcept { return values_.cols(); }
+
+  double value(std::size_t sample, std::size_t feature) const {
+    return values_(sample, feature);
+  }
+  Label label(std::size_t sample) const { return labels_.at(sample); }
+
+  std::size_t normal_count() const;
+  std::size_t anomaly_count() const;
+
+  /// Indices of all normal / anomalous samples, in order.
+  std::vector<std::size_t> normal_indices() const;
+  std::vector<std::size_t> anomaly_indices() const;
+
+  /// New dataset with the given sample rows (order preserved as given).
+  Dataset select_samples(const std::vector<std::size_t>& rows) const;
+
+  /// New dataset with the given feature columns (schema follows).
+  Dataset select_features(const std::vector<std::size_t>& cols) const;
+
+  /// Throws std::invalid_argument describing the first violated invariant.
+  void validate() const;
+
+  /// Heap footprint of the value matrix (for resource accounting).
+  std::size_t bytes() const noexcept { return values_.bytes(); }
+
+ private:
+  Schema schema_;
+  Matrix values_;
+  std::vector<Label> labels_;
+};
+
+/// Concatenates two datasets with identical schemas (rows of a, then b).
+Dataset concat_samples(const Dataset& a, const Dataset& b);
+
+}  // namespace frac

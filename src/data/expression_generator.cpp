@@ -1,0 +1,122 @@
+#include "data/expression_generator.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace frac {
+
+void ExpressionModelConfig::validate() const {
+  if (modules * genes_per_module > features) {
+    throw std::invalid_argument(format(
+        "expression model: %zu modules x %zu genes exceed %zu features", modules,
+        genes_per_module, features));
+  }
+  if (disease_modules > modules) {
+    throw std::invalid_argument("expression model: disease_modules > modules");
+  }
+  if (anomaly_mix < 0.0) {
+    throw std::invalid_argument("expression model: anomaly_mix must be >= 0");
+  }
+  if (program_spread < 0.0) {
+    throw std::invalid_argument("expression model: program_spread must be >= 0");
+  }
+  if (penetrance < 0.0 || penetrance > 1.0) {
+    throw std::invalid_argument("expression model: penetrance must be in [0, 1]");
+  }
+  if (loading_min <= 0.0 || loading_max < loading_min) {
+    throw std::invalid_argument("expression model: bad loading range");
+  }
+  if (noise_sd < 0.0) throw std::invalid_argument("expression model: negative noise_sd");
+}
+
+ExpressionModel::ExpressionModel(const ExpressionModelConfig& config) : config_(config) {
+  config_.validate();
+  Rng rng(config_.seed);
+  loadings_.assign(config_.features, 0.0);
+  noise_sd_.assign(config_.features, config_.noise_sd);
+  module_of_.assign(config_.features, std::numeric_limits<std::size_t>::max());
+  signature_.assign(config_.features, 0.0);
+  // Relevant genes occupy the front block; FRaC never sees feature order as
+  // signal (all variants shuffle or subset features explicitly).
+  std::size_t gene = 0;
+  for (std::size_t m = 0; m < config_.modules; ++m) {
+    for (std::size_t g = 0; g < config_.genes_per_module; ++g, ++gene) {
+      const double magnitude = rng.uniform(config_.loading_min, config_.loading_max);
+      loadings_[gene] = rng.bernoulli(0.5) ? magnitude : -magnitude;
+      module_of_[gene] = m;
+      // The disease program loads on every disease-module gene with its own
+      // fixed signed loading — a direction orthogonal (in expectation) to
+      // the normal co-regulation patterns.
+      if (m < config_.disease_modules) {
+        const double sig = rng.uniform(config_.loading_min, config_.loading_max);
+        signature_[gene] = rng.bernoulli(0.5) ? sig : -sig;
+      }
+    }
+  }
+  // Irrelevant genes: in the default regime, match the relevant genes'
+  // marginal sd range so variance/entropy ranking is uninformative; in the
+  // entropy-informative regime, keep them at the (lower) noise floor.
+  const double n2 = config_.noise_sd * config_.noise_sd;
+  const double sd_lo = std::sqrt(config_.loading_min * config_.loading_min + n2);
+  const double sd_hi = std::sqrt(config_.loading_max * config_.loading_max + n2);
+  for (; gene < config_.features; ++gene) {
+    noise_sd_[gene] =
+        config_.entropy_informative ? config_.noise_sd : rng.uniform(sd_lo, sd_hi);
+  }
+}
+
+std::size_t ExpressionModel::module_of(std::size_t gene) const { return module_of_.at(gene); }
+
+bool ExpressionModel::dysregulated(std::size_t gene) const {
+  return signature_.at(gene) != 0.0;
+}
+
+Dataset ExpressionModel::sample(std::size_t count, Label label, Rng& rng,
+                                std::vector<double>* program_out) const {
+  const std::size_t f = config_.features;
+  Matrix values(count, f);
+  const double a = config_.anomaly_mix;
+  if (program_out != nullptr) program_out->assign(count, 0.0);
+  std::vector<double> z(config_.modules);
+  for (std::size_t r = 0; r < count; ++r) {
+    for (double& zm : z) zm = rng.normal();
+    // The disease program activates only in *penetrant* anomalous samples:
+    // latent magnitude ≈ 1 (so detectability is set by the amplitude a, not
+    // by per-sample luck), random sign.
+    double w = 0.0;
+    if (label == Label::kAnomaly) {
+      // Consume the same three draws regardless of penetrance, so tuning
+      // the penetrance knob flips individual carriers monotonically
+      // instead of re-rolling every downstream sample.
+      const double u = rng.uniform();
+      const double magnitude = std::abs(rng.normal(1.0, config_.program_spread));
+      const bool negative = rng.bernoulli(0.5);
+      if (u < config_.penetrance) w = negative ? -magnitude : magnitude;
+    }
+    if (program_out != nullptr) (*program_out)[r] = w;
+    const auto row = values.row(r);
+    for (std::size_t g = 0; g < f; ++g) {
+      const std::size_t m = module_of_[g];
+      const double latent = m != std::numeric_limits<std::size_t>::max() ? z[m] : 0.0;
+      row[g] = loadings_[g] * latent + a * signature_[g] * w + noise_sd_[g] * rng.normal();
+    }
+  }
+  Schema schema = Schema::all_real(f, "gene");
+  return Dataset(std::move(schema), std::move(values), std::vector<Label>(count, label));
+}
+
+Dataset ExpressionModel::sample_cohort(std::size_t normals, std::size_t anomalies,
+                                       Rng& rng) const {
+  const Dataset normal_part = sample(normals, Label::kNormal, rng);
+  const Dataset anomaly_part = sample(anomalies, Label::kAnomaly, rng);
+  Dataset all = concat_samples(normal_part, anomaly_part);
+  std::vector<std::size_t> order(all.sample_count());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  return all.select_samples(order);
+}
+
+}  // namespace frac

@@ -1,0 +1,105 @@
+#include "data/io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+
+namespace frac {
+
+namespace {
+
+FeatureSpec parse_header_cell(const std::string& cell, std::size_t col) {
+  const std::vector<std::string> parts = split(cell, ':');
+  if (parts.size() == 2 && parts[1] == "real") {
+    return {parts[0], FeatureKind::kReal, 0};
+  }
+  if (parts.size() == 3 && parts[1] == "cat") {
+    const std::size_t arity = parse_size(parts[2], "header arity");
+    if (arity < 2) throw std::invalid_argument("arity must be >= 2 in header column " +
+                                               std::to_string(col));
+    return {parts[0], FeatureKind::kCategorical, static_cast<std::uint32_t>(arity)};
+  }
+  throw std::invalid_argument("bad header cell '" + cell + "' at column " + std::to_string(col) +
+                              " (want name:real or name:cat:K)");
+}
+
+}  // namespace
+
+Dataset read_dataset_csv(std::istream& in) {
+  const CsvTable table = read_csv(in);
+  if (table.rows.empty()) throw std::runtime_error("dataset CSV is empty");
+
+  const auto& header = table.rows.front();
+  if (header.empty() || header.back() != "label") {
+    throw std::invalid_argument("dataset CSV header must end with 'label'");
+  }
+  std::vector<FeatureSpec> specs;
+  specs.reserve(header.size() - 1);
+  for (std::size_t c = 0; c + 1 < header.size(); ++c) {
+    specs.push_back(parse_header_cell(header[c], c));
+  }
+  Schema schema{std::move(specs)};
+
+  const std::size_t n = table.rows.size() - 1;
+  Matrix values(n, schema.size());
+  std::vector<Label> labels(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto& row = table.rows[r + 1];
+    if (row.size() != schema.size() + 1) {
+      throw std::invalid_argument(format("dataset CSV row %zu has %zu cells, expected %zu", r + 1,
+                                         row.size(), schema.size() + 1));
+    }
+    for (std::size_t c = 0; c < schema.size(); ++c) {
+      const std::string_view cell = trim(row[c]);
+      values(r, c) = (cell == "?") ? kMissing
+                                   : parse_double(cell, format("row %zu col %zu", r + 1, c));
+    }
+    const std::string_view label = trim(row.back());
+    if (label == "normal") labels[r] = Label::kNormal;
+    else if (label == "anomaly") labels[r] = Label::kAnomaly;
+    else throw std::invalid_argument(format("dataset CSV row %zu: bad label '%s'", r + 1,
+                                            std::string(label).c_str()));
+  }
+  Dataset data(std::move(schema), std::move(values), std::move(labels));
+  data.validate();
+  return data;
+}
+
+Dataset load_dataset_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open dataset file: " + path);
+  return read_dataset_csv(in);
+}
+
+void write_dataset_csv(std::ostream& out, const Dataset& data) {
+  const Schema& schema = data.schema();
+  for (std::size_t c = 0; c < schema.size(); ++c) {
+    const FeatureSpec& spec = schema[c];
+    out << csv_escape(spec.name);
+    out << (spec.kind == FeatureKind::kReal ? ":real" : format(":cat:%u", spec.arity));
+    out << ',';
+  }
+  out << "label\n";
+  for (std::size_t r = 0; r < data.sample_count(); ++r) {
+    for (std::size_t c = 0; c < schema.size(); ++c) {
+      const double v = data.value(r, c);
+      if (is_missing(v)) out << '?';
+      else if (schema.is_categorical(c)) out << static_cast<long long>(v);
+      else out << format("%.17g", v);
+      out << ',';
+    }
+    out << (data.label(r) == Label::kNormal ? "normal" : "anomaly") << '\n';
+  }
+}
+
+void save_dataset_csv(const std::string& path, const Dataset& data) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open dataset file for writing: " + path);
+  write_dataset_csv(out, data);
+}
+
+}  // namespace frac

@@ -1,0 +1,29 @@
+// Dataset CSV import/export.
+//
+// Format (one file per dataset):
+//   header:  <name>:real, <name>:cat:<arity>, ..., label
+//   rows:    numeric cells ('?' = missing), final cell normal|anomaly
+// Categorical cells are integer codes in [0, arity).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace frac {
+
+/// Parses a dataset from a stream. Throws std::runtime_error /
+/// std::invalid_argument with a row/column-identifying message on bad input.
+Dataset read_dataset_csv(std::istream& in);
+
+/// Loads a dataset file.
+Dataset load_dataset_csv(const std::string& path);
+
+/// Writes a dataset to a stream in the format above.
+void write_dataset_csv(std::ostream& out, const Dataset& data);
+
+/// Saves a dataset file.
+void save_dataset_csv(const std::string& path, const Dataset& data);
+
+}  // namespace frac

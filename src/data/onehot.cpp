@@ -1,0 +1,51 @@
+#include "data/onehot.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace frac {
+
+OneHotEncoder::OneHotEncoder(const Schema& schema) : schema_(schema) {
+  block_start_.reserve(schema.size());
+  for (std::size_t f = 0; f < schema.size(); ++f) {
+    block_start_.push_back(columns_.size());
+    const FeatureSpec& spec = schema[f];
+    if (spec.kind == FeatureKind::kReal) {
+      columns_.push_back({f, 0, false});
+    } else {
+      for (std::uint32_t k = 0; k < spec.arity; ++k) {
+        columns_.push_back({f, k, true});
+      }
+    }
+  }
+}
+
+void OneHotEncoder::encode_row(std::span<const double> in, std::span<double> out) const {
+  assert(in.size() == schema_.size());
+  assert(out.size() == columns_.size());
+  for (std::size_t f = 0; f < schema_.size(); ++f) {
+    const std::size_t start = block_start_[f];
+    const FeatureSpec& spec = schema_[f];
+    const double v = in[f];
+    if (spec.kind == FeatureKind::kReal) {
+      out[start] = v;
+      continue;
+    }
+    for (std::uint32_t k = 0; k < spec.arity; ++k) out[start + k] = 0.0;
+    if (!is_missing(v)) {
+      const auto code = static_cast<std::uint32_t>(v);
+      assert(code < spec.arity);
+      out[start + code] = 1.0;
+    }
+  }
+}
+
+Matrix OneHotEncoder::encode(const Dataset& data) const {
+  Matrix out(data.sample_count(), output_width());
+  for (std::size_t r = 0; r < data.sample_count(); ++r) {
+    encode_row(data.values().row(r), out.row(r));
+  }
+  return out;
+}
+
+}  // namespace frac

@@ -1,0 +1,47 @@
+// 1-hot expansion of mixed datasets (paper Fig. 2, step 1–2).
+//
+// Each categorical feature of arity k becomes k indicator columns; real
+// features pass through. The encoder records, for every output column, which
+// input feature (and category) it came from — the paper notes that after JL
+// projection one can still "identify input features that are present in many
+// of the highly predictive projected features", which requires this mapping.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace frac {
+
+/// Provenance of one encoded column.
+struct OneHotColumn {
+  std::size_t source_feature = 0;  // index into the input schema
+  /// Category index for indicator columns; unused (0) for real columns.
+  std::uint32_t category = 0;
+  bool is_indicator = false;
+};
+
+/// Stateless given a schema; encodes rows or whole datasets.
+class OneHotEncoder {
+ public:
+  explicit OneHotEncoder(const Schema& schema);
+
+  std::size_t output_width() const noexcept { return columns_.size(); }
+  const std::vector<OneHotColumn>& columns() const noexcept { return columns_; }
+
+  /// Encodes one row into `out` (size must equal output_width()). Missing
+  /// categorical values encode as all-zero indicators; missing reals as NaN.
+  void encode_row(std::span<const double> in, std::span<double> out) const;
+
+  /// Encodes the full value matrix.
+  Matrix encode(const Dataset& data) const;
+
+ private:
+  const Schema schema_;
+  std::vector<OneHotColumn> columns_;
+  /// Start of each input feature's output block.
+  std::vector<std::size_t> block_start_;
+};
+
+}  // namespace frac

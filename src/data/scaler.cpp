@@ -1,0 +1,67 @@
+#include "data/scaler.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "data/dataset.hpp"
+
+namespace frac {
+
+void StandardScaler::fit(const Matrix& train) {
+  const std::size_t cols = train.cols();
+  means_.assign(cols, 0.0);
+  scales_.assign(cols, 1.0);
+  std::vector<double> sum(cols, 0.0);
+  std::vector<double> sum_sq(cols, 0.0);
+  std::vector<std::size_t> count(cols, 0);
+  for (std::size_t r = 0; r < train.rows(); ++r) {
+    const auto row = train.row(r);
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double v = row[c];
+      if (is_missing(v)) continue;
+      sum[c] += v;
+      sum_sq[c] += v * v;
+      ++count[c];
+    }
+  }
+  for (std::size_t c = 0; c < cols; ++c) {
+    if (count[c] == 0) continue;
+    const double n = static_cast<double>(count[c]);
+    means_[c] = sum[c] / n;
+    const double var = std::max(0.0, sum_sq[c] / n - means_[c] * means_[c]);
+    const double sd = std::sqrt(var);
+    scales_[c] = sd > 1e-12 ? sd : 1.0;
+  }
+}
+
+void StandardScaler::restore(std::vector<double> means, std::vector<double> scales) {
+  if (means.size() != scales.size()) {
+    throw std::invalid_argument("StandardScaler::restore: size mismatch");
+  }
+  for (const double s : scales) {
+    if (s <= 0.0) throw std::invalid_argument("StandardScaler::restore: nonpositive scale");
+  }
+  means_ = std::move(means);
+  scales_ = std::move(scales);
+}
+
+void StandardScaler::reset_column(std::size_t c) {
+  means_.at(c) = 0.0;
+  scales_.at(c) = 1.0;
+}
+
+void StandardScaler::transform(Matrix& m) const {
+  assert(m.cols() == width());
+  for (std::size_t r = 0; r < m.rows(); ++r) transform_row(m.row(r));
+}
+
+void StandardScaler::transform_row(std::span<double> row) const {
+  assert(row.size() == width());
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    if (is_missing(row[c])) continue;
+    row[c] = (row[c] - means_[c]) / scales_[c];
+  }
+}
+
+}  // namespace frac

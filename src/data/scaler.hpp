@@ -1,0 +1,45 @@
+// Per-column standardization (zero mean, unit variance), fit on training
+// data only. The SVR solver assumes roughly standardized inputs for its
+// fixed regularization parameter to be meaningful across datasets, exactly
+// as libSVM usage recommends scaling.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace frac {
+
+/// Fitted mean/scale per column. Columns with (near-)zero variance get
+/// scale 1 so constants pass through unchanged instead of exploding.
+class StandardScaler {
+ public:
+  /// Fits on the rows of `train`; NaNs are ignored per-column.
+  void fit(const Matrix& train);
+
+  std::size_t width() const noexcept { return means_.size(); }
+
+  /// In-place transform of a matrix with matching width.
+  void transform(Matrix& m) const;
+
+  /// In-place transform of one row.
+  void transform_row(std::span<double> row) const;
+
+  const std::vector<double>& means() const noexcept { return means_; }
+  const std::vector<double>& scales() const noexcept { return scales_; }
+
+  /// Makes column c an identity (mean 0, scale 1). FRaC uses this to leave
+  /// categorical code columns untouched while standardizing real ones.
+  void reset_column(std::size_t c);
+
+  /// Restores fitted state directly (deserialization). Sizes must match and
+  /// every scale must be positive.
+  void restore(std::vector<double> means, std::vector<double> scales);
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> scales_;
+};
+
+}  // namespace frac

@@ -1,0 +1,41 @@
+#include "data/schema.hpp"
+
+#include <stdexcept>
+
+namespace frac {
+
+Schema Schema::all_real(std::size_t count, const std::string& prefix) {
+  std::vector<FeatureSpec> specs;
+  specs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    specs.push_back({prefix + std::to_string(i), FeatureKind::kReal, 0});
+  }
+  return Schema(std::move(specs));
+}
+
+Schema Schema::all_categorical(std::size_t count, std::uint32_t arity, const std::string& prefix) {
+  if (arity < 2) throw std::invalid_argument("categorical arity must be >= 2");
+  std::vector<FeatureSpec> specs;
+  specs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    specs.push_back({prefix + std::to_string(i), FeatureKind::kCategorical, arity});
+  }
+  return Schema(std::move(specs));
+}
+
+Schema Schema::select(const std::vector<std::size_t>& indices) const {
+  std::vector<FeatureSpec> specs;
+  specs.reserve(indices.size());
+  for (const std::size_t i : indices) specs.push_back((*this)[i]);
+  return Schema(std::move(specs));
+}
+
+std::size_t Schema::one_hot_width() const {
+  std::size_t width = 0;
+  for (const auto& spec : features_) {
+    width += spec.kind == FeatureKind::kReal ? 1 : spec.arity;
+  }
+  return width;
+}
+
+}  // namespace frac

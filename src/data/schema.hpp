@@ -1,0 +1,64 @@
+// Feature schema for mixed real/categorical datasets.
+//
+// FRaC is defined over data that is "real, categorical, or mixed"; the schema
+// records, per column, which it is. Categorical values are stored as codes
+// 0..arity-1 inside the dataset's double matrix (SNP genotypes are the ternary
+// {0,1,2} case from the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace frac {
+
+enum class FeatureKind : std::uint8_t { kReal, kCategorical };
+
+/// One column's description.
+struct FeatureSpec {
+  std::string name;
+  FeatureKind kind = FeatureKind::kReal;
+  /// Number of categories for kCategorical; ignored (0) for kReal.
+  std::uint32_t arity = 0;
+
+  bool operator==(const FeatureSpec&) const = default;
+};
+
+/// Ordered collection of feature specs.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<FeatureSpec> features) : features_(std::move(features)) {}
+
+  /// Convenience: f real-valued features named prefix0..prefix{f-1}.
+  static Schema all_real(std::size_t count, const std::string& prefix = "x");
+
+  /// Convenience: f categorical features of equal arity.
+  static Schema all_categorical(std::size_t count, std::uint32_t arity,
+                                const std::string& prefix = "snp");
+
+  std::size_t size() const noexcept { return features_.size(); }
+  const FeatureSpec& operator[](std::size_t i) const { return features_.at(i); }
+  const std::vector<FeatureSpec>& features() const noexcept { return features_; }
+
+  void add(FeatureSpec spec) { features_.push_back(std::move(spec)); }
+
+  bool is_real(std::size_t i) const { return (*this)[i].kind == FeatureKind::kReal; }
+  bool is_categorical(std::size_t i) const {
+    return (*this)[i].kind == FeatureKind::kCategorical;
+  }
+
+  /// New schema keeping only `indices`, in the given order.
+  Schema select(const std::vector<std::size_t>& indices) const;
+
+  /// Sum of arities over categorical features plus count of real features:
+  /// the width of the 1-hot expanded representation (paper Fig. 2).
+  std::size_t one_hot_width() const;
+
+  bool operator==(const Schema&) const = default;
+
+ private:
+  std::vector<FeatureSpec> features_;
+};
+
+}  // namespace frac

@@ -1,0 +1,114 @@
+#include "data/snp_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/kernels.hpp"
+#include "util/string_util.hpp"
+
+namespace frac {
+
+void SnpModelConfig::validate() const {
+  if (features == 0) throw std::invalid_argument("snp model: zero features");
+  if (block_size == 0) throw std::invalid_argument("snp model: zero block_size");
+  if (ld_strength < 0.0 || ld_strength > 1.0) {
+    throw std::invalid_argument("snp model: ld_strength must be in [0,1]");
+  }
+  if (fst <= 0.0 || fst >= 1.0) throw std::invalid_argument("snp model: fst must be in (0,1)");
+  if (fst_het_exponent < 0.0) {
+    throw std::invalid_argument("snp model: fst_het_exponent must be >= 0");
+  }
+  if (reference_drift_scale <= 0.0 || reference_drift_scale > 1.0) {
+    throw std::invalid_argument("snp model: reference_drift_scale must be in (0, 1]");
+  }
+  if (populations == 0) throw std::invalid_argument("snp model: zero populations");
+  if (freq_min <= 0.0 || freq_max >= 1.0 || freq_min > freq_max) {
+    throw std::invalid_argument("snp model: bad frequency range");
+  }
+  if (disease_snps > features) throw std::invalid_argument("snp model: too many disease snps");
+  if (disease_shift < -1.0 || disease_shift > 1.0) {
+    throw std::invalid_argument("snp model: disease_shift must be in [-1,1]");
+  }
+}
+
+SnpModel::SnpModel(const SnpModelConfig& config) : config_(config) {
+  config_.validate();
+  block_count_ = (config_.features + config_.block_size - 1) / config_.block_size;
+  Rng rng(config_.seed);
+  const std::size_t f = config_.features;
+  freq_.resize(config_.populations * f);
+  threshold_.resize(config_.populations * f);
+  anomaly_threshold_.resize(config_.populations * f);
+
+  // Balding–Nichols: shared ancestral frequency, per-population drift.
+  for (std::size_t j = 0; j < f; ++j) {
+    const double ancestral = rng.uniform(config_.freq_min, config_.freq_max);
+    // Optionally concentrate divergence in high-heterozygosity SNPs.
+    const double het = 4.0 * ancestral * (1.0 - ancestral);
+    const double fst_j = std::max(
+        1e-4, config_.fst * (config_.fst_het_exponent == 0.0
+                                 ? 1.0
+                                 : std::pow(het, config_.fst_het_exponent)));
+    for (std::size_t pop = 0; pop < config_.populations; ++pop) {
+      const double pop_fst =
+          std::max(1e-4, pop == 0 ? fst_j * config_.reference_drift_scale : fst_j);
+      const double f_ratio = (1.0 - pop_fst) / pop_fst;
+      double p = rng.beta(ancestral * f_ratio, (1.0 - ancestral) * f_ratio);
+      // Keep variants common in every population (rare variants excluded by
+      // design, per the paper).
+      p = std::clamp(p, 0.02, 0.98);
+      freq_[pop * f + j] = p;
+      threshold_[pop * f + j] = normal_quantile(p);
+      const bool causal = j < config_.disease_snps;
+      const double p_anom =
+          causal ? std::clamp(p + config_.disease_shift, 0.02, 0.98) : p;
+      anomaly_threshold_[pop * f + j] = normal_quantile(p_anom);
+    }
+  }
+}
+
+double SnpModel::allele_frequency(std::size_t pop, std::size_t snp) const {
+  if (pop >= config_.populations || snp >= config_.features) {
+    throw std::out_of_range("allele_frequency: bad population or snp index");
+  }
+  return freq_[pop * config_.features + snp];
+}
+
+Dataset SnpModel::sample(std::size_t population, std::size_t count, Label label,
+                         Rng& rng) const {
+  if (population >= config_.populations) {
+    throw std::out_of_range(format("snp model: population %zu of %zu", population,
+                                   config_.populations));
+  }
+  const std::size_t f = config_.features;
+  const double* threshold = (label == Label::kAnomaly ? anomaly_threshold_ : threshold_).data() +
+                            population * f;
+  const double rho = config_.ld_strength;
+  const double shared_scale = std::sqrt(rho);
+  const double noise_scale = std::sqrt(1.0 - rho);
+  Matrix values(count, f);
+  for (std::size_t r = 0; r < count; ++r) {
+    const auto row = values.row(r);
+    // Two haplotypes per sample; one shared copula latent per block per
+    // haplotype, independent per-site noise. Allele_j = 1 iff the latent
+    // falls below Φ⁻¹(p_j), so the marginal is exactly Bernoulli(p_j).
+    for (std::size_t b = 0; b < block_count_; ++b) {
+      const std::size_t lo = b * config_.block_size;
+      const std::size_t hi = std::min(lo + config_.block_size, f);
+      for (int h = 0; h < 2; ++h) {
+        const double z = rng.normal();
+        for (std::size_t j = lo; j < hi; ++j) {
+          const double latent = shared_scale * z + noise_scale * rng.normal();
+          const double allele = latent < threshold[j] ? 1.0 : 0.0;
+          if (h == 0) row[j] = allele;
+          else row[j] += allele;
+        }
+      }
+    }
+  }
+  Schema schema = Schema::all_categorical(f, 3, "snp");
+  return Dataset(std::move(schema), std::move(values), std::vector<Label>(count, label));
+}
+
+}  // namespace frac

@@ -1,0 +1,94 @@
+// Synthetic SNP genotype cohorts (substitute for GSE6754 / the HapMap-based
+// schizophrenia compilation).
+//
+// Genotypes are ternary {0,1,2} = copies of the minor allele. The model has
+// the three properties the paper's SNP experiments exercise:
+//
+//  * Population structure — per-SNP allele frequencies follow the
+//    Balding–Nichols model: ancestral frequency p ~ Uniform(freq range),
+//    population-specific frequency ~ Beta(p(1-F)/F, (1-p)(1-F)/F) with
+//    Fst = F. The schizophrenia-analog experiment draws its training normals
+//    from population 0 and its "patients" from population 1, reproducing the
+//    paper's ancestry-confound finding (entropy filtering AUC ≈ 1).
+//
+//  * Linkage disequilibrium — a Gaussian-copula haplotype model: each
+//    haplotype draws one latent z per LD block, each site adds independent
+//    noise (latent_j = √ρ·z + √(1−ρ)·ε_j with ρ = ld_strength), and the
+//    allele is 1 iff latent_j < Φ⁻¹(p_j). Marginals stay *exactly*
+//    Bernoulli(p_j) — LD never distorts allele frequencies — while
+//    within-block correlation is what gives FRaC's per-SNP decision trees
+//    something to predict.
+//
+//  * Optional disease effects — a set of causal SNPs whose allele frequency
+//    is shifted in anomalous samples by shifting the copula threshold (LD
+//    structure is preserved); the autism analog sets the effect to 0 so
+//    full-FRaC AUC ≈ 0.5, matching the paper.
+//
+// Only common variants are generated (the paper notes rare variants are
+// useless for anomaly detection: a rare variant always looks anomalous).
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace frac {
+
+struct SnpModelConfig {
+  std::size_t features = 600;
+  std::size_t block_size = 20;     ///< SNPs per LD block (last block may be short)
+  double ld_strength = 0.7;        ///< copula latent correlation ρ within a block
+  double fst = 0.1;                ///< Balding–Nichols divergence between populations
+  /// Couples per-SNP divergence to ancestral heterozygosity:
+  /// F_j = fst · h_j^exponent with h_j = 4·p_j·(1−p_j). 0 (default) gives
+  /// uniform Fst; larger exponents concentrate population divergence in the
+  /// high-heterozygosity SNPs — the ancestry-informative-marker structure
+  /// that makes entropy filtering shine on the schizophrenia cohort
+  /// (paper Table V: entropy AUC 1.0 > random-ensemble 0.86).
+  double fst_het_exponent = 0.0;
+  /// Scales population 0's drift from the ancestral frequencies (population
+  /// 1..k keep the full fst). < 1 models a large reference population (the
+  /// HapMap-style training normals) versus a drifted/bottlenecked cohort:
+  /// high-entropy SNPs in the reference then coincide with the
+  /// ancestry-divergent ones, which is what lets the paper's entropy filter
+  /// find ancestry markers on the schizophrenia data.
+  double reference_drift_scale = 1.0;
+  std::size_t populations = 2;
+  double freq_min = 0.1;           ///< ancestral allele-frequency range
+  double freq_max = 0.9;           ///<   (common variants only)
+  std::size_t disease_snps = 0;    ///< causal SNPs (the first k feature indices)
+  double disease_shift = 0.0;      ///< allele-frequency shift in anomalies
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+/// Fixed SNP generative model: allele frequencies are sampled once at
+/// construction, so separately sampled cohorts share the same genome
+/// structure (as the paper's train/test cohorts do).
+class SnpModel {
+ public:
+  explicit SnpModel(const SnpModelConfig& config);
+
+  const SnpModelConfig& config() const noexcept { return config_; }
+
+  /// Samples `count` genotype rows from `population` with the given label.
+  /// Disease shifts apply only to kAnomaly rows.
+  Dataset sample(std::size_t population, std::size_t count, Label label, Rng& rng) const;
+
+  /// Population-`pop` allele frequency of SNP j (exposed for tests).
+  double allele_frequency(std::size_t pop, std::size_t snp) const;
+
+ private:
+  SnpModelConfig config_;
+  std::size_t block_count_ = 0;
+  /// freq_[pop * features + snp]
+  std::vector<double> freq_;
+  /// Copula thresholds Φ⁻¹(freq), same indexing; anomaly-side thresholds
+  /// embed the disease shift for the causal SNPs.
+  std::vector<double> threshold_;
+  std::vector<double> anomaly_threshold_;
+};
+
+}  // namespace frac

@@ -1,0 +1,54 @@
+#include "data/split.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace frac {
+
+Replicate make_replicate(const Dataset& data, double train_fraction, Rng& rng) {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    throw std::invalid_argument("train_fraction must be in (0, 1)");
+  }
+  std::vector<std::size_t> normals = data.normal_indices();
+  if (normals.size() < 2) {
+    throw std::invalid_argument("need at least 2 normal samples to split");
+  }
+  rng.shuffle(normals);
+  std::size_t train_n =
+      static_cast<std::size_t>(train_fraction * static_cast<double>(normals.size()));
+  train_n = std::clamp<std::size_t>(train_n, 1, normals.size() - 1);
+
+  std::vector<std::size_t> train_rows(normals.begin(),
+                                      normals.begin() + static_cast<std::ptrdiff_t>(train_n));
+  std::vector<std::size_t> test_rows(normals.begin() + static_cast<std::ptrdiff_t>(train_n),
+                                     normals.end());
+  const std::vector<std::size_t> anomalies = data.anomaly_indices();
+  test_rows.insert(test_rows.end(), anomalies.begin(), anomalies.end());
+
+  // Deterministic order within each side keeps downstream runs reproducible.
+  std::sort(train_rows.begin(), train_rows.end());
+  std::sort(test_rows.begin(), test_rows.end());
+  return {data.select_samples(train_rows), data.select_samples(test_rows)};
+}
+
+std::vector<Replicate> make_replicates(const Dataset& data, std::size_t count,
+                                       double train_fraction, Rng& rng) {
+  std::vector<Replicate> reps;
+  reps.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Rng child = rng.split(i);
+    reps.push_back(make_replicate(data, train_fraction, child));
+  }
+  return reps;
+}
+
+Replicate make_fixed_replicate(const Dataset& data, const std::vector<std::size_t>& train_rows,
+                               const std::vector<std::size_t>& test_rows) {
+  Replicate rep{data.select_samples(train_rows), data.select_samples(test_rows)};
+  if (rep.train.anomaly_count() != 0) {
+    throw std::invalid_argument("training rows must all be normal samples");
+  }
+  return rep;
+}
+
+}  // namespace frac

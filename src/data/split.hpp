@@ -1,0 +1,32 @@
+// Replicate construction, following the paper's experimental design:
+// "Each replicate consists of a training set containing a randomly selected
+//  two-thirds of the normal samples. The test set consists of the remaining
+//  normal samples as well as all non-normal samples."
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace frac {
+
+/// One train/test replicate. Train contains only normal samples.
+struct Replicate {
+  Dataset train;
+  Dataset test;
+};
+
+/// Builds one replicate with `train_fraction` of the normals in training.
+Replicate make_replicate(const Dataset& data, double train_fraction, Rng& rng);
+
+/// Builds `count` independent replicates (paper default: 5 at 2/3).
+std::vector<Replicate> make_replicates(const Dataset& data, std::size_t count,
+                                       double train_fraction, Rng& rng);
+
+/// Fixed split by explicit sample indices (used for the schizophrenia-style
+/// design where train and test cohorts come from different sources).
+Replicate make_fixed_replicate(const Dataset& data, const std::vector<std::size_t>& train_rows,
+                               const std::vector<std::size_t>& test_rows);
+
+}  // namespace frac

@@ -1,0 +1,75 @@
+// Paper-analog cohort registry.
+//
+// One CohortSpec per dataset row of the paper's Table I, with sample counts
+// taken from the paper and feature counts scaled down (see DESIGN.md §5) so
+// the full experiment grid runs on one machine. Generator parameters are
+// calibrated so full-FRaC AUC lands in each dataset's Table II band.
+// FRAC_BENCH_SCALE (a positive float, default 1.0) rescales feature counts
+// for quick smoke runs or heavier sweeps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/expression_generator.hpp"
+#include "data/snp_generator.hpp"
+#include "data/split.hpp"
+#include "frac/frac.hpp"
+
+namespace frac {
+
+enum class CohortKind { kExpression, kSnp };
+
+struct CohortSpec {
+  std::string name;
+  CohortKind kind = CohortKind::kExpression;
+  std::size_t paper_features = 0;   ///< Table I value (documentation column)
+  std::size_t normal_samples = 0;   ///< Table I value (used as-is)
+  std::size_t anomaly_samples = 0;  ///< Table I value (used as-is)
+  double paper_full_auc = 0.0;      ///< Table II calibration target (0 = n/a)
+
+  ExpressionModelConfig expression;  ///< used when kind == kExpression
+  SnpModelConfig snp;                ///< used when kind == kSnp
+
+  /// Schizophrenia-style design: training normals from population 0, test
+  /// anomalies from population 1 (ancestry confounded with disease status).
+  bool ancestry_confound = false;
+  std::size_t test_normal_samples = 0;  ///< only for ancestry_confound cohorts
+
+  std::uint64_t seed = 0;
+
+  /// Feature count after FRAC_BENCH_SCALE.
+  std::size_t scaled_features() const;
+};
+
+/// All eight paper-analog cohorts, in Table I order.
+const std::vector<CohortSpec>& paper_cohorts();
+
+/// The six expression cohorts plus autism (the grid of Tables II–IV).
+std::vector<CohortSpec> table_grid_cohorts();
+
+/// Lookup by name; throws std::invalid_argument for unknown names.
+const CohortSpec& cohort_by_name(const std::string& name);
+
+/// Samples the pooled cohort (normals + anomalies, shuffled). Not valid for
+/// ancestry_confound cohorts — use make_confounded_replicate.
+Dataset make_cohort(const CohortSpec& spec);
+
+/// The fixed schizophrenia-style replicate: train = population-0 normals,
+/// test = held-out population-0 normals + population-1 anomalies.
+Replicate make_confounded_replicate(const CohortSpec& spec);
+
+/// Replicates per the paper's protocol (2/3 of normals in training).
+std::vector<Replicate> make_cohort_replicates(const CohortSpec& spec, std::size_t count);
+
+/// The per-cohort FracConfig the paper prescribes: linear SVR for
+/// expression data, decision trees for SNP data.
+FracConfig paper_frac_config(const CohortSpec& spec);
+
+/// FRAC_BENCH_SCALE env var (default 1.0; must be > 0).
+double bench_scale();
+
+/// Replicate count honoring FRAC_BENCH_REPLICATES (default: paper's 5).
+std::size_t bench_replicates();
+
+}  // namespace frac

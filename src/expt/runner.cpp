@@ -1,0 +1,61 @@
+#include "expt/runner.hpp"
+
+#include <stdexcept>
+
+#include "linalg/kernels.hpp"
+
+namespace frac {
+
+PerReplicate evaluate_method(const std::vector<Replicate>& replicates, const MethodFn& method,
+                             std::uint64_t seed, ThreadPool& /*pool*/) {
+  PerReplicate out;
+  Rng master(seed);
+  for (std::size_t r = 0; r < replicates.size(); ++r) {
+    Rng rep_rng = master.split(r);
+    const ScoredRun run = method(replicates[r], rep_rng);
+    out.auc.push_back(auc(run.test_scores, replicates[r].test.labels()));
+    out.cpu_seconds.push_back(run.resources.cpu_seconds);
+    out.peak_bytes.push_back(static_cast<double>(run.resources.peak_bytes));
+  }
+  return out;
+}
+
+AggregateStats aggregate(const PerReplicate& results) {
+  AggregateStats stats;
+  stats.auc = mean_sd(results.auc);
+  stats.mean_cpu_seconds = mean(results.cpu_seconds);
+  stats.mean_peak_bytes = mean(results.peak_bytes);
+  return stats;
+}
+
+FractionStats fraction_of(const PerReplicate& variant, const PerReplicate& full) {
+  if (variant.replicate_count() != full.replicate_count() || variant.replicate_count() == 0) {
+    throw std::invalid_argument("fraction_of: replicate counts differ or are zero");
+  }
+  std::vector<double> auc_ratio(variant.replicate_count());
+  for (std::size_t r = 0; r < variant.replicate_count(); ++r) {
+    if (full.auc[r] <= 0.0) throw std::invalid_argument("fraction_of: full AUC is zero");
+    auc_ratio[r] = variant.auc[r] / full.auc[r];
+  }
+  FractionStats stats;
+  stats.auc_fraction = mean_sd(auc_ratio);
+  const double full_time = mean(full.cpu_seconds);
+  const double full_mem = mean(full.peak_bytes);
+  stats.time_fraction = full_time > 0.0 ? mean(variant.cpu_seconds) / full_time : 0.0;
+  stats.mem_fraction = full_mem > 0.0 ? mean(variant.peak_bytes) / full_mem : 0.0;
+  return stats;
+}
+
+FractionStats fraction_of_baseline(const PerReplicate& variant, double full_cpu_seconds,
+                                   double full_peak_bytes) {
+  if (full_cpu_seconds <= 0.0 || full_peak_bytes <= 0.0) {
+    throw std::invalid_argument("fraction_of_baseline: baselines must be positive");
+  }
+  FractionStats stats;
+  stats.auc_fraction = mean_sd(variant.auc);  // raw AUC (Table V style)
+  stats.time_fraction = mean(variant.cpu_seconds) / full_cpu_seconds;
+  stats.mem_fraction = mean(variant.peak_bytes) / full_peak_bytes;
+  return stats;
+}
+
+}  // namespace frac

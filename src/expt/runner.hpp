@@ -1,0 +1,55 @@
+// Replicate-loop experiment runner: applies an anomaly-detection method to
+// every replicate, collects per-replicate AUC / CPU time / peak memory, and
+// reduces them the way the paper's tables do (mean and sd across replicates;
+// variant-over-full fractions computed per replicate, then averaged).
+#pragma once
+
+#include <functional>
+
+#include "data/split.hpp"
+#include "frac/frac.hpp"
+#include "ml/metrics.hpp"
+
+namespace frac {
+
+/// A method under evaluation: scores one replicate's test set. The Rng is a
+/// fresh independent stream per replicate (methods with internal randomness
+/// — random filters, diverse subsets, JL seeds — draw from it).
+using MethodFn = std::function<ScoredRun(const Replicate& replicate, Rng& rng)>;
+
+/// Per-replicate measurements.
+struct PerReplicate {
+  std::vector<double> auc;
+  std::vector<double> cpu_seconds;
+  std::vector<double> peak_bytes;
+
+  std::size_t replicate_count() const { return auc.size(); }
+};
+
+/// Runs the method over all replicates.
+PerReplicate evaluate_method(const std::vector<Replicate>& replicates, const MethodFn& method,
+                             std::uint64_t seed, ThreadPool& pool);
+
+/// Table II-style aggregate: AUC mean (sd), mean CPU time, mean peak bytes.
+struct AggregateStats {
+  MeanSd auc;
+  double mean_cpu_seconds = 0.0;
+  double mean_peak_bytes = 0.0;
+};
+AggregateStats aggregate(const PerReplicate& results);
+
+/// Table III/IV-style fractions of a full run: per-replicate AUC ratios
+/// (mean, sd), and ratios of mean time / mean peak memory.
+struct FractionStats {
+  MeanSd auc_fraction;
+  double time_fraction = 0.0;
+  double mem_fraction = 0.0;
+};
+FractionStats fraction_of(const PerReplicate& variant, const PerReplicate& full);
+
+/// Fractions against externally supplied full-run baselines (the paper's
+/// Table V divides by *extrapolated* schizophrenia full-run cost).
+FractionStats fraction_of_baseline(const PerReplicate& variant, double full_cpu_seconds,
+                                   double full_peak_bytes);
+
+}  // namespace frac

@@ -1,0 +1,62 @@
+#include "expt/tables.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace frac {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument(format("TextTable: row has %zu cells, header has %zu",
+                                       cells.size(), headers_.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size()) out << std::string(widths[c] - row[c].size() + 2, ' ');
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt_mean_sd(const MeanSd& value) {
+  return format("%.2f (%.2f)", value.mean, value.sd);
+}
+
+std::string fmt_fraction(double value) { return format("%.3f", value); }
+
+std::string fmt_time(double seconds) {
+  if (seconds < 1e-3) return format("%.1f us", seconds * 1e6);
+  if (seconds < 1.0) return format("%.1f ms", seconds * 1e3);
+  if (seconds < 120.0) return format("%.2f s", seconds);
+  if (seconds < 7200.0) return format("%.2f min", seconds / 60.0);
+  return format("%.2f h", seconds / 3600.0);
+}
+
+std::string fmt_bytes(double bytes) {
+  if (bytes < 1024.0) return format("%.0f B", bytes);
+  if (bytes < 1024.0 * 1024.0) return format("%.2f KB", bytes / 1024.0);
+  if (bytes < 1024.0 * 1024.0 * 1024.0) return format("%.2f MB", bytes / (1024.0 * 1024.0));
+  return format("%.2f GB", bytes / (1024.0 * 1024.0 * 1024.0));
+}
+
+}  // namespace frac

@@ -1,0 +1,40 @@
+// Fixed-width text tables and number formatting for the bench binaries,
+// so each bench prints rows shaped like the paper's tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "expt/runner.hpp"
+
+namespace frac {
+
+/// Column-aligned plain-text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds one row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "0.73 (0.06)"
+std::string fmt_mean_sd(const MeanSd& value);
+
+/// Fraction with three decimals: "0.046".
+std::string fmt_fraction(double value);
+
+/// Seconds as "12.3 s" / "1.2 h" as magnitude warrants.
+std::string fmt_time(double seconds);
+
+/// Bytes as "4.59 MB" / "1.2 GB" as magnitude warrants.
+std::string fmt_bytes(double bytes);
+
+}  // namespace frac

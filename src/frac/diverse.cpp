@@ -1,0 +1,71 @@
+#include "frac/diverse.hpp"
+
+#include <stdexcept>
+
+#include "util/stopwatch.hpp"
+
+namespace frac {
+
+std::vector<FeaturePlan> make_diverse_plan(std::size_t feature_count, double p,
+                                           std::size_t predictors_per_target, Rng& rng) {
+  if (p <= 0.0 || p > 1.0) {
+    throw std::invalid_argument("make_diverse_plan: p must be in (0, 1]");
+  }
+  if (predictors_per_target == 0) {
+    throw std::invalid_argument("make_diverse_plan: need at least one predictor per target");
+  }
+  if (feature_count < 2) {
+    throw std::invalid_argument("make_diverse_plan: need at least 2 features");
+  }
+  std::vector<FeaturePlan> plan;
+  plan.reserve(feature_count * predictors_per_target);
+  for (std::size_t i = 0; i < feature_count; ++i) {
+    for (std::size_t rep = 0; rep < predictors_per_target; ++rep) {
+      FeaturePlan unit;
+      unit.target = i;
+      for (std::size_t j = 0; j < feature_count; ++j) {
+        if (j != i && rng.bernoulli(p)) unit.inputs.push_back(j);
+      }
+      if (unit.inputs.empty()) {
+        // Degenerate draw: keep one random input so the unit stays trainable.
+        std::size_t j = rng.uniform_index(feature_count - 1);
+        if (j >= i) ++j;
+        unit.inputs.push_back(j);
+      }
+      plan.push_back(std::move(unit));
+    }
+  }
+  return plan;
+}
+
+ScoredRun run_diverse_frac(const Replicate& replicate, const FracConfig& config, double p,
+                           std::size_t predictors_per_target, Rng& rng, ThreadPool& pool) {
+  const CpuStopwatch cpu;
+  std::vector<FeaturePlan> plan =
+      make_diverse_plan(replicate.train.feature_count(), p, predictors_per_target, rng);
+  const FracModel model =
+      FracModel::train_with_plan(replicate.train, std::move(plan), config, pool);
+  ScoredRun run;
+  run.test_scores = model.score(replicate.test, pool);
+  run.resources = model.report();
+  run.resources.cpu_seconds = cpu.seconds();
+  return run;
+}
+
+MemberScores run_diverse_member(const Replicate& replicate, const FracConfig& config, double p,
+                                std::size_t predictors_per_target, Rng& rng, ThreadPool& pool) {
+  const CpuStopwatch cpu;
+  std::vector<FeaturePlan> plan =
+      make_diverse_plan(replicate.train.feature_count(), p, predictors_per_target, rng);
+  const FracModel model =
+      FracModel::train_with_plan(replicate.train, std::move(plan), config, pool);
+  MemberScores member;
+  member.per_feature = model.per_feature_scores(replicate.test, pool);
+  member.feature_ids.resize(replicate.train.feature_count());
+  for (std::size_t j = 0; j < member.feature_ids.size(); ++j) member.feature_ids[j] = j;
+  member.resources = model.report();
+  member.resources.cpu_seconds = cpu.seconds();
+  return member;
+}
+
+}  // namespace frac

@@ -1,0 +1,97 @@
+#include "frac/ensemble.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "frac/diverse.hpp"
+#include "frac/filtering.hpp"
+#include "linalg/kernels.hpp"
+
+namespace frac {
+
+std::vector<double> combine_median(std::span<const MemberScores> members,
+                                   std::size_t feature_count) {
+  if (members.empty()) throw std::invalid_argument("combine_median: no members");
+  const std::size_t n = members.front().per_feature.rows();
+  for (const MemberScores& m : members) {
+    if (m.per_feature.rows() != n) {
+      throw std::invalid_argument("combine_median: member test sizes differ");
+    }
+    if (m.per_feature.cols() != m.feature_ids.size()) {
+      throw std::invalid_argument("combine_median: member column/id mismatch");
+    }
+    for (const std::size_t id : m.feature_ids) {
+      if (id >= feature_count) {
+        throw std::invalid_argument("combine_median: feature id out of range");
+      }
+    }
+  }
+
+  // Per original feature, the (member, column) pairs that scored it.
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> sources(feature_count);
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    for (std::size_t c = 0; c < members[m].feature_ids.size(); ++c) {
+      sources[members[m].feature_ids[c]].emplace_back(m, c);
+    }
+  }
+
+  std::vector<double> scores(n, 0.0);
+  std::vector<double> feature_scores;
+  for (std::size_t r = 0; r < n; ++r) {
+    double total = 0.0;
+    for (std::size_t f = 0; f < feature_count; ++f) {
+      feature_scores.clear();
+      for (const auto& [m, c] : sources[f]) {
+        const double v = members[m].per_feature(r, c);
+        if (!is_missing(v)) feature_scores.push_back(v);
+      }
+      if (!feature_scores.empty()) total += median(feature_scores);
+    }
+    scores[r] = total;
+  }
+  return scores;
+}
+
+ScoredRun run_random_filter_ensemble(const Replicate& replicate, const FracConfig& config,
+                                     double keep_fraction, std::size_t members, Rng& rng,
+                                     ThreadPool& pool) {
+  if (members == 0) throw std::invalid_argument("run_random_filter_ensemble: no members");
+  std::vector<MemberScores> member_scores;
+  member_scores.reserve(members);
+  ScoredRun run;
+  for (std::size_t m = 0; m < members; ++m) {
+    Rng member_rng = rng.split(m);
+    FracConfig member_config = config;
+    member_config.seed = member_rng.split(1000)();
+    member_scores.push_back(run_full_filtered_member(replicate, member_config,
+                                                     FilterMethod::kRandom, keep_fraction,
+                                                     member_rng, pool));
+    // Members run one at a time; each member's models are freed once its
+    // per-feature scores are extracted, so peaks max (merge_sequential).
+    run.resources.merge_sequential(member_scores.back().resources);
+  }
+  run.test_scores = combine_median(member_scores, replicate.train.feature_count());
+  return run;
+}
+
+ScoredRun run_diverse_ensemble(const Replicate& replicate, const FracConfig& config, double p,
+                               std::size_t members, Rng& rng, ThreadPool& pool) {
+  if (members == 0) throw std::invalid_argument("run_diverse_ensemble: no members");
+  std::vector<MemberScores> member_scores;
+  member_scores.reserve(members);
+  ScoredRun run;
+  for (std::size_t m = 0; m < members; ++m) {
+    Rng member_rng = rng.split(m);
+    FracConfig member_config = config;
+    member_config.seed = member_rng.split(1000)();
+    member_scores.push_back(
+        run_diverse_member(replicate, member_config, p, 1, member_rng, pool));
+    // The paper's diverse-ensemble memory reflects members held together
+    // (Table IV Mem% ≈ members × p), so peaks add (merge_concurrent).
+    run.resources.merge_concurrent(member_scores.back().resources);
+  }
+  run.test_scores = combine_median(member_scores, replicate.train.feature_count());
+  return run;
+}
+
+}  // namespace frac

@@ -1,0 +1,47 @@
+// FRaC ensembles (paper §II.C): "one simply sums all the normalized
+// surprisal scores over all the members of the ensemble. If multiple members
+// of the ensemble have a score for one feature, one can simply combine them
+// by taking the median score for that feature."
+//
+// A member therefore reports *per-feature* NS contributions in the original
+// feature space (NaN where the member built no predictor); the combiner
+// takes the per-feature median over members that scored it, then sums over
+// features.
+#pragma once
+
+#include <span>
+
+#include "data/split.hpp"
+#include "frac/frac.hpp"
+
+namespace frac {
+
+/// One ensemble member's scores, mapped back to the original feature space.
+struct MemberScores {
+  /// n_test × |feature_ids|: per-feature NS contributions (NaN = no score).
+  Matrix per_feature;
+  /// Original-dataset feature index of each column of per_feature.
+  std::vector<std::size_t> feature_ids;
+  ResourceReport resources;
+};
+
+/// Median-combines member scores into one NS per test sample.
+/// `feature_count` is the original feature-space width.
+std::vector<double> combine_median(std::span<const MemberScores> members,
+                                   std::size_t feature_count);
+
+/// Ensemble of `members` random full-filter FRaC runs at `keep_fraction`
+/// (paper: 10 members at 0.05). Members run sequentially and are freed after
+/// scoring, so peak memory is one member's peak — the regime in which the
+/// paper's Table III reports ensemble Mem% at the single-member level.
+ScoredRun run_random_filter_ensemble(const Replicate& replicate, const FracConfig& config,
+                                     double keep_fraction, std::size_t members, Rng& rng,
+                                     ThreadPool& pool);
+
+/// Ensemble of `members` diverse FRaC runs at inclusion probability `p`
+/// (paper: 10 members at 1/20). Members are held concurrently (the paper's
+/// Table IV reports diverse-ensemble memory at ~the sum of members).
+ScoredRun run_diverse_ensemble(const Replicate& replicate, const FracConfig& config, double p,
+                               std::size_t members, Rng& rng, ThreadPool& pool);
+
+}  // namespace frac

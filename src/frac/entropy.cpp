@@ -1,0 +1,25 @@
+#include "frac/entropy.hpp"
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "ml/kde/gaussian_kde.hpp"
+
+namespace frac {
+
+double feature_entropy(std::span<const double> column, const FeatureSpec& spec,
+                       const EntropyConfig& config) {
+  if (spec.kind == FeatureKind::kCategorical) {
+    std::vector<std::size_t> counts(spec.arity, 0);
+    for (const double v : column) {
+      if (is_missing(v)) continue;
+      ++counts[static_cast<std::size_t>(v)];
+    }
+    return categorical_entropy(counts);
+  }
+  GaussianKde kde;
+  kde.fit(column);
+  return kde.differential_entropy(config.kde_grid_points);
+}
+
+}  // namespace frac

@@ -1,0 +1,137 @@
+#include "frac/error_model.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "linalg/kernels.hpp"
+#include "util/serialize.hpp"
+
+namespace frac {
+
+void GaussianErrorModel::fit(std::span<const double> residuals, double min_sd) {
+  if (residuals.empty()) throw std::invalid_argument("GaussianErrorModel::fit: no residuals");
+  if (min_sd <= 0.0) throw std::invalid_argument("GaussianErrorModel::fit: min_sd must be > 0");
+  mean_ = frac::mean(residuals);
+  sd_ = std::max(sample_stddev(residuals), min_sd);
+}
+
+double GaussianErrorModel::surprisal(double residual) const {
+  const double z = (residual - mean_) / sd_;
+  return 0.5 * z * z + std::log(sd_) + 0.5 * std::log(2.0 * std::numbers::pi);
+}
+
+void ConfusionErrorModel::fit(std::span<const std::uint32_t> true_codes,
+                              std::span<const std::uint32_t> predicted_codes,
+                              std::uint32_t arity, double alpha) {
+  if (true_codes.size() != predicted_codes.size()) {
+    throw std::invalid_argument("ConfusionErrorModel::fit: size mismatch");
+  }
+  if (arity < 2) throw std::invalid_argument("ConfusionErrorModel::fit: arity must be >= 2");
+  if (alpha <= 0.0) throw std::invalid_argument("ConfusionErrorModel::fit: alpha must be > 0");
+  // Validate before mutating any state, so a failed fit leaves the model
+  // in its previous (possibly unfitted) condition.
+  for (std::size_t i = 0; i < true_codes.size(); ++i) {
+    if (true_codes[i] >= arity || predicted_codes[i] >= arity) {
+      throw std::invalid_argument("ConfusionErrorModel::fit: code out of range");
+    }
+  }
+  arity_ = arity;
+  alpha_ = alpha;
+  counts_.assign(static_cast<std::size_t>(arity) * arity, 0);
+  col_totals_.assign(arity, 0);
+  for (std::size_t i = 0; i < true_codes.size(); ++i) {
+    ++counts_[static_cast<std::size_t>(true_codes[i]) * arity + predicted_codes[i]];
+    ++col_totals_[predicted_codes[i]];
+  }
+}
+
+double ConfusionErrorModel::surprisal(std::uint32_t true_code,
+                                      std::uint32_t predicted_code) const {
+  if (arity_ == 0) throw std::logic_error("ConfusionErrorModel::surprisal before fit");
+  if (true_code >= arity_ || predicted_code >= arity_) {
+    throw std::invalid_argument("ConfusionErrorModel::surprisal: code out of range");
+  }
+  const double numerator =
+      static_cast<double>(counts_[static_cast<std::size_t>(true_code) * arity_ + predicted_code]) +
+      alpha_;
+  const double denominator =
+      static_cast<double>(col_totals_[predicted_code]) + alpha_ * static_cast<double>(arity_);
+  return -std::log(numerator / denominator);
+}
+
+void GaussianErrorModel::save(std::ostream& out) const {
+  write_tagged(out, "gauss.mean", mean_);
+  write_tagged(out, "gauss.sd", sd_);
+}
+
+GaussianErrorModel GaussianErrorModel::load(std::istream& in) {
+  GaussianErrorModel model;
+  model.mean_ = read_tagged_double(in, "gauss.mean");
+  model.sd_ = read_tagged_double(in, "gauss.sd");
+  if (model.sd_ <= 0.0) throw std::runtime_error("GaussianErrorModel::load: sd must be > 0");
+  return model;
+}
+
+void KdeErrorModel::fit(std::span<const double> residuals, double density_floor) {
+  if (residuals.empty()) throw std::invalid_argument("KdeErrorModel::fit: no residuals");
+  if (density_floor <= 0.0) {
+    throw std::invalid_argument("KdeErrorModel::fit: density_floor must be > 0");
+  }
+  kde_.fit(residuals);
+  floor_ = density_floor;
+}
+
+double KdeErrorModel::surprisal(double residual) const {
+  return -std::log(std::max(kde_.pdf(residual), floor_));
+}
+
+double KdeErrorModel::bandwidth() const noexcept { return kde_.bandwidth(); }
+
+void KdeErrorModel::save(std::ostream& out) const {
+  write_tagged(out, "kdeerr.floor", floor_);
+  write_tagged(out, "kdeerr.points", kde_.points());
+}
+
+KdeErrorModel KdeErrorModel::load(std::istream& in) {
+  KdeErrorModel model;
+  model.floor_ = read_tagged_double(in, "kdeerr.floor");
+  const std::vector<double> points = read_tagged_doubles(in, "kdeerr.points");
+  model.kde_.fit(points);
+  return model;
+}
+
+void ConfusionErrorModel::save(std::ostream& out) const {
+  write_tagged(out, "conf.arity", static_cast<std::uint64_t>(arity_));
+  write_tagged(out, "conf.alpha", alpha_);
+  write_tagged(out, "conf.counts",
+               std::vector<std::uint64_t>(counts_.begin(), counts_.end()));
+}
+
+ConfusionErrorModel ConfusionErrorModel::load(std::istream& in) {
+  ConfusionErrorModel model;
+  model.arity_ = static_cast<std::uint32_t>(read_tagged_uint(in, "conf.arity"));
+  model.alpha_ = read_tagged_double(in, "conf.alpha");
+  const auto counts = read_tagged_uints(in, "conf.counts");
+  if (counts.size() != static_cast<std::size_t>(model.arity_) * model.arity_) {
+    throw std::runtime_error("ConfusionErrorModel::load: counts size mismatch");
+  }
+  model.counts_.assign(counts.begin(), counts.end());
+  model.col_totals_.assign(model.arity_, 0);
+  for (std::uint32_t t = 0; t < model.arity_; ++t) {
+    for (std::uint32_t p = 0; p < model.arity_; ++p) {
+      model.col_totals_[p] += model.counts_[static_cast<std::size_t>(t) * model.arity_ + p];
+    }
+  }
+  return model;
+}
+
+std::size_t ConfusionErrorModel::count(std::uint32_t true_code,
+                                       std::uint32_t predicted_code) const {
+  if (true_code >= arity_ || predicted_code >= arity_) {
+    throw std::invalid_argument("ConfusionErrorModel::count: code out of range");
+  }
+  return counts_[static_cast<std::size_t>(true_code) * arity_ + predicted_code];
+}
+
+}  // namespace frac

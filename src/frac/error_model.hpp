@@ -1,0 +1,96 @@
+// Error models: convert a predictor's output into −log P(true value | prediction).
+//
+// Continuous targets: a Gaussian fit to the cross-validated residuals
+// (true − predicted); surprisal is the Gaussian negative log density of the
+// test residual ("error models simply fit a Gaussian to the error
+// distribution"). A standard-deviation floor keeps surprisal finite when a
+// feature is perfectly predictable on the tiny training sets.
+//
+// Categorical targets: a Laplace-smoothed confusion matrix over the
+// cross-validated (true, predicted) pairs; surprisal is
+// −log P(true | predicted) estimated column-wise.
+// All surprisals are in nats.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "ml/kde/gaussian_kde.hpp"
+
+namespace frac {
+
+/// Gaussian error model over prediction residuals.
+class GaussianErrorModel {
+ public:
+  /// Fits mean/sd of residuals; sd is floored at `min_sd`.
+  void fit(std::span<const double> residuals, double min_sd = 1e-3);
+
+  /// −log N(residual; μ, σ).
+  double surprisal(double residual) const;
+
+  double mean() const noexcept { return mean_; }
+  double sd() const noexcept { return sd_; }
+
+  void save(std::ostream& out) const;
+  static GaussianErrorModel load(std::istream& in);
+
+ private:
+  double mean_ = 0.0;
+  double sd_ = 1.0;
+};
+
+/// Nonparametric error model: Gaussian KDE over the CV residuals, as the
+/// original FRaC paper used. This paper argues a plain Gaussian is safer at
+/// tiny n ("there is insufficient data to accurately learn a more detailed
+/// model"); both are provided so that claim can be measured
+/// (bench/ablation_error_models). A density floor keeps far-tail surprisal
+/// finite.
+class KdeErrorModel {
+ public:
+  /// Fits a KDE to the residuals. `density_floor` bounds surprisal at
+  /// −log(floor) for residuals far outside the training support.
+  void fit(std::span<const double> residuals, double density_floor = 1e-9);
+
+  /// −log max(pdf(residual), floor).
+  double surprisal(double residual) const;
+
+  double bandwidth() const noexcept;
+
+  void save(std::ostream& out) const;
+  static KdeErrorModel load(std::istream& in);
+
+ private:
+  GaussianKde kde_;
+  double floor_ = 1e-9;
+};
+
+/// Confusion-matrix error model for categorical targets.
+class ConfusionErrorModel {
+ public:
+  /// Fits from CV pairs; `true_codes[i]` and `predicted_codes[i]` in
+  /// [0, arity). Laplace smoothing with `alpha` pseudo-counts per cell.
+  void fit(std::span<const std::uint32_t> true_codes,
+           std::span<const std::uint32_t> predicted_codes, std::uint32_t arity,
+           double alpha = 1.0);
+
+  /// −log P(true_code | predicted_code).
+  double surprisal(std::uint32_t true_code, std::uint32_t predicted_code) const;
+
+  std::uint32_t arity() const noexcept { return arity_; }
+
+  /// Raw (unsmoothed) count of (true, predicted) pairs seen in fitting.
+  std::size_t count(std::uint32_t true_code, std::uint32_t predicted_code) const;
+
+  void save(std::ostream& out) const;
+  static ConfusionErrorModel load(std::istream& in);
+
+ private:
+  std::uint32_t arity_ = 0;
+  double alpha_ = 1.0;
+  std::vector<std::size_t> counts_;      // arity × arity, row = true, col = predicted
+  std::vector<std::size_t> col_totals_;  // per predicted code
+};
+
+}  // namespace frac

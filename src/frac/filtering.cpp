@@ -1,0 +1,126 @@
+#include "frac/filtering.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/stopwatch.hpp"
+
+namespace frac {
+
+std::vector<std::size_t> select_filtered_features(const Dataset& train, FilterMethod method,
+                                                  double keep_fraction, Rng& rng,
+                                                  const EntropyConfig& entropy) {
+  if (keep_fraction <= 0.0 || keep_fraction > 1.0) {
+    throw std::invalid_argument("select_filtered_features: keep_fraction must be in (0, 1]");
+  }
+  const std::size_t f = train.feature_count();
+  const std::size_t keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(keep_fraction * static_cast<double>(f)));
+
+  std::vector<std::size_t> kept;
+  if (method == FilterMethod::kRandom) {
+    kept = rng.sample_without_replacement(f, keep);
+  } else {
+    std::vector<double> entropies(f);
+    for (std::size_t j = 0; j < f; ++j) {
+      const std::vector<double> column = train.values().col(j);
+      const bool any_finite =
+          std::any_of(column.begin(), column.end(), [](double v) { return !is_missing(v); });
+      // An entirely missing column carries no information: rank it last.
+      entropies[j] = any_finite
+                         ? feature_entropy(column, train.schema()[j], entropy)
+                         : -std::numeric_limits<double>::infinity();
+    }
+    std::vector<std::size_t> order(f);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return entropies[a] > entropies[b]; });
+    kept.assign(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(keep));
+  }
+  std::sort(kept.begin(), kept.end());
+  return kept;
+}
+
+namespace {
+
+/// Shared body of the full-filter run: reduced datasets + ordinary FRaC.
+struct FullFilterOutput {
+  FracModel model;
+  Dataset test_reduced;
+  std::vector<std::size_t> kept;
+  double selection_seconds = 0.0;
+};
+
+FullFilterOutput train_full_filtered(const Replicate& replicate, const FracConfig& config,
+                                     FilterMethod method, double keep_fraction, Rng& rng,
+                                     ThreadPool& pool) {
+  const CpuStopwatch select_cpu;
+  std::vector<std::size_t> kept =
+      select_filtered_features(replicate.train, method, keep_fraction, rng, config.entropy);
+  const double selection_seconds = select_cpu.seconds();
+  Dataset train_reduced = replicate.train.select_features(kept);
+  Dataset test_reduced = replicate.test.select_features(kept);
+  FracModel model = FracModel::train(train_reduced, config, pool);
+  return {std::move(model), std::move(test_reduced), std::move(kept), selection_seconds};
+}
+
+}  // namespace
+
+ScoredRun run_full_filtered_frac(const Replicate& replicate, const FracConfig& config,
+                                 FilterMethod method, double keep_fraction, Rng& rng,
+                                 ThreadPool& pool) {
+  const CpuStopwatch cpu;
+  const FullFilterOutput out =
+      train_full_filtered(replicate, config, method, keep_fraction, rng, pool);
+  ScoredRun run;
+  run.test_scores = out.model.score(out.test_reduced, pool);
+  run.resources = out.model.report();
+  run.resources.cpu_seconds = cpu.seconds();
+  return run;
+}
+
+MemberScores run_full_filtered_member(const Replicate& replicate, const FracConfig& config,
+                                      FilterMethod method, double keep_fraction, Rng& rng,
+                                      ThreadPool& pool) {
+  const CpuStopwatch cpu;
+  const FullFilterOutput out =
+      train_full_filtered(replicate, config, method, keep_fraction, rng, pool);
+  MemberScores member;
+  member.per_feature = out.model.per_feature_scores(out.test_reduced, pool);
+  member.feature_ids = out.kept;
+  member.resources = out.model.report();
+  member.resources.cpu_seconds = cpu.seconds();
+  return member;
+}
+
+ScoredRun run_partial_filtered_frac(const Replicate& replicate, const FracConfig& config,
+                                    FilterMethod method, double keep_fraction, Rng& rng,
+                                    ThreadPool& pool) {
+  const CpuStopwatch cpu;
+  const std::vector<std::size_t> kept =
+      select_filtered_features(replicate.train, method, keep_fraction, rng, config.entropy);
+  const std::size_t f = replicate.train.feature_count();
+  // Targets: kept features. Inputs: every *other* feature, filtered or not.
+  std::vector<FeaturePlan> plan;
+  plan.reserve(kept.size());
+  for (const std::size_t target : kept) {
+    FeaturePlan p;
+    p.target = target;
+    p.inputs.reserve(f - 1);
+    for (std::size_t j = 0; j < f; ++j) {
+      if (j != target) p.inputs.push_back(j);
+    }
+    plan.push_back(std::move(p));
+  }
+  const FracModel model =
+      FracModel::train_with_plan(replicate.train, std::move(plan), config, pool);
+  ScoredRun run;
+  run.test_scores = model.score(replicate.test, pool);
+  run.resources = model.report();
+  run.resources.cpu_seconds = cpu.seconds();
+  return run;
+}
+
+}  // namespace frac

@@ -1,0 +1,386 @@
+#include "frac/frac.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include <fstream>
+
+#include "ml/cross_validation.hpp"
+#include "parallel/parallel_for.hpp"
+#include "util/logging.hpp"
+#include "util/serialize.hpp"
+#include "util/stopwatch.hpp"
+#include "util/string_util.hpp"
+
+namespace frac {
+
+std::vector<FeaturePlan> default_plan(std::size_t feature_count) {
+  std::vector<FeaturePlan> plan;
+  plan.reserve(feature_count);
+  for (std::size_t i = 0; i < feature_count; ++i) {
+    FeaturePlan p;
+    p.target = i;
+    p.inputs.reserve(feature_count - 1);
+    for (std::size_t j = 0; j < feature_count; ++j) {
+      if (j != i) p.inputs.push_back(j);
+    }
+    plan.push_back(std::move(p));
+  }
+  return plan;
+}
+
+FracModel FracModel::train(const Dataset& train, const FracConfig& config, ThreadPool& pool) {
+  return train_with_plan(train, default_plan(train.feature_count()), config, pool);
+}
+
+FracModel FracModel::train_with_plan(const Dataset& train, std::vector<FeaturePlan> plan,
+                                     const FracConfig& config, ThreadPool& pool) {
+  if (train.sample_count() < 2) {
+    throw std::invalid_argument("FracModel::train: need at least 2 training samples");
+  }
+  for (const FeaturePlan& p : plan) {
+    if (p.target >= train.feature_count()) {
+      throw std::invalid_argument("FracModel::train: plan target out of range");
+    }
+    for (const std::size_t j : p.inputs) {
+      if (j >= train.feature_count()) {
+        throw std::invalid_argument("FracModel::train: plan input out of range");
+      }
+      if (j == p.target) {
+        throw std::invalid_argument("FracModel::train: plan may not use the target as input");
+      }
+    }
+  }
+
+  const CpuStopwatch cpu;
+  FracModel model;
+  model.schema_ = train.schema();
+  model.config_ = config;
+  model.arities_.resize(model.schema_.size());
+  for (std::size_t f = 0; f < model.schema_.size(); ++f) {
+    model.arities_[f] = model.schema_.is_categorical(f) ? model.schema_[f].arity : 0;
+  }
+
+  // Standardize real columns on training statistics.
+  Matrix values = train.values();
+  model.scaler_.fit(values);
+  for (std::size_t f = 0; f < model.schema_.size(); ++f) {
+    if (model.arities_[f] != 0) model.scaler_.reset_column(f);
+  }
+  if (!config.standardize) {
+    for (std::size_t f = 0; f < model.schema_.size(); ++f) model.scaler_.reset_column(f);
+  }
+  model.scaler_.transform(values);
+
+  const std::size_t n = values.rows();
+  model.units_.resize(plan.size());
+  Rng master(config.seed);
+  // Pre-split RNG streams so results are identical for any thread count.
+  std::vector<Rng> unit_rngs;
+  unit_rngs.reserve(plan.size());
+  for (std::size_t u = 0; u < plan.size(); ++u) unit_rngs.push_back(master.split(u));
+
+  parallel_for(pool, 0, plan.size(), [&](std::size_t u) {
+    Unit& unit = model.units_[u];
+    unit.plan = std::move(plan[u]);
+    const std::size_t target = unit.plan.target;
+    unit.categorical = model.arities_[target] != 0;
+
+    // Valid rows: target defined.
+    std::vector<std::size_t> valid;
+    valid.reserve(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (!is_missing(values(r, target))) valid.push_back(r);
+    }
+
+    // Entropy from the (standardized) training column, missing skipped.
+    std::vector<double> target_col(valid.size());
+    for (std::size_t i = 0; i < valid.size(); ++i) target_col[i] = values(valid[i], target);
+    if (valid.empty()) {
+      FRAC_DEBUG << "unit " << u << ": target " << target << " entirely missing; skipped";
+      return;
+    }
+    FeatureSpec spec = model.schema_[target];
+    unit.entropy = feature_entropy(target_col, spec, config.entropy);
+
+    if (valid.size() < 4 || unit.plan.inputs.empty()) {
+      // Too few defined values to cross-validate, or nothing to learn from.
+      return;
+    }
+
+    // Gather the unit's design matrix once (rows = valid, cols = inputs).
+    const std::size_t d = unit.plan.inputs.size();
+    Matrix x(valid.size(), d);
+    for (std::size_t i = 0; i < valid.size(); ++i) {
+      const auto src = values.row(valid[i]);
+      const auto dst = x.row(i);
+      for (std::size_t k = 0; k < d; ++k) dst[k] = src[unit.plan.inputs[k]];
+    }
+    std::vector<std::uint32_t> input_arities(d);
+    for (std::size_t k = 0; k < d; ++k) input_arities[k] = model.arities_[unit.plan.inputs[k]];
+
+    // Per-unit predictor hyperparameters get decorrelated seeds.
+    PredictorConfig pred_config = config.predictor;
+    Rng& rng = unit_rngs[u];
+    pred_config.svr.seed = rng.split(1)();
+    pred_config.svc.seed = rng.split(2)();
+    pred_config.tree.seed = rng.split(3)();
+
+    // Cross-validated (truth, prediction) pairs for the error model.
+    // Categorical targets use stratified folds so rare categories appear
+    // in (almost) every training fold.
+    const std::size_t folds = std::min(config.cv_folds, valid.size());
+    Rng fold_rng = rng.split(4);
+    const auto fold_sets = unit.categorical
+                               ? stratified_kfold_indices(target_col, folds, fold_rng)
+                               : kfold_indices(valid.size(), folds, fold_rng);
+    std::vector<double> residuals;
+    std::vector<std::uint32_t> cv_true, cv_pred;
+    for (const auto& fold : fold_sets) {
+      const auto train_rows = fold_complement(valid.size(), fold);
+      if (train_rows.empty() || fold.empty()) continue;
+      Matrix x_fold(train_rows.size(), d);
+      std::vector<double> y_fold(train_rows.size());
+      for (std::size_t i = 0; i < train_rows.size(); ++i) {
+        const auto src = x.row(train_rows[i]);
+        std::copy(src.begin(), src.end(), x_fold.row(i).begin());
+        y_fold[i] = target_col[train_rows[i]];
+      }
+      std::unique_ptr<FeaturePredictor> cv_model =
+          unit.categorical
+              ? train_classifier(x_fold, y_fold, model.arities_[target], input_arities,
+                                 pred_config)
+              : train_regressor(x_fold, y_fold, input_arities, pred_config);
+      for (const std::size_t i : fold) {
+        const double predicted = cv_model->predict(x.row(i));
+        if (unit.categorical) {
+          cv_true.push_back(static_cast<std::uint32_t>(target_col[i]));
+          cv_pred.push_back(static_cast<std::uint32_t>(predicted));
+        } else {
+          residuals.push_back(target_col[i] - predicted);
+        }
+      }
+    }
+
+    if (unit.categorical) {
+      if (cv_true.empty()) return;
+      unit.confusion.fit(cv_true, cv_pred, model.arities_[target], config.confusion_alpha);
+    } else {
+      if (residuals.empty()) return;
+      unit.error_kind = config.continuous_error;
+      if (unit.error_kind == ContinuousErrorKind::kKde) unit.kde_error.fit(residuals);
+      else unit.gaussian.fit(residuals, config.min_error_sd);
+    }
+
+    // Retained predictor: trained on every valid row.
+    unit.predictor =
+        unit.categorical
+            ? train_classifier(x, target_col, model.arities_[target], input_arities, pred_config)
+            : train_regressor(x, target_col, input_arities, pred_config);
+  });
+
+  // Resource accounting: data + retained models; trained = (folds+1)/unit.
+  model.report_.cpu_seconds = cpu.seconds();
+  std::size_t retained_bytes = 0;
+  for (const Unit& unit : model.units_) {
+    if (unit.predictor == nullptr) continue;
+    retained_bytes += unit.predictor->storage_bytes();
+    ++model.report_.models_retained;
+    model.report_.models_trained += std::min(config.cv_folds, n) + 1;
+  }
+  model.report_.peak_bytes = train.bytes() + retained_bytes;
+  return model;
+}
+
+Matrix FracModel::standardized_values(const Dataset& data) const {
+  if (!(data.schema() == schema_)) {
+    throw std::invalid_argument("FracModel: dataset schema does not match the trained model");
+  }
+  Matrix values = data.values();
+  scaler_.transform(values);
+  return values;
+}
+
+std::optional<double> FracModel::unit_surprisal(const Unit& unit, std::span<const double> row,
+                                                std::span<double> scratch) const {
+  if (unit.predictor == nullptr) return std::nullopt;
+  const double truth = row[unit.plan.target];
+  if (is_missing(truth)) return std::nullopt;  // "otherwise: 0" in the NS definition
+  const std::size_t d = unit.plan.inputs.size();
+  for (std::size_t k = 0; k < d; ++k) scratch[k] = row[unit.plan.inputs[k]];
+  const double predicted = unit.predictor->predict(scratch.first(d));
+  double surprisal;
+  if (unit.categorical) {
+    surprisal = unit.confusion.surprisal(static_cast<std::uint32_t>(truth),
+                                         static_cast<std::uint32_t>(predicted));
+  } else if (unit.error_kind == ContinuousErrorKind::kKde) {
+    surprisal = unit.kde_error.surprisal(truth - predicted);
+  } else {
+    surprisal = unit.gaussian.surprisal(truth - predicted);
+  }
+  return surprisal - unit.entropy;
+}
+
+std::vector<double> FracModel::score(const Dataset& test, ThreadPool& pool) const {
+  const Matrix values = standardized_values(test);
+  std::vector<double> scores(test.sample_count(), 0.0);
+  std::size_t max_inputs = 0;
+  for (const Unit& unit : units_) max_inputs = std::max(max_inputs, unit.plan.inputs.size());
+  parallel_for_chunks(pool, 0, test.sample_count(), [&](std::size_t lo, std::size_t hi) {
+    std::vector<double> scratch(max_inputs);
+    for (std::size_t r = lo; r < hi; ++r) {
+      double total = 0.0;
+      for (const Unit& unit : units_) {
+        if (const auto s = unit_surprisal(unit, values.row(r), scratch)) total += *s;
+      }
+      scores[r] = total;
+    }
+  });
+  return scores;
+}
+
+Matrix FracModel::per_feature_scores(const Dataset& test, ThreadPool& pool) const {
+  const Matrix values = standardized_values(test);
+  Matrix scores(test.sample_count(), feature_count(), kMissing);
+  std::size_t max_inputs = 0;
+  for (const Unit& unit : units_) max_inputs = std::max(max_inputs, unit.plan.inputs.size());
+  parallel_for_chunks(pool, 0, test.sample_count(), [&](std::size_t lo, std::size_t hi) {
+    std::vector<double> scratch(max_inputs);
+    for (std::size_t r = lo; r < hi; ++r) {
+      const auto out = scores.row(r);
+      for (const Unit& unit : units_) {
+        if (const auto s = unit_surprisal(unit, values.row(r), scratch)) {
+          // Multiple predictors per target sum (the Σ_j in the NS formula).
+          out[unit.plan.target] = is_missing(out[unit.plan.target]) ? *s
+                                                                    : out[unit.plan.target] + *s;
+        }
+      }
+    }
+  });
+  return scores;
+}
+
+std::vector<std::size_t> FracModel::influential_inputs(std::size_t unit_index,
+                                                       std::size_t top_k) const {
+  const Unit& unit = units_.at(unit_index);
+  if (unit.predictor == nullptr) return {};
+  std::vector<std::size_t> out;
+  for (const std::uint32_t pos : unit.predictor->influential_inputs(top_k)) {
+    out.push_back(unit.plan.inputs[pos]);
+  }
+  return out;
+}
+
+void FracModel::save(std::ostream& out) const {
+  write_tagged(out, "frac.version", std::uint64_t{1});
+  // Schema.
+  write_tagged(out, "frac.features", static_cast<std::uint64_t>(schema_.size()));
+  for (std::size_t f = 0; f < schema_.size(); ++f) {
+    const FeatureSpec& spec = schema_[f];
+    write_tagged(out, "feature.name", spec.name);
+    write_tagged(out, "feature.arity",
+                 std::uint64_t{spec.kind == FeatureKind::kReal ? 0u : spec.arity});
+  }
+  // Scaler.
+  write_tagged(out, "frac.scaler_means", scaler_.means());
+  write_tagged(out, "frac.scaler_scales", scaler_.scales());
+  // Units.
+  write_tagged(out, "frac.units", static_cast<std::uint64_t>(units_.size()));
+  for (const Unit& unit : units_) {
+    write_tagged(out, "unit.target", static_cast<std::uint64_t>(unit.plan.target));
+    write_tagged(out, "unit.inputs",
+                 std::vector<std::uint64_t>(unit.plan.inputs.begin(), unit.plan.inputs.end()));
+    write_tagged(out, "unit.entropy", unit.entropy);
+    write_tagged(out, "unit.categorical", std::uint64_t{unit.categorical ? 1u : 0u});
+    write_tagged(out, "unit.trained", std::uint64_t{unit.predictor != nullptr ? 1u : 0u});
+    if (unit.predictor == nullptr) continue;
+    write_tagged(out, "unit.errkind",
+                 std::uint64_t{unit.error_kind == ContinuousErrorKind::kKde ? 1u : 0u});
+    if (unit.categorical) unit.confusion.save(out);
+    else if (unit.error_kind == ContinuousErrorKind::kKde) unit.kde_error.save(out);
+    else unit.gaussian.save(out);
+    unit.predictor->save(out);
+  }
+}
+
+void FracModel::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("FracModel::save_file: cannot open " + path);
+  save(out);
+}
+
+FracModel FracModel::load(std::istream& in) {
+  const std::uint64_t version = read_tagged_uint(in, "frac.version");
+  if (version != 1) {
+    throw std::runtime_error(format("FracModel::load: unsupported version %llu",
+                                    static_cast<unsigned long long>(version)));
+  }
+  FracModel model;
+  const std::uint64_t features = read_tagged_uint(in, "frac.features");
+  std::vector<FeatureSpec> specs;
+  specs.reserve(features);
+  model.arities_.reserve(features);
+  for (std::uint64_t f = 0; f < features; ++f) {
+    FeatureSpec spec;
+    spec.name = read_tagged_string(in, "feature.name");
+    const std::uint64_t arity = read_tagged_uint(in, "feature.arity");
+    spec.kind = arity == 0 ? FeatureKind::kReal : FeatureKind::kCategorical;
+    spec.arity = static_cast<std::uint32_t>(arity);
+    model.arities_.push_back(static_cast<std::uint32_t>(arity));
+    specs.push_back(std::move(spec));
+  }
+  model.schema_ = Schema(std::move(specs));
+
+  const std::vector<double> means = read_tagged_doubles(in, "frac.scaler_means");
+  const std::vector<double> scales = read_tagged_doubles(in, "frac.scaler_scales");
+  if (means.size() != features || scales.size() != features) {
+    throw std::runtime_error("FracModel::load: scaler width mismatch");
+  }
+  model.scaler_.restore(means, scales);
+
+  const std::uint64_t units = read_tagged_uint(in, "frac.units");
+  model.units_.resize(units);
+  for (std::uint64_t u = 0; u < units; ++u) {
+    Unit& unit = model.units_[u];
+    unit.plan.target = read_tagged_uint(in, "unit.target");
+    if (unit.plan.target >= features) {
+      throw std::runtime_error("FracModel::load: unit target out of range");
+    }
+    const auto inputs = read_tagged_uints(in, "unit.inputs");
+    unit.plan.inputs.assign(inputs.begin(), inputs.end());
+    for (const std::size_t j : unit.plan.inputs) {
+      if (j >= features) throw std::runtime_error("FracModel::load: unit input out of range");
+    }
+    unit.entropy = read_tagged_double(in, "unit.entropy");
+    unit.categorical = read_tagged_uint(in, "unit.categorical") != 0;
+    const bool trained = read_tagged_uint(in, "unit.trained") != 0;
+    if (!trained) continue;
+    unit.error_kind = read_tagged_uint(in, "unit.errkind") != 0 ? ContinuousErrorKind::kKde
+                                                                : ContinuousErrorKind::kGaussian;
+    if (unit.categorical) unit.confusion = ConfusionErrorModel::load(in);
+    else if (unit.error_kind == ContinuousErrorKind::kKde) unit.kde_error = KdeErrorModel::load(in);
+    else unit.gaussian = GaussianErrorModel::load(in);
+    unit.predictor = load_predictor(in);
+  }
+  return model;
+}
+
+FracModel FracModel::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("FracModel::load_file: cannot open " + path);
+  return load(in);
+}
+
+ScoredRun run_frac(const Replicate& replicate, const FracConfig& config, ThreadPool& pool) {
+  const CpuStopwatch cpu;
+  const FracModel model = FracModel::train(replicate.train, config, pool);
+  ScoredRun run;
+  run.test_scores = model.score(replicate.test, pool);
+  run.resources = model.report();
+  run.resources.cpu_seconds = cpu.seconds();
+  return run;
+}
+
+}  // namespace frac

@@ -1,0 +1,147 @@
+// FRaC: Feature Regression and Classification anomaly detection
+// (Noto, Brodley, Slonim 2010/2012), the algorithm all of this library's
+// scalable variants reduce.
+//
+// Training (per target feature i, paper §I.A.1):
+//   1. k-fold cross-validation over the (all-normal) training set: train a
+//      predictor for feature i from the plan's input features on each fold
+//      complement, predict the holdout fold;
+//   2. fit an error model to the CV (truth, prediction) pairs — Gaussian
+//      residual model for real targets, confusion matrix for categorical;
+//   3. train the retained predictor on the full training set;
+//   4. estimate the feature's training entropy H(f_i).
+//
+// Scoring: normalized surprisal
+//   NS(x) = Σ_units [ −log P(x_t | predictor(x_inputs)) − H(f_t) ],
+// with undefined (missing) targets contributing 0. Higher NS = more
+// anomalous. Real features are standardized with training statistics; NS is
+// invariant to that affine change (both surprisal and differential entropy
+// shift by log σ), but it makes the SVR hyperparameters scale-free.
+//
+// Variants plug in through the *plan*: ordinary FRaC uses every other
+// feature as inputs for every target; filtering/diverse variants restrict
+// targets and/or inputs (see filtering.hpp, diverse.hpp, preprojection.hpp).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+
+#include "data/dataset.hpp"
+#include "data/scaler.hpp"
+#include "data/split.hpp"
+#include "frac/entropy.hpp"
+#include "frac/error_model.hpp"
+#include "frac/predictor.hpp"
+#include "frac/resource_accounting.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace frac {
+
+/// Error model for continuous targets: the Gaussian this paper prescribes,
+/// or the nonparametric KDE of the original FRaC paper.
+enum class ContinuousErrorKind : std::uint8_t { kGaussian, kKde };
+
+struct FracConfig {
+  std::size_t cv_folds = 5;        ///< error-model cross-validation folds
+  PredictorConfig predictor;       ///< model family + hyperparameters
+  ContinuousErrorKind continuous_error = ContinuousErrorKind::kGaussian;
+  double min_error_sd = 1e-2;      ///< Gaussian error-model σ floor (standardized units)
+  double confusion_alpha = 1.0;    ///< Laplace smoothing of confusion matrices
+  EntropyConfig entropy;           ///< KDE grid for continuous entropy
+  bool standardize = true;         ///< standardize real features on train stats
+  std::uint64_t seed = 23;         ///< CV fold assignment / per-unit streams
+};
+
+/// One (target, inputs) learning problem. A plan is a list of these; the
+/// paper's Fig. 1 variants are all expressible as plans.
+struct FeaturePlan {
+  std::size_t target = 0;
+  std::vector<std::size_t> inputs;
+};
+
+/// Ordinary FRaC's plan: each feature predicted from all others.
+std::vector<FeaturePlan> default_plan(std::size_t feature_count);
+
+/// A trained FRaC model: per-unit predictors + error models + entropies.
+class FracModel {
+ public:
+  /// Ordinary FRaC on all features.
+  static FracModel train(const Dataset& train, const FracConfig& config, ThreadPool& pool);
+
+  /// FRaC restricted to an explicit plan (targets may repeat: the NS double
+  /// sum Σ_i Σ_j runs over multiple predictors per feature).
+  static FracModel train_with_plan(const Dataset& train, std::vector<FeaturePlan> plan,
+                                   const FracConfig& config, ThreadPool& pool);
+
+  /// NS score per test sample (higher = more anomalous). The test schema
+  /// must equal the training schema.
+  std::vector<double> score(const Dataset& test, ThreadPool& pool) const;
+
+  /// Per-feature NS contributions: n_test × feature_count. Features with no
+  /// predictor hold NaN ("no score", distinct from a zero contribution) —
+  /// the ensemble median combiner skips them.
+  Matrix per_feature_scores(const Dataset& test, ThreadPool& pool) const;
+
+  std::size_t feature_count() const noexcept { return schema_.size(); }
+  std::size_t unit_count() const noexcept { return units_.size(); }
+  const FeaturePlan& unit_plan(std::size_t unit) const { return units_.at(unit).plan; }
+
+  /// Training-set entropy of a unit's target feature (nats).
+  double unit_entropy(std::size_t unit) const { return units_.at(unit).entropy; }
+
+  /// Interpretability: the unit's most influential input features, as
+  /// indices into the training schema.
+  std::vector<std::size_t> influential_inputs(std::size_t unit, std::size_t top_k = 20) const;
+
+  /// Training cost (CPU seconds, paper-equivalent peak bytes, model counts).
+  /// Empty for models restored with load().
+  const ResourceReport& report() const noexcept { return report_; }
+
+  /// Persists everything needed to score (schema, scaler, units with
+  /// predictors, error models, and entropies) as tagged text.
+  void save(std::ostream& out) const;
+  void save_file(const std::string& path) const;
+
+  /// Restores a model written by save(). Throws std::runtime_error on
+  /// malformed or version-incompatible input.
+  static FracModel load(std::istream& in);
+  static FracModel load_file(const std::string& path);
+
+ private:
+  struct Unit {
+    FeaturePlan plan;
+    std::unique_ptr<FeaturePredictor> predictor;  // null if the unit was untrainable
+    bool categorical = false;
+    ContinuousErrorKind error_kind = ContinuousErrorKind::kGaussian;
+    GaussianErrorModel gaussian;
+    KdeErrorModel kde_error;
+    ConfusionErrorModel confusion;
+    double entropy = 0.0;
+  };
+
+  /// −log P(x_target | prediction) − H(target) for one standardized row;
+  /// nullopt when the target is missing or the unit has no predictor.
+  std::optional<double> unit_surprisal(const Unit& unit, std::span<const double> row,
+                                       std::span<double> scratch) const;
+
+  /// Standardizes a test dataset copy with the training scaler.
+  Matrix standardized_values(const Dataset& data) const;
+
+  Schema schema_;
+  std::vector<std::uint32_t> arities_;  // per feature; 0 = real
+  StandardScaler scaler_;
+  FracConfig config_;
+  std::vector<Unit> units_;
+  ResourceReport report_;
+};
+
+/// Convenience: train on the replicate's training set, score its test set,
+/// measure total CPU time. What the experiment harness and benches consume.
+struct ScoredRun {
+  std::vector<double> test_scores;
+  ResourceReport resources;
+};
+ScoredRun run_frac(const Replicate& replicate, const FracConfig& config, ThreadPool& pool);
+
+}  // namespace frac

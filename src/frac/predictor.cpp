@@ -1,0 +1,239 @@
+#include "frac/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "data/dataset.hpp"  // is_missing
+#include "frac/resource_accounting.hpp"
+#include "util/serialize.hpp"
+
+namespace frac {
+
+namespace {
+
+/// Expands raw mixed inputs to an all-real vector for the SVM solvers:
+/// real columns pass through (NaN -> 0, the standardized mean), categorical
+/// columns become 1-hot blocks (NaN -> all-zero block).
+class InputExpander {
+ public:
+  explicit InputExpander(std::span<const std::uint32_t> arities) {
+    offsets_.reserve(arities.size());
+    std::size_t w = 0;
+    for (const std::uint32_t a : arities) {
+      offsets_.push_back(w);
+      w += a == 0 ? 1 : a;
+    }
+    width_ = w;
+    arities_.assign(arities.begin(), arities.end());
+  }
+
+  std::size_t width() const noexcept { return width_; }
+
+  void expand(std::span<const double> in, std::span<double> out) const {
+    std::fill(out.begin(), out.end(), 0.0);
+    for (std::size_t j = 0; j < arities_.size(); ++j) {
+      const double v = in[j];
+      if (is_missing(v)) continue;
+      if (arities_[j] == 0) out[offsets_[j]] = v;
+      else out[offsets_[j] + static_cast<std::size_t>(v)] = 1.0;
+    }
+  }
+
+  Matrix expand(const Matrix& in) const {
+    Matrix out(in.rows(), width_);
+    for (std::size_t r = 0; r < in.rows(); ++r) expand(in.row(r), out.row(r));
+    return out;
+  }
+
+  /// Maps an expanded column back to the raw input position.
+  std::uint32_t source_of(std::size_t expanded_col) const {
+    const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), expanded_col);
+    return static_cast<std::uint32_t>(std::distance(offsets_.begin(), it) - 1);
+  }
+
+ private:
+  std::vector<std::uint32_t> arities_;
+  std::vector<std::size_t> offsets_;
+  std::size_t width_ = 0;
+};
+
+/// Top-k raw input positions by |weight| over an expanded weight vector.
+std::vector<std::uint32_t> top_inputs_by_weight(const std::vector<double>& w,
+                                                const InputExpander& expander,
+                                                std::size_t top_k) {
+  std::vector<std::size_t> order(w.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return std::abs(w[a]) > std::abs(w[b]); });
+  std::vector<std::uint32_t> out;
+  for (const std::size_t col : order) {
+    if (w[col] == 0.0) break;
+    const std::uint32_t src = expander.source_of(col);
+    if (std::find(out.begin(), out.end(), src) == out.end()) {
+      out.push_back(src);
+      if (out.size() == top_k) break;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class SvrPredictor final : public FeaturePredictor {
+ public:
+  SvrPredictor(const Matrix& x, std::span<const double> y,
+               std::span<const std::uint32_t> arities, const LinearSvrConfig& config)
+      : arities_(arities.begin(), arities.end()), expander_(arities_) {
+    const Matrix expanded = expander_.expand(x);
+    model_.fit(expanded, y, config);
+    scratch_.resize(expander_.width());
+  }
+
+  SvrPredictor(LinearSvr model, std::vector<std::uint32_t> arities)
+      : arities_(std::move(arities)), expander_(arities_), model_(std::move(model)) {
+    scratch_.resize(expander_.width());
+  }
+
+  double predict(std::span<const double> inputs) const override {
+    expander_.expand(inputs, scratch_);
+    return model_.predict(scratch_);
+  }
+
+  std::size_t storage_bytes() const override {
+    return svm_model_bytes(model_.support_vector_count(), expander_.width());
+  }
+
+  std::vector<std::uint32_t> influential_inputs(std::size_t top_k) const override {
+    return top_inputs_by_weight(model_.weights(), expander_, top_k);
+  }
+
+  void save(std::ostream& out) const override {
+    write_tagged(out, "predictor", std::string("svr"));
+    write_tagged(out, "arities",
+                 std::vector<std::uint64_t>(arities_.begin(), arities_.end()));
+    model_.save(out);
+  }
+
+ private:
+  std::vector<std::uint32_t> arities_;
+  InputExpander expander_;
+  LinearSvr model_;
+  mutable std::vector<double> scratch_;
+};
+
+class TreePredictor final : public FeaturePredictor {
+ public:
+  TreePredictor(const Matrix& x, std::span<const double> y,
+                std::span<const std::uint32_t> arities, TreeTask task,
+                std::uint32_t target_arity, const DecisionTreeConfig& config) {
+    model_.fit(x, y, arities, task, target_arity, config);
+  }
+
+  explicit TreePredictor(DecisionTree model) : model_(std::move(model)) {}
+
+  double predict(std::span<const double> inputs) const override {
+    return model_.predict(inputs);
+  }
+
+  std::size_t storage_bytes() const override { return model_.bytes(); }
+
+  std::vector<std::uint32_t> influential_inputs(std::size_t top_k) const override {
+    std::vector<std::uint32_t> used = model_.used_features();
+    if (used.size() > top_k) used.resize(top_k);
+    return used;
+  }
+
+  void save(std::ostream& out) const override {
+    write_tagged(out, "predictor", std::string("tree"));
+    model_.save(out);
+  }
+
+ private:
+  DecisionTree model_;
+};
+
+class SvcPredictor final : public FeaturePredictor {
+ public:
+  SvcPredictor(const Matrix& x, std::span<const double> y, std::uint32_t target_arity,
+               std::span<const std::uint32_t> arities, const LinearSvcConfig& config)
+      : arities_(arities.begin(), arities.end()), expander_(arities_) {
+    const Matrix expanded = expander_.expand(x);
+    model_.fit(expanded, y, target_arity, config);
+    scratch_.resize(expander_.width());
+  }
+
+  SvcPredictor(OneVsRestSvc model, std::vector<std::uint32_t> arities)
+      : arities_(std::move(arities)), expander_(arities_), model_(std::move(model)) {
+    scratch_.resize(expander_.width());
+  }
+
+  double predict(std::span<const double> inputs) const override {
+    expander_.expand(inputs, scratch_);
+    return static_cast<double>(model_.predict(scratch_));
+  }
+
+  std::size_t storage_bytes() const override {
+    return svm_model_bytes(model_.support_vector_count(), expander_.width());
+  }
+
+  std::vector<std::uint32_t> influential_inputs(std::size_t /*top_k*/) const override {
+    return {};  // per-class weights omitted; use the tree classifier for interpretation
+  }
+
+  void save(std::ostream& out) const override {
+    write_tagged(out, "predictor", std::string("svc"));
+    write_tagged(out, "arities",
+                 std::vector<std::uint64_t>(arities_.begin(), arities_.end()));
+    model_.save(out);
+  }
+
+ private:
+  std::vector<std::uint32_t> arities_;
+  InputExpander expander_;
+  OneVsRestSvc model_;
+  mutable std::vector<double> scratch_;
+};
+
+}  // namespace
+
+std::unique_ptr<FeaturePredictor> load_predictor(std::istream& in) {
+  const std::string kind = read_tagged_string(in, "predictor");
+  if (kind == "tree") {
+    return std::make_unique<TreePredictor>(DecisionTree::load(in));
+  }
+  const auto raw = read_tagged_uints(in, "arities");
+  std::vector<std::uint32_t> arities(raw.begin(), raw.end());
+  if (kind == "svr") {
+    return std::make_unique<SvrPredictor>(LinearSvr::load(in), std::move(arities));
+  }
+  if (kind == "svc") {
+    return std::make_unique<SvcPredictor>(OneVsRestSvc::load(in), std::move(arities));
+  }
+  throw std::runtime_error("load_predictor: unknown kind '" + kind + "'");
+}
+
+std::unique_ptr<FeaturePredictor> train_regressor(const Matrix& x, std::span<const double> y,
+                                                  std::span<const std::uint32_t> arities,
+                                                  const PredictorConfig& config) {
+  if (config.regressor == RegressorKind::kLinearSvr) {
+    return std::make_unique<SvrPredictor>(x, y, arities, config.svr);
+  }
+  return std::make_unique<TreePredictor>(x, y, arities, TreeTask::kRegression, 0, config.tree);
+}
+
+std::unique_ptr<FeaturePredictor> train_classifier(const Matrix& x, std::span<const double> y,
+                                                   std::uint32_t target_arity,
+                                                   std::span<const std::uint32_t> arities,
+                                                   const PredictorConfig& config) {
+  if (config.classifier == ClassifierKind::kDecisionTree) {
+    return std::make_unique<TreePredictor>(x, y, arities, TreeTask::kClassification,
+                                           target_arity, config.tree);
+  }
+  return std::make_unique<SvcPredictor>(x, y, target_arity, arities, config.svc);
+}
+
+}  // namespace frac

@@ -1,0 +1,76 @@
+// Per-feature predictors: the supervised models FRaC trains for each target
+// feature. "Predictors can be any supervised learning algorithm" — the
+// public factory supports the paper's choices (linear ε-SVR for continuous
+// targets, decision trees for categorical ones) plus the crossed variants
+// used in ablations (regression trees; one-vs-rest linear SVC over 1-hot
+// inputs, which the paper found inferior on SNP data).
+//
+// Predictors consume *raw* schema-typed input rows (selected input features
+// only). SVM-backed predictors expand categorical inputs to 1-hot vectors
+// internally and impute missing values to 0 (= the training mean after
+// standardization); trees consume mixed values natively and route missing
+// values per node.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "ml/svm/linear_svc.hpp"
+#include "ml/svm/linear_svr.hpp"
+#include "ml/tree/decision_tree.hpp"
+
+namespace frac {
+
+enum class RegressorKind : std::uint8_t { kLinearSvr, kRegressionTree };
+enum class ClassifierKind : std::uint8_t { kDecisionTree, kLinearSvcOneHot };
+
+/// Model selection + hyperparameters for all predictor families.
+struct PredictorConfig {
+  RegressorKind regressor = RegressorKind::kLinearSvr;
+  ClassifierKind classifier = ClassifierKind::kDecisionTree;
+  LinearSvrConfig svr;
+  LinearSvcConfig svc;
+  DecisionTreeConfig tree;
+};
+
+/// A trained model for one target feature.
+class FeaturePredictor {
+ public:
+  virtual ~FeaturePredictor() = default;
+
+  /// Predicts the target from one raw input row (width = training inputs).
+  /// Regression: real value. Classification: a category code.
+  virtual double predict(std::span<const double> inputs) const = 0;
+
+  /// Paper-equivalent retained-model bytes (see resource_accounting.hpp).
+  virtual std::size_t storage_bytes() const = 0;
+
+  /// Input positions this model actually relies on (tree: split features;
+  /// linear: positions of the largest-|w| weights) — interpretability hook
+  /// for the paper's "most predictive models" analyses.
+  virtual std::vector<std::uint32_t> influential_inputs(std::size_t top_k = 20) const = 0;
+
+  /// Tagged-text persistence; load with load_predictor().
+  virtual void save(std::ostream& out) const = 0;
+};
+
+/// Reads back any predictor written by FeaturePredictor::save.
+std::unique_ptr<FeaturePredictor> load_predictor(std::istream& in);
+
+/// Trains a regressor on rows of x against real-valued y.
+/// `arities[j]` describes input column j (0 = real).
+std::unique_ptr<FeaturePredictor> train_regressor(const Matrix& x, std::span<const double> y,
+                                                  std::span<const std::uint32_t> arities,
+                                                  const PredictorConfig& config);
+
+/// Trains a classifier on rows of x against target codes in [0, arity).
+std::unique_ptr<FeaturePredictor> train_classifier(const Matrix& x, std::span<const double> y,
+                                                   std::uint32_t target_arity,
+                                                   std::span<const std::uint32_t> arities,
+                                                   const PredictorConfig& config);
+
+}  // namespace frac

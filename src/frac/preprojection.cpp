@@ -1,0 +1,25 @@
+#include "frac/preprojection.hpp"
+
+#include "util/stopwatch.hpp"
+
+namespace frac {
+
+ScoredRun run_jl_frac(const Replicate& replicate, const FracConfig& config,
+                      const JlPipelineConfig& jl_config, ThreadPool& pool) {
+  const CpuStopwatch cpu;
+  JlPipeline pipeline(replicate.train.schema(), jl_config);
+  pipeline.fit_imputation(replicate.train);
+  const Dataset train_projected = pipeline.apply(replicate.train, pool);
+  const Dataset test_projected = pipeline.apply(replicate.test, pool);
+  const FracModel model = FracModel::train(train_projected, config, pool);
+  ScoredRun run;
+  run.test_scores = model.score(test_projected, pool);
+  run.resources = model.report();
+  // The projection matrix and the projected copy of the data are live
+  // alongside the models.
+  run.resources.peak_bytes += pipeline.bytes();
+  run.resources.cpu_seconds = cpu.seconds();
+  return run;
+}
+
+}  // namespace frac

@@ -1,0 +1,23 @@
+// JL preprojection FRaC (paper §II.D, Fig. 2): 1-hot encode categoricals,
+// concatenate with real features, apply a Johnson–Lindenstrauss random
+// projection to k dimensions, then run ordinary FRaC in the projected
+// (all-real) space. Every projected feature is a linear combination of
+// original features, so "it is unlikely that any projected feature is
+// unlearnable" — the unlearnable-feature noise that degrades plain FRaC is
+// mitigated, and time/memory scale with k instead of the input width.
+#pragma once
+
+#include "data/split.hpp"
+#include "frac/frac.hpp"
+#include "jl/pipeline.hpp"
+
+namespace frac {
+
+/// JL-projected FRaC run. `config.predictor.regressor` selects the model in
+/// the projected space (SVR is the paper's choice for expression data; the
+/// tree ablation reproduces the "trees are not invariant under linear
+/// transformation" discussion for SNP data).
+ScoredRun run_jl_frac(const Replicate& replicate, const FracConfig& config,
+                      const JlPipelineConfig& jl_config, ThreadPool& pool);
+
+}  // namespace frac

@@ -1,0 +1,27 @@
+#include "frac/resource_accounting.hpp"
+
+#include <algorithm>
+
+namespace frac {
+
+ResourceReport& ResourceReport::merge_sequential(const ResourceReport& other) {
+  cpu_seconds += other.cpu_seconds;
+  peak_bytes = std::max(peak_bytes, other.peak_bytes);
+  models_trained += other.models_trained;
+  models_retained = std::max(models_retained, other.models_retained);
+  return *this;
+}
+
+ResourceReport& ResourceReport::merge_concurrent(const ResourceReport& other) {
+  cpu_seconds += other.cpu_seconds;
+  peak_bytes += other.peak_bytes;
+  models_trained += other.models_trained;
+  models_retained += other.models_retained;
+  return *this;
+}
+
+std::size_t svm_model_bytes(std::size_t support_vectors, std::size_t dims) {
+  return support_vectors * (dims + 1) * sizeof(double);
+}
+
+}  // namespace frac

@@ -1,0 +1,44 @@
+#include "jl/dimension.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace frac {
+
+double jl_denominator(double epsilon) {
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    throw std::invalid_argument("jl: epsilon must be in (0, 1)");
+  }
+  return epsilon * epsilon / 2.0 - epsilon * epsilon * epsilon / 3.0;
+}
+
+std::size_t jl_dimension_pointset(std::size_t n, double epsilon) {
+  if (n < 2) throw std::invalid_argument("jl: need at least 2 points");
+  const double k = 4.0 * std::log(static_cast<double>(n)) / jl_denominator(epsilon);
+  return static_cast<std::size_t>(std::ceil(k));
+}
+
+std::size_t jl_dimension_probabilistic(double epsilon, double delta) {
+  if (delta <= 0.0 || delta >= 1.0) throw std::invalid_argument("jl: delta must be in (0, 1)");
+  const double k = std::log(2.0 / delta) / jl_denominator(epsilon);
+  return static_cast<std::size_t>(std::ceil(k));
+}
+
+double jl_epsilon_for_dimension(std::size_t k, double delta) {
+  if (k == 0) throw std::invalid_argument("jl: k must be positive");
+  if (delta <= 0.0 || delta >= 1.0) throw std::invalid_argument("jl: delta must be in (0, 1)");
+  // jl_dimension_probabilistic is strictly decreasing in ε on (0,1);
+  // bisect for the smallest ε whose required dimension is ≤ k.
+  double lo = 1e-6;
+  double hi = 1.0 - 1e-6;
+  const double target = static_cast<double>(k);
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double required = std::log(2.0 / delta) / jl_denominator(mid);
+    if (required > target) lo = mid;
+    else hi = mid;
+  }
+  return hi;
+}
+
+}  // namespace frac

@@ -1,0 +1,30 @@
+// Johnson–Lindenstrauss dimension bounds (paper §I.A.2).
+//
+// Two formulations:
+//  * point-set form: all pairwise squared distances among n points are
+//    preserved within (1±ε) when k ≥ 4·ln(n) / (ε²/2 − ε³/3);
+//  * distributional form: any fixed pair is preserved with probability 1−δ
+//    when k ≥ ln(2/δ) / (ε²/2 − ε³/3), independent of n.
+// The paper runs k = 1024, which it notes gives the probabilistic guarantee
+// at δ = 0.05, ε = 0.057.
+#pragma once
+
+#include <cstddef>
+
+namespace frac {
+
+/// ε²/2 − ε³/3, the denominator of both bounds. Requires 0 < ε < 1.
+double jl_denominator(double epsilon);
+
+/// Minimum k for the point-set (union-bound) form. Requires n ≥ 2.
+std::size_t jl_dimension_pointset(std::size_t n, double epsilon);
+
+/// Minimum k for the distributional (per-pair) form. Requires 0 < δ < 1.
+std::size_t jl_dimension_probabilistic(double epsilon, double delta);
+
+/// Inverse of the probabilistic bound: the ε achieved at a given k and δ
+/// (solved by bisection). Used to report the guarantee a chosen k carries,
+/// as the paper does for k = 1024.
+double jl_epsilon_for_dimension(std::size_t k, double delta);
+
+}  // namespace frac

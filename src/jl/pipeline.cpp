@@ -1,0 +1,58 @@
+#include "jl/pipeline.hpp"
+
+#include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+
+namespace frac {
+
+JlPipeline::JlPipeline(const Schema& schema, const JlPipelineConfig& config)
+    : encoder_(schema), imputation_means_(encoder_.output_width(), 0.0) {
+  Rng rng(config.seed);
+  projection_ = std::make_unique<JlProjection>(encoder_.output_width(), config.output_dim,
+                                               config.kind, rng);
+}
+
+void JlPipeline::fit_imputation(const Dataset& train) {
+  if (train.schema().one_hot_width() != encoder_.output_width()) {
+    throw std::invalid_argument("JlPipeline::fit_imputation: schema mismatch");
+  }
+  imputation_means_.assign(encoder_.output_width(), 0.0);
+  std::vector<std::size_t> counts(encoder_.output_width(), 0);
+  std::vector<double> encoded(encoder_.output_width());
+  for (std::size_t r = 0; r < train.sample_count(); ++r) {
+    encoder_.encode_row(train.values().row(r), encoded);
+    for (std::size_t c = 0; c < encoded.size(); ++c) {
+      if (is_missing(encoded[c])) continue;
+      imputation_means_[c] += encoded[c];
+      ++counts[c];
+    }
+  }
+  for (std::size_t c = 0; c < imputation_means_.size(); ++c) {
+    if (counts[c] > 0) imputation_means_[c] /= static_cast<double>(counts[c]);
+  }
+}
+
+Dataset JlPipeline::apply(const Dataset& data, ThreadPool& pool) const {
+  if (data.schema().one_hot_width() != encoder_.output_width()) {
+    throw std::invalid_argument("JlPipeline::apply: dataset schema does not match pipeline");
+  }
+  const std::size_t n = data.sample_count();
+  Matrix out(n, projection_->output_dim());
+  parallel_for(pool, 0, n, [&](std::size_t r) {
+    std::vector<double> encoded(encoder_.output_width());
+    encoder_.encode_row(data.values().row(r), encoded);
+    for (std::size_t c = 0; c < encoded.size(); ++c) {
+      if (is_missing(encoded[c])) encoded[c] = imputation_means_[c];
+    }
+    projection_->project_row(encoded, out.row(r));
+  });
+  Schema schema = Schema::all_real(projection_->output_dim(), "jl");
+  return Dataset(std::move(schema), std::move(out), data.labels());
+}
+
+Dataset JlPipeline::apply(const Dataset& data) const {
+  return apply(data, ThreadPool::global());
+}
+
+}  // namespace frac

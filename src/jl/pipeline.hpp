@@ -1,0 +1,54 @@
+// The paper's Fig. 2 preprocessing pipeline as one object:
+//   mixed dataset → 1-hot expand categoricals → concatenate with reals
+//                 → JL-project to k dims → all-real dataset.
+//
+// The pipeline is fit once (the projection matrix and the 1-hot layout are
+// fixed) and then applied consistently to train and test cohorts, so both
+// live in the same projected space.
+#pragma once
+
+#include <memory>
+
+#include "data/dataset.hpp"
+#include "data/onehot.hpp"
+#include "jl/projection.hpp"
+
+namespace frac {
+
+struct JlPipelineConfig {
+  std::size_t output_dim = 1024;  ///< paper default
+  RandomMatrixKind kind = RandomMatrixKind::kAchlioptas;
+  std::uint64_t seed = 19;
+};
+
+class JlPipeline {
+ public:
+  /// Fixes the 1-hot layout from `schema` and samples the projection.
+  JlPipeline(const Schema& schema, const JlPipelineConfig& config);
+
+  /// Learns per-column means of the 1-hot representation from `train` for
+  /// missing-value imputation. Without this, missing real features impute
+  /// to 0 (missing categoricals are already an all-zero block) — a NaN must
+  /// never reach the projection, where it would poison the whole row.
+  void fit_imputation(const Dataset& train);
+
+  /// Projects a dataset (labels pass through). Schema of the result is
+  /// `output_dim` real features named "jl<i>".
+  Dataset apply(const Dataset& data, ThreadPool& pool) const;
+  Dataset apply(const Dataset& data) const;
+
+  std::size_t input_width() const noexcept { return encoder_.output_width(); }
+  std::size_t output_dim() const noexcept { return projection_->output_dim(); }
+  const OneHotEncoder& encoder() const noexcept { return encoder_; }
+  const JlProjection& projection() const noexcept { return *projection_; }
+
+  /// Projection-matrix footprint (for resource accounting).
+  std::size_t bytes() const noexcept { return projection_->bytes(); }
+
+ private:
+  OneHotEncoder encoder_;
+  std::unique_ptr<JlProjection> projection_;
+  std::vector<double> imputation_means_;  // 1-hot width; defaults to zeros
+};
+
+}  // namespace frac

@@ -1,0 +1,65 @@
+#include "jl/projection.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/kernels.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace frac {
+
+JlProjection::JlProjection(std::size_t input_dim, std::size_t output_dim, RandomMatrixKind kind,
+                           Rng& rng)
+    : input_dim_(input_dim),
+      output_dim_(output_dim),
+      kind_(kind),
+      // CountSketch columns are already unit-norm; the dense families need
+      // the 1/√k variance correction.
+      scale_(kind == RandomMatrixKind::kCountSketch
+                 ? 1.0
+                 : 1.0 / std::sqrt(static_cast<double>(output_dim))) {
+  if (input_dim == 0 || output_dim == 0) {
+    throw std::invalid_argument("JlProjection: dimensions must be positive");
+  }
+  if (kind == RandomMatrixKind::kAchlioptas) {
+    sparse_ = make_sparse_sign_matrix(output_dim, input_dim, rng);
+  } else if (kind == RandomMatrixKind::kCountSketch) {
+    sparse_ = make_count_sketch_matrix(output_dim, input_dim, rng);
+  } else {
+    dense_ = make_random_matrix(output_dim, input_dim, kind, rng);
+  }
+}
+
+void JlProjection::project_row(std::span<const double> in, std::span<double> out) const {
+  assert(in.size() == input_dim_);
+  assert(out.size() == output_dim_);
+  if (kind_ == RandomMatrixKind::kAchlioptas || kind_ == RandomMatrixKind::kCountSketch) {
+    sparse_.multiply(in, out);
+  } else {
+    gemv(dense_, in, out);
+  }
+  scale(scale_, out);
+}
+
+Matrix JlProjection::project(const Matrix& in, ThreadPool& pool) const {
+  if (in.cols() != input_dim_) {
+    throw std::invalid_argument("JlProjection::project: input width mismatch");
+  }
+  Matrix out(in.rows(), output_dim_);
+  parallel_for(pool, 0, in.rows(),
+               [&](std::size_t r) { project_row(in.row(r), out.row(r)); });
+  return out;
+}
+
+Matrix JlProjection::project(const Matrix& in) const {
+  return project(in, ThreadPool::global());
+}
+
+std::size_t JlProjection::bytes() const noexcept {
+  const bool sparse_kind = kind_ == RandomMatrixKind::kAchlioptas ||
+                           kind_ == RandomMatrixKind::kCountSketch;
+  return sparse_kind ? sparse_.bytes() : dense_.bytes();
+}
+
+}  // namespace frac

@@ -1,0 +1,42 @@
+// Johnson–Lindenstrauss random projection: y = (1/√k) R x, with R a k×d
+// unit-variance random matrix (Gaussian, Uniform(−1,1)-scaled, or sparse
+// Achlioptas signs). The Achlioptas family stores only its ±√3 entries,
+// giving a ~3× cheaper, "database-friendly" projection (Achlioptas 2003).
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/random_matrix.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace frac {
+
+class JlProjection {
+ public:
+  /// Samples R for projecting d-dim input to k dims.
+  JlProjection(std::size_t input_dim, std::size_t output_dim, RandomMatrixKind kind, Rng& rng);
+
+  std::size_t input_dim() const noexcept { return input_dim_; }
+  std::size_t output_dim() const noexcept { return output_dim_; }
+  RandomMatrixKind kind() const noexcept { return kind_; }
+
+  /// Projects one row; out.size() must equal output_dim().
+  void project_row(std::span<const double> in, std::span<double> out) const;
+
+  /// Projects every row of `in` (n×d) into a new n×k matrix, in parallel.
+  Matrix project(const Matrix& in, ThreadPool& pool) const;
+  Matrix project(const Matrix& in) const;
+
+  /// Heap footprint of the stored projection matrix.
+  std::size_t bytes() const noexcept;
+
+ private:
+  std::size_t input_dim_;
+  std::size_t output_dim_;
+  RandomMatrixKind kind_;
+  double scale_;      // 1/√k
+  Matrix dense_;      // used for Gaussian/Uniform
+  SparseSignMatrix sparse_;  // used for Achlioptas
+};
+
+}  // namespace frac

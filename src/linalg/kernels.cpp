@@ -1,0 +1,111 @@
+#include "linalg/kernels.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace frac {
+
+double dot(std::span<const double> x, std::span<const double> y) noexcept {
+  assert(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) noexcept {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(double alpha, std::span<double> x) noexcept {
+  for (double& v : x) v *= alpha;
+}
+
+double squared_norm(std::span<const double> x) noexcept { return dot(x, x); }
+
+double norm(std::span<const double> x) noexcept { return std::sqrt(squared_norm(x)); }
+
+double squared_distance(std::span<const double> x, std::span<const double> y) noexcept {
+  assert(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+void gemv(const Matrix& a, std::span<const double> x, std::span<double> y) noexcept {
+  assert(x.size() == a.cols());
+  assert(y.size() == a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    y[i] = dot(a.row(i), x);
+  }
+}
+
+double mean(std::span<const double> x) noexcept {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (const double v : x) acc += v;
+  return acc / static_cast<double>(x.size());
+}
+
+double sample_variance(std::span<const double> x) noexcept {
+  if (x.size() < 2) return 0.0;
+  const double m = mean(x);
+  double acc = 0.0;
+  for (const double v : x) {
+    const double d = v - m;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(x.size() - 1);
+}
+
+double sample_stddev(std::span<const double> x) noexcept {
+  return std::sqrt(sample_variance(x));
+}
+
+double median(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  std::vector<double> copy(x.begin(), x.end());
+  const std::size_t mid = copy.size() / 2;
+  std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(mid), copy.end());
+  const double hi = copy[mid];
+  if (copy.size() % 2 == 1) return hi;
+  const double lo = *std::max_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double normal_quantile(double p) {
+  assert(p > 0.0 && p < 1.0);
+  // Acklam's algorithm: rational approximations on three regions.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - p_low) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+}  // namespace frac

@@ -1,0 +1,52 @@
+// Level-1/level-2 vector kernels used by the SVM solvers and JL projection.
+// All take std::span so callers can pass Matrix rows or plain vectors.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace frac {
+
+/// x · y. Sizes must match.
+double dot(std::span<const double> x, std::span<const double> y) noexcept;
+
+/// y += alpha * x.
+void axpy(double alpha, std::span<const double> x, std::span<double> y) noexcept;
+
+/// x *= alpha.
+void scale(double alpha, std::span<double> x) noexcept;
+
+/// Squared Euclidean norm.
+double squared_norm(std::span<const double> x) noexcept;
+
+/// Euclidean norm.
+double norm(std::span<const double> x) noexcept;
+
+/// Squared Euclidean distance between x and y.
+double squared_distance(std::span<const double> x, std::span<const double> y) noexcept;
+
+/// y = A x  (A: m×n, x: n, y: m).
+void gemv(const Matrix& a, std::span<const double> x, std::span<double> y) noexcept;
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> x) noexcept;
+
+/// Sample variance (divides by n-1); 0 when fewer than two values.
+double sample_variance(std::span<const double> x) noexcept;
+
+/// Sample standard deviation.
+double sample_stddev(std::span<const double> x) noexcept;
+
+/// Median (copies and partially sorts). 0 for empty input; the mean of the
+/// two central order statistics for even n.
+double median(std::span<const double> x);
+
+/// Standard normal quantile Φ⁻¹(p) for p in (0, 1) (Acklam's rational
+/// approximation, |relative error| < 1.2e-9). Used by the SNP generator's
+/// Gaussian-copula LD model.
+double normal_quantile(double p);
+
+}  // namespace frac

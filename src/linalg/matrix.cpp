@@ -1,0 +1,40 @@
+#include "linalg/matrix.hpp"
+
+namespace frac {
+
+std::vector<double> Matrix::col(std::size_t c) const {
+  assert(c < cols_);
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  // i-k-j ordering keeps the inner loop contiguous in both B and C.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const auto brow = b.row(k);
+      const auto crow = c.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        crow[j] += aik * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      t(j, i) = a(i, j);
+    }
+  }
+  return t;
+}
+
+}  // namespace frac

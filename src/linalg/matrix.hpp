@@ -1,0 +1,75 @@
+// Dense row-major matrix of doubles.
+//
+// Row-major because every hot loop in this library walks a sample's feature
+// vector contiguously: SVR coordinate descent touches one sample row at a
+// time, JL projection streams sample rows through the projection matrix, and
+// tree splitters gather one column at a time (the only strided access, and
+// it is O(n) per split evaluation, not the dominant cost).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace frac {
+
+/// Owning dense matrix, row-major, zero-initialized.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  Matrix(std::size_t rows, std::size_t cols, double fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Contiguous view of row r.
+  std::span<double> row(std::size_t r) noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Copies column c out (strided gather).
+  std::vector<double> col(std::size_t c) const;
+
+  double* data() noexcept { return data_.data(); }
+  const double* data() const noexcept { return data_.data(); }
+
+  /// Approximate heap footprint, used by the resource accounting layer.
+  std::size_t bytes() const noexcept { return data_.size() * sizeof(double); }
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A * B (naive triple loop with row-major-friendly ordering).
+/// Only used in tests and small pipelines; hot paths use gemv/dot kernels.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// Returns A transposed.
+Matrix transpose(const Matrix& a);
+
+}  // namespace frac

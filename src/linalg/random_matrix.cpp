@@ -1,0 +1,100 @@
+#include "linalg/random_matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace frac {
+
+Matrix make_random_matrix(std::size_t rows, std::size_t cols, RandomMatrixKind kind, Rng& rng) {
+  Matrix m(rows, cols);
+  const double sqrt3 = std::sqrt(3.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto row = m.row(r);
+    switch (kind) {
+      case RandomMatrixKind::kGaussian:
+        for (double& v : row) v = rng.normal();
+        break;
+      case RandomMatrixKind::kUniform:
+        // Uniform(-1,1) has variance 1/3; scale by sqrt(3) for unit variance.
+        for (double& v : row) v = sqrt3 * rng.uniform(-1.0, 1.0);
+        break;
+      case RandomMatrixKind::kAchlioptas:
+        for (double& v : row) {
+          const double u = rng.uniform();
+          v = u < (1.0 / 6.0) ? sqrt3 : (u < (2.0 / 6.0) ? -sqrt3 : 0.0);
+        }
+        break;
+      case RandomMatrixKind::kCountSketch:
+        // Column-sparse: handled below (rows are filled column-by-column).
+        break;
+    }
+  }
+  if (kind == RandomMatrixKind::kCountSketch) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m(rng.uniform_index(rows), c) = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    }
+  }
+  return m;
+}
+
+void SparseSignMatrix::multiply(std::span<const double> x, std::span<double> y) const noexcept {
+  assert(x.size() == cols);
+  assert(y.size() == rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    double acc = 0.0;
+    for (const auto& [c, v] : row_entries[r]) acc += static_cast<double>(v) * x[c];
+    y[r] = acc;
+  }
+}
+
+std::size_t SparseSignMatrix::bytes() const noexcept {
+  std::size_t total = sizeof(*this);
+  for (const auto& row : row_entries) {
+    total += row.capacity() * sizeof(std::pair<std::uint32_t, float>);
+  }
+  return total;
+}
+
+SparseSignMatrix make_count_sketch_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  SparseSignMatrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.row_entries.resize(rows);
+  for (std::size_t c = 0; c < cols; ++c) {
+    const std::size_t r = rng.uniform_index(rows);
+    m.row_entries[r].emplace_back(static_cast<std::uint32_t>(c),
+                                  rng.bernoulli(0.5) ? 1.0f : -1.0f);
+  }
+  // multiply() does not require column order, but keep rows sorted for
+  // deterministic layout and cache-friendly access.
+  for (auto& row : m.row_entries) {
+    std::sort(row.begin(), row.end());
+    row.shrink_to_fit();
+  }
+  return m;
+}
+
+SparseSignMatrix make_sparse_sign_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  SparseSignMatrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.row_entries.resize(rows);
+  const float sqrt3 = static_cast<float>(std::sqrt(3.0));
+  for (std::size_t r = 0; r < rows; ++r) {
+    auto& entries = m.row_entries[r];
+    entries.reserve(cols / 3 + 8);
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double u = rng.uniform();
+      if (u < (1.0 / 6.0)) {
+        entries.emplace_back(static_cast<std::uint32_t>(c), sqrt3);
+      } else if (u < (2.0 / 6.0)) {
+        entries.emplace_back(static_cast<std::uint32_t>(c), -sqrt3);
+      }
+    }
+    entries.shrink_to_fit();
+  }
+  return m;
+}
+
+}  // namespace frac

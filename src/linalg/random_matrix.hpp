@@ -1,0 +1,54 @@
+// Random matrix fills for Johnson–Lindenstrauss projections.
+//
+// Four families:
+//  * Gaussian         — entries N(0, 1)
+//  * Uniform          — entries Uniform(-1, 1) scaled to unit variance
+//  * Achlioptas       — entries sqrt(3)·{+1 w.p. 1/6, 0 w.p. 2/3, −1 w.p. 1/6}
+//                       (Achlioptas 2003, "database-friendly" projections)
+//  * CountSketch      — exactly one ±1 per input column (feature hashing /
+//                       sparse JL; Charikar et al. 2002). Addresses the
+//                       paper's future-work note on "preprocessing
+//                       techniques tailored to preserve the structure of
+//                       discrete data": a 1-hot indicator maps to a single
+//                       signed coordinate instead of being smeared across
+//                       every output dimension, and projection costs O(d)
+//                       instead of O(k·d).
+// The first three have per-entry variance 1, so projecting with (1/√k)·R
+// preserves expected squared norms; CountSketch is norm-preserving with no
+// scaling (each column has unit norm by construction).
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace frac {
+
+enum class RandomMatrixKind { kGaussian, kUniform, kAchlioptas, kCountSketch };
+
+/// Fills a k×d matrix with iid unit-variance entries from `kind`.
+Matrix make_random_matrix(std::size_t rows, std::size_t cols, RandomMatrixKind kind, Rng& rng);
+
+/// Sparse row-compressed form of an Achlioptas matrix: only the ±sqrt(3)
+/// entries are stored, which makes projection ~3× cheaper. rows/cols give
+/// the logical dense shape.
+struct SparseSignMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  /// Per row: (column, value) pairs for nonzero entries, column-sorted.
+  std::vector<std::vector<std::pair<std::uint32_t, float>>> row_entries;
+
+  /// y = M x for one vector.
+  void multiply(std::span<const double> x, std::span<double> y) const noexcept;
+
+  /// Logical heap footprint in bytes.
+  std::size_t bytes() const noexcept;
+};
+
+/// Samples a sparse Achlioptas matrix directly in compressed form.
+SparseSignMatrix make_sparse_sign_matrix(std::size_t rows, std::size_t cols, Rng& rng);
+
+/// Samples a CountSketch matrix: per column, one uniformly chosen row gets
+/// a ±1 entry. Stored in the same row-compressed form.
+SparseSignMatrix make_count_sketch_matrix(std::size_t rows, std::size_t cols, Rng& rng);
+
+}  // namespace frac

@@ -1,0 +1,108 @@
+#include "ml/baseline/lof.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/kernels.hpp"
+
+namespace frac {
+
+namespace {
+
+/// k smallest of dists (excluding excluded index), returned ascending as
+/// (distance, index) pairs.
+std::vector<std::pair<double, std::size_t>> k_smallest(const std::vector<double>& dists,
+                                                       std::size_t k,
+                                                       std::size_t exclude) {
+  std::vector<std::pair<double, std::size_t>> pairs;
+  pairs.reserve(dists.size());
+  for (std::size_t i = 0; i < dists.size(); ++i) {
+    if (i == exclude) continue;
+    pairs.emplace_back(dists[i], i);
+  }
+  k = std::min(k, pairs.size());
+  std::partial_sort(pairs.begin(), pairs.begin() + static_cast<std::ptrdiff_t>(k), pairs.end());
+  pairs.resize(k);
+  return pairs;
+}
+
+}  // namespace
+
+void Lof::fit(const Matrix& train, const LofConfig& config) {
+  if (train.rows() < 2) throw std::invalid_argument("Lof::fit: need >= 2 training points");
+  train_ = train;
+  const std::size_t n = train_.rows();
+  k_ = std::clamp<std::size_t>(config.k, 1, n - 1);
+
+  // Pairwise distances among training points.
+  Matrix dist(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = std::sqrt(squared_distance(train_.row(i), train_.row(j)));
+      dist(i, j) = d;
+      dist(j, i) = d;
+    }
+  }
+
+  // k-distance and neighbor sets.
+  std::vector<std::vector<std::pair<double, std::size_t>>> knn(n);
+  k_distance_.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row(n);
+    for (std::size_t j = 0; j < n; ++j) row[j] = dist(i, j);
+    knn[i] = k_smallest(row, k_, i);
+    k_distance_[i] = knn[i].back().first;
+  }
+
+  // lrd(i) = 1 / mean reach-dist(i, neighbor).
+  lrd_.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (const auto& [d, j] : knn[i]) {
+      acc += std::max(d, k_distance_[j]);
+    }
+    const double mean_reach = acc / static_cast<double>(knn[i].size());
+    lrd_[i] = mean_reach > 0.0 ? 1.0 / mean_reach : std::numeric_limits<double>::infinity();
+  }
+}
+
+void Lof::neighbors_of(std::span<const double> x, std::vector<std::size_t>& index_out,
+                       std::vector<double>& dist_out) const {
+  const std::size_t n = train_.rows();
+  std::vector<double> dists(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    dists[i] = std::sqrt(squared_distance(x, train_.row(i)));
+  }
+  const auto pairs = k_smallest(dists, k_, n /* exclude nothing */);
+  index_out.clear();
+  dist_out.clear();
+  for (const auto& [d, i] : pairs) {
+    index_out.push_back(i);
+    dist_out.push_back(d);
+  }
+}
+
+double Lof::score(std::span<const double> x) const {
+  if (train_.rows() == 0) throw std::logic_error("Lof::score before fit");
+  std::vector<std::size_t> idx;
+  std::vector<double> d;
+  neighbors_of(x, idx, d);
+
+  // lrd of the query point w.r.t. its training neighbors.
+  double acc = 0.0;
+  for (std::size_t t = 0; t < idx.size(); ++t) {
+    acc += std::max(d[t], k_distance_[idx[t]]);
+  }
+  const double mean_reach = acc / static_cast<double>(idx.size());
+  if (mean_reach <= 0.0) return 1.0;  // coincides with dense training points
+  const double lrd_x = 1.0 / mean_reach;
+
+  double neighbor_lrd = 0.0;
+  for (const std::size_t i : idx) neighbor_lrd += lrd_[i];
+  neighbor_lrd /= static_cast<double>(idx.size());
+  return neighbor_lrd / lrd_x;
+}
+
+}  // namespace frac

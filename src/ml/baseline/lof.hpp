@@ -1,0 +1,45 @@
+// Local Outlier Factor (Breunig et al., 2000) — one of the two competing
+// anomaly detectors the paper's introduction measures FRaC against.
+//
+// Semi-supervised usage matching FRaC's protocol: fit on the (all-normal)
+// training population; score test points against it. A test point's LOF is
+// the mean local reachability density of its k nearest training neighbors
+// divided by its own lrd; ≫1 means locally sparse, i.e. anomalous.
+// Brute-force O(n²) neighbor search — training populations here are tiny
+// (tens to hundreds of samples).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace frac {
+
+struct LofConfig {
+  std::size_t k = 10;  ///< neighborhood size (clamped to n-1 at fit time)
+};
+
+class Lof {
+ public:
+  /// Stores training rows, precomputes each training point's k-distance and
+  /// local reachability density.
+  void fit(const Matrix& train, const LofConfig& config);
+
+  /// LOF score for one point (higher = more anomalous).
+  double score(std::span<const double> x) const;
+
+  std::size_t neighborhood_size() const noexcept { return k_; }
+
+ private:
+  /// k nearest training indices and their distances to `x`, ascending.
+  void neighbors_of(std::span<const double> x, std::vector<std::size_t>& index_out,
+                    std::vector<double>& dist_out) const;
+
+  Matrix train_;
+  std::size_t k_ = 0;
+  std::vector<double> k_distance_;  // per training point
+  std::vector<double> lrd_;         // per training point
+};
+
+}  // namespace frac

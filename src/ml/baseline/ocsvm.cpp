@@ -1,0 +1,55 @@
+#include "ml/baseline/ocsvm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/kernels.hpp"
+#include "util/rng.hpp"
+
+namespace frac {
+
+void OneClassSvm::fit(const Matrix& train, const OcSvmConfig& config) {
+  const std::size_t n = train.rows();
+  const std::size_t d = train.cols();
+  if (n == 0) throw std::invalid_argument("OneClassSvm::fit: empty training set");
+  if (config.nu <= 0.0 || config.nu > 1.0) {
+    throw std::invalid_argument("OneClassSvm::fit: nu must be in (0, 1]");
+  }
+
+  w_.assign(d, 0.0);
+  rho_ = 0.0;
+  const double inv_nu_n = 1.0 / (config.nu * static_cast<double>(n));
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  Rng rng(config.seed);
+
+  std::size_t t = 0;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (const std::size_t i : order) {
+      ++t;
+      const double lr = config.learning_rate / static_cast<double>(t);
+      const auto xi = train.row(i);
+      const double margin = dot(w_, xi) - rho_;
+      // ∂/∂w [1/2‖w‖²] = w; hinge active when w·x < ρ.
+      scale(1.0 - lr, w_);
+      if (margin < 0.0) {
+        axpy(lr * inv_nu_n * static_cast<double>(n), xi, w_);
+        // ∂/∂ρ: −1 (from −ρ) + 1/(νn)·n·[hinge active] — per-sample scaled.
+        rho_ -= lr * (static_cast<double>(n) * inv_nu_n - 1.0);
+      } else {
+        rho_ += lr;
+      }
+    }
+  }
+}
+
+double OneClassSvm::score(std::span<const double> x) const {
+  if (w_.empty()) throw std::logic_error("OneClassSvm::score before fit");
+  return rho_ - dot(w_, x);
+}
+
+}  // namespace frac

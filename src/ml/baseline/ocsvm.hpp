@@ -1,0 +1,41 @@
+// Linear one-class SVM (Schölkopf et al., 2000) — the second competing
+// anomaly detector from the paper's introduction.
+//
+// Primal ν-formulation:
+//     min_{w,ρ}  1/2 ‖w‖² − ρ + 1/(νn) Σ_i max(0, ρ − w·x_i)
+// solved by deterministic subgradient descent with a 1/t step schedule
+// (Pegasos-style). The anomaly score is ρ − w·x (signed distance inside the
+// rejecting halfspace; higher = more anomalous).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace frac {
+
+struct OcSvmConfig {
+  double nu = 0.1;            ///< upper bound on the training outlier fraction
+  std::size_t epochs = 200;   ///< full passes of subgradient descent
+  double learning_rate = 1.0; ///< initial step size (decays as lr/t)
+  std::uint64_t seed = 17;    ///< epoch-order shuffling
+};
+
+class OneClassSvm {
+ public:
+  void fit(const Matrix& train, const OcSvmConfig& config);
+
+  /// ρ − w·x; higher = more anomalous.
+  double score(std::span<const double> x) const;
+
+  const std::vector<double>& weights() const noexcept { return w_; }
+  double rho() const noexcept { return rho_; }
+
+ private:
+  std::vector<double> w_;
+  double rho_ = 0.0;
+};
+
+}  // namespace frac

@@ -1,0 +1,70 @@
+#include "ml/cross_validation.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace frac {
+
+std::vector<std::vector<std::size_t>> kfold_indices(std::size_t n, std::size_t folds, Rng& rng) {
+  if (folds < 2) throw std::invalid_argument("kfold: need at least 2 folds");
+  if (n < 2) throw std::invalid_argument("kfold: need at least 2 samples");
+  folds = std::min(folds, n);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  std::vector<std::vector<std::size_t>> out(folds);
+  for (std::size_t i = 0; i < n; ++i) out[i % folds].push_back(order[i]);
+  for (auto& fold : out) std::sort(fold.begin(), fold.end());
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> stratified_kfold_indices(std::span<const double> codes,
+                                                               std::size_t folds, Rng& rng) {
+  const std::size_t n = codes.size();
+  if (folds < 2) throw std::invalid_argument("stratified kfold: need at least 2 folds");
+  if (n < 2) throw std::invalid_argument("stratified kfold: need at least 2 samples");
+  folds = std::min(folds, n);
+
+  // Group indices by class, shuffle within each class, then deal classes
+  // round-robin across folds with a rotating start so small classes do not
+  // all land in fold 0.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return codes[a] < codes[b]; });
+
+  std::vector<std::vector<std::size_t>> out(folds);
+  std::size_t next_fold = rng.uniform_index(folds);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j < n && codes[order[j]] == codes[order[i]]) ++j;
+    std::vector<std::size_t> group(order.begin() + static_cast<std::ptrdiff_t>(i),
+                                   order.begin() + static_cast<std::ptrdiff_t>(j));
+    rng.shuffle(group);
+    for (const std::size_t sample : group) {
+      out[next_fold].push_back(sample);
+      next_fold = (next_fold + 1) % folds;
+    }
+    i = j;
+  }
+  for (auto& fold : out) std::sort(fold.begin(), fold.end());
+  return out;
+}
+
+std::vector<std::size_t> fold_complement(std::size_t n, const std::vector<std::size_t>& fold) {
+  std::vector<bool> in_fold(n, false);
+  for (const std::size_t i : fold) {
+    if (i >= n) throw std::out_of_range("fold_complement: index out of range");
+    in_fold[i] = true;
+  }
+  std::vector<std::size_t> out;
+  out.reserve(n - fold.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!in_fold[i]) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace frac

@@ -1,0 +1,27 @@
+// k-fold index partitioning. FRaC builds its error models from k-fold
+// cross-validated predictions on the training set (paper §I.A.1).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace frac {
+
+/// Partition of [0, n) into `folds` nearly-equal shuffled parts.
+/// Every index appears in exactly one fold; fold sizes differ by ≤ 1.
+/// Requires folds >= 2; folds is clamped to n when n < folds.
+std::vector<std::vector<std::size_t>> kfold_indices(std::size_t n, std::size_t folds, Rng& rng);
+
+/// Complement of one fold: all indices not in `fold`, ascending.
+std::vector<std::size_t> fold_complement(std::size_t n, const std::vector<std::size_t>& fold);
+
+/// Stratified partition: each fold receives a near-equal share of every
+/// class (codes[i] identifies sample i's class). FRaC uses this for
+/// categorical targets so rare genotypes appear in (almost) every training
+/// fold instead of clustering into one. Same contract as kfold_indices.
+std::vector<std::vector<std::size_t>> stratified_kfold_indices(
+    std::span<const double> codes, std::size_t folds, Rng& rng);
+
+}  // namespace frac

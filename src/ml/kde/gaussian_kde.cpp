@@ -1,0 +1,84 @@
+#include "ml/kde/gaussian_kde.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "linalg/kernels.hpp"
+
+namespace frac {
+
+void GaussianKde::fit(std::span<const double> values) {
+  points_.clear();
+  for (const double v : values) {
+    if (!std::isnan(v)) points_.push_back(v);
+  }
+  if (points_.empty()) throw std::invalid_argument("GaussianKde::fit: no finite values");
+
+  const double sd = sample_stddev(points_);
+  // Robust spread: min(sd, IQR/1.34); falls back to sd when IQR is 0.
+  std::vector<double> sorted = points_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto quantile = [&](double q) {
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  };
+  const double iqr = quantile(0.75) - quantile(0.25);
+  double spread = sd;
+  if (iqr > 0.0) spread = std::min(spread, iqr / 1.34);
+  if (spread <= 0.0) spread = std::max(std::abs(sorted.back()), 1.0) * 1e-3;
+
+  const double n = static_cast<double>(points_.size());
+  bandwidth_ = 1.06 * spread * std::pow(n, -0.2);  // Silverman
+  if (bandwidth_ <= 0.0) bandwidth_ = 1e-6;
+}
+
+double GaussianKde::pdf(double x) const {
+  if (points_.empty()) throw std::logic_error("GaussianKde::pdf before fit");
+  const double inv_h = 1.0 / bandwidth_;
+  const double norm = inv_h / (static_cast<double>(points_.size()) *
+                               std::sqrt(2.0 * std::numbers::pi));
+  double acc = 0.0;
+  for (const double p : points_) {
+    const double z = (x - p) * inv_h;
+    acc += std::exp(-0.5 * z * z);
+  }
+  return norm * acc;
+}
+
+double GaussianKde::differential_entropy(std::size_t grid_points) const {
+  if (points_.empty()) throw std::logic_error("GaussianKde::differential_entropy before fit");
+  if (grid_points < 2) throw std::invalid_argument("differential_entropy: need >= 2 grid points");
+  const auto [lo_it, hi_it] = std::minmax_element(points_.begin(), points_.end());
+  const double lo = *lo_it - 4.0 * bandwidth_;
+  const double hi = *hi_it + 4.0 * bandwidth_;
+  const double step = (hi - lo) / static_cast<double>(grid_points - 1);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < grid_points; ++i) {
+    const double x = lo + step * static_cast<double>(i);
+    const double f = pdf(x);
+    const double g = f > 0.0 ? -f * std::log(f) : 0.0;
+    const double weight = (i == 0 || i == grid_points - 1) ? 0.5 : 1.0;
+    acc += weight * g;
+  }
+  return acc * step;
+}
+
+double categorical_entropy(std::span<const std::size_t> counts) {
+  std::size_t total = 0;
+  for (const std::size_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace frac

@@ -1,0 +1,82 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "linalg/kernels.hpp"
+
+namespace frac {
+
+double auc(std::span<const double> scores, std::span<const Label> labels) {
+  assert(scores.size() == labels.size());
+  // Rank-sum with midranks for ties.
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+
+  double rank_sum_anomaly = 0.0;
+  std::size_t anomalies = 0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j < order.size() && scores[order[j]] == scores[order[i]]) ++j;
+    // Ranks are 1-based; tied block [i, j) shares the midrank.
+    const double midrank = 0.5 * static_cast<double>(i + 1 + j);
+    for (std::size_t k = i; k < j; ++k) {
+      if (labels[order[k]] == Label::kAnomaly) {
+        rank_sum_anomaly += midrank;
+        ++anomalies;
+      }
+    }
+    i = j;
+  }
+  const std::size_t normals = scores.size() - anomalies;
+  if (anomalies == 0 || normals == 0) return 0.5;
+  const double u = rank_sum_anomaly -
+                   static_cast<double>(anomalies) * static_cast<double>(anomalies + 1) / 2.0;
+  return u / (static_cast<double>(anomalies) * static_cast<double>(normals));
+}
+
+double auc(std::span<const double> anomaly_scores, std::span<const double> normal_scores) {
+  std::vector<double> scores(anomaly_scores.begin(), anomaly_scores.end());
+  scores.insert(scores.end(), normal_scores.begin(), normal_scores.end());
+  std::vector<Label> labels(anomaly_scores.size(), Label::kAnomaly);
+  labels.insert(labels.end(), normal_scores.size(), Label::kNormal);
+  return auc(scores, labels);
+}
+
+std::vector<RocPoint> roc_curve(std::span<const double> scores, std::span<const Label> labels) {
+  assert(scores.size() == labels.size());
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Descending score: most anomalous first.
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+  double positives = 0.0;
+  double negatives = 0.0;
+  for (const Label l : labels) (l == Label::kAnomaly ? positives : negatives) += 1.0;
+
+  std::vector<RocPoint> curve;
+  curve.push_back({0.0, 0.0});
+  double tp = 0.0;
+  double fp = 0.0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j < order.size() && scores[order[j]] == scores[order[i]]) ++j;
+    for (std::size_t k = i; k < j; ++k) {
+      (labels[order[k]] == Label::kAnomaly ? tp : fp) += 1.0;
+    }
+    curve.push_back({negatives > 0 ? fp / negatives : 0.0, positives > 0 ? tp / positives : 0.0});
+    i = j;
+  }
+  return curve;
+}
+
+MeanSd mean_sd(std::span<const double> values) {
+  return {mean(values), sample_stddev(values)};
+}
+
+}  // namespace frac

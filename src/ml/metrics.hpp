@@ -1,0 +1,34 @@
+// Evaluation metrics. The paper evaluates every method by AUC: rank test
+// samples by anomaly score and compute the area under the ROC curve.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace frac {
+
+/// Area under the ROC curve by the Mann–Whitney U statistic; ties get half
+/// credit. Scores are "higher = more anomalous". Returns 0.5 when either
+/// class is empty (no ranking information).
+double auc(std::span<const double> scores, std::span<const Label> labels);
+
+/// AUC given separate anomaly/normal score vectors.
+double auc(std::span<const double> anomaly_scores, std::span<const double> normal_scores);
+
+/// One ROC point per threshold, from (0,0) to (1,1); used by examples.
+struct RocPoint {
+  double fpr = 0.0;
+  double tpr = 0.0;
+};
+std::vector<RocPoint> roc_curve(std::span<const double> scores, std::span<const Label> labels);
+
+/// Mean and sample standard deviation of a vector (for "AUC (sd)" cells).
+struct MeanSd {
+  double mean = 0.0;
+  double sd = 0.0;
+};
+MeanSd mean_sd(std::span<const double> values);
+
+}  // namespace frac

@@ -1,0 +1,147 @@
+#include "ml/svm/linear_svc.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/kernels.hpp"
+#include "util/serialize.hpp"
+
+namespace frac {
+
+void BinaryLinearSvc::fit(const Matrix& x, std::span<const int> y, const LinearSvcConfig& config) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  if (n == 0) throw std::invalid_argument("BinaryLinearSvc::fit: empty training set");
+  if (y.size() != n) throw std::invalid_argument("BinaryLinearSvc::fit: |y| != rows(x)");
+  for (const int label : y) {
+    if (label != -1 && label != 1) {
+      throw std::invalid_argument("BinaryLinearSvc::fit: labels must be -1/+1");
+    }
+  }
+
+  w_.assign(d, 0.0);
+  bias_ = 0.0;
+  std::vector<double> alpha(n, 0.0);
+  std::vector<double> q_diag(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    q_diag[i] = squared_norm(x.row(i)) + (config.fit_bias ? 1.0 : 0.0);
+    if (q_diag[i] <= 0.0) q_diag[i] = 1e-12;
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  Rng rng(config.seed);
+
+  const double c = config.c;
+  double prev_objective = std::numeric_limits<double>::infinity();
+  for (std::size_t pass = 0; pass < config.max_passes; ++pass) {
+    rng.shuffle(order);
+    double max_violation = 0.0;
+    for (const std::size_t i : order) {
+      const auto xi = x.row(i);
+      const double yi = y[i];
+      const double g = yi * (dot(w_, xi) + (config.fit_bias ? bias_ : 0.0)) - 1.0;
+      // Projected gradient for the box constraint [0, C].
+      double pg = g;
+      if (alpha[i] == 0.0) pg = std::min(g, 0.0);
+      else if (alpha[i] == c) pg = std::max(g, 0.0);
+      if (pg == 0.0) continue;
+      max_violation = std::max(max_violation, std::abs(pg));
+      const double old = alpha[i];
+      alpha[i] = std::clamp(old - g / q_diag[i], 0.0, c);
+      const double delta = (alpha[i] - old) * yi;
+      if (delta != 0.0) {
+        axpy(delta, xi, w_);
+        if (config.fit_bias) bias_ += delta;
+      }
+    }
+    if (max_violation < config.tol) break;
+    // Dual objective: 1/2‖w̃‖² − Σα.
+    double objective = 0.5 * (squared_norm(w_) + bias_ * bias_);
+    for (const double a : alpha) objective -= a;
+    if (prev_objective - objective < config.objective_tol * (1.0 + std::abs(objective))) {
+      break;
+    }
+    prev_objective = objective;
+  }
+
+  support_vectors_ = static_cast<std::size_t>(
+      std::count_if(alpha.begin(), alpha.end(), [](double a) { return a != 0.0; }));
+}
+
+double BinaryLinearSvc::decision(std::span<const double> x) const {
+  assert(x.size() == w_.size());
+  return dot(w_, x) + bias_;
+}
+
+int BinaryLinearSvc::predict(std::span<const double> x) const {
+  return decision(x) < 0.0 ? -1 : 1;
+}
+
+void OneVsRestSvc::fit(const Matrix& x, std::span<const double> codes, std::uint32_t arity,
+                       const LinearSvcConfig& config) {
+  if (arity < 2) throw std::invalid_argument("OneVsRestSvc::fit: arity must be >= 2");
+  binary_.assign(arity, BinaryLinearSvc{});
+  std::vector<int> y(x.rows());
+  for (std::uint32_t k = 0; k < arity; ++k) {
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      y[i] = static_cast<std::uint32_t>(codes[i]) == k ? 1 : -1;
+    }
+    LinearSvcConfig per_class = config;
+    per_class.seed = config.seed + k;
+    binary_[k].fit(x, y, per_class);
+  }
+}
+
+std::uint32_t OneVsRestSvc::predict(std::span<const double> x) const {
+  std::uint32_t best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (std::uint32_t k = 0; k < binary_.size(); ++k) {
+    const double score = binary_[k].decision(x);
+    if (score > best_score) {
+      best_score = score;
+      best = k;
+    }
+  }
+  return best;
+}
+
+std::size_t OneVsRestSvc::support_vector_count() const {
+  std::size_t total = 0;
+  for (const auto& b : binary_) total += b.support_vector_count();
+  return total;
+}
+
+void BinaryLinearSvc::save(std::ostream& out) const {
+  write_tagged(out, "svc.w", w_);
+  write_tagged(out, "svc.bias", bias_);
+  write_tagged(out, "svc.sv", static_cast<std::uint64_t>(support_vectors_));
+}
+
+BinaryLinearSvc BinaryLinearSvc::load(std::istream& in) {
+  BinaryLinearSvc model;
+  model.w_ = read_tagged_doubles(in, "svc.w");
+  model.bias_ = read_tagged_double(in, "svc.bias");
+  model.support_vectors_ = read_tagged_uint(in, "svc.sv");
+  return model;
+}
+
+void OneVsRestSvc::save(std::ostream& out) const {
+  write_tagged(out, "ovr.classes", static_cast<std::uint64_t>(binary_.size()));
+  for (const BinaryLinearSvc& b : binary_) b.save(out);
+}
+
+OneVsRestSvc OneVsRestSvc::load(std::istream& in) {
+  OneVsRestSvc model;
+  const std::uint64_t classes = read_tagged_uint(in, "ovr.classes");
+  model.binary_.reserve(classes);
+  for (std::uint64_t k = 0; k < classes; ++k) {
+    model.binary_.push_back(BinaryLinearSvc::load(in));
+  }
+  return model;
+}
+
+}  // namespace frac

@@ -1,0 +1,125 @@
+#include "ml/svm/linear_svr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/kernels.hpp"
+#include "util/serialize.hpp"
+
+namespace frac {
+
+void LinearSvr::fit(const Matrix& x, std::span<const double> y, const LinearSvrConfig& config) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  if (n == 0) throw std::invalid_argument("LinearSvr::fit: empty training set");
+  if (y.size() != n) throw std::invalid_argument("LinearSvr::fit: |y| != rows(x)");
+  if (config.c <= 0.0) throw std::invalid_argument("LinearSvr::fit: C must be positive");
+  if (config.epsilon < 0.0) throw std::invalid_argument("LinearSvr::fit: negative epsilon");
+
+  w_.assign(d, 0.0);
+  bias_ = 0.0;
+  std::vector<double> beta(n, 0.0);
+
+  // Q_ii = ‖x̃_i‖² with the augmented bias feature.
+  std::vector<double> q_diag(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    q_diag[i] = squared_norm(x.row(i)) + (config.fit_bias ? 1.0 : 0.0);
+    if (q_diag[i] <= 0.0) q_diag[i] = 1e-12;  // all-zero row: keep the step defined
+  }
+
+  std::vector<std::size_t> active(n);
+  std::iota(active.begin(), active.end(), std::size_t{0});
+  Rng rng(config.seed);
+
+  const double c = config.c;
+  const double eps = config.epsilon;
+  // Shrinking margin: a coordinate whose optimality condition holds by this
+  // much is parked (liblinear-style) and only revisited in the final
+  // verification sweep.
+  const double park_margin = 0.1 * eps + 1e-3;
+  passes_used_ = 0;
+  double prev_objective = std::numeric_limits<double>::infinity();
+  int verification_rounds = 2;
+  for (std::size_t pass = 0; pass < config.max_passes; ++pass) {
+    ++passes_used_;
+    rng.shuffle(active);
+    double max_step = 0.0;
+    std::size_t kept = 0;
+    for (const std::size_t i : active) {
+      const auto xi = x.row(i);
+      const double a = q_diag[i];
+      // Dual objective restricted to coordinate i, in terms of z = β_i + d:
+      //   1/2·a·z² + b·z + ε|z|,  b = g_i − a·β_i,  g_i = w·x̃_i − y_i.
+      const double g = dot(w_, xi) + (config.fit_bias ? bias_ : 0.0) - y[i];
+      const double b = g - a * beta[i];
+      double z;
+      if (b < -eps) z = -(b + eps) / a;
+      else if (b > eps) z = -(b - eps) / a;
+      else z = 0.0;
+      z = std::clamp(z, -c, c);
+      const double delta = z - beta[i];
+      if (delta != 0.0) {
+        beta[i] = z;
+        axpy(delta, xi, w_);
+        if (config.fit_bias) bias_ += delta;
+        max_step = std::max(max_step, std::abs(delta) * std::sqrt(a));
+      }
+      // Park coordinates that sit at an optimum with margin: at a bound
+      // with an outward-pushing gradient, or at 0 well inside the ε-tube.
+      const double g_new = g + a * delta;
+      const bool parked = (beta[i] == c && g_new + eps < -park_margin) ||
+                          (beta[i] == -c && g_new - eps > park_margin) ||
+                          (beta[i] == 0.0 && std::abs(g_new) < eps - park_margin);
+      if (!parked) active[kept++] = i;
+    }
+    if (kept > 0) active.resize(kept);
+
+    bool converged = max_step < config.tol;
+    if (!converged) {
+      // Dual objective: 1/2‖w̃‖² + ε‖β‖₁ − yᵀβ (w̃ includes the bias weight).
+      double objective = 0.5 * (squared_norm(w_) + bias_ * bias_);
+      for (std::size_t i = 0; i < n; ++i) {
+        objective += eps * std::abs(beta[i]) - y[i] * beta[i];
+      }
+      converged =
+          prev_objective - objective < config.objective_tol * (1.0 + std::abs(objective));
+      prev_objective = objective;
+    }
+    if (converged || active.empty()) {
+      // Verify against the full coordinate set; parked coordinates may have
+      // become violated by later updates.
+      if (verification_rounds-- <= 0) break;
+      if (active.size() == n) break;
+      active.resize(n);
+      std::iota(active.begin(), active.end(), std::size_t{0});
+      prev_objective = std::numeric_limits<double>::infinity();
+    }
+  }
+
+  support_vectors_ = static_cast<std::size_t>(
+      std::count_if(beta.begin(), beta.end(), [](double b) { return b != 0.0; }));
+}
+
+void LinearSvr::save(std::ostream& out) const {
+  write_tagged(out, "svr.w", w_);
+  write_tagged(out, "svr.bias", bias_);
+  write_tagged(out, "svr.sv", static_cast<std::uint64_t>(support_vectors_));
+}
+
+LinearSvr LinearSvr::load(std::istream& in) {
+  LinearSvr model;
+  model.w_ = read_tagged_doubles(in, "svr.w");
+  model.bias_ = read_tagged_double(in, "svr.bias");
+  model.support_vectors_ = read_tagged_uint(in, "svr.sv");
+  return model;
+}
+
+double LinearSvr::predict(std::span<const double> x) const {
+  assert(x.size() == w_.size());
+  return dot(w_, x) + bias_;
+}
+
+}  // namespace frac

@@ -1,0 +1,430 @@
+#include "ml/tree/decision_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "data/dataset.hpp"  // is_missing
+#include "util/serialize.hpp"
+
+namespace frac {
+
+namespace {
+
+/// Gini or entropy of a code-count histogram.
+double class_impurity(std::span<const std::size_t> counts, std::size_t total,
+                      SplitCriterion criterion) {
+  if (total == 0) return 0.0;
+  double impurity = criterion == SplitCriterion::kGini ? 1.0 : 0.0;
+  for (const std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    if (criterion == SplitCriterion::kGini) impurity -= p * p;
+    else impurity -= p * std::log2(p);
+  }
+  return impurity;
+}
+
+/// Majority code of a histogram (smallest code wins ties, deterministically).
+std::uint32_t majority_code(std::span<const std::size_t> counts) {
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < counts.size(); ++k) {
+    if (counts[k] > counts[best]) best = k;
+  }
+  return static_cast<std::uint32_t>(best);
+}
+
+struct SplitResult {
+  bool found = false;
+  std::uint32_t feature = 0;
+  bool categorical = false;
+  double threshold = 0.0;
+  std::uint32_t category = 0;
+  double gain = 0.0;  // impurity decrease, weighted by node fraction
+};
+
+}  // namespace
+
+struct DecisionTree::BuildContext {
+  const Matrix& x;
+  std::span<const double> y;
+  std::span<const std::uint32_t> arities;
+  TreeTask task;
+  std::uint32_t target_arity;
+  const DecisionTreeConfig& config;
+  Rng rng;
+  std::size_t total_samples;
+  std::size_t max_depth_seen = 0;
+  // Scratch reused across nodes.
+  std::vector<std::pair<double, double>> sorted_scratch;  // (feature value, y)
+};
+
+std::int32_t DecisionTree::build(BuildContext& ctx, std::vector<std::size_t>& samples,
+                                 std::size_t depth) {
+  ctx.max_depth_seen = std::max(ctx.max_depth_seen, depth);
+  const std::size_t n = samples.size();
+  assert(n > 0);
+
+  // Node statistics.
+  double node_impurity;
+  float leaf_value;
+  std::vector<std::size_t> class_counts;
+  if (ctx.task == TreeTask::kClassification) {
+    class_counts.assign(ctx.target_arity, 0);
+    for (const std::size_t s : samples) {
+      ++class_counts[static_cast<std::size_t>(ctx.y[s])];
+    }
+    node_impurity = class_impurity(class_counts, n, ctx.config.criterion);
+    leaf_value = static_cast<float>(majority_code(class_counts));
+  } else {
+    double sum = 0.0, sum_sq = 0.0;
+    for (const std::size_t s : samples) {
+      sum += ctx.y[s];
+      sum_sq += ctx.y[s] * ctx.y[s];
+    }
+    const double mean = sum / static_cast<double>(n);
+    node_impurity = std::max(0.0, sum_sq / static_cast<double>(n) - mean * mean);  // MSE
+    leaf_value = static_cast<float>(mean);
+  }
+
+  const auto make_leaf = [&]() -> std::int32_t {
+    Node leaf;
+    leaf.value = leaf_value;
+    nodes_.push_back(leaf);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  if (depth >= ctx.config.max_depth || n < ctx.config.min_samples_split ||
+      node_impurity <= 0.0) {
+    return make_leaf();
+  }
+
+  // Candidate features: all, or a random subset of max_features.
+  const std::size_t d = ctx.x.cols();
+  std::vector<std::size_t> candidates;
+  if (ctx.config.max_features > 0 && ctx.config.max_features < d) {
+    candidates = ctx.rng.sample_without_replacement(d, ctx.config.max_features);
+  } else {
+    candidates.resize(d);
+    std::iota(candidates.begin(), candidates.end(), std::size_t{0});
+  }
+
+  SplitResult best;
+  const double n_node = static_cast<double>(n);
+  const std::size_t min_leaf = ctx.config.min_samples_leaf;
+
+  for (const std::size_t j : candidates) {
+    const bool categorical = ctx.arities[j] != 0;
+    if (categorical) {
+      // One-vs-rest per category, evaluated from per-category target stats.
+      const std::uint32_t arity = ctx.arities[j];
+      if (ctx.task == TreeTask::kClassification) {
+        // counts[v][k]: #samples with feature==v and class==k.
+        std::vector<std::vector<std::size_t>> counts(
+            arity, std::vector<std::size_t>(ctx.target_arity, 0));
+        std::vector<std::size_t> per_value(arity, 0);
+        std::size_t valid = 0;
+        for (const std::size_t s : samples) {
+          const double v = ctx.x(s, j);
+          if (is_missing(v)) continue;
+          const auto code = static_cast<std::size_t>(v);
+          ++counts[code][static_cast<std::size_t>(ctx.y[s])];
+          ++per_value[code];
+          ++valid;
+        }
+        if (valid < 2 * min_leaf) continue;
+        std::vector<std::size_t> total_counts(ctx.target_arity, 0);
+        for (std::uint32_t v = 0; v < arity; ++v) {
+          for (std::uint32_t k = 0; k < ctx.target_arity; ++k) {
+            total_counts[k] += counts[v][k];
+          }
+        }
+        const double valid_impurity =
+            class_impurity(total_counts, valid, ctx.config.criterion);
+        std::vector<std::size_t> rest(ctx.target_arity);
+        for (std::uint32_t v = 0; v < arity; ++v) {
+          const std::size_t n_left = per_value[v];
+          const std::size_t n_right = valid - n_left;
+          if (n_left < min_leaf || n_right < min_leaf) continue;
+          for (std::uint32_t k = 0; k < ctx.target_arity; ++k) {
+            rest[k] = total_counts[k] - counts[v][k];
+          }
+          const double left_imp = class_impurity(counts[v], n_left, ctx.config.criterion);
+          const double right_imp = class_impurity(rest, n_right, ctx.config.criterion);
+          const double nv = static_cast<double>(valid);
+          const double gain =
+              (valid_impurity -
+               (static_cast<double>(n_left) / nv) * left_imp -
+               (static_cast<double>(n_right) / nv) * right_imp) *
+              (nv / n_node);
+          if (gain > best.gain) {
+            best = {true, static_cast<std::uint32_t>(j), true, 0.0, v, gain};
+          }
+        }
+      } else {
+        // Regression: per-category sum/sumsq.
+        std::vector<double> sum(arity, 0.0), sum_sq(arity, 0.0);
+        std::vector<std::size_t> cnt(arity, 0);
+        std::size_t valid = 0;
+        double total_sum = 0.0, total_sq = 0.0;
+        for (const std::size_t s : samples) {
+          const double v = ctx.x(s, j);
+          if (is_missing(v)) continue;
+          const auto code = static_cast<std::size_t>(v);
+          sum[code] += ctx.y[s];
+          sum_sq[code] += ctx.y[s] * ctx.y[s];
+          ++cnt[code];
+          ++valid;
+          total_sum += ctx.y[s];
+          total_sq += ctx.y[s] * ctx.y[s];
+        }
+        if (valid < 2 * min_leaf) continue;
+        const double nv = static_cast<double>(valid);
+        const double valid_imp = std::max(0.0, total_sq / nv - (total_sum / nv) * (total_sum / nv));
+        for (std::uint32_t v = 0; v < arity; ++v) {
+          const std::size_t n_left = cnt[v];
+          const std::size_t n_right = valid - n_left;
+          if (n_left < min_leaf || n_right < min_leaf) continue;
+          const double nl = static_cast<double>(n_left);
+          const double nr = static_cast<double>(n_right);
+          const double lm = sum[v] / nl;
+          const double left_imp = std::max(0.0, sum_sq[v] / nl - lm * lm);
+          const double rs = total_sum - sum[v];
+          const double rq = total_sq - sum_sq[v];
+          const double rm = rs / nr;
+          const double right_imp = std::max(0.0, rq / nr - rm * rm);
+          const double gain =
+              (valid_imp - (nl / nv) * left_imp - (nr / nv) * right_imp) * (nv / n_node);
+          if (gain > best.gain) {
+            best = {true, static_cast<std::uint32_t>(j), true, 0.0, v, gain};
+          }
+        }
+      }
+    } else {
+      // Real feature: sort (value, y) and scan candidate thresholds.
+      auto& pairs = ctx.sorted_scratch;
+      pairs.clear();
+      for (const std::size_t s : samples) {
+        const double v = ctx.x(s, j);
+        if (!is_missing(v)) pairs.emplace_back(v, ctx.y[s]);
+      }
+      const std::size_t valid = pairs.size();
+      if (valid < 2 * min_leaf) continue;
+      std::sort(pairs.begin(), pairs.end());
+      const double nv = static_cast<double>(valid);
+      if (ctx.task == TreeTask::kClassification) {
+        std::vector<std::size_t> left_counts(ctx.target_arity, 0);
+        std::vector<std::size_t> right_counts(ctx.target_arity, 0);
+        for (const auto& [v, yv] : pairs) ++right_counts[static_cast<std::size_t>(yv)];
+        const double valid_imp = class_impurity(right_counts, valid, ctx.config.criterion);
+        for (std::size_t i = 0; i + 1 < valid; ++i) {
+          const auto code = static_cast<std::size_t>(pairs[i].second);
+          ++left_counts[code];
+          --right_counts[code];
+          if (pairs[i].first == pairs[i + 1].first) continue;  // no boundary here
+          const std::size_t n_left = i + 1;
+          const std::size_t n_right = valid - n_left;
+          if (n_left < min_leaf || n_right < min_leaf) continue;
+          const double gain =
+              (valid_imp -
+               (static_cast<double>(n_left) / nv) *
+                   class_impurity(left_counts, n_left, ctx.config.criterion) -
+               (static_cast<double>(n_right) / nv) *
+                   class_impurity(right_counts, n_right, ctx.config.criterion)) *
+              (nv / n_node);
+          if (gain > best.gain) {
+            const double thr = 0.5 * (pairs[i].first + pairs[i + 1].first);
+            best = {true, static_cast<std::uint32_t>(j), false, thr, 0, gain};
+          }
+        }
+      } else {
+        double right_sum = 0.0, right_sq = 0.0;
+        for (const auto& [v, yv] : pairs) {
+          right_sum += yv;
+          right_sq += yv * yv;
+        }
+        const double total_mean = right_sum / nv;
+        const double valid_imp = std::max(0.0, right_sq / nv - total_mean * total_mean);
+        double left_sum = 0.0, left_sq = 0.0;
+        for (std::size_t i = 0; i + 1 < valid; ++i) {
+          const double yv = pairs[i].second;
+          left_sum += yv;
+          left_sq += yv * yv;
+          right_sum -= yv;
+          right_sq -= yv * yv;
+          if (pairs[i].first == pairs[i + 1].first) continue;
+          const std::size_t n_left = i + 1;
+          const std::size_t n_right = valid - n_left;
+          if (n_left < min_leaf || n_right < min_leaf) continue;
+          const double nl = static_cast<double>(n_left);
+          const double nr = static_cast<double>(n_right);
+          const double lm = left_sum / nl;
+          const double rm = right_sum / nr;
+          const double left_imp = std::max(0.0, left_sq / nl - lm * lm);
+          const double right_imp = std::max(0.0, right_sq / nr - rm * rm);
+          const double gain =
+              (valid_imp - (nl / nv) * left_imp - (nr / nv) * right_imp) * (nv / n_node);
+          if (gain > best.gain) {
+            const double thr = 0.5 * (pairs[i].first + pairs[i + 1].first);
+            best = {true, static_cast<std::uint32_t>(j), false, thr, 0, gain};
+          }
+        }
+      }
+    }
+  }
+
+  if (!best.found || best.gain < ctx.config.min_impurity_decrease) {
+    return make_leaf();
+  }
+
+  // Partition samples; missing values go with the larger child.
+  std::vector<std::size_t> left, right;
+  std::vector<std::size_t> missing;
+  for (const std::size_t s : samples) {
+    const double v = ctx.x(s, best.feature);
+    if (is_missing(v)) {
+      missing.push_back(s);
+    } else if (best.categorical ? (static_cast<std::uint32_t>(v) == best.category)
+                                : (v <= best.threshold)) {
+      left.push_back(s);
+    } else {
+      right.push_back(s);
+    }
+  }
+  const bool missing_left = left.size() >= right.size();
+  auto& missing_side = missing_left ? left : right;
+  missing_side.insert(missing_side.end(), missing.begin(), missing.end());
+
+  if (left.empty() || right.empty()) return make_leaf();
+
+  // Free this node's sample list before recursing (peak memory discipline).
+  samples.clear();
+  samples.shrink_to_fit();
+
+  Node node;
+  node.feature = best.feature;
+  node.categorical_split = best.categorical;
+  node.threshold = static_cast<float>(best.threshold);
+  node.category = best.category;
+  node.missing_goes_left = missing_left;
+  node.value = leaf_value;
+  nodes_.push_back(node);
+  const auto index = static_cast<std::int32_t>(nodes_.size() - 1);
+  const std::int32_t left_index = build(ctx, left, depth + 1);
+  const std::int32_t right_index = build(ctx, right, depth + 1);
+  nodes_[static_cast<std::size_t>(index)].left = left_index;
+  nodes_[static_cast<std::size_t>(index)].right = right_index;
+  return index;
+}
+
+void DecisionTree::fit(const Matrix& x, std::span<const double> y,
+                       std::span<const std::uint32_t> arities, TreeTask task,
+                       std::uint32_t target_arity, const DecisionTreeConfig& config) {
+  if (x.rows() == 0) throw std::invalid_argument("DecisionTree::fit: empty training set");
+  if (y.size() != x.rows()) throw std::invalid_argument("DecisionTree::fit: |y| != rows(x)");
+  if (arities.size() != x.cols()) {
+    throw std::invalid_argument("DecisionTree::fit: |arities| != cols(x)");
+  }
+  if (task == TreeTask::kClassification) {
+    if (target_arity < 2) {
+      throw std::invalid_argument("DecisionTree::fit: classification needs target_arity >= 2");
+    }
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      if (y[i] < 0.0 || y[i] >= target_arity || y[i] != std::floor(y[i])) {
+        throw std::invalid_argument("DecisionTree::fit: target codes out of range");
+      }
+    }
+  }
+
+  nodes_.clear();
+  task_ = task;
+  BuildContext ctx{x,      y,                arities,  task, target_arity,
+                   config, Rng(config.seed), x.rows(), 0,    {}};
+  std::vector<std::size_t> all(x.rows());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  build(ctx, all, 0);
+  depth_ = ctx.max_depth_seen;
+}
+
+double DecisionTree::predict(std::span<const double> x) const {
+  assert(!nodes_.empty());
+  // build() always pushes a node before recursing, so the root is index 0.
+  std::int32_t index = 0;
+  while (true) {
+    const Node& node = nodes_[static_cast<std::size_t>(index)];
+    if (node.left < 0) return node.value;
+    const double v = x[node.feature];
+    bool go_left;
+    if (is_missing(v)) {
+      go_left = node.missing_goes_left;
+    } else if (node.categorical_split) {
+      go_left = static_cast<std::uint32_t>(v) == node.category;
+    } else {
+      go_left = v <= node.threshold;
+    }
+    index = go_left ? node.left : node.right;
+  }
+}
+
+std::size_t DecisionTree::bytes() const noexcept {
+  return nodes_.capacity() * sizeof(Node) + sizeof(*this);
+}
+
+void DecisionTree::save(std::ostream& out) const {
+  write_tagged(out, "tree.task", static_cast<std::uint64_t>(task_));
+  write_tagged(out, "tree.depth", static_cast<std::uint64_t>(depth_));
+  write_tagged(out, "tree.nodes", static_cast<std::uint64_t>(nodes_.size()));
+  for (const Node& node : nodes_) {
+    // left right feature category flags; then threshold/value as doubles.
+    write_tagged(out, "tree.n",
+                 std::vector<std::uint64_t>{
+                     static_cast<std::uint64_t>(static_cast<std::int64_t>(node.left) + 1),
+                     static_cast<std::uint64_t>(static_cast<std::int64_t>(node.right) + 1),
+                     node.feature, node.category,
+                     static_cast<std::uint64_t>(node.categorical_split),
+                     static_cast<std::uint64_t>(node.missing_goes_left)});
+    write_tagged(out, "tree.v",
+                 std::vector<double>{node.threshold, node.value});
+  }
+}
+
+DecisionTree DecisionTree::load(std::istream& in) {
+  DecisionTree tree;
+  tree.task_ = static_cast<TreeTask>(read_tagged_uint(in, "tree.task"));
+  tree.depth_ = read_tagged_uint(in, "tree.depth");
+  const std::uint64_t count = read_tagged_uint(in, "tree.nodes");
+  tree.nodes_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto ints = read_tagged_uints(in, "tree.n");
+    const auto reals = read_tagged_doubles(in, "tree.v");
+    if (ints.size() != 6 || reals.size() != 2) {
+      throw std::runtime_error("DecisionTree::load: malformed node");
+    }
+    Node node;
+    node.left = static_cast<std::int32_t>(static_cast<std::int64_t>(ints[0]) - 1);
+    node.right = static_cast<std::int32_t>(static_cast<std::int64_t>(ints[1]) - 1);
+    node.feature = static_cast<std::uint32_t>(ints[2]);
+    node.category = static_cast<std::uint32_t>(ints[3]);
+    node.categorical_split = ints[4] != 0;
+    node.missing_goes_left = ints[5] != 0;
+    node.threshold = static_cast<float>(reals[0]);
+    node.value = static_cast<float>(reals[1]);
+    tree.nodes_.push_back(node);
+  }
+  return tree;
+}
+
+std::vector<std::uint32_t> DecisionTree::used_features() const {
+  std::vector<std::uint32_t> features;
+  for (const Node& node : nodes_) {
+    if (node.left >= 0) features.push_back(node.feature);
+  }
+  std::sort(features.begin(), features.end());
+  features.erase(std::unique(features.begin(), features.end()), features.end());
+  return features;
+}
+
+}  // namespace frac

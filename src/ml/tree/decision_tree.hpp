@@ -1,0 +1,88 @@
+// CART-style decision trees over mixed real/categorical inputs.
+//
+// Replaces the Waffles trees the paper used for SNP features. One
+// implementation serves both tasks:
+//   * classification (categorical target, codes 0..arity-1): best binary
+//     split by Gini or entropy gain; leaf predicts the majority code;
+//   * regression (real target): best binary split by SSE reduction; leaf
+//     predicts the mean.
+// Split forms: real feature -> x <= threshold; categorical feature ->
+// x == category (one-vs-rest per category). Missing values are excluded
+// from split scoring and routed to the child that received more training
+// samples.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace frac {
+
+enum class TreeTask : std::uint8_t { kRegression, kClassification };
+enum class SplitCriterion : std::uint8_t { kGini, kEntropy };  // classification only
+
+struct DecisionTreeConfig {
+  std::size_t max_depth = 10;
+  std::size_t min_samples_leaf = 2;
+  std::size_t min_samples_split = 4;
+  double min_impurity_decrease = 1e-7;
+  SplitCriterion criterion = SplitCriterion::kEntropy;
+  /// 0 = consider every feature at each node; otherwise sample this many
+  /// (random-forest-style column subsampling).
+  std::size_t max_features = 0;
+  std::uint64_t seed = 13;
+};
+
+/// A fitted tree. Nodes are stored in a flat vector (index links), which
+/// keeps the per-model memory measurable and cache behavior predictable.
+class DecisionTree {
+ public:
+  /// Trains on rows of x. `arities[j]` is 0 for real feature j, else the
+  /// category count. For kClassification, y holds codes in [0, target_arity).
+  void fit(const Matrix& x, std::span<const double> y,
+           std::span<const std::uint32_t> arities, TreeTask task,
+           std::uint32_t target_arity, const DecisionTreeConfig& config);
+
+  /// Leaf prediction: class code (as double) or mean.
+  double predict(std::span<const double> x) const;
+
+  TreeTask task() const noexcept { return task_; }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t depth() const noexcept { return depth_; }
+
+  /// Heap footprint, for the resource accounting layer.
+  std::size_t bytes() const noexcept;
+
+  /// Features used by at least one internal node, ascending (interpretation
+  /// support: the paper inspects "most predictive gene/SNP models").
+  std::vector<std::uint32_t> used_features() const;
+
+  /// Tagged-text persistence (see util/serialize.hpp).
+  void save(std::ostream& out) const;
+  static DecisionTree load(std::istream& in);
+
+ private:
+  struct Node {
+    std::int32_t left = -1;   // -1 = leaf
+    std::int32_t right = -1;
+    std::uint32_t feature = 0;
+    float threshold = 0.0f;       // real split: x <= threshold goes left
+    std::uint32_t category = 0;   // categorical split: x == category goes left
+    bool categorical_split = false;
+    bool missing_goes_left = true;
+    float value = 0.0f;           // leaf prediction
+  };
+
+  struct BuildContext;
+  std::int32_t build(BuildContext& ctx, std::vector<std::size_t>& samples, std::size_t depth);
+
+  std::vector<Node> nodes_;
+  TreeTask task_ = TreeTask::kRegression;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace frac

@@ -1,0 +1,36 @@
+#include "parallel/parallel_for.hpp"
+
+namespace frac {
+
+void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t workers = pool.thread_count();
+  if (workers <= 1 || n == 1) {
+    body(begin, end);
+    return;
+  }
+  // ~4 chunks per worker balances load without excessive queue traffic.
+  const std::size_t target_chunks = std::min(n, workers * 4);
+  const std::size_t chunk = (n + target_chunks - 1) / target_chunks;
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    const std::size_t hi = std::min(lo + chunk, end);
+    pool.submit([&body, lo, hi] { body(lo, hi); });
+  }
+  pool.wait();
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  parallel_for_chunks(pool, begin, end, [&body](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  parallel_for(ThreadPool::global(), begin, end, body);
+}
+
+}  // namespace frac

@@ -1,0 +1,37 @@
+// Chunked parallel loop over an index range.
+//
+// parallel_for(begin, end, body) partitions [begin, end) into contiguous
+// chunks (≈4 per worker for load balance against uneven per-feature model
+// costs) and runs body(i) for each index. The body must be safe to run
+// concurrently for distinct indices; writes must target disjoint locations
+// (the FRaC scorer writes per-feature slots of pre-sized vectors).
+//
+// Determinism: results must not depend on execution order. FRaC's NS is a
+// per-feature sum accumulated after the loop, and per-feature RNG streams are
+// derived by feature index (Rng::split), so output is identical for any
+// thread count.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+
+#include "parallel/thread_pool.hpp"
+
+namespace frac {
+
+/// Runs body(i) for every i in [begin, end) on `pool`. Blocks until done.
+/// Exceptions from the body propagate (first one wins).
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+/// Same, on the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+/// Chunk-level variant: body receives [chunk_begin, chunk_end) so callers can
+/// hoist per-chunk scratch allocations out of the inner loop.
+void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace frac

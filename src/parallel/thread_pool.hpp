@@ -1,0 +1,66 @@
+// Static thread pool used by parallel_for.
+//
+// FRaC trains one predictor per feature with no cross-feature dependencies,
+// so the dominant parallel pattern in this library is a balanced parallel
+// loop over features (and over ensemble members / replicates). The pool is a
+// simple mutex+condvar task queue — adequate because tasks here are
+// coarse-grained (milliseconds each, one per loop chunk), so queue contention
+// is negligible and a work-stealing deque would buy nothing.
+//
+// The pool propagates the first exception thrown by any task in a batch to
+// the caller of wait() (per C++ Core Guidelines, errors escape via
+// exceptions, never swallowed).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace frac {
+
+/// Fixed-size worker pool with batch-wait semantics.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding work, then joins workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task. Tasks may not themselves call submit()/wait() on the
+  /// same pool (no nested parallelism; parallel_for flattens loops instead).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. If any task threw, the
+  /// first captured exception is rethrown here and the rest are dropped.
+  void wait();
+
+  /// Process-wide default pool, sized by FRAC_THREADS env var when set,
+  /// else hardware concurrency. Constructed on first use.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable batch_done_;
+  std::size_t in_flight_ = 0;  // queued + running
+  std::exception_ptr first_error_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace frac

@@ -1,0 +1,321 @@
+// frac — command-line front end for the library.
+//
+// Subcommands:
+//   frac list-cohorts
+//       List the paper-analog synthetic cohorts.
+//   frac generate --cohort NAME --out FILE.csv
+//       Write a synthetic cohort as a dataset CSV.
+//   frac train --data TRAIN.csv --model OUT.frac [--diverse P]
+//       Train (full or diverse) FRaC on an all-normal training CSV and
+//       persist the model.
+//   frac score --model M.frac --data TEST.csv [--out SCORES.csv]
+//       Score a test CSV with a saved model; prints AUC when the CSV has
+//       both labels.
+//   frac explain --model M.frac --data TEST.csv --sample I [--top K]
+//       Why is sample I anomalous? Prints its NS and the top-K features by
+//       NS contribution, with each feature's most influential predictors.
+//   frac detect --train TRAIN.csv --test TEST.csv --method METHOD [options]
+//       One-shot train+score with any variant:
+//         full | filter-ensemble | entropy | partial | diverse |
+//         diverse-ensemble | jl
+//       Options: --keep P (filters, default 0.05), --members N (ensembles,
+//       default 10), --p P (diverse, default 0.5), --dim K (jl, default 64),
+//       --seed S, --out SCORES.csv
+//
+// Exit codes: 0 success, 1 usage error, 2 runtime failure.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "data/io.hpp"
+#include "expt/registry.hpp"
+#include "frac/diverse.hpp"
+#include "frac/ensemble.hpp"
+#include "frac/filtering.hpp"
+#include "frac/preprojection.hpp"
+#include "ml/metrics.hpp"
+#include "util/string_util.hpp"
+
+namespace {
+
+using namespace frac;
+
+/// --flag value option list; flags without '--' are rejected.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      const std::string flag = argv[i];
+      if (!starts_with(flag, "--")) {
+        throw std::invalid_argument("expected --flag, got '" + flag + "'");
+      }
+      if (i + 1 >= argc) throw std::invalid_argument("missing value for " + flag);
+      values_[flag.substr(2)] = argv[++i];
+    }
+  }
+
+  std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    used_.insert(key);
+    return it->second;
+  }
+
+  std::string require(const std::string& key) const {
+    const auto v = get(key);
+    if (!v) throw std::invalid_argument("missing required --" + key);
+    return *v;
+  }
+
+  double get_double(const std::string& key, double fallback) const {
+    const auto v = get(key);
+    return v ? parse_double(*v, "--" + key) : fallback;
+  }
+
+  std::size_t get_size(const std::string& key, std::size_t fallback) const {
+    const auto v = get(key);
+    return v ? parse_size(*v, "--" + key) : fallback;
+  }
+
+  void reject_unused() const {
+    for (const auto& [key, value] : values_) {
+      if (!used_.contains(key)) throw std::invalid_argument("unknown option --" + key);
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> used_;
+};
+
+void write_scores(const std::string& path, const std::vector<double>& scores,
+                  const Dataset& test) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << "sample,ns,label\n";
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    out << i << ',' << format("%.17g", scores[i]) << ','
+        << (test.label(i) == Label::kAnomaly ? "anomaly" : "normal") << '\n';
+  }
+}
+
+void print_auc_if_labeled(const std::vector<double>& scores, const Dataset& test) {
+  if (test.anomaly_count() > 0 && test.normal_count() > 0) {
+    std::cout << "AUC: " << format("%.4f", auc(scores, test.labels())) << "\n";
+  } else {
+    std::cout << "(single-class test set: no AUC)\n";
+  }
+}
+
+int cmd_list_cohorts() {
+  for (const CohortSpec& spec : paper_cohorts()) {
+    std::cout << spec.name << "  ("
+              << (spec.kind == CohortKind::kExpression ? "expression" : "SNP") << ", "
+              << spec.scaled_features() << " features, " << spec.normal_samples << " normal + "
+              << spec.anomaly_samples << " anomaly)\n";
+  }
+  return 0;
+}
+
+int cmd_generate(const Args& args) {
+  const std::string name = args.require("cohort");
+  const std::string out = args.require("out");
+  args.reject_unused();
+  const CohortSpec& spec = cohort_by_name(name);
+  if (spec.ancestry_confound) {
+    const Replicate rep = make_confounded_replicate(spec);
+    save_dataset_csv(out + ".train.csv", rep.train);
+    save_dataset_csv(out + ".test.csv", rep.test);
+    std::cout << "wrote " << out << ".train.csv and " << out << ".test.csv\n";
+  } else {
+    save_dataset_csv(out, make_cohort(spec));
+    std::cout << "wrote " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const std::string data_path = args.require("data");
+  const std::string model_path = args.require("model");
+  const double diverse_p = args.get_double("diverse", 0.0);
+  const std::size_t seed = args.get_size("seed", 23);
+  args.reject_unused();
+
+  const Dataset train = load_dataset_csv(data_path);
+  if (train.anomaly_count() != 0) {
+    std::cerr << "warning: training set contains " << train.anomaly_count()
+              << " anomaly-labeled samples; FRaC assumes (mostly) normal training data\n";
+  }
+  FracConfig config;
+  config.seed = seed;
+  ThreadPool pool;
+  FracModel model = [&] {
+    if (diverse_p > 0.0) {
+      Rng rng(seed);
+      return FracModel::train_with_plan(
+          train, make_diverse_plan(train.feature_count(), diverse_p, 1, rng), config, pool);
+    }
+    return FracModel::train(train, config, pool);
+  }();
+  model.save_file(model_path);
+  std::cout << "trained " << model.unit_count() << " units on " << train.sample_count()
+            << " samples; saved to " << model_path << "\n";
+  return 0;
+}
+
+int cmd_score(const Args& args) {
+  const std::string model_path = args.require("model");
+  const std::string data_path = args.require("data");
+  const auto out = args.get("out");
+  args.reject_unused();
+
+  const FracModel model = FracModel::load_file(model_path);
+  const Dataset test = load_dataset_csv(data_path);
+  ThreadPool pool;
+  const std::vector<double> scores = model.score(test, pool);
+  if (out) write_scores(*out, scores, test);
+  print_auc_if_labeled(scores, test);
+  return 0;
+}
+
+int cmd_explain(const Args& args) {
+  const std::string model_path = args.require("model");
+  const std::string data_path = args.require("data");
+  const std::size_t sample = args.get_size("sample", 0);
+  const std::size_t top = args.get_size("top", 10);
+  args.reject_unused();
+
+  const FracModel model = FracModel::load_file(model_path);
+  const Dataset test = load_dataset_csv(data_path);
+  if (sample >= test.sample_count()) {
+    throw std::invalid_argument(format("sample %zu out of %zu", sample, test.sample_count()));
+  }
+  ThreadPool pool;
+  const Dataset one = test.select_samples({sample});
+  const Matrix per_feature = model.per_feature_scores(one, pool);
+
+  double total = 0.0;
+  std::vector<std::pair<double, std::size_t>> ranked;
+  for (std::size_t f = 0; f < per_feature.cols(); ++f) {
+    const double v = per_feature(0, f);
+    if (is_missing(v)) continue;
+    total += v;
+    ranked.emplace_back(v, f);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+
+  std::cout << "sample " << sample << "  label="
+            << (test.label(sample) == Label::kAnomaly ? "anomaly" : "normal")
+            << "  NS=" << format("%.3f", total) << "\n\n";
+  std::cout << "top " << std::min(top, ranked.size()) << " contributing features:\n";
+  // Map feature index -> first unit with that target (for influential inputs).
+  std::map<std::size_t, std::size_t> unit_of;
+  for (std::size_t u = 0; u < model.unit_count(); ++u) {
+    unit_of.try_emplace(model.unit_plan(u).target, u);
+  }
+  const Schema& schema = test.schema();  // model.score already verified the match
+  for (std::size_t i = 0; i < std::min(top, ranked.size()); ++i) {
+    const auto [score, f] = ranked[i];
+    std::cout << "  " << schema[f].name << "  NS=" << format("%+.3f", score);
+    const auto it = unit_of.find(f);
+    if (it != unit_of.end()) {
+      const auto inputs = model.influential_inputs(it->second, 3);
+      if (!inputs.empty()) {
+        std::cout << "  predicted from:";
+        for (const std::size_t j : inputs) std::cout << ' ' << schema[j].name;
+      }
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int cmd_detect(const Args& args) {
+  const std::string train_path = args.require("train");
+  const std::string test_path = args.require("test");
+  const std::string method = args.require("method");
+  const double keep = args.get_double("keep", 0.05);
+  const std::size_t members = args.get_size("members", 10);
+  const double p = args.get_double("p", 0.5);
+  const std::size_t dim = args.get_size("dim", 64);
+  const std::size_t seed = args.get_size("seed", 23);
+  const auto out = args.get("out");
+  args.reject_unused();
+
+  Replicate rep{load_dataset_csv(train_path), load_dataset_csv(test_path)};
+  FracConfig config;
+  config.seed = seed;
+  // Trees for categorical-majority data, SVR otherwise (the paper's choice).
+  std::size_t categorical = 0;
+  for (std::size_t f = 0; f < rep.train.feature_count(); ++f) {
+    categorical += rep.train.schema().is_categorical(f);
+  }
+  if (2 * categorical > rep.train.feature_count()) {
+    config.predictor.classifier = ClassifierKind::kDecisionTree;
+    config.predictor.regressor = RegressorKind::kRegressionTree;
+    config.predictor.tree.max_depth = 6;
+  }
+
+  ThreadPool pool;
+  Rng rng(seed);
+  ScoredRun run;
+  if (method == "full") run = run_frac(rep, config, pool);
+  else if (method == "filter-ensemble")
+    run = run_random_filter_ensemble(rep, config, keep, members, rng, pool);
+  else if (method == "entropy")
+    run = run_full_filtered_frac(rep, config, FilterMethod::kEntropy, keep, rng, pool);
+  else if (method == "partial")
+    run = run_partial_filtered_frac(rep, config, FilterMethod::kRandom, keep, rng, pool);
+  else if (method == "diverse") run = run_diverse_frac(rep, config, p, 1, rng, pool);
+  else if (method == "diverse-ensemble")
+    run = run_diverse_ensemble(rep, config, p, members, rng, pool);
+  else if (method == "jl") {
+    JlPipelineConfig jl;
+    jl.output_dim = dim;
+    jl.seed = seed;
+    run = run_jl_frac(rep, config, jl, pool);
+  } else {
+    throw std::invalid_argument("unknown method '" + method + "'");
+  }
+
+  if (out) write_scores(*out, run.test_scores, rep.test);
+  print_auc_if_labeled(run.test_scores, rep.test);
+  std::cout << "cpu: " << format("%.2f", run.resources.cpu_seconds)
+            << "s  model-mem: " << run.resources.peak_bytes << " bytes  models: "
+            << run.resources.models_retained << "\n";
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: frac <list-cohorts|generate|train|score|detect> [--options]\n"
+               "see the header of src/tools/frac_cli.cpp or README.md for details\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (command == "list-cohorts") return cmd_list_cohorts();
+    if (command == "generate") return cmd_generate(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "score") return cmd_score(args);
+    if (command == "explain") return cmd_explain(args);
+    if (command == "detect") return cmd_detect(args);
+    return usage();
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,85 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace frac {
+
+std::vector<std::string> parse_csv_line(const std::string& line, char delim) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell.push_back(c);
+      }
+    } else if (c == '"' && cell.empty()) {
+      in_quotes = true;
+    } else if (c == delim) {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else if (c != '\r') {
+      cell.push_back(c);
+    }
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+CsvTable read_csv(std::istream& in, char delim) {
+  CsvTable table;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line == "\r") continue;
+    table.rows.push_back(parse_csv_line(line, delim));
+  }
+  return table;
+}
+
+CsvTable read_csv(const std::string& path, char delim) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open CSV file: " + path);
+  return read_csv(in, delim);
+}
+
+std::string csv_escape(const std::string& cell, char delim) {
+  const bool needs_quotes = cell.find(delim) != std::string::npos ||
+                            cell.find('"') != std::string::npos ||
+                            (!cell.empty() && (cell.front() == ' ' || cell.back() == ' '));
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void write_csv(std::ostream& out, const CsvTable& table, char delim) {
+  for (const auto& row : table.rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out.put(delim);
+      out << csv_escape(row[i], delim);
+    }
+    out.put('\n');
+  }
+}
+
+void write_csv(const std::string& path, const CsvTable& table, char delim) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open CSV file for writing: " + path);
+  write_csv(out, table, delim);
+}
+
+}  // namespace frac

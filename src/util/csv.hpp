@@ -1,0 +1,42 @@
+// Minimal CSV reading/writing for dataset import/export and result tables.
+//
+// Supports RFC-4180-style quoting on read ("a,b" fields, doubled quotes) and
+// quotes on write only when needed. Sufficient for the numeric/categorical
+// tables this library exchanges; not a general CSV implementation (no
+// embedded newlines inside quoted fields).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace frac {
+
+/// A parsed CSV table: rows of string cells. Row lengths may vary;
+/// callers validate shape.
+struct CsvTable {
+  std::vector<std::vector<std::string>> rows;
+
+  std::size_t row_count() const { return rows.size(); }
+};
+
+/// Parses one CSV line into cells, honoring double-quote quoting.
+std::vector<std::string> parse_csv_line(const std::string& line, char delim = ',');
+
+/// Reads a whole CSV file. Throws std::runtime_error if the file cannot
+/// be opened. Blank lines are skipped.
+CsvTable read_csv(const std::string& path, char delim = ',');
+
+/// Reads CSV from a stream (used by tests to avoid touching the fs).
+CsvTable read_csv(std::istream& in, char delim = ',');
+
+/// Escapes a cell if it contains the delimiter, quotes, or whitespace ends.
+std::string csv_escape(const std::string& cell, char delim = ',');
+
+/// Writes rows to a stream as CSV.
+void write_csv(std::ostream& out, const CsvTable& table, char delim = ',');
+
+/// Writes rows to a file. Throws std::runtime_error on failure to open.
+void write_csv(const std::string& path, const CsvTable& table, char delim = ',');
+
+}  // namespace frac

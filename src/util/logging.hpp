@@ -1,0 +1,50 @@
+// Leveled stderr logging. Quiet by default so benches produce clean tables;
+// set FRAC_LOG=debug|info|warn|error (env) or call set_log_level().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace frac {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Current threshold; messages below it are dropped.
+LogLevel log_level();
+
+/// Overrides the threshold (also consults FRAC_LOG on first use).
+void set_log_level(LogLevel level);
+
+/// Emits one line to stderr with a level tag. Thread-safe (single write).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace frac
+
+#define FRAC_LOG(level)                            \
+  if (::frac::log_level() > ::frac::LogLevel::level) {} \
+  else ::frac::detail::LogLine(::frac::LogLevel::level)
+
+#define FRAC_DEBUG FRAC_LOG(kDebug)
+#define FRAC_INFO FRAC_LOG(kInfo)
+#define FRAC_WARN FRAC_LOG(kWarn)
+#define FRAC_ERROR FRAC_LOG(kError)

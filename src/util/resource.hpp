@@ -1,0 +1,15 @@
+// Process resource probes (Linux /proc) used as a secondary check on the
+// analytic memory accounting in frac/resource_accounting.hpp.
+#pragma once
+
+#include <cstdint>
+
+namespace frac {
+
+/// Current resident set size in bytes, or 0 if /proc is unavailable.
+std::uint64_t current_rss_bytes();
+
+/// Peak resident set size (VmHWM) in bytes, or 0 if unavailable.
+std::uint64_t peak_rss_bytes();
+
+}  // namespace frac

@@ -1,0 +1,100 @@
+// Deterministic, portable pseudo-random number generation.
+//
+// All experiments in this library are seeded, and all randomness flows
+// through Rng so results are reproducible across platforms and compiler
+// versions (std::normal_distribution et al. are not guaranteed to produce
+// identical streams across standard library implementations).
+//
+// The generator is xoshiro256** (Blackman & Vigna, 2018), seeded through
+// splitmix64 as its authors recommend. Independent streams for parallel
+// work are derived with `split()`, which uses the generator's jump-free
+// reseeding (fresh splitmix64 chain keyed off the parent stream), so
+// per-feature / per-ensemble-member streams are statistically independent
+// of one another and stable regardless of thread scheduling.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace frac {
+
+/// splitmix64 step: used for seeding and stream derivation.
+std::uint64_t splitmix64_next(std::uint64_t& state) noexcept;
+
+/// xoshiro256** engine with distribution helpers.
+///
+/// Satisfies UniformRandomBitGenerator so it can also be handed to
+/// std::shuffle etc., though the member helpers are preferred for
+/// reproducibility.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  /// Next raw 64 random bits.
+  result_type operator()() noexcept;
+
+  /// Derives an independent child stream. `salt` distinguishes siblings
+  /// derived from the same parent state (e.g. feature index).
+  Rng split(std::uint64_t salt) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses rejection sampling
+  /// (Lemire-style bounded generation) to avoid modulo bias.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Standard normal via Marsaglia polar method (cached spare deviate).
+  double normal() noexcept;
+
+  /// Normal with mean/sd.
+  double normal(double mean, double sd) noexcept;
+
+  /// Bernoulli(p).
+  bool bernoulli(double p) noexcept;
+
+  /// Gamma(shape, scale=1) via Marsaglia–Tsang squeeze (with the standard
+  /// shape<1 boosting trick). Requires shape > 0.
+  double gamma(double shape) noexcept;
+
+  /// Beta(a, b) via two gamma draws. Requires a, b > 0.
+  double beta(double a, double b) noexcept;
+
+  /// Binomial(n, p) by direct Bernoulli summation (n is small here: 2
+  /// haplotypes, k-fold counts), exact and branch-simple.
+  std::uint32_t binomial(std::uint32_t n, double p) noexcept;
+
+  /// Samples an index from an unnormalized non-negative weight vector.
+  /// Requires at least one strictly positive weight.
+  std::size_t categorical(const std::vector<double>& weights) noexcept;
+
+  /// Fisher–Yates shuffle of an index-addressable container.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = uniform_index(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// k distinct indices sampled uniformly from [0, n), in random order.
+  /// Requires k <= n. O(n) time, O(n) scratch (partial Fisher–Yates).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+  double spare_normal_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace frac

@@ -1,0 +1,129 @@
+#include "util/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace frac {
+
+namespace {
+
+std::vector<std::string> read_line_fields(std::istream& in, const std::string& tag) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("serialize: unexpected end of stream, wanted '" + tag + "'");
+  }
+  std::vector<std::string> fields = split(line, ' ');
+  if (fields.empty() || fields.front() != tag) {
+    throw std::runtime_error("serialize: expected tag '" + tag + "', got '" +
+                             (fields.empty() ? std::string() : fields.front()) + "'");
+  }
+  return fields;
+}
+
+}  // namespace
+
+void write_tagged(std::ostream& out, const std::string& tag, double value) {
+  out << tag << ' ' << format("%.17g", value) << '\n';
+}
+
+void write_tagged(std::ostream& out, const std::string& tag, std::uint64_t value) {
+  out << tag << ' ' << value << '\n';
+}
+
+namespace {
+
+/// Percent-escapes the characters that would break the line/field format.
+std::string escape_string(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == ' ' || c == '\n' || c == '\r' || c == '\t' || c == '%') {
+      out += format("%%%02X", static_cast<unsigned char>(c));
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string unescape_string(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if (value[i] == '%' && i + 2 < value.size()) {
+      const std::string hex = value.substr(i + 1, 2);
+      out.push_back(static_cast<char>(std::stoi(hex, nullptr, 16)));
+      i += 2;
+    } else {
+      out.push_back(value[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_tagged(std::ostream& out, const std::string& tag, const std::string& value) {
+  out << tag << ' ' << escape_string(value) << '\n';
+}
+
+void write_tagged(std::ostream& out, const std::string& tag, const std::vector<double>& values) {
+  out << tag << ' ' << values.size();
+  for (const double v : values) out << ' ' << format("%.17g", v);
+  out << '\n';
+}
+
+void write_tagged(std::ostream& out, const std::string& tag,
+                  const std::vector<std::uint64_t>& values) {
+  out << tag << ' ' << values.size();
+  for (const std::uint64_t v : values) out << ' ' << v;
+  out << '\n';
+}
+
+double read_tagged_double(std::istream& in, const std::string& tag) {
+  const auto fields = read_line_fields(in, tag);
+  if (fields.size() != 2) throw std::runtime_error("serialize: bad field count for " + tag);
+  return parse_double(fields[1], tag);
+}
+
+std::uint64_t read_tagged_uint(std::istream& in, const std::string& tag) {
+  const auto fields = read_line_fields(in, tag);
+  if (fields.size() != 2) throw std::runtime_error("serialize: bad field count for " + tag);
+  return parse_size(fields[1], tag);
+}
+
+std::string read_tagged_string(std::istream& in, const std::string& tag) {
+  const auto fields = read_line_fields(in, tag);
+  if (fields.size() != 2) throw std::runtime_error("serialize: bad field count for " + tag);
+  return unescape_string(fields[1]);
+}
+
+std::vector<double> read_tagged_doubles(std::istream& in, const std::string& tag) {
+  const auto fields = read_line_fields(in, tag);
+  if (fields.size() < 2) throw std::runtime_error("serialize: bad field count for " + tag);
+  const std::size_t count = parse_size(fields[1], tag);
+  if (fields.size() != count + 2) {
+    throw std::runtime_error("serialize: vector length mismatch for " + tag);
+  }
+  std::vector<double> out(count);
+  for (std::size_t i = 0; i < count; ++i) out[i] = parse_double(fields[i + 2], tag);
+  return out;
+}
+
+std::vector<std::uint64_t> read_tagged_uints(std::istream& in, const std::string& tag) {
+  const auto fields = read_line_fields(in, tag);
+  if (fields.size() < 2) throw std::runtime_error("serialize: bad field count for " + tag);
+  const std::size_t count = parse_size(fields[1], tag);
+  if (fields.size() != count + 2) {
+    throw std::runtime_error("serialize: vector length mismatch for " + tag);
+  }
+  std::vector<std::uint64_t> out(count);
+  for (std::size_t i = 0; i < count; ++i) out[i] = parse_size(fields[i + 2], tag);
+  return out;
+}
+
+}  // namespace frac

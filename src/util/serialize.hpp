@@ -1,0 +1,34 @@
+// Minimal tagged text serialization helpers.
+//
+// Model files are line-oriented UTF-8: each field is written as
+// "<tag> <values...>\n" and read back with tag verification, so format
+// drift fails loudly instead of silently misparsing. Doubles round-trip
+// exactly via %.17g.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace frac {
+
+/// Writes "tag v\n".
+void write_tagged(std::ostream& out, const std::string& tag, double value);
+void write_tagged(std::ostream& out, const std::string& tag, std::uint64_t value);
+void write_tagged(std::ostream& out, const std::string& tag, const std::string& value);
+
+/// Writes "tag n v1 v2 ... vn\n".
+void write_tagged(std::ostream& out, const std::string& tag, const std::vector<double>& values);
+void write_tagged(std::ostream& out, const std::string& tag,
+                  const std::vector<std::uint64_t>& values);
+
+/// Reads one line and verifies its tag; throws std::runtime_error naming
+/// both tags on mismatch.
+double read_tagged_double(std::istream& in, const std::string& tag);
+std::uint64_t read_tagged_uint(std::istream& in, const std::string& tag);
+std::string read_tagged_string(std::istream& in, const std::string& tag);
+std::vector<double> read_tagged_doubles(std::istream& in, const std::string& tag);
+std::vector<std::uint64_t> read_tagged_uints(std::istream& in, const std::string& tag);
+
+}  // namespace frac

@@ -1,0 +1,49 @@
+// Wall-clock and CPU-time stopwatches.
+//
+// The experiment harness reports CPU time (the paper's Table II reports CPU
+// hours on a cluster; on one machine CPU time is the comparable quantity and
+// is robust to other load). Wall time is also available for examples.
+#pragma once
+
+#include <chrono>
+#include <ctime>
+
+namespace frac {
+
+/// Monotonic wall-clock stopwatch. Started on construction.
+class WallStopwatch {
+ public:
+  WallStopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Process-wide CPU-time stopwatch (sums over all threads).
+class CpuStopwatch {
+ public:
+  CpuStopwatch() : start_(now()) {}
+
+  void reset() { start_ = now(); }
+
+  /// Elapsed process CPU seconds since construction or last reset().
+  double seconds() const { return now() - start_; }
+
+ private:
+  static double now() {
+    timespec ts{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+  }
+  double start_;
+};
+
+}  // namespace frac

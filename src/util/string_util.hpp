@@ -1,0 +1,29 @@
+// Small string helpers shared by the CSV layer and table printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace frac {
+
+/// Splits on a single-character delimiter. Empty fields are preserved;
+/// splitting the empty string yields one empty field.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Parses a double; throws std::invalid_argument naming `context` on failure.
+double parse_double(std::string_view text, std::string_view context);
+
+/// Parses a non-negative integer; throws std::invalid_argument on failure.
+std::size_t parse_size(std::string_view text, std::string_view context);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace frac

@@ -1,0 +1,151 @@
+#include "csax/csax.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ml/metrics.hpp"
+
+namespace frac {
+namespace {
+
+ThreadPool& pool() {
+  static ThreadPool p(2);
+  return p;
+}
+
+struct Fixture {
+  ExpressionModel model;
+  Replicate rep;
+  GeneSetCollection sets;
+};
+
+Fixture make_fixture(std::uint64_t seed = 1, std::size_t decoys = 4) {
+  ExpressionModelConfig c;
+  c.features = 50;
+  c.modules = 4;
+  c.genes_per_module = 6;
+  c.noise_sd = 0.4;
+  c.anomaly_mix = 2.5;
+  c.disease_modules = 2;
+  c.seed = seed;
+  ExpressionModel model(c);
+  Rng rng(seed + 100);
+  Replicate rep;
+  rep.train = model.sample(36, Label::kNormal, rng);
+  rep.test = concat_samples(model.sample(10, Label::kNormal, rng),
+                            model.sample(10, Label::kAnomaly, rng));
+  GeneSetCollection sets = make_module_gene_sets(model, 0.0, decoys, rng);
+  return {std::move(model), std::move(rep), std::move(sets)};
+}
+
+CsaxConfig fast_config() {
+  CsaxConfig config;
+  config.bootstraps = 4;
+  config.top_sets = 2;
+  return config;
+}
+
+TEST(Csax, TrainValidatesInputs) {
+  const Fixture fx = make_fixture();
+  CsaxConfig config = fast_config();
+  config.bootstraps = 0;
+  EXPECT_THROW(CsaxModel::train(fx.rep.train, fx.sets, config, pool()), std::invalid_argument);
+  config = fast_config();
+  config.member_keep_fraction = 0.0;
+  EXPECT_THROW(CsaxModel::train(fx.rep.train, fx.sets, config, pool()), std::invalid_argument);
+  // Sets referencing genes beyond the schema are rejected.
+  GeneSetCollection bad({{"oob", {999}}});
+  EXPECT_THROW(CsaxModel::train(fx.rep.train, bad, fast_config(), pool()),
+               std::invalid_argument);
+}
+
+TEST(Csax, AnomalyScoresSeparateClasses) {
+  const Fixture fx = make_fixture();
+  const CsaxModel model = CsaxModel::train(fx.rep.train, fx.sets, fast_config(), pool());
+  const std::vector<CsaxScore> scores = model.score(fx.rep.test, pool());
+  ASSERT_EQ(scores.size(), fx.rep.test.sample_count());
+  std::vector<double> anomaly_scores;
+  for (const CsaxScore& s : scores) anomaly_scores.push_back(s.anomaly_score);
+  EXPECT_GT(auc(anomaly_scores, fx.rep.test.labels()), 0.75);
+}
+
+TEST(Csax, DiseaseModuleSetsDominateAnomalyCharacterizations) {
+  const Fixture fx = make_fixture();
+  const CsaxModel model = CsaxModel::train(fx.rep.train, fx.sets, fast_config(), pool());
+  const std::vector<CsaxScore> scores = model.score(fx.rep.test, pool());
+  // Disease modules are sets 0 and 1 (modules 0-1 of 4). Count how often a
+  // disease set tops an anomalous sample's characterization.
+  std::size_t hits = 0, anomalies = 0;
+  for (std::size_t r = 0; r < scores.size(); ++r) {
+    if (fx.rep.test.label(r) != Label::kAnomaly) continue;
+    ++anomalies;
+    const auto top = scores[r].top_sets(1);
+    ASSERT_EQ(top.size(), 1u);
+    hits += (top[0] <= 1);
+  }
+  EXPECT_GT(hits * 2, anomalies);  // majority of anomalies point at disease sets
+}
+
+TEST(Csax, EnrichmentVectorHasCollectionOrder) {
+  const Fixture fx = make_fixture();
+  const CsaxModel model = CsaxModel::train(fx.rep.train, fx.sets, fast_config(), pool());
+  const std::vector<CsaxScore> scores = model.score(fx.rep.test, pool());
+  for (const CsaxScore& s : scores) {
+    ASSERT_EQ(s.set_enrichment.size(), fx.sets.size());
+    for (const double e : s.set_enrichment) {
+      EXPECT_GE(e, 0.0);
+      EXPECT_LE(e, 1.0);
+    }
+  }
+}
+
+TEST(Csax, FilteredMembersStillCharacterize) {
+  // The scalability tie-in: CSAX over full-filtered FRaC members.
+  const Fixture fx = make_fixture();
+  CsaxConfig config = fast_config();
+  config.member_keep_fraction = 0.5;
+  const CsaxModel model = CsaxModel::train(fx.rep.train, fx.sets, config, pool());
+  const std::vector<CsaxScore> scores = model.score(fx.rep.test, pool());
+  std::vector<double> anomaly_scores;
+  for (const CsaxScore& s : scores) anomaly_scores.push_back(s.anomaly_score);
+  EXPECT_GT(auc(anomaly_scores, fx.rep.test.labels()), 0.65);
+}
+
+TEST(Csax, FilteredMembersUseFewerResources) {
+  const Fixture fx = make_fixture();
+  CsaxConfig full_config = fast_config();
+  CsaxConfig filtered_config = fast_config();
+  filtered_config.member_keep_fraction = 0.3;
+  const CsaxModel full = CsaxModel::train(fx.rep.train, fx.sets, full_config, pool());
+  const CsaxModel filtered = CsaxModel::train(fx.rep.train, fx.sets, filtered_config, pool());
+  EXPECT_LT(filtered.report().peak_bytes, full.report().peak_bytes);
+  EXPECT_LT(filtered.report().models_retained, full.report().models_retained);
+}
+
+TEST(Csax, TopSetsAreSortedDescending) {
+  CsaxScore score;
+  score.set_enrichment = {0.2, 0.9, 0.5, 0.7};
+  EXPECT_EQ(score.top_sets(2), (std::vector<std::size_t>{1, 3}));
+  EXPECT_EQ(score.top_sets(10).size(), 4u);
+}
+
+TEST(Csax, ScoreBeforeTrainThrows) {
+  const Fixture fx = make_fixture();
+  const CsaxModel model;  // never trained
+  EXPECT_THROW(model.score(fx.rep.test, pool()), std::logic_error);
+}
+
+TEST(Csax, DeterministicGivenSeed) {
+  const Fixture fx = make_fixture();
+  const CsaxModel a = CsaxModel::train(fx.rep.train, fx.sets, fast_config(), pool());
+  const CsaxModel b = CsaxModel::train(fx.rep.train, fx.sets, fast_config(), pool());
+  const auto sa = a.score(fx.rep.test, pool());
+  const auto sb = b.score(fx.rep.test, pool());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sa[i].anomaly_score, sb[i].anomaly_score);
+  }
+}
+
+}  // namespace
+}  // namespace frac

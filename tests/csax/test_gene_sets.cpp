@@ -1,0 +1,109 @@
+#include "csax/gene_sets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace frac {
+namespace {
+
+GeneSetCollection make_collection(std::vector<GeneSet> sets) {
+  return GeneSetCollection(std::move(sets));
+}
+
+TEST(GeneSets, ValidateAcceptsWellFormed) {
+  const GeneSetCollection sets = make_collection({{"a", {0, 2, 5}}, {"b", {1}}});
+  EXPECT_NO_THROW(sets.validate(6));
+}
+
+TEST(GeneSets, ValidateRejectsProblems) {
+  EXPECT_THROW(make_collection({{"empty", {}}}).validate(5), std::invalid_argument);
+  EXPECT_THROW(make_collection({{"unsorted", {3, 1}}}).validate(5), std::invalid_argument);
+  EXPECT_THROW(make_collection({{"dup", {1, 1}}}).validate(5), std::invalid_argument);
+  EXPECT_THROW(make_collection({{"oob", {7}}}).validate(5), std::invalid_argument);
+}
+
+TEST(GeneSets, GmtRoundTrip) {
+  const GeneSetCollection sets = make_collection({{"pathwayA", {0, 3, 9}}, {"pathwayB", {2, 4}}});
+  std::ostringstream out;
+  write_gene_sets_gmt(out, sets);
+  std::istringstream in(out.str());
+  const GeneSetCollection back = read_gene_sets_gmt(in);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].name, "pathwayA");
+  EXPECT_EQ(back[0].genes, (std::vector<std::size_t>{0, 3, 9}));
+  EXPECT_EQ(back[1].genes, (std::vector<std::size_t>{2, 4}));
+}
+
+TEST(GeneSets, GmtParsingSortsAndDedupes) {
+  std::istringstream in("s\tdesc\t5\t1\t5\t3\n");
+  const GeneSetCollection sets = read_gene_sets_gmt(in);
+  EXPECT_EQ(sets[0].genes, (std::vector<std::size_t>{1, 3, 5}));
+}
+
+TEST(GeneSets, GmtRejectsMalformedLines) {
+  std::istringstream too_few("justname\tdesc\n");
+  EXPECT_THROW(read_gene_sets_gmt(too_few), std::invalid_argument);
+  std::istringstream bad_gene("s\tdesc\tabc\n");
+  EXPECT_THROW(read_gene_sets_gmt(bad_gene), std::invalid_argument);
+}
+
+ExpressionModel small_model() {
+  ExpressionModelConfig c;
+  c.features = 60;
+  c.modules = 4;
+  c.genes_per_module = 6;
+  c.seed = 3;
+  return ExpressionModel(c);
+}
+
+TEST(ModuleGeneSets, OneSetPerModulePlusDecoys) {
+  const ExpressionModel model = small_model();
+  Rng rng(1);
+  const GeneSetCollection sets = make_module_gene_sets(model, 0.0, 3, rng);
+  ASSERT_EQ(sets.size(), 4u + 3u);
+  EXPECT_NO_THROW(sets.validate(60));
+  // With no dropout, module sets are exactly the generator's modules.
+  EXPECT_EQ(sets[0].genes, (std::vector<std::size_t>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(sets[1].genes, (std::vector<std::size_t>{6, 7, 8, 9, 10, 11}));
+}
+
+TEST(ModuleGeneSets, DecoysAvoidRelevantGenes) {
+  const ExpressionModel model = small_model();
+  Rng rng(2);
+  const GeneSetCollection sets = make_module_gene_sets(model, 0.0, 5, rng);
+  for (std::size_t s = 4; s < sets.size(); ++s) {
+    for (const std::size_t g : sets[s].genes) {
+      EXPECT_GE(g, 24u);  // 4 modules * 6 genes = 24 relevant genes
+    }
+  }
+}
+
+TEST(ModuleGeneSets, DropoutPerturbsAnnotations) {
+  const ExpressionModel model = small_model();
+  Rng rng(3);
+  const GeneSetCollection clean = make_module_gene_sets(model, 0.0, 0, rng);
+  Rng rng2(3);
+  const GeneSetCollection noisy = make_module_gene_sets(model, 0.5, 0, rng2);
+  bool any_difference = false;
+  for (std::size_t s = 0; s < clean.size(); ++s) {
+    if (!(clean[s].genes == noisy[s].genes)) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+  EXPECT_NO_THROW(noisy.validate(60));
+}
+
+TEST(ModuleGeneSets, BadArgsThrow) {
+  const ExpressionModel model = small_model();
+  Rng rng(4);
+  EXPECT_THROW(make_module_gene_sets(model, 1.0, 0, rng), std::invalid_argument);
+  ExpressionModelConfig all_relevant;
+  all_relevant.features = 24;
+  all_relevant.modules = 4;
+  all_relevant.genes_per_module = 6;
+  const ExpressionModel packed(all_relevant);
+  EXPECT_THROW(make_module_gene_sets(packed, 0.0, 1, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace frac

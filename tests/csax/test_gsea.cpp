@@ -1,0 +1,97 @@
+#include "csax/gsea.hpp"
+
+#include <gtest/gtest.h>
+
+namespace frac {
+namespace {
+
+TEST(Gsea, TopConcentratedSetScoresNearOne) {
+  // Scores descending by index; set = the top 3 genes.
+  const std::vector<double> scores{10, 9, 8, 1, 1, 1, 1, 1, 1, 1};
+  const GeneSet set{"top", {0, 1, 2}};
+  EXPECT_GT(enrichment_score(scores, set), 0.9);
+}
+
+TEST(Gsea, BottomConcentratedSetScoresNearZero) {
+  const std::vector<double> scores{10, 9, 8, 7, 6, 5, 4, 3, 2, 1};
+  const GeneSet set{"bottom", {7, 8, 9}};
+  EXPECT_LT(enrichment_score(scores, set), 0.35);
+}
+
+TEST(Gsea, UniformSpreadScoresIntermediate) {
+  std::vector<double> scores(12);
+  for (std::size_t i = 0; i < 12; ++i) scores[i] = 12.0 - static_cast<double>(i);
+  const GeneSet spread{"spread", {0, 4, 8}};
+  const double es = enrichment_score(scores, spread);
+  EXPECT_GT(es, 0.2);
+  EXPECT_LT(es, 0.8);
+}
+
+TEST(Gsea, RankOnlyWeightIgnoresMagnitudes) {
+  // weight = 0: only order matters.
+  const std::vector<double> a{100, 99, 1, 0.5, 0.4, 0.3};
+  const std::vector<double> b{6, 5, 4, 3, 2, 1};
+  const GeneSet set{"s", {0, 1}};
+  GseaConfig config;
+  config.weight = 0.0;
+  EXPECT_DOUBLE_EQ(enrichment_score(a, set, config), enrichment_score(b, set, config));
+}
+
+TEST(Gsea, NanScoresTreatedAsZeroEvidence) {
+  const std::vector<double> scores{5, std::nan(""), 4, 1, std::nan(""), 0.5};
+  const GeneSet set{"s", {0, 2}};
+  EXPECT_NO_THROW(enrichment_score(scores, set));
+  EXPECT_GT(enrichment_score(scores, set), 0.5);
+}
+
+TEST(Gsea, AllZeroScoresStayDefined) {
+  const std::vector<double> scores(8, 0.0);
+  const GeneSet set{"s", {0, 1}};
+  const double es = enrichment_score(scores, set);
+  EXPECT_TRUE(std::isfinite(es));
+  EXPECT_GE(es, 0.0);
+  EXPECT_LE(es, 1.0);
+}
+
+TEST(Gsea, CollectionMatchesIndividualScores) {
+  const std::vector<double> scores{5, 4, 3, 2, 1, 0};
+  const GeneSetCollection sets({{"a", {0, 1}}, {"b", {4, 5}}});
+  const std::vector<double> batch = enrichment_scores(scores, sets);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_DOUBLE_EQ(batch[0], enrichment_score(scores, sets[0]));
+  EXPECT_DOUBLE_EQ(batch[1], enrichment_score(scores, sets[1]));
+}
+
+TEST(Gsea, OutOfRangeGeneThrows) {
+  const std::vector<double> scores{1, 2};
+  const GeneSet set{"oob", {5}};
+  EXPECT_THROW(enrichment_score(scores, set), std::invalid_argument);
+}
+
+TEST(Gsea, EmptyScoresThrow) {
+  const GeneSet set{"s", {0}};
+  EXPECT_THROW(enrichment_score({}, set), std::invalid_argument);
+}
+
+TEST(Gsea, PermutationPValueSmallForRealEnrichment) {
+  // 40 genes; the set holds the 4 highest-scoring ones.
+  std::vector<double> scores(40);
+  for (std::size_t i = 0; i < 40; ++i) scores[i] = 40.0 - static_cast<double>(i);
+  const GeneSet set{"top", {0, 1, 2, 3}};
+  Rng rng(1);
+  const double p = enrichment_p_value(scores, set, 200, rng);
+  EXPECT_LT(p, 0.05);
+}
+
+TEST(Gsea, PermutationPValueLargeForRandomSet) {
+  Rng data_rng(2);
+  std::vector<double> scores(40);
+  for (double& s : scores) s = data_rng.uniform();
+  const GeneSet set{"random", {3, 11, 22, 35}};
+  Rng rng(3);
+  const double p = enrichment_p_value(scores, set, 200, rng);
+  EXPECT_GT(p, 0.05);
+}
+
+}  // namespace
+}  // namespace frac

@@ -1,0 +1,97 @@
+// Property-style GSEA tests: invariances and orderings that must hold for
+// any scores/sets, swept with parameterized gtest.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "csax/gsea.hpp"
+#include "util/rng.hpp"
+
+namespace frac {
+namespace {
+
+class GseaWeights : public ::testing::TestWithParam<double> {};
+
+TEST_P(GseaWeights, ScoresStayInUnitInterval) {
+  Rng rng(1);
+  std::vector<double> scores(60);
+  for (double& s : scores) s = rng.normal();
+  GseaConfig config;
+  config.weight = GetParam();
+  for (int trial = 0; trial < 10; ++trial) {
+    GeneSet set{"s", rng.sample_without_replacement(60, 8)};
+    std::sort(set.genes.begin(), set.genes.end());
+    const double es = enrichment_score(scores, set, config);
+    EXPECT_GE(es, 0.0);
+    EXPECT_LE(es, 1.0 + 1e-12);
+  }
+}
+
+TEST_P(GseaWeights, TopSetBeatsBottomSet) {
+  std::vector<double> scores(40);
+  for (std::size_t i = 0; i < 40; ++i) scores[i] = 40.0 - static_cast<double>(i);
+  const GeneSet top{"top", {0, 1, 2, 3}};
+  const GeneSet bottom{"bottom", {36, 37, 38, 39}};
+  GseaConfig config;
+  config.weight = GetParam();
+  EXPECT_GT(enrichment_score(scores, top, config), enrichment_score(scores, bottom, config));
+}
+
+TEST_P(GseaWeights, InvariantToUniformScoreShiftInRankOnlyMode) {
+  // With weight 0 the statistic is purely rank-based, so any monotone
+  // transform of the scores leaves it unchanged.
+  if (GetParam() != 0.0) GTEST_SKIP();
+  Rng rng(2);
+  std::vector<double> scores(30), shifted(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    scores[i] = rng.normal();
+    shifted[i] = 3.0 * scores[i] + 100.0;
+  }
+  GeneSet set{"s", {2, 9, 17, 25}};
+  GseaConfig config;
+  config.weight = 0.0;
+  EXPECT_DOUBLE_EQ(enrichment_score(scores, set, config),
+                   enrichment_score(shifted, set, config));
+}
+
+INSTANTIATE_TEST_SUITE_P(Weights, GseaWeights, ::testing::Values(0.0, 0.5, 1.0, 2.0));
+
+TEST(GseaProperties, FullUniverseSetScoresOne) {
+  // A set containing every gene walks straight up to 1.
+  std::vector<double> scores{3, 1, 2};
+  GeneSet all{"all", {0, 1, 2}};
+  EXPECT_DOUBLE_EQ(enrichment_score(scores, all), 1.0);
+}
+
+TEST(GseaProperties, SupersetNeverScoresLowerAtTop) {
+  // Adding the current top gene to a set cannot decrease its enrichment.
+  std::vector<double> scores(20);
+  for (std::size_t i = 0; i < 20; ++i) scores[i] = 20.0 - static_cast<double>(i);
+  const GeneSet base{"base", {5, 9}};
+  const GeneSet with_top{"with_top", {0, 5, 9}};
+  EXPECT_GE(enrichment_score(scores, with_top), enrichment_score(scores, base) - 1e-12);
+}
+
+TEST(GseaProperties, PermutationPValueIsDeterministicGivenSeed) {
+  Rng data_rng(3);
+  std::vector<double> scores(50);
+  for (double& s : scores) s = data_rng.uniform();
+  const GeneSet set{"s", {1, 7, 30}};
+  Rng a(4), b(4);
+  EXPECT_DOUBLE_EQ(enrichment_p_value(scores, set, 100, a),
+                   enrichment_p_value(scores, set, 100, b));
+}
+
+TEST(GseaProperties, PValueBoundsAreValid) {
+  Rng data_rng(5);
+  std::vector<double> scores(30);
+  for (double& s : scores) s = data_rng.uniform();
+  const GeneSet set{"s", {0, 10, 20}};
+  Rng rng(6);
+  const double p = enrichment_p_value(scores, set, 50, rng);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+}  // namespace
+}  // namespace frac

@@ -1,0 +1,103 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace frac {
+namespace {
+
+Dataset small_mixed() {
+  Schema schema;
+  schema.add({"r0", FeatureKind::kReal, 0});
+  schema.add({"c0", FeatureKind::kCategorical, 3});
+  Matrix values(4, 2);
+  values(0, 0) = 1.5;
+  values(0, 1) = 0;
+  values(1, 0) = -2.0;
+  values(1, 1) = 2;
+  values(2, 0) = kMissing;
+  values(2, 1) = 1;
+  values(3, 0) = 0.0;
+  values(3, 1) = 1;
+  return Dataset(schema, values,
+                 {Label::kNormal, Label::kAnomaly, Label::kNormal, Label::kAnomaly});
+}
+
+TEST(Dataset, CountsAndIndices) {
+  const Dataset d = small_mixed();
+  EXPECT_EQ(d.sample_count(), 4u);
+  EXPECT_EQ(d.feature_count(), 2u);
+  EXPECT_EQ(d.normal_count(), 2u);
+  EXPECT_EQ(d.anomaly_count(), 2u);
+  EXPECT_EQ(d.normal_indices(), (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(d.anomaly_indices(), (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(Dataset, ShapeMismatchThrows) {
+  const Schema schema = Schema::all_real(2);
+  EXPECT_THROW(Dataset(schema, Matrix(3, 2), {Label::kNormal}), std::invalid_argument);
+  EXPECT_THROW(Dataset(schema, Matrix(1, 3), {Label::kNormal}), std::invalid_argument);
+}
+
+TEST(Dataset, SelectSamplesKeepsOrderAndLabels) {
+  const Dataset d = small_mixed();
+  const Dataset sub = d.select_samples({3, 0});
+  ASSERT_EQ(sub.sample_count(), 2u);
+  EXPECT_EQ(sub.value(0, 0), 0.0);
+  EXPECT_EQ(sub.label(0), Label::kAnomaly);
+  EXPECT_EQ(sub.value(1, 0), 1.5);
+  EXPECT_EQ(sub.label(1), Label::kNormal);
+}
+
+TEST(Dataset, SelectSamplesOutOfRangeThrows) {
+  EXPECT_THROW(small_mixed().select_samples({9}), std::out_of_range);
+}
+
+TEST(Dataset, SelectFeaturesSubsetsSchema) {
+  const Dataset d = small_mixed();
+  const Dataset sub = d.select_features({1});
+  ASSERT_EQ(sub.feature_count(), 1u);
+  EXPECT_TRUE(sub.schema().is_categorical(0));
+  EXPECT_EQ(sub.value(1, 0), 2.0);
+  EXPECT_EQ(sub.labels(), d.labels());
+}
+
+TEST(Dataset, SelectFeaturesOutOfRangeThrows) {
+  EXPECT_THROW(small_mixed().select_features({5}), std::out_of_range);
+}
+
+TEST(Dataset, ValidateAcceptsMissingAndCodes) {
+  EXPECT_NO_THROW(small_mixed().validate());
+}
+
+TEST(Dataset, ValidateRejectsBadCategoricalCode) {
+  Dataset d = small_mixed();
+  d.mutable_values()(0, 1) = 3.0;  // arity is 3, codes are 0..2
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d.mutable_values()(0, 1) = 1.5;  // non-integral
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d.mutable_values()(0, 1) = -1.0;
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, MissingSentinelDetection) {
+  EXPECT_TRUE(is_missing(kMissing));
+  EXPECT_FALSE(is_missing(0.0));
+  EXPECT_FALSE(is_missing(-1e308));
+}
+
+TEST(ConcatSamples, StacksRowsAndLabels) {
+  const Dataset d = small_mixed();
+  const Dataset cat = concat_samples(d, d.select_samples({1}));
+  EXPECT_EQ(cat.sample_count(), 5u);
+  EXPECT_EQ(cat.label(4), Label::kAnomaly);
+  EXPECT_EQ(cat.value(4, 1), 2.0);
+}
+
+TEST(ConcatSamples, SchemaMismatchThrows) {
+  const Dataset d = small_mixed();
+  const Dataset other(Schema::all_real(2), Matrix(1, 2), {Label::kNormal});
+  EXPECT_THROW(concat_samples(d, other), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace frac

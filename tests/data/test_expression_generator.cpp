@@ -1,0 +1,176 @@
+#include "data/expression_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/kernels.hpp"
+
+namespace frac {
+namespace {
+
+ExpressionModelConfig small_config() {
+  ExpressionModelConfig c;
+  c.features = 60;
+  c.modules = 4;
+  c.genes_per_module = 6;
+  c.noise_sd = 0.5;
+  c.anomaly_mix = 0.8;
+  c.disease_modules = 2;
+  c.seed = 5;
+  return c;
+}
+
+/// Pearson correlation between two columns of a matrix.
+double column_correlation(const Matrix& m, std::size_t a, std::size_t b) {
+  const auto ca = m.col(a);
+  const auto cb = m.col(b);
+  const double ma = mean(ca), mb = mean(cb);
+  double num = 0, va = 0, vb = 0;
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    num += (ca[i] - ma) * (cb[i] - mb);
+    va += (ca[i] - ma) * (ca[i] - ma);
+    vb += (cb[i] - mb) * (cb[i] - mb);
+  }
+  return num / std::sqrt(va * vb);
+}
+
+TEST(ExpressionModel, ConfigValidation) {
+  ExpressionModelConfig c = small_config();
+  c.modules = 100;  // 100*6 > 60
+  EXPECT_THROW(ExpressionModel{c}, std::invalid_argument);
+  c = small_config();
+  c.disease_modules = 10;
+  EXPECT_THROW(ExpressionModel{c}, std::invalid_argument);
+  c = small_config();
+  c.anomaly_mix = -0.5;  // amplitudes may exceed 1, but not go negative
+  EXPECT_THROW(ExpressionModel{c}, std::invalid_argument);
+  c = small_config();
+  c.loading_min = -0.1;
+  EXPECT_THROW(ExpressionModel{c}, std::invalid_argument);
+}
+
+TEST(ExpressionModel, ShapesAndLabels) {
+  const ExpressionModel model(small_config());
+  Rng rng(1);
+  const Dataset normals = model.sample(20, Label::kNormal, rng);
+  EXPECT_EQ(normals.sample_count(), 20u);
+  EXPECT_EQ(normals.feature_count(), 60u);
+  EXPECT_EQ(normals.anomaly_count(), 0u);
+  const Dataset anomalies = model.sample(5, Label::kAnomaly, rng);
+  EXPECT_EQ(anomalies.anomaly_count(), 5u);
+}
+
+TEST(ExpressionModel, ModuleAssignmentLayout) {
+  const ExpressionModel model(small_config());
+  EXPECT_EQ(model.module_of(0), 0u);
+  EXPECT_EQ(model.module_of(6), 1u);
+  EXPECT_EQ(model.module_of(23), 3u);
+  EXPECT_EQ(model.module_of(24), std::numeric_limits<std::size_t>::max());
+}
+
+TEST(ExpressionModel, ModuleGenesAreCorrelatedInNormals) {
+  const ExpressionModel model(small_config());
+  Rng rng(2);
+  const Dataset d = model.sample(400, Label::kNormal, rng);
+  // Genes 0 and 1 share module 0; |corr| should be substantial.
+  EXPECT_GT(std::abs(column_correlation(d.values(), 0, 1)), 0.3);
+  // Gene 0 vs an irrelevant gene: near zero.
+  EXPECT_LT(std::abs(column_correlation(d.values(), 0, 40)), 0.15);
+}
+
+TEST(ExpressionModel, DiseaseProgramMarksDiseaseModuleGenesOnly) {
+  const ExpressionModel model(small_config());
+  // Disease modules are the first 2 of 4: genes 0..11 carry the program.
+  for (std::size_t g = 0; g < 12; ++g) EXPECT_TRUE(model.dysregulated(g)) << g;
+  for (std::size_t g = 12; g < 60; ++g) EXPECT_FALSE(model.dysregulated(g)) << g;
+}
+
+TEST(ExpressionModel, DiseaseProgramInflatesSignatureVarianceOnly) {
+  ExpressionModelConfig c = small_config();
+  c.anomaly_mix = 1.5;
+  const ExpressionModel model(c);
+  Rng rng(4);
+  const Dataset normal = model.sample(3000, Label::kNormal, rng);
+  const Dataset anomalous = model.sample(3000, Label::kAnomaly, rng);
+  // Signature gene: variance grows by (a * signature)^2 > 0.
+  const double vn0 = sample_variance(normal.values().col(0));
+  const double va0 = sample_variance(anomalous.values().col(0));
+  EXPECT_GT(va0, vn0 * 1.2);
+  // Healthy-module and irrelevant genes: unchanged.
+  const double vn20 = sample_variance(normal.values().col(20));
+  const double va20 = sample_variance(anomalous.values().col(20));
+  EXPECT_NEAR(va20, vn20, 0.15 * vn20);
+  const double vn50 = sample_variance(normal.values().col(50));
+  const double va50 = sample_variance(anomalous.values().col(50));
+  EXPECT_NEAR(va50, vn50, 0.15 * vn50);
+}
+
+TEST(ExpressionModel, DiseaseProgramIsSharedWithinASample) {
+  // The program is a per-sample latent: signature genes gain *correlated*
+  // residuals in anomalies beyond their module correlation. Compare two
+  // signature genes from different disease modules (uncorrelated normally).
+  ExpressionModelConfig c = small_config();
+  c.anomaly_mix = 2.0;
+  const ExpressionModel model(c);
+  Rng rng(5);
+  const Dataset normal = model.sample(1500, Label::kNormal, rng);
+  const Dataset anomalous = model.sample(1500, Label::kAnomaly, rng);
+  // Genes 0 (module 0) and 7 (module 1) share no module latent.
+  const double c_normal = std::abs(column_correlation(normal.values(), 0, 7));
+  const double c_anom = std::abs(column_correlation(anomalous.values(), 0, 7));
+  EXPECT_LT(c_normal, 0.1);
+  EXPECT_GT(c_anom, 0.25);
+}
+
+TEST(ExpressionModel, ZeroAmplitudeAnomaliesMatchNormalDistribution) {
+  ExpressionModelConfig c = small_config();
+  c.anomaly_mix = 0.0;
+  const ExpressionModel model(c);
+  Rng rng(6);
+  const Dataset normal = model.sample(2500, Label::kNormal, rng);
+  const Dataset anomalous = model.sample(2500, Label::kAnomaly, rng);
+  for (const std::size_t g : {0u, 5u, 30u}) {
+    const double vn = sample_variance(normal.values().col(g));
+    const double va = sample_variance(anomalous.values().col(g));
+    EXPECT_NEAR(va, vn, 0.15 * vn) << "gene " << g;
+  }
+}
+
+TEST(ExpressionModel, SampleCohortShufflesBothLabels) {
+  const ExpressionModel model(small_config());
+  Rng rng(5);
+  const Dataset cohort = model.sample_cohort(30, 10, rng);
+  EXPECT_EQ(cohort.sample_count(), 40u);
+  EXPECT_EQ(cohort.normal_count(), 30u);
+  EXPECT_EQ(cohort.anomaly_count(), 10u);
+  // Shuffled: the anomalies should not all sit at the tail.
+  bool anomaly_before_last_ten = false;
+  for (std::size_t i = 0; i < 30; ++i) {
+    if (cohort.label(i) == Label::kAnomaly) anomaly_before_last_ten = true;
+  }
+  EXPECT_TRUE(anomaly_before_last_ten);
+}
+
+TEST(ExpressionModel, DeterministicGivenSeeds) {
+  const ExpressionModel model(small_config());
+  Rng rng1(9), rng2(9);
+  const Dataset a = model.sample(5, Label::kNormal, rng1);
+  const Dataset b = model.sample(5, Label::kNormal, rng2);
+  EXPECT_EQ(a.values(), b.values());
+}
+
+TEST(ExpressionModel, EntropyInformativeGivesRelevantGenesHigherVariance) {
+  ExpressionModelConfig c = small_config();
+  c.entropy_informative = true;
+  const ExpressionModel model(c);
+  Rng rng(6);
+  const Dataset d = model.sample(2000, Label::kNormal, rng);
+  const double relevant_var = sample_variance(d.values().col(0));
+  const double irrelevant_var = sample_variance(d.values().col(50));
+  EXPECT_GT(relevant_var, irrelevant_var * 1.3);
+}
+
+}  // namespace
+}  // namespace frac

@@ -1,0 +1,94 @@
+#include "data/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace frac {
+namespace {
+
+constexpr const char* kGood =
+    "expr:real,snp:cat:3,label\n"
+    "1.25,0,normal\n"
+    "?,2,anomaly\n"
+    "-3.5,?,normal\n";
+
+TEST(DatasetIo, ParsesHeaderTypesAndLabels) {
+  std::istringstream in(kGood);
+  const Dataset d = read_dataset_csv(in);
+  EXPECT_EQ(d.feature_count(), 2u);
+  EXPECT_TRUE(d.schema().is_real(0));
+  EXPECT_TRUE(d.schema().is_categorical(1));
+  EXPECT_EQ(d.schema()[1].arity, 3u);
+  EXPECT_EQ(d.sample_count(), 3u);
+  EXPECT_EQ(d.label(1), Label::kAnomaly);
+}
+
+TEST(DatasetIo, ParsesMissingCells) {
+  std::istringstream in(kGood);
+  const Dataset d = read_dataset_csv(in);
+  EXPECT_TRUE(is_missing(d.value(1, 0)));
+  EXPECT_TRUE(is_missing(d.value(2, 1)));
+  EXPECT_DOUBLE_EQ(d.value(0, 0), 1.25);
+}
+
+TEST(DatasetIo, RoundTripPreservesEverything) {
+  std::istringstream in(kGood);
+  const Dataset d = read_dataset_csv(in);
+  std::ostringstream out;
+  write_dataset_csv(out, d);
+  std::istringstream in2(out.str());
+  const Dataset d2 = read_dataset_csv(in2);
+  EXPECT_EQ(d2.schema(), d.schema());
+  EXPECT_EQ(d2.labels(), d.labels());
+  for (std::size_t r = 0; r < d.sample_count(); ++r) {
+    for (std::size_t c = 0; c < d.feature_count(); ++c) {
+      if (is_missing(d.value(r, c))) EXPECT_TRUE(is_missing(d2.value(r, c)));
+      else EXPECT_DOUBLE_EQ(d2.value(r, c), d.value(r, c));
+    }
+  }
+}
+
+TEST(DatasetIo, RejectsMissingLabelColumn) {
+  std::istringstream in("a:real,b:real\n1,2\n");
+  EXPECT_THROW(read_dataset_csv(in), std::invalid_argument);
+}
+
+TEST(DatasetIo, RejectsBadHeaderCell) {
+  std::istringstream in("a:complex,label\n1,normal\n");
+  EXPECT_THROW(read_dataset_csv(in), std::invalid_argument);
+}
+
+TEST(DatasetIo, RejectsBadLabelValue) {
+  std::istringstream in("a:real,label\n1,weird\n");
+  EXPECT_THROW(read_dataset_csv(in), std::invalid_argument);
+}
+
+TEST(DatasetIo, RejectsRaggedRow) {
+  std::istringstream in("a:real,b:real,label\n1,normal\n");
+  EXPECT_THROW(read_dataset_csv(in), std::invalid_argument);
+}
+
+TEST(DatasetIo, RejectsOutOfRangeCategoricalCode) {
+  std::istringstream in("s:cat:2,label\n5,normal\n");
+  EXPECT_THROW(read_dataset_csv(in), std::invalid_argument);
+}
+
+TEST(DatasetIo, EmptyFileThrows) {
+  std::istringstream in("");
+  EXPECT_THROW(read_dataset_csv(in), std::runtime_error);
+}
+
+TEST(DatasetIo, FileRoundTripThroughDisk) {
+  std::istringstream in(kGood);
+  const Dataset d = read_dataset_csv(in);
+  const std::string path = testing::TempDir() + "/frac_io_test.csv";
+  save_dataset_csv(path, d);
+  const Dataset d2 = load_dataset_csv(path);
+  EXPECT_EQ(d2.sample_count(), d.sample_count());
+  EXPECT_EQ(d2.schema(), d.schema());
+}
+
+}  // namespace
+}  // namespace frac

@@ -1,0 +1,92 @@
+#include "data/onehot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace frac {
+namespace {
+
+Schema fig2_schema() {
+  // Paper Fig. 2: four reals, a ternary, and a 4-ary categorical.
+  Schema s;
+  for (int i = 0; i < 4; ++i) s.add({"r" + std::to_string(i), FeatureKind::kReal, 0});
+  s.add({"c3", FeatureKind::kCategorical, 3});
+  s.add({"c4", FeatureKind::kCategorical, 4});
+  return s;
+}
+
+TEST(OneHot, Fig2WidthIsEleven) {
+  const OneHotEncoder enc(fig2_schema());
+  EXPECT_EQ(enc.output_width(), 11u);
+}
+
+TEST(OneHot, Fig2ExampleRow) {
+  // Data row from Fig. 2: (3.4, 0, -2, 0.6, 1, 2)
+  const OneHotEncoder enc(fig2_schema());
+  const std::vector<double> in{3.4, 0, -2, 0.6, 1, 2};
+  std::vector<double> out(11);
+  enc.encode_row(in, out);
+  const std::vector<double> expected{3.4, 0, -2, 0.6, /*c3=1*/ 0, 1, 0, /*c4=2*/ 0, 0, 1, 0};
+  EXPECT_EQ(out, expected);
+}
+
+TEST(OneHot, MissingCategoricalBecomesAllZeros) {
+  const OneHotEncoder enc(fig2_schema());
+  std::vector<double> in{1, 1, 1, 1, kMissing, 0};
+  std::vector<double> out(11);
+  enc.encode_row(in, out);
+  EXPECT_EQ(out[4], 0.0);
+  EXPECT_EQ(out[5], 0.0);
+  EXPECT_EQ(out[6], 0.0);
+  EXPECT_EQ(out[7], 1.0);  // c4 = 0
+}
+
+TEST(OneHot, MissingRealPassesThroughAsNaN) {
+  const OneHotEncoder enc(fig2_schema());
+  std::vector<double> in{kMissing, 1, 1, 1, 0, 0};
+  std::vector<double> out(11);
+  enc.encode_row(in, out);
+  EXPECT_TRUE(is_missing(out[0]));
+}
+
+TEST(OneHot, ColumnProvenanceMapsBack) {
+  const OneHotEncoder enc(fig2_schema());
+  const auto& cols = enc.columns();
+  ASSERT_EQ(cols.size(), 11u);
+  EXPECT_EQ(cols[0].source_feature, 0u);
+  EXPECT_FALSE(cols[0].is_indicator);
+  EXPECT_EQ(cols[4].source_feature, 4u);
+  EXPECT_TRUE(cols[4].is_indicator);
+  EXPECT_EQ(cols[4].category, 0u);
+  EXPECT_EQ(cols[10].source_feature, 5u);
+  EXPECT_EQ(cols[10].category, 3u);
+}
+
+TEST(OneHot, EncodeWholeDataset) {
+  Schema s;
+  s.add({"c", FeatureKind::kCategorical, 2});
+  Matrix values(3, 1);
+  values(0, 0) = 0;
+  values(1, 0) = 1;
+  values(2, 0) = 0;
+  const Dataset d(s, values, std::vector<Label>(3, Label::kNormal));
+  const OneHotEncoder enc(s);
+  const Matrix out = enc.encode(d);
+  EXPECT_EQ(out.rows(), 3u);
+  EXPECT_EQ(out.cols(), 2u);
+  EXPECT_EQ(out(0, 0), 1.0);
+  EXPECT_EQ(out(1, 1), 1.0);
+  EXPECT_EQ(out(2, 0), 1.0);
+}
+
+TEST(OneHot, AllRealSchemaIsIdentity) {
+  const Schema s = Schema::all_real(3);
+  const OneHotEncoder enc(s);
+  EXPECT_EQ(enc.output_width(), 3u);
+  const std::vector<double> in{1.0, -2.0, 0.5};
+  std::vector<double> out(3);
+  enc.encode_row(in, out);
+  EXPECT_EQ(out, in);
+}
+
+}  // namespace
+}  // namespace frac

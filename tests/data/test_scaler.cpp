@@ -1,0 +1,94 @@
+#include "data/scaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.hpp"
+
+namespace frac {
+namespace {
+
+TEST(Scaler, StandardizesColumns) {
+  Matrix m(4, 2);
+  const double col0[] = {1, 2, 3, 4};
+  const double col1[] = {10, 10, 10, 10};
+  for (std::size_t r = 0; r < 4; ++r) {
+    m(r, 0) = col0[r];
+    m(r, 1) = col1[r];
+  }
+  StandardScaler scaler;
+  scaler.fit(m);
+  scaler.transform(m);
+  double sum0 = 0, sq0 = 0;
+  for (std::size_t r = 0; r < 4; ++r) {
+    sum0 += m(r, 0);
+    sq0 += m(r, 0) * m(r, 0);
+  }
+  EXPECT_NEAR(sum0, 0.0, 1e-12);
+  EXPECT_NEAR(sq0 / 4.0, 1.0, 1e-12);  // population variance 1
+}
+
+TEST(Scaler, ConstantColumnPassesThroughCentered) {
+  Matrix m(3, 1, 5.0);
+  StandardScaler scaler;
+  scaler.fit(m);
+  scaler.transform(m);
+  // scale falls back to 1, so values become 0 (centered), not inf.
+  for (std::size_t r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(m(r, 0), 0.0);
+}
+
+TEST(Scaler, MissingValuesIgnoredInFitAndTransform) {
+  Matrix m(3, 1);
+  m(0, 0) = 1.0;
+  m(1, 0) = kMissing;
+  m(2, 0) = 3.0;
+  StandardScaler scaler;
+  scaler.fit(m);
+  EXPECT_DOUBLE_EQ(scaler.means()[0], 2.0);
+  scaler.transform(m);
+  EXPECT_TRUE(is_missing(m(1, 0)));
+  EXPECT_LT(m(0, 0), 0.0);
+  EXPECT_GT(m(2, 0), 0.0);
+}
+
+TEST(Scaler, TransformAppliesTrainStatsToNewData) {
+  Matrix train(2, 1);
+  train(0, 0) = 0.0;
+  train(1, 0) = 10.0;  // mean 5, population sd 5
+  StandardScaler scaler;
+  scaler.fit(train);
+  Matrix test(1, 1);
+  test(0, 0) = 15.0;
+  scaler.transform(test);
+  EXPECT_NEAR(test(0, 0), 2.0, 1e-12);
+}
+
+TEST(Scaler, ResetColumnIsIdentity) {
+  Matrix m(2, 2);
+  m(0, 0) = 4;
+  m(1, 0) = 8;
+  m(0, 1) = 1;
+  m(1, 1) = 2;  // categorical codes, say
+  StandardScaler scaler;
+  scaler.fit(m);
+  scaler.reset_column(1);
+  scaler.transform(m);
+  EXPECT_DOUBLE_EQ(m(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 2.0);
+  EXPECT_NE(m(0, 0), 4.0);
+}
+
+TEST(Scaler, TransformRow) {
+  Matrix train(2, 1);
+  train(0, 0) = -1.0;
+  train(1, 0) = 1.0;
+  StandardScaler scaler;
+  scaler.fit(train);
+  std::vector<double> row{2.0};
+  scaler.transform_row(row);
+  EXPECT_NEAR(row[0], 2.0, 1e-12);  // mean 0, sd 1
+}
+
+}  // namespace
+}  // namespace frac

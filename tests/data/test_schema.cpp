@@ -1,0 +1,52 @@
+#include "data/schema.hpp"
+
+#include <gtest/gtest.h>
+
+namespace frac {
+namespace {
+
+TEST(Schema, AllRealFactory) {
+  const Schema s = Schema::all_real(3, "g");
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].name, "g0");
+  EXPECT_TRUE(s.is_real(2));
+  EXPECT_FALSE(s.is_categorical(0));
+}
+
+TEST(Schema, AllCategoricalFactory) {
+  const Schema s = Schema::all_categorical(2, 3, "snp");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.is_categorical(1));
+  EXPECT_EQ(s[1].arity, 3u);
+  EXPECT_EQ(s[1].name, "snp1");
+}
+
+TEST(Schema, CategoricalArityBelowTwoThrows) {
+  EXPECT_THROW(Schema::all_categorical(2, 1), std::invalid_argument);
+}
+
+TEST(Schema, SelectReordersAndSubsets) {
+  Schema s = Schema::all_real(4);
+  const Schema sub = s.select({3, 1});
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub[0].name, "x3");
+  EXPECT_EQ(sub[1].name, "x1");
+}
+
+TEST(Schema, OneHotWidthMixed) {
+  Schema s;
+  s.add({"a", FeatureKind::kReal, 0});
+  s.add({"b", FeatureKind::kCategorical, 3});
+  s.add({"c", FeatureKind::kCategorical, 4});
+  s.add({"d", FeatureKind::kReal, 0});
+  // Paper Fig. 2: 4 reals + 3-ary + 4-ary = 11 one-hot columns... here 2+3+4.
+  EXPECT_EQ(s.one_hot_width(), 2u + 3u + 4u);
+}
+
+TEST(Schema, EqualityIsStructural) {
+  EXPECT_EQ(Schema::all_real(2), Schema::all_real(2));
+  EXPECT_FALSE(Schema::all_real(2) == Schema::all_real(3));
+}
+
+}  // namespace
+}  // namespace frac

@@ -1,0 +1,204 @@
+#include "data/snp_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/kernels.hpp"
+
+namespace frac {
+namespace {
+
+SnpModelConfig small_config() {
+  SnpModelConfig c;
+  c.features = 80;
+  c.block_size = 10;
+  c.ld_strength = 0.7;
+  c.fst = 0.1;
+  c.populations = 2;
+  c.seed = 11;
+  return c;
+}
+
+TEST(SnpModel, ConfigValidation) {
+  SnpModelConfig c = small_config();
+  c.fst = 0.0;
+  EXPECT_THROW(SnpModel{c}, std::invalid_argument);
+  c = small_config();
+  c.ld_strength = 1.5;
+  EXPECT_THROW(SnpModel{c}, std::invalid_argument);
+  c = small_config();
+  c.freq_min = 0.0;
+  EXPECT_THROW(SnpModel{c}, std::invalid_argument);
+  c = small_config();
+  c.disease_snps = 1000;
+  EXPECT_THROW(SnpModel{c}, std::invalid_argument);
+}
+
+TEST(SnpModel, GenotypesAreTernaryCodes) {
+  const SnpModel model(small_config());
+  Rng rng(1);
+  const Dataset d = model.sample(0, 50, Label::kNormal, rng);
+  EXPECT_EQ(d.feature_count(), 80u);
+  EXPECT_NO_THROW(d.validate());
+  for (std::size_t r = 0; r < d.sample_count(); ++r) {
+    for (std::size_t c = 0; c < d.feature_count(); ++c) {
+      const double v = d.value(r, c);
+      EXPECT_TRUE(v == 0.0 || v == 1.0 || v == 2.0);
+    }
+  }
+}
+
+TEST(SnpModel, GenotypeFrequenciesTrackAlleleFrequencies) {
+  const SnpModel model(small_config());
+  Rng rng(2);
+  const Dataset d = model.sample(0, 2000, Label::kNormal, rng);
+  for (const std::size_t snp : {0u, 17u, 55u}) {
+    const double p = model.allele_frequency(0, snp);
+    const double mean_genotype = mean(d.values().col(snp));
+    EXPECT_NEAR(mean_genotype, 2.0 * p, 0.12) << "snp " << snp;
+  }
+}
+
+TEST(SnpModel, LdBlocksAreCorrelated) {
+  const SnpModel model(small_config());
+  Rng rng(3);
+  const Dataset d = model.sample(0, 1000, Label::kNormal, rng);
+  // SNPs 0 and 1 share a block; SNPs 0 and 45 do not.
+  const auto corr = [&](std::size_t a, std::size_t b) {
+    const auto ca = d.values().col(a);
+    const auto cb = d.values().col(b);
+    const double ma = mean(ca), mb = mean(cb);
+    double num = 0, va = 0, vb = 0;
+    for (std::size_t i = 0; i < ca.size(); ++i) {
+      num += (ca[i] - ma) * (cb[i] - mb);
+      va += (ca[i] - ma) * (ca[i] - ma);
+      vb += (cb[i] - mb) * (cb[i] - mb);
+    }
+    return std::abs(num / std::sqrt(va * vb));
+  };
+  EXPECT_GT(corr(0, 1), 0.2);
+  EXPECT_LT(corr(0, 45), 0.12);
+}
+
+TEST(SnpModel, PopulationsDivergeInAlleleFrequency) {
+  SnpModelConfig c = small_config();
+  c.fst = 0.2;
+  const SnpModel model(c);
+  double total_divergence = 0.0;
+  for (std::size_t j = 0; j < c.features; ++j) {
+    total_divergence += std::abs(model.allele_frequency(0, j) - model.allele_frequency(1, j));
+  }
+  EXPECT_GT(total_divergence / static_cast<double>(c.features), 0.05);
+}
+
+TEST(SnpModel, DiseaseShiftMovesCausalSnpsOnlyInAnomalies) {
+  SnpModelConfig c = small_config();
+  c.ld_strength = 0.0;  // isolate the marginal effect
+  c.disease_snps = 4;
+  c.disease_shift = 0.4;
+  const SnpModel model(c);
+  Rng rng(4);
+  const Dataset normal = model.sample(0, 3000, Label::kNormal, rng);
+  const Dataset anomalous = model.sample(0, 3000, Label::kAnomaly, rng);
+  const double shift_causal =
+      mean(anomalous.values().col(0)) - mean(normal.values().col(0));
+  const double shift_neutral =
+      mean(anomalous.values().col(50)) - mean(normal.values().col(50));
+  EXPECT_GT(shift_causal, 0.4);  // ≈ 2 * 0.4 minus clamping
+  EXPECT_NEAR(shift_neutral, 0.0, 0.08);
+}
+
+TEST(SnpModel, HetCoupledFstConcentratesDivergenceInHighHetSnps) {
+  SnpModelConfig c = small_config();
+  c.features = 400;
+  c.fst = 0.5;
+  c.fst_het_exponent = 100.0;
+  c.reference_drift_scale = 0.1;
+  const SnpModel model(c);
+  // Partition SNPs by reference-population heterozygosity; the divergent
+  // ones should be concentrated in the top-het group.
+  std::vector<std::pair<double, double>> het_and_divergence;
+  for (std::size_t j = 0; j < c.features; ++j) {
+    const double p0 = model.allele_frequency(0, j);
+    const double het = 4.0 * p0 * (1.0 - p0);
+    const double divergence = std::abs(p0 - model.allele_frequency(1, j));
+    het_and_divergence.emplace_back(het, divergence);
+  }
+  std::sort(het_and_divergence.rbegin(), het_and_divergence.rend());
+  double top_div = 0.0, rest_div = 0.0;
+  const std::size_t top = c.features / 20;  // top 5% by heterozygosity
+  for (std::size_t j = 0; j < het_and_divergence.size(); ++j) {
+    (j < top ? top_div : rest_div) += het_and_divergence[j].second;
+  }
+  top_div /= static_cast<double>(top);
+  rest_div /= static_cast<double>(c.features - top);
+  EXPECT_GT(top_div, 5.0 * rest_div);
+}
+
+TEST(SnpModel, ReferenceDriftScaleKeepsPopulationZeroNearAncestral) {
+  // With a small reference drift, population 0's frequencies sit much
+  // closer to population-pair midpoints than population 1's do.
+  SnpModelConfig c = small_config();
+  c.features = 300;
+  c.fst = 0.4;
+  c.reference_drift_scale = 0.05;
+  const SnpModel with_ref(c);
+  c.reference_drift_scale = 1.0;
+  c.seed = small_config().seed;  // same genome draw order
+  const SnpModel symmetric(c);
+  // Aggregate |p0 − p1| is similar, but the asymmetric model's population-0
+  // spread around 0.5 stays close to the ancestral Uniform(0.1, 0.9) spread.
+  double var_ref = 0.0, var_sym = 0.0;
+  for (std::size_t j = 0; j < c.features; ++j) {
+    const double a = with_ref.allele_frequency(0, j) - 0.5;
+    const double b = symmetric.allele_frequency(0, j) - 0.5;
+    var_ref += a * a;
+    var_sym += b * b;
+  }
+  EXPECT_LT(var_ref, var_sym);
+}
+
+TEST(SnpModel, HetExponentValidation) {
+  SnpModelConfig c = small_config();
+  c.fst_het_exponent = -1.0;
+  EXPECT_THROW(SnpModel{c}, std::invalid_argument);
+  c = small_config();
+  c.reference_drift_scale = 0.0;
+  EXPECT_THROW(SnpModel{c}, std::invalid_argument);
+  c.reference_drift_scale = 1.5;
+  EXPECT_THROW(SnpModel{c}, std::invalid_argument);
+}
+
+TEST(SnpModel, InvalidPopulationThrows) {
+  const SnpModel model(small_config());
+  Rng rng(5);
+  EXPECT_THROW(model.sample(7, 3, Label::kNormal, rng), std::out_of_range);
+  EXPECT_THROW(model.allele_frequency(7, 0), std::out_of_range);
+}
+
+TEST(SnpModel, SharedStructureAcrossSampleCalls) {
+  // Two cohorts drawn from the same model share allele frequencies, so the
+  // population means should agree closely.
+  const SnpModel model(small_config());
+  Rng rng1(6), rng2(7);
+  const Dataset a = model.sample(0, 1500, Label::kNormal, rng1);
+  const Dataset b = model.sample(0, 1500, Label::kNormal, rng2);
+  for (const std::size_t snp : {3u, 33u, 73u}) {
+    EXPECT_NEAR(mean(a.values().col(snp)), mean(b.values().col(snp)), 0.15);
+  }
+}
+
+TEST(SnpModel, CommonVariantsOnly) {
+  const SnpModel model(small_config());
+  for (std::size_t pop = 0; pop < 2; ++pop) {
+    for (std::size_t j = 0; j < 80; ++j) {
+      const double p = model.allele_frequency(pop, j);
+      EXPECT_GE(p, 0.02);
+      EXPECT_LE(p, 0.98);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace frac

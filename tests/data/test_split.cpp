@@ -1,0 +1,110 @@
+#include "data/split.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace frac {
+namespace {
+
+Dataset cohort(std::size_t normals, std::size_t anomalies) {
+  Matrix values(normals + anomalies, 2);
+  std::vector<Label> labels;
+  for (std::size_t i = 0; i < normals + anomalies; ++i) {
+    values(i, 0) = static_cast<double>(i);  // row id, to trace samples
+    labels.push_back(i < normals ? Label::kNormal : Label::kAnomaly);
+  }
+  return Dataset(Schema::all_real(2), values, labels);
+}
+
+TEST(Split, TrainIsAllNormalTwoThirds) {
+  const Dataset d = cohort(30, 10);
+  Rng rng(1);
+  const Replicate rep = make_replicate(d, 2.0 / 3.0, rng);
+  EXPECT_EQ(rep.train.sample_count(), 20u);
+  EXPECT_EQ(rep.train.anomaly_count(), 0u);
+  EXPECT_EQ(rep.test.sample_count(), 10u + 10u);
+  EXPECT_EQ(rep.test.anomaly_count(), 10u);
+}
+
+TEST(Split, TrainAndTestNormalsPartitionTheNormals) {
+  const Dataset d = cohort(30, 5);
+  Rng rng(2);
+  const Replicate rep = make_replicate(d, 2.0 / 3.0, rng);
+  std::set<double> seen;
+  for (std::size_t i = 0; i < rep.train.sample_count(); ++i) {
+    seen.insert(rep.train.value(i, 0));
+  }
+  for (std::size_t i = 0; i < rep.test.sample_count(); ++i) {
+    // No overlap between train and test.
+    EXPECT_EQ(seen.count(rep.test.value(i, 0)), 0u);
+    seen.insert(rep.test.value(i, 0));
+  }
+  EXPECT_EQ(seen.size(), 35u);  // every sample appears exactly once
+}
+
+TEST(Split, AllAnomaliesGoToTest) {
+  const Dataset d = cohort(12, 7);
+  Rng rng(3);
+  const Replicate rep = make_replicate(d, 2.0 / 3.0, rng);
+  EXPECT_EQ(rep.test.anomaly_count(), 7u);
+}
+
+TEST(Split, BadFractionThrows) {
+  const Dataset d = cohort(10, 2);
+  Rng rng(4);
+  EXPECT_THROW(make_replicate(d, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(make_replicate(d, 1.0, rng), std::invalid_argument);
+}
+
+TEST(Split, TooFewNormalsThrows) {
+  const Dataset d = cohort(1, 5);
+  Rng rng(5);
+  EXPECT_THROW(make_replicate(d, 0.5, rng), std::invalid_argument);
+}
+
+TEST(Split, ReplicatesDiffer) {
+  const Dataset d = cohort(30, 5);
+  Rng rng(6);
+  const auto reps = make_replicates(d, 5, 2.0 / 3.0, rng);
+  ASSERT_EQ(reps.size(), 5u);
+  // At least two replicates should pick different training sets.
+  bool any_different = false;
+  for (std::size_t r = 1; r < reps.size(); ++r) {
+    for (std::size_t i = 0; i < reps[0].train.sample_count(); ++i) {
+      if (reps[0].train.value(i, 0) != reps[r].train.value(i, 0)) {
+        any_different = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Split, ReplicatesAreDeterministicPerSeed) {
+  const Dataset d = cohort(20, 4);
+  Rng rng1(7), rng2(7);
+  const auto a = make_replicates(d, 3, 2.0 / 3.0, rng1);
+  const auto b = make_replicates(d, 3, 2.0 / 3.0, rng2);
+  for (std::size_t r = 0; r < 3; ++r) {
+    ASSERT_EQ(a[r].train.sample_count(), b[r].train.sample_count());
+    for (std::size_t i = 0; i < a[r].train.sample_count(); ++i) {
+      EXPECT_EQ(a[r].train.value(i, 0), b[r].train.value(i, 0));
+    }
+  }
+}
+
+TEST(Split, FixedReplicateHonorsIndices) {
+  const Dataset d = cohort(6, 2);
+  const Replicate rep = make_fixed_replicate(d, {0, 1, 2}, {3, 6, 7});
+  EXPECT_EQ(rep.train.sample_count(), 3u);
+  EXPECT_EQ(rep.test.sample_count(), 3u);
+  EXPECT_EQ(rep.test.anomaly_count(), 2u);
+}
+
+TEST(Split, FixedReplicateRejectsAnomalousTraining) {
+  const Dataset d = cohort(3, 2);
+  EXPECT_THROW(make_fixed_replicate(d, {0, 4}, {1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace frac

@@ -1,0 +1,109 @@
+#include "expt/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace frac {
+namespace {
+
+TEST(Registry, HasAllEightPaperCohorts) {
+  const auto& cohorts = paper_cohorts();
+  ASSERT_EQ(cohorts.size(), 8u);
+  EXPECT_EQ(cohorts[0].name, "breast.basal");
+  EXPECT_EQ(cohorts[7].name, "schizophrenia");
+}
+
+TEST(Registry, TableGridExcludesSchizophrenia) {
+  const auto grid = table_grid_cohorts();
+  EXPECT_EQ(grid.size(), 7u);
+  for (const auto& spec : grid) EXPECT_NE(spec.name, "schizophrenia");
+}
+
+TEST(Registry, SampleCountsMatchTableOne) {
+  const CohortSpec& biomarkers = cohort_by_name("biomarkers");
+  EXPECT_EQ(biomarkers.normal_samples, 74u);
+  EXPECT_EQ(biomarkers.anomaly_samples, 53u);
+  EXPECT_EQ(biomarkers.paper_features, 19739u);
+  const CohortSpec& autism = cohort_by_name("autism");
+  EXPECT_EQ(autism.normal_samples, 317u);
+  EXPECT_EQ(autism.anomaly_samples, 228u);
+  EXPECT_EQ(autism.kind, CohortKind::kSnp);
+}
+
+TEST(Registry, UnknownCohortThrows) {
+  EXPECT_THROW(cohort_by_name("nope"), std::invalid_argument);
+}
+
+TEST(Registry, MakeCohortHasExpectedShape) {
+  const CohortSpec& spec = cohort_by_name("breast.basal");
+  const Dataset cohort = make_cohort(spec);
+  EXPECT_EQ(cohort.sample_count(), spec.normal_samples + spec.anomaly_samples);
+  EXPECT_EQ(cohort.feature_count(), spec.scaled_features());
+  EXPECT_EQ(cohort.anomaly_count(), spec.anomaly_samples);
+}
+
+TEST(Registry, MakeCohortRejectsConfoundedSpec) {
+  EXPECT_THROW(make_cohort(cohort_by_name("schizophrenia")), std::invalid_argument);
+}
+
+TEST(Registry, ConfoundedReplicateDesign) {
+  const CohortSpec& spec = cohort_by_name("schizophrenia");
+  const Replicate rep = make_confounded_replicate(spec);
+  EXPECT_EQ(rep.train.sample_count(), spec.normal_samples);
+  EXPECT_EQ(rep.train.anomaly_count(), 0u);
+  EXPECT_EQ(rep.test.sample_count(), spec.test_normal_samples + spec.anomaly_samples);
+  EXPECT_EQ(rep.test.anomaly_count(), spec.anomaly_samples);
+}
+
+TEST(Registry, ReplicatesFollowPaperProtocol) {
+  const CohortSpec& spec = cohort_by_name("breast.basal");
+  const auto reps = make_cohort_replicates(spec, 3);
+  ASSERT_EQ(reps.size(), 3u);
+  for (const Replicate& rep : reps) {
+    EXPECT_EQ(rep.train.anomaly_count(), 0u);
+    // 2/3 of 56 normals = 37 in train; 19 normals + 19 anomalies in test.
+    EXPECT_EQ(rep.train.sample_count(), 37u);
+    EXPECT_EQ(rep.test.anomaly_count(), 19u);
+  }
+}
+
+TEST(Registry, ConfoundedCohortYieldsSingleReplicate) {
+  const auto reps = make_cohort_replicates(cohort_by_name("schizophrenia"), 5);
+  EXPECT_EQ(reps.size(), 1u);
+}
+
+TEST(Registry, PaperConfigSelectsModelsByDataKind) {
+  const FracConfig expr = paper_frac_config(cohort_by_name("biomarkers"));
+  EXPECT_EQ(expr.predictor.regressor, RegressorKind::kLinearSvr);
+  const FracConfig snp = paper_frac_config(cohort_by_name("autism"));
+  EXPECT_EQ(snp.predictor.classifier, ClassifierKind::kDecisionTree);
+  EXPECT_EQ(snp.predictor.regressor, RegressorKind::kRegressionTree);
+}
+
+TEST(Registry, BenchScaleRescalesFeatures) {
+  const CohortSpec& spec = cohort_by_name("breast.basal");
+  const std::size_t base = spec.scaled_features();
+  setenv("FRAC_BENCH_SCALE", "0.5", 1);
+  const std::size_t halved = spec.scaled_features();
+  unsetenv("FRAC_BENCH_SCALE");
+  EXPECT_NEAR(static_cast<double>(halved), static_cast<double>(base) / 2.0, 1.0);
+}
+
+TEST(Registry, ScaledCohortStaysInternallyConsistent) {
+  setenv("FRAC_BENCH_SCALE", "0.05", 1);
+  const Dataset tiny = make_cohort(cohort_by_name("biomarkers"));
+  unsetenv("FRAC_BENCH_SCALE");
+  EXPECT_GE(tiny.feature_count(), 8u);
+  EXPECT_NO_THROW(tiny.validate());
+}
+
+TEST(Registry, SnpCohortsValidateAsTernary) {
+  const Dataset autism = make_cohort(cohort_by_name("autism"));
+  EXPECT_NO_THROW(autism.validate());
+  EXPECT_TRUE(autism.schema().is_categorical(0));
+  EXPECT_EQ(autism.schema()[0].arity, 3u);
+}
+
+}  // namespace
+}  // namespace frac

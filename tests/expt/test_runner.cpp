@@ -1,0 +1,122 @@
+#include "expt/runner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace frac {
+namespace {
+
+ThreadPool& pool() {
+  static ThreadPool p(2);
+  return p;
+}
+
+std::vector<Replicate> fake_replicates(std::size_t count) {
+  // Tiny replicates: 4 train normals, 2 test samples (1 normal, 1 anomaly).
+  std::vector<Replicate> reps;
+  for (std::size_t r = 0; r < count; ++r) {
+    Matrix train_values(4, 2);
+    Matrix test_values(2, 2);
+    reps.push_back({Dataset(Schema::all_real(2), train_values,
+                            std::vector<Label>(4, Label::kNormal)),
+                    Dataset(Schema::all_real(2), test_values,
+                            {Label::kNormal, Label::kAnomaly})});
+  }
+  return reps;
+}
+
+/// A method whose scores are controlled per replicate (anomaly always wins),
+/// with fixed resource usage for fraction math.
+MethodFn fixed_method(double cpu, double bytes) {
+  return [cpu, bytes](const Replicate& rep, Rng&) {
+    ScoredRun run;
+    run.test_scores.resize(rep.test.sample_count());
+    for (std::size_t i = 0; i < run.test_scores.size(); ++i) {
+      run.test_scores[i] = rep.test.label(i) == Label::kAnomaly ? 1.0 : 0.0;
+    }
+    run.resources.cpu_seconds = cpu;
+    run.resources.peak_bytes = static_cast<std::size_t>(bytes);
+    return run;
+  };
+}
+
+TEST(Runner, EvaluatesEveryReplicate) {
+  const auto reps = fake_replicates(4);
+  const PerReplicate out = evaluate_method(reps, fixed_method(2.0, 100.0), 1, pool());
+  EXPECT_EQ(out.replicate_count(), 4u);
+  for (const double a : out.auc) EXPECT_DOUBLE_EQ(a, 1.0);
+  for (const double t : out.cpu_seconds) EXPECT_DOUBLE_EQ(t, 2.0);
+}
+
+TEST(Runner, MethodRngsDifferAcrossReplicates) {
+  const auto reps = fake_replicates(3);
+  std::vector<std::uint64_t> draws;
+  const MethodFn method = [&](const Replicate& rep, Rng& rng) {
+    draws.push_back(rng());
+    ScoredRun run;
+    run.test_scores.assign(rep.test.sample_count(), 0.0);
+    return run;
+  };
+  evaluate_method(reps, method, 7, pool());
+  ASSERT_EQ(draws.size(), 3u);
+  EXPECT_NE(draws[0], draws[1]);
+  EXPECT_NE(draws[1], draws[2]);
+}
+
+TEST(Runner, AggregateComputesMeanSd) {
+  PerReplicate results;
+  results.auc = {0.8, 0.9};
+  results.cpu_seconds = {1.0, 3.0};
+  results.peak_bytes = {100.0, 300.0};
+  const AggregateStats stats = aggregate(results);
+  EXPECT_NEAR(stats.auc.mean, 0.85, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.mean_cpu_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(stats.mean_peak_bytes, 200.0);
+}
+
+TEST(Runner, FractionOfComputesPerReplicateAucRatios) {
+  PerReplicate variant, full;
+  variant.auc = {0.9, 0.8};
+  variant.cpu_seconds = {1.0, 1.0};
+  variant.peak_bytes = {10.0, 10.0};
+  full.auc = {0.9, 1.0};
+  full.cpu_seconds = {10.0, 10.0};
+  full.peak_bytes = {100.0, 100.0};
+  const FractionStats stats = fraction_of(variant, full);
+  EXPECT_NEAR(stats.auc_fraction.mean, (1.0 + 0.8) / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.time_fraction, 0.1);
+  EXPECT_DOUBLE_EQ(stats.mem_fraction, 0.1);
+}
+
+TEST(Runner, FractionOfValidation) {
+  PerReplicate a, b;
+  a.auc = {0.5};
+  a.cpu_seconds = {1};
+  a.peak_bytes = {1};
+  EXPECT_THROW(fraction_of(a, b), std::invalid_argument);
+  b = a;
+  b.auc = {0.0};
+  EXPECT_THROW(fraction_of(a, b), std::invalid_argument);
+}
+
+TEST(Runner, FractionOfBaselineUsesRawAuc) {
+  PerReplicate variant;
+  variant.auc = {0.6, 0.7};
+  variant.cpu_seconds = {5.0, 5.0};
+  variant.peak_bytes = {50.0, 50.0};
+  const FractionStats stats = fraction_of_baseline(variant, 100.0, 1000.0);
+  EXPECT_NEAR(stats.auc_fraction.mean, 0.65, 1e-12);  // raw, not a ratio
+  EXPECT_DOUBLE_EQ(stats.time_fraction, 0.05);
+  EXPECT_DOUBLE_EQ(stats.mem_fraction, 0.05);
+}
+
+TEST(Runner, FractionOfBaselineValidation) {
+  PerReplicate variant;
+  variant.auc = {0.5};
+  variant.cpu_seconds = {1};
+  variant.peak_bytes = {1};
+  EXPECT_THROW(fraction_of_baseline(variant, 0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(fraction_of_baseline(variant, 10.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace frac

@@ -1,0 +1,53 @@
+#include "expt/tables.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace frac {
+namespace {
+
+TEST(TextTable, PrintsAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"long-name", "2"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("long-name"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Formatting, MeanSd) {
+  EXPECT_EQ(fmt_mean_sd({0.731, 0.0561}), "0.73 (0.06)");
+}
+
+TEST(Formatting, Fraction) {
+  EXPECT_EQ(fmt_fraction(0.0461), "0.046");
+  EXPECT_EQ(fmt_fraction(0.0004), "0.000");
+}
+
+TEST(Formatting, TimeRanges) {
+  EXPECT_EQ(fmt_time(0.0000005), "0.5 us");
+  EXPECT_EQ(fmt_time(0.005), "5.0 ms");
+  EXPECT_EQ(fmt_time(12.0), "12.00 s");
+  EXPECT_EQ(fmt_time(600.0), "10.00 min");
+  EXPECT_EQ(fmt_time(7200.0), "2.00 h");
+}
+
+TEST(Formatting, ByteRanges) {
+  EXPECT_EQ(fmt_bytes(512), "512 B");
+  EXPECT_EQ(fmt_bytes(2048), "2.00 KB");
+  EXPECT_EQ(fmt_bytes(3.5 * 1024 * 1024), "3.50 MB");
+  EXPECT_EQ(fmt_bytes(2.0 * 1024 * 1024 * 1024), "2.00 GB");
+}
+
+}  // namespace
+}  // namespace frac

@@ -1,0 +1,119 @@
+#include "frac/diverse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/expression_generator.hpp"
+#include "ml/metrics.hpp"
+
+namespace frac {
+namespace {
+
+ThreadPool& pool() {
+  static ThreadPool p(2);
+  return p;
+}
+
+Replicate make_replicate(std::uint64_t seed = 1) {
+  ExpressionModelConfig c;
+  c.features = 50;
+  c.modules = 5;
+  c.genes_per_module = 8;
+  c.noise_sd = 0.4;
+  c.anomaly_mix = 2.0;
+  c.disease_modules = 4;
+  c.seed = seed;
+  const ExpressionModel model(c);
+  Rng rng(seed + 100);
+  Replicate rep;
+  rep.train = model.sample(36, Label::kNormal, rng);
+  rep.test = concat_samples(model.sample(10, Label::kNormal, rng),
+                            model.sample(10, Label::kAnomaly, rng));
+  return rep;
+}
+
+TEST(DiversePlan, EveryFeatureIsATarget) {
+  Rng rng(1);
+  const auto plan = make_diverse_plan(20, 0.5, 1, rng);
+  ASSERT_EQ(plan.size(), 20u);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(plan[i].target, i);
+}
+
+TEST(DiversePlan, InputsAreSampledAtP) {
+  Rng rng(2);
+  const auto plan = make_diverse_plan(200, 0.5, 1, rng);
+  double total_inputs = 0;
+  for (const auto& unit : plan) {
+    total_inputs += static_cast<double>(unit.inputs.size());
+    for (const std::size_t j : unit.inputs) EXPECT_NE(j, unit.target);
+  }
+  EXPECT_NEAR(total_inputs / 200.0, 0.5 * 199.0, 5.0);
+}
+
+TEST(DiversePlan, NoEmptyInputSetsEvenAtTinyP) {
+  Rng rng(3);
+  const auto plan = make_diverse_plan(30, 1e-6, 1, rng);
+  for (const auto& unit : plan) EXPECT_GE(unit.inputs.size(), 1u);
+}
+
+TEST(DiversePlan, MultiplePredictorsPerTarget) {
+  Rng rng(4);
+  const auto plan = make_diverse_plan(10, 0.5, 3, rng);
+  EXPECT_EQ(plan.size(), 30u);
+  // Predictors for the same target should (almost surely) differ.
+  EXPECT_NE(plan[0].inputs, plan[1].inputs);
+  EXPECT_EQ(plan[0].target, plan[1].target);
+}
+
+TEST(DiversePlan, Validation) {
+  Rng rng(5);
+  EXPECT_THROW(make_diverse_plan(10, 0.0, 1, rng), std::invalid_argument);
+  EXPECT_THROW(make_diverse_plan(10, 1.1, 1, rng), std::invalid_argument);
+  EXPECT_THROW(make_diverse_plan(10, 0.5, 0, rng), std::invalid_argument);
+  EXPECT_THROW(make_diverse_plan(1, 0.5, 1, rng), std::invalid_argument);
+}
+
+TEST(DiverseFrac, PreservesDetectionAtHalfP) {
+  const Replicate rep = make_replicate();
+  const FracConfig config;
+  const ScoredRun full = run_frac(rep, config, pool());
+  Rng rng(6);
+  const ScoredRun diverse = run_diverse_frac(rep, config, 0.5, 1, rng, pool());
+  const double full_auc = auc(full.test_scores, rep.test.labels());
+  const double diverse_auc = auc(diverse.test_scores, rep.test.labels());
+  EXPECT_GT(diverse_auc, full_auc - 0.15);
+}
+
+TEST(DiverseFrac, MemoryRoughlyHalvesAtHalfP) {
+  const Replicate rep = make_replicate();
+  const FracConfig config;
+  const ScoredRun full = run_frac(rep, config, pool());
+  Rng rng(7);
+  const ScoredRun diverse = run_diverse_frac(rep, config, 0.5, 1, rng, pool());
+  const double model_full =
+      static_cast<double>(full.resources.peak_bytes - rep.train.bytes());
+  const double model_div =
+      static_cast<double>(diverse.resources.peak_bytes - rep.train.bytes());
+  EXPECT_NEAR(model_div / model_full, 0.5, 0.15);
+}
+
+TEST(DiverseFrac, MemberScoresCoverAllFeatures) {
+  const Replicate rep = make_replicate();
+  const FracConfig config;
+  Rng rng(8);
+  const MemberScores member = run_diverse_member(rep, config, 0.3, 1, rng, pool());
+  EXPECT_EQ(member.feature_ids.size(), rep.train.feature_count());
+  EXPECT_EQ(member.per_feature.cols(), rep.train.feature_count());
+}
+
+TEST(DiverseFrac, MorePredictorsPerTargetCostsMore) {
+  const Replicate rep = make_replicate();
+  const FracConfig config;
+  Rng rng1(9), rng2(9);
+  const ScoredRun one = run_diverse_frac(rep, config, 0.3, 1, rng1, pool());
+  const ScoredRun three = run_diverse_frac(rep, config, 0.3, 3, rng2, pool());
+  EXPECT_GT(three.resources.models_retained, one.resources.models_retained);
+  EXPECT_GT(three.resources.peak_bytes, one.resources.peak_bytes);
+}
+
+}  // namespace
+}  // namespace frac

@@ -1,0 +1,156 @@
+#include "frac/ensemble.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/expression_generator.hpp"
+#include "ml/metrics.hpp"
+
+namespace frac {
+namespace {
+
+ThreadPool& pool() {
+  static ThreadPool p(2);
+  return p;
+}
+
+Replicate make_replicate(std::uint64_t seed = 1) {
+  ExpressionModelConfig c;
+  c.features = 60;
+  c.modules = 6;
+  c.genes_per_module = 8;
+  c.noise_sd = 0.4;
+  c.anomaly_mix = 2.0;
+  c.disease_modules = 5;
+  c.seed = seed;
+  const ExpressionModel model(c);
+  Rng rng(seed + 100);
+  Replicate rep;
+  rep.train = model.sample(40, Label::kNormal, rng);
+  rep.test = concat_samples(model.sample(10, Label::kNormal, rng),
+                            model.sample(10, Label::kAnomaly, rng));
+  return rep;
+}
+
+MemberScores make_member(std::size_t n, const std::vector<std::size_t>& ids,
+                         const std::vector<std::vector<double>>& rows) {
+  MemberScores m;
+  m.feature_ids = ids;
+  m.per_feature = Matrix(n, ids.size());
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < ids.size(); ++c) m.per_feature(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+TEST(CombineMedian, SingleMemberIsPlainSum) {
+  const auto member = make_member(2, {0, 2}, {{1.0, 2.0}, {3.0, 4.0}});
+  const auto scores = combine_median(std::vector<MemberScores>{member}, 5);
+  EXPECT_DOUBLE_EQ(scores[0], 3.0);
+  EXPECT_DOUBLE_EQ(scores[1], 7.0);
+}
+
+TEST(CombineMedian, MedianTakenPerFeatureAcrossMembers) {
+  // Three members all scoring feature 0: median of {1, 10, 100} = 10.
+  const auto a = make_member(1, {0}, {{1.0}});
+  const auto b = make_member(1, {0}, {{10.0}});
+  const auto c = make_member(1, {0}, {{100.0}});
+  const auto scores = combine_median(std::vector<MemberScores>{a, b, c}, 3);
+  EXPECT_DOUBLE_EQ(scores[0], 10.0);
+}
+
+TEST(CombineMedian, DisjointMembersSum) {
+  const auto a = make_member(1, {0}, {{5.0}});
+  const auto b = make_member(1, {1}, {{7.0}});
+  const auto scores = combine_median(std::vector<MemberScores>{a, b}, 2);
+  EXPECT_DOUBLE_EQ(scores[0], 12.0);
+}
+
+TEST(CombineMedian, NaNEntriesAreSkippedNotZeroed) {
+  // Member b has no score (NaN) for feature 0: median over {4} alone.
+  const auto a = make_member(1, {0}, {{4.0}});
+  auto b = make_member(1, {0}, {{0.0}});
+  b.per_feature(0, 0) = kMissing;
+  const auto scores = combine_median(std::vector<MemberScores>{a, b}, 1);
+  EXPECT_DOUBLE_EQ(scores[0], 4.0);
+}
+
+TEST(CombineMedian, Validation) {
+  const auto a = make_member(1, {0}, {{1.0}});
+  const auto b = make_member(2, {0}, {{1.0}, {2.0}});
+  EXPECT_THROW(combine_median(std::vector<MemberScores>{a, b}, 1), std::invalid_argument);
+  EXPECT_THROW(combine_median(std::vector<MemberScores>{}, 1), std::invalid_argument);
+  const auto oob = make_member(1, {9}, {{1.0}});
+  EXPECT_THROW(combine_median(std::vector<MemberScores>{oob}, 2), std::invalid_argument);
+}
+
+TEST(FilterEnsemble, PreservesDetection) {
+  const Replicate rep = make_replicate();
+  const FracConfig config;
+  const ScoredRun full = run_frac(rep, config, pool());
+  Rng rng(2);
+  const ScoredRun ensemble = run_random_filter_ensemble(rep, config, 0.2, 6, rng, pool());
+  const double full_auc = auc(full.test_scores, rep.test.labels());
+  const double ens_auc = auc(ensemble.test_scores, rep.test.labels());
+  EXPECT_GT(ens_auc, full_auc - 0.15);
+}
+
+TEST(FilterEnsemble, PeakMemoryIsMemberLevelNotSum) {
+  const Replicate rep = make_replicate();
+  const FracConfig config;
+  Rng rng1(3), rng2(3);
+  const ScoredRun one = run_random_filter_ensemble(rep, config, 0.2, 1, rng1, pool());
+  const ScoredRun ten = run_random_filter_ensemble(rep, config, 0.2, 10, rng2, pool());
+  // Sequential members: the ten-member peak is bounded by the largest
+  // single member, not ten of them.
+  EXPECT_LT(ten.resources.peak_bytes, one.resources.peak_bytes * 3);
+  EXPECT_GT(ten.resources.cpu_seconds, one.resources.cpu_seconds);
+}
+
+TEST(FilterEnsemble, StabilizesAcrossSeeds) {
+  // The paper's motivation for ensembles: single small random filters are
+  // unstable; ensembles shrink the spread. Compare AUC ranges over seeds.
+  const Replicate rep = make_replicate();
+  const FracConfig config;
+  std::vector<double> single_aucs, ensemble_aucs;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng_single(seed * 2 + 1);
+    const ScoredRun single = run_random_filter_ensemble(rep, config, 0.1, 1, rng_single, pool());
+    single_aucs.push_back(auc(single.test_scores, rep.test.labels()));
+    Rng rng_ens(seed * 2 + 2);
+    const ScoredRun ens = run_random_filter_ensemble(rep, config, 0.1, 7, rng_ens, pool());
+    ensemble_aucs.push_back(auc(ens.test_scores, rep.test.labels()));
+  }
+  const auto range = [](const std::vector<double>& v) {
+    return *std::max_element(v.begin(), v.end()) - *std::min_element(v.begin(), v.end());
+  };
+  EXPECT_LE(range(ensemble_aucs), range(single_aucs) + 0.03);
+}
+
+TEST(DiverseEnsemble, PeakMemoryAccumulatesMembers) {
+  const Replicate rep = make_replicate();
+  const FracConfig config;
+  Rng rng1(4), rng2(4);
+  const ScoredRun one = run_diverse_ensemble(rep, config, 0.1, 1, rng1, pool());
+  const ScoredRun five = run_diverse_ensemble(rep, config, 0.1, 5, rng2, pool());
+  EXPECT_GT(five.resources.peak_bytes, one.resources.peak_bytes * 3);
+}
+
+TEST(DiverseEnsemble, ScoresHaveTestSize) {
+  const Replicate rep = make_replicate();
+  const FracConfig config;
+  Rng rng(5);
+  const ScoredRun ens = run_diverse_ensemble(rep, config, 0.2, 3, rng, pool());
+  EXPECT_EQ(ens.test_scores.size(), rep.test.sample_count());
+}
+
+TEST(Ensembles, ZeroMembersThrows) {
+  const Replicate rep = make_replicate();
+  const FracConfig config;
+  Rng rng(6);
+  EXPECT_THROW(run_random_filter_ensemble(rep, config, 0.2, 0, rng, pool()),
+               std::invalid_argument);
+  EXPECT_THROW(run_diverse_ensemble(rep, config, 0.2, 0, rng, pool()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace frac

@@ -1,0 +1,70 @@
+#include "frac/entropy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace frac {
+namespace {
+
+TEST(FeatureEntropy, CategoricalUniform) {
+  const FeatureSpec spec{"s", FeatureKind::kCategorical, 3};
+  const std::vector<double> column{0, 1, 2, 0, 1, 2};
+  EXPECT_NEAR(feature_entropy(column, spec), std::log(3.0), 1e-12);
+}
+
+TEST(FeatureEntropy, CategoricalSkipsMissing) {
+  const FeatureSpec spec{"s", FeatureKind::kCategorical, 2};
+  const std::vector<double> column{0, kMissing, 0, kMissing};
+  EXPECT_DOUBLE_EQ(feature_entropy(column, spec), 0.0);
+}
+
+TEST(FeatureEntropy, CategoricalConstantIsZero) {
+  const FeatureSpec spec{"s", FeatureKind::kCategorical, 3};
+  const std::vector<double> column(20, 1.0);
+  EXPECT_DOUBLE_EQ(feature_entropy(column, spec), 0.0);
+}
+
+TEST(FeatureEntropy, ContinuousGaussianMatchesClosedForm) {
+  Rng rng(1);
+  std::vector<double> column(2000);
+  for (double& v : column) v = rng.normal(0.0, 2.0);
+  const FeatureSpec spec{"g", FeatureKind::kReal, 0};
+  const double expected = 0.5 * std::log(2.0 * std::numbers::pi * std::numbers::e) +
+                          std::log(2.0);
+  EXPECT_NEAR(feature_entropy(column, spec), expected, 0.1);
+}
+
+TEST(FeatureEntropy, HigherSpreadGivesHigherEntropy) {
+  Rng rng(2);
+  std::vector<double> narrow(300), wide(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    narrow[i] = rng.normal(0.0, 0.5);
+    wide[i] = rng.normal(0.0, 3.0);
+  }
+  const FeatureSpec spec{"g", FeatureKind::kReal, 0};
+  EXPECT_GT(feature_entropy(wide, spec), feature_entropy(narrow, spec));
+}
+
+TEST(FeatureEntropy, ContinuousAllMissingThrows) {
+  const FeatureSpec spec{"g", FeatureKind::kReal, 0};
+  const std::vector<double> column{kMissing, kMissing};
+  EXPECT_THROW(feature_entropy(column, spec), std::invalid_argument);
+}
+
+TEST(FeatureEntropy, GridConfigAffectsOnlyPrecision) {
+  Rng rng(3);
+  std::vector<double> column(500);
+  for (double& v : column) v = rng.normal();
+  const FeatureSpec spec{"g", FeatureKind::kReal, 0};
+  const double coarse = feature_entropy(column, spec, {.kde_grid_points = 64});
+  const double fine = feature_entropy(column, spec, {.kde_grid_points = 2048});
+  EXPECT_NEAR(coarse, fine, 0.05);
+}
+
+}  // namespace
+}  // namespace frac

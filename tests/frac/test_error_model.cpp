@@ -1,0 +1,175 @@
+#include "frac/error_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace frac {
+namespace {
+
+TEST(GaussianErrorModel, FitsMeanAndSd) {
+  Rng rng(1);
+  std::vector<double> residuals(5000);
+  for (double& r : residuals) r = rng.normal(0.5, 2.0);
+  GaussianErrorModel model;
+  model.fit(residuals);
+  EXPECT_NEAR(model.mean(), 0.5, 0.1);
+  EXPECT_NEAR(model.sd(), 2.0, 0.1);
+}
+
+TEST(GaussianErrorModel, SurprisalIsNegLogDensity) {
+  GaussianErrorModel model;
+  model.fit(std::vector<double>{-1, 1, -1, 1});  // mean 0
+  const double sd = model.sd();
+  const double at_mean = model.surprisal(0.0);
+  EXPECT_NEAR(at_mean, std::log(sd) + 0.5 * std::log(2 * std::numbers::pi), 1e-12);
+  // One sd away adds exactly 1/2 nat.
+  EXPECT_NEAR(model.surprisal(sd) - at_mean, 0.5, 1e-12);
+}
+
+TEST(GaussianErrorModel, LargerResidualIsMoreSurprising) {
+  GaussianErrorModel model;
+  model.fit(std::vector<double>{-0.1, 0.1, 0.0, 0.05});
+  EXPECT_GT(model.surprisal(1.0), model.surprisal(0.1));
+  EXPECT_GT(model.surprisal(-1.0), model.surprisal(-0.1));
+}
+
+TEST(GaussianErrorModel, SdFloorPreventsInfiniteSurprisal) {
+  GaussianErrorModel model;
+  model.fit(std::vector<double>(100, 0.0), /*min_sd=*/1e-2);
+  EXPECT_DOUBLE_EQ(model.sd(), 1e-2);
+  EXPECT_TRUE(std::isfinite(model.surprisal(5.0)));
+}
+
+TEST(GaussianErrorModel, EmptyResidualsThrow) {
+  GaussianErrorModel model;
+  EXPECT_THROW(model.fit({}), std::invalid_argument);
+}
+
+TEST(GaussianErrorModel, BadFloorThrows) {
+  GaussianErrorModel model;
+  EXPECT_THROW(model.fit(std::vector<double>{1.0}, 0.0), std::invalid_argument);
+}
+
+TEST(KdeErrorModel, TailResidualsMoreSurprisingThanTypical) {
+  Rng rng(21);
+  std::vector<double> residuals(300);
+  for (double& r : residuals) r = rng.normal(0.0, 0.5);
+  KdeErrorModel model;
+  model.fit(residuals);
+  EXPECT_LT(model.surprisal(0.0), model.surprisal(2.0));
+  EXPECT_LT(model.surprisal(0.5), model.surprisal(5.0));
+}
+
+TEST(KdeErrorModel, CapturesNonGaussianShape) {
+  // Bimodal residuals: a Gaussian model calls the trough "typical"; the KDE
+  // model knows the modes are where the mass is.
+  Rng rng(22);
+  std::vector<double> residuals(600);
+  for (std::size_t i = 0; i < residuals.size(); ++i) {
+    residuals[i] = (i % 2 == 0 ? -2.0 : 2.0) + 0.3 * rng.normal();
+  }
+  KdeErrorModel kde;
+  kde.fit(residuals);
+  GaussianErrorModel gauss;
+  gauss.fit(residuals);
+  // At a mode, the KDE is less surprised than at the trough...
+  EXPECT_LT(kde.surprisal(2.0), kde.surprisal(0.0));
+  // ...while the Gaussian has it backwards.
+  EXPECT_GT(gauss.surprisal(2.0), gauss.surprisal(0.0));
+}
+
+TEST(KdeErrorModel, FloorBoundsFarTailSurprisal) {
+  KdeErrorModel model;
+  model.fit(std::vector<double>{-0.1, 0.0, 0.1}, /*density_floor=*/1e-6);
+  const double far = model.surprisal(1e6);
+  EXPECT_NEAR(far, -std::log(1e-6), 1e-9);
+  EXPECT_TRUE(std::isfinite(far));
+}
+
+TEST(KdeErrorModel, Validation) {
+  KdeErrorModel model;
+  EXPECT_THROW(model.fit({}), std::invalid_argument);
+  EXPECT_THROW(model.fit(std::vector<double>{1.0}, 0.0), std::invalid_argument);
+}
+
+TEST(KdeErrorModel, SerializationRoundTrip) {
+  Rng rng(23);
+  std::vector<double> residuals(80);
+  for (double& r : residuals) r = rng.normal();
+  KdeErrorModel original;
+  original.fit(residuals);
+  std::stringstream buffer;
+  original.save(buffer);
+  const KdeErrorModel restored = KdeErrorModel::load(buffer);
+  for (const double r : {-2.0, -0.3, 0.0, 0.7, 3.0}) {
+    EXPECT_DOUBLE_EQ(restored.surprisal(r), original.surprisal(r));
+  }
+}
+
+TEST(ConfusionErrorModel, PerfectPredictorHasLowSurprisalOnDiagonal) {
+  // 30 correct predictions per class.
+  std::vector<std::uint32_t> truth, pred;
+  for (std::uint32_t k = 0; k < 3; ++k) {
+    for (int i = 0; i < 30; ++i) {
+      truth.push_back(k);
+      pred.push_back(k);
+    }
+  }
+  ConfusionErrorModel model;
+  model.fit(truth, pred, 3);
+  EXPECT_LT(model.surprisal(0, 0), model.surprisal(1, 0));
+  EXPECT_LT(model.surprisal(2, 2), 0.2);
+  EXPECT_GT(model.surprisal(0, 2), 2.0);
+}
+
+TEST(ConfusionErrorModel, SurprisalIsConditionalOnPrediction) {
+  // Predictor that always says 0, truth evenly split:
+  // P(true=0 | pred=0) = P(true=1 | pred=0) = 0.5 (after smoothing).
+  std::vector<std::uint32_t> truth{0, 1, 0, 1, 0, 1};
+  std::vector<std::uint32_t> pred(6, 0);
+  ConfusionErrorModel model;
+  model.fit(truth, pred, 2);
+  EXPECT_NEAR(model.surprisal(0, 0), model.surprisal(1, 0), 1e-12);
+  EXPECT_NEAR(model.surprisal(0, 0), std::log(2.0), 1e-12);
+}
+
+TEST(ConfusionErrorModel, LaplaceSmoothingHandlesUnseenPredictions) {
+  std::vector<std::uint32_t> truth{0, 0};
+  std::vector<std::uint32_t> pred{0, 0};
+  ConfusionErrorModel model;
+  model.fit(truth, pred, 3);
+  // Column 2 never predicted: uniform after smoothing.
+  EXPECT_NEAR(model.surprisal(0, 2), std::log(3.0), 1e-12);
+  EXPECT_TRUE(std::isfinite(model.surprisal(2, 2)));
+}
+
+TEST(ConfusionErrorModel, CountsExposeRawMatrix) {
+  std::vector<std::uint32_t> truth{0, 1, 1};
+  std::vector<std::uint32_t> pred{0, 1, 0};
+  ConfusionErrorModel model;
+  model.fit(truth, pred, 2);
+  EXPECT_EQ(model.count(0, 0), 1u);
+  EXPECT_EQ(model.count(1, 0), 1u);
+  EXPECT_EQ(model.count(1, 1), 1u);
+  EXPECT_EQ(model.count(0, 1), 0u);
+}
+
+TEST(ConfusionErrorModel, Validation) {
+  ConfusionErrorModel model;
+  const std::vector<std::uint32_t> a{0}, b{0, 1};
+  EXPECT_THROW(model.fit(a, b, 2), std::invalid_argument);
+  EXPECT_THROW(model.fit(a, a, 1), std::invalid_argument);
+  const std::vector<std::uint32_t> big{7};
+  EXPECT_THROW(model.fit(big, big, 2), std::invalid_argument);
+  EXPECT_THROW(model.surprisal(0, 0), std::logic_error);  // before fit
+  model.fit(a, a, 2);
+  EXPECT_THROW(model.surprisal(5, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace frac

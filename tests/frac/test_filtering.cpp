@@ -1,0 +1,147 @@
+#include "frac/filtering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/expression_generator.hpp"
+#include "ml/metrics.hpp"
+
+namespace frac {
+namespace {
+
+ThreadPool& pool() {
+  static ThreadPool p(2);
+  return p;
+}
+
+Replicate make_replicate(std::uint64_t seed = 1) {
+  ExpressionModelConfig c;
+  c.features = 60;
+  c.modules = 5;
+  c.genes_per_module = 8;
+  c.noise_sd = 0.4;
+  c.anomaly_mix = 2.0;
+  c.disease_modules = 4;
+  c.seed = seed;
+  const ExpressionModel model(c);
+  Rng rng(seed + 100);
+  Replicate rep;
+  rep.train = model.sample(40, Label::kNormal, rng);
+  rep.test = concat_samples(model.sample(12, Label::kNormal, rng),
+                            model.sample(12, Label::kAnomaly, rng));
+  return rep;
+}
+
+TEST(Filtering, RandomSelectionKeepsRequestedFraction) {
+  const Replicate rep = make_replicate();
+  Rng rng(1);
+  const auto kept = select_filtered_features(rep.train, FilterMethod::kRandom, 0.25, rng);
+  EXPECT_EQ(kept.size(), 15u);
+  std::set<std::size_t> unique(kept.begin(), kept.end());
+  EXPECT_EQ(unique.size(), kept.size());
+  for (const std::size_t k : kept) EXPECT_LT(k, 60u);
+  EXPECT_TRUE(std::is_sorted(kept.begin(), kept.end()));
+}
+
+TEST(Filtering, AtLeastOneFeatureKept) {
+  const Replicate rep = make_replicate();
+  Rng rng(2);
+  const auto kept = select_filtered_features(rep.train, FilterMethod::kRandom, 1e-9, rng);
+  EXPECT_EQ(kept.size(), 1u);
+}
+
+TEST(Filtering, InvalidFractionThrows) {
+  const Replicate rep = make_replicate();
+  Rng rng(3);
+  EXPECT_THROW(select_filtered_features(rep.train, FilterMethod::kRandom, 0.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(select_filtered_features(rep.train, FilterMethod::kRandom, 1.5, rng),
+               std::invalid_argument);
+}
+
+TEST(Filtering, EntropySelectionKeepsHighestEntropyFeatures) {
+  // Build a dataset where features 0..4 have much higher spread.
+  Rng data_rng(4);
+  Matrix values(50, 10);
+  for (std::size_t r = 0; r < 50; ++r) {
+    for (std::size_t c = 0; c < 10; ++c) {
+      values(r, c) = data_rng.normal(0.0, c < 5 ? 10.0 : 0.1);
+    }
+  }
+  const Dataset train(Schema::all_real(10), values, std::vector<Label>(50, Label::kNormal));
+  Rng rng(5);
+  const auto kept = select_filtered_features(train, FilterMethod::kEntropy, 0.5, rng);
+  EXPECT_EQ(kept, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Filtering, FullFilterPreservesMostAccuracyAtModerateFraction) {
+  const Replicate rep = make_replicate();
+  const FracConfig config;
+  Rng rng(6);
+  const ScoredRun full = run_frac(rep, config, pool());
+  Rng rng2(7);
+  const ScoredRun filtered =
+      run_full_filtered_frac(rep, config, FilterMethod::kRandom, 0.5, rng2, pool());
+  const double full_auc = auc(full.test_scores, rep.test.labels());
+  const double filtered_auc = auc(filtered.test_scores, rep.test.labels());
+  EXPECT_GT(filtered_auc, full_auc - 0.2);
+}
+
+TEST(Filtering, FullFilterShrinksTimeAndMemory) {
+  const Replicate rep = make_replicate();
+  const FracConfig config;
+  const ScoredRun full = run_frac(rep, config, pool());
+  Rng rng(8);
+  const ScoredRun filtered =
+      run_full_filtered_frac(rep, config, FilterMethod::kRandom, 0.2, rng, pool());
+  EXPECT_LT(filtered.resources.peak_bytes, full.resources.peak_bytes / 4);
+  EXPECT_LT(filtered.resources.models_retained, full.resources.models_retained);
+}
+
+TEST(Filtering, PartialFilterUsesAllInputsButFewerTargets) {
+  const Replicate rep = make_replicate();
+  const FracConfig config;
+  Rng rng(9);
+  const ScoredRun partial =
+      run_partial_filtered_frac(rep, config, FilterMethod::kRandom, 0.2, rng, pool());
+  EXPECT_EQ(partial.resources.models_retained, 12u);  // 20% of 60
+  EXPECT_EQ(partial.test_scores.size(), rep.test.sample_count());
+}
+
+TEST(Filtering, PartialFilterMemoryBetweenFullFilterAndFull) {
+  const Replicate rep = make_replicate();
+  const FracConfig config;
+  const ScoredRun full = run_frac(rep, config, pool());
+  Rng rng1(10), rng2(10);  // same kept features for a clean comparison
+  const ScoredRun full_filtered =
+      run_full_filtered_frac(rep, config, FilterMethod::kRandom, 0.2, rng1, pool());
+  const ScoredRun partial =
+      run_partial_filtered_frac(rep, config, FilterMethod::kRandom, 0.2, rng2, pool());
+  EXPECT_GT(partial.resources.peak_bytes, full_filtered.resources.peak_bytes);
+  EXPECT_LT(partial.resources.peak_bytes, full.resources.peak_bytes);
+}
+
+TEST(Filtering, MemberScoresMapBackToOriginalFeatureIds) {
+  const Replicate rep = make_replicate();
+  const FracConfig config;
+  Rng rng(11);
+  const MemberScores member =
+      run_full_filtered_member(rep, config, FilterMethod::kRandom, 0.3, rng, pool());
+  EXPECT_EQ(member.per_feature.rows(), rep.test.sample_count());
+  EXPECT_EQ(member.per_feature.cols(), member.feature_ids.size());
+  EXPECT_EQ(member.feature_ids.size(), 18u);  // 30% of 60
+  for (const std::size_t id : member.feature_ids) EXPECT_LT(id, 60u);
+}
+
+TEST(Filtering, DeterministicGivenSameRngState) {
+  const Replicate rep = make_replicate();
+  const FracConfig config;
+  Rng rng1(12), rng2(12);
+  const auto a = run_full_filtered_frac(rep, config, FilterMethod::kRandom, 0.3, rng1, pool());
+  const auto b = run_full_filtered_frac(rep, config, FilterMethod::kRandom, 0.3, rng2, pool());
+  EXPECT_EQ(a.test_scores, b.test_scores);
+}
+
+}  // namespace
+}  // namespace frac

@@ -1,0 +1,247 @@
+#include "frac/frac.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/expression_generator.hpp"
+#include "data/snp_generator.hpp"
+#include "ml/metrics.hpp"
+
+namespace frac {
+namespace {
+
+ThreadPool& pool() {
+  static ThreadPool p(2);
+  return p;
+}
+
+/// Small expression replicate with a clear planted signal.
+Replicate expression_replicate(std::uint64_t seed = 1) {
+  ExpressionModelConfig c;
+  c.features = 40;
+  c.modules = 4;
+  c.genes_per_module = 6;
+  c.noise_sd = 0.4;
+  c.anomaly_mix = 3.0;
+  c.disease_modules = 3;
+  c.seed = seed;
+  const ExpressionModel model(c);
+  Rng rng(seed + 100);
+  Replicate rep;
+  rep.train = model.sample(40, Label::kNormal, rng);
+  rep.test = concat_samples(model.sample(15, Label::kNormal, rng),
+                            model.sample(15, Label::kAnomaly, rng));
+  return rep;
+}
+
+/// SNP replicate with a population shift between train and anomalies.
+Replicate snp_replicate(std::uint64_t seed = 2) {
+  SnpModelConfig c;
+  c.features = 40;
+  c.block_size = 8;
+  c.ld_strength = 0.8;
+  c.fst = 0.35;
+  c.populations = 2;
+  c.seed = seed;
+  const SnpModel model(c);
+  Rng rng(seed + 100);
+  Replicate rep;
+  rep.train = model.sample(0, 60, Label::kNormal, rng);
+  rep.test = concat_samples(model.sample(0, 15, Label::kNormal, rng),
+                            model.sample(1, 15, Label::kAnomaly, rng));
+  return rep;
+}
+
+FracConfig expression_config() {
+  FracConfig config;
+  config.seed = 7;
+  return config;
+}
+
+FracConfig snp_config() {
+  FracConfig config;
+  config.predictor.classifier = ClassifierKind::kDecisionTree;
+  config.predictor.regressor = RegressorKind::kRegressionTree;
+  config.predictor.tree.max_depth = 5;
+  config.seed = 7;
+  return config;
+}
+
+TEST(FracModel, DetectsExpressionAnomalies) {
+  const Replicate rep = expression_replicate();
+  const ScoredRun run = run_frac(rep, expression_config(), pool());
+  EXPECT_GT(auc(run.test_scores, rep.test.labels()), 0.8);
+}
+
+TEST(FracModel, DetectsPopulationShiftInSnpData) {
+  const Replicate rep = snp_replicate();
+  const ScoredRun run = run_frac(rep, snp_config(), pool());
+  EXPECT_GT(auc(run.test_scores, rep.test.labels()), 0.85);
+}
+
+TEST(FracModel, NoSignalGivesChanceAuc) {
+  // Pure-noise features, identically distributed labels: AUC ≈ 0.5.
+  Rng rng(3);
+  Matrix values(60, 20);
+  for (std::size_t r = 0; r < 60; ++r) {
+    for (double& v : values.row(r)) v = rng.normal();
+  }
+  std::vector<Label> labels(60, Label::kNormal);
+  const Dataset cohort(Schema::all_real(20), values, labels);
+  Replicate rep;
+  rep.train = cohort.select_samples({0,  1,  2,  3,  4,  5,  6,  7,  8,  9,
+                                     10, 11, 12, 13, 14, 15, 16, 17, 18, 19});
+  std::vector<std::size_t> test_rows;
+  for (std::size_t i = 20; i < 60; ++i) test_rows.push_back(i);
+  rep.test = cohort.select_samples(test_rows);
+  // Mark half the test rows "anomalous" even though they are iid normal.
+  Matrix test_values = rep.test.values();
+  std::vector<Label> test_labels(40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    test_labels[i] = i % 2 == 0 ? Label::kNormal : Label::kAnomaly;
+  }
+  rep.test = Dataset(rep.test.schema(), test_values, test_labels);
+  const ScoredRun run = run_frac(rep, expression_config(), pool());
+  EXPECT_NEAR(auc(run.test_scores, rep.test.labels()), 0.5, 0.2);
+}
+
+TEST(FracModel, DefaultPlanIsAllVersusRest) {
+  const auto plan = default_plan(4);
+  ASSERT_EQ(plan.size(), 4u);
+  EXPECT_EQ(plan[1].target, 1u);
+  EXPECT_EQ(plan[1].inputs, (std::vector<std::size_t>{0, 2, 3}));
+}
+
+TEST(FracModel, PlanValidation) {
+  const Replicate rep = expression_replicate();
+  std::vector<FeaturePlan> bad_target{{999, {0}}};
+  EXPECT_THROW(
+      FracModel::train_with_plan(rep.train, bad_target, expression_config(), pool()),
+      std::invalid_argument);
+  std::vector<FeaturePlan> self_input{{0, {0, 1}}};
+  EXPECT_THROW(
+      FracModel::train_with_plan(rep.train, self_input, expression_config(), pool()),
+      std::invalid_argument);
+  std::vector<FeaturePlan> bad_input{{0, {999}}};
+  EXPECT_THROW(FracModel::train_with_plan(rep.train, bad_input, expression_config(), pool()),
+               std::invalid_argument);
+}
+
+TEST(FracModel, DeterministicAcrossRuns) {
+  const Replicate rep = expression_replicate();
+  const FracConfig config = expression_config();
+  const FracModel a = FracModel::train(rep.train, config, pool());
+  const FracModel b = FracModel::train(rep.train, config, pool());
+  const auto sa = a.score(rep.test, pool());
+  const auto sb = b.score(rep.test, pool());
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) EXPECT_DOUBLE_EQ(sa[i], sb[i]);
+}
+
+TEST(FracModel, DeterministicAcrossThreadCounts) {
+  const Replicate rep = expression_replicate();
+  const FracConfig config = expression_config();
+  ThreadPool one(1), four(4);
+  const auto sa = FracModel::train(rep.train, config, one).score(rep.test, one);
+  const auto sb = FracModel::train(rep.train, config, four).score(rep.test, four);
+  for (std::size_t i = 0; i < sa.size(); ++i) EXPECT_DOUBLE_EQ(sa[i], sb[i]);
+}
+
+TEST(FracModel, MissingTargetContributesZero) {
+  const Replicate rep = expression_replicate();
+  const FracModel model = FracModel::train(rep.train, expression_config(), pool());
+  Dataset test = rep.test;
+  const auto base = model.score(test, pool());
+  // Blank out feature 3 of sample 0: its unit contribution must vanish,
+  // and per-feature scores must show NaN there.
+  test.mutable_values()(0, 3) = kMissing;
+  const auto masked_scores = model.per_feature_scores(test, pool());
+  EXPECT_TRUE(is_missing(masked_scores(0, 3)));
+  const auto after = model.score(test, pool());
+  EXPECT_NE(base[0], after[0]);
+  EXPECT_EQ(base[1], after[1]);  // other samples untouched
+}
+
+TEST(FracModel, PerFeatureScoresSumToTotal) {
+  const Replicate rep = expression_replicate();
+  const FracModel model = FracModel::train(rep.train, expression_config(), pool());
+  const auto totals = model.score(rep.test, pool());
+  const Matrix per_feature = model.per_feature_scores(rep.test, pool());
+  for (std::size_t r = 0; r < rep.test.sample_count(); ++r) {
+    double sum = 0.0;
+    for (std::size_t f = 0; f < per_feature.cols(); ++f) {
+      if (!is_missing(per_feature(r, f))) sum += per_feature(r, f);
+    }
+    EXPECT_NEAR(sum, totals[r], 1e-9);
+  }
+}
+
+TEST(FracModel, SchemaMismatchAtScoringThrows) {
+  const Replicate rep = expression_replicate();
+  const FracModel model = FracModel::train(rep.train, expression_config(), pool());
+  const Dataset wrong(Schema::all_real(3), Matrix(2, 3), std::vector<Label>(2, Label::kNormal));
+  EXPECT_THROW(model.score(wrong, pool()), std::invalid_argument);
+}
+
+TEST(FracModel, TooFewSamplesThrows) {
+  const Dataset tiny(Schema::all_real(3), Matrix(1, 3), {Label::kNormal});
+  EXPECT_THROW(FracModel::train(tiny, expression_config(), pool()), std::invalid_argument);
+}
+
+TEST(FracModel, ResourceReportIsPopulated) {
+  const Replicate rep = expression_replicate();
+  const FracModel model = FracModel::train(rep.train, expression_config(), pool());
+  const ResourceReport& report = model.report();
+  EXPECT_EQ(model.unit_count(), rep.train.feature_count());
+  EXPECT_EQ(report.models_retained, rep.train.feature_count());
+  // 5 CV folds + 1 final per unit.
+  EXPECT_EQ(report.models_trained, rep.train.feature_count() * 6);
+  EXPECT_GT(report.peak_bytes, rep.train.bytes());
+  EXPECT_GT(report.cpu_seconds, 0.0);
+}
+
+TEST(FracModel, EntropySubtractionCentersTypicalScores) {
+  // For normal test samples the NS terms (−log P − H) should hover near 0:
+  // well below the raw surprisal magnitude.
+  const Replicate rep = expression_replicate();
+  const FracModel model = FracModel::train(rep.train, expression_config(), pool());
+  const auto scores = model.score(rep.test, pool());
+  double normal_mean = 0.0;
+  std::size_t normal_count = 0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (rep.test.label(i) == Label::kNormal) {
+      normal_mean += scores[i];
+      ++normal_count;
+    }
+  }
+  normal_mean /= static_cast<double>(normal_count);
+  // |mean NS per feature| small for in-distribution samples.
+  EXPECT_LT(std::abs(normal_mean) / static_cast<double>(model.feature_count()), 1.0);
+}
+
+TEST(FracModel, InfluentialInputsComeFromTheUnitPlan) {
+  const Replicate rep = expression_replicate();
+  std::vector<FeaturePlan> plan{{0, {5, 6, 7}}};
+  const FracModel model =
+      FracModel::train_with_plan(rep.train, plan, expression_config(), pool());
+  for (const std::size_t input : model.influential_inputs(0, 3)) {
+    EXPECT_TRUE(input == 5 || input == 6 || input == 7);
+  }
+}
+
+TEST(FracModel, MultiplePredictorsPerTargetSumInNs) {
+  const Replicate rep = expression_replicate();
+  std::vector<FeaturePlan> plan{{0, {1, 2}}, {0, {3, 4}}};
+  const FracModel model =
+      FracModel::train_with_plan(rep.train, plan, expression_config(), pool());
+  EXPECT_EQ(model.unit_count(), 2u);
+  const Matrix per_feature = model.per_feature_scores(rep.test, pool());
+  const auto totals = model.score(rep.test, pool());
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_NEAR(per_feature(r, 0), totals[r], 1e-9);  // both units on feature 0
+  }
+}
+
+}  // namespace
+}  // namespace frac

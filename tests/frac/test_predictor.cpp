@@ -1,0 +1,158 @@
+#include "frac/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace frac {
+namespace {
+
+TEST(Predictor, SvrRegressorLearnsLinearTarget) {
+  Rng rng(1);
+  Matrix x(100, 3);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (double& v : x.row(i)) v = rng.normal();
+    y[i] = x(i, 0) - 2.0 * x(i, 2);
+  }
+  const std::vector<std::uint32_t> arities{0, 0, 0};
+  PredictorConfig config;
+  config.svr.c = 10.0;
+  config.svr.epsilon = 0.01;
+  const auto model = train_regressor(x, y, arities, config);
+  const std::vector<double> probe{1.0, 0.0, 1.0};
+  EXPECT_NEAR(model->predict(probe), -1.0, 0.2);
+}
+
+TEST(Predictor, SvrExpandsCategoricalInputs) {
+  // Target = 1 when categorical input == 2; linear in the 1-hot encoding.
+  Matrix x(90, 1);
+  std::vector<double> y(90);
+  for (std::size_t i = 0; i < 90; ++i) {
+    x(i, 0) = static_cast<double>(i % 3);
+    y[i] = (i % 3 == 2) ? 1.0 : 0.0;
+  }
+  const std::vector<std::uint32_t> arities{3};
+  PredictorConfig config;
+  config.svr.c = 10.0;
+  config.svr.epsilon = 0.01;
+  const auto model = train_regressor(x, y, arities, config);
+  EXPECT_NEAR(model->predict(std::vector<double>{2.0}), 1.0, 0.15);
+  EXPECT_NEAR(model->predict(std::vector<double>{0.0}), 0.0, 0.15);
+}
+
+TEST(Predictor, SvrImputesMissingInputsToZero) {
+  Rng rng(2);
+  Matrix x(50, 2);
+  std::vector<double> y(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x(i, 0) = rng.normal();
+    x(i, 1) = rng.normal();
+    y[i] = 3.0 * x(i, 0);
+  }
+  const std::vector<std::uint32_t> arities{0, 0};
+  const auto model = train_regressor(x, y, arities, {});
+  const std::vector<double> missing_row{kMissing, 0.5};
+  // Missing x0 imputes to 0 -> prediction ≈ bias contribution only.
+  EXPECT_TRUE(std::isfinite(model->predict(missing_row)));
+  EXPECT_LT(std::abs(model->predict(missing_row)), 1.0);
+}
+
+TEST(Predictor, TreeRegressorSelectedByKind) {
+  Matrix x(40, 1);
+  std::vector<double> y(40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = i < 20 ? 0.0 : 5.0;
+  }
+  const std::vector<std::uint32_t> arities{0};
+  PredictorConfig config;
+  config.regressor = RegressorKind::kRegressionTree;
+  const auto model = train_regressor(x, y, arities, config);
+  EXPECT_NEAR(model->predict(std::vector<double>{5.0}), 0.0, 1e-9);
+  EXPECT_NEAR(model->predict(std::vector<double>{35.0}), 5.0, 1e-9);
+}
+
+TEST(Predictor, TreeClassifierPredictsCodes) {
+  Matrix x(60, 1);
+  std::vector<double> y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    x(i, 0) = static_cast<double>(i % 3);
+    y[i] = static_cast<double>(i % 3);  // identity mapping
+  }
+  const std::vector<std::uint32_t> arities{3};
+  const auto model = train_classifier(x, y, 3, arities, {});
+  for (double code = 0; code < 3; ++code) {
+    EXPECT_EQ(model->predict(std::vector<double>{code}), code);
+  }
+}
+
+TEST(Predictor, SvcClassifierSelectedByKind) {
+  Matrix x(60, 2);
+  std::vector<double> y(60);
+  Rng rng(3);
+  for (std::size_t i = 0; i < 60; ++i) {
+    const std::size_t k = i % 2;
+    x(i, 0) = (k == 0 ? -2.0 : 2.0) + 0.2 * rng.normal();
+    x(i, 1) = rng.normal();
+    y[i] = static_cast<double>(k);
+  }
+  const std::vector<std::uint32_t> arities{0, 0};
+  PredictorConfig config;
+  config.classifier = ClassifierKind::kLinearSvcOneHot;
+  const auto model = train_classifier(x, y, 2, arities, config);
+  EXPECT_EQ(model->predict(std::vector<double>{-2.0, 0.0}), 0.0);
+  EXPECT_EQ(model->predict(std::vector<double>{2.0, 0.0}), 1.0);
+}
+
+TEST(Predictor, StorageBytesScaleWithSupportAndDims) {
+  Rng rng(4);
+  Matrix narrow(30, 5), wide(30, 50);
+  std::vector<double> y(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    for (double& v : narrow.row(i)) v = rng.normal();
+    for (double& v : wide.row(i)) v = rng.normal();
+    y[i] = rng.normal();  // noise: most samples become SVs
+  }
+  const std::vector<std::uint32_t> a5(5, 0), a50(50, 0);
+  const auto small_model = train_regressor(narrow, y, a5, {});
+  const auto large_model = train_regressor(wide, y, a50, {});
+  EXPECT_GT(large_model->storage_bytes(), small_model->storage_bytes());
+}
+
+TEST(Predictor, InfluentialInputsFindTheSignalFeature) {
+  Rng rng(5);
+  Matrix x(80, 10);
+  std::vector<double> y(80);
+  for (std::size_t i = 0; i < 80; ++i) {
+    for (double& v : x.row(i)) v = rng.normal();
+    y[i] = 5.0 * x(i, 7);  // feature 7 dominates
+  }
+  const std::vector<std::uint32_t> arities(10, 0);
+  PredictorConfig config;
+  config.svr.c = 10.0;
+  const auto model = train_regressor(x, y, arities, config);
+  const auto top = model->influential_inputs(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], 7u);
+}
+
+TEST(Predictor, TreeInfluentialInputsAreUsedFeatures) {
+  Matrix x(60, 4);
+  std::vector<double> y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    x(i, 2) = static_cast<double>(i % 2);
+    y[i] = x(i, 2);
+  }
+  const std::vector<std::uint32_t> arities{0, 0, 2, 0};
+  const auto model = train_classifier(x, y, 2, arities, {});
+  const auto top = model->influential_inputs(5);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], 2u);
+}
+
+}  // namespace
+}  // namespace frac

@@ -1,0 +1,123 @@
+#include "frac/preprojection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/expression_generator.hpp"
+#include "data/snp_generator.hpp"
+#include "ml/metrics.hpp"
+
+namespace frac {
+namespace {
+
+ThreadPool& pool() {
+  static ThreadPool p(2);
+  return p;
+}
+
+Replicate expression_replicate(std::uint64_t seed = 1) {
+  ExpressionModelConfig c;
+  c.features = 80;
+  c.modules = 6;
+  c.genes_per_module = 10;
+  c.noise_sd = 0.4;
+  c.anomaly_mix = 2.0;
+  c.disease_modules = 5;
+  c.seed = seed;
+  const ExpressionModel model(c);
+  Rng rng(seed + 100);
+  Replicate rep;
+  rep.train = model.sample(40, Label::kNormal, rng);
+  rep.test = concat_samples(model.sample(12, Label::kNormal, rng),
+                            model.sample(12, Label::kAnomaly, rng));
+  return rep;
+}
+
+Replicate snp_replicate(std::uint64_t seed = 2) {
+  SnpModelConfig c;
+  c.features = 60;
+  c.block_size = 10;
+  c.ld_strength = 0.8;
+  c.fst = 0.35;
+  c.populations = 2;
+  c.seed = seed;
+  const SnpModel model(c);
+  Rng rng(seed + 100);
+  Replicate rep;
+  rep.train = model.sample(0, 50, Label::kNormal, rng);
+  rep.test = concat_samples(model.sample(0, 12, Label::kNormal, rng),
+                            model.sample(1, 12, Label::kAnomaly, rng));
+  return rep;
+}
+
+TEST(JlFrac, PreservesDetectionOnExpressionData) {
+  const Replicate rep = expression_replicate();
+  const FracConfig config;
+  const ScoredRun full = run_frac(rep, config, pool());
+  JlPipelineConfig jl;
+  jl.output_dim = 40;
+  jl.seed = 5;
+  const ScoredRun projected = run_jl_frac(rep, config, jl, pool());
+  const double full_auc = auc(full.test_scores, rep.test.labels());
+  const double jl_auc = auc(projected.test_scores, rep.test.labels());
+  EXPECT_GT(jl_auc, full_auc - 0.2);
+}
+
+TEST(JlFrac, MixedSnpDataGoesThroughOneHot) {
+  const Replicate rep = snp_replicate();
+  FracConfig config;
+  config.predictor.regressor = RegressorKind::kLinearSvr;  // projected space is real
+  JlPipelineConfig jl;
+  jl.output_dim = 32;
+  const ScoredRun run = run_jl_frac(rep, config, jl, pool());
+  EXPECT_EQ(run.test_scores.size(), rep.test.sample_count());
+  // Population-shift signal survives projection with the linear model.
+  EXPECT_GT(auc(run.test_scores, rep.test.labels()), 0.7);
+}
+
+TEST(JlFrac, ReducesModelCountToProjectedDim) {
+  const Replicate rep = expression_replicate();
+  const FracConfig config;
+  JlPipelineConfig jl;
+  jl.output_dim = 16;
+  const ScoredRun run = run_jl_frac(rep, config, jl, pool());
+  EXPECT_EQ(run.resources.models_retained, 16u);
+}
+
+TEST(JlFrac, MemoryShrinksWithProjectedDim) {
+  const Replicate rep = expression_replicate();
+  const FracConfig config;
+  JlPipelineConfig small_jl, large_jl;
+  small_jl.output_dim = 8;
+  large_jl.output_dim = 64;
+  const ScoredRun small_run = run_jl_frac(rep, config, small_jl, pool());
+  const ScoredRun large_run = run_jl_frac(rep, config, large_jl, pool());
+  EXPECT_LT(small_run.resources.peak_bytes, large_run.resources.peak_bytes);
+}
+
+TEST(JlFrac, DifferentSeedsGiveDifferentScores) {
+  const Replicate rep = expression_replicate();
+  const FracConfig config;
+  JlPipelineConfig a, b;
+  a.output_dim = b.output_dim = 24;
+  a.seed = 1;
+  b.seed = 2;
+  const ScoredRun ra = run_jl_frac(rep, config, a, pool());
+  const ScoredRun rb = run_jl_frac(rep, config, b, pool());
+  EXPECT_NE(ra.test_scores, rb.test_scores);
+}
+
+TEST(JlFrac, TreeModelInProjectedSpaceRuns) {
+  // The paper's SNP setup: trees in the projected space (the ablation that
+  // explains Table V's weak JL rows). It must run, even if weaker.
+  const Replicate rep = snp_replicate();
+  FracConfig config;
+  config.predictor.regressor = RegressorKind::kRegressionTree;
+  config.predictor.tree.max_depth = 4;
+  JlPipelineConfig jl;
+  jl.output_dim = 16;
+  const ScoredRun run = run_jl_frac(rep, config, jl, pool());
+  EXPECT_EQ(run.test_scores.size(), rep.test.sample_count());
+}
+
+}  // namespace
+}  // namespace frac

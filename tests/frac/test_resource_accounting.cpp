@@ -1,0 +1,56 @@
+#include "frac/resource_accounting.hpp"
+
+#include <gtest/gtest.h>
+
+namespace frac {
+namespace {
+
+TEST(ResourceReport, SequentialMergeAddsTimeMaxesPeak) {
+  ResourceReport a{.cpu_seconds = 1.0, .peak_bytes = 100, .models_trained = 5,
+                   .models_retained = 2};
+  const ResourceReport b{.cpu_seconds = 2.0, .peak_bytes = 70, .models_trained = 3,
+                         .models_retained = 4};
+  a.merge_sequential(b);
+  EXPECT_DOUBLE_EQ(a.cpu_seconds, 3.0);
+  EXPECT_EQ(a.peak_bytes, 100u);
+  EXPECT_EQ(a.models_trained, 8u);
+  EXPECT_EQ(a.models_retained, 4u);
+}
+
+TEST(ResourceReport, ConcurrentMergeAddsEverything) {
+  ResourceReport a{.cpu_seconds = 1.0, .peak_bytes = 100, .models_trained = 5,
+                   .models_retained = 2};
+  const ResourceReport b{.cpu_seconds = 2.0, .peak_bytes = 70, .models_trained = 3,
+                         .models_retained = 4};
+  a.merge_concurrent(b);
+  EXPECT_DOUBLE_EQ(a.cpu_seconds, 3.0);
+  EXPECT_EQ(a.peak_bytes, 170u);
+  EXPECT_EQ(a.models_retained, 6u);
+}
+
+TEST(ResourceReport, MergeChainsCompose) {
+  ResourceReport total;
+  for (int i = 1; i <= 3; ++i) {
+    total.merge_sequential({.cpu_seconds = 1.0, .peak_bytes = static_cast<std::size_t>(i * 10),
+                            .models_trained = 1, .models_retained = 1});
+  }
+  EXPECT_DOUBLE_EQ(total.cpu_seconds, 3.0);
+  EXPECT_EQ(total.peak_bytes, 30u);
+}
+
+TEST(SvmModelBytes, LibsvmEquivalentFormula) {
+  // #SV dense vectors of (dims + 1 coefficient) doubles.
+  EXPECT_EQ(svm_model_bytes(10, 100), 10u * 101u * sizeof(double));
+  EXPECT_EQ(svm_model_bytes(0, 100), 0u);
+}
+
+TEST(SvmModelBytes, QuadraticScalingInFracSetting) {
+  // The Table II phenomenon: f models x f dims -> f² scaling.
+  const std::size_t f1 = 100, f2 = 200, n = 50;
+  const std::size_t mem1 = f1 * svm_model_bytes(n, f1);
+  const std::size_t mem2 = f2 * svm_model_bytes(n, f2);
+  EXPECT_NEAR(static_cast<double>(mem2) / static_cast<double>(mem1), 4.0, 0.1);
+}
+
+}  // namespace
+}  // namespace frac

@@ -1,0 +1,226 @@
+// Round-trip tests: trained models must score identically after
+// save() -> load(), for both expression (SVR) and SNP (tree) pipelines.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/expression_generator.hpp"
+#include "data/snp_generator.hpp"
+#include "frac/frac.hpp"
+#include "ml/svm/linear_svr.hpp"
+#include "ml/tree/decision_tree.hpp"
+#include "util/rng.hpp"
+
+namespace frac {
+namespace {
+
+ThreadPool& pool() {
+  static ThreadPool p(2);
+  return p;
+}
+
+TEST(Serialization, LinearSvrRoundTrip) {
+  Rng rng(1);
+  Matrix x(40, 5);
+  std::vector<double> y(40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    for (double& v : x.row(i)) v = rng.normal();
+    y[i] = x(i, 0) - x(i, 3) + 0.1 * rng.normal();
+  }
+  LinearSvr original;
+  original.fit(x, y, {});
+  std::stringstream buffer;
+  original.save(buffer);
+  const LinearSvr restored = LinearSvr::load(buffer);
+  EXPECT_EQ(restored.weights(), original.weights());
+  EXPECT_EQ(restored.bias(), original.bias());
+  EXPECT_EQ(restored.support_vector_count(), original.support_vector_count());
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(restored.predict(x.row(i)), original.predict(x.row(i)));
+  }
+}
+
+TEST(Serialization, DecisionTreeRoundTrip) {
+  Rng rng(2);
+  Matrix x(80, 3);
+  std::vector<double> y(80);
+  for (std::size_t i = 0; i < 80; ++i) {
+    x(i, 0) = static_cast<double>(i % 3);
+    x(i, 1) = rng.normal();
+    x(i, 2) = rng.normal();
+    y[i] = (i % 3 == 1) ? 1.0 : 0.0;
+  }
+  const std::vector<std::uint32_t> arities{3, 0, 0};
+  DecisionTree original;
+  original.fit(x, y, arities, TreeTask::kClassification, 2, {});
+  std::stringstream buffer;
+  original.save(buffer);
+  const DecisionTree restored = DecisionTree::load(buffer);
+  EXPECT_EQ(restored.node_count(), original.node_count());
+  EXPECT_EQ(restored.depth(), original.depth());
+  EXPECT_EQ(restored.task(), original.task());
+  for (std::size_t i = 0; i < 80; ++i) {
+    EXPECT_EQ(restored.predict(x.row(i)), original.predict(x.row(i)));
+  }
+}
+
+TEST(Serialization, FracModelExpressionRoundTrip) {
+  ExpressionModelConfig c;
+  c.features = 30;
+  c.modules = 3;
+  c.genes_per_module = 6;
+  c.anomaly_mix = 2.0;
+  c.disease_modules = 2;
+  c.seed = 3;
+  const ExpressionModel model(c);
+  Rng rng(103);
+  const Dataset train = model.sample(30, Label::kNormal, rng);
+  const Dataset test = concat_samples(model.sample(5, Label::kNormal, rng),
+                                      model.sample(5, Label::kAnomaly, rng));
+  const FracModel original = FracModel::train(train, {}, pool());
+  std::stringstream buffer;
+  original.save(buffer);
+  const FracModel restored = FracModel::load(buffer);
+
+  EXPECT_EQ(restored.feature_count(), original.feature_count());
+  EXPECT_EQ(restored.unit_count(), original.unit_count());
+  const auto a = original.score(test, pool());
+  const auto b = restored.score(test, pool());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Serialization, FracModelSnpRoundTrip) {
+  SnpModelConfig c;
+  c.features = 24;
+  c.block_size = 6;
+  c.fst = 0.2;
+  c.seed = 4;
+  const SnpModel model(c);
+  Rng rng(104);
+  const Dataset train = model.sample(0, 40, Label::kNormal, rng);
+  const Dataset test = model.sample(1, 10, Label::kAnomaly, rng);
+  FracConfig config;
+  config.predictor.classifier = ClassifierKind::kDecisionTree;
+  const FracModel original = FracModel::train(train, config, pool());
+  std::stringstream buffer;
+  original.save(buffer);
+  const FracModel restored = FracModel::load(buffer);
+  const auto a = original.score(test, pool());
+  const auto b = restored.score(test, pool());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Serialization, PerFeatureScoresSurviveRoundTrip) {
+  ExpressionModelConfig c;
+  c.features = 20;
+  c.modules = 2;
+  c.genes_per_module = 5;
+  c.disease_modules = 1;
+  c.seed = 5;
+  const ExpressionModel model(c);
+  Rng rng(105);
+  const Dataset train = model.sample(25, Label::kNormal, rng);
+  const Dataset test = model.sample(4, Label::kAnomaly, rng);
+  const FracModel original = FracModel::train(train, {}, pool());
+  std::stringstream buffer;
+  original.save(buffer);
+  const FracModel restored = FracModel::load(buffer);
+  const Matrix a = original.per_feature_scores(test, pool());
+  const Matrix b = restored.per_feature_scores(test, pool());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t f = 0; f < a.cols(); ++f) {
+      if (is_missing(a(r, f))) EXPECT_TRUE(is_missing(b(r, f)));
+      else EXPECT_DOUBLE_EQ(a(r, f), b(r, f));
+    }
+  }
+}
+
+TEST(Serialization, FileRoundTrip) {
+  ExpressionModelConfig c;
+  c.features = 12;
+  c.modules = 2;
+  c.genes_per_module = 4;
+  c.disease_modules = 1;
+  c.seed = 6;
+  const ExpressionModel model(c);
+  Rng rng(106);
+  const Dataset train = model.sample(20, Label::kNormal, rng);
+  const FracModel original = FracModel::train(train, {}, pool());
+  const std::string path = testing::TempDir() + "/frac_model_test.txt";
+  original.save_file(path);
+  const FracModel restored = FracModel::load_file(path);
+  EXPECT_EQ(restored.unit_count(), original.unit_count());
+}
+
+TEST(Serialization, SpacedFeatureNamesRoundTrip) {
+  Schema schema;
+  schema.add({"gene A (probe 1)", FeatureKind::kReal, 0});
+  schema.add({"100% methylated", FeatureKind::kReal, 0});
+  schema.add({"plain", FeatureKind::kReal, 0});
+  Rng rng(108);
+  Matrix values(20, 3);
+  for (std::size_t r = 0; r < 20; ++r) {
+    for (double& v : values.row(r)) v = rng.normal();
+  }
+  const Dataset train(schema, values, std::vector<Label>(20, Label::kNormal));
+  const FracModel original = FracModel::train(train, {}, pool());
+  std::stringstream buffer;
+  original.save(buffer);
+  const FracModel restored = FracModel::load(buffer);
+  const auto a = original.score(train, pool());
+  const auto b = restored.score(train, pool());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Serialization, KdeErrorModelFracRoundTrip) {
+  ExpressionModelConfig c;
+  c.features = 16;
+  c.modules = 2;
+  c.genes_per_module = 5;
+  c.disease_modules = 1;
+  c.seed = 9;
+  const ExpressionModel model(c);
+  Rng rng(109);
+  const Dataset train = model.sample(24, Label::kNormal, rng);
+  const Dataset test = model.sample(5, Label::kAnomaly, rng);
+  FracConfig config;
+  config.continuous_error = ContinuousErrorKind::kKde;
+  const FracModel original = FracModel::train(train, config, pool());
+  std::stringstream buffer;
+  original.save(buffer);
+  const FracModel restored = FracModel::load(buffer);
+  const auto a = original.score(test, pool());
+  const auto b = restored.score(test, pool());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Serialization, CorruptStreamFailsLoudly) {
+  std::istringstream garbage("not a model\n");
+  EXPECT_THROW(FracModel::load(garbage), std::runtime_error);
+  std::istringstream wrong_version("frac.version 99\n");
+  EXPECT_THROW(FracModel::load(wrong_version), std::runtime_error);
+  EXPECT_THROW(FracModel::load_file("/nonexistent/model.txt"), std::runtime_error);
+}
+
+TEST(Serialization, TruncatedModelFailsLoudly) {
+  ExpressionModelConfig c;
+  c.features = 12;
+  c.modules = 2;
+  c.genes_per_module = 4;
+  c.disease_modules = 1;
+  c.seed = 7;
+  const ExpressionModel model(c);
+  Rng rng(107);
+  const Dataset train = model.sample(20, Label::kNormal, rng);
+  const FracModel original = FracModel::train(train, {}, pool());
+  std::stringstream buffer;
+  original.save(buffer);
+  std::string text = buffer.str();
+  text.resize(text.size() / 2);
+  std::istringstream truncated(text);
+  EXPECT_THROW(FracModel::load(truncated), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace frac

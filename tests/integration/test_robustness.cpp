@@ -1,0 +1,154 @@
+// Failure-injection tests: degenerate inputs a downstream user will
+// eventually feed the library must degrade gracefully, never crash or
+// emit non-finite scores.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/expression_generator.hpp"
+#include "frac/ensemble.hpp"
+#include "frac/filtering.hpp"
+#include "frac/frac.hpp"
+#include "frac/preprojection.hpp"
+#include "ml/metrics.hpp"
+
+namespace frac {
+namespace {
+
+ThreadPool& pool() {
+  static ThreadPool p(2);
+  return p;
+}
+
+Replicate base_replicate() {
+  ExpressionModelConfig c;
+  c.features = 30;
+  c.modules = 3;
+  c.genes_per_module = 6;
+  c.disease_modules = 2;
+  c.anomaly_mix = 2.0;
+  c.seed = 88;
+  const ExpressionModel model(c);
+  Rng rng(188);
+  Replicate rep;
+  rep.train = model.sample(24, Label::kNormal, rng);
+  rep.test = concat_samples(model.sample(6, Label::kNormal, rng),
+                            model.sample(6, Label::kAnomaly, rng));
+  return rep;
+}
+
+void expect_finite(const std::vector<double>& scores) {
+  for (const double s : scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(Robustness, ConstantFeatureColumn) {
+  Replicate rep = base_replicate();
+  for (std::size_t r = 0; r < rep.train.sample_count(); ++r) {
+    rep.train.mutable_values()(r, 0) = 7.0;
+  }
+  const ScoredRun run = run_frac(rep, {}, pool());
+  expect_finite(run.test_scores);
+}
+
+TEST(Robustness, AllMissingColumnInTraining) {
+  Replicate rep = base_replicate();
+  for (std::size_t r = 0; r < rep.train.sample_count(); ++r) {
+    rep.train.mutable_values()(r, 3) = kMissing;
+  }
+  // The unit for feature 3 is skipped (entropy undefined), other units use
+  // the column as a (fully imputed) input; everything stays finite.
+  const ScoredRun run = run_frac(rep, {}, pool());
+  expect_finite(run.test_scores);
+}
+
+TEST(Robustness, HeavilyMissingTestData) {
+  Replicate rep = base_replicate();
+  Rng rng(2);
+  for (std::size_t r = 0; r < rep.test.sample_count(); ++r) {
+    for (std::size_t f = 0; f < rep.test.feature_count(); ++f) {
+      if (rng.bernoulli(0.4)) rep.test.mutable_values()(r, f) = kMissing;
+    }
+  }
+  const FracModel model = FracModel::train(rep.train, {}, pool());
+  expect_finite(model.score(rep.test, pool()));
+}
+
+TEST(Robustness, SingleTestSample) {
+  Replicate rep = base_replicate();
+  rep.test = rep.test.select_samples({0});
+  const ScoredRun run = run_frac(rep, {}, pool());
+  EXPECT_EQ(run.test_scores.size(), 1u);
+  expect_finite(run.test_scores);
+}
+
+TEST(Robustness, TinyTrainingSet) {
+  Replicate rep = base_replicate();
+  rep.train = rep.train.select_samples({0, 1, 2, 3});
+  const ScoredRun run = run_frac(rep, {}, pool());
+  expect_finite(run.test_scores);
+}
+
+TEST(Robustness, ExtremeOutlierValuesInTest) {
+  Replicate rep = base_replicate();
+  rep.test.mutable_values()(0, 0) = 1e9;
+  rep.test.mutable_values()(1, 5) = -1e9;
+  const ScoredRun run = run_frac(rep, {}, pool());
+  expect_finite(run.test_scores);
+  // And the 1e9 sample should be extremely anomalous.
+  double max_score = run.test_scores[0];
+  std::size_t argmax = 0;
+  for (std::size_t i = 1; i < run.test_scores.size(); ++i) {
+    if (run.test_scores[i] > max_score) {
+      max_score = run.test_scores[i];
+      argmax = i;
+    }
+  }
+  EXPECT_TRUE(argmax == 0 || argmax == 1);
+}
+
+TEST(Robustness, VariantsSurviveConstantAndMissingColumns) {
+  Replicate rep = base_replicate();
+  for (std::size_t r = 0; r < rep.train.sample_count(); ++r) {
+    rep.train.mutable_values()(r, 0) = 7.0;       // constant
+    rep.train.mutable_values()(r, 1) = kMissing;  // all missing
+  }
+  Rng rng(3);
+  expect_finite(
+      run_full_filtered_frac(rep, {}, FilterMethod::kEntropy, 0.5, rng, pool()).test_scores);
+  Rng rng2(4);
+  expect_finite(run_random_filter_ensemble(rep, {}, 0.3, 3, rng2, pool()).test_scores);
+  JlPipelineConfig jl;
+  jl.output_dim = 8;
+  expect_finite(run_jl_frac(rep, {}, jl, pool()).test_scores);
+}
+
+TEST(Robustness, DuplicatedTrainingRows) {
+  Replicate rep = base_replicate();
+  std::vector<std::size_t> rows(rep.train.sample_count(), 0);  // every row = row 0
+  rep.train = rep.train.select_samples(rows);
+  const ScoredRun run = run_frac(rep, {}, pool());
+  expect_finite(run.test_scores);
+}
+
+TEST(Robustness, TwoFeatureDataset) {
+  // The smallest dataset FRaC is defined on: 2 features, each predicted
+  // from the other.
+  Rng rng(5);
+  Matrix train_values(12, 2);
+  for (std::size_t r = 0; r < 12; ++r) {
+    train_values(r, 0) = rng.normal();
+    train_values(r, 1) = train_values(r, 0) + 0.1 * rng.normal();
+  }
+  const Dataset train(Schema::all_real(2), train_values,
+                      std::vector<Label>(12, Label::kNormal));
+  const FracModel model = FracModel::train(train, {}, pool());
+  EXPECT_EQ(model.unit_count(), 2u);
+  Matrix test_values(1, 2);
+  test_values(0, 0) = 3.0;
+  test_values(0, 1) = -3.0;  // violates the learned relationship
+  const Dataset test(Schema::all_real(2), test_values, {Label::kAnomaly});
+  expect_finite(model.score(test, pool()));
+}
+
+}  // namespace
+}  // namespace frac

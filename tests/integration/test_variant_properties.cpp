@@ -1,0 +1,159 @@
+// Property-style tests over the variant family: invariants that must hold
+// for every variant and across parameter sweeps (parameterized gtest).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/expression_generator.hpp"
+#include "frac/diverse.hpp"
+#include "frac/ensemble.hpp"
+#include "frac/filtering.hpp"
+#include "frac/preprojection.hpp"
+#include "ml/metrics.hpp"
+
+namespace frac {
+namespace {
+
+ThreadPool& pool() {
+  static ThreadPool p(2);
+  return p;
+}
+
+Replicate shared_replicate() {
+  ExpressionModelConfig c;
+  c.features = 48;
+  c.modules = 4;
+  c.genes_per_module = 8;
+  c.noise_sd = 0.4;
+  c.anomaly_mix = 2.0;
+  c.disease_modules = 3;
+  c.seed = 77;
+  const ExpressionModel model(c);
+  Rng rng(177);
+  Replicate rep;
+  rep.train = model.sample(36, Label::kNormal, rng);
+  rep.test = concat_samples(model.sample(10, Label::kNormal, rng),
+                            model.sample(10, Label::kAnomaly, rng));
+  return rep;
+}
+
+using VariantFn = ScoredRun (*)(const Replicate&, const FracConfig&, Rng&);
+
+ScoredRun variant_full(const Replicate& rep, const FracConfig& config, Rng&) {
+  return run_frac(rep, config, pool());
+}
+ScoredRun variant_full_filter(const Replicate& rep, const FracConfig& config, Rng& rng) {
+  return run_full_filtered_frac(rep, config, FilterMethod::kRandom, 0.3, rng, pool());
+}
+ScoredRun variant_entropy_filter(const Replicate& rep, const FracConfig& config, Rng& rng) {
+  return run_full_filtered_frac(rep, config, FilterMethod::kEntropy, 0.3, rng, pool());
+}
+ScoredRun variant_partial_filter(const Replicate& rep, const FracConfig& config, Rng& rng) {
+  return run_partial_filtered_frac(rep, config, FilterMethod::kRandom, 0.3, rng, pool());
+}
+ScoredRun variant_diverse(const Replicate& rep, const FracConfig& config, Rng& rng) {
+  return run_diverse_frac(rep, config, 0.5, 1, rng, pool());
+}
+ScoredRun variant_filter_ensemble(const Replicate& rep, const FracConfig& config, Rng& rng) {
+  return run_random_filter_ensemble(rep, config, 0.2, 4, rng, pool());
+}
+ScoredRun variant_diverse_ensemble(const Replicate& rep, const FracConfig& config, Rng& rng) {
+  return run_diverse_ensemble(rep, config, 0.25, 4, rng, pool());
+}
+ScoredRun variant_jl(const Replicate& rep, const FracConfig& config, Rng&) {
+  JlPipelineConfig jl;
+  jl.output_dim = 24;
+  return run_jl_frac(rep, config, jl, pool());
+}
+
+struct NamedVariant {
+  const char* name;
+  VariantFn fn;
+};
+
+class EveryVariant : public ::testing::TestWithParam<NamedVariant> {};
+
+TEST_P(EveryVariant, ProducesFiniteScoresForEveryTestSample) {
+  const Replicate rep = shared_replicate();
+  Rng rng(1);
+  const ScoredRun run = GetParam().fn(rep, {}, rng);
+  ASSERT_EQ(run.test_scores.size(), rep.test.sample_count());
+  for (const double s : run.test_scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST_P(EveryVariant, IsDeterministicGivenRngState) {
+  const Replicate rep = shared_replicate();
+  Rng rng1(2), rng2(2);
+  const ScoredRun a = GetParam().fn(rep, {}, rng1);
+  const ScoredRun b = GetParam().fn(rep, {}, rng2);
+  EXPECT_EQ(a.test_scores, b.test_scores);
+}
+
+TEST_P(EveryVariant, ReportsPositiveResources) {
+  const Replicate rep = shared_replicate();
+  Rng rng(3);
+  const ScoredRun run = GetParam().fn(rep, {}, rng);
+  EXPECT_GT(run.resources.cpu_seconds, 0.0);
+  EXPECT_GT(run.resources.peak_bytes, 0u);
+  EXPECT_GT(run.resources.models_retained, 0u);
+  EXPECT_GE(run.resources.models_trained, run.resources.models_retained);
+}
+
+TEST_P(EveryVariant, BeatsChanceOnPlantedSignal) {
+  const Replicate rep = shared_replicate();
+  Rng rng(4);
+  const ScoredRun run = GetParam().fn(rep, {}, rng);
+  EXPECT_GT(auc(run.test_scores, rep.test.labels()), 0.6) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, EveryVariant,
+    ::testing::Values(NamedVariant{"full", variant_full},
+                      NamedVariant{"full_filter", variant_full_filter},
+                      NamedVariant{"entropy_filter", variant_entropy_filter},
+                      NamedVariant{"partial_filter", variant_partial_filter},
+                      NamedVariant{"diverse", variant_diverse},
+                      NamedVariant{"filter_ensemble", variant_filter_ensemble},
+                      NamedVariant{"diverse_ensemble", variant_diverse_ensemble},
+                      NamedVariant{"jl", variant_jl}),
+    [](const ::testing::TestParamInfo<NamedVariant>& info) { return info.param.name; });
+
+class FilterFractionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FilterFractionSweep, MemoryScalesRoughlyQuadratically) {
+  const Replicate rep = shared_replicate();
+  const double p = GetParam();
+  Rng rng(5);
+  const ScoredRun full = run_frac(rep, {}, pool());
+  const ScoredRun filtered =
+      run_full_filtered_frac(rep, {}, FilterMethod::kRandom, p, rng, pool());
+  const double model_full = static_cast<double>(full.resources.peak_bytes - rep.train.bytes());
+  const double data_kept = static_cast<double>(rep.train.bytes()) * p;
+  const double model_filtered =
+      static_cast<double>(filtered.resources.peak_bytes) - data_kept;
+  const double ratio = model_filtered / model_full;
+  EXPECT_LT(ratio, p * p * 3.0) << "p=" << p;
+  EXPECT_GT(ratio, p * p / 3.0) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, FilterFractionSweep, ::testing::Values(0.25, 0.5, 0.75));
+
+class DiverseProbabilitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DiverseProbabilitySweep, RetainedModelMemoryScalesLinearlyInP) {
+  const Replicate rep = shared_replicate();
+  const double p = GetParam();
+  Rng rng(6);
+  const ScoredRun full = run_frac(rep, {}, pool());
+  const ScoredRun diverse = run_diverse_frac(rep, {}, p, 1, rng, pool());
+  const double model_full = static_cast<double>(full.resources.peak_bytes - rep.train.bytes());
+  const double model_div =
+      static_cast<double>(diverse.resources.peak_bytes - rep.train.bytes());
+  EXPECT_NEAR(model_div / model_full, p, 0.2) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, DiverseProbabilitySweep,
+                         ::testing::Values(0.25, 0.5, 0.75));
+
+}  // namespace
+}  // namespace frac

@@ -1,0 +1,136 @@
+#include "jl/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace frac {
+namespace {
+
+Schema mixed_schema() {
+  Schema s;
+  s.add({"r0", FeatureKind::kReal, 0});
+  s.add({"c0", FeatureKind::kCategorical, 3});
+  s.add({"r1", FeatureKind::kReal, 0});
+  return s;
+}
+
+Dataset mixed_dataset() {
+  const Schema s = mixed_schema();
+  Matrix values(4, 3);
+  values(0, 0) = 1.0; values(0, 1) = 0; values(0, 2) = -1.0;
+  values(1, 0) = 2.0; values(1, 1) = 1; values(1, 2) = 0.5;
+  values(2, 0) = 0.0; values(2, 1) = 2; values(2, 2) = 0.0;
+  values(3, 0) = -1.0; values(3, 1) = 1; values(3, 2) = 2.0;
+  return Dataset(s, values,
+                 {Label::kNormal, Label::kNormal, Label::kAnomaly, Label::kNormal});
+}
+
+TEST(JlPipeline, OutputIsAllRealAtRequestedDim) {
+  JlPipelineConfig config;
+  config.output_dim = 7;
+  const JlPipeline pipeline(mixed_schema(), config);
+  EXPECT_EQ(pipeline.input_width(), 5u);  // 2 reals + 3-ary one-hot
+  const Dataset out = pipeline.apply(mixed_dataset());
+  EXPECT_EQ(out.feature_count(), 7u);
+  EXPECT_EQ(out.sample_count(), 4u);
+  for (std::size_t f = 0; f < out.feature_count(); ++f) {
+    EXPECT_TRUE(out.schema().is_real(f));
+  }
+}
+
+TEST(JlPipeline, LabelsPassThrough) {
+  const JlPipeline pipeline(mixed_schema(), {});
+  const Dataset out = pipeline.apply(mixed_dataset());
+  EXPECT_EQ(out.labels(), mixed_dataset().labels());
+}
+
+TEST(JlPipeline, ConsistentAcrossCalls) {
+  // Train and test must be projected by the SAME matrix.
+  JlPipelineConfig config;
+  config.output_dim = 5;
+  const JlPipeline pipeline(mixed_schema(), config);
+  const Dataset d = mixed_dataset();
+  const Dataset once = pipeline.apply(d);
+  const Dataset twice = pipeline.apply(d);
+  EXPECT_EQ(once.values(), twice.values());
+}
+
+TEST(JlPipeline, DifferentSeedsGiveDifferentProjections) {
+  JlPipelineConfig a, b;
+  a.seed = 1;
+  b.seed = 2;
+  const JlPipeline pa(mixed_schema(), a);
+  const JlPipeline pb(mixed_schema(), b);
+  const Dataset d = mixed_dataset();
+  EXPECT_FALSE(pa.apply(d).values() == pb.apply(d).values());
+}
+
+TEST(JlPipeline, MissingValuesNeverReachTheProjection) {
+  JlPipelineConfig config;
+  config.output_dim = 6;
+  JlPipeline pipeline(mixed_schema(), config);
+  Dataset d = mixed_dataset();
+  d.mutable_values()(0, 0) = kMissing;  // missing real
+  d.mutable_values()(1, 1) = kMissing;  // missing categorical
+  const Dataset out = pipeline.apply(d);
+  for (std::size_t r = 0; r < out.sample_count(); ++r) {
+    for (std::size_t c = 0; c < out.feature_count(); ++c) {
+      EXPECT_FALSE(is_missing(out.value(r, c))) << r << "," << c;
+    }
+  }
+}
+
+TEST(JlPipeline, ImputationUsesTrainingMeans) {
+  JlPipelineConfig config;
+  config.output_dim = 5;
+  JlPipeline pipeline(mixed_schema(), config);
+  const Dataset train = mixed_dataset();
+  pipeline.fit_imputation(train);
+  // A row whose first (real) feature is missing should project like a row
+  // carrying that feature's training mean.
+  Dataset missing_row = train.select_samples({0});
+  missing_row.mutable_values()(0, 0) = kMissing;
+  Dataset mean_row = train.select_samples({0});
+  mean_row.mutable_values()(0, 0) = (1.0 + 2.0 + 0.0 + -1.0) / 4.0;
+  const Dataset a = pipeline.apply(missing_row);
+  const Dataset b = pipeline.apply(mean_row);
+  for (std::size_t c = 0; c < a.feature_count(); ++c) {
+    EXPECT_NEAR(a.value(0, c), b.value(0, c), 1e-12);
+  }
+}
+
+TEST(JlPipeline, FitImputationRejectsWrongSchema) {
+  JlPipeline pipeline(mixed_schema(), {});
+  const Dataset wrong(Schema::all_real(2), Matrix(1, 2), {Label::kNormal});
+  EXPECT_THROW(pipeline.fit_imputation(wrong), std::invalid_argument);
+}
+
+TEST(JlPipeline, SchemaMismatchThrows) {
+  const JlPipeline pipeline(mixed_schema(), {});
+  const Dataset wrong(Schema::all_real(2), Matrix(1, 2), {Label::kNormal});
+  EXPECT_THROW(pipeline.apply(wrong), std::invalid_argument);
+}
+
+TEST(JlPipeline, Fig2ShapeExample) {
+  // Paper Fig. 2: 4 reals + {0,1,2} + {0,1,2,3} -> 11-wide 1-hot -> k=4.
+  Schema s;
+  for (int i = 0; i < 4; ++i) s.add({"r" + std::to_string(i), FeatureKind::kReal, 0});
+  s.add({"c3", FeatureKind::kCategorical, 3});
+  s.add({"c4", FeatureKind::kCategorical, 4});
+  JlPipelineConfig config;
+  config.output_dim = 4;
+  const JlPipeline pipeline(s, config);
+  EXPECT_EQ(pipeline.input_width(), 11u);
+  EXPECT_EQ(pipeline.output_dim(), 4u);
+  Matrix values(1, 6);
+  values(0, 0) = 3.4; values(0, 1) = 0; values(0, 2) = -2;
+  values(0, 3) = 0.6; values(0, 4) = 1; values(0, 5) = 2;
+  const Dataset row(s, values, {Label::kNormal});
+  const Dataset projected = pipeline.apply(row);
+  EXPECT_EQ(projected.feature_count(), 4u);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_TRUE(std::isfinite(projected.value(0, c)));
+  }
+}
+
+}  // namespace
+}  // namespace frac

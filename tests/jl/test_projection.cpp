@@ -1,0 +1,131 @@
+#include "jl/projection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/kernels.hpp"
+
+namespace frac {
+namespace {
+
+Matrix random_points(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (double& v : m.row(i)) v = rng.normal();
+  }
+  return m;
+}
+
+class ProjectionDistances : public ::testing::TestWithParam<RandomMatrixKind> {};
+
+TEST_P(ProjectionDistances, MostPairwiseDistancesPreserved) {
+  // JL property: with k = 1024 nearly all squared distances land within
+  // (1 ± ~0.2); we check the 90th percentile of relative distortion.
+  const std::size_t d = 500, k = 1024, n = 30;
+  Rng rng(1);
+  const JlProjection proj(d, k, GetParam(), rng);
+  const Matrix points = random_points(n, d, 2);
+  ThreadPool pool(2);
+  const Matrix projected = proj.project(points, pool);
+
+  std::vector<double> distortions;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double orig = squared_distance(points.row(i), points.row(j));
+      const double proj_d = squared_distance(projected.row(i), projected.row(j));
+      distortions.push_back(std::abs(proj_d / orig - 1.0));
+    }
+  }
+  std::sort(distortions.begin(), distortions.end());
+  EXPECT_LT(distortions[distortions.size() * 9 / 10], 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ProjectionDistances,
+                         ::testing::Values(RandomMatrixKind::kGaussian,
+                                           RandomMatrixKind::kUniform,
+                                           RandomMatrixKind::kAchlioptas,
+                                           RandomMatrixKind::kCountSketch));
+
+TEST(Projection, CountSketchNeedsNoVarianceScaling) {
+  // CountSketch norms are preserved without the 1/√k factor.
+  Rng rng(41);
+  const JlProjection proj(300, 128, RandomMatrixKind::kCountSketch, rng);
+  const Matrix points = random_points(40, 300, 42);
+  const Matrix projected = proj.project(points);
+  double ratio_sum = 0.0;
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    ratio_sum += squared_norm(projected.row(i)) / squared_norm(points.row(i));
+  }
+  EXPECT_NEAR(ratio_sum / static_cast<double>(points.rows()), 1.0, 0.15);
+}
+
+TEST(Projection, CountSketchIsCheapestToStore) {
+  Rng rng(43);
+  const JlProjection sketch(600, 128, RandomMatrixKind::kCountSketch, rng);
+  const JlProjection achlioptas(600, 128, RandomMatrixKind::kAchlioptas, rng);
+  EXPECT_LT(sketch.bytes(), achlioptas.bytes());
+}
+
+TEST(Projection, ExpectedSquaredNormPreserved) {
+  const std::size_t d = 300, k = 512;
+  Rng rng(3);
+  const JlProjection proj(d, k, RandomMatrixKind::kGaussian, rng);
+  const Matrix points = random_points(50, d, 4);
+  const Matrix projected = proj.project(points);
+  double ratio_sum = 0.0;
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    ratio_sum += squared_norm(projected.row(i)) / squared_norm(points.row(i));
+  }
+  EXPECT_NEAR(ratio_sum / static_cast<double>(points.rows()), 1.0, 0.1);
+}
+
+TEST(Projection, DotProductsApproximatelyPreserved) {
+  // Kabán 2015: dot products survive random projection too.
+  const std::size_t d = 400, k = 1024;
+  Rng rng(5);
+  const JlProjection proj(d, k, RandomMatrixKind::kAchlioptas, rng);
+  const Matrix points = random_points(10, d, 6);
+  const Matrix projected = proj.project(points);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = i + 1; j < 10; ++j) {
+      const double orig = dot(points.row(i), points.row(j));
+      const double after = dot(projected.row(i), projected.row(j));
+      // Dot products of random gaussian vectors are O(√d); tolerance scales.
+      EXPECT_NEAR(after, orig, 3.0 * std::sqrt(static_cast<double>(d)));
+    }
+  }
+}
+
+TEST(Projection, ProjectRowMatchesProjectMatrix) {
+  Rng rng(7);
+  const JlProjection proj(20, 8, RandomMatrixKind::kGaussian, rng);
+  const Matrix points = random_points(3, 20, 8);
+  const Matrix all = proj.project(points);
+  std::vector<double> row(8);
+  proj.project_row(points.row(1), row);
+  for (std::size_t c = 0; c < 8; ++c) EXPECT_DOUBLE_EQ(row[c], all(1, c));
+}
+
+TEST(Projection, WidthMismatchThrows) {
+  Rng rng(9);
+  const JlProjection proj(10, 4, RandomMatrixKind::kGaussian, rng);
+  EXPECT_THROW(proj.project(Matrix(2, 11)), std::invalid_argument);
+}
+
+TEST(Projection, ZeroDimensionThrows) {
+  Rng rng(10);
+  EXPECT_THROW(JlProjection(0, 4, RandomMatrixKind::kGaussian, rng), std::invalid_argument);
+  EXPECT_THROW(JlProjection(4, 0, RandomMatrixKind::kGaussian, rng), std::invalid_argument);
+}
+
+TEST(Projection, SparseKindReportsBytesSmallerThanDense) {
+  Rng rng(11);
+  const JlProjection sparse(600, 128, RandomMatrixKind::kAchlioptas, rng);
+  const JlProjection dense(600, 128, RandomMatrixKind::kGaussian, rng);
+  EXPECT_LT(sparse.bytes(), dense.bytes());
+}
+
+}  // namespace
+}  // namespace frac

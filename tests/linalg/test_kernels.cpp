@@ -1,0 +1,131 @@
+#include "linalg/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace frac {
+namespace {
+
+TEST(Kernels, DotProduct) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{4, -5, 6};
+  EXPECT_DOUBLE_EQ(dot(x, y), 4 - 10 + 18);
+}
+
+TEST(Kernels, DotEmptyIsZero) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(dot(empty, empty), 0.0);
+}
+
+TEST(Kernels, Axpy) {
+  const std::vector<double> x{1, 2};
+  std::vector<double> y{10, 20};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12);
+  EXPECT_DOUBLE_EQ(y[1], 24);
+}
+
+TEST(Kernels, Scale) {
+  std::vector<double> x{1, -2, 3};
+  scale(-2.0, x);
+  EXPECT_DOUBLE_EQ(x[0], -2);
+  EXPECT_DOUBLE_EQ(x[1], 4);
+  EXPECT_DOUBLE_EQ(x[2], -6);
+}
+
+TEST(Kernels, Norms) {
+  const std::vector<double> x{3, 4};
+  EXPECT_DOUBLE_EQ(squared_norm(x), 25);
+  EXPECT_DOUBLE_EQ(norm(x), 5);
+}
+
+TEST(Kernels, SquaredDistance) {
+  const std::vector<double> x{0, 0};
+  const std::vector<double> y{3, 4};
+  EXPECT_DOUBLE_EQ(squared_distance(x, y), 25);
+  EXPECT_DOUBLE_EQ(squared_distance(x, x), 0);
+}
+
+TEST(Kernels, Gemv) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const std::vector<double> x{1, 0, -1};
+  std::vector<double> y(2);
+  gemv(a, x, y);
+  EXPECT_DOUBLE_EQ(y[0], -2);
+  EXPECT_DOUBLE_EQ(y[1], -2);
+}
+
+TEST(Kernels, MeanVarianceStddev) {
+  const std::vector<double> x{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(x), 5.0);
+  EXPECT_NEAR(sample_variance(x), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(sample_stddev(x), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Kernels, DegenerateStats) {
+  const std::vector<double> empty;
+  const std::vector<double> one{5.0};
+  EXPECT_DOUBLE_EQ(mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(sample_variance(one), 0.0);
+}
+
+TEST(Kernels, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{7}), 7.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{}), 0.0);
+}
+
+TEST(Kernels, MedianDoesNotMutateInput) {
+  std::vector<double> x{3, 1, 2};
+  (void)median(x);
+  EXPECT_EQ(x, (std::vector<double>{3, 1, 2}));
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.841344746), 1.0, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.001), -3.090232, 1e-4);
+}
+
+TEST(NormalQuantile, Symmetry) {
+  for (const double p : {0.01, 0.2, 0.37, 0.49}) {
+    EXPECT_NEAR(normal_quantile(p), -normal_quantile(1.0 - p), 1e-9) << p;
+  }
+}
+
+TEST(NormalQuantile, MonotoneIncreasing) {
+  double prev = normal_quantile(0.001);
+  for (double p = 0.01; p < 1.0; p += 0.01) {
+    const double q = normal_quantile(p);
+    EXPECT_GT(q, prev);
+    prev = q;
+  }
+}
+
+TEST(NormalQuantile, InvertsEmpiricalCdf) {
+  // Check against a Monte-Carlo CDF from the library's own normal sampler.
+  Rng rng(99);
+  const int n = 200000;
+  std::vector<double> draws(n);
+  for (double& d : draws) d = rng.normal();
+  std::sort(draws.begin(), draws.end());
+  for (const double p : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double empirical = draws[static_cast<std::size_t>(p * n)];
+    EXPECT_NEAR(normal_quantile(p), empirical, 0.02) << p;
+  }
+}
+
+}  // namespace
+}  // namespace frac

@@ -1,0 +1,86 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace frac {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  const Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(Matrix, FillConstructor) {
+  const Matrix m(2, 2, 7.5);
+  EXPECT_EQ(m(1, 1), 7.5);
+}
+
+TEST(Matrix, RowSpanIsContiguousView) {
+  Matrix m(2, 3);
+  auto row = m.row(1);
+  row[0] = 1.0;
+  row[2] = 3.0;
+  EXPECT_EQ(m(1, 0), 1.0);
+  EXPECT_EQ(m(1, 2), 3.0);
+  EXPECT_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, ColGathersStrided) {
+  Matrix m(3, 2);
+  m(0, 1) = 10;
+  m(1, 1) = 11;
+  m(2, 1) = 12;
+  const auto col = m.col(1);
+  EXPECT_EQ(col, (std::vector<double>{10, 11, 12}));
+}
+
+TEST(Matrix, BytesReflectsSize) {
+  const Matrix m(4, 5);
+  EXPECT_EQ(m.bytes(), 4u * 5u * sizeof(double));
+}
+
+TEST(Matmul, KnownProduct) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  double v = 1;
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = v++;
+  v = 7;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 2; ++c) b(r, c) = v++;
+  const Matrix c = matmul(a, b);
+  EXPECT_EQ(c(0, 0), 58);
+  EXPECT_EQ(c(0, 1), 64);
+  EXPECT_EQ(c(1, 0), 139);
+  EXPECT_EQ(c(1, 1), 154);
+}
+
+TEST(Matmul, IdentityIsNeutral) {
+  Matrix a(3, 3);
+  a(0, 1) = 2.5;
+  a(2, 0) = -1.0;
+  Matrix eye(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) eye(i, i) = 1.0;
+  EXPECT_EQ(matmul(a, eye), a);
+  EXPECT_EQ(matmul(eye, a), a);
+}
+
+TEST(Transpose, RoundTrip) {
+  Matrix a(2, 3);
+  a(0, 2) = 5;
+  a(1, 0) = 3;
+  const Matrix t = transpose(a);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 0), 5);
+  EXPECT_EQ(t(0, 1), 3);
+  EXPECT_EQ(transpose(t), a);
+}
+
+}  // namespace
+}  // namespace frac

@@ -1,0 +1,143 @@
+#include "linalg/random_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace frac {
+namespace {
+
+double entry_variance(const Matrix& m) {
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (const double v : m.row(r)) {
+      sum += v;
+      sum_sq += v * v;
+    }
+  }
+  const double n = static_cast<double>(m.size());
+  const double mu = sum / n;
+  return sum_sq / n - mu * mu;
+}
+
+class RandomMatrixVariance : public ::testing::TestWithParam<RandomMatrixKind> {};
+
+TEST_P(RandomMatrixVariance, UnitVarianceEntries) {
+  Rng rng(21);
+  const Matrix m = make_random_matrix(200, 200, GetParam(), rng);
+  EXPECT_NEAR(entry_variance(m), 1.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, RandomMatrixVariance,
+                         ::testing::Values(RandomMatrixKind::kGaussian,
+                                           RandomMatrixKind::kUniform,
+                                           RandomMatrixKind::kAchlioptas));
+
+TEST(RandomMatrix, AchlioptasSparsityIsTwoThirds) {
+  Rng rng(22);
+  const Matrix m = make_random_matrix(300, 300, RandomMatrixKind::kAchlioptas, rng);
+  std::size_t zeros = 0;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (const double v : m.row(r)) zeros += (v == 0.0);
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / static_cast<double>(m.size()), 2.0 / 3.0, 0.01);
+}
+
+TEST(RandomMatrix, UniformEntriesBounded) {
+  Rng rng(23);
+  const Matrix m = make_random_matrix(50, 50, RandomMatrixKind::kUniform, rng);
+  const double bound = std::sqrt(3.0) + 1e-12;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (const double v : m.row(r)) {
+      EXPECT_LE(std::abs(v), bound);
+    }
+  }
+}
+
+TEST(SparseSignMatrix, MatchesDenseEquivalentSemantics) {
+  Rng rng(24);
+  const SparseSignMatrix sparse = make_sparse_sign_matrix(40, 60, rng);
+  EXPECT_EQ(sparse.rows, 40u);
+  EXPECT_EQ(sparse.cols, 60u);
+  // Values are ±sqrt(3) only.
+  const float sqrt3 = static_cast<float>(std::sqrt(3.0));
+  std::size_t nonzeros = 0;
+  for (const auto& row : sparse.row_entries) {
+    for (const auto& [c, v] : row) {
+      EXPECT_LT(c, 60u);
+      EXPECT_TRUE(v == sqrt3 || v == -sqrt3);
+      ++nonzeros;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(nonzeros) / (40.0 * 60.0), 1.0 / 3.0, 0.05);
+}
+
+TEST(SparseSignMatrix, MultiplyMatchesManualComputation) {
+  SparseSignMatrix m;
+  m.rows = 2;
+  m.cols = 3;
+  m.row_entries = {{{0, 1.0f}, {2, -1.0f}}, {{1, 2.0f}}};
+  const std::vector<double> x{3, 5, 7};
+  std::vector<double> y(2);
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 3 - 7);
+  EXPECT_DOUBLE_EQ(y[1], 10);
+}
+
+TEST(CountSketch, ExactlyOneEntryPerColumn) {
+  Rng rng(31);
+  const SparseSignMatrix m = make_count_sketch_matrix(16, 100, rng);
+  std::vector<int> per_column(100, 0);
+  for (const auto& row : m.row_entries) {
+    for (const auto& [c, v] : row) {
+      ++per_column[c];
+      EXPECT_TRUE(v == 1.0f || v == -1.0f);
+    }
+  }
+  for (const int count : per_column) EXPECT_EQ(count, 1);
+}
+
+TEST(CountSketch, PreservesExpectedSquaredNorm) {
+  Rng rng(32);
+  const std::size_t d = 500, k = 64, trials = 60;
+  std::vector<double> x(d);
+  for (double& v : x) v = rng.normal();
+  const double norm2 = 0.0 + [&] {
+    double acc = 0;
+    for (const double v : x) acc += v * v;
+    return acc;
+  }();
+  double mean_ratio = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const SparseSignMatrix m = make_count_sketch_matrix(k, d, rng);
+    std::vector<double> y(k);
+    m.multiply(x, y);
+    double y2 = 0;
+    for (const double v : y) y2 += v * v;
+    mean_ratio += y2 / norm2 / static_cast<double>(trials);
+  }
+  EXPECT_NEAR(mean_ratio, 1.0, 0.1);
+}
+
+TEST(CountSketch, OneHotIndicatorMapsToSingleCoordinate) {
+  // The discrete-data property: a 1-hot vector keeps all its mass on one
+  // output coordinate instead of smearing over every dimension.
+  Rng rng(33);
+  const SparseSignMatrix m = make_count_sketch_matrix(8, 30, rng);
+  std::vector<double> one_hot(30, 0.0);
+  one_hot[17] = 1.0;
+  std::vector<double> y(8);
+  m.multiply(one_hot, y);
+  std::size_t nonzeros = 0;
+  for (const double v : y) nonzeros += (v != 0.0);
+  EXPECT_EQ(nonzeros, 1u);
+}
+
+TEST(SparseSignMatrix, BytesAccountsEntries) {
+  Rng rng(25);
+  const SparseSignMatrix m = make_sparse_sign_matrix(10, 30, rng);
+  EXPECT_GT(m.bytes(), sizeof(SparseSignMatrix));
+}
+
+}  // namespace
+}  // namespace frac

@@ -1,0 +1,134 @@
+#include "ml/cross_validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace frac {
+namespace {
+
+TEST(KFold, PartitionsAllIndices) {
+  Rng rng(1);
+  const auto folds = kfold_indices(23, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<std::size_t> seen;
+  for (const auto& fold : folds) {
+    for (const std::size_t i : fold) {
+      EXPECT_TRUE(seen.insert(i).second) << "duplicate index " << i;
+      EXPECT_LT(i, 23u);
+    }
+  }
+  EXPECT_EQ(seen.size(), 23u);
+}
+
+TEST(KFold, BalancedSizes) {
+  Rng rng(2);
+  const auto folds = kfold_indices(22, 5, rng);
+  std::size_t min_size = 1000, max_size = 0;
+  for (const auto& fold : folds) {
+    min_size = std::min(min_size, fold.size());
+    max_size = std::max(max_size, fold.size());
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(KFold, ClampsFoldsToN) {
+  Rng rng(3);
+  const auto folds = kfold_indices(3, 10, rng);
+  EXPECT_EQ(folds.size(), 3u);
+  for (const auto& fold : folds) EXPECT_EQ(fold.size(), 1u);
+}
+
+TEST(KFold, InvalidArgsThrow) {
+  Rng rng(4);
+  EXPECT_THROW(kfold_indices(10, 1, rng), std::invalid_argument);
+  EXPECT_THROW(kfold_indices(1, 2, rng), std::invalid_argument);
+}
+
+TEST(KFold, DeterministicPerSeed) {
+  Rng a(5), b(5);
+  EXPECT_EQ(kfold_indices(17, 4, a), kfold_indices(17, 4, b));
+}
+
+TEST(KFold, DifferentSeedsUsuallyDiffer) {
+  Rng a(6), b(7);
+  EXPECT_NE(kfold_indices(17, 4, a), kfold_indices(17, 4, b));
+}
+
+TEST(StratifiedKFold, PartitionsAllIndices) {
+  Rng rng(8);
+  std::vector<double> codes(30);
+  for (std::size_t i = 0; i < 30; ++i) codes[i] = static_cast<double>(i % 3);
+  const auto folds = stratified_kfold_indices(codes, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<std::size_t> seen;
+  for (const auto& fold : folds) {
+    for (const std::size_t i : fold) EXPECT_TRUE(seen.insert(i).second);
+  }
+  EXPECT_EQ(seen.size(), 30u);
+}
+
+TEST(StratifiedKFold, EveryFoldGetsEveryAbundantClass) {
+  Rng rng(9);
+  std::vector<double> codes(40);
+  for (std::size_t i = 0; i < 40; ++i) codes[i] = static_cast<double>(i % 2);
+  const auto folds = stratified_kfold_indices(codes, 4, rng);
+  for (const auto& fold : folds) {
+    std::size_t zeros = 0, ones = 0;
+    for (const std::size_t i : fold) (codes[i] == 0.0 ? zeros : ones) += 1;
+    EXPECT_EQ(zeros, 5u);
+    EXPECT_EQ(ones, 5u);
+  }
+}
+
+TEST(StratifiedKFold, RareClassSpreadsAcrossFolds) {
+  // 3 samples of a rare class in 5 folds: they must land in 3 distinct
+  // folds (so 3 of 5 training complements still contain the class twice).
+  Rng rng(10);
+  std::vector<double> codes(33, 0.0);
+  codes[5] = codes[15] = codes[25] = 1.0;
+  const auto folds = stratified_kfold_indices(codes, 5, rng);
+  std::size_t folds_with_rare = 0;
+  for (const auto& fold : folds) {
+    for (const std::size_t i : fold) {
+      if (codes[i] == 1.0) {
+        ++folds_with_rare;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(folds_with_rare, 3u);
+}
+
+TEST(StratifiedKFold, Validation) {
+  Rng rng(11);
+  const std::vector<double> one{0.0};
+  EXPECT_THROW(stratified_kfold_indices(one, 2, rng), std::invalid_argument);
+  const std::vector<double> two{0.0, 1.0};
+  EXPECT_THROW(stratified_kfold_indices(two, 1, rng), std::invalid_argument);
+}
+
+TEST(StratifiedKFold, NoEmptyFolds) {
+  Rng rng(12);
+  std::vector<double> codes(7, 0.0);
+  const auto folds = stratified_kfold_indices(codes, 5, rng);
+  for (const auto& fold : folds) EXPECT_FALSE(fold.empty());
+}
+
+TEST(FoldComplement, CoversTheRest) {
+  const std::vector<std::size_t> fold{1, 3};
+  const auto rest = fold_complement(5, fold);
+  EXPECT_EQ(rest, (std::vector<std::size_t>{0, 2, 4}));
+}
+
+TEST(FoldComplement, OutOfRangeThrows) {
+  EXPECT_THROW(fold_complement(3, {5}), std::out_of_range);
+}
+
+TEST(FoldComplement, EmptyFoldGivesEverything) {
+  const auto rest = fold_complement(3, {});
+  EXPECT_EQ(rest, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace frac

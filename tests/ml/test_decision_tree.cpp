@@ -1,0 +1,237 @@
+#include "ml/tree/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace frac {
+namespace {
+
+const std::vector<std::uint32_t> kTwoReal{0, 0};
+
+TEST(DecisionTree, RegressionLearnsStepFunction) {
+  Matrix x(100, 1);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x(i, 0) = static_cast<double>(i) / 100.0;
+    y[i] = x(i, 0) < 0.5 ? -1.0 : 1.0;
+  }
+  DecisionTree tree;
+  const std::vector<std::uint32_t> arities{0};
+  tree.fit(x, y, arities, TreeTask::kRegression, 0, {});
+  const std::vector<double> lo{0.2}, hi{0.8};
+  EXPECT_NEAR(tree.predict(lo), -1.0, 1e-9);
+  EXPECT_NEAR(tree.predict(hi), 1.0, 1e-9);
+}
+
+TEST(DecisionTree, ClassificationXorNeedsDepthTwo) {
+  // XOR of two binary features: requires two levels of splits.
+  Matrix x(200, 2);
+  std::vector<double> y(200);
+  Rng rng(1);
+  const std::vector<std::uint32_t> arities{2, 2};
+  for (std::size_t i = 0; i < 200; ++i) {
+    const int a = static_cast<int>(rng.bernoulli(0.5));
+    const int b = static_cast<int>(rng.bernoulli(0.5));
+    x(i, 0) = a;
+    x(i, 1) = b;
+    y[i] = a ^ b;
+  }
+  DecisionTree tree;
+  tree.fit(x, y, arities, TreeTask::kClassification, 2, {});
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      const std::vector<double> row{static_cast<double>(a), static_cast<double>(b)};
+      EXPECT_EQ(tree.predict(row), static_cast<double>(a ^ b)) << a << "," << b;
+    }
+  }
+  EXPECT_GE(tree.depth(), 2u);
+}
+
+TEST(DecisionTree, CategoricalSplitIsOneVsRest) {
+  // Feature with 3 categories; class is 1 iff category == 2.
+  Matrix x(90, 1);
+  std::vector<double> y(90);
+  for (std::size_t i = 0; i < 90; ++i) {
+    x(i, 0) = static_cast<double>(i % 3);
+    y[i] = (i % 3 == 2) ? 1.0 : 0.0;
+  }
+  DecisionTree tree;
+  const std::vector<std::uint32_t> arities{3};
+  tree.fit(x, y, arities, TreeTask::kClassification, 2, {});
+  EXPECT_EQ(tree.predict(std::vector<double>{2.0}), 1.0);
+  EXPECT_EQ(tree.predict(std::vector<double>{0.0}), 0.0);
+  EXPECT_EQ(tree.predict(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(DecisionTree, PureNodeBecomesLeafImmediately) {
+  Matrix x(10, 1);
+  std::vector<double> y(10, 1.0);  // all the same class
+  DecisionTree tree;
+  const std::vector<std::uint32_t> arities{0};
+  tree.fit(x, y, arities, TreeTask::kClassification, 2, {});
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.depth(), 0u);
+}
+
+TEST(DecisionTree, MaxDepthIsRespected) {
+  Rng rng(2);
+  Matrix x(300, 1);
+  std::vector<double> y(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    x(i, 0) = rng.uniform();
+    y[i] = rng.uniform();  // pure noise: tree would grow without bound
+  }
+  DecisionTreeConfig config;
+  config.max_depth = 3;
+  config.min_impurity_decrease = 0.0;
+  DecisionTree tree;
+  const std::vector<std::uint32_t> arities{0};
+  tree.fit(x, y, arities, TreeTask::kRegression, 0, config);
+  EXPECT_LE(tree.depth(), 3u);
+}
+
+TEST(DecisionTree, MinSamplesLeafIsRespected) {
+  Matrix x(10, 1);
+  std::vector<double> y(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = static_cast<double>(i);
+  }
+  DecisionTreeConfig config;
+  config.min_samples_leaf = 5;
+  DecisionTree tree;
+  const std::vector<std::uint32_t> arities{0};
+  tree.fit(x, y, arities, TreeTask::kRegression, 0, config);
+  // Only the 5/5 split is admissible: exactly one internal node.
+  EXPECT_LE(tree.node_count(), 3u);
+}
+
+TEST(DecisionTree, MissingValuesRoutedNotCrashed) {
+  Matrix x(40, 2);
+  std::vector<double> y(40);
+  Rng rng(3);
+  for (std::size_t i = 0; i < 40; ++i) {
+    x(i, 0) = i < 20 ? 0.0 : 1.0;
+    x(i, 1) = rng.normal();
+    y[i] = x(i, 0);
+    if (i % 7 == 0) x(i, 1) = kMissing;
+  }
+  DecisionTree tree;
+  tree.fit(x, y, kTwoReal, TreeTask::kRegression, 0, {});
+  const std::vector<double> with_missing{kMissing, 0.5};
+  EXPECT_TRUE(std::isfinite(tree.predict(with_missing)));
+}
+
+TEST(DecisionTree, GiniAndEntropyBothLearn) {
+  Matrix x(60, 1);
+  std::vector<double> y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = i < 30 ? 0.0 : 1.0;
+  }
+  const std::vector<std::uint32_t> arities{0};
+  for (const SplitCriterion crit : {SplitCriterion::kGini, SplitCriterion::kEntropy}) {
+    DecisionTreeConfig config;
+    config.criterion = crit;
+    DecisionTree tree;
+    tree.fit(x, y, arities, TreeTask::kClassification, 2, config);
+    EXPECT_EQ(tree.predict(std::vector<double>{10.0}), 0.0);
+    EXPECT_EQ(tree.predict(std::vector<double>{50.0}), 1.0);
+  }
+}
+
+TEST(DecisionTree, UsedFeaturesReportsSplitsOnly) {
+  Matrix x(100, 3);
+  std::vector<double> y(100);
+  Rng rng(4);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x(i, 0) = rng.normal();
+    x(i, 1) = static_cast<double>(i % 2);
+    x(i, 2) = rng.normal();
+    y[i] = x(i, 1);  // only feature 1 is informative
+  }
+  DecisionTree tree;
+  const std::vector<std::uint32_t> arities{0, 0, 0};
+  tree.fit(x, y, arities, TreeTask::kClassification, 2, {});
+  const auto used = tree.used_features();
+  ASSERT_EQ(used.size(), 1u);
+  EXPECT_EQ(used[0], 1u);
+}
+
+TEST(DecisionTree, MaxFeaturesSubsamplesCandidates) {
+  Rng rng(5);
+  Matrix x(80, 10);
+  std::vector<double> y(80);
+  for (std::size_t i = 0; i < 80; ++i) {
+    for (double& v : x.row(i)) v = rng.normal();
+    y[i] = x(i, 0) > 0 ? 1.0 : 0.0;
+  }
+  DecisionTreeConfig config;
+  config.max_features = 2;
+  DecisionTree tree;
+  const std::vector<std::uint32_t> arities(10, 0);
+  tree.fit(x, y, arities, TreeTask::kClassification, 2, config);
+  EXPECT_GE(tree.node_count(), 1u);  // must not crash; may or may not find feature 0
+}
+
+TEST(DecisionTree, ValidationErrors) {
+  DecisionTree tree;
+  const std::vector<std::uint32_t> arities{0};
+  Matrix x(4, 1);
+  std::vector<double> y{0, 1, 0, 1};
+  EXPECT_THROW(tree.fit(Matrix(0, 1), {}, arities, TreeTask::kRegression, 0, {}),
+               std::invalid_argument);
+  EXPECT_THROW(tree.fit(x, std::vector<double>{1.0}, arities, TreeTask::kRegression, 0, {}),
+               std::invalid_argument);
+  EXPECT_THROW(tree.fit(x, y, std::vector<std::uint32_t>{0, 0}, TreeTask::kRegression, 0, {}),
+               std::invalid_argument);
+  EXPECT_THROW(tree.fit(x, y, arities, TreeTask::kClassification, 1, {}), std::invalid_argument);
+  const std::vector<double> bad_codes{0, 1, 2, 5};
+  EXPECT_THROW(tree.fit(x, bad_codes, arities, TreeTask::kClassification, 2, {}),
+               std::invalid_argument);
+}
+
+TEST(DecisionTree, BytesGrowsWithNodes) {
+  Matrix x(100, 1);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = static_cast<double>(i % 2);
+  }
+  DecisionTree small_tree, big_tree;
+  const std::vector<std::uint32_t> arities{0};
+  DecisionTreeConfig small_config;
+  small_config.max_depth = 1;
+  small_tree.fit(x, y, arities, TreeTask::kClassification, 2, small_config);
+  DecisionTreeConfig big_config;
+  big_config.max_depth = 10;
+  big_config.min_impurity_decrease = 0.0;
+  big_config.min_samples_leaf = 1;
+  big_config.min_samples_split = 2;
+  big_tree.fit(x, y, arities, TreeTask::kClassification, 2, big_config);
+  EXPECT_GT(big_tree.node_count(), small_tree.node_count());
+  EXPECT_GT(big_tree.bytes(), small_tree.bytes());
+}
+
+TEST(DecisionTree, RegressionOnCategoricalInputs) {
+  // Ternary SNP-style input predicting a real target.
+  Matrix x(120, 1);
+  std::vector<double> y(120);
+  for (std::size_t i = 0; i < 120; ++i) {
+    x(i, 0) = static_cast<double>(i % 3);
+    y[i] = 10.0 * x(i, 0);
+  }
+  DecisionTree tree;
+  const std::vector<std::uint32_t> arities{3};
+  tree.fit(x, y, arities, TreeTask::kRegression, 0, {});
+  EXPECT_NEAR(tree.predict(std::vector<double>{0.0}), 0.0, 1e-9);
+  EXPECT_NEAR(tree.predict(std::vector<double>{1.0}), 10.0, 1e-9);
+  EXPECT_NEAR(tree.predict(std::vector<double>{2.0}), 20.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace frac

@@ -1,0 +1,113 @@
+#include "ml/kde/gaussian_kde.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace frac {
+namespace {
+
+TEST(GaussianKde, PdfIntegratesToOne) {
+  Rng rng(1);
+  std::vector<double> values(200);
+  for (double& v : values) v = rng.normal(3.0, 2.0);
+  GaussianKde kde;
+  kde.fit(values);
+  // Trapezoid over a wide interval.
+  const double lo = -10.0, hi = 16.0;
+  const int n = 2000;
+  double acc = 0.0;
+  for (int i = 0; i <= n; ++i) {
+    const double x = lo + (hi - lo) * i / n;
+    const double w = (i == 0 || i == n) ? 0.5 : 1.0;
+    acc += w * kde.pdf(x);
+  }
+  acc *= (hi - lo) / n;
+  EXPECT_NEAR(acc, 1.0, 0.01);
+}
+
+TEST(GaussianKde, EntropyOfStandardNormalSample) {
+  Rng rng(2);
+  std::vector<double> values(2000);
+  for (double& v : values) v = rng.normal();
+  GaussianKde kde;
+  kde.fit(values);
+  const double exact = 0.5 * std::log(2.0 * std::numbers::pi * std::numbers::e);
+  EXPECT_NEAR(kde.differential_entropy(), exact, 0.08);
+}
+
+TEST(GaussianKde, EntropyScalesWithLogSigma) {
+  // H(aX) = H(X) + log a — the invariance FRaC's standardization relies on.
+  Rng rng(3);
+  std::vector<double> base(1500), scaled(1500);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    base[i] = rng.normal();
+    scaled[i] = 5.0 * base[i];
+  }
+  GaussianKde kde_base, kde_scaled;
+  kde_base.fit(base);
+  kde_scaled.fit(scaled);
+  EXPECT_NEAR(kde_scaled.differential_entropy() - kde_base.differential_entropy(),
+              std::log(5.0), 0.05);
+}
+
+TEST(GaussianKde, UniformSampleEntropyNearLogRange) {
+  Rng rng(4);
+  std::vector<double> values(3000);
+  for (double& v : values) v = rng.uniform(0.0, 4.0);
+  GaussianKde kde;
+  kde.fit(values);
+  // Differential entropy of U(0,4) is log 4 ≈ 1.386; KDE smooths a bit.
+  EXPECT_NEAR(kde.differential_entropy(), std::log(4.0), 0.12);
+}
+
+TEST(GaussianKde, SkipsNaNs) {
+  std::vector<double> values{1.0, 2.0, std::nan(""), 3.0};
+  GaussianKde kde;
+  kde.fit(values);
+  EXPECT_EQ(kde.sample_count(), 3u);
+}
+
+TEST(GaussianKde, AllNaNThrows) {
+  std::vector<double> values{std::nan(""), std::nan("")};
+  GaussianKde kde;
+  EXPECT_THROW(kde.fit(values), std::invalid_argument);
+}
+
+TEST(GaussianKde, ConstantSampleHasFiniteEntropy) {
+  std::vector<double> values(50, 7.0);
+  GaussianKde kde;
+  kde.fit(values);
+  EXPECT_GT(kde.bandwidth(), 0.0);
+  EXPECT_TRUE(std::isfinite(kde.differential_entropy()));
+}
+
+TEST(GaussianKde, UseBeforeFitThrows) {
+  const GaussianKde kde;
+  EXPECT_THROW(kde.pdf(0.0), std::logic_error);
+  EXPECT_THROW(kde.differential_entropy(), std::logic_error);
+}
+
+TEST(CategoricalEntropy, UniformIsLogK) {
+  const std::vector<std::size_t> counts{10, 10, 10};
+  EXPECT_NEAR(categorical_entropy(counts), std::log(3.0), 1e-12);
+}
+
+TEST(CategoricalEntropy, DegenerateIsZero) {
+  EXPECT_DOUBLE_EQ(categorical_entropy(std::vector<std::size_t>{42, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(categorical_entropy(std::vector<std::size_t>{}), 0.0);
+  EXPECT_DOUBLE_EQ(categorical_entropy(std::vector<std::size_t>{0, 0}), 0.0);
+}
+
+TEST(CategoricalEntropy, KnownBinaryValue) {
+  // H(0.25) = -(0.25 ln 0.25 + 0.75 ln 0.75).
+  const std::vector<std::size_t> counts{25, 75};
+  const double expected = -(0.25 * std::log(0.25) + 0.75 * std::log(0.75));
+  EXPECT_NEAR(categorical_entropy(counts), expected, 1e-12);
+}
+
+}  // namespace
+}  // namespace frac

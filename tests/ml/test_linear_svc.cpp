@@ -1,0 +1,114 @@
+#include "ml/svm/linear_svc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace frac {
+namespace {
+
+/// Linearly separable blobs at ±(2, 2).
+void make_blobs(std::size_t n, Matrix& x, std::vector<int>& y, std::uint64_t seed) {
+  Rng rng(seed);
+  x = Matrix(n, 2);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = i % 2 == 0 ? 1 : -1;
+    x(i, 0) = 2.0 * label + 0.3 * rng.normal();
+    x(i, 1) = 2.0 * label + 0.3 * rng.normal();
+    y[i] = label;
+  }
+}
+
+TEST(BinaryLinearSvc, SeparatesBlobs) {
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(100, x, y, 1);
+  BinaryLinearSvc svc;
+  svc.fit(x, y, {});
+  int correct = 0;
+  for (std::size_t i = 0; i < x.rows(); ++i) correct += (svc.predict(x.row(i)) == y[i]);
+  EXPECT_EQ(correct, 100);
+}
+
+TEST(BinaryLinearSvc, DecisionSignMatchesPredict) {
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(40, x, y, 2);
+  BinaryLinearSvc svc;
+  svc.fit(x, y, {});
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const double d = svc.decision(x.row(i));
+    EXPECT_EQ(svc.predict(x.row(i)), d < 0 ? -1 : 1);
+  }
+}
+
+TEST(BinaryLinearSvc, RejectsBadLabels) {
+  Matrix x(2, 1);
+  const std::vector<int> y{1, 0};
+  BinaryLinearSvc svc;
+  EXPECT_THROW(svc.fit(x, y, {}), std::invalid_argument);
+}
+
+TEST(BinaryLinearSvc, RejectsEmptyOrMismatched) {
+  BinaryLinearSvc svc;
+  EXPECT_THROW(svc.fit(Matrix(0, 1), {}, {}), std::invalid_argument);
+  Matrix x(2, 1);
+  const std::vector<int> y{1};
+  EXPECT_THROW(svc.fit(x, y, {}), std::invalid_argument);
+}
+
+TEST(BinaryLinearSvc, SupportVectorsOnMarginOnly) {
+  // Well-separated blobs: most points satisfy the margin, few SVs.
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(200, x, y, 3);
+  BinaryLinearSvc svc;
+  svc.fit(x, y, {});
+  EXPECT_LT(svc.support_vector_count(), 100u);
+  EXPECT_GT(svc.support_vector_count(), 0u);
+}
+
+TEST(OneVsRestSvc, SeparatesThreeClassesOnIndicators) {
+  // Target = which of three 1-hot groups is active; trivially separable.
+  Rng rng(4);
+  Matrix x(90, 3);
+  std::vector<double> codes(90);
+  for (std::size_t i = 0; i < 90; ++i) {
+    const std::size_t k = i % 3;
+    x(i, k) = 1.0 + 0.05 * rng.normal();
+    codes[i] = static_cast<double>(k);
+  }
+  OneVsRestSvc ovr;
+  ovr.fit(x, codes, 3, {});
+  int correct = 0;
+  for (std::size_t i = 0; i < 90; ++i) {
+    correct += (ovr.predict(x.row(i)) == static_cast<std::uint32_t>(codes[i]));
+  }
+  EXPECT_GT(correct, 85);
+}
+
+TEST(OneVsRestSvc, ArityValidation) {
+  Matrix x(2, 1);
+  const std::vector<double> codes{0, 1};
+  OneVsRestSvc ovr;
+  EXPECT_THROW(ovr.fit(x, codes, 1, {}), std::invalid_argument);
+}
+
+TEST(OneVsRestSvc, SupportVectorCountAggregates) {
+  Rng rng(5);
+  Matrix x(30, 2);
+  std::vector<double> codes(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    x(i, 0) = rng.normal();
+    x(i, 1) = rng.normal();
+    codes[i] = static_cast<double>(i % 3);
+  }
+  OneVsRestSvc ovr;
+  ovr.fit(x, codes, 3, {});
+  EXPECT_EQ(ovr.arity(), 3u);
+  EXPECT_GT(ovr.support_vector_count(), 0u);
+}
+
+}  // namespace
+}  // namespace frac

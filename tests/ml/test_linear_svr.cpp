@@ -1,0 +1,213 @@
+#include "ml/svm/linear_svr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace frac {
+namespace {
+
+/// y = 2x0 - 3x1 + 1 with tiny noise.
+void make_linear_problem(std::size_t n, Matrix& x, std::vector<double>& y, double noise_sd,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  x = Matrix(n, 2);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.normal();
+    x(i, 1) = rng.normal();
+    y[i] = 2.0 * x(i, 0) - 3.0 * x(i, 1) + 1.0 + noise_sd * rng.normal();
+  }
+}
+
+TEST(LinearSvr, RecoversLinearFunction) {
+  Matrix x;
+  std::vector<double> y;
+  make_linear_problem(200, x, y, 0.01, 1);
+  LinearSvrConfig config;
+  config.c = 10.0;
+  config.epsilon = 0.01;
+  config.max_passes = 500;
+  config.tol = 1e-5;
+  LinearSvr svr;
+  svr.fit(x, y, config);
+  EXPECT_NEAR(svr.weights()[0], 2.0, 0.1);
+  EXPECT_NEAR(svr.weights()[1], -3.0, 0.1);
+  EXPECT_NEAR(svr.bias(), 1.0, 0.1);
+}
+
+TEST(LinearSvr, PredictionErrorIsSmallOnTrainDistribution) {
+  Matrix x;
+  std::vector<double> y;
+  make_linear_problem(300, x, y, 0.05, 2);
+  LinearSvrConfig config;
+  config.c = 10.0;
+  config.epsilon = 0.05;
+  LinearSvr svr;
+  svr.fit(x, y, config);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    max_err = std::max(max_err, std::abs(svr.predict(x.row(i)) - y[i]));
+  }
+  EXPECT_LT(max_err, 0.5);
+}
+
+TEST(LinearSvr, EpsilonTubeAbsorbsConstantTarget) {
+  // Targets inside the ε-tube around 0 need no support vectors at all.
+  Matrix x(20, 3);
+  Rng rng(3);
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (double& v : x.row(i)) v = rng.normal();
+  }
+  std::vector<double> y(20, 0.05);
+  LinearSvrConfig config;
+  config.epsilon = 0.2;
+  LinearSvr svr;
+  svr.fit(x, y, config);
+  EXPECT_EQ(svr.support_vector_count(), 0u);
+  EXPECT_DOUBLE_EQ(svr.predict(x.row(0)), 0.0);
+}
+
+TEST(LinearSvr, RegularizationBoundsWeights) {
+  // One sample, huge target: |β| ≤ C caps ‖w‖.
+  Matrix x(1, 1);
+  x(0, 0) = 1.0;
+  const std::vector<double> y{1000.0};
+  LinearSvrConfig config;
+  config.c = 0.5;
+  config.epsilon = 0.0;
+  LinearSvr svr;
+  svr.fit(x, y, config);
+  // w = β·x with β clipped to C, plus the bias share.
+  EXPECT_LE(std::abs(svr.weights()[0]), 0.5 + 1e-9);
+}
+
+TEST(LinearSvr, DeterministicGivenSeed) {
+  Matrix x;
+  std::vector<double> y;
+  make_linear_problem(50, x, y, 0.1, 4);
+  LinearSvrConfig config;
+  LinearSvr a, b;
+  a.fit(x, y, config);
+  b.fit(x, y, config);
+  EXPECT_EQ(a.weights(), b.weights());
+  EXPECT_EQ(a.bias(), b.bias());
+}
+
+TEST(LinearSvr, HighDimensionalFewSamples) {
+  // The FRaC regime: d >> n must not crash or blow up.
+  Rng rng(5);
+  Matrix x(10, 200);
+  std::vector<double> y(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (double& v : x.row(i)) v = rng.normal();
+    y[i] = x(i, 0) + 0.1 * rng.normal();
+  }
+  LinearSvr svr;
+  svr.fit(x, y, {});
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_TRUE(std::isfinite(svr.predict(x.row(i))));
+  }
+}
+
+TEST(LinearSvr, InvalidArgumentsThrow) {
+  Matrix x(2, 1);
+  const std::vector<double> y{1.0, 2.0};
+  LinearSvr svr;
+  LinearSvrConfig bad;
+  bad.c = 0.0;
+  EXPECT_THROW(svr.fit(x, y, bad), std::invalid_argument);
+  bad = {};
+  bad.epsilon = -1.0;
+  EXPECT_THROW(svr.fit(x, y, bad), std::invalid_argument);
+  const std::vector<double> wrong_size{1.0};
+  EXPECT_THROW(svr.fit(x, wrong_size, {}), std::invalid_argument);
+  EXPECT_THROW(svr.fit(Matrix(0, 1), {}, {}), std::invalid_argument);
+}
+
+TEST(LinearSvr, DefaultConstructedPredictsZero) {
+  const LinearSvr svr;
+  EXPECT_DOUBLE_EQ(svr.predict(std::span<const double>{}), 0.0);
+}
+
+TEST(LinearSvr, SupportVectorCountAtMostN) {
+  Matrix x;
+  std::vector<double> y;
+  make_linear_problem(60, x, y, 0.5, 6);
+  LinearSvr svr;
+  svr.fit(x, y, {});
+  EXPECT_LE(svr.support_vector_count(), 60u);
+  EXPECT_GT(svr.support_vector_count(), 0u);
+}
+
+TEST(LinearSvr, GenerousBudgetMatchesExhaustiveSolve) {
+  // With the pass budget lifted, the shrinking heuristic must land on the
+  // same solution as an exhaustive run with tiny tolerances.
+  Matrix x;
+  std::vector<double> y;
+  make_linear_problem(60, x, y, 0.3, 11);
+  LinearSvrConfig generous;
+  generous.max_passes = 500;
+  LinearSvr fast, exhaustive;
+  fast.fit(x, y, generous);
+  LinearSvrConfig slow;
+  slow.max_passes = 5000;
+  slow.tol = 1e-8;
+  slow.objective_tol = 1e-12;
+  exhaustive.fit(x, y, slow);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    EXPECT_NEAR(fast.predict(x.row(i)), exhaustive.predict(x.row(i)), 0.08);
+  }
+}
+
+TEST(LinearSvr, DefaultBudgetStaysNearConvergedSolution) {
+  // The shipped default is a deliberate small budget (see the config doc);
+  // its predictions must stay in the neighbourhood of the converged ones.
+  Matrix x;
+  std::vector<double> y;
+  make_linear_problem(60, x, y, 0.3, 11);
+  LinearSvr budgeted, exhaustive;
+  budgeted.fit(x, y, {});
+  LinearSvrConfig slow;
+  slow.max_passes = 5000;
+  slow.tol = 1e-8;
+  slow.objective_tol = 1e-12;
+  exhaustive.fit(x, y, slow);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    EXPECT_NEAR(budgeted.predict(x.row(i)), exhaustive.predict(x.row(i)), 0.5);
+  }
+}
+
+TEST(LinearSvr, LowDimensionalProblemsTerminateQuickly) {
+  // The regime that motivated shrinking + the objective stop: d << n,
+  // non-interpolating. Must not burn the full pass budget doing nothing.
+  Rng rng(12);
+  Matrix x(100, 8);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (double& v : x.row(i)) v = rng.normal();
+    y[i] = rng.normal();  // unlearnable: solver saturates the box
+  }
+  LinearSvrConfig config;
+  config.max_passes = 60;
+  LinearSvr svr;
+  svr.fit(x, y, config);
+  EXPECT_TRUE(std::isfinite(svr.predict(x.row(0))));
+}
+
+TEST(LinearSvr, ConvergesBeforeMaxPassesOnEasyProblem) {
+  Matrix x;
+  std::vector<double> y;
+  make_linear_problem(100, x, y, 0.01, 7);
+  LinearSvrConfig config;
+  config.max_passes = 1000;
+  config.tol = 1e-3;
+  LinearSvr svr;
+  svr.fit(x, y, config);
+  EXPECT_LT(svr.passes_used(), 1000u);
+}
+
+}  // namespace
+}  // namespace frac

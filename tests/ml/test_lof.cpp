@@ -1,0 +1,90 @@
+#include "ml/baseline/lof.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace frac {
+namespace {
+
+Matrix gaussian_cloud(std::size_t n, std::size_t d, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (double& v : m.row(i)) v = rng.normal();
+  }
+  return m;
+}
+
+TEST(Lof, InlierScoresNearOne) {
+  const Matrix train = gaussian_cloud(200, 2, 1);
+  Lof lof;
+  lof.fit(train, {.k = 10});
+  const std::vector<double> center{0.0, 0.0};
+  EXPECT_NEAR(lof.score(center), 1.0, 0.3);
+}
+
+TEST(Lof, OutlierScoresWellAboveOne) {
+  const Matrix train = gaussian_cloud(200, 2, 2);
+  Lof lof;
+  lof.fit(train, {.k = 10});
+  const std::vector<double> far{15.0, 15.0};
+  EXPECT_GT(lof.score(far), 3.0);
+}
+
+TEST(Lof, OutlierScoresHigherThanInlier) {
+  const Matrix train = gaussian_cloud(100, 3, 3);
+  Lof lof;
+  lof.fit(train, {.k = 5});
+  const std::vector<double> inlier{0.1, -0.2, 0.0};
+  const std::vector<double> outlier{6.0, 6.0, 6.0};
+  EXPECT_GT(lof.score(outlier), lof.score(inlier));
+}
+
+TEST(Lof, KIsClampedToTrainingSize) {
+  const Matrix train = gaussian_cloud(5, 2, 4);
+  Lof lof;
+  lof.fit(train, {.k = 100});
+  EXPECT_EQ(lof.neighborhood_size(), 4u);
+  EXPECT_TRUE(std::isfinite(lof.score(std::vector<double>{0.0, 0.0})));
+}
+
+TEST(Lof, TooFewPointsThrows) {
+  Lof lof;
+  EXPECT_THROW(lof.fit(Matrix(1, 2), {}), std::invalid_argument);
+}
+
+TEST(Lof, ScoreBeforeFitThrows) {
+  const Lof lof;
+  EXPECT_THROW(lof.score(std::vector<double>{0.0}), std::logic_error);
+}
+
+TEST(Lof, DuplicateTrainingPointsDoNotCrash) {
+  Matrix train(10, 2);  // all identical points
+  Lof lof;
+  lof.fit(train, {.k = 3});
+  EXPECT_TRUE(std::isfinite(lof.score(std::vector<double>{1.0, 1.0})) ||
+              lof.score(std::vector<double>{1.0, 1.0}) > 0.0);
+  // A coincident query resolves to the dense-cluster convention (score 1).
+  EXPECT_DOUBLE_EQ(lof.score(std::vector<double>{0.0, 0.0}), 1.0);
+}
+
+TEST(Lof, LocalDensityMatters) {
+  // Two clusters of different density; a point at moderate distance from
+  // the dense cluster should look more anomalous than the same offset from
+  // the sparse cluster.
+  Rng rng(5);
+  Matrix train(100, 1);
+  for (std::size_t i = 0; i < 50; ++i) train(i, 0) = 0.0 + 0.05 * rng.normal();   // dense
+  for (std::size_t i = 50; i < 100; ++i) train(i, 0) = 50.0 + 2.0 * rng.normal(); // sparse
+  Lof lof;
+  lof.fit(train, {.k = 8});
+  const double near_dense = lof.score(std::vector<double>{1.0});
+  const double near_sparse = lof.score(std::vector<double>{51.0});
+  EXPECT_GT(near_dense, near_sparse);
+}
+
+}  // namespace
+}  // namespace frac

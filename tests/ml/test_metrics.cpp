@@ -1,0 +1,96 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace frac {
+namespace {
+
+TEST(Auc, PerfectSeparation) {
+  const std::vector<double> scores{1, 2, 10, 11};
+  const std::vector<Label> labels{Label::kNormal, Label::kNormal, Label::kAnomaly,
+                                  Label::kAnomaly};
+  EXPECT_DOUBLE_EQ(auc(scores, labels), 1.0);
+}
+
+TEST(Auc, PerfectlyWrong) {
+  const std::vector<double> scores{10, 11, 1, 2};
+  const std::vector<Label> labels{Label::kNormal, Label::kNormal, Label::kAnomaly,
+                                  Label::kAnomaly};
+  EXPECT_DOUBLE_EQ(auc(scores, labels), 0.0);
+}
+
+TEST(Auc, AllTiedIsHalf) {
+  const std::vector<double> scores{5, 5, 5, 5};
+  const std::vector<Label> labels{Label::kNormal, Label::kAnomaly, Label::kNormal,
+                                  Label::kAnomaly};
+  EXPECT_DOUBLE_EQ(auc(scores, labels), 0.5);
+}
+
+TEST(Auc, PartialOverlapKnownValue) {
+  // anomalies {3, 1}, normals {2, 0}: pairs won = (3>2)+(3>0)+(1>0) = 3 of 4.
+  const std::vector<double> scores{3, 1, 2, 0};
+  const std::vector<Label> labels{Label::kAnomaly, Label::kAnomaly, Label::kNormal,
+                                  Label::kNormal};
+  EXPECT_DOUBLE_EQ(auc(scores, labels), 0.75);
+}
+
+TEST(Auc, TieBetweenClassesGetsHalfCredit) {
+  // anomaly {2}, normals {2, 0}: 0.5 + 1 of 2 pairs => 0.75.
+  const std::vector<double> scores{2, 2, 0};
+  const std::vector<Label> labels{Label::kAnomaly, Label::kNormal, Label::kNormal};
+  EXPECT_DOUBLE_EQ(auc(scores, labels), 0.75);
+}
+
+TEST(Auc, SingleClassReturnsHalf) {
+  const std::vector<double> scores{1, 2};
+  const std::vector<Label> all_normal{Label::kNormal, Label::kNormal};
+  EXPECT_DOUBLE_EQ(auc(scores, all_normal), 0.5);
+}
+
+TEST(Auc, TwoVectorOverloadAgrees) {
+  const std::vector<double> anomalies{3, 1};
+  const std::vector<double> normals{2, 0};
+  EXPECT_DOUBLE_EQ(auc(anomalies, normals), 0.75);
+}
+
+TEST(Auc, InvariantToMonotoneTransform) {
+  const std::vector<double> scores{0.1, 0.5, 0.3, 0.9};
+  const std::vector<Label> labels{Label::kNormal, Label::kAnomaly, Label::kNormal,
+                                  Label::kAnomaly};
+  std::vector<double> scaled;
+  for (const double s : scores) scaled.push_back(100.0 * s + 7.0);
+  EXPECT_DOUBLE_EQ(auc(scores, labels), auc(scaled, labels));
+}
+
+TEST(RocCurve, StartsAtOriginEndsAtOne) {
+  const std::vector<double> scores{3, 1, 2, 0};
+  const std::vector<Label> labels{Label::kAnomaly, Label::kAnomaly, Label::kNormal,
+                                  Label::kNormal};
+  const auto curve = roc_curve(scores, labels);
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+}
+
+TEST(RocCurve, MonotoneNondecreasing) {
+  const std::vector<double> scores{5, 4, 4, 3, 2, 1};
+  const std::vector<Label> labels{Label::kAnomaly, Label::kNormal, Label::kAnomaly,
+                                  Label::kNormal, Label::kAnomaly, Label::kNormal};
+  const auto curve = roc_curve(scores, labels);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].fpr, curve[i - 1].fpr);
+    EXPECT_GE(curve[i].tpr, curve[i - 1].tpr);
+  }
+}
+
+TEST(MeanSd, KnownValues) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  const MeanSd stats = mean_sd(v);
+  EXPECT_DOUBLE_EQ(stats.mean, 3.0);
+  EXPECT_NEAR(stats.sd, std::sqrt(2.5), 1e-12);
+}
+
+}  // namespace
+}  // namespace frac

@@ -1,0 +1,75 @@
+#include "ml/baseline/ocsvm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace frac {
+namespace {
+
+Matrix shifted_cloud(std::size_t n, std::size_t d, double center, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (double& v : m.row(i)) v = center + rng.normal();
+  }
+  return m;
+}
+
+TEST(OneClassSvm, SeparatesShiftedOutliers) {
+  const Matrix train = shifted_cloud(150, 3, 3.0, 1);
+  OneClassSvm ocsvm;
+  ocsvm.fit(train, {});
+  // Outliers near the origin (opposite the training halfspace direction).
+  const Matrix inliers = shifted_cloud(40, 3, 3.0, 2);
+  const Matrix outliers = shifted_cloud(40, 3, -3.0, 3);
+  std::vector<double> in_scores, out_scores;
+  for (std::size_t i = 0; i < 40; ++i) {
+    in_scores.push_back(ocsvm.score(inliers.row(i)));
+    out_scores.push_back(ocsvm.score(outliers.row(i)));
+  }
+  EXPECT_GT(auc(out_scores, in_scores), 0.95);
+}
+
+TEST(OneClassSvm, NuControlsTrainingRejectionRoughly) {
+  const Matrix train = shifted_cloud(200, 2, 2.0, 4);
+  OneClassSvm loose, strict;
+  loose.fit(train, {.nu = 0.5});
+  strict.fit(train, {.nu = 0.05});
+  int rejected_loose = 0, rejected_strict = 0;
+  for (std::size_t i = 0; i < train.rows(); ++i) {
+    rejected_loose += (loose.score(train.row(i)) > 0.0);
+    rejected_strict += (strict.score(train.row(i)) > 0.0);
+  }
+  EXPECT_GE(rejected_loose, rejected_strict);
+}
+
+TEST(OneClassSvm, InvalidNuThrows) {
+  const Matrix train = shifted_cloud(10, 2, 0.0, 5);
+  OneClassSvm ocsvm;
+  EXPECT_THROW(ocsvm.fit(train, {.nu = 0.0}), std::invalid_argument);
+  EXPECT_THROW(ocsvm.fit(train, {.nu = 1.5}), std::invalid_argument);
+}
+
+TEST(OneClassSvm, EmptyTrainThrows) {
+  OneClassSvm ocsvm;
+  EXPECT_THROW(ocsvm.fit(Matrix(0, 2), {}), std::invalid_argument);
+}
+
+TEST(OneClassSvm, ScoreBeforeFitThrows) {
+  const OneClassSvm ocsvm;
+  EXPECT_THROW(ocsvm.score(std::vector<double>{1.0}), std::logic_error);
+}
+
+TEST(OneClassSvm, DeterministicGivenSeed) {
+  const Matrix train = shifted_cloud(50, 2, 1.0, 6);
+  OneClassSvm a, b;
+  a.fit(train, {});
+  b.fit(train, {});
+  EXPECT_EQ(a.weights(), b.weights());
+  EXPECT_EQ(a.rho(), b.rho());
+}
+
+}  // namespace
+}  // namespace frac

@@ -1,0 +1,79 @@
+#include "parallel/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace frac {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  parallel_for(pool, 0, 1000, [&](std::size_t i) { ++visits[i]; });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for(pool, 5, 5, [&](std::size_t) { called = true; });
+  parallel_for(pool, 7, 3, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleElementRange) {
+  ThreadPool pool(2);
+  std::size_t seen = 99;
+  parallel_for(pool, 42, 43, [&](std::size_t i) { seen = i; });
+  EXPECT_EQ(seen, 42u);
+}
+
+TEST(ParallelFor, ResultsMatchSerialSum) {
+  ThreadPool pool(4);
+  std::vector<double> out(500);
+  parallel_for(pool, 0, 500, [&](std::size_t i) { out[i] = static_cast<double>(i) * 0.5; });
+  const double total = std::accumulate(out.begin(), out.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, 0.5 * 499.0 * 500.0 / 2.0);
+}
+
+TEST(ParallelFor, ExceptionInBodyPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 0, 100,
+                            [](std::size_t i) {
+                              if (i == 50) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelForChunks, ChunksCoverRangeWithoutOverlap) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(777);
+  parallel_for_chunks(pool, 0, 777, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_LT(lo, hi);
+    for (std::size_t i = lo; i < hi; ++i) ++visits[i];
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelForChunks, NonZeroBegin) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  parallel_for_chunks(pool, 100, 200, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_GE(lo, 100u);
+    EXPECT_LE(hi, 200u);
+    count += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelFor, GlobalPoolOverloadWorks) {
+  std::atomic<int> count{0};
+  parallel_for(0, 64, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 64);
+}
+
+}  // namespace
+}  // namespace frac

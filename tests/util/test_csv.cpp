@@ -1,0 +1,83 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace frac {
+namespace {
+
+TEST(CsvParse, SimpleFields) {
+  const auto cells = parse_csv_line("a,b,c");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "a");
+  EXPECT_EQ(cells[1], "b");
+  EXPECT_EQ(cells[2], "c");
+}
+
+TEST(CsvParse, EmptyFieldsPreserved) {
+  const auto cells = parse_csv_line(",x,,");
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0], "");
+  EXPECT_EQ(cells[1], "x");
+  EXPECT_EQ(cells[2], "");
+  EXPECT_EQ(cells[3], "");
+}
+
+TEST(CsvParse, QuotedDelimiter) {
+  const auto cells = parse_csv_line("\"a,b\",c");
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0], "a,b");
+  EXPECT_EQ(cells[1], "c");
+}
+
+TEST(CsvParse, DoubledQuotes) {
+  const auto cells = parse_csv_line("\"say \"\"hi\"\"\",x");
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0], "say \"hi\"");
+}
+
+TEST(CsvParse, CarriageReturnStripped) {
+  const auto cells = parse_csv_line("a,b\r");
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[1], "b");
+}
+
+TEST(CsvParse, AlternateDelimiter) {
+  const auto cells = parse_csv_line("a\tb", '\t');
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0], "a");
+}
+
+TEST(CsvRead, SkipsBlankLines) {
+  std::istringstream in("a,b\n\nc,d\n");
+  const CsvTable table = read_csv(in);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(CsvRead, MissingFileThrows) {
+  EXPECT_THROW(read_csv("/nonexistent/file.csv"), std::runtime_error);
+}
+
+TEST(CsvEscape, PlainCellUnchanged) { EXPECT_EQ(csv_escape("plain"), "plain"); }
+
+TEST(CsvEscape, DelimiterGetsQuoted) { EXPECT_EQ(csv_escape("a,b"), "\"a,b\""); }
+
+TEST(CsvEscape, QuoteGetsDoubled) { EXPECT_EQ(csv_escape("a\"b"), "\"a\"\"b\""); }
+
+TEST(CsvRoundTrip, WriteThenReadIsIdentity) {
+  CsvTable table;
+  table.rows = {{"name", "value"}, {"with,comma", "1.5"}, {"with\"quote", ""}};
+  std::ostringstream out;
+  write_csv(out, table);
+  std::istringstream in(out.str());
+  const CsvTable back = read_csv(in);
+  // Note: the all-empty trailing row survives because "with\"quote" row has
+  // a non-empty first cell; blank-line skipping only drops fully empty lines.
+  ASSERT_EQ(back.row_count(), 3u);
+  EXPECT_EQ(back.rows[1][0], "with,comma");
+  EXPECT_EQ(back.rows[2][0], "with\"quote");
+}
+
+}  // namespace
+}  // namespace frac

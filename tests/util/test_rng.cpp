@@ -1,0 +1,196 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace frac {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitStreamsAreIndependentOfParentConsumption) {
+  // split(salt) must give the same child stream regardless of what the
+  // sibling children did.
+  Rng parent1(7), parent2(7);
+  Rng child1a = parent1.split(0);
+  Rng child1b = parent1.split(1);
+  Rng child2a = parent2.split(0);
+  (void)child1a;
+  Rng child2b = parent2.split(1);
+  EXPECT_EQ(child1b(), child2b());
+  EXPECT_EQ(child2a(), child1a());
+}
+
+TEST(Rng, SplitWithDistinctSaltsDiffer) {
+  Rng parent(7);
+  Rng a = parent.split(0);
+  Rng parent2(7);
+  Rng b = parent2.split(1);
+  EXPECT_NE(a(), b());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(4);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRangeUniformly) {
+  Rng rng(5);
+  std::vector<int> counts(7, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(7)];
+  for (const int c : counts) EXPECT_NEAR(c, n / 7, 500);
+}
+
+TEST(Rng, UniformIndexOfOneIsZero) {
+  Rng rng(6);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(8);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalWithParamsShiftsAndScales) {
+  Rng rng(9);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(10);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GammaMeanEqualsShape) {
+  Rng rng(11);
+  for (const double shape : {0.5, 1.0, 2.0, 7.5}) {
+    double acc = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) acc += rng.gamma(shape);
+    EXPECT_NEAR(acc / n, shape, 0.1 * shape + 0.02) << "shape=" << shape;
+  }
+}
+
+TEST(Rng, BetaMeanAndSupport) {
+  Rng rng(12);
+  const double a = 2.0, b = 5.0;
+  double acc = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.beta(a, b);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+    acc += x;
+  }
+  EXPECT_NEAR(acc / n, a / (a + b), 0.01);
+}
+
+TEST(Rng, BinomialMean) {
+  Rng rng(13);
+  double acc = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) acc += rng.binomial(2, 0.4);
+  EXPECT_NEAR(acc / n, 0.8, 0.02);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(14);
+  const std::vector<double> w{1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(w)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(15);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), shuffled.begin()));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(v, shuffled);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(16);
+  const auto sample = rng.sample_without_replacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (const std::size_t s : sample) EXPECT_LT(s, 50u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullRangeIsPermutation) {
+  Rng rng(17);
+  auto sample = rng.sample_without_replacement(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Rng, SampleWithoutReplacementIsUnbiased) {
+  Rng rng(18);
+  std::vector<int> counts(10, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (const std::size_t i : rng.sample_without_replacement(10, 3)) ++counts[i];
+  }
+  for (const int c : counts) EXPECT_NEAR(c, trials * 3 / 10, 300);
+}
+
+TEST(Splitmix64, KnownSequenceIsStable) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64_next(state);
+  const std::uint64_t second = splitmix64_next(state);
+  EXPECT_NE(first, second);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(splitmix64_next(state2), first);
+}
+
+}  // namespace
+}  // namespace frac

@@ -1,0 +1,69 @@
+#include "util/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace frac {
+namespace {
+
+TEST(Serialize, ScalarRoundTrip) {
+  std::ostringstream out;
+  write_tagged(out, "d", 1.0 / 3.0);
+  write_tagged(out, "u", std::uint64_t{42});
+  write_tagged(out, "s", std::string("hello"));
+  std::istringstream in(out.str());
+  EXPECT_DOUBLE_EQ(read_tagged_double(in, "d"), 1.0 / 3.0);
+  EXPECT_EQ(read_tagged_uint(in, "u"), 42u);
+  EXPECT_EQ(read_tagged_string(in, "s"), "hello");
+}
+
+TEST(Serialize, DoubleRoundTripIsExact) {
+  std::ostringstream out;
+  const double tricky = 0.1 + 0.2;  // 0.30000000000000004
+  write_tagged(out, "x", tricky);
+  std::istringstream in(out.str());
+  EXPECT_EQ(read_tagged_double(in, "x"), tricky);  // bit-exact
+}
+
+TEST(Serialize, VectorRoundTrip) {
+  std::ostringstream out;
+  write_tagged(out, "v", std::vector<double>{1.5, -2.25, 0.0});
+  write_tagged(out, "i", std::vector<std::uint64_t>{7, 0, 99});
+  write_tagged(out, "e", std::vector<double>{});
+  std::istringstream in(out.str());
+  EXPECT_EQ(read_tagged_doubles(in, "v"), (std::vector<double>{1.5, -2.25, 0.0}));
+  EXPECT_EQ(read_tagged_uints(in, "i"), (std::vector<std::uint64_t>{7, 0, 99}));
+  EXPECT_TRUE(read_tagged_doubles(in, "e").empty());
+}
+
+TEST(Serialize, TagMismatchThrows) {
+  std::ostringstream out;
+  write_tagged(out, "alpha", 1.0);
+  std::istringstream in(out.str());
+  EXPECT_THROW(read_tagged_double(in, "beta"), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedStreamThrows) {
+  std::istringstream in("");
+  EXPECT_THROW(read_tagged_double(in, "x"), std::runtime_error);
+}
+
+TEST(Serialize, VectorLengthMismatchThrows) {
+  std::istringstream in("v 3 1.0 2.0\n");
+  EXPECT_THROW(read_tagged_doubles(in, "v"), std::runtime_error);
+}
+
+TEST(Serialize, StringsWithSpecialCharactersRoundTrip) {
+  std::ostringstream out;
+  write_tagged(out, "s1", std::string("two words"));
+  write_tagged(out, "s2", std::string("tabs\tand\nnewlines"));
+  write_tagged(out, "s3", std::string("100%"));
+  std::istringstream in(out.str());
+  EXPECT_EQ(read_tagged_string(in, "s1"), "two words");
+  EXPECT_EQ(read_tagged_string(in, "s2"), "tabs\tand\nnewlines");
+  EXPECT_EQ(read_tagged_string(in, "s3"), "100%");
+}
+
+}  // namespace
+}  // namespace frac

@@ -1,0 +1,57 @@
+#include "util/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace frac {
+namespace {
+
+TEST(Split, BasicAndEmptyFields) {
+  const auto parts = split("a:b::c", ':');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Split, EmptyStringYieldsOneField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n z"), "z");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(ParseDouble, ParsesValid) {
+  EXPECT_DOUBLE_EQ(parse_double("1.5", "test"), 1.5);
+  EXPECT_DOUBLE_EQ(parse_double(" -2e3 ", "test"), -2000.0);
+}
+
+TEST(ParseDouble, RejectsGarbage) {
+  EXPECT_THROW(parse_double("abc", "ctx"), std::invalid_argument);
+  EXPECT_THROW(parse_double("1.5x", "ctx"), std::invalid_argument);
+  EXPECT_THROW(parse_double("", "ctx"), std::invalid_argument);
+}
+
+TEST(ParseSize, ParsesValidAndRejectsNegative) {
+  EXPECT_EQ(parse_size("42", "ctx"), 42u);
+  EXPECT_THROW(parse_size("-1", "ctx"), std::invalid_argument);
+  EXPECT_THROW(parse_size("3.5", "ctx"), std::invalid_argument);
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("hello", "he"));
+  EXPECT_TRUE(starts_with("hello", ""));
+  EXPECT_FALSE(starts_with("he", "hello"));
+}
+
+TEST(Format, PrintfStyle) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(format("%.2f", 1.234), "1.23");
+}
+
+}  // namespace
+}  // namespace frac
