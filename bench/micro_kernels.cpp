@@ -1,6 +1,9 @@
 // google-benchmark micro-kernels for the substrate: SVR/tree training, JL
-// projection, KDE entropy, AUC, and the vector primitives underneath FRaC.
+// projection, KDE entropy, AUC, the parallel runtime, and the vector
+// primitives underneath FRaC.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
 
 #include "data/expression_generator.hpp"
 #include "frac/frac.hpp"
@@ -10,6 +13,8 @@
 #include "ml/metrics.hpp"
 #include "ml/svm/linear_svr.hpp"
 #include "ml/tree/decision_tree.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -112,6 +117,44 @@ void BM_Auc(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Auc)->Arg(100)->Arg(10000);
+
+// Per-batch dispatch overhead of the batch-scoped runtime: run + wait of a
+// group of trivial tasks. This bounds how fine parallel_for chunks can get
+// before scheduling costs dominate.
+void BM_TaskGroupDispatch(benchmark::State& state) {
+  const std::size_t tasks = static_cast<std::size_t>(state.range(0));
+  ThreadPool pool(4);
+  for (auto _ : state) {
+    TaskGroup group(pool);
+    std::atomic<std::size_t> counter{0};
+    for (std::size_t i = 0; i < tasks; ++i) {
+      group.run([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+    group.wait();
+    benchmark::DoNotOptimize(counter.load());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * tasks));
+}
+BENCHMARK(BM_TaskGroupDispatch)->Arg(1)->Arg(16)->Arg(256);
+
+// Nested parallel_for (the ensemble -> unit -> fold shape): the waiter must
+// help-drain its own batch, so this measures nesting overhead, not deadlock
+// avoidance by oversubscription.
+void BM_NestedParallelFor(benchmark::State& state) {
+  const std::size_t outer = static_cast<std::size_t>(state.range(0));
+  ThreadPool pool(4);
+  for (auto _ : state) {
+    std::atomic<std::size_t> leaves{0};
+    parallel_for(pool, 0, outer, [&](std::size_t) {
+      parallel_for(pool, 0, 16, [&](std::size_t) {
+        leaves.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+    benchmark::DoNotOptimize(leaves.load());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * outer * 16));
+}
+BENCHMARK(BM_NestedParallelFor)->Arg(4)->Arg(16);
 
 void BM_FracTrainSmall(benchmark::State& state) {
   ExpressionModelConfig c;

@@ -7,6 +7,7 @@
 #include "bench_common.hpp"
 #include "frac/ensemble.hpp"
 #include "frac/preprojection.hpp"
+#include "util/stopwatch.hpp"
 
 int main() {
   using namespace frac;
@@ -52,5 +53,59 @@ int main() {
   std::cout << "\nExpected shape: full FRaC's model memory grows ~quadratically in f\n"
                "(f models x f-dim support vectors); JL's stays ~constant (k models of\n"
                "k dims); the filter ensemble tracks p² of full.\n";
+
+  // Member-parallel speedup: the same random-filter ensemble, first on a
+  // 1-thread pool (the old serial-member schedule), then on the default
+  // pool. RNG streams are pre-split per member, so the two runs must be
+  // bit-identical; only wall-clock should differ. Expect >= 2x on >= 4
+  // cores (members dominate, and nested fold/unit batches fill the gaps).
+  {
+    std::cout << "\nMEMBER PARALLELISM — wall-clock, serial pool vs "
+              << pool().thread_count() << " threads (RFE 8 x p=0.1, f=400)\n\n";
+    ExpressionModelConfig c;
+    c.features = 400;
+    c.modules = 12;
+    c.genes_per_module = 10;
+    c.noise_sd = 0.4;
+    c.anomaly_mix = 2.0;
+    c.disease_modules = 6;
+    c.seed = 1700;
+    const ExpressionModel model(c);
+    Rng data_rng(1800);
+    Replicate rep;
+    rep.train = model.sample(49, Label::kNormal, data_rng);
+    rep.test = concat_samples(model.sample(10, Label::kNormal, data_rng),
+                              model.sample(10, Label::kAnomaly, data_rng));
+    const FracConfig config;
+
+    ThreadPool serial_pool(1);
+    Rng serial_rng(5);
+    const WallStopwatch serial_wall;
+    const ScoredRun serial = run_random_filter_ensemble(rep, config, 0.1, 8, serial_rng,
+                                                        serial_pool);
+    const double serial_seconds = serial_wall.seconds();
+
+    Rng parallel_rng(5);
+    const WallStopwatch parallel_wall;
+    const ScoredRun parallel = run_random_filter_ensemble(rep, config, 0.1, 8, parallel_rng,
+                                                          pool());
+    const double parallel_seconds = parallel_wall.seconds();
+
+    bool identical = serial.test_scores.size() == parallel.test_scores.size();
+    for (std::size_t i = 0; identical && i < serial.test_scores.size(); ++i) {
+      identical = serial.test_scores[i] == parallel.test_scores[i];
+    }
+    TextTable speedup({"pool", "wall time", "speedup", "scores"});
+    speedup.add_row({"1 thread", fmt_time(serial_seconds), "1.00x", "baseline"});
+    speedup.add_row({std::to_string(pool().thread_count()) + " threads",
+                     fmt_time(parallel_seconds),
+                     format("%.2fx", serial_seconds / parallel_seconds),
+                     identical ? "bit-identical" : "MISMATCH"});
+    speedup.print(std::cout);
+    if (!identical) {
+      std::cout << "\nERROR: thread count changed ensemble scores\n";
+      return 1;
+    }
+  }
   return 0;
 }

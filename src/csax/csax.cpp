@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "linalg/kernels.hpp"
+#include "parallel/parallel_for.hpp"
 #include "util/stopwatch.hpp"
 
 namespace frac {
@@ -35,8 +36,15 @@ CsaxModel CsaxModel::train(const Dataset& train, GeneSetCollection sets,
 
   Rng master(config.seed);
   const std::size_t n = train.sample_count();
-  for (std::size_t b = 0; b < config.bootstraps; ++b) {
-    Rng rng = master.split(b);
+  // Pre-split per-bootstrap streams (same draw order as the old serial
+  // loop), then train the members as one parallel batch — bootstraps are
+  // independent, so results are identical for any thread count.
+  std::vector<Rng> member_rngs;
+  member_rngs.reserve(config.bootstraps);
+  for (std::size_t b = 0; b < config.bootstraps; ++b) member_rngs.push_back(master.split(b));
+  model.members_.resize(config.bootstraps);
+  parallel_for(pool, 0, config.bootstraps, [&](std::size_t b) {
+    Rng& rng = member_rngs[b];
     // Bootstrap resample of the training rows.
     std::vector<std::size_t> rows(n);
     for (std::size_t i = 0; i < n; ++i) rows[i] = rng.uniform_index(n);
@@ -55,9 +63,12 @@ CsaxModel CsaxModel::train(const Dataset& train, GeneSetCollection sets,
     FracConfig frac_config = config.frac;
     frac_config.seed = rng.split(1000)();
     member.model = FracModel::train(boot, frac_config, pool);
-    // Bootstrap members coexist for scoring: peaks add.
+    model.members_[b] = std::move(member);
+  });
+  // Bootstrap members coexist for scoring: modeled peaks add, in member
+  // order (the analytic accounting is independent of the training schedule).
+  for (const Member& member : model.members_) {
     model.report_.merge_concurrent(member.model.report());
-    model.members_.push_back(std::move(member));
   }
   model.report_.cpu_seconds = cpu.seconds();
   return model;

@@ -3,20 +3,32 @@
 #include <stdexcept>
 
 #include "linalg/kernels.hpp"
+#include "parallel/parallel_for.hpp"
 
 namespace frac {
 
 PerReplicate evaluate_method(const std::vector<Replicate>& replicates, const MethodFn& method,
-                             std::uint64_t seed, ThreadPool& /*pool*/) {
+                             std::uint64_t seed, ThreadPool& pool) {
+  const std::size_t count = replicates.size();
   PerReplicate out;
+  out.auc.resize(count);
+  out.cpu_seconds.resize(count);
+  out.peak_bytes.resize(count);
   Rng master(seed);
-  for (std::size_t r = 0; r < replicates.size(); ++r) {
-    Rng rep_rng = master.split(r);
-    const ScoredRun run = method(replicates[r], rep_rng);
-    out.auc.push_back(auc(run.test_scores, replicates[r].test.labels()));
-    out.cpu_seconds.push_back(run.resources.cpu_seconds);
-    out.peak_bytes.push_back(static_cast<double>(run.resources.peak_bytes));
-  }
+  // Pre-split per-replicate streams (same draw order as the old serial
+  // loop: results are identical for any thread count), then run the
+  // replicates as one parallel batch. Per-replicate cpu_seconds stay
+  // meaningful under concurrency because CpuStopwatch bills scoped work,
+  // not the process-wide CPU clock.
+  std::vector<Rng> rep_rngs;
+  rep_rngs.reserve(count);
+  for (std::size_t r = 0; r < count; ++r) rep_rngs.push_back(master.split(r));
+  parallel_for(pool, 0, count, [&](std::size_t r) {
+    const ScoredRun run = method(replicates[r], rep_rngs[r]);
+    out.auc[r] = auc(run.test_scores, replicates[r].test.labels());
+    out.cpu_seconds[r] = run.resources.cpu_seconds;
+    out.peak_bytes[r] = static_cast<double>(run.resources.peak_bytes);
+  });
   return out;
 }
 

@@ -15,6 +15,11 @@ namespace frac {
 /// A method under evaluation: scores one replicate's test set. The Rng is a
 /// fresh independent stream per replicate (methods with internal randomness
 /// — random filters, diverse subsets, JL seeds — draw from it).
+///
+/// Concurrency contract: evaluate_method runs replicates as one parallel
+/// batch, so the MethodFn may be invoked concurrently from several pool
+/// threads. Each invocation gets its own Replicate and Rng; any state the
+/// callable shares across invocations must be synchronized by the caller.
 using MethodFn = std::function<ScoredRun(const Replicate& replicate, Rng& rng)>;
 
 /// Per-replicate measurements.

@@ -95,8 +95,15 @@ void KdeErrorModel::save(std::ostream& out) const {
 
 KdeErrorModel KdeErrorModel::load(std::istream& in) {
   KdeErrorModel model;
-  model.floor_ = read_tagged_double(in, "kdeerr.floor");
+  // Enforce the same invariants as fit(): a corrupt or hand-edited model
+  // file must not yield a floor of 0 (surprisal = -log(0) = inf) or NaN.
+  const double floor = read_tagged_double(in, "kdeerr.floor");
+  if (!(floor > 0.0)) {
+    throw std::runtime_error("KdeErrorModel::load: density floor must be > 0");
+  }
+  model.floor_ = floor;
   const std::vector<double> points = read_tagged_doubles(in, "kdeerr.points");
+  if (points.empty()) throw std::runtime_error("KdeErrorModel::load: no residual points");
   model.kde_.fit(points);
   return model;
 }

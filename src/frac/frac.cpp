@@ -82,6 +82,10 @@ FracModel FracModel::train_with_plan(const Dataset& train, std::vector<FeaturePl
   unit_rngs.reserve(plan.size());
   for (std::size_t u = 0; u < plan.size(); ++u) unit_rngs.push_back(master.split(u));
 
+  // Predictors actually trained per unit (CV fold models + the retained
+  // one), filled by the unit tasks and summed after the loop.
+  std::vector<std::size_t> unit_models_trained(plan.size(), 0);
+
   parallel_for(pool, 0, plan.size(), [&](std::size_t u) {
     Unit& unit = model.units_[u];
     unit.plan = std::move(plan[u]);
@@ -136,11 +140,18 @@ FracModel FracModel::train_with_plan(const Dataset& train, std::vector<FeaturePl
     const auto fold_sets = unit.categorical
                                ? stratified_kfold_indices(target_col, folds, fold_rng)
                                : kfold_indices(valid.size(), folds, fold_rng);
-    std::vector<double> residuals;
-    std::vector<std::uint32_t> cv_true, cv_pred;
-    for (const auto& fold : fold_sets) {
+    // Fold models are independent given the (already drawn) fold assignment,
+    // so they train as a nested batch on the same pool. Per-fold outputs are
+    // concatenated in fold order afterwards, keeping the error-model inputs
+    // byte-identical to a serial run for any thread count.
+    const std::size_t fold_count = fold_sets.size();
+    std::vector<std::vector<double>> fold_residuals(fold_count);
+    std::vector<std::vector<std::uint32_t>> fold_true(fold_count), fold_pred(fold_count);
+    std::vector<std::uint8_t> fold_trained(fold_count, 0);
+    parallel_for(pool, 0, fold_count, [&](std::size_t k) {
+      const auto& fold = fold_sets[k];
       const auto train_rows = fold_complement(valid.size(), fold);
-      if (train_rows.empty() || fold.empty()) continue;
+      if (train_rows.empty() || fold.empty()) return;  // empty fold: no model
       Matrix x_fold(train_rows.size(), d);
       std::vector<double> y_fold(train_rows.size());
       for (std::size_t i = 0; i < train_rows.size(); ++i) {
@@ -148,7 +159,7 @@ FracModel FracModel::train_with_plan(const Dataset& train, std::vector<FeaturePl
         std::copy(src.begin(), src.end(), x_fold.row(i).begin());
         y_fold[i] = target_col[train_rows[i]];
       }
-      std::unique_ptr<FeaturePredictor> cv_model =
+      const std::unique_ptr<FeaturePredictor> cv_model =
           unit.categorical
               ? train_classifier(x_fold, y_fold, model.arities_[target], input_arities,
                                  pred_config)
@@ -156,12 +167,23 @@ FracModel FracModel::train_with_plan(const Dataset& train, std::vector<FeaturePl
       for (const std::size_t i : fold) {
         const double predicted = cv_model->predict(x.row(i));
         if (unit.categorical) {
-          cv_true.push_back(static_cast<std::uint32_t>(target_col[i]));
-          cv_pred.push_back(static_cast<std::uint32_t>(predicted));
+          fold_true[k].push_back(static_cast<std::uint32_t>(target_col[i]));
+          fold_pred[k].push_back(static_cast<std::uint32_t>(predicted));
         } else {
-          residuals.push_back(target_col[i] - predicted);
+          fold_residuals[k].push_back(target_col[i] - predicted);
         }
       }
+      fold_trained[k] = 1;
+    });
+    std::size_t fold_models = 0;
+    std::vector<double> residuals;
+    std::vector<std::uint32_t> cv_true, cv_pred;
+    for (std::size_t k = 0; k < fold_count; ++k) {
+      if (!fold_trained[k]) continue;
+      ++fold_models;
+      residuals.insert(residuals.end(), fold_residuals[k].begin(), fold_residuals[k].end());
+      cv_true.insert(cv_true.end(), fold_true[k].begin(), fold_true[k].end());
+      cv_pred.insert(cv_pred.end(), fold_pred[k].begin(), fold_pred[k].end());
     }
 
     if (unit.categorical) {
@@ -179,16 +201,22 @@ FracModel FracModel::train_with_plan(const Dataset& train, std::vector<FeaturePl
         unit.categorical
             ? train_classifier(x, target_col, model.arities_[target], input_arities, pred_config)
             : train_regressor(x, target_col, input_arities, pred_config);
+    unit_models_trained[u] = fold_models + 1;
   });
 
-  // Resource accounting: data + retained models; trained = (folds+1)/unit.
+  // Resource accounting: data + retained models. models_trained counts the
+  // predictors the unit actually trained — min(cv_folds, defined rows) fold
+  // models, minus folds skipped as empty, plus the retained one — not the
+  // dataset-wide sample count, which overcounts for features with missing
+  // values.
   model.report_.cpu_seconds = cpu.seconds();
   std::size_t retained_bytes = 0;
-  for (const Unit& unit : model.units_) {
+  for (std::size_t u = 0; u < model.units_.size(); ++u) {
+    model.report_.models_trained += unit_models_trained[u];
+    const Unit& unit = model.units_[u];
     if (unit.predictor == nullptr) continue;
     retained_bytes += unit.predictor->storage_bytes();
     ++model.report_.models_retained;
-    model.report_.models_trained += std::min(config.cv_folds, n) + 1;
   }
   model.report_.peak_bytes = train.bytes() + retained_bytes;
   return model;
@@ -303,12 +331,18 @@ void FracModel::save(std::ostream& out) const {
     else unit.gaussian.save(out);
     unit.predictor->save(out);
   }
+  // Fail loudly rather than leave a silently truncated model behind.
+  if (!out) throw std::runtime_error("FracModel::save: stream write failed");
 }
 
 void FracModel::save_file(const std::string& path) const {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("FracModel::save_file: cannot open " + path);
   save(out);
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("FracModel::save_file: write failed (disk full?): " + path);
+  }
 }
 
 FracModel FracModel::load(std::istream& in) {

@@ -62,6 +62,16 @@ class InputExpander {
   std::size_t width_ = 0;
 };
 
+/// Per-thread expansion buffer. predict() is const and runs concurrently on
+/// row chunks that share one predictor instance, so the scratch must not
+/// live in the instance; predict never re-enters itself on a thread, so one
+/// buffer per thread (grown to the widest expansion seen) is safe.
+std::span<double> expansion_scratch(std::size_t width) {
+  thread_local std::vector<double> buffer;
+  if (buffer.size() < width) buffer.resize(width);
+  return std::span<double>(buffer.data(), width);
+}
+
 /// Top-k raw input positions by |weight| over an expanded weight vector.
 std::vector<std::uint32_t> top_inputs_by_weight(const std::vector<double>& w,
                                                 const InputExpander& expander,
@@ -90,17 +100,15 @@ class SvrPredictor final : public FeaturePredictor {
       : arities_(arities.begin(), arities.end()), expander_(arities_) {
     const Matrix expanded = expander_.expand(x);
     model_.fit(expanded, y, config);
-    scratch_.resize(expander_.width());
   }
 
   SvrPredictor(LinearSvr model, std::vector<std::uint32_t> arities)
-      : arities_(std::move(arities)), expander_(arities_), model_(std::move(model)) {
-    scratch_.resize(expander_.width());
-  }
+      : arities_(std::move(arities)), expander_(arities_), model_(std::move(model)) {}
 
   double predict(std::span<const double> inputs) const override {
-    expander_.expand(inputs, scratch_);
-    return model_.predict(scratch_);
+    const std::span<double> scratch = expansion_scratch(expander_.width());
+    expander_.expand(inputs, scratch);
+    return model_.predict(scratch);
   }
 
   std::size_t storage_bytes() const override {
@@ -122,7 +130,6 @@ class SvrPredictor final : public FeaturePredictor {
   std::vector<std::uint32_t> arities_;
   InputExpander expander_;
   LinearSvr model_;
-  mutable std::vector<double> scratch_;
 };
 
 class TreePredictor final : public FeaturePredictor {
@@ -163,17 +170,15 @@ class SvcPredictor final : public FeaturePredictor {
       : arities_(arities.begin(), arities.end()), expander_(arities_) {
     const Matrix expanded = expander_.expand(x);
     model_.fit(expanded, y, target_arity, config);
-    scratch_.resize(expander_.width());
   }
 
   SvcPredictor(OneVsRestSvc model, std::vector<std::uint32_t> arities)
-      : arities_(std::move(arities)), expander_(arities_), model_(std::move(model)) {
-    scratch_.resize(expander_.width());
-  }
+      : arities_(std::move(arities)), expander_(arities_), model_(std::move(model)) {}
 
   double predict(std::span<const double> inputs) const override {
-    expander_.expand(inputs, scratch_);
-    return static_cast<double>(model_.predict(scratch_));
+    const std::span<double> scratch = expansion_scratch(expander_.width());
+    expander_.expand(inputs, scratch);
+    return static_cast<double>(model_.predict(scratch));
   }
 
   std::size_t storage_bytes() const override {
@@ -195,7 +200,6 @@ class SvcPredictor final : public FeaturePredictor {
   std::vector<std::uint32_t> arities_;
   InputExpander expander_;
   OneVsRestSvc model_;
-  mutable std::vector<double> scratch_;
 };
 
 }  // namespace

@@ -1,6 +1,9 @@
 // Resource accounting for FRaC runs, mirroring the paper's Time/Mem columns.
 //
-// Time is measured process CPU seconds (the paper reports CPU hours).
+// Time is measured CPU seconds of the work done on the run's behalf (the
+// paper reports CPU hours), billed via scoped accounting
+// (util/cpu_accounting.hpp) so it stays correct when runs execute
+// concurrently on the shared pool.
 //
 // Memory is *analytic*: the paper's numbers are dominated by libSVM model
 // storage — each trained SVR keeps its support vectors as dense vectors, so
@@ -29,6 +32,12 @@ struct ResourceReport {
   std::size_t models_retained = 0;
 
   /// Accumulates `other` as *sequential* work: times add, peaks max.
+  ///
+  /// "Sequential" and "concurrent" describe the paper's *modeled* execution
+  /// (random-filter ensemble members are costed one-at-a-time; diverse and
+  /// CSAX members as coexisting), not the actual schedule — members may well
+  /// train concurrently on the pool. The modeled peaks are analytic and
+  /// deliberately decoupled from wall-clock scheduling (DESIGN.md §7).
   ResourceReport& merge_sequential(const ResourceReport& other);
 
   /// Accumulates `other` as *concurrent* work: times add, peaks add.

@@ -14,11 +14,15 @@ void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
   // ~4 chunks per worker balances load without excessive queue traffic.
   const std::size_t target_chunks = std::min(n, workers * 4);
   const std::size_t chunk = (n + target_chunks - 1) / target_chunks;
+  // A batch-scoped group: this loop completes (and fails) independently of
+  // any other batch in flight on the pool, and the wait below helps run the
+  // loop's own chunks, so calling this from inside a pool task is safe.
+  TaskGroup group(pool);
   for (std::size_t lo = begin; lo < end; lo += chunk) {
     const std::size_t hi = std::min(lo + chunk, end);
-    pool.submit([&body, lo, hi] { body(lo, hi); });
+    group.run([&body, lo, hi] { body(lo, hi); });
   }
-  pool.wait();
+  group.wait();
 }
 
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,

@@ -6,6 +6,12 @@
 // concurrently for distinct indices; writes must target disjoint locations
 // (the FRaC scorer writes per-feature slots of pre-sized vectors).
 //
+// Each call is its own batch (TaskGroup): loops running concurrently on the
+// shared pool complete independently, each caller sees only its own loop's
+// exception, and the body may itself call parallel_for on the same pool —
+// the nested wait helps execute its own chunks, so nesting cannot deadlock
+// (ensemble members fan out over units, units over CV folds).
+//
 // Determinism: results must not depend on execution order. FRaC's NS is a
 // per-feature sum accumulated after the loop, and per-feature RNG streams are
 // derived by feature index (Rng::split), so output is identical for any

@@ -2,15 +2,79 @@
 
 #include <cstdlib>
 
+#include <algorithm>
+
 #include "util/string_util.hpp"
 
 namespace frac {
+
+// ---------------------------------------------------------------------------
+// TaskGroup
+//
+// Invariant (under the pool mutex): every queued task sits in its group's
+// tasks_ deque and has exactly one matching `ready_` entry in the pool;
+// whoever dequeues a task (worker or helping waiter) removes both together,
+// so a popped ready_ entry always finds a non-empty group queue.
+// ---------------------------------------------------------------------------
+
+TaskGroup::TaskGroup(ThreadPool& pool) noexcept : pool_(pool) {}
+
+TaskGroup::~TaskGroup() {
+  std::unique_lock<std::mutex> lock(pool_.mu_);
+  drain(lock);  // destructor: completion without rethrow
+}
+
+void TaskGroup::run(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(pool_.mu_);
+    tasks_.push_back(Task{std::move(task), capture_cpu_context()});
+    ++pending_;
+    pool_.ready_.push_back(this);
+  }
+  pool_.work_available_.notify_one();
+}
+
+void TaskGroup::drain(std::unique_lock<std::mutex>& lock) {
+  while (pending_ > 0) {
+    if (!tasks_.empty()) {
+      // Help: run one of our own queued tasks on this thread.
+      Task task = std::move(tasks_.front());
+      tasks_.pop_front();
+      const auto entry = std::find(pool_.ready_.begin(), pool_.ready_.end(), this);
+      pool_.ready_.erase(entry);
+      lock.unlock();
+      pool_.execute(*this, std::move(task));
+      lock.lock();
+    } else {
+      // All remaining tasks are running on workers; sleep until one of them
+      // completes the batch. Workers never park here, so the tasks we are
+      // waiting on always have threads making progress.
+      pool_.group_done_.wait(lock);
+    }
+  }
+}
+
+void TaskGroup::wait() {
+  std::unique_lock<std::mutex> lock(pool_.mu_);
+  drain(lock);
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
   }
+  default_group_ = std::make_unique<TaskGroup>(*this);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -26,45 +90,45 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    queue_.push(std::move(task));
-    ++in_flight_;
-  }
-  work_available_.notify_one();
-}
+void ThreadPool::submit(std::function<void()> task) { default_group_->run(std::move(task)); }
 
-void ThreadPool::wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  batch_done_.wait(lock, [this] { return in_flight_ == 0; });
-  if (first_error_) {
-    std::exception_ptr err = first_error_;
-    first_error_ = nullptr;
-    std::rethrow_exception(err);
-  }
-}
+void ThreadPool::wait() { default_group_->wait(); }
 
 void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
   while (true) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutting down and drained
-      task = std::move(queue_.front());
-      queue_.pop();
-    }
+    work_available_.wait(lock, [this] { return shutting_down_ || !ready_.empty(); });
+    if (ready_.empty()) return;  // shutting down and drained
+    TaskGroup* group = ready_.front();
+    ready_.pop_front();
+    TaskGroup::Task task = std::move(group->tasks_.front());
+    group->tasks_.pop_front();
+    lock.unlock();
+    execute(*group, std::move(task));
+    lock.lock();
+  }
+}
+
+void ThreadPool::execute(TaskGroup& group, TaskGroup::Task task) {
+  {
+    // Run (and destroy) the task under the submitter's CPU scopes, and
+    // flush this thread's CPU into them, before the group can be signalled
+    // complete — a waiter reading a CpuStopwatch right after wait() must see
+    // the full attribution, and the task's captures must already be
+    // released.
+    TaskGroup::Task local = std::move(task);
+    const CpuContextGuard cpu_scope(std::move(local.cpu_context));
     try {
-      task();
+      local.fn();
     } catch (...) {
       const std::lock_guard<std::mutex> lock(mu_);
-      if (!first_error_) first_error_ = std::current_exception();
+      if (!group.first_error_) group.first_error_ = std::current_exception();
     }
-    {
-      const std::lock_guard<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) batch_done_.notify_all();
-    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    --group.pending_;
+    if (group.pending_ == 0) group_done_.notify_all();
   }
 }
 

@@ -1,29 +1,88 @@
-// Static thread pool used by parallel_for.
+// Batch-scoped thread pool used by parallel_for.
 //
 // FRaC trains one predictor per feature with no cross-feature dependencies,
 // so the dominant parallel pattern in this library is a balanced parallel
-// loop over features (and over ensemble members / replicates). The pool is a
-// simple mutex+condvar task queue — adequate because tasks here are
-// coarse-grained (milliseconds each, one per loop chunk), so queue contention
-// is negligible and a work-stealing deque would buy nothing.
+// loop over features — and, above that, over CV folds, ensemble members, and
+// experiment replicates, all issued onto the same shared pool. Each
+// parallel_for batch is its own TaskGroup with its own completion counter
+// and its own first-exception slot, so:
 //
-// The pool propagates the first exception thrown by any task in a batch to
-// the caller of wait() (per C++ Core Guidelines, errors escape via
-// exceptions, never swallowed).
+//  * two batches running concurrently on one pool complete independently —
+//    neither stalls on the other's tasks, and each caller sees only its own
+//    batch's exception (per C++ Core Guidelines, errors escape via
+//    exceptions, never swallowed — and never delivered to a stranger);
+//  * wait() is *work-helping*: the waiting thread executes queued tasks of
+//    its own batch instead of sleeping, so a batch issued from inside a pool
+//    task always makes progress even when every worker is busy — nested
+//    parallelism is deadlock-free without oversubscribing threads.
+//
+// The queue is a mutex+condvar deque — adequate because tasks here are
+// coarse-grained (milliseconds each, one per loop chunk), so queue
+// contention is negligible and a work-stealing deque would buy nothing.
+//
+// Tasks adopt the submitting thread's CPU-accounting scopes
+// (util/cpu_accounting.hpp), so CpuStopwatch measurements include work
+// executed on pool threads on the measurer's behalf.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
+#include "util/cpu_accounting.hpp"
+
 namespace frac {
 
-/// Fixed-size worker pool with batch-wait semantics.
+class ThreadPool;
+
+/// One batch of tasks on a pool: its own completion counter and error slot.
+/// Owned by the thread that issues the batch; reusable after wait().
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) noexcept;
+
+  /// Blocks until every task of this group finished (helping to run them);
+  /// an unretrieved exception is discarded. Prefer calling wait() first.
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues one task. Only the owning thread may call run()/wait().
+  void run(std::function<void()> task);
+
+  /// Blocks until every task of *this* group has finished. The waiting
+  /// thread helps: it drains queued tasks of its own group instead of
+  /// sleeping, which makes nested parallelism (a group issued from inside a
+  /// pool task) deadlock-free. If any task of this group threw, the first
+  /// captured exception is rethrown here; other groups' errors are never
+  /// seen. The group is reusable afterwards.
+  void wait();
+
+ private:
+  friend class ThreadPool;
+
+  struct Task {
+    std::function<void()> fn;
+    CpuContext cpu_context;  ///< submitter's CPU scopes, adopted by the executor
+  };
+
+  /// Helps/sleeps until pending_ == 0. Caller holds the pool mutex.
+  void drain(std::unique_lock<std::mutex>& lock);
+
+  ThreadPool& pool_;
+  std::deque<Task> tasks_;          ///< queued, not yet started (pool mutex)
+  std::size_t pending_ = 0;         ///< queued + running (pool mutex)
+  std::exception_ptr first_error_;  ///< first task exception (pool mutex)
+};
+
+/// Fixed-size worker pool executing TaskGroup batches.
 class ThreadPool {
  public:
   /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
@@ -38,12 +97,12 @@ class ThreadPool {
 
   std::size_t thread_count() const noexcept { return workers_.size(); }
 
-  /// Enqueues a task. Tasks may not themselves call submit()/wait() on the
-  /// same pool (no nested parallelism; parallel_for flattens loops instead).
+  /// Enqueues a task on the pool's default group. Batches that need
+  /// isolation (independent completion / error delivery) use their own
+  /// TaskGroup instead, as parallel_for does.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished. If any task threw, the
-  /// first captured exception is rethrown here and the rest are dropped.
+  /// Waits for the default group (work-helping; see TaskGroup::wait).
   void wait();
 
   /// Process-wide default pool, sized by FRAC_THREADS env var when set,
@@ -51,16 +110,21 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
+  friend class TaskGroup;
+
   void worker_loop();
 
+  /// Runs one task outside the lock, records its error, and signals its
+  /// group. Shared by workers and helping waiters.
+  void execute(TaskGroup& group, TaskGroup::Task task);
+
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::deque<TaskGroup*> ready_;  ///< one entry per queued task, FIFO
   std::mutex mu_;
   std::condition_variable work_available_;
-  std::condition_variable batch_done_;
-  std::size_t in_flight_ = 0;  // queued + running
-  std::exception_ptr first_error_;
+  std::condition_variable group_done_;  ///< some group's pending_ hit zero
   bool shutting_down_ = false;
+  std::unique_ptr<TaskGroup> default_group_;  ///< backs submit()/wait()
 };
 
 }  // namespace frac

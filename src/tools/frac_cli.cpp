@@ -153,7 +153,7 @@ int cmd_train(const Args& args) {
   }
   FracConfig config;
   config.seed = seed;
-  ThreadPool pool;
+  ThreadPool& pool = ThreadPool::global();  // sized by FRAC_THREADS
   FracModel model = [&] {
     if (diverse_p > 0.0) {
       Rng rng(seed);
@@ -176,7 +176,7 @@ int cmd_score(const Args& args) {
 
   const FracModel model = FracModel::load_file(model_path);
   const Dataset test = load_dataset_csv(data_path);
-  ThreadPool pool;
+  ThreadPool& pool = ThreadPool::global();  // sized by FRAC_THREADS
   const std::vector<double> scores = model.score(test, pool);
   if (out) write_scores(*out, scores, test);
   print_auc_if_labeled(scores, test);
@@ -195,7 +195,7 @@ int cmd_explain(const Args& args) {
   if (sample >= test.sample_count()) {
     throw std::invalid_argument(format("sample %zu out of %zu", sample, test.sample_count()));
   }
-  ThreadPool pool;
+  ThreadPool& pool = ThreadPool::global();  // sized by FRAC_THREADS
   const Dataset one = test.select_samples({sample});
   const Matrix per_feature = model.per_feature_scores(one, pool);
 
@@ -261,7 +261,7 @@ int cmd_detect(const Args& args) {
     config.predictor.tree.max_depth = 6;
   }
 
-  ThreadPool pool;
+  ThreadPool& pool = ThreadPool::global();  // sized by FRAC_THREADS
   Rng rng(seed);
   ScoredRun run;
   if (method == "full") run = run_frac(rep, config, pool);

@@ -1,0 +1,73 @@
+#include "util/cpu_accounting.hpp"
+
+#include <ctime>
+
+#include <algorithm>
+
+namespace frac {
+
+namespace {
+
+double thread_cpu_now() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+thread_local CpuContext t_context;  // null = no scopes active
+thread_local double t_mark = 0.0;   // thread CPU at the last flush
+
+}  // namespace
+
+namespace detail {
+
+void flush_thread_cpu() noexcept {
+  const double now = thread_cpu_now();
+  if (t_context) {
+    const double delta = now - t_mark;
+    if (delta > 0.0) {
+      for (const std::shared_ptr<CpuAccount>& account : *t_context) account->add(delta);
+    }
+  }
+  t_mark = now;
+}
+
+std::shared_ptr<CpuAccount> push_cpu_scope() {
+  flush_thread_cpu();
+  auto account = std::make_shared<CpuAccount>();
+  std::vector<std::shared_ptr<CpuAccount>> scopes;
+  if (t_context) scopes = *t_context;
+  scopes.push_back(account);
+  t_context = std::make_shared<const std::vector<std::shared_ptr<CpuAccount>>>(std::move(scopes));
+  return account;
+}
+
+void pop_cpu_scope(const std::shared_ptr<CpuAccount>& account) {
+  flush_thread_cpu();
+  if (!t_context) return;
+  std::vector<std::shared_ptr<CpuAccount>> scopes = *t_context;
+  // Scopes nest like stack frames, so search innermost-first.
+  const auto it = std::find(scopes.rbegin(), scopes.rend(), account);
+  if (it != scopes.rend()) scopes.erase(std::next(it).base());
+  t_context = scopes.empty()
+                  ? nullptr
+                  : std::make_shared<const std::vector<std::shared_ptr<CpuAccount>>>(
+                        std::move(scopes));
+}
+
+}  // namespace detail
+
+CpuContext capture_cpu_context() noexcept { return t_context; }
+
+CpuContextGuard::CpuContextGuard(CpuContext context) noexcept {
+  detail::flush_thread_cpu();
+  saved_ = std::move(t_context);
+  t_context = std::move(context);
+}
+
+CpuContextGuard::~CpuContextGuard() {
+  detail::flush_thread_cpu();
+  t_context = std::move(saved_);
+}
+
+}  // namespace frac

@@ -1,0 +1,83 @@
+// Scoped CPU-time attribution across threads.
+//
+// The paper's Time columns are analytic CPU cost: "how much work did this
+// run perform", independent of how many threads executed it. A process-wide
+// CPU clock (CLOCK_PROCESS_CPUTIME_ID) measures that correctly only while at
+// most one measured run executes at a time — once ensemble members, CV
+// folds, and experiment replicates run concurrently, overlapping
+// process-clock windows would bill every run for its siblings' work.
+//
+// This module attributes *thread* CPU time (CLOCK_THREAD_CPUTIME_ID) to
+// explicit scopes instead. Each thread carries a set of active scope
+// accounts; at every scope switch the thread's CPU consumed since its last
+// switch is flushed into the accounts that were active over that interval.
+// Task submission captures the submitting thread's scope set, and the
+// executing pool worker adopts it for the task's duration — so work fanned
+// out through the thread pool is billed to the scopes of the code that
+// spawned it, no matter which thread runs it or what else runs concurrently.
+//
+// CpuStopwatch (util/stopwatch.hpp) is the public face: it pushes one scope
+// for its lifetime, and seconds() reads the CPU charged to it.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+namespace frac {
+
+namespace detail {
+
+/// CPU seconds charged to one scope; shared by every thread in the scope.
+class CpuAccount {
+ public:
+  void add(double seconds) noexcept {
+    double current = seconds_.load(std::memory_order_relaxed);
+    while (!seconds_.compare_exchange_weak(current, current + seconds,
+                                           std::memory_order_relaxed)) {
+    }
+  }
+  void set(double seconds) noexcept { seconds_.store(seconds, std::memory_order_relaxed); }
+  double total() const noexcept { return seconds_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> seconds_{0.0};
+};
+
+/// Attributes the calling thread's CPU since its last flush to its active
+/// scopes and restarts the interval. Called at every scope switch.
+void flush_thread_cpu() noexcept;
+
+/// Opens a fresh innermost scope on the calling thread. The scope must be
+/// closed with pop_cpu_scope() on the same thread (stack discipline).
+std::shared_ptr<CpuAccount> push_cpu_scope();
+
+/// Closes `account`'s scope on the calling thread.
+void pop_cpu_scope(const std::shared_ptr<CpuAccount>& account);
+
+}  // namespace detail
+
+/// Immutable snapshot of a thread's active scope set. Null means "no scopes
+/// active" (nothing is being measured).
+using CpuContext = std::shared_ptr<const std::vector<std::shared_ptr<detail::CpuAccount>>>;
+
+/// The calling thread's current scope set, for handing to another thread
+/// (the thread pool captures this at task submission).
+CpuContext capture_cpu_context() noexcept;
+
+/// RAII: the calling thread runs under `context`'s scopes (replacing its
+/// own) until destruction. CPU is flushed at both edges, so attribution is
+/// exact at the switch points.
+class CpuContextGuard {
+ public:
+  explicit CpuContextGuard(CpuContext context) noexcept;
+  ~CpuContextGuard();
+
+  CpuContextGuard(const CpuContextGuard&) = delete;
+  CpuContextGuard& operator=(const CpuContextGuard&) = delete;
+
+ private:
+  CpuContext saved_;
+};
+
+}  // namespace frac

@@ -6,7 +6,8 @@
 #pragma once
 
 #include <chrono>
-#include <ctime>
+
+#include "util/cpu_accounting.hpp"
 
 namespace frac {
 
@@ -27,23 +28,37 @@ class WallStopwatch {
   clock::time_point start_;
 };
 
-/// Process-wide CPU-time stopwatch (sums over all threads).
+/// Scoped CPU-time stopwatch: measures the CPU seconds consumed by the
+/// constructing thread *and by every thread-pool task spawned within the
+/// stopwatch's dynamic extent*, no matter which worker ran it. Unlike a
+/// process-wide CPU clock, concurrent runs each measure only their own work,
+/// so the analytic Time accounting survives parallel ensemble members and
+/// replicates (see util/cpu_accounting.hpp).
+///
+/// RAII with stack discipline: construct and destroy on the same thread,
+/// strictly nested (ordinary use as a function-scope local guarantees both).
 class CpuStopwatch {
  public:
-  CpuStopwatch() : start_(now()) {}
+  CpuStopwatch() : account_(detail::push_cpu_scope()) {}
+  ~CpuStopwatch() { detail::pop_cpu_scope(account_); }
 
-  void reset() { start_ = now(); }
+  CpuStopwatch(const CpuStopwatch&) = delete;
+  CpuStopwatch& operator=(const CpuStopwatch&) = delete;
 
-  /// Elapsed process CPU seconds since construction or last reset().
-  double seconds() const { return now() - start_; }
+  void reset() {
+    detail::flush_thread_cpu();
+    account_->set(0.0);
+  }
+
+  /// CPU seconds charged to this scope since construction or last reset().
+  /// Spawned work is fully included once its batch has been wait()ed.
+  double seconds() const {
+    detail::flush_thread_cpu();
+    return account_->total();
+  }
 
  private:
-  static double now() {
-    timespec ts{};
-    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
-    return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
-  }
-  double start_;
+  std::shared_ptr<detail::CpuAccount> account_;
 };
 
 }  // namespace frac

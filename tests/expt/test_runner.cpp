@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <mutex>
+
 namespace frac {
 namespace {
 
@@ -49,15 +52,23 @@ TEST(Runner, EvaluatesEveryReplicate) {
 
 TEST(Runner, MethodRngsDifferAcrossReplicates) {
   const auto reps = fake_replicates(3);
+  // Replicates run concurrently, so the shared accumulator needs a lock and
+  // the draws arrive in no particular order.
+  std::mutex mu;
   std::vector<std::uint64_t> draws;
   const MethodFn method = [&](const Replicate& rep, Rng& rng) {
-    draws.push_back(rng());
+    const std::uint64_t draw = rng();
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      draws.push_back(draw);
+    }
     ScoredRun run;
     run.test_scores.assign(rep.test.sample_count(), 0.0);
     return run;
   };
   evaluate_method(reps, method, 7, pool());
   ASSERT_EQ(draws.size(), 3u);
+  std::sort(draws.begin(), draws.end());
   EXPECT_NE(draws[0], draws[1]);
   EXPECT_NE(draws[1], draws[2]);
 }

@@ -111,6 +111,22 @@ TEST(KdeErrorModel, SerializationRoundTrip) {
   }
 }
 
+TEST(KdeErrorModel, LoadRejectsCorruptFloor) {
+  // fit() guarantees floor > 0; load() must enforce the same invariant so a
+  // corrupt model file cannot yield surprisal(-log 0) = inf.
+  std::istringstream zero_floor("kdeerr.floor 0\nkdeerr.points 2 0.5 1.5\n");
+  EXPECT_THROW(KdeErrorModel::load(zero_floor), std::runtime_error);
+  std::istringstream negative_floor("kdeerr.floor -1e-06\nkdeerr.points 2 0.5 1.5\n");
+  EXPECT_THROW(KdeErrorModel::load(negative_floor), std::runtime_error);
+  std::istringstream nan_floor("kdeerr.floor nan\nkdeerr.points 2 0.5 1.5\n");
+  EXPECT_ANY_THROW(KdeErrorModel::load(nan_floor));
+}
+
+TEST(KdeErrorModel, LoadRejectsEmptyPointList) {
+  std::istringstream no_points("kdeerr.floor 1e-06\nkdeerr.points 0\n");
+  EXPECT_THROW(KdeErrorModel::load(no_points), std::runtime_error);
+}
+
 TEST(ConfusionErrorModel, PerfectPredictorHasLowSurprisalOnDiagonal) {
   // 30 correct predictions per class.
   std::vector<std::uint32_t> truth, pred;

@@ -201,6 +201,29 @@ TEST(FracModel, ResourceReportIsPopulated) {
   EXPECT_GT(report.cpu_seconds, 0.0);
 }
 
+TEST(FracModel, ModelsTrainedCountsActualFoldModelsUnderMissingTargets) {
+  // Feature 0 is defined in only 4 of 20 rows, so its unit cross-validates
+  // with min(cv_folds, 4) = 4 folds (+1 retained = 5 models), while the fully
+  // observed units get 5 folds (+1 = 6). The report must count what was
+  // actually trained, not min(cv_folds, dataset rows) + 1 for every unit.
+  Rng rng(55);
+  Matrix values(20, 3);
+  for (std::size_t r = 0; r < 20; ++r) {
+    const double base = rng.normal();
+    values(r, 0) = base + 0.1 * rng.normal();
+    values(r, 1) = base + 0.1 * rng.normal();
+    values(r, 2) = -base + 0.1 * rng.normal();
+  }
+  for (std::size_t r = 4; r < 20; ++r) values(r, 0) = kMissing;
+  const Dataset train(Schema::all_real(3), values, std::vector<Label>(20, Label::kNormal));
+  // Explicit plans keep the sparse feature out of the other units' inputs.
+  const std::vector<FeaturePlan> plan{{0, {1, 2}}, {1, {2}}, {2, {1}}};
+  const FracModel model = FracModel::train_with_plan(train, plan, {}, pool());
+  const ResourceReport& report = model.report();
+  EXPECT_EQ(report.models_retained, 3u);
+  EXPECT_EQ(report.models_trained, (4 + 1) + (5 + 1) + (5 + 1));
+}
+
 TEST(FracModel, EntropySubtractionCentersTypicalScores) {
   // For normal test samples the NS terms (−log P − H) should hover near 0:
   // well below the raw surprisal magnitude.

@@ -2,6 +2,7 @@
 // save() -> load(), for both expression (SVR) and SNP (tree) pipelines.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "data/expression_generator.hpp"
@@ -193,6 +194,31 @@ TEST(Serialization, KdeErrorModelFracRoundTrip) {
   const auto a = original.score(test, pool());
   const auto b = restored.score(test, pool());
   for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Serialization, SaveFailsLoudlyOnBadStream) {
+  ExpressionModelConfig c;
+  c.features = 8;
+  c.modules = 2;
+  c.genes_per_module = 3;
+  c.disease_modules = 1;
+  c.seed = 12;
+  const ExpressionModel gen(c);
+  Rng rng(112);
+  const Dataset train = gen.sample(16, Label::kNormal, rng);
+  const FracModel model = FracModel::train(train, {}, pool());
+  // A stream already in a failed state must not produce a silently truncated
+  // model file.
+  std::ostringstream out;
+  out.setstate(std::ios::badbit);
+  EXPECT_THROW(model.save(out), std::runtime_error);
+  // Unopenable and unwritable paths fail loudly too. /dev/full reports
+  // ENOSPC on flush, exercising the write-failure branch.
+  EXPECT_THROW(model.save_file("/nonexistent-dir/model.txt"), std::runtime_error);
+  std::ifstream dev_full("/dev/full");
+  if (dev_full.good()) {
+    EXPECT_THROW(model.save_file("/dev/full"), std::runtime_error);
+  }
 }
 
 TEST(Serialization, CorruptStreamFailsLoudly) {

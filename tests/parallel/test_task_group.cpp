@@ -1,0 +1,216 @@
+// Regression tests for the batch-scoped runtime: batch isolation (completion
+// and error delivery), nested-parallelism deadlock freedom, and bit-identical
+// ensemble scores across thread counts.
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "data/expression_generator.hpp"
+#include "frac/ensemble.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace frac {
+namespace {
+
+TEST(TaskGroup, RunsTasksAndWaits) {
+  ThreadPool pool(4);
+  TaskGroup group(pool);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    group.run([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(TaskGroup, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 20; ++i) group.run([&counter] { ++counter; });
+    group.wait();
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(TaskGroup, DestructorDrainsWithoutWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  {
+    TaskGroup group(pool);
+    for (int i = 0; i < 50; ++i) group.run([&counter] { ++counter; });
+    // no wait(): destructor must drain (and swallow any error)
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(TaskGroup, ReusableAfterException) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  group.run([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  std::atomic<int> counter{0};
+  group.run([&counter] { ++counter; });
+  group.wait();  // must not rethrow the already-delivered error
+  EXPECT_EQ(counter.load(), 1);
+}
+
+// Two batches on one shared pool, issued from two caller threads: each must
+// complete independently, and the failing batch's exception must be delivered
+// to its own caller only.
+TEST(TaskGroup, ConcurrentBatchesIsolateCompletionAndErrors) {
+  ThreadPool pool(2);
+  std::atomic<int> ok_count{0};
+  std::atomic<bool> ok_threw{false};
+  std::atomic<bool> bad_threw{false};
+
+  std::thread ok_caller([&] {
+    TaskGroup group(pool);
+    try {
+      for (int i = 0; i < 200; ++i) group.run([&ok_count] { ++ok_count; });
+      group.wait();
+    } catch (...) {
+      ok_threw = true;
+    }
+  });
+  std::thread bad_caller([&] {
+    TaskGroup group(pool);
+    try {
+      for (int i = 0; i < 200; ++i) {
+        group.run([] { throw std::runtime_error("bad batch"); });
+      }
+      group.wait();
+    } catch (const std::runtime_error&) {
+      bad_threw = true;
+    }
+  });
+  ok_caller.join();
+  bad_caller.join();
+
+  EXPECT_EQ(ok_count.load(), 200);
+  EXPECT_FALSE(ok_threw.load()) << "clean batch saw a stranger's exception";
+  EXPECT_TRUE(bad_threw.load()) << "failing batch's caller never saw its error";
+}
+
+// A parallel_for issued from inside a pool task must complete even when every
+// worker is busy: the waiting task helps drain its own batch.
+TEST(ParallelForNested, CompletesInsidePoolTask) {
+  ThreadPool pool(2);  // fewer workers than outer tasks: no spare thread
+  std::atomic<int> inner_total{0};
+  parallel_for(pool, 0, 8, [&](std::size_t) {
+    parallel_for(pool, 0, 16, [&](std::size_t) {
+      inner_total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(ParallelForNested, ThreeLevelsDeep) {
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  parallel_for(pool, 0, 4, [&](std::size_t) {
+    parallel_for(pool, 0, 4, [&](std::size_t) {
+      parallel_for(pool, 0, 4, [&](std::size_t) {
+        leaves.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  });
+  EXPECT_EQ(leaves.load(), 4 * 4 * 4);
+}
+
+// An exception in an inner batch is delivered to the inner caller (the outer
+// task), not to the outer batch's waiter.
+TEST(ParallelForNested, InnerExceptionStaysWithInnerCaller) {
+  ThreadPool pool(2);
+  std::atomic<int> caught_inner{0};
+  parallel_for(pool, 0, 4, [&](std::size_t) {
+    try {
+      parallel_for(pool, 0, 4, [](std::size_t i) {
+        if (i % 2 == 0) throw std::runtime_error("inner");
+      });
+    } catch (const std::runtime_error&) {
+      caught_inner.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  // Every outer task caught its own inner failure; none escaped to us.
+  EXPECT_EQ(caught_inner.load(), 4);
+}
+
+TEST(ParallelForNested, UncaughtInnerErrorPropagatesThroughOuter) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 0, 4,
+                            [&](std::size_t) {
+                              parallel_for(pool, 0, 4, [](std::size_t) {
+                                throw std::runtime_error("leaf");
+                              });
+                            }),
+               std::runtime_error);
+}
+
+Replicate make_replicate(std::uint64_t seed) {
+  ExpressionModelConfig c;
+  c.features = 40;
+  c.modules = 4;
+  c.genes_per_module = 8;
+  c.noise_sd = 0.4;
+  c.anomaly_mix = 2.0;
+  c.disease_modules = 3;
+  c.seed = seed;
+  const ExpressionModel model(c);
+  Rng rng(seed + 100);
+  Replicate rep;
+  rep.train = model.sample(24, Label::kNormal, rng);
+  rep.test = concat_samples(model.sample(6, Label::kNormal, rng),
+                            model.sample(6, Label::kAnomaly, rng));
+  return rep;
+}
+
+// RNG streams are pre-split per member, so ensemble scores must be
+// bit-identical no matter how many threads execute the members (the
+// FRAC_THREADS=1 vs default guarantee).
+TEST(EnsembleDeterminism, ScoresBitIdenticalAcrossThreadCounts) {
+  const Replicate rep = make_replicate(11);
+  const FracConfig config;
+  ThreadPool serial(1);
+  ThreadPool wide(4);
+
+  Rng rng_serial(42);
+  Rng rng_wide(42);
+  const ScoredRun a = run_random_filter_ensemble(rep, config, 0.3, 5, rng_serial, serial);
+  const ScoredRun b = run_random_filter_ensemble(rep, config, 0.3, 5, rng_wide, wide);
+  ASSERT_EQ(a.test_scores.size(), b.test_scores.size());
+  for (std::size_t i = 0; i < a.test_scores.size(); ++i) {
+    EXPECT_EQ(a.test_scores[i], b.test_scores[i]) << "score " << i << " differs";
+  }
+  // The callers' RNGs must also end in the same state.
+  EXPECT_EQ(rng_serial(), rng_wide());
+  // Modeled resources are analytic, independent of scheduling.
+  EXPECT_EQ(a.resources.peak_bytes, b.resources.peak_bytes);
+  EXPECT_EQ(a.resources.models_trained, b.resources.models_trained);
+}
+
+TEST(EnsembleDeterminism, DiverseScoresBitIdenticalAcrossThreadCounts) {
+  const Replicate rep = make_replicate(13);
+  const FracConfig config;
+  ThreadPool serial(1);
+  ThreadPool wide(4);
+
+  Rng rng_serial(7);
+  Rng rng_wide(7);
+  const ScoredRun a = run_diverse_ensemble(rep, config, 0.25, 4, rng_serial, serial);
+  const ScoredRun b = run_diverse_ensemble(rep, config, 0.25, 4, rng_wide, wide);
+  ASSERT_EQ(a.test_scores.size(), b.test_scores.size());
+  for (std::size_t i = 0; i < a.test_scores.size(); ++i) {
+    EXPECT_EQ(a.test_scores[i], b.test_scores[i]) << "score " << i << " differs";
+  }
+  EXPECT_EQ(a.resources.peak_bytes, b.resources.peak_bytes);
+}
+
+}  // namespace
+}  // namespace frac
