@@ -41,7 +41,7 @@ int main() {
   }
   std::cout << "Measured check over " << n << " random points in " << d << " dims:\n";
   TextTable table({"projection", "pairs within 1±" + format("%.3f", eps), "guarantee"});
-  for (const auto [kind, name] :
+  for (const auto& [kind, name] :
        {std::pair{RandomMatrixKind::kGaussian, "Gaussian"},
         std::pair{RandomMatrixKind::kUniform, "Uniform(-1,1)"},
         std::pair{RandomMatrixKind::kAchlioptas, "Achlioptas sparse"}}) {

@@ -13,12 +13,12 @@ int main() {
             << " replicates; linear SVR for expression, trees for SNP)\n\n";
 
   FullBaselineCache cache;
-  TextTable table({"data set", "AUC", "Time", "Mem"});
+  TextTable table({"data set", "AUC", "Time", "Mem", "Failures"});
   for (const CohortSpec& spec : table_grid_cohorts()) {
     const PerReplicate& results = cache.full_results(spec);
     const AggregateStats stats = aggregate(results);
     table.add_row({spec.name, fmt_mean_sd(stats.auc), fmt_time(stats.mean_cpu_seconds),
-                   fmt_bytes(stats.mean_peak_bytes)});
+                   fmt_bytes(stats.mean_peak_bytes), fmt_failures(stats.failures)});
   }
 
   // Schizophrenia: never run in full; extrapolate from autism (paper method).
@@ -28,7 +28,7 @@ int main() {
       extrapolate_full(cache.full_results(autism), autism, schizo);
   table.add_row({"schizophrenia", "N/A (not run)",
                  "[" + fmt_time(extrapolated.cpu_seconds) + "]",
-                 "[" + fmt_bytes(extrapolated.peak_bytes) + "]"});
+                 "[" + fmt_bytes(extrapolated.peak_bytes) + "]", "-"});
   table.print(std::cout);
   std::cout << "\n[bracketed] = extrapolated from the autism run, as in the paper.\n";
   return 0;

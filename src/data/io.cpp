@@ -1,11 +1,15 @@
 #include "data/io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
+#include "util/atomic_file.hpp"
 #include "util/csv.hpp"
+#include "util/errors.hpp"
+#include "util/fault_injection.hpp"
 #include "util/string_util.hpp"
 
 namespace frac {
@@ -55,8 +59,28 @@ Dataset read_dataset_csv(std::istream& in) {
     }
     for (std::size_t c = 0; c < schema.size(); ++c) {
       const std::string_view cell = trim(row[c]);
-      values(r, c) = (cell == "?") ? kMissing
-                                   : parse_double(cell, format("row %zu col %zu", r + 1, c));
+      if (cell == "?") {
+        values(r, c) = kMissing;
+        continue;
+      }
+      const double v = parse_double(cell, format("row %zu col %zu", r + 1, c));
+      // parse_double happily admits "inf"/"nan" text; neither is a value —
+      // NaN would silently masquerade as the missing sentinel, and Inf
+      // would poison every downstream sum. Reject with the location.
+      if (!std::isfinite(v)) {
+        throw ParseError(format("dataset CSV row %zu col %zu: non-finite value '%s'", r + 1, c,
+                                std::string(cell).c_str()));
+      }
+      if (schema.is_categorical(c)) {
+        const double arity = static_cast<double>(schema[c].arity);
+        if (v != std::floor(v) || v < 0.0 || v >= arity) {
+          throw ParseError(
+              format("dataset CSV row %zu col %zu: categorical code '%s' is not an integer "
+                     "in [0, %u)",
+                     r + 1, c, std::string(cell).c_str(), schema[c].arity));
+        }
+      }
+      values(r, c) = v;
     }
     const std::string_view label = trim(row.back());
     if (label == "normal") labels[r] = Label::kNormal;
@@ -70,8 +94,9 @@ Dataset read_dataset_csv(std::istream& in) {
 }
 
 Dataset load_dataset_csv(const std::string& path) {
+  maybe_inject(FaultSite::kDatasetLoad, fault_key(path));
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open dataset file: " + path);
+  if (!in) throw IoError("cannot open dataset file: " + path);
   return read_dataset_csv(in);
 }
 
@@ -97,9 +122,12 @@ void write_dataset_csv(std::ostream& out, const Dataset& data) {
 }
 
 void save_dataset_csv(const std::string& path, const Dataset& data) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open dataset file for writing: " + path);
-  write_dataset_csv(out, data);
+  // Atomic checked write: disk-full fails loudly (the stream is verified
+  // after writing) and a crash cannot leave a truncated CSV behind.
+  atomic_write_file(path, [&data](std::ostream& out) {
+    write_dataset_csv(out, data);
+    if (!out) throw IoError("save_dataset_csv: stream write failed");
+  });
 }
 
 }  // namespace frac

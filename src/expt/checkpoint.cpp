@@ -1,0 +1,93 @@
+#include "expt/checkpoint.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/atomic_file.hpp"
+#include "util/errors.hpp"
+#include "util/string_util.hpp"
+
+namespace frac {
+
+namespace {
+
+constexpr const char* kHeader = "frac.checkpoint.v1";
+
+std::string encode_key(const GridCellKey& key) {
+  return format("%s;%s;%zu", key.cohort.c_str(), key.method.c_str(), key.replicate);
+}
+
+/// The error field is free text; keep it on one line and out of the
+/// delimiter's way.
+std::string sanitize(std::string text) {
+  for (char& c : text) {
+    if (c == ';' || c == '\n' || c == '\r') c = ' ';
+  }
+  return text;
+}
+
+}  // namespace
+
+Checkpoint::Checkpoint(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) return;
+  std::ifstream in(path_);
+  if (!in) return;  // no checkpoint yet: start empty
+  std::string line;
+  if (!std::getline(in, line) || trim(line) != kHeader) {
+    throw ParseError("checkpoint " + path_ + ": missing '" + kHeader + "' header");
+  }
+  std::size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (trim(line).empty()) continue;
+    const std::vector<std::string> parts = split(line, ';');
+    // Tolerate (skip) malformed lines rather than aborting the resume: the
+    // atomic writer never produces them, but a hand-edited or foreign file
+    // should not cost the operator the valid cells around the bad line.
+    if (parts.size() != 12) continue;
+    GridCellKey key;
+    key.cohort = parts[0];
+    key.method = parts[1];
+    GridCellResult cell;
+    try {
+      key.replicate = parse_size(parts[2], "checkpoint replicate");
+      cell.ok = parse_size(parts[3], "checkpoint ok") != 0;
+      cell.auc = parse_double(parts[4], "checkpoint auc");
+      cell.cpu_seconds = parse_double(parts[5], "checkpoint cpu");
+      cell.peak_bytes = parse_double(parts[6], "checkpoint mem");
+      for (std::size_t c = 0; c < kFailureCategoryCount; ++c) {
+        cell.failures.by_category[c] = parse_size(parts[7 + c], "checkpoint failures");
+      }
+    } catch (const std::invalid_argument&) {
+      continue;
+    }
+    cell.error = parts[11];
+    cells_[encode_key(key)] = std::move(cell);
+  }
+}
+
+const GridCellResult* Checkpoint::find(const GridCellKey& key) const {
+  const auto it = cells_.find(encode_key(key));
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+void Checkpoint::record(const GridCellKey& key, const GridCellResult& result) {
+  cells_[encode_key(key)] = result;
+  flush();
+}
+
+void Checkpoint::flush() const {
+  if (path_.empty()) return;
+  atomic_write_file(path_, [this](std::ostream& out) {
+    out << kHeader << '\n';
+    for (const auto& [key, cell] : cells_) {
+      out << key << ';' << (cell.ok ? 1 : 0) << ';' << format("%.17g", cell.auc) << ';'
+          << format("%.17g", cell.cpu_seconds) << ';' << format("%.17g", cell.peak_bytes);
+      for (const std::size_t count : cell.failures.by_category) out << ';' << count;
+      out << ';' << sanitize(cell.error) << '\n';
+    }
+    if (!out) throw IoError("checkpoint flush: stream write failed");
+  });
+}
+
+}  // namespace frac

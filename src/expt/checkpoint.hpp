@@ -1,0 +1,76 @@
+// Crash-safe experiment checkpointing.
+//
+// A full experiment grid — (dataset, variant, replicate) cells, each minutes
+// of CPU — must survive a killed job: every completed cell is persisted
+// immediately via the atomic-write helper (temp + flush + fsync + rename),
+// so the checkpoint on disk is always a complete, parseable prefix of the
+// run. `frac grid --resume` reloads it and skips completed cells; because
+// every cell's result is a pure function of (config seed, cohort, method,
+// replicate), a resumed run's report is byte-identical to an uninterrupted
+// one.
+//
+// File format (line-oriented text, one cell per line after the header):
+//   frac.checkpoint.v1
+//   cohort;method;replicate;ok;auc;cpu_seconds;peak_bytes;io;numeric;resource;injected;error
+// cpu_seconds is a measurement (not deterministic) and is carried for the
+// operator's benefit only — the grid report deliberately excludes it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "frac/failure.hpp"
+
+namespace frac {
+
+/// Identifies one experiment-grid cell.
+struct GridCellKey {
+  std::string cohort;
+  std::string method;
+  std::size_t replicate = 0;
+
+  friend bool operator==(const GridCellKey&, const GridCellKey&) = default;
+};
+
+/// One cell's outcome. `ok == false` records a cell whose computation
+/// failed outright (the grid continues; the report shows the failure).
+struct GridCellResult {
+  bool ok = true;
+  double auc = 0.0;
+  double cpu_seconds = 0.0;
+  double peak_bytes = 0.0;
+  FailureCounts failures;
+  std::string error;  ///< first line of the failure; empty when ok
+
+  friend bool operator==(const GridCellResult&, const GridCellResult&) = default;
+};
+
+/// Incremental, atomically persisted store of completed grid cells.
+class Checkpoint {
+ public:
+  /// Binds to `path` and loads any existing checkpoint (tolerating a
+  /// missing file; malformed lines are skipped, not fatal). An empty path
+  /// disables persistence — the checkpoint is memory-only.
+  explicit Checkpoint(std::string path);
+
+  const std::string& path() const noexcept { return path_; }
+  std::size_t size() const noexcept { return cells_.size(); }
+
+  /// The stored result for a cell, or nullptr if not yet completed.
+  const GridCellResult* find(const GridCellKey& key) const;
+
+  /// Upserts a cell and flushes the whole checkpoint atomically, so a crash
+  /// immediately after record() cannot lose the cell.
+  void record(const GridCellKey& key, const GridCellResult& result);
+
+  /// Rewrites the checkpoint file atomically (no-op when path is empty).
+  void flush() const;
+
+ private:
+  std::string path_;
+  /// Keyed by "cohort;method;replicate" for deterministic file order.
+  std::map<std::string, GridCellResult> cells_;
+};
+
+}  // namespace frac

@@ -1,0 +1,203 @@
+#include "expt/grid.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <ostream>
+
+#include "frac/diverse.hpp"
+#include "frac/ensemble.hpp"
+#include "frac/failure.hpp"
+#include "frac/filtering.hpp"
+#include "frac/preprojection.hpp"
+#include "ml/metrics.hpp"
+#include "util/string_util.hpp"
+
+namespace frac {
+
+namespace {
+
+/// Stable 64-bit FNV-1a — NOT std::hash, whose value may differ across
+/// implementations. Cell seeds must be identical across builds so a resumed
+/// grid reproduces an uninterrupted one bit-for-bit.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv_byte(std::uint64_t h, unsigned char byte) {
+  return (h ^ byte) * kFnvPrime;
+}
+
+std::uint64_t fnv_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) h = fnv_byte(h, static_cast<unsigned char>(v >> (8 * i)));
+  return h;
+}
+
+std::uint64_t fnv_str(std::uint64_t h, const std::string& s) {
+  for (const char c : s) h = fnv_byte(h, static_cast<unsigned char>(c));
+  return fnv_byte(h, 0);  // terminator: ("ab","c") != ("a","bc")
+}
+
+std::uint64_t cell_seed_of(std::uint64_t grid_seed, const GridCellKey& key) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv_u64(h, grid_seed);
+  h = fnv_str(h, key.cohort);
+  h = fnv_str(h, key.method);
+  h = fnv_u64(h, key.replicate);
+  // splitmix64 finalizer: FNV's low bits are weakly mixed.
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+std::string first_line(const std::string& text) {
+  const std::size_t eol = text.find('\n');
+  return eol == std::string::npos ? text : text.substr(0, eol);
+}
+
+/// Replicates for a cohort: the paper protocol, or the fixed confounded
+/// split repeated (its cells still differ through their seeds).
+std::vector<Replicate> grid_replicates(const CohortSpec& spec, std::size_t count) {
+  if (spec.ancestry_confound) {
+    std::vector<Replicate> reps;
+    reps.reserve(count);
+    for (std::size_t r = 0; r < count; ++r) reps.push_back(make_confounded_replicate(spec));
+    return reps;
+  }
+  return make_cohort_replicates(spec, count);
+}
+
+}  // namespace
+
+const std::vector<std::string>& known_grid_methods() {
+  static const std::vector<std::string> kMethods = {
+      "full",    "filter-ensemble",  "entropy", "partial",
+      "diverse", "diverse-ensemble", "jl"};
+  return kMethods;
+}
+
+GridCellResult run_grid_cell(const CohortSpec& spec, const Replicate& replicate,
+                             const std::string& method, std::uint64_t cell_seed,
+                             const GridMethodParams& params, ThreadPool& pool) {
+  FracConfig config = paper_frac_config(spec);
+  config.seed = cell_seed;
+  Rng rng(cell_seed);
+
+  ScoredRun run;
+  if (method == "full") {
+    run = run_frac(replicate, config, pool);
+  } else if (method == "filter-ensemble") {
+    run = run_random_filter_ensemble(replicate, config, params.keep_fraction, params.members,
+                                     rng, pool);
+  } else if (method == "entropy") {
+    run = run_full_filtered_frac(replicate, config, FilterMethod::kEntropy,
+                                 params.keep_fraction, rng, pool);
+  } else if (method == "partial") {
+    run = run_partial_filtered_frac(replicate, config, FilterMethod::kRandom,
+                                    params.keep_fraction, rng, pool);
+  } else if (method == "diverse") {
+    run = run_diverse_frac(replicate, config, params.diverse_p, 1, rng, pool);
+  } else if (method == "diverse-ensemble") {
+    run = run_diverse_ensemble(replicate, config, params.diverse_p, params.members, rng, pool);
+  } else if (method == "jl") {
+    JlPipelineConfig jl;
+    jl.output_dim = params.jl_dim;
+    jl.seed = cell_seed;
+    run = run_jl_frac(replicate, config, jl, pool);
+  } else {
+    throw std::invalid_argument("unknown grid method '" + method + "'");
+  }
+
+  GridCellResult result;
+  if (replicate.test.anomaly_count() > 0 && replicate.test.normal_count() > 0) {
+    result.auc = auc(run.test_scores, replicate.test.labels());
+  }
+  result.cpu_seconds = run.resources.cpu_seconds;
+  result.peak_bytes = static_cast<double>(run.resources.peak_bytes);
+  result.failures = run.resources.failures;
+  return result;
+}
+
+GridOutcome run_experiment_grid(const GridConfig& config, ThreadPool& pool,
+                                const GridCancelFn& cancel) {
+  std::vector<std::string> cohorts = config.cohorts;
+  if (cohorts.empty()) {
+    for (const CohortSpec& spec : table_grid_cohorts()) cohorts.push_back(spec.name);
+  }
+  const std::vector<std::string>& methods =
+      config.methods.empty() ? known_grid_methods() : config.methods;
+  if (config.replicates == 0) throw std::invalid_argument("grid: --replicates must be > 0");
+  for (const std::string& name : cohorts) cohort_by_name(name);  // validates
+  for (const std::string& method : methods) {
+    const auto& known = known_grid_methods();
+    if (std::find(known.begin(), known.end(), method) == known.end()) {
+      throw std::invalid_argument("unknown grid method '" + method + "'");
+    }
+  }
+
+  // Without --resume a run starts from scratch: an existing checkpoint at
+  // the same path is superseded, not merged.
+  if (!config.resume && !config.checkpoint_path.empty()) {
+    std::remove(config.checkpoint_path.c_str());
+  }
+  Checkpoint checkpoint(config.checkpoint_path);
+
+  GridOutcome outcome;
+  for (const std::string& cohort : cohorts) {
+    const CohortSpec& spec = cohort_by_name(cohort);
+    // Generated lazily: a fully checkpointed cohort costs no generator time.
+    std::optional<std::vector<Replicate>> replicates;
+    for (const std::string& method : methods) {
+      for (std::size_t r = 0; r < config.replicates; ++r) {
+        if (cancel && cancel()) {
+          outcome.interrupted = true;
+          return outcome;
+        }
+        const GridCellKey key{cohort, method, r};
+        if (config.resume) {
+          if (const GridCellResult* done = checkpoint.find(key)) {
+            outcome.cells.push_back({key, *done});
+            ++outcome.cells_skipped;
+            if (!done->ok) ++outcome.cells_failed;
+            continue;
+          }
+        }
+        if (!replicates) replicates = grid_replicates(spec, config.replicates);
+        GridCellResult result;
+        try {
+          result = run_grid_cell(spec, (*replicates)[r], method,
+                                 cell_seed_of(config.seed, key), config.params, pool);
+        } catch (const std::exception& e) {
+          result = GridCellResult{};
+          result.ok = false;
+          result.failures[classify_failure(e)] += 1;
+          result.error = first_line(e.what());
+        }
+        checkpoint.record(key, result);
+        outcome.cells.push_back({key, result});
+        ++outcome.cells_run;
+        if (!result.ok) ++outcome.cells_failed;
+      }
+    }
+  }
+  return outcome;
+}
+
+void write_grid_report(std::ostream& out, const std::vector<GridCellRecord>& cells) {
+  // Deterministic columns only (no cpu_seconds, no free-text error): a
+  // resumed run's report must be byte-identical to an uninterrupted one.
+  out << "cohort,method,replicate,status,auc,peak_bytes";
+  for (std::size_t c = 0; c < kFailureCategoryCount; ++c) {
+    out << ',' << failure_category_name(static_cast<FailureCategory>(c));
+  }
+  out << '\n';
+  for (const GridCellRecord& cell : cells) {
+    out << cell.key.cohort << ',' << cell.key.method << ',' << cell.key.replicate << ','
+        << (cell.result.ok ? "ok" : "failed") << ',' << format("%.17g", cell.result.auc)
+        << ',' << format("%.17g", cell.result.peak_bytes);
+    for (const std::size_t count : cell.result.failures.by_category) out << ',' << count;
+    out << '\n';
+  }
+}
+
+}  // namespace frac

@@ -1,0 +1,87 @@
+// Fault-tolerant experiment-grid runner.
+//
+// Runs every (cohort, method, replicate) cell of an experiment grid with
+// three layers of robustness:
+//   * cell isolation — a cell whose computation throws is recorded as a
+//     failed cell (with its failure category) and the grid moves on;
+//   * incremental checkpointing — each finished cell is persisted
+//     atomically (expt/checkpoint.hpp) before the next one starts, so a
+//     killed job loses at most the in-flight cell;
+//   * resume — with `resume` set, cells already in the checkpoint are
+//     skipped and their stored results reused.
+//
+// Determinism contract: a cell's scores depend only on (seed, cohort,
+// method, replicate) — never on which other cells ran, the thread count, or
+// whether the run was resumed — so an interrupted-and-resumed grid's report
+// is byte-identical to an uninterrupted one. The report therefore carries
+// only deterministic columns (AUC, analytic peak bytes, failure counts);
+// measured CPU time lives in the checkpoint, not the report.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "expt/checkpoint.hpp"
+#include "expt/registry.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace frac {
+
+/// Variant hyperparameters shared by all cells (the paper's defaults).
+struct GridMethodParams {
+  double keep_fraction = 0.05;   ///< filtering variants
+  std::size_t members = 10;      ///< ensemble variants
+  double diverse_p = 0.5;        ///< diverse variants
+  std::size_t jl_dim = 64;       ///< jl variant
+};
+
+struct GridConfig {
+  std::vector<std::string> cohorts;  ///< registry names (empty = table grid)
+  std::vector<std::string> methods;  ///< see known_grid_methods()
+  std::size_t replicates = 5;
+  std::uint64_t seed = 23;
+  GridMethodParams params;
+  std::string checkpoint_path;  ///< empty = no persistence
+  bool resume = false;          ///< skip cells already checkpointed
+};
+
+/// "full", "filter-ensemble", "entropy", "partial", "diverse",
+/// "diverse-ensemble", "jl" — the CLI detect methods.
+const std::vector<std::string>& known_grid_methods();
+
+struct GridCellRecord {
+  GridCellKey key;
+  GridCellResult result;
+};
+
+struct GridOutcome {
+  /// Every cell of the grid in deterministic (cohort, method, replicate)
+  /// order; on interruption, only the cells reached so far.
+  std::vector<GridCellRecord> cells;
+  std::size_t cells_run = 0;      ///< computed in this invocation
+  std::size_t cells_skipped = 0;  ///< reused from the checkpoint
+  std::size_t cells_failed = 0;   ///< recorded as failed (either source)
+  bool interrupted = false;       ///< cancel fired before the grid finished
+};
+
+/// Polled between cells; return true to stop (the checkpoint already holds
+/// every finished cell). Wired to SIGINT by the CLI.
+using GridCancelFn = std::function<bool()>;
+
+/// Runs the grid. Throws std::invalid_argument for unknown cohorts/methods
+/// or a zero-sized grid; cell-level failures never throw.
+GridOutcome run_experiment_grid(const GridConfig& config, ThreadPool& pool,
+                                const GridCancelFn& cancel = {});
+
+/// Writes the deterministic per-cell report CSV:
+///   cohort,method,replicate,status,auc,peak_bytes,io,numeric,resource,injected
+void write_grid_report(std::ostream& out, const std::vector<GridCellRecord>& cells);
+
+/// Computes one cell from scratch (exposed for tests): deterministic in
+/// (seed, cohort name, method, replicate).
+GridCellResult run_grid_cell(const CohortSpec& spec, const Replicate& replicate,
+                             const std::string& method, std::uint64_t cell_seed,
+                             const GridMethodParams& params, ThreadPool& pool);
+
+}  // namespace frac

@@ -14,6 +14,7 @@ PerReplicate evaluate_method(const std::vector<Replicate>& replicates, const Met
   out.auc.resize(count);
   out.cpu_seconds.resize(count);
   out.peak_bytes.resize(count);
+  out.failures.resize(count);
   Rng master(seed);
   // Pre-split per-replicate streams (same draw order as the old serial
   // loop: results are identical for any thread count), then run the
@@ -28,8 +29,15 @@ PerReplicate evaluate_method(const std::vector<Replicate>& replicates, const Met
     out.auc[r] = auc(run.test_scores, replicates[r].test.labels());
     out.cpu_seconds[r] = run.resources.cpu_seconds;
     out.peak_bytes[r] = static_cast<double>(run.resources.peak_bytes);
+    out.failures[r] = run.resources.failures;
   });
   return out;
+}
+
+FailureCounts PerReplicate::total_failures() const {
+  FailureCounts total;
+  for (const FailureCounts& counts : failures) total += counts;
+  return total;
 }
 
 AggregateStats aggregate(const PerReplicate& results) {
@@ -37,6 +45,7 @@ AggregateStats aggregate(const PerReplicate& results) {
   stats.auc = mean_sd(results.auc);
   stats.mean_cpu_seconds = mean(results.cpu_seconds);
   stats.mean_peak_bytes = mean(results.peak_bytes);
+  stats.failures = results.total_failures();
   return stats;
 }
 

@@ -27,19 +27,27 @@ struct PerReplicate {
   std::vector<double> auc;
   std::vector<double> cpu_seconds;
   std::vector<double> peak_bytes;
+  /// Per-replicate demoted-unit/member counts by category (failure
+  /// isolation, frac/failure.hpp) — degradation stays visible in the tables.
+  std::vector<FailureCounts> failures;
 
   std::size_t replicate_count() const { return auc.size(); }
+
+  /// Failure tallies summed across replicates.
+  FailureCounts total_failures() const;
 };
 
 /// Runs the method over all replicates.
 PerReplicate evaluate_method(const std::vector<Replicate>& replicates, const MethodFn& method,
                              std::uint64_t seed, ThreadPool& pool);
 
-/// Table II-style aggregate: AUC mean (sd), mean CPU time, mean peak bytes.
+/// Table II-style aggregate: AUC mean (sd), mean CPU time, mean peak bytes,
+/// and total demoted units/members across replicates.
 struct AggregateStats {
   MeanSd auc;
   double mean_cpu_seconds = 0.0;
   double mean_peak_bytes = 0.0;
+  FailureCounts failures;
 };
 AggregateStats aggregate(const PerReplicate& results);
 

@@ -59,4 +59,8 @@ std::string fmt_bytes(double bytes) {
   return format("%.2f GB", bytes / (1024.0 * 1024.0 * 1024.0));
 }
 
+std::string fmt_failures(const FailureCounts& failures) {
+  return failures.empty() ? "-" : failures.summary();
+}
+
 }  // namespace frac

@@ -37,4 +37,8 @@ std::string fmt_time(double seconds);
 /// Bytes as "4.59 MB" / "1.2 GB" as magnitude warrants.
 std::string fmt_bytes(double bytes);
 
+/// Failure tallies as "-" (none) or "numeric:2 injected:1" — the analytic
+/// tables print degradation alongside AUC/Time/Mem rather than hiding it.
+std::string fmt_failures(const FailureCounts& failures);
+
 }  // namespace frac

@@ -1,12 +1,15 @@
 #include "frac/ensemble.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <functional>
 #include <stdexcept>
 
 #include "frac/diverse.hpp"
 #include "frac/filtering.hpp"
 #include "linalg/kernels.hpp"
 #include "parallel/parallel_for.hpp"
+#include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 
 namespace frac {
@@ -66,6 +69,55 @@ std::vector<Rng> split_member_rngs(Rng& rng, std::size_t members) {
   return member_rngs;
 }
 
+/// The members that trained successfully, plus per-category counts for the
+/// ones that did not.
+struct MemberBatch {
+  std::vector<MemberScores> survivors;
+  FailureCounts failures;
+};
+
+/// Runs all members with per-member failure isolation: a member that throws
+/// (allocation failure, injected fault escalated past unit isolation) is
+/// recorded and dropped — the median combiner then works over the
+/// survivors. Only when *every* member fails is the first error rethrown:
+/// there is nothing left to degrade to.
+MemberBatch run_isolated_members(std::size_t members, ThreadPool& pool,
+                                 const std::function<MemberScores(std::size_t)>& run_member) {
+  std::vector<MemberScores> scores(members);
+  std::vector<std::uint8_t> ok(members, 0);
+  std::vector<std::exception_ptr> errors(members);
+  parallel_for(pool, 0, members, [&](std::size_t m) {
+    try {
+      scores[m] = run_member(m);
+      ok[m] = 1;
+    } catch (...) {
+      errors[m] = std::current_exception();
+    }
+  });
+  MemberBatch batch;
+  batch.survivors.reserve(members);
+  std::exception_ptr first_error;
+  for (std::size_t m = 0; m < members; ++m) {
+    if (ok[m]) {
+      batch.survivors.push_back(std::move(scores[m]));
+      continue;
+    }
+    if (first_error == nullptr) first_error = errors[m];
+    try {
+      std::rethrow_exception(errors[m]);
+    } catch (const std::exception& e) {
+      batch.failures[classify_failure(e)] += 1;
+      FRAC_WARN << "ensemble member " << m << " dropped ("
+                << failure_category_name(classify_failure(e)) << "): " << e.what();
+    } catch (...) {
+      batch.failures[FailureCategory::kNumeric] += 1;
+      FRAC_WARN << "ensemble member " << m << " dropped (unknown exception)";
+    }
+  }
+  if (batch.survivors.empty()) std::rethrow_exception(first_error);
+  return batch;
+}
+
 }  // namespace
 
 ScoredRun run_random_filter_ensemble(const Replicate& replicate, const FracConfig& config,
@@ -77,12 +129,11 @@ ScoredRun run_random_filter_ensemble(const Replicate& replicate, const FracConfi
   // quantity even with members training concurrently.
   const CpuStopwatch cpu;
   std::vector<Rng> member_rngs = split_member_rngs(rng, members);
-  std::vector<MemberScores> member_scores(members);
-  parallel_for(pool, 0, members, [&](std::size_t m) {
+  const MemberBatch batch = run_isolated_members(members, pool, [&](std::size_t m) {
     FracConfig member_config = config;
     member_config.seed = member_rngs[m].split(1000)();
-    member_scores[m] = run_full_filtered_member(replicate, member_config, FilterMethod::kRandom,
-                                                keep_fraction, member_rngs[m], pool);
+    return run_full_filtered_member(replicate, member_config, FilterMethod::kRandom,
+                                    keep_fraction, member_rngs[m], pool);
   });
   ScoredRun run;
   // The paper's Mem% models members run one at a time with each member's
@@ -90,11 +141,12 @@ ScoredRun run_random_filter_ensemble(const Replicate& replicate, const FracConfi
   // max (merge_sequential). Wall-clock scheduling — members now train
   // concurrently — is deliberately decoupled from this analytic accounting
   // (see resource_accounting.hpp).
-  for (const MemberScores& member : member_scores) {
+  for (const MemberScores& member : batch.survivors) {
     run.resources.merge_sequential(member.resources);
   }
+  run.resources.failures += batch.failures;
   run.resources.cpu_seconds = cpu.seconds();
-  run.test_scores = combine_median(member_scores, replicate.train.feature_count());
+  run.test_scores = combine_median(batch.survivors, replicate.train.feature_count());
   return run;
 }
 
@@ -103,21 +155,21 @@ ScoredRun run_diverse_ensemble(const Replicate& replicate, const FracConfig& con
   if (members == 0) throw std::invalid_argument("run_diverse_ensemble: no members");
   const CpuStopwatch cpu;
   std::vector<Rng> member_rngs = split_member_rngs(rng, members);
-  std::vector<MemberScores> member_scores(members);
-  parallel_for(pool, 0, members, [&](std::size_t m) {
+  const MemberBatch batch = run_isolated_members(members, pool, [&](std::size_t m) {
     FracConfig member_config = config;
     member_config.seed = member_rngs[m].split(1000)();
-    member_scores[m] = run_diverse_member(replicate, member_config, p, 1, member_rngs[m], pool);
+    return run_diverse_member(replicate, member_config, p, 1, member_rngs[m], pool);
   });
   ScoredRun run;
   // The paper's diverse-ensemble memory reflects members held together
   // (Table IV Mem% ≈ members × p), so modeled peaks add (merge_concurrent)
   // regardless of the actual execution schedule.
-  for (const MemberScores& member : member_scores) {
+  for (const MemberScores& member : batch.survivors) {
     run.resources.merge_concurrent(member.resources);
   }
+  run.resources.failures += batch.failures;
   run.resources.cpu_seconds = cpu.seconds();
-  run.test_scores = combine_median(member_scores, replicate.train.feature_count());
+  run.test_scores = combine_median(batch.survivors, replicate.train.feature_count());
   return run;
 }
 

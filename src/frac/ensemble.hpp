@@ -7,6 +7,10 @@
 // feature space (NaN where the member built no predictor); the combiner
 // takes the per-feature median over members that scored it, then sums over
 // features.
+//
+// Failure isolation: a member whose training throws outright is recorded in
+// the run's per-category failure counts and dropped — the median runs over
+// the surviving members. The run aborts only if every member fails.
 #pragma once
 
 #include <span>

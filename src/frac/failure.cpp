@@ -1,0 +1,61 @@
+#include "frac/failure.hpp"
+
+#include <ios>
+#include <new>
+#include <stdexcept>
+#include <system_error>
+
+#include "util/errors.hpp"
+#include "util/fault_injection.hpp"
+#include "util/string_util.hpp"
+
+namespace frac {
+
+const char* failure_category_name(FailureCategory category) noexcept {
+  switch (category) {
+    case FailureCategory::kIo: return "io";
+    case FailureCategory::kNumeric: return "numeric";
+    case FailureCategory::kResource: return "resource";
+    case FailureCategory::kInjected: return "injected";
+  }
+  return "unknown";
+}
+
+FailureCategory classify_failure(const std::exception& error) noexcept {
+  if (dynamic_cast<const InjectedFault*>(&error)) return FailureCategory::kInjected;
+  if (dynamic_cast<const std::bad_alloc*>(&error) ||
+      dynamic_cast<const std::length_error*>(&error)) {
+    return FailureCategory::kResource;
+  }
+  if (dynamic_cast<const IoError*>(&error) ||
+      dynamic_cast<const std::ios_base::failure*>(&error) ||
+      dynamic_cast<const std::system_error*>(&error)) {
+    return FailureCategory::kIo;
+  }
+  return FailureCategory::kNumeric;
+}
+
+std::size_t FailureCounts::total() const noexcept {
+  std::size_t sum = 0;
+  for (const std::size_t count : by_category) sum += count;
+  return sum;
+}
+
+FailureCounts& FailureCounts::operator+=(const FailureCounts& other) noexcept {
+  for (std::size_t c = 0; c < kFailureCategoryCount; ++c) by_category[c] += other.by_category[c];
+  return *this;
+}
+
+std::string FailureCounts::summary() const {
+  if (empty()) return "none";
+  std::string out;
+  for (std::size_t c = 0; c < kFailureCategoryCount; ++c) {
+    if (by_category[c] == 0) continue;
+    if (!out.empty()) out += ' ';
+    out += format("%s:%zu", failure_category_name(static_cast<FailureCategory>(c)),
+                  by_category[c]);
+  }
+  return out;
+}
+
+}  // namespace frac

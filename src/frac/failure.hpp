@@ -1,0 +1,69 @@
+// Structured failure taxonomy for degraded FRaC runs.
+//
+// A production-scale grid (thousands of features × variants × replicates)
+// must survive a degenerate predictor, a full disk, or an injected fault in
+// one unit without aborting hours of work. When a unit (or an ensemble
+// member, or a grid cell) fails, the failure is demoted to a record in one
+// of four categories and the run continues over the survivors:
+//
+//   io       — file/stream failures (IoError, std::ios_base::failure)
+//   numeric  — non-finite values or degenerate computations (NumericError,
+//              domain/range errors, and the fallback for unclassified
+//              exceptions: in this codebase those are thrown by numeric
+//              validation paths)
+//   resource — allocation/limit exhaustion (std::bad_alloc, length_error)
+//   injected — faults fired by util/fault_injection.hpp
+//
+// Counts per category ride in ResourceReport, so every aggregation path the
+// analytic tables use (ensemble merges, replicate runners) carries them and
+// degradation is visible, never silent.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <exception>
+#include <string>
+
+namespace frac {
+
+enum class FailureCategory : std::uint8_t { kIo = 0, kNumeric, kResource, kInjected };
+inline constexpr std::size_t kFailureCategoryCount = 4;
+
+/// "io", "numeric", "resource", "injected".
+const char* failure_category_name(FailureCategory category) noexcept;
+
+/// Maps an exception to its category (see the taxonomy above).
+FailureCategory classify_failure(const std::exception& error) noexcept;
+
+/// Per-category failure tallies; value-semantic and mergeable so they ride
+/// along every ResourceReport aggregation.
+struct FailureCounts {
+  std::array<std::size_t, kFailureCategoryCount> by_category{};
+
+  std::size_t& operator[](FailureCategory category) {
+    return by_category[static_cast<std::size_t>(category)];
+  }
+  std::size_t operator[](FailureCategory category) const {
+    return by_category[static_cast<std::size_t>(category)];
+  }
+
+  std::size_t total() const noexcept;
+  bool empty() const noexcept { return total() == 0; }
+
+  FailureCounts& operator+=(const FailureCounts& other) noexcept;
+  friend bool operator==(const FailureCounts&, const FailureCounts&) = default;
+
+  /// "none" or e.g. "numeric:2 injected:1" — what the tables print.
+  std::string summary() const;
+};
+
+/// One demoted training unit (frac/frac.hpp): which unit failed, why, and
+/// with what message — the run report's audit trail.
+struct UnitFailure {
+  std::size_t unit = 0;    ///< index into the model's plan
+  std::size_t target = 0;  ///< the unit's target feature
+  FailureCategory category = FailureCategory::kNumeric;
+  std::string detail;      ///< exception what()
+};
+
+}  // namespace frac

@@ -9,6 +9,9 @@
 
 #include "ml/cross_validation.hpp"
 #include "parallel/parallel_for.hpp"
+#include "util/atomic_file.hpp"
+#include "util/errors.hpp"
+#include "util/fault_injection.hpp"
 #include "util/logging.hpp"
 #include "util/serialize.hpp"
 #include "util/stopwatch.hpp"
@@ -85,123 +88,158 @@ FracModel FracModel::train_with_plan(const Dataset& train, std::vector<FeaturePl
   // Predictors actually trained per unit (CV fold models + the retained
   // one), filled by the unit tasks and summed after the loop.
   std::vector<std::size_t> unit_models_trained(plan.size(), 0);
+  // Failure isolation: a unit whose training throws (degenerate predictor,
+  // allocation failure, injected fault) or detects non-finite output is
+  // demoted to a recorded UnitFailure instead of aborting the whole model —
+  // NS then sums over the surviving units. Slots are per-unit, so recording
+  // is race-free; compacted after the loop in unit order (deterministic for
+  // any thread count).
+  std::vector<UnitFailure> unit_failures(plan.size());
+  std::vector<std::uint8_t> unit_failed(plan.size(), 0);
 
   parallel_for(pool, 0, plan.size(), [&](std::size_t u) {
     Unit& unit = model.units_[u];
     unit.plan = std::move(plan[u]);
     const std::size_t target = unit.plan.target;
     unit.categorical = model.arities_[target] != 0;
+    try {
 
-    // Valid rows: target defined.
-    std::vector<std::size_t> valid;
-    valid.reserve(n);
-    for (std::size_t r = 0; r < n; ++r) {
-      if (!is_missing(values(r, target))) valid.push_back(r);
-    }
-
-    // Entropy from the (standardized) training column, missing skipped.
-    std::vector<double> target_col(valid.size());
-    for (std::size_t i = 0; i < valid.size(); ++i) target_col[i] = values(valid[i], target);
-    if (valid.empty()) {
-      FRAC_DEBUG << "unit " << u << ": target " << target << " entirely missing; skipped";
-      return;
-    }
-    FeatureSpec spec = model.schema_[target];
-    unit.entropy = feature_entropy(target_col, spec, config.entropy);
-
-    if (valid.size() < 4 || unit.plan.inputs.empty()) {
-      // Too few defined values to cross-validate, or nothing to learn from.
-      return;
-    }
-
-    // Gather the unit's design matrix once (rows = valid, cols = inputs).
-    const std::size_t d = unit.plan.inputs.size();
-    Matrix x(valid.size(), d);
-    for (std::size_t i = 0; i < valid.size(); ++i) {
-      const auto src = values.row(valid[i]);
-      const auto dst = x.row(i);
-      for (std::size_t k = 0; k < d; ++k) dst[k] = src[unit.plan.inputs[k]];
-    }
-    std::vector<std::uint32_t> input_arities(d);
-    for (std::size_t k = 0; k < d; ++k) input_arities[k] = model.arities_[unit.plan.inputs[k]];
-
-    // Per-unit predictor hyperparameters get decorrelated seeds.
-    PredictorConfig pred_config = config.predictor;
-    Rng& rng = unit_rngs[u];
-    pred_config.svr.seed = rng.split(1)();
-    pred_config.svc.seed = rng.split(2)();
-    pred_config.tree.seed = rng.split(3)();
-
-    // Cross-validated (truth, prediction) pairs for the error model.
-    // Categorical targets use stratified folds so rare categories appear
-    // in (almost) every training fold.
-    const std::size_t folds = std::min(config.cv_folds, valid.size());
-    Rng fold_rng = rng.split(4);
-    const auto fold_sets = unit.categorical
-                               ? stratified_kfold_indices(target_col, folds, fold_rng)
-                               : kfold_indices(valid.size(), folds, fold_rng);
-    // Fold models are independent given the (already drawn) fold assignment,
-    // so they train as a nested batch on the same pool. Per-fold outputs are
-    // concatenated in fold order afterwards, keeping the error-model inputs
-    // byte-identical to a serial run for any thread count.
-    const std::size_t fold_count = fold_sets.size();
-    std::vector<std::vector<double>> fold_residuals(fold_count);
-    std::vector<std::vector<std::uint32_t>> fold_true(fold_count), fold_pred(fold_count);
-    std::vector<std::uint8_t> fold_trained(fold_count, 0);
-    parallel_for(pool, 0, fold_count, [&](std::size_t k) {
-      const auto& fold = fold_sets[k];
-      const auto train_rows = fold_complement(valid.size(), fold);
-      if (train_rows.empty() || fold.empty()) return;  // empty fold: no model
-      Matrix x_fold(train_rows.size(), d);
-      std::vector<double> y_fold(train_rows.size());
-      for (std::size_t i = 0; i < train_rows.size(); ++i) {
-        const auto src = x.row(train_rows[i]);
-        std::copy(src.begin(), src.end(), x_fold.row(i).begin());
-        y_fold[i] = target_col[train_rows[i]];
+      // Valid rows: target defined.
+      std::vector<std::size_t> valid;
+      valid.reserve(n);
+      for (std::size_t r = 0; r < n; ++r) {
+        if (!is_missing(values(r, target))) valid.push_back(r);
       }
-      const std::unique_ptr<FeaturePredictor> cv_model =
-          unit.categorical
-              ? train_classifier(x_fold, y_fold, model.arities_[target], input_arities,
-                                 pred_config)
-              : train_regressor(x_fold, y_fold, input_arities, pred_config);
-      for (const std::size_t i : fold) {
-        const double predicted = cv_model->predict(x.row(i));
-        if (unit.categorical) {
-          fold_true[k].push_back(static_cast<std::uint32_t>(target_col[i]));
-          fold_pred[k].push_back(static_cast<std::uint32_t>(predicted));
-        } else {
-          fold_residuals[k].push_back(target_col[i] - predicted);
+
+      // Entropy from the (standardized) training column, missing skipped.
+      std::vector<double> target_col(valid.size());
+      for (std::size_t i = 0; i < valid.size(); ++i) target_col[i] = values(valid[i], target);
+      if (valid.empty()) {
+        FRAC_DEBUG << "unit " << u << ": target " << target << " entirely missing; skipped";
+        return;
+      }
+      FeatureSpec spec = model.schema_[target];
+      unit.entropy = feature_entropy(target_col, spec, config.entropy);
+      if (!std::isfinite(unit.entropy)) {
+        throw NumericError(format("unit %zu: non-finite training entropy", u));
+      }
+
+      if (valid.size() < 4 || unit.plan.inputs.empty()) {
+        // Too few defined values to cross-validate, or nothing to learn from.
+        return;
+      }
+
+      // Gather the unit's design matrix once (rows = valid, cols = inputs).
+      const std::size_t d = unit.plan.inputs.size();
+      Matrix x(valid.size(), d);
+      for (std::size_t i = 0; i < valid.size(); ++i) {
+        const auto src = values.row(valid[i]);
+        const auto dst = x.row(i);
+        for (std::size_t k = 0; k < d; ++k) dst[k] = src[unit.plan.inputs[k]];
+      }
+      std::vector<std::uint32_t> input_arities(d);
+      for (std::size_t k = 0; k < d; ++k) input_arities[k] = model.arities_[unit.plan.inputs[k]];
+
+      // Per-unit predictor hyperparameters get decorrelated seeds.
+      PredictorConfig pred_config = config.predictor;
+      Rng& rng = unit_rngs[u];
+      pred_config.svr.seed = rng.split(1)();
+      pred_config.svc.seed = rng.split(2)();
+      pred_config.tree.seed = rng.split(3)();
+
+      // Injection point: covers all of the unit's predictor training (the
+      // CV fold models and the retained one fail as a block — the unit is
+      // the isolation boundary). Keyed by unit index: stable for any thread
+      // count, so tests can predict exactly which units fail.
+      maybe_inject(FaultSite::kPredictorTrain, u);
+
+      // Cross-validated (truth, prediction) pairs for the error model.
+      // Categorical targets use stratified folds so rare categories appear
+      // in (almost) every training fold.
+      const std::size_t folds = std::min(config.cv_folds, valid.size());
+      Rng fold_rng = rng.split(4);
+      const auto fold_sets = unit.categorical
+                                 ? stratified_kfold_indices(target_col, folds, fold_rng)
+                                 : kfold_indices(valid.size(), folds, fold_rng);
+      // Fold models are independent given the (already drawn) fold assignment,
+      // so they train as a nested batch on the same pool. Per-fold outputs are
+      // concatenated in fold order afterwards, keeping the error-model inputs
+      // byte-identical to a serial run for any thread count.
+      const std::size_t fold_count = fold_sets.size();
+      std::vector<std::vector<double>> fold_residuals(fold_count);
+      std::vector<std::vector<std::uint32_t>> fold_true(fold_count), fold_pred(fold_count);
+      std::vector<std::uint8_t> fold_trained(fold_count, 0);
+      parallel_for(pool, 0, fold_count, [&](std::size_t k) {
+        const auto& fold = fold_sets[k];
+        const auto train_rows = fold_complement(valid.size(), fold);
+        if (train_rows.empty() || fold.empty()) return;  // empty fold: no model
+        Matrix x_fold(train_rows.size(), d);
+        std::vector<double> y_fold(train_rows.size());
+        for (std::size_t i = 0; i < train_rows.size(); ++i) {
+          const auto src = x.row(train_rows[i]);
+          std::copy(src.begin(), src.end(), x_fold.row(i).begin());
+          y_fold[i] = target_col[train_rows[i]];
         }
+        const std::unique_ptr<FeaturePredictor> cv_model =
+            unit.categorical
+                ? train_classifier(x_fold, y_fold, model.arities_[target], input_arities,
+                                   pred_config)
+                : train_regressor(x_fold, y_fold, input_arities, pred_config);
+        for (const std::size_t i : fold) {
+          const double predicted = cv_model->predict(x.row(i));
+          if (unit.categorical) {
+            fold_true[k].push_back(static_cast<std::uint32_t>(target_col[i]));
+            fold_pred[k].push_back(static_cast<std::uint32_t>(predicted));
+          } else {
+            if (!std::isfinite(predicted)) {
+              throw NumericError(
+                  format("unit %zu: CV predictor produced non-finite output", u));
+            }
+            fold_residuals[k].push_back(target_col[i] - predicted);
+          }
+        }
+        fold_trained[k] = 1;
+      });
+      std::size_t fold_models = 0;
+      std::vector<double> residuals;
+      std::vector<std::uint32_t> cv_true, cv_pred;
+      for (std::size_t k = 0; k < fold_count; ++k) {
+        if (!fold_trained[k]) continue;
+        ++fold_models;
+        residuals.insert(residuals.end(), fold_residuals[k].begin(), fold_residuals[k].end());
+        cv_true.insert(cv_true.end(), fold_true[k].begin(), fold_true[k].end());
+        cv_pred.insert(cv_pred.end(), fold_pred[k].begin(), fold_pred[k].end());
       }
-      fold_trained[k] = 1;
-    });
-    std::size_t fold_models = 0;
-    std::vector<double> residuals;
-    std::vector<std::uint32_t> cv_true, cv_pred;
-    for (std::size_t k = 0; k < fold_count; ++k) {
-      if (!fold_trained[k]) continue;
-      ++fold_models;
-      residuals.insert(residuals.end(), fold_residuals[k].begin(), fold_residuals[k].end());
-      cv_true.insert(cv_true.end(), fold_true[k].begin(), fold_true[k].end());
-      cv_pred.insert(cv_pred.end(), fold_pred[k].begin(), fold_pred[k].end());
-    }
 
-    if (unit.categorical) {
-      if (cv_true.empty()) return;
-      unit.confusion.fit(cv_true, cv_pred, model.arities_[target], config.confusion_alpha);
-    } else {
-      if (residuals.empty()) return;
-      unit.error_kind = config.continuous_error;
-      if (unit.error_kind == ContinuousErrorKind::kKde) unit.kde_error.fit(residuals);
-      else unit.gaussian.fit(residuals, config.min_error_sd);
-    }
+      maybe_inject(FaultSite::kErrorModelFit, u);
+      if (unit.categorical) {
+        if (cv_true.empty()) return;
+        unit.confusion.fit(cv_true, cv_pred, model.arities_[target], config.confusion_alpha);
+      } else {
+        if (residuals.empty()) return;
+        unit.error_kind = config.continuous_error;
+        if (unit.error_kind == ContinuousErrorKind::kKde) unit.kde_error.fit(residuals);
+        else unit.gaussian.fit(residuals, config.min_error_sd);
+      }
 
-    // Retained predictor: trained on every valid row.
-    unit.predictor =
-        unit.categorical
-            ? train_classifier(x, target_col, model.arities_[target], input_arities, pred_config)
-            : train_regressor(x, target_col, input_arities, pred_config);
-    unit_models_trained[u] = fold_models + 1;
+      // Retained predictor: trained on every valid row.
+      unit.predictor =
+          unit.categorical
+              ? train_classifier(x, target_col, model.arities_[target], input_arities,
+                                 pred_config)
+              : train_regressor(x, target_col, input_arities, pred_config);
+      unit_models_trained[u] = fold_models + 1;
+    } catch (const std::exception& e) {
+      // Demote: no predictor means the unit contributes nothing to NS. A
+      // half-trained error model is unreachable without the predictor.
+      unit.predictor = nullptr;
+      unit_models_trained[u] = 0;
+      unit_failures[u] = UnitFailure{u, target, classify_failure(e), e.what()};
+      unit_failed[u] = 1;
+      FRAC_DEBUG << "unit " << u << " (target " << target << ") demoted to "
+                 << failure_category_name(unit_failures[u].category)
+                 << " failure: " << e.what();
+    }
   });
 
   // Resource accounting: data + retained models. models_trained counts the
@@ -213,10 +251,27 @@ FracModel FracModel::train_with_plan(const Dataset& train, std::vector<FeaturePl
   std::size_t retained_bytes = 0;
   for (std::size_t u = 0; u < model.units_.size(); ++u) {
     model.report_.models_trained += unit_models_trained[u];
+    if (unit_failed[u]) {
+      model.report_.failures[unit_failures[u].category] += 1;
+      model.failures_.push_back(std::move(unit_failures[u]));
+    }
     const Unit& unit = model.units_[u];
     if (unit.predictor == nullptr) continue;
     retained_bytes += unit.predictor->storage_bytes();
     ++model.report_.models_retained;
+  }
+  if (!model.failures_.empty()) {
+    FRAC_WARN << "FracModel::train: " << model.failures_.size() << " of " << model.units_.size()
+              << " units demoted (" << model.report_.failures.summary()
+              << "); NS sums over the survivors";
+  }
+  // Zero survivors with recorded failures is not degradation, it is a dead
+  // model (its NS would be identically 0) — fail the run loudly. Zero
+  // retained units *without* failures (every target skipped for undefined
+  // entropy) keeps the legacy degrade-to-zero behavior.
+  if (model.report_.models_retained == 0 && !model.failures_.empty()) {
+    throw NumericError(format("FracModel::train: all %zu units failed (%s)",
+                              model.units_.size(), model.report_.failures.summary().c_str()));
   }
   model.report_.peak_bytes = train.bytes() + retained_bytes;
   return model;
@@ -248,6 +303,10 @@ std::optional<double> FracModel::unit_surprisal(const Unit& unit, std::span<cons
   } else {
     surprisal = unit.gaussian.surprisal(truth - predicted);
   }
+  // Non-finite contributions (a predictor blowing up on test inputs far
+  // outside the training support) are skipped like missing targets: NS
+  // stays finite and sums over the well-defined units.
+  if (!std::isfinite(surprisal)) return std::nullopt;
   return surprisal - unit.entropy;
 }
 
@@ -332,17 +391,15 @@ void FracModel::save(std::ostream& out) const {
     unit.predictor->save(out);
   }
   // Fail loudly rather than leave a silently truncated model behind.
-  if (!out) throw std::runtime_error("FracModel::save: stream write failed");
+  if (!out) throw IoError("FracModel::save: stream write failed");
 }
 
 void FracModel::save_file(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("FracModel::save_file: cannot open " + path);
-  save(out);
-  out.flush();
-  if (!out) {
-    throw std::runtime_error("FracModel::save_file: write failed (disk full?): " + path);
-  }
+  // Atomic temp+rename publish: a crash mid-save leaves the old model (or
+  // nothing), never a truncated one. Shares the helper — and its
+  // serialize_write injection point — with save_dataset_csv and the
+  // experiment checkpoint.
+  atomic_write_file(path, [this](std::ostream& out) { save(out); });
 }
 
 FracModel FracModel::load(std::istream& in) {
@@ -403,7 +460,7 @@ FracModel FracModel::load(std::istream& in) {
 
 FracModel FracModel::load_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("FracModel::load_file: cannot open " + path);
+  if (!in) throw IoError("FracModel::load_file: cannot open " + path);
   return load(in);
 }
 

@@ -32,6 +32,7 @@
 #include "data/split.hpp"
 #include "frac/entropy.hpp"
 #include "frac/error_model.hpp"
+#include "frac/failure.hpp"
 #include "frac/predictor.hpp"
 #include "frac/resource_accounting.hpp"
 #include "parallel/thread_pool.hpp"
@@ -94,9 +95,16 @@ class FracModel {
   /// indices into the training schema.
   std::vector<std::size_t> influential_inputs(std::size_t unit, std::size_t top_k = 20) const;
 
-  /// Training cost (CPU seconds, paper-equivalent peak bytes, model counts).
-  /// Empty for models restored with load().
+  /// Training cost (CPU seconds, paper-equivalent peak bytes, model counts,
+  /// per-category failure counts). Empty for models restored with load().
   const ResourceReport& report() const noexcept { return report_; }
+
+  /// Units demoted to recorded failures during training (failure isolation):
+  /// a unit whose predictor or error model threw, or produced non-finite
+  /// output, trains no predictor and contributes nothing to NS — the run
+  /// degrades instead of aborting. report().failures holds the per-category
+  /// tallies; this is the per-unit audit trail.
+  const std::vector<UnitFailure>& unit_failures() const noexcept { return failures_; }
 
   /// Persists everything needed to score (schema, scaler, units with
   /// predictors, error models, and entropies) as tagged text.
@@ -134,6 +142,7 @@ class FracModel {
   FracConfig config_;
   std::vector<Unit> units_;
   ResourceReport report_;
+  std::vector<UnitFailure> failures_;
 };
 
 /// Convenience: train on the replicate's training set, score its test set,

@@ -9,6 +9,7 @@ ResourceReport& ResourceReport::merge_sequential(const ResourceReport& other) {
   peak_bytes = std::max(peak_bytes, other.peak_bytes);
   models_trained += other.models_trained;
   models_retained = std::max(models_retained, other.models_retained);
+  failures += other.failures;
   return *this;
 }
 
@@ -17,6 +18,7 @@ ResourceReport& ResourceReport::merge_concurrent(const ResourceReport& other) {
   peak_bytes += other.peak_bytes;
   models_trained += other.models_trained;
   models_retained += other.models_retained;
+  failures += other.failures;
   return *this;
 }
 

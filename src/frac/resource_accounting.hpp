@@ -19,6 +19,8 @@
 
 #include <cstddef>
 
+#include "frac/failure.hpp"
+
 namespace frac {
 
 /// Cost of one FRaC-style run (training + scoring).
@@ -30,6 +32,10 @@ struct ResourceReport {
   std::size_t models_trained = 0;
   /// Predictors retained for scoring.
   std::size_t models_retained = 0;
+  /// Units (or ensemble members) demoted to recorded failures instead of
+  /// aborting the run, tallied per category (frac/failure.hpp). Always adds
+  /// under both merges: every failure anywhere in the run stays visible.
+  FailureCounts failures;
 
   /// Accumulates `other` as *sequential* work: times add, peaks max.
   ///

@@ -1,0 +1,71 @@
+#include "util/atomic_file.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/errors.hpp"
+#include "util/fault_injection.hpp"
+
+namespace frac {
+
+namespace {
+
+/// True when `path` exists and is not a regular file (device, pipe, ...).
+bool is_special_target(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return false;  // absent: regular write
+  return !S_ISREG(st.st_mode);
+}
+
+/// Direct write for targets rename cannot replace; still checked loudly.
+void direct_write(const std::string& path, const std::function<void(std::ostream&)>& writer) {
+  std::ofstream out(path);
+  if (!out) throw IoError("atomic_write_file: cannot open " + path);
+  writer(out);
+  out.flush();
+  if (!out) throw IoError("atomic_write_file: write failed (disk full?): " + path);
+}
+
+void fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw IoError("atomic_write_file: cannot reopen for fsync: " + path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throw IoError("atomic_write_file: fsync failed: " + path);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer) {
+  maybe_inject(FaultSite::kSerializeWrite, fault_key(path));
+  if (is_special_target(path)) {
+    direct_write(path, writer);
+    return;
+  }
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  try {
+    {
+      std::ofstream out(tmp);
+      if (!out) throw IoError("atomic_write_file: cannot open " + tmp);
+      writer(out);
+      out.flush();
+      if (!out) throw IoError("atomic_write_file: write failed (disk full?): " + tmp);
+      out.close();
+      if (out.fail()) throw IoError("atomic_write_file: close failed: " + tmp);
+    }
+    fsync_path(tmp);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      throw IoError("atomic_write_file: rename to " + path + " failed");
+    }
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+}
+
+}  // namespace frac

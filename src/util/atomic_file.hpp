@@ -1,0 +1,28 @@
+// Crash-safe file writes: temp file + flush + fsync + rename.
+//
+// A checkpoint or model file must never be observable half-written — a
+// crash mid-write would otherwise leave a file that parses as a truncated
+// (wrong) result. atomic_write_file() writes to "<path>.tmp.<pid>", flushes
+// and fsyncs it, then renames over the target, so readers see either the
+// old content or the complete new content. Every stage is checked; failures
+// throw IoError (and remove the temp file).
+//
+// Non-regular targets (pipes, /dev/full, character devices) cannot be
+// renamed over; for those the helper degrades to a direct checked write,
+// preserving the write-failure semantics serialization tests rely on.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace frac {
+
+/// Writes `path` atomically: `writer` streams the content, and the file is
+/// published via rename only after a checked flush + fsync. Carries the
+/// serialize_write fault-injection point (keyed by path). Throws IoError on
+/// any failure; the target is left untouched (old content or absent).
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer);
+
+}  // namespace frac

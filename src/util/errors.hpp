@@ -1,0 +1,39 @@
+// Library-wide error taxonomy.
+//
+// Throw sites classify their failures so callers (the per-unit isolation
+// layer in frac/, the CLI's exit-code mapping, the grid runner's cell
+// records) can react by category instead of string-matching what().
+//
+//   IoError      — a file or stream operation failed (open, write, rename).
+//   ParseError   — input content is malformed (CSV cells, model files);
+//                  derives std::invalid_argument, the type data-content
+//                  errors have always thrown here.
+//   NumericError — a computation produced or detected non-finite values.
+//
+// InjectedFault (util/fault_injection.hpp) is the fourth category.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace frac {
+
+/// File/stream failure: cannot open, write failed (disk full), rename failed.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input content, with a location-identifying message.
+class ParseError : public std::invalid_argument {
+ public:
+  explicit ParseError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// Non-finite or otherwise numerically invalid result detected.
+class NumericError : public std::runtime_error {
+ public:
+  explicit NumericError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace frac

@@ -1,0 +1,135 @@
+#include "util/fault_injection.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+
+namespace frac {
+
+namespace fault_detail {
+
+std::atomic<bool> g_armed{false};
+
+namespace {
+
+struct FaultRule {
+  double probability = 0.0;
+  std::uint64_t seed = 0;
+  bool armed = false;
+};
+
+std::array<FaultRule, kFaultSiteCount> g_rules;
+std::string g_spec;
+
+/// Installs FRAC_FAULTS before main touches any injection point. A malformed
+/// spec must not escape a static initializer (std::terminate): fail fast with
+/// a usage-style diagnostic instead — silently disarming would let a user
+/// believe an injection experiment ran when it did not.
+struct EnvInit {
+  EnvInit() {
+    const char* env = std::getenv("FRAC_FAULTS");
+    if (env == nullptr) return;
+    try {
+      set_fault_plan(env);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: invalid FRAC_FAULTS: %s\n", e.what());
+      std::_Exit(1);
+    }
+  }
+} g_env_init;
+
+/// Uniform [0, 1) from a stable hash of (seed, site, key); the firing
+/// decision depends on nothing else.
+double fire_draw(const FaultRule& rule, FaultSite site, std::uint64_t key) noexcept {
+  std::uint64_t state = rule.seed;
+  state ^= 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(site) + 1);
+  state ^= splitmix64_next(state) + key;
+  const std::uint64_t bits = splitmix64_next(state);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+void maybe_inject_slow(FaultSite site, std::uint64_t key) {
+  if (fault_fires(site, key)) throw InjectedFault(site, key);
+}
+
+}  // namespace fault_detail
+
+const char* fault_site_name(FaultSite site) noexcept {
+  switch (site) {
+    case FaultSite::kPredictorTrain: return "predictor_train";
+    case FaultSite::kErrorModelFit: return "error_model_fit";
+    case FaultSite::kSerializeWrite: return "serialize_write";
+    case FaultSite::kDatasetLoad: return "dataset_load";
+  }
+  return "unknown";
+}
+
+FaultSite fault_site_from_name(const std::string& name) {
+  for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    if (name == fault_site_name(site)) return site;
+  }
+  throw std::invalid_argument("unknown fault site '" + name +
+                              "' (want predictor_train, error_model_fit, serialize_write, "
+                              "or dataset_load)");
+}
+
+InjectedFault::InjectedFault(FaultSite site, std::uint64_t key)
+    : std::runtime_error(format("injected fault at %s (key %llu)", fault_site_name(site),
+                                static_cast<unsigned long long>(key))),
+      site_(site) {}
+
+void set_fault_plan(const std::string& spec) {
+  std::array<fault_detail::FaultRule, kFaultSiteCount> rules;  // all disarmed
+  bool any = false;
+  if (!trim(spec).empty()) {
+    for (const std::string& entry : split(spec, ',')) {
+      const std::string cleaned{trim(entry)};
+      if (cleaned.empty()) continue;
+      const std::vector<std::string> parts = split(cleaned, ':');
+      if (parts.size() < 2 || parts.size() > 3) {
+        throw std::invalid_argument("bad fault entry '" + cleaned +
+                                    "' (want site:probability[:seed])");
+      }
+      const FaultSite site = fault_site_from_name(std::string{trim(parts[0])});
+      const double probability = parse_double(trim(parts[1]), "fault probability");
+      if (!(probability >= 0.0 && probability <= 1.0)) {
+        throw std::invalid_argument("fault probability must be in [0, 1]: '" + cleaned + "'");
+      }
+      fault_detail::FaultRule& rule = rules[static_cast<std::size_t>(site)];
+      rule.probability = probability;
+      rule.seed = parts.size() == 3 ? parse_size(trim(parts[2]), "fault seed") : 0;
+      rule.armed = probability > 0.0;
+      any = any || rule.armed;
+    }
+  }
+  fault_detail::g_rules = rules;
+  fault_detail::g_spec = spec;
+  fault_detail::g_armed.store(any, std::memory_order_relaxed);
+}
+
+void clear_fault_plan() { set_fault_plan(""); }
+
+std::string fault_plan_spec() { return fault_detail::g_spec; }
+
+bool fault_fires(FaultSite site, std::uint64_t key) noexcept {
+  const fault_detail::FaultRule& rule = fault_detail::g_rules[static_cast<std::size_t>(site)];
+  if (!rule.armed) return false;
+  return fault_detail::fire_draw(rule, site, key) < rule.probability;
+}
+
+std::uint64_t fault_key(const std::string& text) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace frac

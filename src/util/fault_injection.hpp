@@ -1,0 +1,103 @@
+// Deterministic fault injection at named sites.
+//
+// Robustness behavior (per-unit isolation, checkpoint/resume, loud I/O
+// failures) must be testable, not hoped-for. Each fault-prone operation is
+// wrapped in a named injection point; a *fault plan* arms sites with a
+// firing probability and a seed:
+//
+//   FRAC_FAULTS=predictor_train:0.1:42            (env var, read at startup)
+//   FRAC_FAULTS=predictor_train:0.1:42,serialize_write:1:7
+//
+// or programmatically via set_fault_plan() (tests use ScopedFaultPlan).
+//
+// Whether a point fires is a pure function of (site, seed, key) — the key is
+// a caller-supplied stable identifier (unit index, path hash) — so runs are
+// reproducible for any thread count or execution order, and tests can
+// predict exactly which units will fail with fault_fires().
+//
+// Disabled cost: maybe_inject() is a single relaxed atomic load when no plan
+// is armed (the common case); the hash-and-compare runs only for armed runs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace frac {
+
+/// The fault-prone operations that carry injection points.
+enum class FaultSite : std::uint8_t {
+  kPredictorTrain = 0,  ///< unit predictor training (CV folds + retained)
+  kErrorModelFit,       ///< unit error-model fitting
+  kSerializeWrite,      ///< model / dataset / checkpoint file writes
+  kDatasetLoad,         ///< dataset CSV loading
+};
+inline constexpr std::size_t kFaultSiteCount = 4;
+
+/// "predictor_train", "error_model_fit", "serialize_write", "dataset_load".
+const char* fault_site_name(FaultSite site) noexcept;
+
+/// Inverse of fault_site_name; throws std::invalid_argument on unknown names.
+FaultSite fault_site_from_name(const std::string& name);
+
+/// Thrown by an armed injection point that fired.
+class InjectedFault : public std::runtime_error {
+ public:
+  InjectedFault(FaultSite site, std::uint64_t key);
+  FaultSite site() const noexcept { return site_; }
+
+ private:
+  FaultSite site_;
+};
+
+/// Replaces the active fault plan. `spec` is the FRAC_FAULTS syntax above;
+/// an empty spec disarms everything. Throws std::invalid_argument on
+/// malformed specs (unknown site, probability outside [0, 1]).
+/// Not thread-safe against concurrently running injection points; call
+/// between runs (tests, process startup).
+void set_fault_plan(const std::string& spec);
+
+/// Disarms all sites (equivalent to set_fault_plan("")).
+void clear_fault_plan();
+
+/// The spec string of the active plan ("" when disarmed).
+std::string fault_plan_spec();
+
+/// True iff the injection point (site, key) fires under the active plan.
+/// Pure and deterministic: tests use it to predict failure counts.
+bool fault_fires(FaultSite site, std::uint64_t key) noexcept;
+
+namespace fault_detail {
+extern std::atomic<bool> g_armed;
+void maybe_inject_slow(FaultSite site, std::uint64_t key);
+}  // namespace fault_detail
+
+/// Throws InjectedFault iff (site, key) fires under the active plan.
+/// Near-zero cost when no plan is armed.
+inline void maybe_inject(FaultSite site, std::uint64_t key) {
+  if (!fault_detail::g_armed.load(std::memory_order_relaxed)) return;
+  fault_detail::maybe_inject_slow(site, key);
+}
+
+/// RAII plan override for tests: installs `spec`, restores the previous
+/// plan (including one inherited from FRAC_FAULTS) on destruction.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(const std::string& spec) : previous_(fault_plan_spec()) {
+    set_fault_plan(spec);
+  }
+  ~ScopedFaultPlan() { set_fault_plan(previous_); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+
+ private:
+  std::string previous_;
+};
+
+/// FNV-1a over a string: the stable key for path-identified sites
+/// (serialize_write, dataset_load), so firing does not depend on unstable
+/// std::hash seeds.
+std::uint64_t fault_key(const std::string& text) noexcept;
+
+}  // namespace frac

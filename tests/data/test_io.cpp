@@ -5,6 +5,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/errors.hpp"
+
 namespace frac {
 namespace {
 
@@ -73,6 +75,36 @@ TEST(DatasetIo, RejectsRaggedRow) {
 TEST(DatasetIo, RejectsOutOfRangeCategoricalCode) {
   std::istringstream in("s:cat:2,label\n5,normal\n");
   EXPECT_THROW(read_dataset_csv(in), std::invalid_argument);
+}
+
+TEST(DatasetIo, RejectsNonFiniteRealCellWithLocation) {
+  // NaN would masquerade as the missing sentinel; Inf poisons every sum.
+  for (const char* bad : {"nan", "inf", "-inf", "NAN", "Infinity"}) {
+    std::istringstream in(std::string("a:real,b:real,label\n1.5,") + bad + ",normal\n");
+    try {
+      read_dataset_csv(in);
+      FAIL() << "accepted non-finite cell '" << bad << "'";
+    } catch (const ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find("row 1 col 1"), std::string::npos) << e.what();
+    }
+  }
+}
+
+TEST(DatasetIo, RejectsNonIntegerCategoricalCodeWithLocation) {
+  for (const char* bad : {"1.5", "-1", "2"}) {
+    std::istringstream in(std::string("s:cat:2,label\n") + bad + ",normal\n");
+    try {
+      read_dataset_csv(in);
+      FAIL() << "accepted categorical code '" << bad << "'";
+    } catch (const ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find("row 1 col 0"), std::string::npos) << e.what();
+      EXPECT_NE(std::string(e.what()).find("[0, 2)"), std::string::npos) << e.what();
+    }
+  }
+}
+
+TEST(DatasetIo, LoadOfMissingFileIsAnIoError) {
+  EXPECT_THROW(load_dataset_csv(testing::TempDir() + "/no_such_dataset.csv"), IoError);
 }
 
 TEST(DatasetIo, EmptyFileThrows) {

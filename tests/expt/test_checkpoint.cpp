@@ -1,0 +1,274 @@
+// Checkpoint persistence and the fault-tolerant grid runner: cells survive
+// process death (checkpoint round-trip), resume skips completed cells, and a
+// kill-and-resume run's report is byte-identical to an uninterrupted one.
+#include "expt/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "expt/grid.hpp"
+#include "util/errors.hpp"
+#include "util/fault_injection.hpp"
+
+namespace frac {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+GridCellResult ok_cell(double auc) {
+  GridCellResult cell;
+  cell.auc = auc;
+  cell.cpu_seconds = 1.25;
+  cell.peak_bytes = 4096;
+  return cell;
+}
+
+TEST(Checkpoint, MissingFileStartsEmpty) {
+  const Checkpoint checkpoint(temp_path("ck_missing.txt"));
+  EXPECT_EQ(checkpoint.size(), 0u);
+  EXPECT_EQ(checkpoint.find({"a", "full", 0}), nullptr);
+}
+
+TEST(Checkpoint, EmptyPathIsMemoryOnly) {
+  Checkpoint checkpoint("");
+  checkpoint.record({"a", "full", 0}, ok_cell(0.9));
+  EXPECT_EQ(checkpoint.size(), 1u);
+  ASSERT_NE(checkpoint.find({"a", "full", 0}), nullptr);
+}
+
+TEST(Checkpoint, RoundTripsCellsThroughDisk) {
+  const std::string path = temp_path("ck_roundtrip.txt");
+  GridCellResult failed;
+  failed.ok = false;
+  failed.failures[FailureCategory::kInjected] = 1;
+  failed.error = "injected fault at predictor_train; with\nnewline";
+  {
+    Checkpoint checkpoint(path);
+    checkpoint.record({"autism", "full", 0}, ok_cell(0.875));
+    checkpoint.record({"autism", "jl", 3}, failed);
+  }
+  const Checkpoint reloaded(path);
+  EXPECT_EQ(reloaded.size(), 2u);
+  const GridCellResult* ok = reloaded.find({"autism", "full", 0});
+  ASSERT_NE(ok, nullptr);
+  EXPECT_EQ(*ok, ok_cell(0.875));  // %.17g round-trips doubles exactly
+  const GridCellResult* bad = reloaded.find({"autism", "jl", 3});
+  ASSERT_NE(bad, nullptr);
+  EXPECT_FALSE(bad->ok);
+  EXPECT_EQ(bad->failures[FailureCategory::kInjected], 1u);
+  // Delimiters and newlines in the error were sanitized, content retained.
+  EXPECT_NE(bad->error.find("injected fault"), std::string::npos);
+  EXPECT_EQ(bad->error.find('\n'), std::string::npos);
+}
+
+TEST(Checkpoint, RecordUpsertsExistingCell) {
+  const std::string path = temp_path("ck_upsert.txt");
+  Checkpoint checkpoint(path);
+  checkpoint.record({"a", "full", 0}, ok_cell(0.5));
+  checkpoint.record({"a", "full", 0}, ok_cell(0.75));
+  EXPECT_EQ(checkpoint.size(), 1u);
+  const Checkpoint reloaded(path);
+  ASSERT_NE(reloaded.find({"a", "full", 0}), nullptr);
+  EXPECT_DOUBLE_EQ(reloaded.find({"a", "full", 0})->auc, 0.75);
+}
+
+TEST(Checkpoint, SkipsMalformedLinesButKeepsValidOnes) {
+  const std::string path = temp_path("ck_tolerant.txt");
+  {
+    Checkpoint checkpoint(path);
+    checkpoint.record({"a", "full", 0}, ok_cell(0.5));
+  }
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "garbage line\n";
+    out << "a;full;notanumber;1;0.5;0;0;0;0;0;0;\n";
+    out << "\n";
+  }
+  const Checkpoint reloaded(path);
+  EXPECT_EQ(reloaded.size(), 1u);
+  EXPECT_NE(reloaded.find({"a", "full", 0}), nullptr);
+}
+
+TEST(Checkpoint, RejectsForeignFileWithoutHeader) {
+  const std::string path = temp_path("ck_foreign.txt");
+  {
+    std::ofstream out(path);
+    out << "this is not a checkpoint\n";
+  }
+  EXPECT_THROW(Checkpoint{path}, ParseError);
+}
+
+TEST(Checkpoint, InjectedWriteFaultAbortsRecordLoudly) {
+  Checkpoint checkpoint(temp_path("ck_injected.txt"));
+  const ScopedFaultPlan plan("serialize_write:1");
+  EXPECT_THROW(checkpoint.record({"a", "full", 0}, ok_cell(0.5)), InjectedFault);
+}
+
+// --- grid runner ------------------------------------------------------------
+
+/// Grid cells must stay test-sized: the registry scales feature counts by
+/// FRAC_BENCH_SCALE, which it reads on every call.
+class GridTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* old = std::getenv("FRAC_BENCH_SCALE");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    ::setenv("FRAC_BENCH_SCALE", "0.08", 1);
+  }
+  void TearDown() override {
+    if (had_old_) {
+      ::setenv("FRAC_BENCH_SCALE", old_.c_str(), 1);
+    } else {
+      ::unsetenv("FRAC_BENCH_SCALE");
+    }
+  }
+
+  static ThreadPool& pool() {
+    static ThreadPool p(2);
+    return p;
+  }
+
+  static GridConfig small_grid() {
+    GridConfig config;
+    config.cohorts = {"breast.basal"};
+    config.methods = {"full", "partial"};
+    config.replicates = 2;
+    config.seed = 17;
+    return config;
+  }
+
+  static std::string report_of(const GridOutcome& outcome) {
+    std::ostringstream out;
+    write_grid_report(out, outcome.cells);
+    return out.str();
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST_F(GridTest, RunsEveryCellInDeterministicOrder) {
+  const GridOutcome outcome = run_experiment_grid(small_grid(), pool());
+  EXPECT_EQ(outcome.cells.size(), 4u);
+  EXPECT_EQ(outcome.cells_run, 4u);
+  EXPECT_EQ(outcome.cells_skipped, 0u);
+  EXPECT_EQ(outcome.cells_failed, 0u);
+  EXPECT_FALSE(outcome.interrupted);
+  EXPECT_EQ(outcome.cells[0].key, (GridCellKey{"breast.basal", "full", 0}));
+  EXPECT_EQ(outcome.cells[3].key, (GridCellKey{"breast.basal", "partial", 1}));
+  for (const GridCellRecord& cell : outcome.cells) {
+    EXPECT_TRUE(cell.result.ok);
+    EXPECT_GT(cell.result.auc, 0.0);
+    EXPECT_LE(cell.result.auc, 1.0);
+  }
+}
+
+TEST_F(GridTest, RerunsAreByteIdentical) {
+  const std::string a = report_of(run_experiment_grid(small_grid(), pool()));
+  const std::string b = report_of(run_experiment_grid(small_grid(), pool()));
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(GridTest, RejectsUnknownCohortsMethodsAndEmptyGrids) {
+  GridConfig bad_cohort = small_grid();
+  bad_cohort.cohorts = {"no.such.cohort"};
+  EXPECT_THROW(run_experiment_grid(bad_cohort, pool()), std::invalid_argument);
+  GridConfig bad_method = small_grid();
+  bad_method.methods = {"warp-drive"};
+  EXPECT_THROW(run_experiment_grid(bad_method, pool()), std::invalid_argument);
+  GridConfig no_replicates = small_grid();
+  no_replicates.replicates = 0;
+  EXPECT_THROW(run_experiment_grid(no_replicates, pool()), std::invalid_argument);
+}
+
+TEST_F(GridTest, KillAndResumeReproducesUninterruptedRunByteForByte) {
+  GridConfig config = small_grid();
+
+  // The reference: one uninterrupted run.
+  const std::string uninterrupted = report_of(run_experiment_grid(config, pool()));
+
+  // The crash: cancel after two cells, checkpointing as we go.
+  config.checkpoint_path = temp_path("ck_resume.txt");
+  std::size_t cells_seen = 0;
+  const GridOutcome partial =
+      run_experiment_grid(config, pool(), [&] { return ++cells_seen > 2; });
+  EXPECT_TRUE(partial.interrupted);
+  EXPECT_EQ(partial.cells_run, 2u);
+
+  // The recovery: resume must reuse both finished cells and match the
+  // uninterrupted report exactly.
+  config.resume = true;
+  const GridOutcome resumed = run_experiment_grid(config, pool());
+  EXPECT_FALSE(resumed.interrupted);
+  EXPECT_EQ(resumed.cells_skipped, 2u);
+  EXPECT_EQ(resumed.cells_run, 2u);
+  EXPECT_EQ(report_of(resumed), uninterrupted);
+}
+
+TEST_F(GridTest, ResumeOfCompleteRunRecomputesNothing) {
+  GridConfig config = small_grid();
+  config.checkpoint_path = temp_path("ck_complete.txt");
+  const std::string first = report_of(run_experiment_grid(config, pool()));
+  config.resume = true;
+  const GridOutcome again = run_experiment_grid(config, pool());
+  EXPECT_EQ(again.cells_run, 0u);
+  EXPECT_EQ(again.cells_skipped, 4u);
+  EXPECT_EQ(report_of(again), first);
+}
+
+TEST_F(GridTest, WithoutResumeAnExistingCheckpointIsSuperseded) {
+  GridConfig config = small_grid();
+  config.checkpoint_path = temp_path("ck_fresh.txt");
+  run_experiment_grid(config, pool());
+  const GridOutcome rerun = run_experiment_grid(config, pool());  // no --resume
+  EXPECT_EQ(rerun.cells_run, 4u);
+  EXPECT_EQ(rerun.cells_skipped, 0u);
+}
+
+TEST_F(GridTest, InjectedUnitFaultsAreCountedNotFatal) {
+  GridConfig config = small_grid();
+  config.methods = {"full"};
+  config.replicates = 1;
+  const ScopedFaultPlan plan("predictor_train:0.3:7");
+  const GridOutcome outcome = run_experiment_grid(config, pool());
+  ASSERT_EQ(outcome.cells.size(), 1u);
+  const GridCellResult& cell = outcome.cells[0].result;
+  EXPECT_TRUE(cell.ok);
+  EXPECT_GT(cell.failures[FailureCategory::kInjected], 0u);
+  EXPECT_GT(cell.auc, 0.0);
+}
+
+TEST_F(GridTest, CellWhereEveryUnitFailsIsIsolatedAsFailedCell) {
+  GridConfig config = small_grid();
+  config.methods = {"full", "partial"};
+  config.replicates = 1;
+  const ScopedFaultPlan plan("predictor_train:1:7");
+  const GridOutcome outcome = run_experiment_grid(config, pool());
+  EXPECT_EQ(outcome.cells.size(), 2u);
+  EXPECT_EQ(outcome.cells_failed, 2u);
+  for (const GridCellRecord& cell : outcome.cells) {
+    EXPECT_FALSE(cell.result.ok);
+    EXPECT_FALSE(cell.result.error.empty());
+    EXPECT_EQ(cell.result.failures.total(), 1u);
+  }
+}
+
+TEST_F(GridTest, RunGridCellRejectsUnknownMethod) {
+  const CohortSpec& spec = cohort_by_name("breast.basal");
+  const auto replicates = make_cohort_replicates(spec, 1);
+  EXPECT_THROW(run_grid_cell(spec, replicates[0], "warp-drive", 1, {}, pool()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace frac

@@ -7,9 +7,9 @@ namespace {
 
 TEST(ResourceReport, SequentialMergeAddsTimeMaxesPeak) {
   ResourceReport a{.cpu_seconds = 1.0, .peak_bytes = 100, .models_trained = 5,
-                   .models_retained = 2};
+                   .models_retained = 2, .failures = {}};
   const ResourceReport b{.cpu_seconds = 2.0, .peak_bytes = 70, .models_trained = 3,
-                         .models_retained = 4};
+                         .models_retained = 4, .failures = {}};
   a.merge_sequential(b);
   EXPECT_DOUBLE_EQ(a.cpu_seconds, 3.0);
   EXPECT_EQ(a.peak_bytes, 100u);
@@ -19,9 +19,9 @@ TEST(ResourceReport, SequentialMergeAddsTimeMaxesPeak) {
 
 TEST(ResourceReport, ConcurrentMergeAddsEverything) {
   ResourceReport a{.cpu_seconds = 1.0, .peak_bytes = 100, .models_trained = 5,
-                   .models_retained = 2};
+                   .models_retained = 2, .failures = {}};
   const ResourceReport b{.cpu_seconds = 2.0, .peak_bytes = 70, .models_trained = 3,
-                         .models_retained = 4};
+                         .models_retained = 4, .failures = {}};
   a.merge_concurrent(b);
   EXPECT_DOUBLE_EQ(a.cpu_seconds, 3.0);
   EXPECT_EQ(a.peak_bytes, 170u);
@@ -32,10 +32,28 @@ TEST(ResourceReport, MergeChainsCompose) {
   ResourceReport total;
   for (int i = 1; i <= 3; ++i) {
     total.merge_sequential({.cpu_seconds = 1.0, .peak_bytes = static_cast<std::size_t>(i * 10),
-                            .models_trained = 1, .models_retained = 1});
+                            .models_trained = 1, .models_retained = 1, .failures = {}});
   }
   EXPECT_DOUBLE_EQ(total.cpu_seconds, 3.0);
   EXPECT_EQ(total.peak_bytes, 30u);
+}
+
+TEST(ResourceReport, FailureCountsAddUnderBothMerges) {
+  // Peaks max or add depending on the merge, but failures always add: a
+  // demoted unit anywhere in the run must stay visible in the total.
+  ResourceReport a, b;
+  a.failures[FailureCategory::kNumeric] = 2;
+  b.failures[FailureCategory::kNumeric] = 1;
+  b.failures[FailureCategory::kInjected] = 4;
+  ResourceReport seq = a;
+  seq.merge_sequential(b);
+  EXPECT_EQ(seq.failures[FailureCategory::kNumeric], 3u);
+  EXPECT_EQ(seq.failures[FailureCategory::kInjected], 4u);
+  ResourceReport conc = a;
+  conc.merge_concurrent(b);
+  EXPECT_EQ(conc.failures, seq.failures);
+  EXPECT_EQ(conc.failures.total(), 7u);
+  EXPECT_EQ(conc.failures.summary(), "numeric:3 injected:4");
 }
 
 TEST(SvmModelBytes, LibsvmEquivalentFormula) {

@@ -1,16 +1,23 @@
 // Failure-injection tests: degenerate inputs a downstream user will
 // eventually feed the library must degrade gracefully, never crash or
-// emit non-finite scores.
+// emit non-finite scores. The second half drives the deterministic fault
+// injector (util/fault_injection.hpp) through the same public entry points
+// to prove the per-unit/per-member isolation and the atomic-write contract.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 
 #include "data/expression_generator.hpp"
+#include "data/io.hpp"
 #include "frac/ensemble.hpp"
 #include "frac/filtering.hpp"
 #include "frac/frac.hpp"
 #include "frac/preprojection.hpp"
 #include "ml/metrics.hpp"
+#include "util/errors.hpp"
+#include "util/fault_injection.hpp"
 
 namespace frac {
 namespace {
@@ -148,6 +155,95 @@ TEST(Robustness, TwoFeatureDataset) {
   test_values(0, 1) = -3.0;  // violates the learned relationship
   const Dataset test(Schema::all_real(2), test_values, {Label::kAnomaly});
   expect_finite(model.score(test, pool()));
+}
+
+TEST(Robustness, InjectedPredictorFaultsDemoteExactlyThePredictedUnits) {
+  const Replicate rep = base_replicate();
+  const ScopedFaultPlan plan("predictor_train:0.25:42");
+  // Firing is a pure function of (site, seed, unit index), so the test can
+  // predict the demotions before training.
+  std::size_t predicted = 0;
+  for (std::size_t u = 0; u < rep.train.feature_count(); ++u) {
+    predicted += fault_fires(FaultSite::kPredictorTrain, u);
+  }
+  ASSERT_GT(predicted, 0u);
+  ASSERT_LT(predicted, rep.train.feature_count());
+
+  const FracModel model = FracModel::train(rep.train, {}, pool());
+  EXPECT_EQ(model.unit_failures().size(), predicted);
+  EXPECT_EQ(model.report().failures[FailureCategory::kInjected], predicted);
+  EXPECT_EQ(model.report().failures.total(), predicted);
+  for (const UnitFailure& failure : model.unit_failures()) {
+    EXPECT_EQ(failure.category, FailureCategory::kInjected);
+    EXPECT_TRUE(fault_fires(FaultSite::kPredictorTrain, failure.unit));
+  }
+  expect_finite(model.score(rep.test, pool()));
+}
+
+TEST(Robustness, InjectedErrorModelFaultsAreIsolatedToo) {
+  const Replicate rep = base_replicate();
+  const ScopedFaultPlan plan("error_model_fit:0.2:6");
+  std::size_t predicted = 0;
+  for (std::size_t u = 0; u < rep.train.feature_count(); ++u) {
+    predicted += fault_fires(FaultSite::kErrorModelFit, u);
+  }
+  ASSERT_GT(predicted, 0u);
+  const FracModel model = FracModel::train(rep.train, {}, pool());
+  EXPECT_EQ(model.report().failures[FailureCategory::kInjected], predicted);
+  expect_finite(model.score(rep.test, pool()));
+}
+
+TEST(Robustness, VariantsSurviveModerateInjectedFaults) {
+  const Replicate rep = base_replicate();
+  const ScopedFaultPlan plan("predictor_train:0.2:11,error_model_fit:0.1:12");
+  Rng rng(6);
+  const ScoredRun ens = run_random_filter_ensemble(rep, {}, 0.4, 3, rng, pool());
+  expect_finite(ens.test_scores);
+  EXPECT_GT(ens.resources.failures.total(), 0u);
+  Rng rng2(7);
+  const ScoredRun div = run_diverse_ensemble(rep, {}, 0.5, 3, rng2, pool());
+  expect_finite(div.test_scores);
+  EXPECT_GT(div.resources.failures.total(), 0u);
+  JlPipelineConfig jl;
+  jl.output_dim = 8;
+  const ScoredRun jl_run = run_jl_frac(rep, {}, jl, pool());
+  expect_finite(jl_run.test_scores);
+}
+
+TEST(Robustness, AllUnitsFailingIsALoudNumericErrorNotAZeroModel) {
+  const Replicate rep = base_replicate();
+  const ScopedFaultPlan plan("predictor_train:1:3");
+  EXPECT_THROW(FracModel::train(rep.train, {}, pool()), NumericError);
+}
+
+TEST(Robustness, EnsembleAbortsOnlyWhenEveryMemberFails) {
+  const Replicate rep = base_replicate();
+  const ScopedFaultPlan plan("predictor_train:1:1");
+  Rng rng(9);
+  EXPECT_THROW(run_diverse_ensemble(rep, {}, 0.5, 3, rng, pool()), NumericError);
+}
+
+TEST(Robustness, InjectedWriteFaultLeavesNoPartialFile) {
+  const Replicate rep = base_replicate();
+  const FracModel model = FracModel::train(rep.train, {}, pool());
+  const std::string path = testing::TempDir() + "/fault_model.frac";
+  std::remove(path.c_str());
+  {
+    const ScopedFaultPlan plan("serialize_write:1");
+    EXPECT_THROW(model.save_file(path), InjectedFault);
+  }
+  // Atomic write: the fault fired before the rename, so the target must not
+  // exist — a resumed pipeline can never read a torn model file.
+  EXPECT_FALSE(std::ifstream(path).good());
+  model.save_file(path);  // plan restored: the same call now succeeds
+  EXPECT_EQ(FracModel::load_file(path).unit_count(), model.unit_count());
+}
+
+TEST(Robustness, InjectedDatasetLoadFaultSurfaces) {
+  const std::string path = testing::TempDir() + "/fault_data.csv";
+  save_dataset_csv(path, base_replicate().train);
+  const ScopedFaultPlan plan("dataset_load:1");
+  EXPECT_THROW(load_dataset_csv(path), InjectedFault);
 }
 
 }  // namespace

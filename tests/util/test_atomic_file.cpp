@@ -1,0 +1,87 @@
+#include "util/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/errors.hpp"
+
+namespace frac {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Leftover .tmp files would betray a non-atomic (or leaky) writer.
+std::size_t tmp_files_next_to(const std::string& path) {
+  std::size_t count = 0;
+  const std::filesystem::path dir = std::filesystem::path(path).parent_path();
+  const std::string stem = std::filesystem::path(path).filename().string();
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(stem + ".tmp", 0) == 0) ++count;
+  }
+  return count;
+}
+
+TEST(AtomicFile, WritesContentAndLeavesNoTempFile) {
+  const std::string path = temp_path("atomic_ok.txt");
+  atomic_write_file(path, [](std::ostream& out) { out << "hello\nworld\n"; });
+  EXPECT_EQ(slurp(path), "hello\nworld\n");
+  EXPECT_EQ(tmp_files_next_to(path), 0u);
+}
+
+TEST(AtomicFile, ThrowingWriterLeavesNoTarget) {
+  const std::string path = temp_path("atomic_throw.txt");
+  EXPECT_THROW(atomic_write_file(path,
+                                 [](std::ostream& out) {
+                                   out << "partial";
+                                   throw IoError("writer failed midway");
+                                 }),
+               IoError);
+  EXPECT_FALSE(std::ifstream(path).good());
+  EXPECT_EQ(tmp_files_next_to(path), 0u);
+}
+
+TEST(AtomicFile, ThrowingWriterPreservesPreviousContent) {
+  const std::string path = temp_path("atomic_keep.txt");
+  atomic_write_file(path, [](std::ostream& out) { out << "original"; });
+  EXPECT_THROW(atomic_write_file(path,
+                                 [](std::ostream& out) {
+                                   out << "replacement";
+                                   throw IoError("writer failed midway");
+                                 }),
+               IoError);
+  // The crash-safety contract: the old file is intact, not truncated.
+  EXPECT_EQ(slurp(path), "original");
+  EXPECT_EQ(tmp_files_next_to(path), 0u);
+}
+
+TEST(AtomicFile, OverwritesExistingFileCompletely) {
+  const std::string path = temp_path("atomic_overwrite.txt");
+  atomic_write_file(path, [](std::ostream& out) { out << "a much longer first version"; });
+  atomic_write_file(path, [](std::ostream& out) { out << "short"; });
+  EXPECT_EQ(slurp(path), "short");
+}
+
+TEST(AtomicFile, UnwritableDirectoryIsAnIoError) {
+  EXPECT_THROW(
+      atomic_write_file(testing::TempDir() + "/no_such_dir/x.txt", [](std::ostream&) {}),
+      IoError);
+}
+
+}  // namespace
+}  // namespace frac

@@ -1,0 +1,169 @@
+#include "util/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace frac {
+namespace {
+
+TEST(FaultInjection, DisarmedByDefaultAndAfterClear) {
+  clear_fault_plan();
+  EXPECT_EQ(fault_plan_spec(), "");
+  for (std::size_t key = 0; key < 100; ++key) {
+    EXPECT_FALSE(fault_fires(FaultSite::kPredictorTrain, key));
+    EXPECT_NO_THROW(maybe_inject(FaultSite::kPredictorTrain, key));
+  }
+}
+
+TEST(FaultInjection, CertainProbabilityAlwaysFires) {
+  const ScopedFaultPlan plan("predictor_train:1:9");
+  for (std::size_t key = 0; key < 50; ++key) {
+    EXPECT_TRUE(fault_fires(FaultSite::kPredictorTrain, key));
+    EXPECT_THROW(maybe_inject(FaultSite::kPredictorTrain, key), InjectedFault);
+  }
+  // Unarmed sites stay quiet under a plan that arms another site.
+  EXPECT_FALSE(fault_fires(FaultSite::kDatasetLoad, 0));
+  EXPECT_NO_THROW(maybe_inject(FaultSite::kDatasetLoad, 0));
+}
+
+TEST(FaultInjection, ZeroProbabilityNeverFires) {
+  const ScopedFaultPlan plan("predictor_train:0:9");
+  for (std::size_t key = 0; key < 50; ++key) {
+    EXPECT_FALSE(fault_fires(FaultSite::kPredictorTrain, key));
+  }
+}
+
+TEST(FaultInjection, FiringIsDeterministicInSiteSeedAndKey) {
+  std::vector<bool> first;
+  {
+    const ScopedFaultPlan plan("error_model_fit:0.3:17");
+    for (std::size_t key = 0; key < 200; ++key) {
+      first.push_back(fault_fires(FaultSite::kErrorModelFit, key));
+    }
+  }
+  const ScopedFaultPlan plan("error_model_fit:0.3:17");
+  for (std::size_t key = 0; key < 200; ++key) {
+    EXPECT_EQ(fault_fires(FaultSite::kErrorModelFit, key), first[key]) << "key " << key;
+  }
+}
+
+TEST(FaultInjection, EmpiricalRateTracksProbability) {
+  const ScopedFaultPlan plan("predictor_train:0.25:5");
+  std::size_t fired = 0;
+  const std::size_t trials = 20000;
+  for (std::size_t key = 0; key < trials; ++key) {
+    fired += fault_fires(FaultSite::kPredictorTrain, key);
+  }
+  const double rate = static_cast<double>(fired) / trials;
+  EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(FaultInjection, SeedChangesWhichKeysFire) {
+  std::vector<bool> seed_a, seed_b;
+  {
+    const ScopedFaultPlan plan("predictor_train:0.5:1");
+    for (std::size_t key = 0; key < 200; ++key) {
+      seed_a.push_back(fault_fires(FaultSite::kPredictorTrain, key));
+    }
+  }
+  {
+    const ScopedFaultPlan plan("predictor_train:0.5:2");
+    for (std::size_t key = 0; key < 200; ++key) {
+      seed_b.push_back(fault_fires(FaultSite::kPredictorTrain, key));
+    }
+  }
+  EXPECT_NE(seed_a, seed_b);
+}
+
+TEST(FaultInjection, SitesAreIndependentStreams) {
+  const ScopedFaultPlan plan("predictor_train:0.5:3,error_model_fit:0.5:3");
+  std::vector<bool> train, fit;
+  for (std::size_t key = 0; key < 200; ++key) {
+    train.push_back(fault_fires(FaultSite::kPredictorTrain, key));
+    fit.push_back(fault_fires(FaultSite::kErrorModelFit, key));
+  }
+  EXPECT_NE(train, fit);
+}
+
+TEST(FaultInjection, MultiSitePlanArmsEachListedSite) {
+  const ScopedFaultPlan plan("serialize_write:1,dataset_load:1:4");
+  EXPECT_THROW(maybe_inject(FaultSite::kSerializeWrite, 1), InjectedFault);
+  EXPECT_THROW(maybe_inject(FaultSite::kDatasetLoad, 1), InjectedFault);
+  EXPECT_NO_THROW(maybe_inject(FaultSite::kPredictorTrain, 1));
+}
+
+TEST(FaultInjection, InjectedFaultCarriesSiteAndNamedMessage) {
+  const ScopedFaultPlan plan("serialize_write:1");
+  try {
+    maybe_inject(FaultSite::kSerializeWrite, 42);
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& e) {
+    EXPECT_EQ(e.site(), FaultSite::kSerializeWrite);
+    EXPECT_NE(std::string(e.what()).find("serialize_write"), std::string::npos);
+  }
+}
+
+TEST(FaultInjection, ScopedPlanRestoresPreviousPlan) {
+  const ScopedFaultPlan outer("predictor_train:1:1");
+  {
+    const ScopedFaultPlan inner("dataset_load:1:2");
+    EXPECT_EQ(fault_plan_spec(), "dataset_load:1:2");
+    EXPECT_FALSE(fault_fires(FaultSite::kPredictorTrain, 0));
+  }
+  EXPECT_EQ(fault_plan_spec(), "predictor_train:1:1");
+  EXPECT_TRUE(fault_fires(FaultSite::kPredictorTrain, 0));
+}
+
+TEST(FaultInjection, RejectsMalformedSpecs) {
+  EXPECT_THROW(set_fault_plan("bogus_site:0.5"), std::invalid_argument);
+  EXPECT_THROW(set_fault_plan("predictor_train"), std::invalid_argument);
+  EXPECT_THROW(set_fault_plan("predictor_train:1.5"), std::invalid_argument);
+  EXPECT_THROW(set_fault_plan("predictor_train:-0.1"), std::invalid_argument);
+  EXPECT_THROW(set_fault_plan("predictor_train:nope"), std::invalid_argument);
+  EXPECT_THROW(set_fault_plan("predictor_train:0.5:1:extra"), std::invalid_argument);
+  // A failed install must not leave a half-armed plan behind.
+  clear_fault_plan();
+  EXPECT_FALSE(fault_fires(FaultSite::kPredictorTrain, 0));
+}
+
+TEST(FaultInjection, SiteNamesRoundTrip) {
+  for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+    const auto site = static_cast<FaultSite>(i);
+    EXPECT_EQ(fault_site_from_name(fault_site_name(site)), site);
+  }
+  EXPECT_THROW(fault_site_from_name("unknown"), std::invalid_argument);
+}
+
+TEST(FaultInjection, FaultKeyIsStableAcrossCalls) {
+  EXPECT_EQ(fault_key("some/path.csv"), fault_key("some/path.csv"));
+  EXPECT_NE(fault_key("a"), fault_key("b"));
+  // Pin the FNV-1a constant so firing decisions survive refactors.
+  EXPECT_EQ(fault_key(""), 0xcbf29ce484222325ULL);
+}
+
+TEST(FaultInjection, FiringIsThreadCountInvariant) {
+  const ScopedFaultPlan plan("predictor_train:0.4:11");
+  std::vector<bool> serial(64);
+  for (std::size_t key = 0; key < serial.size(); ++key) {
+    serial[key] = fault_fires(FaultSite::kPredictorTrain, key);
+  }
+  std::vector<int> threaded(serial.size(), -1);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::size_t key = t; key < threaded.size(); key += 4) {
+        threaded[key] = fault_fires(FaultSite::kPredictorTrain, key) ? 1 : 0;
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (std::size_t key = 0; key < serial.size(); ++key) {
+    EXPECT_EQ(threaded[key], serial[key] ? 1 : 0) << "key " << key;
+  }
+}
+
+}  // namespace
+}  // namespace frac
