@@ -1,0 +1,52 @@
+// Minimal machine-readable output for the table benches: each binary can
+// drop a BENCH_<name>.json next to its human-readable table so CI and the
+// perf-tracking scripts diff runs without scraping stdout. Deliberately tiny
+// (flat objects, string/number values only) — the micro-benches use
+// google-benchmark's own JSON reporter instead.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/string_util.hpp"
+
+#ifndef FRAC_GIT_SHA
+#define FRAC_GIT_SHA "unknown"
+#endif
+
+namespace frac::benchtool {
+
+class JsonBenchWriter {
+ public:
+  /// One benchmark record: a name plus numeric fields.
+  struct Record {
+    std::string name;
+    std::vector<std::pair<std::string, double>> values;
+  };
+
+  void add(Record record) { records_.push_back(std::move(record)); }
+
+  /// Writes {"git_sha": ..., "benchmarks": [...]} to `path`; returns false
+  /// (benches keep printing their tables) when the file cannot be written.
+  bool write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "{\n  \"git_sha\": \"" << FRAC_GIT_SHA << "\",\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      out << "    {\"name\": \"" << r.name << "\"";
+      for (const auto& [key, value] : r.values) {
+        out << ", \"" << key << "\": " << format("%.17g", value);
+      }
+      out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  std::vector<Record> records_;
+};
+
+}  // namespace frac::benchtool

@@ -1,14 +1,22 @@
 // google-benchmark micro-kernels for the substrate: SVR/tree training, JL
 // projection, KDE entropy, AUC, the parallel runtime, and the vector
 // primitives underneath FRaC.
+//
+// The binary writes BENCH_kernels.json (google-benchmark's JSON reporter,
+// git sha in the context block) by default; pass your own --benchmark_out to
+// override. The *Level benches pin an explicit dispatch table so the
+// scalar-vs-SIMD speedup is measured regardless of FRAC_SIMD.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <string>
+#include <vector>
 
 #include "data/expression_generator.hpp"
 #include "frac/frac.hpp"
 #include "jl/projection.hpp"
 #include "linalg/kernels.hpp"
+#include "linalg/simd.hpp"
 #include "ml/kde/gaussian_kde.hpp"
 #include "ml/metrics.hpp"
 #include "ml/svm/linear_svr.hpp"
@@ -16,6 +24,10 @@
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/rng.hpp"
+
+#ifndef FRAC_GIT_SHA
+#define FRAC_GIT_SHA "unknown"
+#endif
 
 namespace {
 
@@ -39,6 +51,64 @@ void BM_Dot(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * d * 2 * sizeof(double)));
 }
 BENCHMARK(BM_Dot)->Arg(256)->Arg(1024)->Arg(8192);
+
+/// Resolves a pinned dispatch table, or skips when the level is unavailable.
+const simd::KernelTable* pinned_table(benchmark::State& state, simd::Level level) {
+  const simd::KernelTable* table = simd::kernel_table(level);
+  if (table == nullptr || !simd::cpu_supports(level)) {
+    state.SkipWithError("SIMD level unavailable on this machine/build");
+    return nullptr;
+  }
+  return table;
+}
+
+void BM_DotLevel(benchmark::State& state, simd::Level level) {
+  const simd::KernelTable* table = pinned_table(state, level);
+  if (table == nullptr) return;
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const Matrix m = random_matrix_values(2, d, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->dot(m.row(0).data(), m.row(1).data(), d));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * d * 2 * sizeof(double)));
+}
+BENCHMARK_CAPTURE(BM_DotLevel, scalar, simd::Level::kScalar)->Arg(1024)->Arg(8192);
+BENCHMARK_CAPTURE(BM_DotLevel, avx2, simd::Level::kAvx2)->Arg(1024)->Arg(8192);
+
+void BM_GemvLevel(benchmark::State& state, simd::Level level) {
+  const simd::KernelTable* table = pinned_table(state, level);
+  if (table == nullptr) return;
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = 64;
+  const Matrix a = random_matrix_values(m, d, 2);
+  const Matrix x = random_matrix_values(1, d, 3);
+  std::vector<double> y(m);
+  for (auto _ : state) {
+    table->gemv(a.data(), m, d, x.row(0).data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * m * d * sizeof(double)));
+}
+BENCHMARK_CAPTURE(BM_GemvLevel, scalar, simd::Level::kScalar)->Arg(1024)->Arg(4096);
+BENCHMARK_CAPTURE(BM_GemvLevel, avx2, simd::Level::kAvx2)->Arg(1024)->Arg(4096);
+
+void BM_MatmulLevel(benchmark::State& state, simd::Level level) {
+  const simd::KernelTable* table = pinned_table(state, level);
+  if (table == nullptr) return;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_matrix_values(n, n, 4);
+  const Matrix b = random_matrix_values(n, n, 5);
+  std::vector<double> c(n * n);
+  for (auto _ : state) {
+    std::fill(c.begin(), c.end(), 0.0);
+    table->matmul(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n * n * n));
+}
+BENCHMARK_CAPTURE(BM_MatmulLevel, scalar, simd::Level::kScalar)->Arg(64)->Arg(256);
+BENCHMARK_CAPTURE(BM_MatmulLevel, avx2, simd::Level::kAvx2)->Arg(64)->Arg(256);
 
 void BM_SvrFit(benchmark::State& state) {
   const std::size_t n = 50;
@@ -174,3 +244,25 @@ void BM_FracTrainSmall(benchmark::State& state) {
 BENCHMARK(BM_FracTrainSmall)->Arg(32)->Arg(64);
 
 }  // namespace
+
+// Custom main: default to the JSON reporter writing BENCH_kernels.json
+// (flags the caller passes come later in argv, so they win), and stamp the
+// build's git sha into the context block for the perf-tracking scripts.
+int main(int argc, char** argv) {
+  std::string default_out = "--benchmark_out=BENCH_kernels.json";
+  std::string default_format = "--benchmark_out_format=json";
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 2);
+  args.push_back(argv[0]);
+  args.push_back(default_out.data());
+  args.push_back(default_format.data());
+  for (int i = 1; i < argc; ++i) args.push_back(argv[i]);
+  int arg_count = static_cast<int>(args.size());
+  benchmark::AddCustomContext("git_sha", FRAC_GIT_SHA);
+  benchmark::AddCustomContext("simd_level", frac::simd::level_name(frac::simd::active_level()));
+  benchmark::Initialize(&arg_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(arg_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,9 +1,47 @@
 // Table II: full FRaC on every cohort — mean AUC (sd), CPU time, and
 // paper-equivalent model memory. The schizophrenia row is extrapolated from
 // the autism run, exactly as the paper does (it is printed in brackets).
+//
+// Also emits BENCH_frac.json (per-cohort aggregates + git sha) and asserts
+// the zero-copy training invariant: the largest per-unit training workspace
+// must be ~one gathered design matrix, with no CV-fold multiplier. A
+// regression there exits non-zero so CI catches it.
+#include <cstdlib>
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
+
+namespace {
+
+/// Trains one full model on the smallest cohort and checks that the reported
+/// training workspace carries no fold multiplier (< 1.5x one design matrix).
+bool check_zero_copy_training(frac::benchtool::JsonBenchWriter& json) {
+  using namespace frac;
+  using namespace frac::benchtool;
+  // table_grid_cohorts() returns by value; copy the spec so it outlives the
+  // temporary vector.
+  const CohortSpec spec = table_grid_cohorts().front();
+  const auto replicates = make_cohort_replicates(spec, 1);
+  const Dataset& train = replicates.front().train;
+  const FracModel model = FracModel::train(train, paper_frac_config(spec), pool());
+  const std::size_t workspace = model.report().train_workspace_bytes;
+  const std::size_t one_design =
+      train.sample_count() * train.feature_count() * sizeof(double);
+  json.add({"zero_copy_training_workspace",
+            {{"train_workspace_bytes", static_cast<double>(workspace)},
+             {"one_design_matrix_bytes", static_cast<double>(one_design)}}});
+  if (workspace == 0 || workspace >= one_design + one_design / 2) {
+    std::cerr << "FAIL: train_workspace_bytes = " << workspace << " vs one design matrix = "
+              << one_design << " — per-fold materialization is back?\n";
+    return false;
+  }
+  std::cout << "zero-copy check: max unit training workspace " << fmt_bytes(workspace)
+            << " <= 1.5 x " << fmt_bytes(one_design) << " (one design matrix)\n";
+  return true;
+}
+
+}  // namespace
 
 int main() {
   using namespace frac;
@@ -12,6 +50,7 @@ int main() {
   std::cout << "TABLE II — full FRaC runs (" << bench_replicates()
             << " replicates; linear SVR for expression, trees for SNP)\n\n";
 
+  JsonBenchWriter json;
   FullBaselineCache cache;
   TextTable table({"data set", "AUC", "Time", "Mem", "Failures"});
   for (const CohortSpec& spec : table_grid_cohorts()) {
@@ -19,6 +58,11 @@ int main() {
     const AggregateStats stats = aggregate(results);
     table.add_row({spec.name, fmt_mean_sd(stats.auc), fmt_time(stats.mean_cpu_seconds),
                    fmt_bytes(stats.mean_peak_bytes), fmt_failures(stats.failures)});
+    json.add({"full_frac/" + spec.name,
+              {{"auc_mean", stats.auc.mean},
+               {"auc_sd", stats.auc.sd},
+               {"cpu_seconds", stats.mean_cpu_seconds},
+               {"peak_bytes", stats.mean_peak_bytes}}});
   }
 
   // Schizophrenia: never run in full; extrapolate from autism (paper method).
@@ -30,6 +74,11 @@ int main() {
                  "[" + fmt_time(extrapolated.cpu_seconds) + "]",
                  "[" + fmt_bytes(extrapolated.peak_bytes) + "]", "-"});
   table.print(std::cout);
-  std::cout << "\n[bracketed] = extrapolated from the autism run, as in the paper.\n";
-  return 0;
+  std::cout << "\n[bracketed] = extrapolated from the autism run, as in the paper.\n\n";
+
+  const bool zero_copy_ok = check_zero_copy_training(json);
+  if (!json.write("BENCH_frac.json")) {
+    std::cerr << "warning: could not write BENCH_frac.json\n";
+  }
+  return zero_copy_ok ? 0 : 1;
 }

@@ -24,8 +24,11 @@ std::vector<std::size_t> select_filtered_features(const Dataset& train, FilterMe
     kept = rng.sample_without_replacement(f, keep);
   } else {
     std::vector<double> entropies(f);
+    // One column buffer reused across features (Matrix::col would allocate a
+    // fresh vector per call, f times).
+    std::vector<double> column(train.values().rows());
     for (std::size_t j = 0; j < f; ++j) {
-      const std::vector<double> column = train.values().col(j);
+      train.values().copy_col(j, column);
       const bool any_finite =
           std::any_of(column.begin(), column.end(), [](double v) { return !is_missing(v); });
       // An entirely missing column carries no information: rank it last.

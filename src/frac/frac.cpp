@@ -96,6 +96,10 @@ FracModel FracModel::train_with_plan(const Dataset& train, std::vector<FeaturePl
   // any thread count).
   std::vector<UnitFailure> unit_failures(plan.size());
   std::vector<std::uint8_t> unit_failed(plan.size(), 0);
+  // Transient training workspace per unit (gathered design matrix + target
+  // column); the model-level figure is the max, since workspaces are freed
+  // when the unit finishes.
+  std::vector<std::size_t> unit_workspace(plan.size(), 0);
 
   parallel_for(pool, 0, plan.size(), [&](std::size_t u) {
     Unit& unit = model.units_[u];
@@ -139,6 +143,11 @@ FracModel FracModel::train_with_plan(const Dataset& train, std::vector<FeaturePl
       }
       std::vector<std::uint32_t> input_arities(d);
       for (std::size_t k = 0; k < d; ++k) input_arities[k] = model.arities_[unit.plan.inputs[k]];
+      // Transient training workspace: the gathered design matrix plus the
+      // target column. Fold models train on views of x (below), so no fold
+      // multiplier enters here.
+      unit_workspace[u] = x.rows() * x.cols() * sizeof(double)
+                          + target_col.size() * sizeof(double);
 
       // Per-unit predictor hyperparameters get decorrelated seeds.
       PredictorConfig pred_config = config.predictor;
@@ -173,11 +182,13 @@ FracModel FracModel::train_with_plan(const Dataset& train, std::vector<FeaturePl
         const auto& fold = fold_sets[k];
         const auto train_rows = fold_complement(valid.size(), fold);
         if (train_rows.empty() || fold.empty()) return;  // empty fold: no model
-        Matrix x_fold(train_rows.size(), d);
+        // Zero-copy fold training: the fold model sees a row-subset *view* of
+        // the unit's design matrix; only the (small) target column is
+        // gathered. Peak training workspace per unit is therefore one design
+        // matrix, not folds+1 of them.
+        const MatrixView x_fold(x, train_rows);
         std::vector<double> y_fold(train_rows.size());
         for (std::size_t i = 0; i < train_rows.size(); ++i) {
-          const auto src = x.row(train_rows[i]);
-          std::copy(src.begin(), src.end(), x_fold.row(i).begin());
           y_fold[i] = target_col[train_rows[i]];
         }
         const std::unique_ptr<FeaturePredictor> cv_model =
@@ -256,6 +267,8 @@ FracModel FracModel::train_with_plan(const Dataset& train, std::vector<FeaturePl
       model.failures_.push_back(std::move(unit_failures[u]));
     }
     const Unit& unit = model.units_[u];
+    model.report_.train_workspace_bytes =
+        std::max(model.report_.train_workspace_bytes, unit_workspace[u]);
     if (unit.predictor == nullptr) continue;
     retained_bytes += unit.predictor->storage_bytes();
     ++model.report_.models_retained;

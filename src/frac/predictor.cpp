@@ -44,10 +44,18 @@ class InputExpander {
     }
   }
 
-  Matrix expand(const Matrix& in) const {
+  Matrix expand(MatrixView in) const {
     Matrix out(in.rows(), width_);
     for (std::size_t r = 0; r < in.rows(); ++r) expand(in.row(r), out.row(r));
     return out;
+  }
+
+  /// True when expansion is the identity map (all-real inputs): the solver
+  /// can train straight on the caller's view unless values need the NaN -> 0
+  /// imputation that expand() performs.
+  bool is_identity() const noexcept {
+    return std::all_of(arities_.begin(), arities_.end(),
+                       [](std::uint32_t a) { return a == 0; });
   }
 
   /// Maps an expanded column back to the raw input position.
@@ -61,6 +69,15 @@ class InputExpander {
   std::vector<std::size_t> offsets_;
   std::size_t width_ = 0;
 };
+
+bool has_missing_values(MatrixView x) {
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (const double v : x.row(r)) {
+      if (is_missing(v)) return true;
+    }
+  }
+  return false;
+}
 
 /// Per-thread expansion buffer. predict() is const and runs concurrently on
 /// row chunks that share one predictor instance, so the scratch must not
@@ -95,11 +112,17 @@ std::vector<std::uint32_t> top_inputs_by_weight(const std::vector<double>& w,
 
 class SvrPredictor final : public FeaturePredictor {
  public:
-  SvrPredictor(const Matrix& x, std::span<const double> y,
+  SvrPredictor(MatrixView x, std::span<const double> y,
                std::span<const std::uint32_t> arities, const LinearSvrConfig& config)
       : arities_(arities.begin(), arities.end()), expander_(arities_) {
-    const Matrix expanded = expander_.expand(x);
-    model_.fit(expanded, y, config);
+    // Zero-copy fast path: all-real NaN-free inputs need no expansion, so
+    // the solver trains directly on the caller's (possibly row-subset) view.
+    if (expander_.is_identity() && !has_missing_values(x)) {
+      model_.fit(x, y, config);
+    } else {
+      const Matrix expanded = expander_.expand(x);
+      model_.fit(expanded, y, config);
+    }
   }
 
   SvrPredictor(LinearSvr model, std::vector<std::uint32_t> arities)
@@ -134,7 +157,7 @@ class SvrPredictor final : public FeaturePredictor {
 
 class TreePredictor final : public FeaturePredictor {
  public:
-  TreePredictor(const Matrix& x, std::span<const double> y,
+  TreePredictor(MatrixView x, std::span<const double> y,
                 std::span<const std::uint32_t> arities, TreeTask task,
                 std::uint32_t target_arity, const DecisionTreeConfig& config) {
     model_.fit(x, y, arities, task, target_arity, config);
@@ -165,11 +188,15 @@ class TreePredictor final : public FeaturePredictor {
 
 class SvcPredictor final : public FeaturePredictor {
  public:
-  SvcPredictor(const Matrix& x, std::span<const double> y, std::uint32_t target_arity,
+  SvcPredictor(MatrixView x, std::span<const double> y, std::uint32_t target_arity,
                std::span<const std::uint32_t> arities, const LinearSvcConfig& config)
       : arities_(arities.begin(), arities.end()), expander_(arities_) {
-    const Matrix expanded = expander_.expand(x);
-    model_.fit(expanded, y, target_arity, config);
+    if (expander_.is_identity() && !has_missing_values(x)) {
+      model_.fit(x, y, target_arity, config);
+    } else {
+      const Matrix expanded = expander_.expand(x);
+      model_.fit(expanded, y, target_arity, config);
+    }
   }
 
   SvcPredictor(OneVsRestSvc model, std::vector<std::uint32_t> arities)
@@ -220,7 +247,7 @@ std::unique_ptr<FeaturePredictor> load_predictor(std::istream& in) {
   throw std::runtime_error("load_predictor: unknown kind '" + kind + "'");
 }
 
-std::unique_ptr<FeaturePredictor> train_regressor(const Matrix& x, std::span<const double> y,
+std::unique_ptr<FeaturePredictor> train_regressor(MatrixView x, std::span<const double> y,
                                                   std::span<const std::uint32_t> arities,
                                                   const PredictorConfig& config) {
   if (config.regressor == RegressorKind::kLinearSvr) {
@@ -229,7 +256,7 @@ std::unique_ptr<FeaturePredictor> train_regressor(const Matrix& x, std::span<con
   return std::make_unique<TreePredictor>(x, y, arities, TreeTask::kRegression, 0, config.tree);
 }
 
-std::unique_ptr<FeaturePredictor> train_classifier(const Matrix& x, std::span<const double> y,
+std::unique_ptr<FeaturePredictor> train_classifier(MatrixView x, std::span<const double> y,
                                                    std::uint32_t target_arity,
                                                    std::span<const std::uint32_t> arities,
                                                    const PredictorConfig& config) {

@@ -62,13 +62,15 @@ class FeaturePredictor {
 std::unique_ptr<FeaturePredictor> load_predictor(std::istream& in);
 
 /// Trains a regressor on rows of x against real-valued y.
-/// `arities[j]` describes input column j (0 = real).
-std::unique_ptr<FeaturePredictor> train_regressor(const Matrix& x, std::span<const double> y,
+/// `arities[j]` describes input column j (0 = real). Accepts a MatrixView,
+/// so CV folds train on row subsets of a shared design matrix zero-copy;
+/// all-real NaN-free inputs skip the 1-hot expansion copy entirely.
+std::unique_ptr<FeaturePredictor> train_regressor(MatrixView x, std::span<const double> y,
                                                   std::span<const std::uint32_t> arities,
                                                   const PredictorConfig& config);
 
 /// Trains a classifier on rows of x against target codes in [0, arity).
-std::unique_ptr<FeaturePredictor> train_classifier(const Matrix& x, std::span<const double> y,
+std::unique_ptr<FeaturePredictor> train_classifier(MatrixView x, std::span<const double> y,
                                                    std::uint32_t target_arity,
                                                    std::span<const std::uint32_t> arities,
                                                    const PredictorConfig& config);

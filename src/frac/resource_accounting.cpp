@@ -7,6 +7,7 @@ namespace frac {
 ResourceReport& ResourceReport::merge_sequential(const ResourceReport& other) {
   cpu_seconds += other.cpu_seconds;
   peak_bytes = std::max(peak_bytes, other.peak_bytes);
+  train_workspace_bytes = std::max(train_workspace_bytes, other.train_workspace_bytes);
   models_trained += other.models_trained;
   models_retained = std::max(models_retained, other.models_retained);
   failures += other.failures;
@@ -16,6 +17,7 @@ ResourceReport& ResourceReport::merge_sequential(const ResourceReport& other) {
 ResourceReport& ResourceReport::merge_concurrent(const ResourceReport& other) {
   cpu_seconds += other.cpu_seconds;
   peak_bytes += other.peak_bytes;
+  train_workspace_bytes += other.train_workspace_bytes;
   models_trained += other.models_trained;
   models_retained += other.models_retained;
   failures += other.failures;

@@ -28,6 +28,12 @@ struct ResourceReport {
   double cpu_seconds = 0.0;
   /// Peak of: training data + all concurrently retained predictor models.
   std::size_t peak_bytes = 0;
+  /// Largest transient training workspace any single unit held (its gathered
+  /// design matrix + target column). Fold models train on MatrixViews of that
+  /// matrix, so this carries no CV-fold multiplier — the zero-copy invariant
+  /// bench/table2_full_frac asserts. Sequential merge takes the max (the
+  /// workspace is freed between runs), concurrent merge adds.
+  std::size_t train_workspace_bytes = 0;
   /// Total predictors trained (CV folds + final models).
   std::size_t models_trained = 0;
   /// Predictors retained for scoring.

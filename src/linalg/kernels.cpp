@@ -4,44 +4,73 @@
 #include <cassert>
 #include <cmath>
 
+#include "linalg/simd.hpp"
+
 namespace frac {
+
+namespace simd {
+// Defined in simd.cpp; the relaxed-atomic load of the active dispatch table.
+const KernelTable* active_kernel_table();
+}  // namespace simd
 
 double dot(std::span<const double> x, std::span<const double> y) noexcept {
   assert(x.size() == y.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
-  return acc;
+  return simd::active_kernel_table()->dot(x.data(), y.data(), x.size());
 }
 
 void axpy(double alpha, std::span<const double> x, std::span<double> y) noexcept {
   assert(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  simd::active_kernel_table()->axpy(alpha, x.data(), y.data(), x.size());
 }
 
 void scale(double alpha, std::span<double> x) noexcept {
-  for (double& v : x) v *= alpha;
+  simd::active_kernel_table()->scale(alpha, x.data(), x.size());
 }
 
-double squared_norm(std::span<const double> x) noexcept { return dot(x, x); }
+double squared_norm(std::span<const double> x) noexcept {
+  return simd::active_kernel_table()->squared_norm(x.data(), x.size());
+}
 
 double norm(std::span<const double> x) noexcept { return std::sqrt(squared_norm(x)); }
 
 double squared_distance(std::span<const double> x, std::span<const double> y) noexcept {
   assert(x.size() == y.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const double d = x[i] - y[i];
-    acc += d * d;
-  }
-  return acc;
+  return simd::active_kernel_table()->squared_distance(x.data(), y.data(), x.size());
 }
 
 void gemv(const Matrix& a, std::span<const double> x, std::span<double> y) noexcept {
   assert(x.size() == a.cols());
   assert(y.size() == a.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    y[i] = dot(a.row(i), x);
+  simd::active_kernel_table()->gemv(a.data(), a.rows(), a.cols(), x.data(), y.data());
+}
+
+double gaussian_kernel_sum(std::span<const double> points, double x, double inv_h) noexcept {
+  // One shared implementation for every dispatch level: exp() dominates the
+  // cost and stays scalar libm, but the accumulation follows the kernel
+  // layer's fixed lane-block order so a future vectorized-exp path can slot
+  // in without changing results.
+  constexpr std::size_t kLanes = 16;
+  double acc[kLanes] = {};
+  const double* p = points.data();
+  const std::size_t n = points.size();
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (std::size_t j = 0; j < kLanes; ++j) {
+      const double z = (x - p[i + j]) * inv_h;
+      acc[j] += std::exp(-0.5 * z * z);
+    }
   }
+  for (std::size_t j = 0; i < n; ++i, ++j) {
+    const double z = (x - p[i]) * inv_h;
+    acc[j] += std::exp(-0.5 * z * z);
+  }
+  double a0 = acc[0] + acc[8], a1 = acc[1] + acc[9], a2 = acc[2] + acc[10],
+         a3 = acc[3] + acc[11];
+  a0 += acc[4] + acc[12];
+  a1 += acc[5] + acc[13];
+  a2 += acc[6] + acc[14];
+  a3 += acc[7] + acc[15];
+  return (a0 + a2) + (a1 + a3);
 }
 
 double mean(std::span<const double> x) noexcept {

@@ -1,5 +1,11 @@
 // Level-1/level-2 vector kernels used by the SVM solvers and JL projection.
 // All take std::span so callers can pass Matrix rows or plain vectors.
+//
+// dot/axpy/scale/squared_norm/squared_distance/gemv (and Matrix matmul)
+// dispatch at runtime to the best instruction-set level (linalg/simd.hpp;
+// override with FRAC_SIMD=scalar|avx2). Every level follows the same fixed
+// lane-block accumulation order, so results are bit-identical across levels
+// and machines — see DESIGN.md §9 for the contract.
 #pragma once
 
 #include <cstddef>
@@ -30,6 +36,11 @@ double squared_distance(std::span<const double> x, std::span<const double> y) no
 
 /// y = A x  (A: m×n, x: n, y: m).
 void gemv(const Matrix& a, std::span<const double> x, std::span<double> y) noexcept;
+
+/// Σ_i exp(-0.5 · ((x − points[i]) · inv_h)²) — the Gaussian KDE inner loop,
+/// accumulated in the kernel layer's fixed lane-block order (one shared
+/// implementation for all dispatch levels; exp stays scalar libm).
+double gaussian_kernel_sum(std::span<const double> points, double x, double inv_h) noexcept;
 
 /// Arithmetic mean; 0 for empty input.
 double mean(std::span<const double> x) noexcept;

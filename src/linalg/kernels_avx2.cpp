@@ -1,0 +1,153 @@
+// AVX2 + FMA kernels. This translation unit is the only one compiled with
+// -mavx2 -mfma (see src/CMakeLists.txt); it is reached only after the
+// dispatcher has confirmed cpuid support, so no other TU may call into it
+// directly.
+//
+// Determinism: each reduction keeps four 4-lane vfmadd accumulators fed in
+// element order — lane j of vector v holds accumulator 4v+j, exactly the
+// double[16] the scalar reference maintains — then stores them and reuses
+// the scalar tail/reduction helpers, so the final double is bit-identical
+// to the scalar path (kernels_impl.hpp).
+//
+// Every kernel executes _mm256_zeroupper() after its last 256-bit op: the
+// callers are ordinary non-VEX code, and returning with dirty upper-YMM
+// state puts the core in the AVX/SSE transition-penalty regime (observed as
+// a ~50x slowdown of subsequent scalar FP). GCC's automatic vzeroupper pass
+// misses the kernels that tail-call the shared reduce helper, so the
+// contract is enforced explicitly rather than left to the compiler.
+#include "linalg/kernels_impl.hpp"
+#include "linalg/simd.hpp"
+
+#if defined(FRAC_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstddef>
+
+namespace frac::simd {
+
+namespace {
+
+using detail::kAccumulators;
+
+double dot_avx2(const double* x, const double* y, std::size_t n) {
+  __m256d v0 = _mm256_setzero_pd();
+  __m256d v1 = _mm256_setzero_pd();
+  __m256d v2 = _mm256_setzero_pd();
+  __m256d v3 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + kAccumulators <= n; i += kAccumulators) {
+    v0 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i), v0);
+    v1 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 4), _mm256_loadu_pd(y + i + 4), v1);
+    v2 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 8), _mm256_loadu_pd(y + i + 8), v2);
+    v3 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 12), _mm256_loadu_pd(y + i + 12), v3);
+  }
+  alignas(32) double acc[kAccumulators];
+  _mm256_store_pd(acc + 0, v0);
+  _mm256_store_pd(acc + 4, v1);
+  _mm256_store_pd(acc + 8, v2);
+  _mm256_store_pd(acc + 12, v3);
+  _mm256_zeroupper();
+  detail::dot_tail(x, y, i, n, acc);
+  return detail::reduce_accumulators(acc);
+}
+
+void axpy_avx2(double alpha, const double* x, double* y, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vy = _mm256_fmadd_pd(va, _mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i));
+    _mm256_storeu_pd(y + i, vy);
+  }
+  _mm256_zeroupper();
+  for (; i < n; ++i) y[i] = std::fma(alpha, x[i], y[i]);
+}
+
+void scale_avx2(double alpha, double* x, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(va, _mm256_loadu_pd(x + i)));
+  }
+  _mm256_zeroupper();
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+double squared_norm_avx2(const double* x, std::size_t n) { return dot_avx2(x, x, n); }
+
+double squared_distance_avx2(const double* x, const double* y, std::size_t n) {
+  __m256d v0 = _mm256_setzero_pd();
+  __m256d v1 = _mm256_setzero_pd();
+  __m256d v2 = _mm256_setzero_pd();
+  __m256d v3 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + kAccumulators <= n; i += kAccumulators) {
+    const __m256d d0 = _mm256_sub_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i));
+    const __m256d d1 = _mm256_sub_pd(_mm256_loadu_pd(x + i + 4), _mm256_loadu_pd(y + i + 4));
+    const __m256d d2 = _mm256_sub_pd(_mm256_loadu_pd(x + i + 8), _mm256_loadu_pd(y + i + 8));
+    const __m256d d3 = _mm256_sub_pd(_mm256_loadu_pd(x + i + 12), _mm256_loadu_pd(y + i + 12));
+    v0 = _mm256_fmadd_pd(d0, d0, v0);
+    v1 = _mm256_fmadd_pd(d1, d1, v1);
+    v2 = _mm256_fmadd_pd(d2, d2, v2);
+    v3 = _mm256_fmadd_pd(d3, d3, v3);
+  }
+  alignas(32) double acc[kAccumulators];
+  _mm256_store_pd(acc + 0, v0);
+  _mm256_store_pd(acc + 4, v1);
+  _mm256_store_pd(acc + 8, v2);
+  _mm256_store_pd(acc + 12, v3);
+  _mm256_zeroupper();
+  detail::distance_tail(x, y, i, n, acc);
+  return detail::reduce_accumulators(acc);
+}
+
+void gemv_avx2(const double* a, std::size_t m, std::size_t n, const double* x, double* y) {
+  for (std::size_t i = 0; i < m; ++i) y[i] = dot_avx2(a + i * n, x, n);
+}
+
+void matmul_avx2(const double* a, const double* b, double* c, std::size_t m, std::size_t k,
+                 std::size_t n) {
+  for (std::size_t kk = 0; kk < k; kk += detail::kMatmulKc) {
+    const std::size_t k_end = std::min(k, kk + detail::kMatmulKc);
+    for (std::size_t jj = 0; jj < n; jj += detail::kMatmulNc) {
+      const std::size_t j_end = std::min(n, jj + detail::kMatmulNc);
+      for (std::size_t i = 0; i < m; ++i) {
+        double* crow = c + i * n;
+        for (std::size_t p = kk; p < k_end; ++p) {
+          const __m256d va = _mm256_set1_pd(a[i * k + p]);
+          const double* brow = b + p * n;
+          std::size_t j = jj;
+          for (; j + 4 <= j_end; j += 4) {
+            const __m256d vc =
+                _mm256_fmadd_pd(va, _mm256_loadu_pd(brow + j), _mm256_loadu_pd(crow + j));
+            _mm256_storeu_pd(crow + j, vc);
+          }
+          for (; j < j_end; ++j) crow[j] = std::fma(a[i * k + p], brow[j], crow[j]);
+        }
+      }
+    }
+  }
+  _mm256_zeroupper();
+}
+
+}  // namespace
+
+const KernelTable* avx2_kernel_table() {
+  static const KernelTable table{dot_avx2,           axpy_avx2, scale_avx2,
+                                 squared_norm_avx2,  squared_distance_avx2,
+                                 gemv_avx2,          matmul_avx2};
+  return &table;
+}
+
+}  // namespace frac::simd
+
+#else  // !FRAC_HAVE_AVX2
+
+namespace frac::simd {
+
+const KernelTable* avx2_kernel_table() { return nullptr; }
+
+}  // namespace frac::simd
+
+#endif

@@ -1,0 +1,89 @@
+// Shared accumulation contract for the per-level kernel implementations.
+//
+// Every reduction kernel (dot, squared_norm, squared_distance, and gemv/
+// matmul on top of them) accumulates into 16 independent fused-multiply-add
+// accumulators — four 4-lane vectors in the AVX2 path, a plain double[16] in
+// the scalar path — fed in element order, with the tail (< 16 elements)
+// folded into accumulators 0..tail-1 and a fixed binary-tree reduction at
+// the end:
+//
+//   acc[j] += acc[j+8]  (j < 8)
+//   acc[j] += acc[j+4]  (j < 4)
+//   acc[0] += acc[2];  acc[1] += acc[3];  result = acc[0] + acc[1]
+//
+// Because each per-element update is a correctly-rounded FMA (std::fma in
+// the scalar path, vfmadd in the AVX2 path) and the adds happen in the same
+// order, the two paths are bit-identical for every input — the determinism
+// contract DESIGN.md §9 documents. Do not "optimize" the scalar path into
+// `acc += x*y` (separately-rounded multiply) or reorder the tree.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "linalg/simd.hpp"
+
+namespace frac::simd {
+
+/// Per-level tables, defined in kernels_scalar.cpp / kernels_avx2.cpp and
+/// re-declared locally by simd.cpp. avx2_kernel_table() returns null when
+/// the binary was built without AVX2 support (non-x86 target or unsupported
+/// compiler flags).
+const KernelTable* scalar_kernel_table();
+const KernelTable* avx2_kernel_table();
+
+}  // namespace frac::simd
+
+// The helpers below are `static` (one copy per kernel TU), not `inline`: the
+// AVX2 TU is compiled with -mavx2 -mfma, and if the linker deduplicated an
+// inline helper it could wire the VEX-encoded copy into the scalar fallback,
+// which must run on machines without AVX. Include this header ONLY from the
+// per-level kernel TUs (each uses every helper, so no unused-function
+// warnings).
+namespace frac::simd::detail {
+
+/// Accumulators per reduction: 4 unrolled 256-bit vectors x 4 double lanes.
+inline constexpr std::size_t kAccumulators = 16;
+
+/// Fixed-order reduction of the 16 lane accumulators (see file comment).
+static double reduce_accumulators(const double acc[kAccumulators]) noexcept {
+  double a0 = acc[0] + acc[8];
+  double a1 = acc[1] + acc[9];
+  double a2 = acc[2] + acc[10];
+  double a3 = acc[3] + acc[11];
+  const double a4 = acc[4] + acc[12];
+  const double a5 = acc[5] + acc[13];
+  const double a6 = acc[6] + acc[14];
+  const double a7 = acc[7] + acc[15];
+  a0 += a4;
+  a1 += a5;
+  a2 += a6;
+  a3 += a7;
+  a0 += a2;
+  a1 += a3;
+  return a0 + a1;
+}
+
+/// Folds the scalar tail [i, n) of a dot-style reduction into acc[0..].
+static void dot_tail(const double* x, const double* y, std::size_t i, std::size_t n,
+                     double acc[kAccumulators]) noexcept {
+  for (std::size_t j = 0; i < n; ++i, ++j) acc[j] = std::fma(x[i], y[i], acc[j]);
+}
+
+/// Folds the scalar tail of a squared-distance reduction into acc[0..].
+static void distance_tail(const double* x, const double* y, std::size_t i, std::size_t n,
+                          double acc[kAccumulators]) noexcept {
+  for (std::size_t j = 0; i < n; ++i, ++j) {
+    const double d = x[i] - y[i];
+    acc[j] = std::fma(d, d, acc[j]);
+  }
+}
+
+/// Cache-block sizes for matmul: KC k-panel rows x NC column strip keeps the
+/// working set (one B panel + one C strip) inside L1/L2. Shared by both
+/// levels — the (i, j) accumulation order over k is part of the determinism
+/// contract, and identical blocking guarantees it.
+inline constexpr std::size_t kMatmulKc = 64;
+inline constexpr std::size_t kMatmulNc = 512;
+
+}  // namespace frac::simd::detail

@@ -1,0 +1,85 @@
+// Portable reference kernels. Every operation follows the lane-block
+// accumulation contract in kernels_impl.hpp; multiplies-and-adds go through
+// std::fma so results bit-match the FMA hardware paths (glibc routes fma()
+// to the correctly-rounded hardware instruction where available).
+#include <algorithm>
+#include <cstddef>
+
+#include "linalg/kernels_impl.hpp"
+#include "linalg/simd.hpp"
+
+namespace frac::simd {
+
+namespace {
+
+using detail::kAccumulators;
+
+double dot_scalar(const double* x, const double* y, std::size_t n) {
+  double acc[kAccumulators] = {};
+  std::size_t i = 0;
+  for (; i + kAccumulators <= n; i += kAccumulators) {
+    for (std::size_t j = 0; j < kAccumulators; ++j) {
+      acc[j] = std::fma(x[i + j], y[i + j], acc[j]);
+    }
+  }
+  detail::dot_tail(x, y, i, n, acc);
+  return detail::reduce_accumulators(acc);
+}
+
+void axpy_scalar(double alpha, const double* x, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] = std::fma(alpha, x[i], y[i]);
+}
+
+void scale_scalar(double alpha, double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+double squared_norm_scalar(const double* x, std::size_t n) { return dot_scalar(x, x, n); }
+
+double squared_distance_scalar(const double* x, const double* y, std::size_t n) {
+  double acc[kAccumulators] = {};
+  std::size_t i = 0;
+  for (; i + kAccumulators <= n; i += kAccumulators) {
+    for (std::size_t j = 0; j < kAccumulators; ++j) {
+      const double d = x[i + j] - y[i + j];
+      acc[j] = std::fma(d, d, acc[j]);
+    }
+  }
+  detail::distance_tail(x, y, i, n, acc);
+  return detail::reduce_accumulators(acc);
+}
+
+void gemv_scalar(const double* a, std::size_t m, std::size_t n, const double* x, double* y) {
+  for (std::size_t i = 0; i < m; ++i) y[i] = dot_scalar(a + i * n, x, n);
+}
+
+void matmul_scalar(const double* a, const double* b, double* c, std::size_t m, std::size_t k,
+                   std::size_t n) {
+  for (std::size_t kk = 0; kk < k; kk += detail::kMatmulKc) {
+    const std::size_t k_end = std::min(k, kk + detail::kMatmulKc);
+    for (std::size_t jj = 0; jj < n; jj += detail::kMatmulNc) {
+      const std::size_t j_end = std::min(n, jj + detail::kMatmulNc);
+      for (std::size_t i = 0; i < m; ++i) {
+        double* crow = c + i * n;
+        for (std::size_t p = kk; p < k_end; ++p) {
+          const double aip = a[i * k + p];
+          const double* brow = b + p * n;
+          for (std::size_t j = jj; j < j_end; ++j) {
+            crow[j] = std::fma(aip, brow[j], crow[j]);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const KernelTable* scalar_kernel_table() {
+  static const KernelTable table{dot_scalar,           axpy_scalar, scale_scalar,
+                                 squared_norm_scalar,  squared_distance_scalar,
+                                 gemv_scalar,          matmul_scalar};
+  return &table;
+}
+
+}  // namespace frac::simd

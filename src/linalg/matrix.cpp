@@ -1,29 +1,32 @@
 #include "linalg/matrix.hpp"
 
+#include "linalg/simd.hpp"
+
 namespace frac {
+
+namespace simd {
+const KernelTable* active_kernel_table();  // simd.cpp
+}  // namespace simd
 
 std::vector<double> Matrix::col(std::size_t c) const {
   assert(c < cols_);
   std::vector<double> out(rows_);
-  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  copy_col(c, out);
   return out;
+}
+
+void Matrix::copy_col(std::size_t c, std::span<double> out) const noexcept {
+  assert(c < cols_);
+  assert(out.size() == rows_);
+  const ColView view = col_view(c);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = view[r];
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.rows());
-  Matrix c(a.rows(), b.cols());
-  // i-k-j ordering keeps the inner loop contiguous in both B and C.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      const auto brow = b.row(k);
-      const auto crow = c.row(i);
-      for (std::size_t j = 0; j < b.cols(); ++j) {
-        crow[j] += aik * brow[j];
-      }
-    }
-  }
+  Matrix c(a.rows(), b.cols());  // zero-initialized; the kernel accumulates
+  simd::active_kernel_table()->matmul(a.data(), b.data(), c.data(), a.rows(), a.cols(),
+                                      b.cols());
   return c;
 }
 

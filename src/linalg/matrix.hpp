@@ -48,7 +48,16 @@ class Matrix {
     return {data_.data() + r * cols_, cols_};
   }
 
-  /// Copies column c out (strided gather).
+  /// Strided, non-owning view of one column (see ColView below). Prefer this
+  /// (or copy_col with a reused buffer) over col() in loops: col() allocates
+  /// a fresh vector on every call.
+  class ColView;
+  ColView col_view(std::size_t c) const noexcept;
+
+  /// Gathers column c into out (out.size() must equal rows()); no allocation.
+  void copy_col(std::size_t c, std::span<double> out) const noexcept;
+
+  /// Copies column c out (strided gather, allocates).
   std::vector<double> col(std::size_t c) const;
 
   double* data() noexcept { return data_.data(); }
@@ -65,8 +74,74 @@ class Matrix {
   std::vector<double> data_;
 };
 
-/// C = A * B (naive triple loop with row-major-friendly ordering).
-/// Only used in tests and small pipelines; hot paths use gemv/dot kernels.
+/// Non-owning strided view of one matrix column.
+class Matrix::ColView {
+ public:
+  ColView(const double* base, std::size_t stride, std::size_t size) noexcept
+      : base_(base), stride_(stride), size_(size) {}
+
+  std::size_t size() const noexcept { return size_; }
+  double operator[](std::size_t r) const noexcept {
+    assert(r < size_);
+    return base_[r * stride_];
+  }
+
+ private:
+  const double* base_;
+  std::size_t stride_;
+  std::size_t size_;
+};
+
+inline Matrix::ColView Matrix::col_view(std::size_t c) const noexcept {
+  assert(c < cols_);
+  return ColView(data_.data() + c, cols_, rows_);
+}
+
+/// Non-owning view of a matrix restricted to a row subset: the matrix plus a
+/// span of row indices (nullptr span = all rows, in order). Implicitly
+/// constructible from Matrix, so every trainer that takes a MatrixView also
+/// accepts a plain Matrix. The view borrows both the matrix and the index
+/// span — the caller keeps them alive for the view's lifetime.
+///
+/// This is what lets CV fold models train on the unit's gathered design
+/// matrix directly instead of materializing a per-fold copy (frac.cpp).
+class MatrixView {
+ public:
+  MatrixView() = default;
+
+  // NOLINTNEXTLINE(google-explicit-constructor): deliberate Matrix adapter.
+  MatrixView(const Matrix& m) noexcept : m_(&m), count_(m.rows()) {}
+
+  MatrixView(const Matrix& m, std::span<const std::size_t> rows) noexcept
+      : m_(&m), rows_(rows.data()), count_(rows.size()) {
+#ifndef NDEBUG
+    for (std::size_t i = 0; i < count_; ++i) assert(rows_[i] < m.rows());
+#endif
+  }
+
+  std::size_t rows() const noexcept { return count_; }
+  std::size_t cols() const noexcept { return m_ == nullptr ? 0 : m_->cols(); }
+
+  /// Underlying matrix row index for view row i.
+  std::size_t row_index(std::size_t i) const noexcept {
+    assert(i < count_);
+    return rows_ == nullptr ? i : rows_[i];
+  }
+
+  /// Contiguous view of view-row i (a row of the underlying matrix).
+  std::span<const double> row(std::size_t i) const noexcept { return m_->row(row_index(i)); }
+
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return (*m_)(row_index(r), c);
+  }
+
+ private:
+  const Matrix* m_ = nullptr;
+  const std::size_t* rows_ = nullptr;  // nullptr = identity (all rows)
+  std::size_t count_ = 0;
+};
+
+/// C = A * B (cache-blocked, SIMD-dispatched; bit-identical across levels).
 Matrix matmul(const Matrix& a, const Matrix& b);
 
 /// Returns A transposed.

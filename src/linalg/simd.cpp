@@ -1,0 +1,88 @@
+#include "linalg/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace frac::simd {
+
+// Defined in kernels_scalar.cpp / kernels_avx2.cpp. Declared here rather
+// than via kernels_impl.hpp, which must only be included by the kernel TUs.
+const KernelTable* scalar_kernel_table();
+const KernelTable* avx2_kernel_table();
+
+namespace {
+
+/// Best level the CPU can execute.
+Level detect_level() {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (avx2_kernel_table() != nullptr && __builtin_cpu_supports("avx2") &&
+      __builtin_cpu_supports("fma")) {
+    return Level::kAvx2;
+  }
+#endif
+  return Level::kScalar;
+}
+
+/// Startup choice: cpuid, unless FRAC_SIMD overrides it. An unrecognized or
+/// unsupported override logs a warning and keeps the detected level — a bad
+/// environment variable must not abort (or silently slow down) a run.
+Level initial_level() {
+  const Level detected = detect_level();
+  const char* env = std::getenv("FRAC_SIMD");
+  if (env == nullptr || *env == '\0') return detected;
+  if (std::strcmp(env, "scalar") == 0) return Level::kScalar;
+  if (std::strcmp(env, "avx2") == 0) {
+    if (cpu_supports(Level::kAvx2)) return Level::kAvx2;
+    FRAC_WARN << "FRAC_SIMD=avx2 requested but this CPU/build lacks AVX2+FMA; "
+                 "using scalar kernels";
+    return Level::kScalar;
+  }
+  FRAC_WARN << "unrecognized FRAC_SIMD='" << env << "' (expected scalar|avx2); using "
+            << level_name(detected) << " kernels";
+  return detected;
+}
+
+/// The active table, published once and swapped only by force_level(). The
+/// kernels in kernels.cpp load it with a relaxed atomic read — tables are
+/// immutable and any published table is valid, so no ordering is needed.
+std::atomic<const KernelTable*>& active_table_slot() {
+  static std::atomic<const KernelTable*> slot{kernel_table(initial_level())};
+  return slot;
+}
+
+}  // namespace
+
+bool cpu_supports(Level level) {
+  return level == Level::kScalar || detect_level() == Level::kAvx2;
+}
+
+const KernelTable* kernel_table(Level level) {
+  return level == Level::kScalar ? scalar_kernel_table() : avx2_kernel_table();
+}
+
+Level active_level() {
+  return active_table_slot().load(std::memory_order_relaxed) == scalar_kernel_table()
+             ? Level::kScalar
+             : Level::kAvx2;
+}
+
+Level force_level(Level level) {
+  if (!cpu_supports(level)) return active_level();
+  active_table_slot().store(kernel_table(level), std::memory_order_relaxed);
+  return level;
+}
+
+const char* level_name(Level level) {
+  return level == Level::kScalar ? "scalar" : "avx2";
+}
+
+/// Internal accessor for kernels.cpp (declared there; kept out of simd.hpp so
+/// ordinary callers go through the span API).
+const KernelTable* active_kernel_table() {
+  return active_table_slot().load(std::memory_order_relaxed);
+}
+
+}  // namespace frac::simd

@@ -1,0 +1,54 @@
+// Runtime SIMD dispatch for the level-1/level-2 kernels.
+//
+// One implementation table per instruction-set level; the active table is
+// chosen once at startup from cpuid (overridable with FRAC_SIMD=scalar|avx2)
+// and every public kernel in kernels.hpp routes through it. All levels use
+// the same fixed 4x-unrolled lane-block accumulation order (see
+// kernels_impl.hpp), so kernel results — and therefore NS scores — are
+// bit-identical across levels, machines, and thread counts.
+#pragma once
+
+#include <cstddef>
+
+namespace frac::simd {
+
+enum class Level : int {
+  kScalar = 0,  ///< portable reference (std::fma-based, matches FMA hardware)
+  kAvx2 = 1,    ///< AVX2 + FMA (x86-64)
+};
+
+/// Raw-pointer kernel table for one instruction-set level. Exposed so the
+/// equivalence tests and micro-benches can pin a level explicitly; ordinary
+/// callers use the span API in kernels.hpp, which routes through the active
+/// table.
+struct KernelTable {
+  double (*dot)(const double* x, const double* y, std::size_t n);
+  void (*axpy)(double alpha, const double* x, double* y, std::size_t n);
+  void (*scale)(double alpha, double* x, std::size_t n);
+  double (*squared_norm)(const double* x, std::size_t n);
+  double (*squared_distance)(const double* x, const double* y, std::size_t n);
+  /// y = A x with A m-by-n row-major.
+  void (*gemv)(const double* a, std::size_t m, std::size_t n, const double* x, double* y);
+  /// C += A B, row-major, A m-by-k, B k-by-n; C must be pre-initialized.
+  void (*matmul)(const double* a, const double* b, double* c, std::size_t m, std::size_t k,
+                 std::size_t n);
+};
+
+/// True when the CPU can execute `level` (kScalar is always supported).
+bool cpu_supports(Level level);
+
+/// The level the kernels are currently routed through. Resolved on first use:
+/// the best supported level, unless FRAC_SIMD=scalar|avx2 overrides it (an
+/// unsupported or unrecognized override logs a warning and falls back).
+Level active_level();
+
+/// Forces the active level (tests/benches). Returns the level actually in
+/// effect: requesting an unsupported level is a no-op.
+Level force_level(Level level);
+
+/// Implementation table for `level`; null if the binary was built without it.
+const KernelTable* kernel_table(Level level);
+
+const char* level_name(Level level);
+
+}  // namespace frac::simd

@@ -42,12 +42,9 @@ double GaussianKde::pdf(double x) const {
   const double inv_h = 1.0 / bandwidth_;
   const double norm = inv_h / (static_cast<double>(points_.size()) *
                                std::sqrt(2.0 * std::numbers::pi));
-  double acc = 0.0;
-  for (const double p : points_) {
-    const double z = (x - p) * inv_h;
-    acc += std::exp(-0.5 * z * z);
-  }
-  return norm * acc;
+  // Blocked accumulation kernel: same fixed order as the SIMD layer, so the
+  // density (and everything derived from it) is bit-identical across builds.
+  return norm * gaussian_kernel_sum(points_, x, inv_h);
 }
 
 double GaussianKde::differential_entropy(std::size_t grid_points) const {

@@ -11,7 +11,7 @@
 
 namespace frac {
 
-void BinaryLinearSvc::fit(const Matrix& x, std::span<const int> y, const LinearSvcConfig& config) {
+void BinaryLinearSvc::fit(MatrixView x, std::span<const int> y, const LinearSvcConfig& config) {
   const std::size_t n = x.rows();
   const std::size_t d = x.cols();
   if (n == 0) throw std::invalid_argument("BinaryLinearSvc::fit: empty training set");
@@ -81,7 +81,7 @@ int BinaryLinearSvc::predict(std::span<const double> x) const {
   return decision(x) < 0.0 ? -1 : 1;
 }
 
-void OneVsRestSvc::fit(const Matrix& x, std::span<const double> codes, std::uint32_t arity,
+void OneVsRestSvc::fit(MatrixView x, std::span<const double> codes, std::uint32_t arity,
                        const LinearSvcConfig& config) {
   if (arity < 2) throw std::invalid_argument("OneVsRestSvc::fit: arity must be >= 2");
   binary_.assign(arity, BinaryLinearSvc{});

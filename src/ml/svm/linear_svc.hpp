@@ -30,7 +30,8 @@ struct LinearSvcConfig {
 /// Binary linear SVM; labels are {-1, +1}.
 class BinaryLinearSvc {
  public:
-  void fit(const Matrix& x, std::span<const int> y, const LinearSvcConfig& config);
+  /// Accepts a MatrixView, so CV folds train on row subsets without copying.
+  void fit(MatrixView x, std::span<const int> y, const LinearSvcConfig& config);
 
   /// Signed decision value w·x + b.
   double decision(std::span<const double> x) const;
@@ -53,7 +54,7 @@ class BinaryLinearSvc {
 /// targets with codes 0..arity-1.
 class OneVsRestSvc {
  public:
-  void fit(const Matrix& x, std::span<const double> codes, std::uint32_t arity,
+  void fit(MatrixView x, std::span<const double> codes, std::uint32_t arity,
            const LinearSvcConfig& config);
 
   /// argmax over per-class decision values.

@@ -11,7 +11,7 @@
 
 namespace frac {
 
-void LinearSvr::fit(const Matrix& x, std::span<const double> y, const LinearSvrConfig& config) {
+void LinearSvr::fit(MatrixView x, std::span<const double> y, const LinearSvrConfig& config) {
   const std::size_t n = x.rows();
   const std::size_t d = x.cols();
   if (n == 0) throw std::invalid_argument("LinearSvr::fit: empty training set");
@@ -75,7 +75,11 @@ void LinearSvr::fit(const Matrix& x, std::span<const double> y, const LinearSvrC
                           (beta[i] == 0.0 && std::abs(g_new) < eps - park_margin);
       if (!parked) active[kept++] = i;
     }
-    if (kept > 0) active.resize(kept);
+    // Shrink unconditionally: with kept == 0 the old `if (kept > 0)` guard
+    // left the stale coordinate set in place, so a fully-parked pass kept
+    // re-scanning parked coordinates instead of falling through to the
+    // verification sweep via the `active.empty()` branch below.
+    active.resize(kept);
 
     bool converged = max_step < config.tol;
     if (!converged) {

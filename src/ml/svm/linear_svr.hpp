@@ -53,7 +53,8 @@ class LinearSvr {
 
   /// Trains on rows of x (n × d) against y (n). Rows with missing y are the
   /// caller's responsibility; x must be NaN-free (scale/encode first).
-  void fit(const Matrix& x, std::span<const double> y, const LinearSvrConfig& config);
+  /// Accepts a MatrixView, so CV folds train on row subsets without copying.
+  void fit(MatrixView x, std::span<const double> y, const LinearSvrConfig& config);
 
   /// w·x + b for one feature vector of the training width.
   double predict(std::span<const double> x) const;

@@ -49,7 +49,7 @@ struct SplitResult {
 }  // namespace
 
 struct DecisionTree::BuildContext {
-  const Matrix& x;
+  MatrixView x;
   std::span<const double> y;
   std::span<const std::uint32_t> arities;
   TreeTask task;
@@ -320,7 +320,7 @@ std::int32_t DecisionTree::build(BuildContext& ctx, std::vector<std::size_t>& sa
   return index;
 }
 
-void DecisionTree::fit(const Matrix& x, std::span<const double> y,
+void DecisionTree::fit(MatrixView x, std::span<const double> y,
                        std::span<const std::uint32_t> arities, TreeTask task,
                        std::uint32_t target_arity, const DecisionTreeConfig& config) {
   if (x.rows() == 0) throw std::invalid_argument("DecisionTree::fit: empty training set");

@@ -43,7 +43,8 @@ class DecisionTree {
  public:
   /// Trains on rows of x. `arities[j]` is 0 for real feature j, else the
   /// category count. For kClassification, y holds codes in [0, target_arity).
-  void fit(const Matrix& x, std::span<const double> y,
+  /// Accepts a MatrixView, so CV folds train on row subsets without copying.
+  void fit(MatrixView x, std::span<const double> y,
            std::span<const std::uint32_t> arities, TreeTask task,
            std::uint32_t target_arity, const DecisionTreeConfig& config);
 

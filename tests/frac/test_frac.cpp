@@ -6,6 +6,7 @@
 
 #include "data/expression_generator.hpp"
 #include "data/snp_generator.hpp"
+#include "linalg/simd.hpp"
 #include "ml/metrics.hpp"
 
 namespace frac {
@@ -146,6 +147,42 @@ TEST(FracModel, DeterministicAcrossThreadCounts) {
   const auto sa = FracModel::train(rep.train, config, one).score(rep.test, one);
   const auto sb = FracModel::train(rep.train, config, four).score(rep.test, four);
   for (std::size_t i = 0; i < sa.size(); ++i) EXPECT_DOUBLE_EQ(sa[i], sb[i]);
+}
+
+TEST(FracModel, ScoresBitIdenticalAcrossSimdLevels) {
+  // Golden determinism contract (DESIGN.md §9): the dispatched kernels use
+  // one fixed accumulation order, so a full train + score must produce the
+  // *same bits* under FRAC_SIMD=scalar and the native level — here crossed
+  // with different thread counts for good measure. On machines without AVX2
+  // both runs take the scalar path and the test passes trivially.
+  const Replicate rep = expression_replicate();
+  FracConfig config = expression_config();
+  config.continuous_error = ContinuousErrorKind::kKde;  // exercise the KDE kernel too
+  const simd::Level original = simd::active_level();
+  simd::force_level(simd::Level::kScalar);
+  ThreadPool one(1);
+  const auto scalar_scores = FracModel::train(rep.train, config, one).score(rep.test, one);
+  simd::force_level(simd::Level::kAvx2);
+  ThreadPool four(4);
+  const auto native_scores = FracModel::train(rep.train, config, four).score(rep.test, four);
+  simd::force_level(original);
+  ASSERT_EQ(scalar_scores.size(), native_scores.size());
+  for (std::size_t i = 0; i < scalar_scores.size(); ++i) {
+    EXPECT_EQ(scalar_scores[i], native_scores[i]) << i;  // exact, not near
+  }
+}
+
+TEST(FracModel, TrainWorkspaceHasNoFoldMultiplier) {
+  // Zero-copy invariant: fold models train on views, so the largest unit
+  // workspace is one gathered design matrix + target column — not folds+1
+  // copies of it.
+  const Replicate rep = expression_replicate();
+  const FracModel model = FracModel::train(rep.train, expression_config(), pool());
+  const std::size_t n = rep.train.sample_count();
+  const std::size_t f = rep.train.feature_count();
+  const std::size_t one_design = n * (f - 1) * sizeof(double) + n * sizeof(double);
+  EXPECT_GT(model.report().train_workspace_bytes, 0u);
+  EXPECT_LE(model.report().train_workspace_bytes, one_design);
 }
 
 TEST(FracModel, MissingTargetContributesZero) {

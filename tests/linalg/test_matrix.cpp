@@ -38,6 +38,50 @@ TEST(Matrix, ColGathersStrided) {
   EXPECT_EQ(col, (std::vector<double>{10, 11, 12}));
 }
 
+TEST(Matrix, ColViewReadsStridedWithoutCopy) {
+  Matrix m(3, 2);
+  m(0, 1) = 10;
+  m(1, 1) = 11;
+  m(2, 1) = 12;
+  const auto view = m.col_view(1);
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[0], 10);
+  EXPECT_EQ(view[1], 11);
+  EXPECT_EQ(view[2], 12);
+}
+
+TEST(Matrix, CopyColFillsCallerBuffer) {
+  Matrix m(3, 2);
+  m(0, 0) = 1;
+  m(1, 0) = 2;
+  m(2, 0) = 3;
+  std::vector<double> buf(3);
+  m.copy_col(0, buf);
+  EXPECT_EQ(buf, (std::vector<double>{1, 2, 3}));
+}
+
+TEST(MatrixView, WholeMatrixIsIdentityView) {
+  Matrix m(2, 3);
+  m(1, 2) = 9;
+  const MatrixView v(m);
+  EXPECT_EQ(v.rows(), 2u);
+  EXPECT_EQ(v.cols(), 3u);
+  EXPECT_EQ(v(1, 2), 9);
+  EXPECT_EQ(v.row(1).data(), m.row(1).data());  // same storage, no copy
+}
+
+TEST(MatrixView, RowSubsetRemapsIndices) {
+  Matrix m(4, 2);
+  for (std::size_t r = 0; r < 4; ++r) m(r, 0) = static_cast<double>(r);
+  const std::vector<std::size_t> rows{3, 1};
+  const MatrixView v(m, rows);
+  EXPECT_EQ(v.rows(), 2u);
+  EXPECT_EQ(v.row_index(0), 3u);
+  EXPECT_EQ(v(0, 0), 3.0);
+  EXPECT_EQ(v(1, 0), 1.0);
+  EXPECT_EQ(v.row(1).data(), m.row(1).data());
+}
+
 TEST(Matrix, BytesReflectsSize) {
   const Matrix m(4, 5);
   EXPECT_EQ(m.bytes(), 4u * 5u * sizeof(double));

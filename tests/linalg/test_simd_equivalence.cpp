@@ -1,0 +1,210 @@
+// Dispatch-level equivalence: every kernel must be *bit-identical* between
+// the scalar reference and the AVX2 path (the determinism contract in
+// DESIGN.md §9 and linalg/kernels_impl.hpp). Bitwise equality — not
+// EXPECT_NEAR — is the point: NS scores built on these kernels must not
+// change when the binary lands on a machine with different SIMD support.
+#include "linalg/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/kernels.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace frac {
+namespace {
+
+using simd::KernelTable;
+using simd::Level;
+
+// Exercises multiples of the 16-element block, the partial-block tail, and
+// off-by-one sizes around both vector width (4) and block width (16).
+const std::size_t kLengths[] = {0, 1, 3, 7, 8, 15, 16, 17, 31, 33, 100, 1024, 1027};
+
+std::vector<double> random_values(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  // Mix magnitudes so accumulation order actually matters in the low bits.
+  for (std::size_t i = 0; i < n; ++i) out[i] = rng.normal() * (i % 7 == 0 ? 1e6 : 1.0);
+  return out;
+}
+
+::testing::AssertionResult bits_equal(double a, double b) {
+  if (std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " != " << b << " (bits " << std::bit_cast<std::uint64_t>(a) << " vs "
+         << std::bit_cast<std::uint64_t>(b) << ")";
+}
+
+class SimdEquivalence : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scalar_ = simd::kernel_table(Level::kScalar);
+    ASSERT_NE(scalar_, nullptr);
+    avx2_ = simd::kernel_table(Level::kAvx2);
+    if (avx2_ == nullptr || !simd::cpu_supports(Level::kAvx2)) {
+      GTEST_SKIP() << "AVX2 unavailable; nothing to compare against the scalar path";
+    }
+  }
+
+  const KernelTable* scalar_ = nullptr;
+  const KernelTable* avx2_ = nullptr;
+};
+
+TEST_F(SimdEquivalence, DotBitIdentical) {
+  for (const std::size_t n : kLengths) {
+    const auto x = random_values(n, 11 + n);
+    const auto y = random_values(n, 23 + n);
+    EXPECT_TRUE(bits_equal(scalar_->dot(x.data(), y.data(), n),
+                           avx2_->dot(x.data(), y.data(), n)))
+        << "n=" << n;
+  }
+}
+
+TEST_F(SimdEquivalence, DotBitIdenticalUnaligned) {
+  // Misaligned loads must not change the result: offset both operands off
+  // the allocator's 16/32-byte alignment.
+  for (const std::size_t n : kLengths) {
+    const auto x = random_values(n + 1, 31 + n);
+    const auto y = random_values(n + 1, 37 + n);
+    EXPECT_TRUE(bits_equal(scalar_->dot(x.data() + 1, y.data() + 1, n),
+                           avx2_->dot(x.data() + 1, y.data() + 1, n)))
+        << "n=" << n;
+  }
+}
+
+TEST_F(SimdEquivalence, SquaredNormAndDistanceBitIdentical) {
+  for (const std::size_t n : kLengths) {
+    const auto x = random_values(n, 41 + n);
+    const auto y = random_values(n, 43 + n);
+    EXPECT_TRUE(bits_equal(scalar_->squared_norm(x.data(), n),
+                           avx2_->squared_norm(x.data(), n)))
+        << "n=" << n;
+    EXPECT_TRUE(bits_equal(scalar_->squared_distance(x.data(), y.data(), n),
+                           avx2_->squared_distance(x.data(), y.data(), n)))
+        << "n=" << n;
+  }
+}
+
+TEST_F(SimdEquivalence, AxpyAndScaleBitIdentical) {
+  for (const std::size_t n : kLengths) {
+    const auto x = random_values(n, 53 + n);
+    auto y_scalar = random_values(n, 59 + n);
+    auto y_avx2 = y_scalar;
+    scalar_->axpy(-1.75, x.data(), y_scalar.data(), n);
+    avx2_->axpy(-1.75, x.data(), y_avx2.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(bits_equal(y_scalar[i], y_avx2[i])) << "axpy n=" << n << " i=" << i;
+    }
+    scalar_->scale(0.3, y_scalar.data(), n);
+    avx2_->scale(0.3, y_avx2.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(bits_equal(y_scalar[i], y_avx2[i])) << "scale n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_F(SimdEquivalence, GemvBitIdentical) {
+  for (const std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{33},
+                              std::size_t{1024}}) {
+    const std::size_t m = 5;
+    const auto a = random_values(m * n, 61 + n);
+    const auto x = random_values(n, 67 + n);
+    std::vector<double> y_scalar(m), y_avx2(m);
+    scalar_->gemv(a.data(), m, n, x.data(), y_scalar.data());
+    avx2_->gemv(a.data(), m, n, x.data(), y_avx2.data());
+    for (std::size_t i = 0; i < m; ++i) {
+      ASSERT_TRUE(bits_equal(y_scalar[i], y_avx2[i])) << "n=" << n << " row=" << i;
+    }
+  }
+}
+
+TEST_F(SimdEquivalence, MatmulBitIdentical) {
+  // Sizes spanning less-than-one-block through multiple KC/NC blocks.
+  const std::size_t shapes[][3] = {{1, 1, 1}, {3, 5, 2}, {17, 65, 9}, {8, 130, 520}};
+  for (const auto& s : shapes) {
+    const std::size_t m = s[0], k = s[1], n = s[2];
+    const auto a = random_values(m * k, 71 + m);
+    const auto b = random_values(k * n, 73 + n);
+    std::vector<double> c_scalar(m * n, 0.0), c_avx2(m * n, 0.0);
+    scalar_->matmul(a.data(), b.data(), c_scalar.data(), m, k, n);
+    avx2_->matmul(a.data(), b.data(), c_avx2.data(), m, k, n);
+    for (std::size_t i = 0; i < m * n; ++i) {
+      ASSERT_TRUE(bits_equal(c_scalar[i], c_avx2[i]))
+          << m << "x" << k << "x" << n << " elem=" << i;
+    }
+  }
+}
+
+TEST(SimdMatmul, BlockedMatchesNaiveReference) {
+  // The cache-blocked kernel reorders only the (kk, jj) loop *blocks*; each
+  // C element still accumulates its k terms in ascending order, so it must
+  // equal a naive i-k-j triple loop exactly, not just approximately.
+  const std::size_t m = 9, k = 200, n = 37;
+  const auto a = random_values(m * k, 101);
+  const auto b = random_values(k * n, 103);
+  Matrix ma(m, k), mb(k, n);
+  std::copy(a.begin(), a.end(), ma.data());
+  std::copy(b.begin(), b.end(), mb.data());
+  const Matrix mc = matmul(ma, mb);
+  std::vector<double> ref(m * n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      for (std::size_t j = 0; j < n; ++j) {
+        ref[i * n + j] = std::fma(a[i * k + p], b[p * n + j], ref[i * n + j]);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      ASSERT_TRUE(bits_equal(mc(i, j), ref[i * n + j])) << i << "," << j;
+    }
+  }
+}
+
+TEST(SimdDispatch, ForceLevelReroutesSpanKernels) {
+  // The span API in kernels.hpp must follow force_level, and results must be
+  // bit-identical either way (this passes trivially on non-AVX2 machines,
+  // where force_level(kAvx2) is a no-op).
+  const auto x = random_values(1027, 107);
+  const auto y = random_values(1027, 109);
+  const Level original = simd::active_level();
+  simd::force_level(Level::kScalar);
+  EXPECT_EQ(simd::active_level(), Level::kScalar);
+  const double d_scalar = dot(x, y);
+  simd::force_level(Level::kAvx2);
+  const double d_native = dot(x, y);
+  simd::force_level(original);
+  EXPECT_TRUE(bits_equal(d_scalar, d_native));
+}
+
+TEST(SimdDispatch, LevelNamesAndSupport) {
+  EXPECT_TRUE(simd::cpu_supports(Level::kScalar));
+  EXPECT_STREQ(simd::level_name(Level::kScalar), "scalar");
+  EXPECT_STREQ(simd::level_name(Level::kAvx2), "avx2");
+  EXPECT_NE(simd::kernel_table(Level::kScalar), nullptr);
+}
+
+TEST(GaussianKernelSum, MatchesDirectLoopValues) {
+  // Shared single-implementation kernel: just sanity-check the math; the
+  // blocked order is its own reference on every level.
+  const auto pts = random_values(100, 113);
+  const double inv_h = 0.8;
+  const double x0 = 0.25;
+  double ref = 0.0;
+  for (const double p : pts) {
+    const double z = (x0 - p) * inv_h;
+    ref += std::exp(-0.5 * z * z);
+  }
+  EXPECT_NEAR(gaussian_kernel_sum(pts, x0, inv_h), ref, 1e-12 * (1.0 + std::abs(ref)));
+}
+
+}  // namespace
+}  // namespace frac

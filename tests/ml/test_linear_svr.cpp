@@ -197,6 +197,50 @@ TEST(LinearSvr, LowDimensionalProblemsTerminateQuickly) {
   EXPECT_TRUE(std::isfinite(svr.predict(x.row(0))));
 }
 
+TEST(LinearSvr, FullyParkedPassTerminatesViaVerificationSweep) {
+  // Regression: when every coordinate parked in one pass (kept == 0), the
+  // shrink used to be skipped, leaving the stale active set in place — with
+  // zero tolerances the solver then re-scanned parked coordinates for the
+  // whole pass budget instead of falling into the verification sweep.
+  Matrix x(20, 3);
+  Rng rng(8);
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (double& v : x.row(i)) v = rng.normal();
+  }
+  const std::vector<double> y(20, 0.05);  // inside the ε-tube: all park at 0
+  LinearSvrConfig config;
+  config.epsilon = 0.2;
+  config.tol = 0.0;            // max_step can never satisfy `< 0`
+  config.objective_tol = 0.0;  // flat objective can never satisfy `< 0`
+  config.max_passes = 50;
+  LinearSvr svr;
+  svr.fit(x, y, config);
+  EXPECT_LT(svr.passes_used(), 10u);  // was == max_passes before the fix
+  EXPECT_DOUBLE_EQ(svr.predict(x.row(0)), 0.0);
+}
+
+TEST(LinearSvr, RowSubsetViewMatchesMaterializedCopy) {
+  // Zero-copy contract: fitting on a MatrixView over a row subset must give
+  // exactly the model obtained from a materialized copy of those rows.
+  Matrix x;
+  std::vector<double> y;
+  make_linear_problem(60, x, y, 0.1, 9);
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < 60; i += 2) rows.push_back(i);
+  Matrix x_copy(rows.size(), x.cols());
+  std::vector<double> y_sub(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto src = x.row(rows[i]);
+    std::copy(src.begin(), src.end(), x_copy.row(i).begin());
+    y_sub[i] = y[rows[i]];
+  }
+  LinearSvr from_view, from_copy;
+  from_view.fit(MatrixView(x, rows), y_sub, {});
+  from_copy.fit(x_copy, y_sub, {});
+  EXPECT_EQ(from_view.weights(), from_copy.weights());
+  EXPECT_EQ(from_view.bias(), from_copy.bias());
+}
+
 TEST(LinearSvr, ConvergesBeforeMaxPassesOnEasyProblem) {
   Matrix x;
   std::vector<double> y;
