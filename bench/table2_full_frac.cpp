@@ -8,9 +8,12 @@
 // regression there exits non-zero so CI catches it.
 #include <cstdlib>
 #include <iostream>
+#include <numeric>
 
 #include "bench_common.hpp"
 #include "bench_json.hpp"
+#include "util/manifest.hpp"
+#include "util/stopwatch.hpp"
 
 namespace {
 
@@ -52,10 +55,21 @@ int main() {
 
   JsonBenchWriter json;
   FullBaselineCache cache;
+  // Run manifest: one phase per cohort whose CPU seconds are the same
+  // per-replicate CpuStopwatch sums the Time column aggregates, so
+  // phase_cpu_seconds_total ties back to the table by construction.
+  RunManifest manifest("bench/table2_full_frac");
+  manifest.set("replicates", static_cast<std::uint64_t>(bench_replicates()));
   TextTable table({"data set", "AUC", "Time", "Mem", "Failures"});
   for (const CohortSpec& spec : table_grid_cohorts()) {
+    const WallStopwatch cohort_wall;
     const PerReplicate& results = cache.full_results(spec);
     const AggregateStats stats = aggregate(results);
+    manifest.add_phase(
+        spec.name, cohort_wall.seconds(),
+        std::accumulate(results.cpu_seconds.begin(), results.cpu_seconds.end(), 0.0));
+    manifest.set("failures." + spec.name,
+                 static_cast<std::uint64_t>(stats.failures.total()));
     table.add_row({spec.name, fmt_mean_sd(stats.auc), fmt_time(stats.mean_cpu_seconds),
                    fmt_bytes(stats.mean_peak_bytes), fmt_failures(stats.failures)});
     json.add({"full_frac/" + spec.name,
@@ -79,6 +93,15 @@ int main() {
   const bool zero_copy_ok = check_zero_copy_training(json);
   if (!json.write("BENCH_frac.json")) {
     std::cerr << "warning: could not write BENCH_frac.json\n";
+  }
+  const char* manifest_env = std::getenv("FRAC_MANIFEST");
+  const std::string manifest_path =
+      manifest_env != nullptr ? manifest_env : "MANIFEST_frac.json";
+  try {
+    manifest.capture_metrics();
+    manifest.write_file(manifest_path);
+  } catch (const std::exception& e) {
+    std::cerr << "warning: could not write " << manifest_path << ": " << e.what() << "\n";
   }
   return zero_copy_ok ? 0 : 1;
 }

@@ -11,7 +11,9 @@
 #include "frac/filtering.hpp"
 #include "frac/preprojection.hpp"
 #include "ml/metrics.hpp"
+#include "util/metrics.hpp"
 #include "util/string_util.hpp"
+#include "util/trace.hpp"
 
 namespace frac {
 
@@ -156,6 +158,7 @@ GridOutcome run_experiment_grid(const GridConfig& config, ThreadPool& pool,
         const GridCellKey key{cohort, method, r};
         if (config.resume) {
           if (const GridCellResult* done = checkpoint.find(key)) {
+            metrics_counter("grid.cells_skipped").add();
             outcome.cells.push_back({key, *done});
             ++outcome.cells_skipped;
             if (!done->ok) ++outcome.cells_failed;
@@ -164,15 +167,26 @@ GridOutcome run_experiment_grid(const GridConfig& config, ThreadPool& pool,
         }
         if (!replicates) replicates = grid_replicates(spec, config.replicates);
         GridCellResult result;
-        try {
-          result = run_grid_cell(spec, (*replicates)[r], method,
-                                 cell_seed_of(config.seed, key), config.params, pool);
-        } catch (const std::exception& e) {
-          result = GridCellResult{};
-          result.ok = false;
-          result.failures[classify_failure(e)] += 1;
-          result.error = first_line(e.what());
+        {
+          const TraceSpan cell_span(
+              "grid.cell",
+              trace_armed()
+                  ? format("{\"cohort\": \"%s\", \"method\": \"%s\", \"replicate\": %zu}",
+                           json_escape(cohort).c_str(), json_escape(method).c_str(), r)
+                  : std::string());
+          try {
+            result = run_grid_cell(spec, (*replicates)[r], method,
+                                   cell_seed_of(config.seed, key), config.params, pool);
+          } catch (const std::exception& e) {
+            result = GridCellResult{};
+            result.ok = false;
+            result.failures[classify_failure(e)] += 1;
+            result.error = first_line(e.what());
+          }
         }
+        metrics_counter("grid.cells_run").add();
+        if (!result.ok) metrics_counter("grid.cells_failed").add();
+        metrics_histogram("grid.cell_cpu_seconds").observe(result.cpu_seconds);
         checkpoint.record(key, result);
         outcome.cells.push_back({key, result});
         ++outcome.cells_run;

@@ -4,6 +4,8 @@
 
 #include "linalg/kernels.hpp"
 #include "parallel/parallel_for.hpp"
+#include "util/string_util.hpp"
+#include "util/trace.hpp"
 
 namespace frac {
 
@@ -25,6 +27,8 @@ PerReplicate evaluate_method(const std::vector<Replicate>& replicates, const Met
   rep_rngs.reserve(count);
   for (std::size_t r = 0; r < count; ++r) rep_rngs.push_back(master.split(r));
   parallel_for(pool, 0, count, [&](std::size_t r) {
+    const TraceSpan rep_span(
+        "expt.replicate", trace_armed() ? format("{\"replicate\": %zu}", r) : std::string());
     const ScoredRun run = method(replicates[r], rep_rngs[r]);
     out.auc[r] = auc(run.test_scores, replicates[r].test.labels());
     out.cpu_seconds[r] = run.resources.cpu_seconds;

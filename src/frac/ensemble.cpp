@@ -10,7 +10,10 @@
 #include "linalg/kernels.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 #include "util/stopwatch.hpp"
+#include "util/string_util.hpp"
+#include "util/trace.hpp"
 
 namespace frac {
 
@@ -87,6 +90,9 @@ MemberBatch run_isolated_members(std::size_t members, ThreadPool& pool,
   std::vector<std::uint8_t> ok(members, 0);
   std::vector<std::exception_ptr> errors(members);
   parallel_for(pool, 0, members, [&](std::size_t m) {
+    const TraceSpan member_span(
+        "frac.ensemble_member",
+        trace_armed() ? format("{\"member\": %zu}", m) : std::string());
     try {
       scores[m] = run_member(m);
       ok[m] = 1;
@@ -114,6 +120,8 @@ MemberBatch run_isolated_members(std::size_t members, ThreadPool& pool,
       FRAC_WARN << "ensemble member " << m << " dropped (unknown exception)";
     }
   }
+  metrics_counter("ensemble.members_trained").add(batch.survivors.size());
+  metrics_counter("ensemble.members_failed").add(members - batch.survivors.size());
   if (batch.survivors.empty()) std::rethrow_exception(first_error);
   return batch;
 }

@@ -1,9 +1,12 @@
 #include "frac/entropy.hpp"
 
+#include <cmath>
 #include <vector>
 
 #include "data/dataset.hpp"
 #include "ml/kde/gaussian_kde.hpp"
+#include "util/errors.hpp"
+#include "util/string_util.hpp"
 
 namespace frac {
 
@@ -13,6 +16,13 @@ double feature_entropy(std::span<const double> column, const FeatureSpec& spec,
     std::vector<std::size_t> counts(spec.arity, 0);
     for (const double v : column) {
       if (is_missing(v)) continue;
+      // An out-of-range or fractional code would previously index past the
+      // counts buffer (or truncate silently); reject it so unit isolation can
+      // demote the feature instead of corrupting the entropy term.
+      if (v < 0.0 || v >= static_cast<double>(spec.arity) || v != std::floor(v)) {
+        throw NumericError(format("feature '%s': categorical code %g outside [0, %u)",
+                                  spec.name.c_str(), v, static_cast<unsigned>(spec.arity)));
+      }
       ++counts[static_cast<std::size_t>(v)];
     }
     return categorical_entropy(counts);

@@ -13,11 +13,26 @@
 #include "util/errors.hpp"
 #include "util/fault_injection.hpp"
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 #include "util/serialize.hpp"
 #include "util/stopwatch.hpp"
 #include "util/string_util.hpp"
+#include "util/trace.hpp"
 
 namespace frac {
+
+namespace {
+
+/// Runs a callable at scope exit; survives the unit task's early returns.
+template <typename Fn>
+struct ScopeExit {
+  Fn fn;
+  ~ScopeExit() { fn(); }
+};
+template <typename Fn>
+ScopeExit(Fn) -> ScopeExit<Fn>;
+
+}  // namespace
 
 std::vector<FeaturePlan> default_plan(std::size_t feature_count) {
   std::vector<FeaturePlan> plan;
@@ -58,6 +73,10 @@ FracModel FracModel::train_with_plan(const Dataset& train, std::vector<FeaturePl
   }
 
   const CpuStopwatch cpu;
+  const TraceSpan train_span(
+      "frac.train", trace_armed() ? format("{\"units\": %zu, \"samples\": %zu}", plan.size(),
+                                           train.sample_count())
+                                  : std::string());
   FracModel model;
   model.schema_ = train.schema();
   model.config_ = config;
@@ -101,11 +120,22 @@ FracModel FracModel::train_with_plan(const Dataset& train, std::vector<FeaturePl
   // when the unit finishes.
   std::vector<std::size_t> unit_workspace(plan.size(), 0);
 
+  // Per-unit wall seconds, recorded per slot (race-free) and folded into the
+  // frac.unit_train_seconds histogram after the loop in unit order.
+  std::vector<double> unit_seconds(plan.size(), 0.0);
+
   parallel_for(pool, 0, plan.size(), [&](std::size_t u) {
     Unit& unit = model.units_[u];
     unit.plan = std::move(plan[u]);
     const std::size_t target = unit.plan.target;
     unit.categorical = model.arities_[target] != 0;
+    // One span per logical unit — never per thread — so the span count per
+    // name is identical for any FRAC_THREADS value.
+    const TraceSpan unit_span(
+        "frac.unit_train",
+        trace_armed() ? format("{\"unit\": %zu, \"target\": %zu}", u, target) : std::string());
+    const WallStopwatch unit_wall;
+    const ScopeExit record_seconds{[&] { unit_seconds[u] = unit_wall.seconds(); }};
     try {
 
       // Valid rows: target defined.
@@ -179,6 +209,9 @@ FracModel FracModel::train_with_plan(const Dataset& train, std::vector<FeaturePl
       std::vector<std::vector<std::uint32_t>> fold_true(fold_count), fold_pred(fold_count);
       std::vector<std::uint8_t> fold_trained(fold_count, 0);
       parallel_for(pool, 0, fold_count, [&](std::size_t k) {
+        const TraceSpan fold_span(
+            "frac.cv_fold",
+            trace_armed() ? format("{\"unit\": %zu, \"fold\": %zu}", u, k) : std::string());
         const auto& fold = fold_sets[k];
         const auto train_rows = fold_complement(valid.size(), fold);
         if (train_rows.empty() || fold.empty()) return;  // empty fold: no model
@@ -223,14 +256,19 @@ FracModel FracModel::train_with_plan(const Dataset& train, std::vector<FeaturePl
       }
 
       maybe_inject(FaultSite::kErrorModelFit, u);
-      if (unit.categorical) {
-        if (cv_true.empty()) return;
-        unit.confusion.fit(cv_true, cv_pred, model.arities_[target], config.confusion_alpha);
-      } else {
-        if (residuals.empty()) return;
-        unit.error_kind = config.continuous_error;
-        if (unit.error_kind == ContinuousErrorKind::kKde) unit.kde_error.fit(residuals);
-        else unit.gaussian.fit(residuals, config.min_error_sd);
+      {
+        const TraceSpan fit_span(
+            "frac.error_model_fit",
+            trace_armed() ? format("{\"unit\": %zu}", u) : std::string());
+        if (unit.categorical) {
+          if (cv_true.empty()) return;
+          unit.confusion.fit(cv_true, cv_pred, model.arities_[target], config.confusion_alpha);
+        } else {
+          if (residuals.empty()) return;
+          unit.error_kind = config.continuous_error;
+          if (unit.error_kind == ContinuousErrorKind::kKde) unit.kde_error.fit(residuals);
+          else unit.gaussian.fit(residuals, config.min_error_sd);
+        }
       }
 
       // Retained predictor: trained on every valid row.
@@ -287,6 +325,24 @@ FracModel FracModel::train_with_plan(const Dataset& train, std::vector<FeaturePl
                               model.units_.size(), model.report_.failures.summary().c_str()));
   }
   model.report_.peak_bytes = train.bytes() + retained_bytes;
+
+  // Metrics: coarse per-model updates (never inside the unit loop's hot path).
+  metrics_counter("frac.units_trained").add(model.report_.models_retained);
+  metrics_counter("frac.models_trained").add(model.report_.models_trained);
+  metrics_counter("frac.cv_folds")
+      .add(model.report_.models_trained - model.report_.models_retained);
+  for (const UnitFailure& failure : model.failures_) {
+    metrics_counter(std::string("frac.units_failed.") +
+                    failure_category_name(failure.category))
+        .add();
+  }
+  metrics_gauge("frac.train_workspace_bytes")
+      .set_max(static_cast<double>(model.report_.train_workspace_bytes));
+  metrics_gauge("frac.peak_bytes").set_max(static_cast<double>(model.report_.peak_bytes));
+  {
+    Histogram& unit_hist = metrics_histogram("frac.unit_train_seconds");
+    for (const double s : unit_seconds) unit_hist.observe(s);
+  }
   return model;
 }
 
@@ -309,6 +365,13 @@ std::optional<double> FracModel::unit_surprisal(const Unit& unit, std::span<cons
   const double predicted = unit.predictor->predict(scratch.first(d));
   double surprisal;
   if (unit.categorical) {
+    // Validate before the uint32 cast: a negative code is UB in the cast and
+    // a fractional one truncates silently — both corrupt NS without a trace.
+    const double arity = static_cast<double>(arities_[unit.plan.target]);
+    if (truth < 0.0 || truth >= arity || truth != std::floor(truth)) {
+      throw NumericError(format("feature '%s': test categorical code %g outside [0, %g)",
+                                schema_[unit.plan.target].name.c_str(), truth, arity));
+    }
     surprisal = unit.confusion.surprisal(static_cast<std::uint32_t>(truth),
                                          static_cast<std::uint32_t>(predicted));
   } else if (unit.error_kind == ContinuousErrorKind::kKde) {
@@ -324,6 +387,10 @@ std::optional<double> FracModel::unit_surprisal(const Unit& unit, std::span<cons
 }
 
 std::vector<double> FracModel::score(const Dataset& test, ThreadPool& pool) const {
+  const TraceSpan score_span(
+      "frac.score",
+      trace_armed() ? format("{\"rows\": %zu}", test.sample_count()) : std::string());
+  metrics_counter("frac.rows_scored").add(test.sample_count());
   const Matrix values = standardized_values(test);
   std::vector<double> scores(test.sample_count(), 0.0);
   std::size_t max_inputs = 0;
@@ -342,6 +409,10 @@ std::vector<double> FracModel::score(const Dataset& test, ThreadPool& pool) cons
 }
 
 Matrix FracModel::per_feature_scores(const Dataset& test, ThreadPool& pool) const {
+  const TraceSpan score_span(
+      "frac.per_feature_scores",
+      trace_armed() ? format("{\"rows\": %zu}", test.sample_count()) : std::string());
+  metrics_counter("frac.rows_scored").add(test.sample_count());
   const Matrix values = standardized_values(test);
   Matrix scores(test.sample_count(), feature_count(), kMissing);
   std::size_t max_inputs = 0;

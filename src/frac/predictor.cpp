@@ -11,6 +11,8 @@
 #include "data/dataset.hpp"  // is_missing
 #include "frac/resource_accounting.hpp"
 #include "util/serialize.hpp"
+#include "util/string_util.hpp"
+#include "util/trace.hpp"
 
 namespace frac {
 
@@ -250,6 +252,10 @@ std::unique_ptr<FeaturePredictor> load_predictor(std::istream& in) {
 std::unique_ptr<FeaturePredictor> train_regressor(MatrixView x, std::span<const double> y,
                                                   std::span<const std::uint32_t> arities,
                                                   const PredictorConfig& config) {
+  const TraceSpan span(
+      "frac.predictor_train",
+      trace_armed() ? format("{\"kind\": \"regressor\", \"rows\": %zu}", x.rows())
+                    : std::string());
   if (config.regressor == RegressorKind::kLinearSvr) {
     return std::make_unique<SvrPredictor>(x, y, arities, config.svr);
   }
@@ -260,6 +266,10 @@ std::unique_ptr<FeaturePredictor> train_classifier(MatrixView x, std::span<const
                                                    std::uint32_t target_arity,
                                                    std::span<const std::uint32_t> arities,
                                                    const PredictorConfig& config) {
+  const TraceSpan span(
+      "frac.predictor_train",
+      trace_armed() ? format("{\"kind\": \"classifier\", \"rows\": %zu}", x.rows())
+                    : std::string());
   if (config.classifier == ClassifierKind::kDecisionTree) {
     return std::make_unique<TreePredictor>(x, y, arities, TreeTask::kClassification,
                                            target_arity, config.tree);

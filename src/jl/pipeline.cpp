@@ -3,6 +3,9 @@
 #include <stdexcept>
 
 #include "parallel/parallel_for.hpp"
+#include "util/metrics.hpp"
+#include "util/string_util.hpp"
+#include "util/trace.hpp"
 
 namespace frac {
 
@@ -38,6 +41,12 @@ Dataset JlPipeline::apply(const Dataset& data, ThreadPool& pool) const {
     throw std::invalid_argument("JlPipeline::apply: dataset schema does not match pipeline");
   }
   const std::size_t n = data.sample_count();
+  const TraceSpan span(
+      "jl.project",
+      trace_armed() ? format("{\"rows\": %zu, \"input_dim\": %zu, \"output_dim\": %zu}", n,
+                             encoder_.output_width(), projection_->output_dim())
+                    : std::string());
+  metrics_counter("jl.rows_projected").add(n);
   Matrix out(n, projection_->output_dim());
   parallel_for(pool, 0, n, [&](std::size_t r) {
     std::vector<double> encoded(encoder_.output_width());

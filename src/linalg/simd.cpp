@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 
 namespace frac::simd {
 
@@ -45,11 +46,23 @@ Level initial_level() {
   return detected;
 }
 
+/// Mirrors the dispatch decision into the metrics registry (0 = scalar,
+/// 1 = avx2) so run manifests record which kernels produced the numbers.
+void publish_level_metric(Level level) {
+  metrics_gauge("simd.level").set(level == Level::kScalar ? 0.0 : 1.0);
+}
+
+Level initial_level_published() {
+  const Level level = initial_level();
+  publish_level_metric(level);
+  return level;
+}
+
 /// The active table, published once and swapped only by force_level(). The
 /// kernels in kernels.cpp load it with a relaxed atomic read — tables are
 /// immutable and any published table is valid, so no ordering is needed.
 std::atomic<const KernelTable*>& active_table_slot() {
-  static std::atomic<const KernelTable*> slot{kernel_table(initial_level())};
+  static std::atomic<const KernelTable*> slot{kernel_table(initial_level_published())};
   return slot;
 }
 
@@ -72,6 +85,7 @@ Level active_level() {
 Level force_level(Level level) {
   if (!cpu_supports(level)) return active_level();
   active_table_slot().store(kernel_table(level), std::memory_order_relaxed);
+  publish_level_metric(level);
   return level;
 }
 

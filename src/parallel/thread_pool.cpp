@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "util/metrics.hpp"
 #include "util/string_util.hpp"
 
 namespace frac {
@@ -75,6 +76,9 @@ ThreadPool::ThreadPool(std::size_t threads) {
     if (threads == 0) threads = 1;
   }
   default_group_ = std::make_unique<TaskGroup>(*this);
+  // High-water mark across all pools (the global pool plus any test-local
+  // ones), recorded for the run manifest.
+  metrics_gauge("pool.threads").set_max(static_cast<double>(threads));
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });

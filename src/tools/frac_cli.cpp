@@ -8,9 +8,10 @@
 //   frac train --data TRAIN.csv --model OUT.frac [--diverse P]
 //       Train (full or diverse) FRaC on an all-normal training CSV and
 //       persist the model.
-//   frac score --model M.frac --data TEST.csv [--out SCORES.csv]
+//   frac score --model M.frac --data TEST.csv [--out SCORES.csv] [--explain K]
 //       Score a test CSV with a saved model; prints AUC when the CSV has
-//       both labels.
+//       both labels. --explain K additionally prints each test sample's
+//       top-K per-feature NS contributions.
 //   frac explain --model M.frac --data TEST.csv --sample I [--top K]
 //       Why is sample I anomalous? Prints its NS and the top-K features by
 //       NS contribution, with each feature's most influential predictors.
@@ -28,6 +29,11 @@
 //       --checkpoint; --resume skips cells the checkpoint already holds, and
 //       the resumed report is byte-identical to an uninterrupted run's.
 //       SIGINT stops cleanly between cells (exit 130).
+//
+// Observability (any subcommand):
+//   --manifest FILE or FRAC_MANIFEST=FILE  write a JSON run manifest
+//   FRAC_METRICS=FILE                      dump the metrics registry at exit
+//   FRAC_TRACE=FILE                        collect a chrome://tracing JSON
 //
 // Exit codes: 0 success, 1 usage error, 2 internal failure, 3 I/O failure,
 // 4 parse failure, 5 numeric failure, 130 interrupted.
@@ -51,11 +57,20 @@
 #include "ml/metrics.hpp"
 #include "util/atomic_file.hpp"
 #include "util/errors.hpp"
+#include "util/manifest.hpp"
+#include "util/metrics.hpp"
+#include "util/stopwatch.hpp"
 #include "util/string_util.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
 using namespace frac;
+
+/// The run's manifest, enriched by the active subcommand (seeds, grid shape,
+/// outcome counts) and written at exit when --manifest or FRAC_MANIFEST
+/// names a path.
+RunManifest* g_manifest = nullptr;
 
 /// --flag value option list; flags without '--' are rejected. Flags named in
 /// `boolean` take no value ("--resume" style switches).
@@ -166,6 +181,7 @@ int cmd_train(const Args& args) {
   const double diverse_p = args.get_double("diverse", 0.0);
   const std::size_t seed = args.get_size("seed", 23);
   args.reject_unused();
+  if (g_manifest != nullptr) g_manifest->set("train.seed", static_cast<std::uint64_t>(seed));
 
   const Dataset train = load_dataset_csv(data_path);
   if (train.anomaly_count() != 0) {
@@ -192,6 +208,7 @@ int cmd_train(const Args& args) {
 int cmd_score(const Args& args) {
   const std::string model_path = args.require("model");
   const std::string data_path = args.require("data");
+  const std::size_t explain_k = args.get_size("explain", 0);
   const auto out = args.get("out");
   args.reject_unused();
 
@@ -201,6 +218,28 @@ int cmd_score(const Args& args) {
   const std::vector<double> scores = model.score(test, pool);
   if (out) write_scores(*out, scores, test);
   print_auc_if_labeled(scores, test);
+  if (explain_k > 0) {
+    // Per-sample NS decomposition: the top-k features by contribution, one
+    // line per test sample.
+    const Matrix per_feature = model.per_feature_scores(test, pool);
+    const Schema& schema = test.schema();
+    std::cout << "top " << explain_k << " NS contributions per sample:\n";
+    std::vector<std::pair<double, std::size_t>> ranked;
+    for (std::size_t r = 0; r < per_feature.rows(); ++r) {
+      ranked.clear();
+      for (std::size_t f = 0; f < per_feature.cols(); ++f) {
+        const double v = per_feature(r, f);
+        if (!is_missing(v)) ranked.emplace_back(v, f);
+      }
+      std::sort(ranked.rbegin(), ranked.rend());
+      std::cout << "sample " << r << " NS=" << format("%.3f", scores[r]) << ":";
+      for (std::size_t i = 0; i < std::min(explain_k, ranked.size()); ++i) {
+        std::cout << ' ' << schema[ranked[i].second].name << '='
+                  << format("%+.3f", ranked[i].first);
+      }
+      std::cout << '\n';
+    }
+  }
   return 0;
 }
 
@@ -267,6 +306,10 @@ int cmd_detect(const Args& args) {
   const std::size_t seed = args.get_size("seed", 23);
   const auto out = args.get("out");
   args.reject_unused();
+  if (g_manifest != nullptr) {
+    g_manifest->set("detect.method", method);
+    g_manifest->set("detect.seed", static_cast<std::uint64_t>(seed));
+  }
 
   Replicate rep{load_dataset_csv(train_path), load_dataset_csv(test_path)};
   FracConfig config;
@@ -343,10 +386,33 @@ int cmd_grid(const Args& args) {
     throw std::invalid_argument("--resume requires --checkpoint");
   }
 
+  if (g_manifest != nullptr) {
+    g_manifest->set("grid.seed", static_cast<std::uint64_t>(config.seed));
+    g_manifest->set("grid.replicates", static_cast<std::uint64_t>(config.replicates));
+    std::string cohorts_csv, methods_csv;
+    for (const std::string& c : config.cohorts) {
+      cohorts_csv += (cohorts_csv.empty() ? "" : ",") + c;
+    }
+    for (const std::string& m : config.methods) {
+      methods_csv += (methods_csv.empty() ? "" : ",") + m;
+    }
+    g_manifest->set("grid.cohorts", cohorts_csv.empty() ? "(all)" : cohorts_csv);
+    g_manifest->set("grid.methods", methods_csv.empty() ? "(all)" : methods_csv);
+  }
+
   install_sigint_handler();
   ThreadPool& pool = ThreadPool::global();  // sized by FRAC_THREADS
   const GridOutcome outcome =
       run_experiment_grid(config, pool, [] { return g_interrupted != 0; });
+  if (g_manifest != nullptr) {
+    // Failure counts are a pure function of (config, seed): deterministic.
+    // How many cells ran vs. resumed from a checkpoint is not.
+    g_manifest->set("grid.cells_total", static_cast<std::uint64_t>(outcome.cells.size()));
+    g_manifest->set("grid.cells_failed", static_cast<std::uint64_t>(outcome.cells_failed));
+    g_manifest->set_measured("grid.cells_run", static_cast<std::uint64_t>(outcome.cells_run));
+    g_manifest->set_measured("grid.cells_skipped",
+                             static_cast<std::uint64_t>(outcome.cells_skipped));
+  }
 
   if (out) {
     atomic_write_file(*out, [&](std::ostream& report) {
@@ -377,34 +443,76 @@ int usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
-  try {
-    const Args args(argc, argv, 2, command == "grid" ? std::set<std::string>{"resume"}
-                                                     : std::set<std::string>{});
-    if (command == "list-cohorts") return cmd_list_cohorts();
-    if (command == "generate") return cmd_generate(args);
-    if (command == "train") return cmd_train(args);
-    if (command == "score") return cmd_score(args);
-    if (command == "explain") return cmd_explain(args);
-    if (command == "detect") return cmd_detect(args);
-    if (command == "grid") return cmd_grid(args);
-    return usage();
-  } catch (const ParseError& e) {
-    std::cerr << "parse error: " << e.what() << "\n";
-    return 4;
-  } catch (const std::invalid_argument& e) {
-    std::cerr << "usage error: " << e.what() << "\n";
-    return 1;
-  } catch (const IoError& e) {
-    std::cerr << "io error: " << e.what() << "\n";
-    return 3;
-  } catch (const std::ios_base::failure& e) {
-    std::cerr << "io error: " << e.what() << "\n";
-    return 3;
-  } catch (const NumericError& e) {
-    std::cerr << "numeric error: " << e.what() << "\n";
-    return 5;
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 2;
+
+  RunManifest manifest("frac " + command);
+  {
+    std::string argv_line = command;
+    for (int i = 2; i < argc; ++i) argv_line += std::string(" ") + argv[i];
+    manifest.set("argv", argv_line);
   }
+  g_manifest = &manifest;
+  std::optional<std::string> manifest_path;
+  if (const char* env = std::getenv("FRAC_MANIFEST")) manifest_path = env;
+
+  const WallStopwatch wall;
+  int rc;
+  {
+    const CpuStopwatch cpu;
+    rc = [&]() -> int {
+      try {
+        const Args args(argc, argv, 2, command == "grid" ? std::set<std::string>{"resume"}
+                                                         : std::set<std::string>{});
+        // --manifest works on every subcommand (FRAC_MANIFEST is the env
+        // equivalent); consume it before the command rejects unused flags.
+        if (const auto v = args.get("manifest")) manifest_path = *v;
+        if (command == "list-cohorts") return cmd_list_cohorts();
+        if (command == "generate") return cmd_generate(args);
+        if (command == "train") return cmd_train(args);
+        if (command == "score") return cmd_score(args);
+        if (command == "explain") return cmd_explain(args);
+        if (command == "detect") return cmd_detect(args);
+        if (command == "grid") return cmd_grid(args);
+        return usage();
+      } catch (const ParseError& e) {
+        std::cerr << "parse error: " << e.what() << "\n";
+        return 4;
+      } catch (const std::invalid_argument& e) {
+        std::cerr << "usage error: " << e.what() << "\n";
+        return 1;
+      } catch (const IoError& e) {
+        std::cerr << "io error: " << e.what() << "\n";
+        return 3;
+      } catch (const std::ios_base::failure& e) {
+        std::cerr << "io error: " << e.what() << "\n";
+        return 3;
+      } catch (const NumericError& e) {
+        std::cerr << "numeric error: " << e.what() << "\n";
+        return 5;
+      } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+      }
+    }();
+    manifest.add_phase(command, wall.seconds(), cpu.seconds());
+  }
+
+  // Observability tail: flush the trace (the atexit backstop would too, but
+  // flushing before the manifest/metrics writes keeps the artifacts
+  // consistent with each other), dump metrics, publish the manifest. None of
+  // these may change the command's exit code.
+  try {
+    flush_trace();
+    if (const char* metrics_path = std::getenv("FRAC_METRICS")) {
+      atomic_write_file(metrics_path, [](std::ostream& out) { metrics_dump(out); });
+    }
+    if (manifest_path) {
+      manifest.set_measured("exit_code", static_cast<std::uint64_t>(rc));
+      manifest.capture_metrics();
+      manifest.write_file(*manifest_path);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "warning: failed to write observability output: " << e.what() << "\n";
+  }
+  g_manifest = nullptr;
+  return rc;
 }

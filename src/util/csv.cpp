@@ -4,17 +4,25 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/errors.hpp"
+
 namespace frac {
 
-std::vector<std::string> parse_csv_line(const std::string& line, char delim) {
-  std::vector<std::string> cells;
+namespace {
+
+/// Parses one logical record (which may contain embedded newlines inside
+/// quoted cells) into `cells`. Returns false when the record ends inside an
+/// open quote — the caller either appends the next physical line and retries
+/// or reports an unterminated quote.
+bool parse_record(const std::string& record, char delim, std::vector<std::string>& cells) {
+  cells.clear();
   std::string cell;
   bool in_quotes = false;
-  for (std::size_t i = 0; i < line.size(); ++i) {
-    const char c = line[i];
+  for (std::size_t i = 0; i < record.size(); ++i) {
+    const char c = record[i];
     if (in_quotes) {
       if (c == '"') {
-        if (i + 1 < line.size() && line[i + 1] == '"') {
+        if (i + 1 < record.size() && record[i + 1] == '"') {
           cell.push_back('"');
           ++i;
         } else {
@@ -32,16 +40,51 @@ std::vector<std::string> parse_csv_line(const std::string& line, char delim) {
       cell.push_back(c);
     }
   }
+  if (in_quotes) return false;
   cells.push_back(std::move(cell));
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::string> parse_csv_line(const std::string& line, char delim) {
+  std::vector<std::string> cells;
+  if (!parse_record(line, delim, cells)) {
+    throw ParseError("unterminated quote in CSV line: " + line);
+  }
   return cells;
 }
 
 CsvTable read_csv(std::istream& in, char delim) {
   CsvTable table;
   std::string line;
+  std::string record;       // logical record, grown while a quote stays open
+  bool record_open = false; // true while `record` ends inside a quoted cell
+  std::size_t record_start_row = 0;
+  std::size_t physical_row = 0;
+  std::vector<std::string> cells;
   while (std::getline(in, line)) {
-    if (line.empty() || line == "\r") continue;
-    table.rows.push_back(parse_csv_line(line, delim));
+    ++physical_row;
+    if (!record_open) {
+      if (line.empty() || line == "\r") continue;
+      record = std::move(line);
+      record_start_row = physical_row;
+    } else {
+      // getline consumed a newline that lives inside a quoted cell: restore
+      // it, then retry the parse with the extended record.
+      record += '\n';
+      record += line;
+    }
+    if (parse_record(record, delim, cells)) {
+      table.rows.push_back(std::move(cells));
+      record_open = false;
+    } else {
+      record_open = true;
+    }
+  }
+  if (record_open) {
+    throw ParseError("CSV row " + std::to_string(record_start_row) +
+                     ": unterminated quote at end of input");
   }
   return table;
 }
@@ -55,6 +98,8 @@ CsvTable read_csv(const std::string& path, char delim) {
 std::string csv_escape(const std::string& cell, char delim) {
   const bool needs_quotes = cell.find(delim) != std::string::npos ||
                             cell.find('"') != std::string::npos ||
+                            cell.find('\n') != std::string::npos ||
+                            cell.find('\r') != std::string::npos ||
                             (!cell.empty() && (cell.front() == ' ' || cell.back() == ' '));
   if (!needs_quotes) return cell;
   std::string out = "\"";

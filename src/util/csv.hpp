@@ -1,9 +1,10 @@
 // Minimal CSV reading/writing for dataset import/export and result tables.
 //
-// Supports RFC-4180-style quoting on read ("a,b" fields, doubled quotes) and
-// quotes on write only when needed. Sufficient for the numeric/categorical
-// tables this library exchanges; not a general CSV implementation (no
-// embedded newlines inside quoted fields).
+// Supports RFC-4180-style quoting ("a,b" fields, doubled quotes, embedded
+// newlines inside quoted fields) and quotes on write only when needed. An
+// unterminated quote raises ParseError with the offending row. Sufficient
+// for the numeric/categorical tables this library exchanges; not a general
+// CSV implementation.
 #pragma once
 
 #include <iosfwd>
@@ -20,17 +21,21 @@ struct CsvTable {
   std::size_t row_count() const { return rows.size(); }
 };
 
-/// Parses one CSV line into cells, honoring double-quote quoting.
+/// Parses one logical CSV record into cells, honoring double-quote quoting
+/// (embedded newlines allowed inside quotes). Throws ParseError if the
+/// record ends inside an open quote.
 std::vector<std::string> parse_csv_line(const std::string& line, char delim = ',');
 
 /// Reads a whole CSV file. Throws std::runtime_error if the file cannot
-/// be opened. Blank lines are skipped.
+/// be opened and ParseError (with the row number) on an unterminated quote.
+/// Blank lines between records are skipped.
 CsvTable read_csv(const std::string& path, char delim = ',');
 
 /// Reads CSV from a stream (used by tests to avoid touching the fs).
 CsvTable read_csv(std::istream& in, char delim = ',');
 
-/// Escapes a cell if it contains the delimiter, quotes, or whitespace ends.
+/// Escapes a cell if it contains the delimiter, quotes, newlines, or
+/// whitespace ends.
 std::string csv_escape(const std::string& cell, char delim = ',');
 
 /// Writes rows to a stream as CSV.

@@ -6,6 +6,9 @@
 #include <cstring>
 #include <mutex>
 
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
 namespace frac {
 
 namespace {
@@ -37,20 +40,36 @@ const char* tag(LogLevel level) {
 }  // namespace
 
 LogLevel log_level() {
-  int v = g_level.load(std::memory_order_relaxed);
+  int v = g_level.load(std::memory_order_acquire);
   if (v < 0) {
-    v = static_cast<int>(level_from_env());
-    g_level.store(v, std::memory_order_relaxed);
+    // First use: install the FRAC_LOG default with a CAS so a concurrent
+    // set_log_level() is never overwritten — the two previous relaxed ops
+    // could lose a level set between our load and store. On CAS failure `v`
+    // holds whatever the winner installed.
+    const int desired = static_cast<int>(level_from_env());
+    if (g_level.compare_exchange_strong(v, desired, std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+      return static_cast<LogLevel>(desired);
+    }
   }
   return static_cast<LogLevel>(v);
 }
 
 void set_log_level(LogLevel level) {
-  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  g_level.store(static_cast<int>(level), std::memory_order_release);
 }
+
+namespace detail {
+void reset_log_level_for_test() { g_level.store(-1, std::memory_order_release); }
+}  // namespace detail
 
 void log_message(LogLevel level, const std::string& message) {
   if (level < log_level()) return;
+  static Counter& messages = metrics_counter("log.messages");
+  messages.add();
+  // Mirror the line into the trace as an instant event, so log output lines
+  // up with spans on the chrome://tracing timeline.
+  if (trace_armed()) trace_instant(tag(level), message);
   static std::mutex mu;
   const std::lock_guard<std::mutex> lock(mu);
   std::fprintf(stderr, "[frac %s] %s\n", tag(level), message.c_str());

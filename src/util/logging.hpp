@@ -19,6 +19,11 @@ void set_log_level(LogLevel level);
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {
+
+/// Test hook: returns the threshold to its uninitialized state so first-use
+/// FRAC_LOG initialization (and its race with set_log_level) can be exercised.
+void reset_log_level_for_test();
+
 class LogLine {
  public:
   explicit LogLine(LogLevel level) : level_(level) {}

@@ -1,0 +1,125 @@
+#include "util/manifest.hpp"
+
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "util/atomic_file.hpp"
+#include "util/metrics.hpp"
+#include "util/resource.hpp"
+#include "util/string_util.hpp"
+
+// The sha is stamped per-target by CMake (see the root CMakeLists); the
+// fallback covers builds outside a git checkout.
+#ifndef FRAC_GIT_SHA
+#define FRAC_GIT_SHA "unknown"
+#endif
+
+namespace frac {
+
+namespace {
+
+std::string quoted(const std::string& text) { return "\"" + json_escape(text) + "\""; }
+
+/// The environment knobs every run's behavior can depend on. Captured in a
+/// fixed order; unset variables record as "unset" so the block's shape never
+/// varies.
+constexpr const char* kEnvKnobs[] = {
+    "FRAC_THREADS", "FRAC_SIMD",  "FRAC_FAULTS",
+    "FRAC_TRACE",   "FRAC_LOG",   "FRAC_METRICS",
+    "FRAC_BENCH_SCALE",
+};
+
+void write_block(std::ostream& out,
+                 const std::vector<std::pair<std::string, std::string>>& entries,
+                 const char* indent, bool trailing_comma) {
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const bool last = i + 1 == entries.size();
+    out << indent << quoted(entries[i].first) << ": " << entries[i].second
+        << (!last || trailing_comma ? "," : "") << "\n";
+  }
+}
+
+}  // namespace
+
+const char* build_git_sha() noexcept { return FRAC_GIT_SHA; }
+
+RunManifest::RunManifest(std::string tool) {
+  set("tool", tool);
+  set("manifest_version", std::uint64_t{1});
+  set("git_sha", build_git_sha());
+  std::ostringstream env;
+  env << "{";
+  for (std::size_t i = 0; i < std::size(kEnvKnobs); ++i) {
+    const char* v = std::getenv(kEnvKnobs[i]);
+    env << (i == 0 ? "" : ", ") << quoted(kEnvKnobs[i]) << ": "
+        << quoted(v == nullptr ? "unset" : v);
+  }
+  env << "}";
+  deterministic_.emplace_back("env", env.str());
+}
+
+void RunManifest::set(const std::string& key, const std::string& value) {
+  deterministic_.emplace_back(key, quoted(value));
+}
+void RunManifest::set(const std::string& key, const char* value) {
+  set(key, std::string(value));
+}
+void RunManifest::set(const std::string& key, double value) {
+  deterministic_.emplace_back(key, format("%.17g", value));
+}
+void RunManifest::set(const std::string& key, std::uint64_t value) {
+  deterministic_.emplace_back(key, format("%llu", static_cast<unsigned long long>(value)));
+}
+
+void RunManifest::set_measured(const std::string& key, double value) {
+  measured_.emplace_back(key, format("%.17g", value));
+}
+void RunManifest::set_measured(const std::string& key, std::uint64_t value) {
+  measured_.emplace_back(key, format("%llu", static_cast<unsigned long long>(value)));
+}
+
+void RunManifest::add_phase(const std::string& name, double wall_seconds, double cpu_seconds) {
+  phases_.push_back(Phase{name, wall_seconds, cpu_seconds});
+}
+
+void RunManifest::capture_metrics() {
+  metrics_json_ = metrics_dump_json();
+  // Strip the trailing newline so embedding stays tidy.
+  while (!metrics_json_.empty() && metrics_json_.back() == '\n') metrics_json_.pop_back();
+}
+
+void RunManifest::write(std::ostream& out) const {
+  out << "{\n  \"deterministic\": {\n";
+  write_block(out, deterministic_, "    ", /*trailing_comma=*/false);
+  out << "  },\n  \"measured\": {\n";
+  write_block(out, measured_, "    ", /*trailing_comma=*/true);
+  out << "    \"peak_rss_bytes\": " << peak_rss_bytes() << ",\n";
+  out << "    \"phases\": [\n";
+  double phase_cpu_total = 0.0;
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    const Phase& p = phases_[i];
+    phase_cpu_total += p.cpu_seconds;
+    out << "      {\"name\": " << quoted(p.name)
+        << ", \"wall_seconds\": " << format("%.6f", p.wall_seconds)
+        << ", \"cpu_seconds\": " << format("%.6f", p.cpu_seconds) << "}"
+        << (i + 1 < phases_.size() ? "," : "") << "\n";
+  }
+  out << "    ],\n";
+  out << "    \"phase_cpu_seconds_total\": " << format("%.6f", phase_cpu_total) << "\n";
+  out << "  }";
+  if (!metrics_json_.empty()) out << ",\n  \"metrics\": " << metrics_json_;
+  out << "\n}\n";
+}
+
+std::string RunManifest::to_json() const {
+  std::ostringstream out;
+  write(out);
+  return out.str();
+}
+
+void RunManifest::write_file(const std::string& path) const {
+  atomic_write_file(path, [this](std::ostream& out) { write(out); });
+}
+
+}  // namespace frac

@@ -1,0 +1,75 @@
+// JSON run manifests: one self-describing record per CLI/bench run.
+//
+// The paper's evaluation is resource accounting — a result is only as good
+// as the provenance of its Time/Mem numbers. A RunManifest captures, in one
+// atomically written JSON file: what ran (tool + configuration + seeds),
+// under which environment knobs (FRAC_THREADS / FRAC_SIMD / FRAC_FAULTS /
+// FRAC_TRACE / FRAC_LOG / FRAC_BENCH_SCALE), against which build (git sha),
+// with what outcome (per-phase wall + CPU seconds from the CpuStopwatch
+// scopes, resource/failure counts, and a metrics snapshot).
+//
+// The manifest is split into two blocks:
+//   "deterministic" — fields that are a pure function of (config, seed,
+//     build): byte-identical across reruns and across kill+resume, the block
+//     tests compare verbatim;
+//   "measured" — wall/CPU seconds, RSS, and other measurements that vary
+//     run to run.
+// Entries keep caller insertion order, so the deterministic block's byte
+// layout is stable by construction.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace frac {
+
+/// The git sha the binary was built from ("unknown" outside a checkout).
+const char* build_git_sha() noexcept;
+
+class RunManifest {
+ public:
+  /// `tool` names the run ("frac grid", "bench/table2_full_frac"). The
+  /// manifest starts with tool, manifest_version, and git sha in the
+  /// deterministic block, followed by the FRAC_* environment knobs.
+  explicit RunManifest(std::string tool);
+
+  /// Appends to the deterministic block (insertion order preserved).
+  void set(const std::string& key, const std::string& value);
+  void set(const std::string& key, const char* value);
+  void set(const std::string& key, double value);
+  void set(const std::string& key, std::uint64_t value);
+
+  /// Appends to the measured block.
+  void set_measured(const std::string& key, double value);
+  void set_measured(const std::string& key, std::uint64_t value);
+
+  /// Records one run phase with its wall and scoped-CPU seconds (measured).
+  void add_phase(const std::string& name, double wall_seconds, double cpu_seconds);
+
+  /// Embeds the current metrics registry dump under "metrics".
+  void capture_metrics();
+
+  /// Serializes the manifest; deterministic block first.
+  std::string to_json() const;
+  void write(std::ostream& out) const;
+
+  /// Atomic publish via util/atomic_file (throws IoError on failure).
+  void write_file(const std::string& path) const;
+
+ private:
+  struct Phase {
+    std::string name;
+    double wall_seconds = 0.0;
+    double cpu_seconds = 0.0;
+  };
+
+  std::vector<std::pair<std::string, std::string>> deterministic_;  // key -> JSON value
+  std::vector<std::pair<std::string, std::string>> measured_;
+  std::vector<Phase> phases_;
+  std::string metrics_json_;  // empty until capture_metrics()
+};
+
+}  // namespace frac

@@ -1,0 +1,172 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <initializer_list>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/string_util.hpp"
+
+namespace frac {
+
+void Histogram::observe(double v) noexcept {
+  if (!(v >= 0.0)) v = 0.0;  // negative/NaN clamp: the distribution is of magnitudes
+  // Bucket by binary exponent, shifted so ~1e-2 lands mid-range.
+  int exp = 0;
+  if (v > 0.0) {
+    std::frexp(v, &exp);
+    exp += 20;  // v in [2^-21, 2^-20) -> bucket 0
+  }
+  const std::size_t k =
+      static_cast<std::size_t>(std::min<long>(std::max<long>(exp, 0), kBuckets - 1));
+  buckets_[k].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::bucket_edge(std::size_t k) noexcept {
+  return std::ldexp(1.0, static_cast<int>(k) - 20);
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Registry with stable registration order. The core metric set is
+/// registered here, in this fixed order, when the registry is first touched
+/// — so a dump's structure does not depend on which instrumentation site
+/// happened to run first.
+template <typename T>
+class Registry {
+ public:
+  explicit Registry(std::initializer_list<const char*> core) {
+    for (const char* name : core) get(name);
+  }
+
+  T& get(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(name);
+    if (it != index_.end()) return slots_[it->second];
+    index_.emplace(name, slots_.size());
+    order_.push_back(name);
+    return slots_.emplace_back();
+  }
+
+  /// Visits (name, metric) in registration order.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < order_.size(); ++i) fn(order_[i], slots_[i]);
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::size_t> index_;
+  std::vector<std::string> order_;
+  std::deque<T> slots_;  // deque: references stay valid across registration
+};
+
+// Leaked (never destroyed): metrics must stay usable during atexit flushes.
+Registry<Counter>& counters() {
+  static Registry<Counter>* r = new Registry<Counter>({
+      "frac.units_trained",
+      "frac.units_failed.io",
+      "frac.units_failed.numeric",
+      "frac.units_failed.resource",
+      "frac.units_failed.injected",
+      "frac.models_trained",
+      "frac.cv_folds",
+      "frac.rows_scored",
+      "ensemble.members_trained",
+      "ensemble.members_failed",
+      "jl.rows_projected",
+      "grid.cells_run",
+      "grid.cells_skipped",
+      "grid.cells_failed",
+      "log.messages",
+  });
+  return *r;
+}
+
+Registry<Gauge>& gauges() {
+  static Registry<Gauge>* r = new Registry<Gauge>({
+      "simd.level",
+      "pool.threads",
+      "frac.train_workspace_bytes",
+      "frac.peak_bytes",
+  });
+  return *r;
+}
+
+Registry<Histogram>& histograms() {
+  static Registry<Histogram>* r = new Registry<Histogram>({
+      "frac.unit_train_seconds",
+      "grid.cell_cpu_seconds",
+  });
+  return *r;
+}
+
+}  // namespace
+
+Counter& metrics_counter(const std::string& name) { return counters().get(name); }
+Gauge& metrics_gauge(const std::string& name) { return gauges().get(name); }
+Histogram& metrics_histogram(const std::string& name) { return histograms().get(name); }
+
+void metrics_dump(std::ostream& out) {
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  counters().for_each([&](const std::string& name, Counter& c) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name) << "\": " << c.value();
+    first = false;
+  });
+  out << "\n  },\n  \"gauges\": {";
+  first = true;
+  gauges().for_each([&](const std::string& name, Gauge& g) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+        << "\": " << format("%.17g", g.value());
+    first = false;
+  });
+  out << "\n  },\n  \"histograms\": {";
+  first = true;
+  histograms().for_each([&](const std::string& name, Histogram& h) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+        << "\": {\"count\": " << h.count() << ", \"sum\": " << format("%.17g", h.sum())
+        << ", \"buckets\": [";
+    // Sparse dump: [edge, count] pairs for non-empty buckets only.
+    bool first_bucket = true;
+    for (std::size_t k = 0; k < Histogram::kBuckets; ++k) {
+      if (h.bucket(k) == 0) continue;
+      out << (first_bucket ? "" : ", ") << "[" << format("%.8g", Histogram::bucket_edge(k))
+          << ", " << h.bucket(k) << "]";
+      first_bucket = false;
+    }
+    out << "]}";
+    first = false;
+  });
+  out << "\n  }\n}\n";
+}
+
+std::string metrics_dump_json() {
+  std::ostringstream out;
+  metrics_dump(out);
+  return out.str();
+}
+
+void metrics_reset() {
+  counters().for_each([](const std::string&, Counter& c) { c.reset(); });
+  gauges().for_each([](const std::string&, Gauge& g) { g.reset(); });
+  histograms().for_each([](const std::string&, Histogram& h) { h.reset(); });
+}
+
+}  // namespace frac

@@ -1,0 +1,99 @@
+// Process-wide metrics registry: counters, gauges, and histograms.
+//
+// The tracer (util/trace.hpp) answers "where did the time go"; this module
+// answers "how much work happened" — units trained and failed (by taxonomy),
+// models fitted, rows scored, the SIMD level the dispatcher chose, peak
+// training workspace. Instrumentation sites update atomics at coarse
+// granularity (per unit / fold / member / cell, never per element), so the
+// registry is always on: there is no arming knob and no measurable cost on
+// the kernel paths, which carry no metrics at all.
+//
+// Determinism: every core metric is pre-registered here in a fixed order at
+// registry construction, and dumps iterate in registration order — two runs
+// of the same workload dump byte-identical metric *structure* (names and
+// order), so CI can diff dumps and the run manifest can embed them. Metrics
+// registered dynamically (none in-tree today) append after the core set in
+// first-use order.
+//
+// Dump via metrics_dump(std::ostream&) (a single JSON object), or set
+// FRAC_METRICS=<path> and the CLI writes the dump there at exit.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace frac {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written (or maximum) instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if `v` is larger (high-water marks).
+  void set_max(double v) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (v > current &&
+           !value_.compare_exchange_weak(current, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Power-of-two-bucketed distribution of non-negative values: bucket k
+/// counts observations in [2^(k-7), 2^(k-6)) seconds-ish units — the exact
+/// edges matter less than that they are fixed, so dumps are comparable
+/// across runs. Tracks count and sum exactly.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  void observe(double v) noexcept;
+  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t k) const noexcept {
+    return buckets_[k].load(std::memory_order_relaxed);
+  }
+  /// Inclusive upper edge of bucket k (the last bucket is unbounded).
+  static double bucket_edge(std::size_t k) noexcept;
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Looks up (registering on first use) a metric by name. References stay
+/// valid for the process lifetime; hot callers cache them in a local static.
+Counter& metrics_counter(const std::string& name);
+Gauge& metrics_gauge(const std::string& name);
+Histogram& metrics_histogram(const std::string& name);
+
+/// Writes the full registry as one JSON object, in registration order:
+///   {"counters": {...}, "gauges": {...}, "histograms": {...}}
+void metrics_dump(std::ostream& out);
+
+/// metrics_dump() into a string (manifest embedding, tests).
+std::string metrics_dump_json();
+
+/// Zeroes every registered metric (tests; the registry itself persists).
+void metrics_reset();
+
+}  // namespace frac

@@ -26,4 +26,9 @@ bool starts_with(std::string_view text, std::string_view prefix);
 /// printf-style formatting into a std::string.
 std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// Escapes `text` for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters). Used by the trace/metrics/manifest
+/// writers; does not add the surrounding quotes.
+std::string json_escape(std::string_view text);
+
 }  // namespace frac

@@ -1,0 +1,173 @@
+#include "util/trace.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "util/atomic_file.hpp"
+#include "util/string_util.hpp"
+
+namespace frac {
+
+namespace trace_detail {
+
+std::atomic<bool> g_armed{false};
+
+namespace {
+
+struct Event {
+  const char* name;      // string literal, stored by pointer
+  char phase;            // 'X' complete, 'i' instant
+  std::uint64_t ts_us;
+  std::uint64_t dur_us;  // complete events only
+  std::uint32_t tid;
+  std::string args;      // preformatted JSON object, or empty
+};
+
+/// One buffer per thread that ever recorded while armed. Appends take the
+/// buffer's own mutex, which only the flusher ever contends — the fast path
+/// is an uncontended lock, and no global lock sits on the record path.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<Event> events;
+  std::uint32_t tid = 0;
+};
+
+struct TraceState {
+  std::mutex mu;  // guards registry/path/accumulated, not the append path
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::vector<Event> accumulated;  // drained events, in drain order
+  std::string path;
+  std::uint32_t next_tid = 1;
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState();  // leaked: usable during atexit
+  return *s;
+}
+
+ThreadBuffer& thread_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    TraceState& s = state();
+    const std::lock_guard<std::mutex> lock(s.mu);
+    b->tid = s.next_tid++;
+    s.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+void write_json(std::ostream& out, const std::vector<Event>& events) {
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    out << "{\"name\": \"" << json_escape(e.name) << "\", \"cat\": \"frac\", \"ph\": \""
+        << e.phase << "\", \"pid\": 1, \"tid\": " << e.tid << ", \"ts\": " << e.ts_us;
+    if (e.phase == 'X') out << ", \"dur\": " << e.dur_us;
+    if (e.phase == 'i') out << ", \"s\": \"t\"";  // instant scope: thread
+    if (!e.args.empty()) out << ", \"args\": " << e.args;
+    out << "}" << (i + 1 < events.size() ? "," : "") << "\n";
+  }
+  out << "]}\n";
+}
+
+/// FRAC_TRACE=<path> arms collection before main; a backstop atexit flush
+/// catches binaries (benches, examples) that never flush explicitly. The
+/// flush is cumulative, so an earlier explicit flush loses nothing.
+struct EnvInit {
+  EnvInit() {
+    const char* env = std::getenv("FRAC_TRACE");
+    if (env == nullptr || env[0] == '\0') return;
+    start_trace(env);
+    std::atexit([] { flush_trace(); });
+  }
+} g_env_init;
+
+}  // namespace
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+void record_complete(const char* name, std::uint64_t begin_us, std::uint64_t dur_us,
+                     std::string args) {
+  ThreadBuffer& buffer = thread_buffer();
+  const std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(Event{name, 'X', begin_us, dur_us, buffer.tid, std::move(args)});
+}
+
+void record_instant(const char* name, std::string args) {
+  ThreadBuffer& buffer = thread_buffer();
+  const std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(Event{name, 'i', now_us(), 0, buffer.tid, std::move(args)});
+}
+
+}  // namespace trace_detail
+
+void start_trace(const std::string& path) {
+  using namespace trace_detail;
+  TraceState& s = state();
+  {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    s.path = path;
+    s.accumulated.clear();
+    for (const auto& buffer : s.buffers) {
+      const std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      buffer->events.clear();
+    }
+  }
+  g_armed.store(!path.empty(), std::memory_order_relaxed);
+}
+
+void flush_trace() {
+  using namespace trace_detail;
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  if (s.path.empty()) return;
+  for (const auto& buffer : s.buffers) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    for (Event& e : buffer->events) s.accumulated.push_back(std::move(e));
+    buffer->events.clear();
+  }
+  atomic_write_file(s.path, [&s](std::ostream& out) { write_json(out, s.accumulated); });
+}
+
+void stop_trace() {
+  flush_trace();
+  using namespace trace_detail;
+  g_armed.store(false, std::memory_order_relaxed);
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  s.path.clear();
+  s.accumulated.clear();
+}
+
+std::string trace_path() {
+  using namespace trace_detail;
+  TraceState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  return s.path;
+}
+
+void trace_instant(const char* name, const std::string& message) {
+  if (!trace_armed()) return;
+  trace_detail::record_instant(name, "{\"message\": \"" + json_escape(message) + "\"}");
+}
+
+ScopedTrace::ScopedTrace(const std::string& path)
+    : previous_path_(trace_path()), was_armed_(trace_armed()) {
+  start_trace(path);
+}
+
+ScopedTrace::~ScopedTrace() {
+  stop_trace();
+  if (was_armed_) start_trace(previous_path_);
+}
+
+}  // namespace frac

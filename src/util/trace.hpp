@@ -1,0 +1,122 @@
+// Span-based run tracing with chrome://tracing JSON output.
+//
+// The paper's Table II is a resource-accounting result: FRaC variants are
+// judged by CPU cost as much as AUC. CpuStopwatch gives per-run totals, but
+// *where* a run spends its time — which unit, which CV fold, which ensemble
+// member, which grid cell — was invisible. This module makes the timeline a
+// first-class artifact: RAII spans nest per thread, land in per-thread
+// buffers, and flush to a chrome://tracing-compatible JSON file that the
+// about:tracing / Perfetto UI loads directly.
+//
+// Arming: set FRAC_TRACE=<path> (read at startup, like FRAC_FAULTS) or call
+// start_trace(path) programmatically (tests use ScopedTrace). Events
+// accumulate until flush_trace() writes the file — atomically, so a crash
+// mid-flush never leaves a half-written trace. flush_trace() is cumulative
+// and idempotent: it drains the thread buffers into a global event list and
+// rewrites the *entire* list each time, so a final atexit backstop flush
+// after an explicit CLI flush cannot lose events.
+//
+// Disarmed cost (the contract micro_kernels holds us to): constructing a
+// TraceSpan is one relaxed atomic load, exactly like maybe_inject() in
+// util/fault_injection.hpp. No clock read, no allocation, no buffer touch.
+//
+// Determinism: spans are emitted per logical unit of work (unit, fold,
+// member, cell) — never per thread or per chunk — so the span *count* per
+// name is identical for any FRAC_THREADS value; only timestamps and thread
+// ids vary. tests/util/test_trace.cpp pins that contract.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace frac {
+
+namespace trace_detail {
+extern std::atomic<bool> g_armed;
+
+/// Microseconds on the steady clock (the trace time base).
+std::uint64_t now_us();
+
+/// Records one complete ("ph":"X") event in the calling thread's buffer.
+/// `name` must be a string literal (stored by pointer); `args` is either
+/// empty or a preformatted JSON object ("{\"unit\":3}").
+void record_complete(const char* name, std::uint64_t begin_us, std::uint64_t dur_us,
+                     std::string args);
+
+/// Records one instant ("ph":"i") event (used by the log-message routing).
+void record_instant(const char* name, std::string args);
+}  // namespace trace_detail
+
+/// True when a trace is being collected. Callers use this to skip building
+/// span-argument strings on the disarmed path.
+inline bool trace_armed() noexcept {
+  return trace_detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/// Arms tracing and binds the output path for subsequent flushes. Events
+/// recorded before start_trace are discarded. Not thread-safe against
+/// concurrently running spans; call between runs (startup, tests).
+void start_trace(const std::string& path);
+
+/// Drains every thread buffer into the global event list and atomically
+/// (re)writes the full chrome://tracing JSON to the armed path. Safe to call
+/// repeatedly; a no-op when tracing was never armed.
+void flush_trace();
+
+/// flush_trace() then disarm; the accumulated events are cleared.
+void stop_trace();
+
+/// The path flush_trace() writes to ("" when disarmed).
+std::string trace_path();
+
+/// RAII span: one complete trace event from construction to destruction.
+/// Near-zero cost when tracing is disarmed.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (trace_armed()) {
+      name_ = name;
+      begin_us_ = trace_detail::now_us();
+    }
+  }
+  /// `args` must be a JSON object string; build it only under trace_armed().
+  TraceSpan(const char* name, std::string args) : TraceSpan(name) {
+    if (name_ != nullptr) args_ = std::move(args);
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      const std::uint64_t end = trace_detail::now_us();
+      trace_detail::record_complete(name_, begin_us_, end - begin_us_, std::move(args_));
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // null = disarmed at construction: whole span no-ops
+  std::uint64_t begin_us_ = 0;
+  std::string args_;
+};
+
+/// Instant event ("ph":"i"): a point-in-time marker. log_message() routes
+/// every emitted log line through this, so warnings land on the timeline
+/// next to the spans they interrupted.
+void trace_instant(const char* name, const std::string& message);
+
+/// RAII trace capture for tests: arms a trace to `path`; on destruction
+/// flushes, disarms, and restores the previous trace state (including one
+/// inherited from FRAC_TRACE).
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(const std::string& path);
+  ~ScopedTrace();
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  std::string previous_path_;
+  bool was_armed_ = false;
+};
+
+}  // namespace frac

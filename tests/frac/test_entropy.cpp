@@ -6,6 +6,7 @@
 #include <numbers>
 
 #include "data/dataset.hpp"
+#include "util/errors.hpp"
 #include "util/rng.hpp"
 
 namespace frac {
@@ -27,6 +28,32 @@ TEST(FeatureEntropy, CategoricalConstantIsZero) {
   const FeatureSpec spec{"s", FeatureKind::kCategorical, 3};
   const std::vector<double> column(20, 1.0);
   EXPECT_DOUBLE_EQ(feature_entropy(column, spec), 0.0);
+}
+
+// Regression: codes outside [0, arity) used to index past the counts buffer
+// (negative codes: straight heap corruption; fractional ones truncated
+// silently). All three shapes must now be rejected, with the feature named.
+TEST(FeatureEntropy, CategoricalCodeAboveArityThrows) {
+  const FeatureSpec spec{"mutation", FeatureKind::kCategorical, 3};
+  const std::vector<double> column{0, 1, 3};
+  try {
+    feature_entropy(column, spec);
+    FAIL() << "expected NumericError";
+  } catch (const NumericError& e) {
+    EXPECT_NE(std::string(e.what()).find("mutation"), std::string::npos) << e.what();
+  }
+}
+
+TEST(FeatureEntropy, CategoricalNegativeCodeThrows) {
+  const FeatureSpec spec{"s", FeatureKind::kCategorical, 3};
+  const std::vector<double> column{0, -1, 2};
+  EXPECT_THROW(feature_entropy(column, spec), NumericError);
+}
+
+TEST(FeatureEntropy, CategoricalFractionalCodeThrows) {
+  const FeatureSpec spec{"s", FeatureKind::kCategorical, 3};
+  const std::vector<double> column{0, 1.5, 2};
+  EXPECT_THROW(feature_entropy(column, spec), NumericError);
 }
 
 TEST(FeatureEntropy, ContinuousGaussianMatchesClosedForm) {

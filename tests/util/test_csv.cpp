@@ -4,6 +4,8 @@
 
 #include <sstream>
 
+#include "util/errors.hpp"
+
 namespace frac {
 namespace {
 
@@ -64,6 +66,80 @@ TEST(CsvEscape, PlainCellUnchanged) { EXPECT_EQ(csv_escape("plain"), "plain"); }
 TEST(CsvEscape, DelimiterGetsQuoted) { EXPECT_EQ(csv_escape("a,b"), "\"a,b\""); }
 
 TEST(CsvEscape, QuoteGetsDoubled) { EXPECT_EQ(csv_escape("a\"b"), "\"a\"\"b\""); }
+
+// Regression: a quoted cell containing a newline used to be silently split
+// into two rows because read_csv parsed each getline() result independently.
+TEST(CsvRead, QuotedEmbeddedNewlineStaysOneRow) {
+  std::istringstream in("id,note\n1,\"line one\nline two\"\n2,plain\n");
+  const CsvTable table = read_csv(in);
+  ASSERT_EQ(table.row_count(), 3u);
+  ASSERT_EQ(table.rows[1].size(), 2u);
+  EXPECT_EQ(table.rows[1][0], "1");
+  EXPECT_EQ(table.rows[1][1], "line one\nline two");
+  EXPECT_EQ(table.rows[2][0], "2");
+}
+
+TEST(CsvRead, QuotedCellSpanningSeveralLines) {
+  std::istringstream in("\"a\n\nb\",x\n");
+  const CsvTable table = read_csv(in);
+  ASSERT_EQ(table.row_count(), 1u);
+  ASSERT_EQ(table.rows[0].size(), 2u);
+  EXPECT_EQ(table.rows[0][0], "a\n\nb");
+  EXPECT_EQ(table.rows[0][1], "x");
+}
+
+TEST(CsvRead, UnterminatedQuoteThrowsParseErrorWithRow) {
+  std::istringstream in("a,b\nc,\"open\n");
+  try {
+    read_csv(in);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("row 2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(CsvParse, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv_line("\"open,b"), ParseError);
+}
+
+TEST(CsvEscape, NewlineGetsQuoted) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+  EXPECT_EQ(csv_escape("a\rb"), "\"a\rb\"");
+}
+
+TEST(CsvRoundTrip, EmbeddedNewlinesSurvive) {
+  CsvTable table;
+  table.rows = {{"note", "x"}, {"first\nsecond", "y"}, {"tail\n", "\nhead"}};
+  std::ostringstream out;
+  write_csv(out, table);
+  std::istringstream in(out.str());
+  const CsvTable back = read_csv(in);
+  ASSERT_EQ(back.row_count(), table.row_count());
+  for (std::size_t r = 0; r < table.row_count(); ++r) {
+    EXPECT_EQ(back.rows[r], table.rows[r]) << "row " << r;
+  }
+}
+
+// Property-style round trip over adversarial cell contents: every cell that
+// csv_escape can represent must come back bit-identical.
+TEST(CsvRoundTrip, AdversarialCellsAreIdentity) {
+  const std::vector<std::string> nasty = {
+      "",          "plain",      "a,b",       "\"",         "\"\"",
+      "a\nb",      "\n",         "a\"b\"c",   " lead",      "trail ",
+      "\"a,b\"\n", "mix,\"of\nall\"", "comma,then\nnewline"};
+  CsvTable table;
+  for (std::size_t i = 0; i < nasty.size(); ++i) {
+    table.rows.push_back({nasty[i], nasty[(i * 7 + 3) % nasty.size()], "k"});
+  }
+  std::ostringstream out;
+  write_csv(out, table);
+  std::istringstream in(out.str());
+  const CsvTable back = read_csv(in);
+  ASSERT_EQ(back.row_count(), table.row_count());
+  for (std::size_t r = 0; r < table.row_count(); ++r) {
+    EXPECT_EQ(back.rows[r], table.rows[r]) << "row " << r;
+  }
+}
 
 TEST(CsvRoundTrip, WriteThenReadIsIdentity) {
   CsvTable table;

@@ -1,0 +1,80 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+namespace frac {
+namespace {
+
+/// Restores the log level on scope exit so tests don't leak thresholds.
+struct LevelGuard {
+  LogLevel saved = log_level();
+  ~LevelGuard() { set_log_level(saved); }
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(Logging, FirstUseReadsEnvDefault) {
+  const LevelGuard guard;
+  detail::reset_log_level_for_test();
+  // Tests run without FRAC_LOG, so first use must install the warn default.
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+// Regression: log_level() first-use init used a relaxed load + store pair, so
+// a set_log_level() landing between them was silently overwritten with the
+// env default. The CAS fix makes set_log_level() win in every interleaving;
+// stress the window to make the old behavior fail reliably.
+TEST(Logging, SetLevelSurvivesConcurrentFirstUse) {
+  const LevelGuard guard;
+  for (int i = 0; i < 500; ++i) {
+    detail::reset_log_level_for_test();
+    std::thread reader([] { (void)log_level(); });
+    set_log_level(LogLevel::kDebug);
+    reader.join();
+    ASSERT_EQ(log_level(), LogLevel::kDebug) << "iteration " << i;
+  }
+}
+
+TEST(Logging, BelowThresholdDropsMessageAndMetric) {
+  const LevelGuard guard;
+  set_log_level(LogLevel::kError);
+  Counter& messages = metrics_counter("log.messages");
+  const std::uint64_t before = messages.value();
+  FRAC_WARN << "should be dropped";
+  EXPECT_EQ(messages.value(), before);
+  FRAC_ERROR << "counted (expected in test output)";
+  EXPECT_EQ(messages.value(), before + 1);
+}
+
+TEST(Logging, ArmedTraceReceivesLogLineAsInstant) {
+  const LevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  const std::string path = testing::TempDir() + "log_trace.json";
+  std::remove(path.c_str());
+  {
+    const ScopedTrace scoped(path);
+    FRAC_WARN << "trace-routed line (expected in test output)";
+  }
+  const std::string json = read_file(path);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("trace-routed line"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"WARN\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace frac

@@ -1,0 +1,106 @@
+#include "util/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace frac {
+namespace {
+
+TEST(Metrics, CounterAccumulatesAndResets) {
+  Counter& c = metrics_counter("test.counter_basic");
+  c.reset();
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, CounterIsThreadSafe) {
+  Counter& c = metrics_counter("test.counter_concurrent");
+  c.reset();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), 40000u);
+}
+
+TEST(Metrics, GaugeSetAndSetMax) {
+  Gauge& g = metrics_gauge("test.gauge_basic");
+  g.set(3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.set_max(1.0);  // lower: ignored
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.set_max(7.5);
+  EXPECT_DOUBLE_EQ(g.value(), 7.5);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Metrics, HistogramCountsSumAndBuckets) {
+  Histogram& h = metrics_histogram("test.hist_basic");
+  h.reset();
+  h.observe(0.5);
+  h.observe(0.5);
+  h.observe(2.0);
+  h.observe(-1.0);  // negative: clamped into the zero bucket, still counted
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 3.0);
+  std::uint64_t bucketed = 0;
+  for (std::size_t k = 0; k < Histogram::kBuckets; ++k) bucketed += h.bucket(k);
+  EXPECT_EQ(bucketed, 4u);
+  // Edges are fixed powers of two, increasing.
+  EXPECT_LT(Histogram::bucket_edge(10), Histogram::bucket_edge(11));
+}
+
+TEST(Metrics, LookupReturnsSameInstance) {
+  Counter& a = metrics_counter("test.same_instance");
+  Counter& b = metrics_counter("test.same_instance");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Metrics, DumpHasFixedStructureAndCoreOrder) {
+  const std::string dump = metrics_dump_json();
+  // One JSON object with the three sections.
+  EXPECT_EQ(dump.front(), '{');
+  const std::size_t counters_at = dump.find("\"counters\"");
+  const std::size_t gauges_at = dump.find("\"gauges\"");
+  const std::size_t histograms_at = dump.find("\"histograms\"");
+  ASSERT_NE(counters_at, std::string::npos);
+  ASSERT_NE(gauges_at, std::string::npos);
+  ASSERT_NE(histograms_at, std::string::npos);
+  EXPECT_LT(counters_at, gauges_at);
+  EXPECT_LT(gauges_at, histograms_at);
+  // Core metrics are pre-registered in a fixed order, so their dump order is
+  // stable no matter which instrumentation site ran first.
+  const std::size_t units_at = dump.find("\"frac.units_trained\"");
+  const std::size_t cells_at = dump.find("\"grid.cells_run\"");
+  const std::size_t log_at = dump.find("\"log.messages\"");
+  ASSERT_NE(units_at, std::string::npos);
+  ASSERT_NE(cells_at, std::string::npos);
+  ASSERT_NE(log_at, std::string::npos);
+  EXPECT_LT(units_at, cells_at);
+  EXPECT_LT(cells_at, log_at);
+}
+
+TEST(Metrics, DumpIsDeterministicWhenIdle) {
+  const std::string a = metrics_dump_json();
+  const std::string b = metrics_dump_json();
+  EXPECT_EQ(a, b);
+}
+
+TEST(Metrics, DynamicMetricAppearsInDump) {
+  metrics_counter("test.dynamic_in_dump").add(5);
+  const std::string dump = metrics_dump_json();
+  EXPECT_NE(dump.find("\"test.dynamic_in_dump\": 5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace frac

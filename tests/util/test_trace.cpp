@@ -1,0 +1,138 @@
+#include "util/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <tuple>
+
+#include "data/expression_generator.hpp"
+#include "data/split.hpp"
+#include "frac/frac.hpp"
+#include "util/rng.hpp"
+
+namespace frac {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::size_t count_occurrences(const std::string& text, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+/// Temp path helper; removes the file on destruction.
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& name) : path(testing::TempDir() + name) {
+    std::remove(path.c_str());
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+Replicate tiny_replicate(std::uint64_t seed = 5) {
+  ExpressionModelConfig c;
+  c.features = 12;
+  c.modules = 3;
+  c.genes_per_module = 4;
+  c.disease_modules = 2;
+  c.seed = seed;
+  const ExpressionModel model(c);
+  Rng rng(seed + 100);
+  Replicate rep;
+  rep.train = model.sample(16, Label::kNormal, rng);
+  rep.test = model.sample(6, Label::kNormal, rng);
+  return rep;
+}
+
+TEST(Trace, DisarmedSpansAreNoOps) {
+  ASSERT_FALSE(trace_armed());  // tests run without FRAC_TRACE
+  EXPECT_EQ(trace_path(), "");
+  {
+    const TraceSpan span("never.recorded");
+    const TraceSpan with_args("never.recorded", std::string("{\"x\": 1}"));
+    trace_instant("never.recorded", "dropped");
+  }
+  flush_trace();  // no path: must be a no-op, not a crash
+}
+
+TEST(Trace, ScopedTraceWritesChromeTracingJson) {
+  const TempFile file("trace_basic.json");
+  {
+    const ScopedTrace scoped(file.path);
+    ASSERT_TRUE(trace_armed());
+    { const TraceSpan span("test.outer", std::string("{\"k\": 3}")); }
+    trace_instant("test.marker", "hello \"quoted\" world");
+  }
+  EXPECT_FALSE(trace_armed());
+  const std::string json = read_file(file.path);
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"test.outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": "), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"k\": 3}"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("hello \\\"quoted\\\" world"), std::string::npos);
+}
+
+TEST(Trace, FlushIsCumulativeAndIdempotent) {
+  const TempFile file("trace_cumulative.json");
+  const ScopedTrace scoped(file.path);
+  { const TraceSpan span("test.first"); }
+  flush_trace();
+  { const TraceSpan span("test.second"); }
+  flush_trace();
+  const std::string after_second = read_file(file.path);
+  EXPECT_EQ(count_occurrences(after_second, "\"name\": \"test.first\""), 1u);
+  EXPECT_EQ(count_occurrences(after_second, "\"name\": \"test.second\""), 1u);
+  flush_trace();  // nothing new: rewrite must not duplicate or drop events
+  EXPECT_EQ(read_file(file.path), after_second);
+}
+
+/// The determinism contract: spans are per logical work item, so their
+/// counts per name must not depend on the thread count.
+TEST(Trace, SpanCountsDeterministicAcrossThreadCounts) {
+  const Replicate rep = tiny_replicate();
+  FracConfig config;
+  config.seed = 11;
+
+  const auto span_counts = [&](std::size_t threads, const std::string& path) {
+    const ScopedTrace scoped(path);
+    ThreadPool pool(threads);
+    const FracModel model = FracModel::train(rep.train, config, pool);
+    (void)model.score(rep.test, pool);
+    flush_trace();
+    const std::string json = read_file(path);
+    return std::tuple{count_occurrences(json, "\"name\": \"frac.train\""),
+                      count_occurrences(json, "\"name\": \"frac.unit_train\""),
+                      count_occurrences(json, "\"name\": \"frac.cv_fold\""),
+                      count_occurrences(json, "\"name\": \"frac.predictor_train\""),
+                      count_occurrences(json, "\"name\": \"frac.score\"")};
+  };
+
+  const TempFile serial("trace_threads1.json");
+  const TempFile parallel("trace_threads4.json");
+  const auto counts1 = span_counts(1, serial.path);
+  const auto counts4 = span_counts(4, parallel.path);
+  EXPECT_EQ(counts1, counts4);
+  EXPECT_EQ(std::get<0>(counts1), 1u);                       // one frac.train
+  EXPECT_EQ(std::get<1>(counts1), rep.train.feature_count());  // one span per unit
+  EXPECT_GT(std::get<2>(counts1), 0u);
+}
+
+}  // namespace
+}  // namespace frac

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Validate a FRAC_TRACE file against docs/trace_schema.json.
+
+Stdlib-only (no jsonschema dependency): implements the subset of JSON Schema
+the checked-in schema actually uses — type, required, properties, enum,
+items, minimum. Complete-span ("ph": "X") events must carry "dur"; instant
+events ("ph": "i") must carry "s": "t". Exits 0 when valid, 1 with a message
+on the first violation.
+
+Usage: tools/validate_trace.py TRACE.json [SCHEMA.json]
+"""
+
+import json
+import os
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+}
+
+
+def validate(value, schema, path):
+    expected = schema.get("type")
+    if expected is not None:
+        py = TYPES[expected]
+        ok = isinstance(value, py)
+        if expected in ("integer", "number") and isinstance(value, bool):
+            ok = False
+        if not ok:
+            fail(f"{path}: expected {expected}, got {type(value).__name__}")
+    if "enum" in schema and value not in schema["enum"]:
+        fail(f"{path}: {value!r} not in {schema['enum']}")
+    if "minimum" in schema and value < schema["minimum"]:
+        fail(f"{path}: {value} < minimum {schema['minimum']}")
+    for key in schema.get("required", []):
+        if key not in value:
+            fail(f"{path}: missing required key {key!r}")
+    for key, sub in schema.get("properties", {}).items():
+        if key in value:
+            validate(value[key], sub, f"{path}.{key}")
+    if "items" in schema and isinstance(value, list):
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]")
+
+
+def fail(message):
+    print(f"trace validation FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        return 2
+    default_schema = os.path.join(
+        os.path.dirname(os.path.abspath(argv[0])), "..", "docs", "trace_schema.json")
+    schema_path = argv[2] if len(argv) == 3 else default_schema
+    with open(argv[1]) as f:
+        trace = json.load(f)
+    with open(schema_path) as f:
+        schema = json.load(f)
+    validate(trace, schema, "$")
+
+    events = trace["traceEvents"]
+    names = {}
+    for i, event in enumerate(events):
+        if event["ph"] == "X" and "dur" not in event:
+            fail(f"$.traceEvents[{i}]: complete span missing 'dur'")
+        if event["ph"] == "i" and event.get("s") != "t":
+            fail(f"$.traceEvents[{i}]: instant event missing '\"s\": \"t\"'")
+        names[event["name"]] = names.get(event["name"], 0) + 1
+    summary = ", ".join(f"{n}={c}" for n, c in sorted(names.items()))
+    print(f"trace OK: {len(events)} events ({summary})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
