@@ -9,6 +9,7 @@
 #include <optional>
 #include <string>
 
+#include "config/runtime_config.hpp"
 #include "expt/registry.hpp"
 #include "expt/runner.hpp"
 #include "expt/tables.hpp"
@@ -17,7 +18,16 @@
 
 namespace frac::benchtool {
 
-inline ThreadPool& pool() { return ThreadPool::global(); }
+/// The global pool, after a one-time push of the FRAC_* environment config
+/// (threads, simd level) — the library no longer reads env itself.
+inline ThreadPool& pool() {
+  static const bool configured = [] {
+    RuntimeConfig::resolve_env_only().apply();
+    return true;
+  }();
+  (void)configured;
+  return ThreadPool::global();
+}
 
 /// Runs `method` over the cohort's replicates (paper protocol).
 inline PerReplicate run_on_cohort(const CohortSpec& spec, const MethodFn& method,

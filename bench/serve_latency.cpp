@@ -1,0 +1,145 @@
+// Serving benchmark: binary-vs-text model load time and the load-once
+// scoring engine's request latency/throughput, for the Table-II-sized
+// expression model (800 scaled features).
+//
+// Emits BENCH_serve.json (git-sha stamped):
+//   load.text_seconds / load.binary_seconds / load.speedup (best of 5 each)
+//   serve.p50_us / serve.p99_us        single-sample request latency
+//   serve.batch_throughput_sps         samples/second for 64-row batches
+//
+// Exits non-zero when the binary load is not >= 10x faster than the text
+// parse (the format's reason to exist) — skipped for sub-256KB models where
+// both loads sit in constant-overhead noise (FRAC_BENCH_SCALE shrinks the
+// cohort below the regime the claim is about).
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bench_json.hpp"
+#include "frac/frac.hpp"
+#include "serialize/model_bundle.hpp"
+#include "serve/scoring_engine.hpp"
+#include "util/stopwatch.hpp"
+
+namespace frac::benchtool {
+namespace {
+
+double percentile(std::vector<double> sorted, double p) {
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t index =
+      std::min(sorted.size() - 1, static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[index];
+}
+
+template <typename Fn>
+double best_of(int repeats, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    const WallStopwatch clock;
+    fn();
+    best = std::min(best, clock.seconds());
+  }
+  return best;
+}
+
+int run() {
+  // The Table-II expression regime: "biomarkers" is the 800-feature cohort.
+  const CohortSpec& spec = cohort_by_name("biomarkers");
+  const auto replicates = make_cohort_replicates(spec, 1);
+  const Replicate& rep = replicates.front();
+  const FracConfig config = paper_frac_config(spec);
+
+  std::printf("training %zu-feature full FRaC (table II model)...\n",
+              rep.train.feature_count());
+  const FracModel model = FracModel::train(rep.train, config, pool());
+
+  const std::string text_path = "serve_bench_model.frac";
+  const std::string binary_path = "serve_bench_model.fracmdl";
+  model.save_file(text_path, ModelFormat::kText);
+  model.save_file(binary_path, ModelFormat::kBinary);
+
+  // Load comparison, best-of-5 (first binary open also pays page-cache
+  // warmup; best-of washes that out for both sides).
+  const double text_seconds = best_of(5, [&] { (void)FracModel::load_file(text_path); });
+  const double binary_seconds = best_of(5, [&] { (void)ModelBundle::open(binary_path); });
+  const double speedup = text_seconds / binary_seconds;
+
+  // Request latency over the loaded engine: single samples, then batches.
+  const ScoringEngine engine(ModelBundle::open(binary_path));
+  const Matrix& test = rep.test.values();
+  const std::size_t width = test.cols();
+
+  constexpr int kWarmup = 20;
+  constexpr int kRequests = 300;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(kRequests);
+  for (int i = 0; i < kWarmup + kRequests; ++i) {
+    Matrix one(1, width);
+    const auto src = test.row(static_cast<std::size_t>(i) % test.rows());
+    std::copy(src.begin(), src.end(), one.row(0).begin());
+    const WallStopwatch clock;
+    const auto ns = engine.score(std::move(one), pool());
+    if (ns.empty()) return 2;  // keep the scoring from being optimized away
+    if (i >= kWarmup) latencies_us.push_back(clock.seconds() * 1e6);
+  }
+  const double p50_us = percentile(latencies_us, 0.50);
+  const double p99_us = percentile(latencies_us, 0.99);
+
+  constexpr std::size_t kBatchRows = 64;
+  constexpr int kBatches = 30;
+  const WallStopwatch batch_clock;
+  for (int b = 0; b < kBatches; ++b) {
+    Matrix batch(kBatchRows, width);
+    for (std::size_t r = 0; r < kBatchRows; ++r) {
+      const auto src = test.row((static_cast<std::size_t>(b) * kBatchRows + r) % test.rows());
+      std::copy(src.begin(), src.end(), batch.row(r).begin());
+    }
+    (void)engine.score(std::move(batch), pool());
+  }
+  const double throughput_sps =
+      static_cast<double>(kBatchRows) * kBatches / batch_clock.seconds();
+
+  const std::size_t binary_bytes = ModelBundle::open(binary_path)->file_bytes();
+  std::printf("\nmodel: %zu units, binary file %zu bytes\n", model.unit_count(), binary_bytes);
+  std::printf("load:  text %.3f ms   binary %.3f ms   speedup %.1fx\n", text_seconds * 1e3,
+              binary_seconds * 1e3, speedup);
+  std::printf("serve: p50 %.0f us   p99 %.0f us   batch(%zu) %.0f samples/s\n", p50_us, p99_us,
+              kBatchRows, throughput_sps);
+
+  JsonBenchWriter json;
+  json.add({"load",
+            {{"text_seconds", text_seconds},
+             {"binary_seconds", binary_seconds},
+             {"speedup", speedup},
+             {"binary_bytes", static_cast<double>(binary_bytes)}}});
+  json.add({"serve",
+            {{"p50_us", p50_us},
+             {"p99_us", p99_us},
+             {"batch_rows", static_cast<double>(kBatchRows)},
+             {"batch_throughput_sps", throughput_sps},
+             {"threads", static_cast<double>(pool().thread_count())}}});
+  if (!json.write("BENCH_serve.json")) {
+    std::cerr << "warning: could not write BENCH_serve.json\n";
+  }
+
+  std::remove(text_path.c_str());
+  std::remove(binary_path.c_str());
+
+  constexpr std::size_t kSpeedupFloorBytes = 256 * 1024;
+  if (binary_bytes >= kSpeedupFloorBytes && speedup < 10.0) {
+    std::cerr << "FAIL: binary load only " << speedup << "x faster than text parse (need >= 10x)\n";
+    return 1;
+  }
+  if (binary_bytes < kSpeedupFloorBytes) {
+    std::printf("(model under 256 KB: 10x load-speedup gate skipped)\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace frac::benchtool
+
+int main() { return frac::benchtool::run(); }

@@ -1,0 +1,158 @@
+#include "config/cli_spec.hpp"
+
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace frac {
+
+const char* const kExitCodeContract =
+    "exit codes:\n"
+    "  0    success\n"
+    "  1    usage or configuration error (unknown flag, bad value)\n"
+    "  2    internal failure\n"
+    "  3    I/O failure (missing file, full disk)\n"
+    "  4    parse failure (malformed CSV, model, archive, or request)\n"
+    "  5    numeric failure (non-finite or degenerate computation)\n"
+    "  130  interrupted (SIGINT; finished grid cells stay checkpointed)\n";
+
+std::span<const FlagSpec> runtime_flags() {
+  static const std::vector<FlagSpec> kFlags = {
+      {"help", FlagKind::kBool, false, "", "print this help and exit"},
+      {"threads", FlagKind::kSize, false, "N",
+       "worker threads (default: FRAC_THREADS, else hardware concurrency)"},
+      {"simd", FlagKind::kString, false, "LEVEL",
+       "kernel dispatch: scalar|avx2 (default: FRAC_SIMD, else detected)"},
+      {"log", FlagKind::kString, false, "LEVEL",
+       "log threshold: debug|info|warn|error|off (default: FRAC_LOG)"},
+      {"faults", FlagKind::kString, false, "SPEC",
+       "fault-injection plan, e.g. predictor_train:0.1:42 (default: FRAC_FAULTS)"},
+      {"trace", FlagKind::kString, false, "FILE",
+       "collect a chrome://tracing JSON (default: FRAC_TRACE)"},
+      {"metrics", FlagKind::kString, false, "FILE",
+       "dump the metrics registry at exit (default: FRAC_METRICS)"},
+      {"manifest", FlagKind::kString, false, "FILE",
+       "write a JSON run manifest at exit (default: FRAC_MANIFEST)"},
+  };
+  return kFlags;
+}
+
+namespace {
+
+const FlagSpec* find_flag(const CommandSpec& spec, const std::string& name) {
+  for (const FlagSpec& flag : spec.flags) {
+    if (flag.name == name) return &flag;
+  }
+  for (const FlagSpec& flag : runtime_flags()) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+void append_flag_lines(std::string& out, std::span<const FlagSpec> flags) {
+  for (const FlagSpec& flag : flags) {
+    std::string head = "  --" + flag.name;
+    if (!flag.value_name.empty()) head += " " + flag.value_name;
+    out += head;
+    if (head.size() < 24) out += std::string(24 - head.size(), ' ');
+    else out += "\n" + std::string(24, ' ');
+    out += flag.help;
+    if (flag.required) out += " (required)";
+    out += "\n";
+  }
+}
+
+}  // namespace
+
+std::optional<std::string> ParsedFlags::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ParsedFlags::require(const std::string& name) const {
+  const auto v = get(name);
+  if (!v) throw std::invalid_argument("missing required --" + name);
+  return *v;
+}
+
+bool ParsedFlags::get_flag(const std::string& name) const { return get(name).has_value(); }
+
+double ParsedFlags::get_double(const std::string& name, double fallback) const {
+  const auto v = get(name);
+  return v ? parse_double(*v, "--" + name) : fallback;
+}
+
+std::size_t ParsedFlags::get_size(const std::string& name, std::size_t fallback) const {
+  const auto v = get(name);
+  return v ? parse_size(*v, "--" + name) : fallback;
+}
+
+ParsedFlags parse_flags(const CommandSpec& spec, int argc, char** argv, int first) {
+  ParsedFlags parsed;
+  for (int i = first; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (!starts_with(token, "--")) {
+      throw std::invalid_argument("frac " + spec.name + ": expected --flag, got '" + token +
+                                  "' (see frac " + spec.name + " --help)");
+    }
+    const std::string name = token.substr(2);
+    const FlagSpec* flag = find_flag(spec, name);
+    if (flag == nullptr) {
+      throw std::invalid_argument("frac " + spec.name + ": unknown option --" + name +
+                                  " (see frac " + spec.name + " --help)");
+    }
+    if (flag->kind == FlagKind::kBool) {
+      parsed.values_[name] = "true";
+      if (name == "help") parsed.help_ = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      throw std::invalid_argument("frac " + spec.name + ": missing value for --" + name);
+    }
+    const std::string value = argv[++i];
+    // Eager validation: a numeric typo fails at parse time, before any work.
+    if (flag->kind == FlagKind::kSize) parse_size(value, "--" + name);
+    if (flag->kind == FlagKind::kDouble) parse_double(value, "--" + name);
+    parsed.values_[name] = value;
+  }
+  if (!parsed.help_) {
+    for (const FlagSpec& flag : spec.flags) {
+      if (flag.required && !parsed.values_.contains(flag.name)) {
+        throw std::invalid_argument("frac " + spec.name + ": missing required --" + flag.name +
+                                    " (see frac " + spec.name + " --help)");
+      }
+    }
+  }
+  return parsed;
+}
+
+std::string command_help(const CommandSpec& spec) {
+  std::string out = "usage: frac " + spec.name;
+  if (!spec.usage_tail.empty()) out += " " + spec.usage_tail;
+  out += "\n\n" + spec.summary + "\n";
+  if (!spec.flags.empty()) {
+    out += "\noptions:\n";
+    append_flag_lines(out, spec.flags);
+  }
+  out += "\nruntime options (every command; flag beats environment variable):\n";
+  append_flag_lines(out, runtime_flags());
+  out += "\n";
+  out += kExitCodeContract;
+  return out;
+}
+
+std::string overview_help(std::span<const CommandSpec> commands) {
+  std::string out = "usage: frac <command> [--options]\n\ncommands:\n";
+  for (const CommandSpec& spec : commands) {
+    std::string head = "  " + spec.name;
+    if (head.size() < 16) out += head + std::string(16 - head.size(), ' ');
+    else out += head + " ";
+    out += spec.summary + "\n";
+  }
+  out += "\nrun 'frac <command> --help' for that command's options.\n\n";
+  out += kExitCodeContract;
+  return out;
+}
+
+}  // namespace frac

@@ -1,0 +1,88 @@
+// Declarative CLI argument specs: one table per subcommand drives parsing,
+// validation, and --help generation, replacing the per-subcommand hand-rolled
+// flag handling that drifted apart (inconsistent unknown-flag behavior,
+// help text maintained by hand in three places).
+//
+// A CommandSpec lists the flags a subcommand accepts; parse_flags() rejects
+// anything else by name ("frac train: unknown option --foo"), checks required
+// flags, and eagerly validates numeric values so a typo fails before any
+// work starts. Every command also accepts the shared runtime flags
+// (runtime_flags(): --threads, --simd, --trace, ... — the RuntimeConfig
+// surface) without listing them per command.
+//
+// Exit-code contract (the single authoritative statement; README and the CLI
+// header reference it): 0 success, 1 usage/config error, 2 internal failure,
+// 3 I/O failure, 4 parse failure (malformed CSV/model/archive/request),
+// 5 numeric failure, 130 interrupted (SIGINT).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace frac {
+
+/// One line per exit code, for --help output and docs.
+extern const char* const kExitCodeContract;
+
+enum class FlagKind : std::uint8_t {
+  kString = 0,
+  kSize,    ///< non-negative integer (parse_size)
+  kDouble,  ///< floating point (parse_double)
+  kBool,    ///< switch: takes no value
+};
+
+struct FlagSpec {
+  std::string name;        ///< without the leading "--"
+  FlagKind kind = FlagKind::kString;
+  bool required = false;
+  std::string value_name;  ///< e.g. "FILE", "N" (empty for kBool)
+  std::string help;        ///< one-line description (mention defaults here)
+};
+
+struct CommandSpec {
+  std::string name;
+  std::string summary;     ///< one-line description for the overview
+  std::string usage_tail;  ///< e.g. "--data TRAIN.csv --model OUT.frac"
+  std::vector<FlagSpec> flags;
+};
+
+/// The shared flags every subcommand accepts (the RuntimeConfig knobs plus
+/// --help); parse_flags() merges them with the command's own.
+std::span<const FlagSpec> runtime_flags();
+
+/// Parsed flag values for one invocation, typed lookups included.
+class ParsedFlags {
+ public:
+  std::optional<std::string> get(const std::string& name) const;
+  std::string require(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+  double get_double(const std::string& name, double fallback) const;
+  std::size_t get_size(const std::string& name, std::size_t fallback) const;
+
+  bool help_requested() const noexcept { return help_; }
+
+ private:
+  friend ParsedFlags parse_flags(const CommandSpec&, int, char**, int);
+
+  std::map<std::string, std::string> values_;
+  bool help_ = false;
+};
+
+/// Parses argv[first..) against `spec` + runtime_flags(). Throws
+/// std::invalid_argument (usage error, exit 1) on unknown flags, missing
+/// values, missing required flags, or malformed numeric values. When --help
+/// is present, required-flag checks are skipped and help_requested() is set.
+ParsedFlags parse_flags(const CommandSpec& spec, int argc, char** argv, int first);
+
+/// Full --help text for one command (usage, flags, shared runtime flags,
+/// exit codes).
+std::string command_help(const CommandSpec& spec);
+
+/// The top-level usage text over all commands.
+std::string overview_help(std::span<const CommandSpec> commands);
+
+}  // namespace frac

@@ -1,0 +1,47 @@
+// Process-wide runtime configuration, resolved once at startup.
+//
+// Library code never reads the environment: every runtime knob (threads,
+// SIMD level, logging, fault plan, observability paths) is resolved here —
+// command-line flag first, FRAC_* environment variable second — and pushed
+// into the subsystems by apply(). That keeps precedence in one place,
+// makes `frac --threads 4` and `FRAC_THREADS=4 frac` provably identical,
+// and leaves src/frac, src/ml, src/linalg, and src/parallel free of getenv.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace frac {
+
+struct RuntimeConfig {
+  std::size_t threads = 0;    ///< worker threads; 0 = hardware concurrency
+  std::string simd;           ///< "scalar" | "avx2"; "" = detected
+  std::string log_level;      ///< debug|info|warn|error|off; "" = default
+  std::string fault_spec;     ///< FRAC_FAULTS syntax; "" = disarmed
+  std::string trace_path;     ///< chrome://tracing output; "" = off
+  std::string metrics_path;   ///< metrics registry dump; "" = off
+  std::string manifest_path;  ///< run manifest; "" = off
+
+  /// Flag accessor: returns the value of "--<name>" when given, nullopt
+  /// otherwise (ParsedFlags::get wrapped in a lambda, or {} for env-only).
+  using FlagLookup = std::function<std::optional<std::string>(const std::string&)>;
+
+  /// Resolves every knob, flag-then-environment. Throws
+  /// std::invalid_argument on a malformed --threads / FRAC_THREADS value
+  /// (usage error, exit 1); the softer knobs (simd, log level) defer
+  /// validation to apply(), which warns and falls back instead.
+  static RuntimeConfig resolve(const FlagLookup& flags);
+
+  /// resolve() with no flags: environment only (benches, tests).
+  static RuntimeConfig resolve_env_only();
+
+  /// Pushes the resolved config into the subsystems: global pool size,
+  /// kernel dispatch level, log threshold, fault plan, trace arming. Call
+  /// once, before the first use of ThreadPool::global(). The observability
+  /// paths are consumed by the caller at exit (they are outputs, not
+  /// subsystem state).
+  void apply() const;
+};
+
+}  // namespace frac

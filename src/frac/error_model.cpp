@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "linalg/kernels.hpp"
+#include "serialize/archive.hpp"
 #include "util/serialize.hpp"
 
 namespace frac {
@@ -60,6 +61,19 @@ double ConfusionErrorModel::surprisal(std::uint32_t true_code,
   return -std::log(numerator / denominator);
 }
 
+void GaussianErrorModel::serialize(ArchiveWriter& archive) const {
+  archive.write_f64(mean_);
+  archive.write_f64(sd_);
+}
+
+GaussianErrorModel GaussianErrorModel::deserialize(ArchiveReader& archive) {
+  GaussianErrorModel model;
+  model.mean_ = archive.read_f64();
+  model.sd_ = archive.read_f64();
+  if (!(model.sd_ > 0.0)) archive.fail("Gaussian error model sd must be > 0");
+  return model;
+}
+
 void GaussianErrorModel::save(std::ostream& out) const {
   write_tagged(out, "gauss.mean", mean_);
   write_tagged(out, "gauss.sd", sd_);
@@ -88,6 +102,24 @@ double KdeErrorModel::surprisal(double residual) const {
 
 double KdeErrorModel::bandwidth() const noexcept { return kde_.bandwidth(); }
 
+void KdeErrorModel::serialize(ArchiveWriter& archive) const {
+  archive.write_f64(floor_);
+  archive.write_f64_array(kde_.points());
+}
+
+KdeErrorModel KdeErrorModel::deserialize(ArchiveReader& archive) {
+  KdeErrorModel model;
+  const double floor = archive.read_f64();
+  if (!(floor > 0.0)) archive.fail("KDE error model density floor must be > 0");
+  model.floor_ = floor;
+  // The KDE is re-fit from its stored sample (bandwidth is a pure function
+  // of the points), exactly as the text loader does.
+  const std::vector<double> points = archive.read_f64_vector();
+  if (points.empty()) archive.fail("KDE error model has no residual points");
+  model.kde_.fit(points);
+  return model;
+}
+
 void KdeErrorModel::save(std::ostream& out) const {
   write_tagged(out, "kdeerr.floor", floor_);
   write_tagged(out, "kdeerr.points", kde_.points());
@@ -105,6 +137,32 @@ KdeErrorModel KdeErrorModel::load(std::istream& in) {
   const std::vector<double> points = read_tagged_doubles(in, "kdeerr.points");
   if (points.empty()) throw std::runtime_error("KdeErrorModel::load: no residual points");
   model.kde_.fit(points);
+  return model;
+}
+
+void ConfusionErrorModel::serialize(ArchiveWriter& archive) const {
+  archive.write_u32(arity_);
+  archive.write_f64(alpha_);
+  archive.write_u64_array(std::vector<std::uint64_t>(counts_.begin(), counts_.end()));
+}
+
+ConfusionErrorModel ConfusionErrorModel::deserialize(ArchiveReader& archive) {
+  ConfusionErrorModel model;
+  model.arity_ = archive.read_u32();
+  model.alpha_ = archive.read_f64();
+  if (model.arity_ < 2) archive.fail("confusion error model arity must be >= 2");
+  if (!(model.alpha_ > 0.0)) archive.fail("confusion error model alpha must be > 0");
+  const std::vector<std::uint64_t> counts = archive.read_u64_vector();
+  if (counts.size() != static_cast<std::size_t>(model.arity_) * model.arity_) {
+    archive.fail("confusion matrix size does not match arity");
+  }
+  model.counts_.assign(counts.begin(), counts.end());
+  model.col_totals_.assign(model.arity_, 0);
+  for (std::uint32_t t = 0; t < model.arity_; ++t) {
+    for (std::uint32_t p = 0; p < model.arity_; ++p) {
+      model.col_totals_[p] += model.counts_[static_cast<std::size_t>(t) * model.arity_ + p];
+    }
+  }
   return model;
 }
 

@@ -21,6 +21,9 @@
 
 namespace frac {
 
+class ArchiveWriter;
+class ArchiveReader;
+
 /// Gaussian error model over prediction residuals.
 class GaussianErrorModel {
  public:
@@ -33,6 +36,12 @@ class GaussianErrorModel {
   double mean() const noexcept { return mean_; }
   double sd() const noexcept { return sd_; }
 
+  /// Binary persistence into the caller's open archive section.
+  void serialize(ArchiveWriter& archive) const;
+  static GaussianErrorModel deserialize(ArchiveReader& archive);
+
+  /// Deprecated legacy tagged-text codec; kept for one release so existing
+  /// callers compile. New code uses serialize()/deserialize().
   void save(std::ostream& out) const;
   static GaussianErrorModel load(std::istream& in);
 
@@ -58,6 +67,11 @@ class KdeErrorModel {
 
   double bandwidth() const noexcept;
 
+  /// Binary persistence into the caller's open archive section.
+  void serialize(ArchiveWriter& archive) const;
+  static KdeErrorModel deserialize(ArchiveReader& archive);
+
+  /// Deprecated legacy tagged-text codec (see GaussianErrorModel).
   void save(std::ostream& out) const;
   static KdeErrorModel load(std::istream& in);
 
@@ -83,6 +97,11 @@ class ConfusionErrorModel {
   /// Raw (unsmoothed) count of (true, predicted) pairs seen in fitting.
   std::size_t count(std::uint32_t true_code, std::uint32_t predicted_code) const;
 
+  /// Binary persistence into the caller's open archive section.
+  void serialize(ArchiveWriter& archive) const;
+  static ConfusionErrorModel deserialize(ArchiveReader& archive);
+
+  /// Deprecated legacy tagged-text codec (see GaussianErrorModel).
   void save(std::ostream& out) const;
   static ConfusionErrorModel load(std::istream& in);
 

@@ -6,9 +6,12 @@
 #include <stdexcept>
 
 #include <fstream>
+#include <iterator>
+#include <sstream>
 
 #include "ml/cross_validation.hpp"
 #include "parallel/parallel_for.hpp"
+#include "serialize/archive.hpp"
 #include "util/atomic_file.hpp"
 #include "util/errors.hpp"
 #include "util/fault_injection.hpp"
@@ -444,6 +447,164 @@ std::vector<std::size_t> FracModel::influential_inputs(std::size_t unit_index,
   return out;
 }
 
+void FracModel::serialize(ArchiveWriter& archive) const {
+  // "model": layout version + the counts every other section is sized by.
+  archive.begin_section("model");
+  archive.write_u32(1);  // model layout version within the archive container
+  archive.write_u64(schema_.size());
+  archive.write_u64(units_.size());
+  archive.write_u64(failures_.size());
+  archive.end_section();
+
+  archive.begin_section("schema");
+  for (std::size_t f = 0; f < schema_.size(); ++f) {
+    const FeatureSpec& spec = schema_[f];
+    archive.write_string(spec.name);
+    archive.write_u32(spec.kind == FeatureKind::kReal ? 0u : spec.arity);
+  }
+  archive.end_section();
+
+  archive.begin_section("scaler");
+  archive.write_f64_array(scaler_.means());
+  archive.write_f64_array(scaler_.scales());
+  archive.end_section();
+
+  archive.begin_section("units");
+  for (const Unit& unit : units_) {
+    archive.write_u64(unit.plan.target);
+    archive.write_u64_array(
+        std::vector<std::uint64_t>(unit.plan.inputs.begin(), unit.plan.inputs.end()));
+    archive.write_f64(unit.entropy);
+    archive.write_u8(unit.categorical ? 1 : 0);
+    archive.write_u8(unit.predictor != nullptr ? 1 : 0);
+    if (unit.predictor == nullptr) continue;
+    archive.write_u8(unit.error_kind == ContinuousErrorKind::kKde ? 1 : 0);
+    if (unit.categorical) unit.confusion.serialize(archive);
+    else if (unit.error_kind == ContinuousErrorKind::kKde) unit.kde_error.serialize(archive);
+    else unit.gaussian.serialize(archive);
+    unit.predictor->serialize(archive);
+  }
+  archive.end_section();
+
+  // Training cost + per-unit failure audit trail: not representable in the
+  // legacy text format, which is why text-restored models report empty.
+  archive.begin_section("report");
+  archive.write_f64(report_.cpu_seconds);
+  archive.write_u64(report_.peak_bytes);
+  archive.write_u64(report_.train_workspace_bytes);
+  archive.write_u64(report_.models_trained);
+  archive.write_u64(report_.models_retained);
+  archive.end_section();
+
+  archive.begin_section("failures");
+  for (const UnitFailure& failure : failures_) {
+    archive.write_u64(failure.unit);
+    archive.write_u64(failure.target);
+    archive.write_u8(static_cast<std::uint8_t>(failure.category));
+    archive.write_string(failure.detail);
+  }
+  archive.end_section();
+}
+
+FracModel FracModel::deserialize(ArchiveReader& archive) {
+  FracModel model;
+  archive.open_section("model");
+  const std::uint32_t layout = archive.read_u32();
+  if (layout != 1) {
+    archive.fail(format("unsupported model layout version %u", layout));
+  }
+  const std::uint64_t features = archive.read_u64();
+  const std::uint64_t units = archive.read_u64();
+  const std::uint64_t failure_count = archive.read_u64();
+  archive.expect_section_end();
+
+  archive.open_section("schema");
+  std::vector<FeatureSpec> specs;
+  specs.reserve(features);
+  model.arities_.reserve(features);
+  for (std::uint64_t f = 0; f < features; ++f) {
+    FeatureSpec spec;
+    spec.name = archive.read_string();
+    const std::uint32_t arity = archive.read_u32();
+    if (arity == 1) archive.fail(format("feature '%s': arity 1 is degenerate", spec.name.c_str()));
+    spec.kind = arity == 0 ? FeatureKind::kReal : FeatureKind::kCategorical;
+    spec.arity = arity;
+    model.arities_.push_back(arity);
+    specs.push_back(std::move(spec));
+  }
+  archive.expect_section_end();
+  model.schema_ = Schema(std::move(specs));
+
+  archive.open_section("scaler");
+  const std::vector<double> means = archive.read_f64_vector();
+  const std::vector<double> scales = archive.read_f64_vector();
+  archive.expect_section_end();
+  if (means.size() != features || scales.size() != features) {
+    archive.fail(format("scaler width %zu/%zu != %llu features", means.size(), scales.size(),
+                        static_cast<unsigned long long>(features)));
+  }
+  model.scaler_.restore(means, scales);
+
+  archive.open_section("units");
+  model.units_.resize(units);
+  for (std::uint64_t u = 0; u < units; ++u) {
+    Unit& unit = model.units_[u];
+    unit.plan.target = archive.read_u64();
+    if (unit.plan.target >= features) {
+      archive.fail(format("unit %llu: target out of range", static_cast<unsigned long long>(u)));
+    }
+    const std::vector<std::uint64_t> inputs = archive.read_u64_vector();
+    unit.plan.inputs.assign(inputs.begin(), inputs.end());
+    for (const std::size_t j : unit.plan.inputs) {
+      if (j >= features) {
+        archive.fail(format("unit %llu: input out of range", static_cast<unsigned long long>(u)));
+      }
+    }
+    unit.entropy = archive.read_f64();
+    unit.categorical = archive.read_u8() != 0;
+    const bool trained = archive.read_u8() != 0;
+    if (!trained) continue;
+    unit.error_kind = archive.read_u8() != 0 ? ContinuousErrorKind::kKde
+                                             : ContinuousErrorKind::kGaussian;
+    if (unit.categorical) unit.confusion = ConfusionErrorModel::deserialize(archive);
+    else if (unit.error_kind == ContinuousErrorKind::kKde)
+      unit.kde_error = KdeErrorModel::deserialize(archive);
+    else unit.gaussian = GaussianErrorModel::deserialize(archive);
+    unit.predictor = deserialize_predictor(archive);
+  }
+  archive.expect_section_end();
+
+  archive.open_section("report");
+  model.report_.cpu_seconds = archive.read_f64();
+  model.report_.peak_bytes = archive.read_u64();
+  model.report_.train_workspace_bytes = archive.read_u64();
+  model.report_.models_trained = archive.read_u64();
+  model.report_.models_retained = archive.read_u64();
+  archive.expect_section_end();
+
+  archive.open_section("failures");
+  model.failures_.reserve(failure_count);
+  for (std::uint64_t i = 0; i < failure_count; ++i) {
+    UnitFailure failure;
+    failure.unit = archive.read_u64();
+    failure.target = archive.read_u64();
+    const std::uint8_t category = archive.read_u8();
+    if (category >= kFailureCategoryCount) {
+      archive.fail(format("failure record %llu: unknown category %u",
+                          static_cast<unsigned long long>(i), category));
+    }
+    failure.category = static_cast<FailureCategory>(category);
+    failure.detail = archive.read_string();
+    // The per-category tallies are derived, not stored: recomputing them from
+    // the audit records keeps report().failures consistent with
+    // unit_failures() by construction.
+    model.report_.failures[failure.category] += 1;
+    model.failures_.push_back(std::move(failure));
+  }
+  archive.expect_section_end();
+  return model;
+}
+
 void FracModel::save(std::ostream& out) const {
   write_tagged(out, "frac.version", std::uint64_t{1});
   // Schema.
@@ -478,15 +639,36 @@ void FracModel::save(std::ostream& out) const {
   if (!out) throw IoError("FracModel::save: stream write failed");
 }
 
-void FracModel::save_file(const std::string& path) const {
+void FracModel::save_file(const std::string& path, ModelFormat format) const {
   // Atomic temp+rename publish: a crash mid-save leaves the old model (or
   // nothing), never a truncated one. Shares the helper — and its
   // serialize_write injection point — with save_dataset_csv and the
   // experiment checkpoint.
+  if (format == ModelFormat::kBinary) {
+    ArchiveWriter archive;
+    serialize(archive);
+    archive.write_file(path);
+    return;
+  }
   atomic_write_file(path, [this](std::ostream& out) { save(out); });
 }
 
 FracModel FracModel::load(std::istream& in) {
+  // Slurp and sniff: the archive magic selects the binary reader, anything
+  // else goes to the legacy text parser. Models are single-digit MB at the
+  // paper's scales, so buffering the stream is cheap and makes the format
+  // dispatch trivial.
+  const std::string buffer{std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+  if (ArchiveReader::looks_like_archive(buffer)) {
+    ArchiveReader archive(std::as_bytes(std::span<const char>(buffer)), "<stream>",
+                          /*borrowed=*/false);
+    return deserialize(archive);
+  }
+  std::istringstream text(buffer);
+  return load_text(text);
+}
+
+FracModel FracModel::load_text(std::istream& in) {
   const std::uint64_t version = read_tagged_uint(in, "frac.version");
   if (version != 1) {
     throw std::runtime_error(format("FracModel::load: unsupported version %llu",
@@ -543,9 +725,17 @@ FracModel FracModel::load(std::istream& in) {
 }
 
 FracModel FracModel::load_file(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) throw IoError("FracModel::load_file: cannot open " + path);
-  return load(in);
+  const std::string buffer{std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+  if (in.bad()) throw IoError("FracModel::load_file: read failed for " + path);
+  if (ArchiveReader::looks_like_archive(buffer)) {
+    ArchiveReader archive(std::as_bytes(std::span<const char>(buffer)), path,
+                          /*borrowed=*/false);
+    return deserialize(archive);
+  }
+  std::istringstream text(buffer);
+  return load_text(text);
 }
 
 ScoredRun run_frac(const Replicate& replicate, const FracConfig& config, ThreadPool& pool) {

@@ -39,9 +39,18 @@
 
 namespace frac {
 
+class ArchiveWriter;
+class ArchiveReader;
+
 /// Error model for continuous targets: the Gaussian this paper prescribes,
 /// or the nonparametric KDE of the original FRaC paper.
 enum class ContinuousErrorKind : std::uint8_t { kGaussian, kKde };
+
+/// On-disk model encodings. kBinary is the versioned archive
+/// (serialize/archive.hpp, docs/model_format.md) that mmap-backed serving
+/// loads without parsing; kText is the legacy tagged-text format, kept
+/// writable for diffability and one release of backward compatibility.
+enum class ModelFormat : std::uint8_t { kBinary, kText };
 
 struct FracConfig {
   std::size_t cv_folds = 5;        ///< error-model cross-validation folds
@@ -86,6 +95,7 @@ class FracModel {
 
   std::size_t feature_count() const noexcept { return schema_.size(); }
   std::size_t unit_count() const noexcept { return units_.size(); }
+  const Schema& schema() const noexcept { return schema_; }
   const FeaturePlan& unit_plan(std::size_t unit) const { return units_.at(unit).plan; }
 
   /// Training-set entropy of a unit's target feature (nats).
@@ -96,7 +106,9 @@ class FracModel {
   std::vector<std::size_t> influential_inputs(std::size_t unit, std::size_t top_k = 20) const;
 
   /// Training cost (CPU seconds, paper-equivalent peak bytes, model counts,
-  /// per-category failure counts). Empty for models restored with load().
+  /// per-category failure counts). Binary archives persist the report and the
+  /// failure records, so both survive a save/load round trip; models restored
+  /// from legacy text carry an empty report (the text format predates it).
   const ResourceReport& report() const noexcept { return report_; }
 
   /// Units demoted to recorded failures during training (failure isolation):
@@ -106,13 +118,26 @@ class FracModel {
   /// tallies; this is the per-unit audit trail.
   const std::vector<UnitFailure>& unit_failures() const noexcept { return failures_; }
 
-  /// Persists everything needed to score (schema, scaler, units with
-  /// predictors, error models, and entropies) as tagged text.
-  void save(std::ostream& out) const;
-  void save_file(const std::string& path) const;
+  /// Binary persistence: writes the model's archive sections (schema, scaler,
+  /// units with predictors/error models/entropies, resource report, failure
+  /// records) into `archive`; deserialize() reads them back. When the reader
+  /// is borrowed() (ModelBundle), predictor weight vectors stay zero-copy
+  /// views into the archive bytes.
+  void serialize(ArchiveWriter& archive) const;
+  static FracModel deserialize(ArchiveReader& archive);
 
-  /// Restores a model written by save(). Throws std::runtime_error on
-  /// malformed or version-incompatible input.
+  /// Persists the model to `path` atomically, in the requested format
+  /// (binary archive by default).
+  void save_file(const std::string& path, ModelFormat format = ModelFormat::kBinary) const;
+
+  /// Deprecated legacy tagged-text persistence. New code uses
+  /// save_file()/serialize().
+  void save(std::ostream& out) const;
+
+  /// Restores a model from either format: the archive magic selects the
+  /// binary path (malformed archives throw ParseError naming the bad
+  /// section), anything else falls back to the legacy text parser (which
+  /// throws std::runtime_error on malformed input).
   static FracModel load(std::istream& in);
   static FracModel load_file(const std::string& path);
 
@@ -135,6 +160,9 @@ class FracModel {
 
   /// Standardizes a test dataset copy with the training scaler.
   Matrix standardized_values(const Dataset& data) const;
+
+  /// Legacy tagged-text parser behind load()'s format sniff.
+  static FracModel load_text(std::istream& in);
 
   Schema schema_;
   std::vector<std::uint32_t> arities_;  // per feature; 0 = real

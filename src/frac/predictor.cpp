@@ -10,6 +10,7 @@
 
 #include "data/dataset.hpp"  // is_missing
 #include "frac/resource_accounting.hpp"
+#include "serialize/archive.hpp"
 #include "util/serialize.hpp"
 #include "util/string_util.hpp"
 #include "util/trace.hpp"
@@ -91,8 +92,11 @@ std::span<double> expansion_scratch(std::size_t width) {
   return std::span<double>(buffer.data(), width);
 }
 
+/// Predictor kind tags in the binary archive encoding.
+enum class PredictorTag : std::uint8_t { kTree = 0, kSvr = 1, kSvc = 2 };
+
 /// Top-k raw input positions by |weight| over an expanded weight vector.
-std::vector<std::uint32_t> top_inputs_by_weight(const std::vector<double>& w,
+std::vector<std::uint32_t> top_inputs_by_weight(std::span<const double> w,
                                                 const InputExpander& expander,
                                                 std::size_t top_k) {
   std::vector<std::size_t> order(w.size());
@@ -144,6 +148,12 @@ class SvrPredictor final : public FeaturePredictor {
     return top_inputs_by_weight(model_.weights(), expander_, top_k);
   }
 
+  void serialize(ArchiveWriter& archive) const override {
+    archive.write_u8(static_cast<std::uint8_t>(PredictorTag::kSvr));
+    archive.write_u32_array(arities_);
+    model_.serialize(archive);
+  }
+
   void save(std::ostream& out) const override {
     write_tagged(out, "predictor", std::string("svr"));
     write_tagged(out, "arities",
@@ -177,6 +187,11 @@ class TreePredictor final : public FeaturePredictor {
     std::vector<std::uint32_t> used = model_.used_features();
     if (used.size() > top_k) used.resize(top_k);
     return used;
+  }
+
+  void serialize(ArchiveWriter& archive) const override {
+    archive.write_u8(static_cast<std::uint8_t>(PredictorTag::kTree));
+    model_.serialize(archive);
   }
 
   void save(std::ostream& out) const override {
@@ -218,6 +233,12 @@ class SvcPredictor final : public FeaturePredictor {
     return {};  // per-class weights omitted; use the tree classifier for interpretation
   }
 
+  void serialize(ArchiveWriter& archive) const override {
+    archive.write_u8(static_cast<std::uint8_t>(PredictorTag::kSvc));
+    archive.write_u32_array(arities_);
+    model_.serialize(archive);
+  }
+
   void save(std::ostream& out) const override {
     write_tagged(out, "predictor", std::string("svc"));
     write_tagged(out, "arities",
@@ -232,6 +253,24 @@ class SvcPredictor final : public FeaturePredictor {
 };
 
 }  // namespace
+
+std::unique_ptr<FeaturePredictor> deserialize_predictor(ArchiveReader& archive) {
+  const std::uint8_t tag = archive.read_u8();
+  if (tag == static_cast<std::uint8_t>(PredictorTag::kTree)) {
+    return std::make_unique<TreePredictor>(DecisionTree::deserialize(archive));
+  }
+  if (tag != static_cast<std::uint8_t>(PredictorTag::kSvr) &&
+      tag != static_cast<std::uint8_t>(PredictorTag::kSvc)) {
+    archive.fail(format("unknown predictor kind tag %u", tag));
+  }
+  std::vector<std::uint32_t> arities = archive.read_u32_vector();
+  if (tag == static_cast<std::uint8_t>(PredictorTag::kSvr)) {
+    return std::make_unique<SvrPredictor>(LinearSvr::deserialize(archive),
+                                          std::move(arities));
+  }
+  return std::make_unique<SvcPredictor>(OneVsRestSvc::deserialize(archive),
+                                        std::move(arities));
+}
 
 std::unique_ptr<FeaturePredictor> load_predictor(std::istream& in) {
   const std::string kind = read_tagged_string(in, "predictor");

@@ -25,6 +25,9 @@
 
 namespace frac {
 
+class ArchiveWriter;
+class ArchiveReader;
+
 enum class RegressorKind : std::uint8_t { kLinearSvr, kRegressionTree };
 enum class ClassifierKind : std::uint8_t { kDecisionTree, kLinearSvcOneHot };
 
@@ -54,11 +57,19 @@ class FeaturePredictor {
   /// for the paper's "most predictive models" analyses.
   virtual std::vector<std::uint32_t> influential_inputs(std::size_t top_k = 20) const = 0;
 
-  /// Tagged-text persistence; load with load_predictor().
+  /// Binary persistence into the caller's open archive section (a kind tag
+  /// then the model payload); read back with deserialize_predictor().
+  virtual void serialize(ArchiveWriter& archive) const = 0;
+
+  /// Deprecated legacy tagged-text persistence; load with load_predictor().
+  /// New code uses serialize()/deserialize_predictor().
   virtual void save(std::ostream& out) const = 0;
 };
 
-/// Reads back any predictor written by FeaturePredictor::save.
+/// Reads back any predictor written by FeaturePredictor::serialize.
+std::unique_ptr<FeaturePredictor> deserialize_predictor(ArchiveReader& archive);
+
+/// Reads back any predictor written by FeaturePredictor::save (legacy text).
 std::unique_ptr<FeaturePredictor> load_predictor(std::istream& in);
 
 /// Trains a regressor on rows of x against real-valued y.

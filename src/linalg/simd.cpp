@@ -1,8 +1,6 @@
 #include "linalg/simd.hpp"
 
 #include <atomic>
-#include <cstdlib>
-#include <cstring>
 
 #include "util/logging.hpp"
 #include "util/metrics.hpp"
@@ -27,25 +25,6 @@ Level detect_level() {
   return Level::kScalar;
 }
 
-/// Startup choice: cpuid, unless FRAC_SIMD overrides it. An unrecognized or
-/// unsupported override logs a warning and keeps the detected level — a bad
-/// environment variable must not abort (or silently slow down) a run.
-Level initial_level() {
-  const Level detected = detect_level();
-  const char* env = std::getenv("FRAC_SIMD");
-  if (env == nullptr || *env == '\0') return detected;
-  if (std::strcmp(env, "scalar") == 0) return Level::kScalar;
-  if (std::strcmp(env, "avx2") == 0) {
-    if (cpu_supports(Level::kAvx2)) return Level::kAvx2;
-    FRAC_WARN << "FRAC_SIMD=avx2 requested but this CPU/build lacks AVX2+FMA; "
-                 "using scalar kernels";
-    return Level::kScalar;
-  }
-  FRAC_WARN << "unrecognized FRAC_SIMD='" << env << "' (expected scalar|avx2); using "
-            << level_name(detected) << " kernels";
-  return detected;
-}
-
 /// Mirrors the dispatch decision into the metrics registry (0 = scalar,
 /// 1 = avx2) so run manifests record which kernels produced the numbers.
 void publish_level_metric(Level level) {
@@ -53,7 +32,7 @@ void publish_level_metric(Level level) {
 }
 
 Level initial_level_published() {
-  const Level level = initial_level();
+  const Level level = detect_level();
   publish_level_metric(level);
   return level;
 }
@@ -87,6 +66,21 @@ Level force_level(Level level) {
   active_table_slot().store(kernel_table(level), std::memory_order_relaxed);
   publish_level_metric(level);
   return level;
+}
+
+Level request_level(const std::string& name) {
+  const Level detected = active_level();
+  if (name.empty()) return detected;
+  if (name == "scalar") return force_level(Level::kScalar);
+  if (name == "avx2") {
+    if (cpu_supports(Level::kAvx2)) return force_level(Level::kAvx2);
+    FRAC_WARN << "simd level 'avx2' requested but this CPU/build lacks AVX2+FMA; "
+                 "using scalar kernels";
+    return force_level(Level::kScalar);
+  }
+  FRAC_WARN << "unrecognized simd level '" << name << "' (expected scalar|avx2); using "
+            << level_name(detected) << " kernels";
+  return detected;
 }
 
 const char* level_name(Level level) {

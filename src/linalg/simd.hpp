@@ -1,7 +1,8 @@
 // Runtime SIMD dispatch for the level-1/level-2 kernels.
 //
 // One implementation table per instruction-set level; the active table is
-// chosen once at startup from cpuid (overridable with FRAC_SIMD=scalar|avx2)
+// chosen once at startup from cpuid (overridable via request_level(), which
+// the CLI's RuntimeConfig drives from --simd / FRAC_SIMD)
 // and every public kernel in kernels.hpp routes through it. All levels use
 // the same fixed 4x-unrolled lane-block accumulation order (see
 // kernels_impl.hpp), so kernel results — and therefore NS scores — are
@@ -9,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 namespace frac::simd {
 
@@ -37,14 +39,20 @@ struct KernelTable {
 /// True when the CPU can execute `level` (kScalar is always supported).
 bool cpu_supports(Level level);
 
-/// The level the kernels are currently routed through. Resolved on first use:
-/// the best supported level, unless FRAC_SIMD=scalar|avx2 overrides it (an
-/// unsupported or unrecognized override logs a warning and falls back).
+/// The level the kernels are currently routed through. Resolved on first
+/// use as the best supported level; request_level()/force_level() override.
 Level active_level();
 
 /// Forces the active level (tests/benches). Returns the level actually in
 /// effect: requesting an unsupported level is a no-op.
 Level force_level(Level level);
+
+/// Named override ("scalar" | "avx2"), the RuntimeConfig entry point for
+/// --simd / FRAC_SIMD resolved at CLI startup. An unsupported or
+/// unrecognized name logs a warning and keeps a working level — a bad knob
+/// must not abort (or silently slow down) a run. Empty = keep the current
+/// level. Returns the level in effect.
+Level request_level(const std::string& name);
 
 /// Implementation table for `level`; null if the binary was built without it.
 const KernelTable* kernel_table(Level level);

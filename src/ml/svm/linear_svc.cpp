@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "linalg/kernels.hpp"
+#include "serialize/archive.hpp"
 #include "util/serialize.hpp"
 
 namespace frac {
@@ -23,6 +24,7 @@ void BinaryLinearSvc::fit(MatrixView x, std::span<const int> y, const LinearSvcC
   }
 
   w_.assign(d, 0.0);
+  w_view_ = {};  // refitting an archived model reverts it to owned weights
   bias_ = 0.0;
   std::vector<double> alpha(n, 0.0);
   std::vector<double> q_diag(n);
@@ -73,8 +75,8 @@ void BinaryLinearSvc::fit(MatrixView x, std::span<const int> y, const LinearSvcC
 }
 
 double BinaryLinearSvc::decision(std::span<const double> x) const {
-  assert(x.size() == w_.size());
-  return dot(w_, x) + bias_;
+  assert(x.size() == w().size());
+  return dot(w(), x) + bias_;
 }
 
 int BinaryLinearSvc::predict(std::span<const double> x) const {
@@ -115,8 +117,41 @@ std::size_t OneVsRestSvc::support_vector_count() const {
   return total;
 }
 
+void BinaryLinearSvc::serialize(ArchiveWriter& archive) const {
+  archive.write_f64_array(w());
+  archive.write_f64(bias_);
+  archive.write_u64(support_vectors_);
+}
+
+BinaryLinearSvc BinaryLinearSvc::deserialize(ArchiveReader& archive) {
+  BinaryLinearSvc model;
+  if (archive.borrowed()) {
+    model.w_view_ = archive.read_f64_span();
+  } else {
+    model.w_ = archive.read_f64_vector();
+  }
+  model.bias_ = archive.read_f64();
+  model.support_vectors_ = archive.read_u64();
+  return model;
+}
+
+void OneVsRestSvc::serialize(ArchiveWriter& archive) const {
+  archive.write_u32(static_cast<std::uint32_t>(binary_.size()));
+  for (const BinaryLinearSvc& b : binary_) b.serialize(archive);
+}
+
+OneVsRestSvc OneVsRestSvc::deserialize(ArchiveReader& archive) {
+  OneVsRestSvc model;
+  const std::uint32_t classes = archive.read_u32();
+  model.binary_.reserve(classes);
+  for (std::uint32_t k = 0; k < classes; ++k) {
+    model.binary_.push_back(BinaryLinearSvc::deserialize(archive));
+  }
+  return model;
+}
+
 void BinaryLinearSvc::save(std::ostream& out) const {
-  write_tagged(out, "svc.w", w_);
+  write_tagged(out, "svc.w", std::vector<double>(w().begin(), w().end()));
   write_tagged(out, "svc.bias", bias_);
   write_tagged(out, "svc.sv", static_cast<std::uint64_t>(support_vectors_));
 }

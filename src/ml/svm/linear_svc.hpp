@@ -17,6 +17,9 @@
 
 namespace frac {
 
+class ArchiveWriter;
+class ArchiveReader;
+
 struct LinearSvcConfig {
   double c = 1.0;
   std::size_t max_passes = 60;
@@ -41,11 +44,27 @@ class BinaryLinearSvc {
 
   std::size_t support_vector_count() const noexcept { return support_vectors_; }
 
+  /// The dense weight vector (a borrowed view for mmap-backed models; see
+  /// LinearSvr::weights).
+  std::span<const double> weights() const noexcept { return w(); }
+
+  /// Binary persistence into the caller's open archive section; weights are
+  /// aligned little-endian f64, zero-copy when the archive is borrowed.
+  void serialize(ArchiveWriter& archive) const;
+  static BinaryLinearSvc deserialize(ArchiveReader& archive);
+
+  /// Deprecated legacy tagged-text codec; kept for one release so existing
+  /// callers compile. New code uses serialize()/deserialize().
   void save(std::ostream& out) const;
   static BinaryLinearSvc load(std::istream& in);
 
  private:
-  std::vector<double> w_;
+  std::span<const double> w() const noexcept {
+    return w_view_.data() != nullptr ? w_view_ : std::span<const double>(w_);
+  }
+
+  std::vector<double> w_;           // owned weights (fit, owning deserialize)
+  std::span<const double> w_view_;  // borrowed weights (zero-copy deserialize)
   double bias_ = 0.0;
   std::size_t support_vectors_ = 0;
 };
@@ -63,6 +82,11 @@ class OneVsRestSvc {
   std::uint32_t arity() const noexcept { return static_cast<std::uint32_t>(binary_.size()); }
   std::size_t support_vector_count() const;
 
+  /// Binary persistence into the caller's open archive section.
+  void serialize(ArchiveWriter& archive) const;
+  static OneVsRestSvc deserialize(ArchiveReader& archive);
+
+  /// Deprecated legacy tagged-text codec (see BinaryLinearSvc).
   void save(std::ostream& out) const;
   static OneVsRestSvc load(std::istream& in);
 

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "linalg/kernels.hpp"
+#include "serialize/archive.hpp"
 #include "util/serialize.hpp"
 
 namespace frac {
@@ -20,6 +21,7 @@ void LinearSvr::fit(MatrixView x, std::span<const double> y, const LinearSvrConf
   if (config.epsilon < 0.0) throw std::invalid_argument("LinearSvr::fit: negative epsilon");
 
   w_.assign(d, 0.0);
+  w_view_ = {};  // refitting an archived model reverts it to owned weights
   bias_ = 0.0;
   std::vector<double> beta(n, 0.0);
 
@@ -107,8 +109,28 @@ void LinearSvr::fit(MatrixView x, std::span<const double> y, const LinearSvrConf
       std::count_if(beta.begin(), beta.end(), [](double b) { return b != 0.0; }));
 }
 
+void LinearSvr::serialize(ArchiveWriter& archive) const {
+  archive.write_f64_array(w());
+  archive.write_f64(bias_);
+  archive.write_u64(support_vectors_);
+  archive.write_u64(passes_used_);  // not representable in the legacy text format
+}
+
+LinearSvr LinearSvr::deserialize(ArchiveReader& archive) {
+  LinearSvr model;
+  if (archive.borrowed()) {
+    model.w_view_ = archive.read_f64_span();
+  } else {
+    model.w_ = archive.read_f64_vector();
+  }
+  model.bias_ = archive.read_f64();
+  model.support_vectors_ = archive.read_u64();
+  model.passes_used_ = archive.read_u64();
+  return model;
+}
+
 void LinearSvr::save(std::ostream& out) const {
-  write_tagged(out, "svr.w", w_);
+  write_tagged(out, "svr.w", std::vector<double>(w().begin(), w().end()));
   write_tagged(out, "svr.bias", bias_);
   write_tagged(out, "svr.sv", static_cast<std::uint64_t>(support_vectors_));
 }
@@ -122,8 +144,8 @@ LinearSvr LinearSvr::load(std::istream& in) {
 }
 
 double LinearSvr::predict(std::span<const double> x) const {
-  assert(x.size() == w_.size());
-  return dot(w_, x) + bias_;
+  assert(x.size() == w().size());
+  return dot(w(), x) + bias_;
 }
 
 }  // namespace frac

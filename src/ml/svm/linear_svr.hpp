@@ -26,6 +26,9 @@
 
 namespace frac {
 
+class ArchiveWriter;
+class ArchiveReader;
+
 struct LinearSvrConfig {
   double c = 1.0;              ///< slack penalty C
   double epsilon = 0.1;        ///< ε-insensitive tube half-width
@@ -59,7 +62,10 @@ class LinearSvr {
   /// w·x + b for one feature vector of the training width.
   double predict(std::span<const double> x) const;
 
-  const std::vector<double>& weights() const noexcept { return w_; }
+  /// The dense weight vector. For models deserialized from a borrowed
+  /// (mmap-backed) archive this is a non-owning view into the archive bytes;
+  /// otherwise it views the model's own storage.
+  std::span<const double> weights() const noexcept { return w(); }
   double bias() const noexcept { return bias_; }
 
   /// Dual variables with |β| > 0 — equals libSVM's support-vector count,
@@ -70,12 +76,26 @@ class LinearSvr {
   /// Coordinate passes actually used (for solver diagnostics/tests).
   std::size_t passes_used() const noexcept { return passes_used_; }
 
-  /// Tagged-text persistence (see util/serialize.hpp).
+  /// Binary persistence into the caller's open archive section. Weights are
+  /// stored as a contiguous aligned little-endian f64 array; deserializing
+  /// from a borrowed archive keeps them as a zero-copy view (the archive
+  /// buffer — e.g. a ModelBundle's mmap — must then outlive the model).
+  void serialize(ArchiveWriter& archive) const;
+  static LinearSvr deserialize(ArchiveReader& archive);
+
+  /// Deprecated legacy tagged-text codec; kept for one release so existing
+  /// callers compile. New code uses serialize()/deserialize().
   void save(std::ostream& out) const;
   static LinearSvr load(std::istream& in);
 
  private:
-  std::vector<double> w_;
+  /// Active weights: the borrowed view when present, else owned storage.
+  std::span<const double> w() const noexcept {
+    return w_view_.data() != nullptr ? w_view_ : std::span<const double>(w_);
+  }
+
+  std::vector<double> w_;             // owned weights (fit, owning deserialize)
+  std::span<const double> w_view_;    // borrowed weights (zero-copy deserialize)
   double bias_ = 0.0;
   std::size_t support_vectors_ = 0;
   std::size_t passes_used_ = 0;

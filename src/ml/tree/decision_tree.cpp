@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "data/dataset.hpp"  // is_missing
+#include "serialize/archive.hpp"
 #include "util/serialize.hpp"
 
 namespace frac {
@@ -371,6 +372,69 @@ double DecisionTree::predict(std::span<const double> x) const {
 
 std::size_t DecisionTree::bytes() const noexcept {
   return nodes_.capacity() * sizeof(Node) + sizeof(*this);
+}
+
+void DecisionTree::serialize(ArchiveWriter& archive) const {
+  archive.write_u8(static_cast<std::uint8_t>(task_));
+  archive.write_u64(depth_);
+  const std::size_t n = nodes_.size();
+  // Struct-of-arrays: one contiguous array per field (children stored +1 so
+  // leaves' -1 fits unsigned), floats widened to f64 for the aligned array
+  // encoding.
+  std::vector<std::uint32_t> lefts(n), rights(n), features(n), categories(n), flags(n);
+  std::vector<double> thresholds(n), values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Node& node = nodes_[i];
+    lefts[i] = static_cast<std::uint32_t>(node.left + 1);
+    rights[i] = static_cast<std::uint32_t>(node.right + 1);
+    features[i] = node.feature;
+    categories[i] = node.category;
+    flags[i] = static_cast<std::uint32_t>(node.categorical_split) |
+               (static_cast<std::uint32_t>(node.missing_goes_left) << 1);
+    thresholds[i] = node.threshold;
+    values[i] = node.value;
+  }
+  archive.write_u32_array(lefts);
+  archive.write_u32_array(rights);
+  archive.write_u32_array(features);
+  archive.write_u32_array(categories);
+  archive.write_u32_array(flags);
+  archive.write_f64_array(thresholds);
+  archive.write_f64_array(values);
+}
+
+DecisionTree DecisionTree::deserialize(ArchiveReader& archive) {
+  DecisionTree tree;
+  const std::uint8_t task = archive.read_u8();
+  if (task > 1) archive.fail("decision tree task must be 0 (regression) or 1 (classification)");
+  tree.task_ = static_cast<TreeTask>(task);
+  tree.depth_ = archive.read_u64();
+  const std::vector<std::uint32_t> lefts = archive.read_u32_vector();
+  const std::vector<std::uint32_t> rights = archive.read_u32_vector();
+  const std::vector<std::uint32_t> features = archive.read_u32_vector();
+  const std::vector<std::uint32_t> categories = archive.read_u32_vector();
+  const std::vector<std::uint32_t> flags = archive.read_u32_vector();
+  const std::vector<double> thresholds = archive.read_f64_vector();
+  const std::vector<double> values = archive.read_f64_vector();
+  const std::size_t n = lefts.size();
+  if (rights.size() != n || features.size() != n || categories.size() != n ||
+      flags.size() != n || thresholds.size() != n || values.size() != n) {
+    archive.fail("decision tree node arrays disagree on node count");
+  }
+  tree.nodes_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (lefts[i] > n || rights[i] > n) archive.fail("decision tree child index out of range");
+    Node& node = tree.nodes_[i];
+    node.left = static_cast<std::int32_t>(lefts[i]) - 1;
+    node.right = static_cast<std::int32_t>(rights[i]) - 1;
+    node.feature = features[i];
+    node.category = categories[i];
+    node.categorical_split = (flags[i] & 1u) != 0;
+    node.missing_goes_left = (flags[i] & 2u) != 0;
+    node.threshold = static_cast<float>(thresholds[i]);
+    node.value = static_cast<float>(values[i]);
+  }
+  return tree;
 }
 
 void DecisionTree::save(std::ostream& out) const {

@@ -22,6 +22,9 @@
 
 namespace frac {
 
+class ArchiveWriter;
+class ArchiveReader;
+
 enum class TreeTask : std::uint8_t { kRegression, kClassification };
 enum class SplitCriterion : std::uint8_t { kGini, kEntropy };  // classification only
 
@@ -62,7 +65,13 @@ class DecisionTree {
   /// support: the paper inspects "most predictive gene/SNP models").
   std::vector<std::uint32_t> used_features() const;
 
-  /// Tagged-text persistence (see util/serialize.hpp).
+  /// Binary persistence into the caller's open archive section (nodes stored
+  /// as struct-of-arrays; see docs/model_format.md).
+  void serialize(ArchiveWriter& archive) const;
+  static DecisionTree deserialize(ArchiveReader& archive);
+
+  /// Deprecated legacy tagged-text codec; kept for one release so existing
+  /// callers compile. New code uses serialize()/deserialize().
   void save(std::ostream& out) const;
   static DecisionTree load(std::istream& in);
 

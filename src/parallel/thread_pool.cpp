@@ -1,11 +1,9 @@
 #include "parallel/thread_pool.hpp"
 
-#include <cstdlib>
-
 #include <algorithm>
+#include <atomic>
 
 #include "util/metrics.hpp"
-#include "util/string_util.hpp"
 
 namespace frac {
 
@@ -136,14 +134,19 @@ void ThreadPool::execute(TaskGroup& group, TaskGroup::Task task) {
   }
 }
 
+namespace {
+/// Size requested for the global pool before its first use; 0 = hardware
+/// concurrency. Written by set_default_thread_count (RuntimeConfig::apply at
+/// CLI startup), read once when global() constructs.
+std::atomic<std::size_t> g_default_thread_count{0};
+}  // namespace
+
+void ThreadPool::set_default_thread_count(std::size_t threads) {
+  g_default_thread_count.store(threads, std::memory_order_relaxed);
+}
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool([] {
-    if (const char* env = std::getenv("FRAC_THREADS")) {
-      const std::size_t n = parse_size(env, "FRAC_THREADS");
-      if (n > 0) return n;
-    }
-    return std::size_t{0};
-  }());
+  static ThreadPool pool(g_default_thread_count.load(std::memory_order_relaxed));
   return pool;
 }
 

@@ -105,9 +105,16 @@ class ThreadPool {
   /// Waits for the default group (work-helping; see TaskGroup::wait).
   void wait();
 
-  /// Process-wide default pool, sized by FRAC_THREADS env var when set,
-  /// else hardware concurrency. Constructed on first use.
+  /// Process-wide default pool, constructed on first use with the size set
+  /// by set_default_thread_count() (else hardware concurrency). The CLI's
+  /// RuntimeConfig resolves --threads / FRAC_THREADS and applies it here at
+  /// startup; library code never reads the environment.
   static ThreadPool& global();
+
+  /// Sets the size global() will use. Takes effect only before global()'s
+  /// first use (the pool is constructed exactly once); 0 = hardware
+  /// concurrency.
+  static void set_default_thread_count(std::size_t threads);
 
  private:
   friend class TaskGroup;

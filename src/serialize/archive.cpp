@@ -1,0 +1,393 @@
+#include "serialize/archive.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/atomic_file.hpp"
+#include "util/errors.hpp"
+#include "util/string_util.hpp"
+
+namespace frac {
+
+namespace {
+
+// 0x89 prefix (as PNG does) keeps the magic out of the printable-ASCII range
+// the tagged-text format lives in, so one 8-byte sniff separates the formats.
+constexpr std::array<unsigned char, 8> kMagic = {0x89, 'F', 'R', 'A', 'C', 'M', 'D', 'L'};
+
+constexpr std::size_t kHeaderBytes = 24;   // magic + version + count + toc offset
+constexpr std::size_t kNameBytes = 24;     // NUL-padded section name field
+constexpr std::size_t kEntryBytes = 48;    // name + offset + size + crc + reserved
+
+std::size_t padded_to(std::size_t size, std::size_t alignment) {
+  return (size + alignment - 1) / alignment * alignment;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> data) {
+  // Slice-by-8 over the zlib (reflected IEEE) polynomial: eight tables let
+  // each iteration consume 8 bytes with independent lookups, which matters
+  // because open_section() checksums multi-megabyte weight payloads on the
+  // serving path. Table 0 alone is the classic byte-at-a-time table; the
+  // others are its k-step extensions.
+  static const std::array<std::array<std::uint32_t, 256>, 8> tables = [] {
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (std::size_t slice = 1; slice < 8; ++slice) {
+        c = t[0][c & 0xFFu] ^ (c >> 8);
+        t[slice][i] = c;
+      }
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  const std::byte* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, p, sizeof lo);
+    std::memcpy(&hi, p + 4, sizeof hi);
+    lo ^= crc;
+    crc = tables[7][lo & 0xFFu] ^ tables[6][(lo >> 8) & 0xFFu] ^
+          tables[5][(lo >> 16) & 0xFFu] ^ tables[4][lo >> 24] ^
+          tables[3][hi & 0xFFu] ^ tables[2][(hi >> 8) & 0xFFu] ^
+          tables[1][(hi >> 16) & 0xFFu] ^ tables[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  for (; n > 0; ++p, --n) {
+    crc = tables[0][(crc ^ static_cast<std::uint8_t>(*p)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------------------
+// ArchiveWriter
+// ---------------------------------------------------------------------------
+
+void ArchiveWriter::begin_section(std::string_view name) {
+  if (section_open_) {
+    throw std::logic_error("ArchiveWriter: begin_section with a section still open");
+  }
+  if (name.empty() || name.size() >= kNameBytes) {
+    throw std::logic_error("ArchiveWriter: section name must be 1..23 bytes");
+  }
+  for (const Section& section : sections_) {
+    if (section.name == name) {
+      throw std::logic_error("ArchiveWriter: duplicate section '" + std::string(name) + "'");
+    }
+  }
+  sections_.push_back(Section{std::string(name), {}});
+  section_open_ = true;
+}
+
+void ArchiveWriter::end_section() {
+  if (!section_open_) throw std::logic_error("ArchiveWriter: end_section without begin");
+  section_open_ = false;
+}
+
+void ArchiveWriter::append_raw(const void* data, std::size_t size) {
+  if (!section_open_) throw std::logic_error("ArchiveWriter: write outside a section");
+  sections_.back().payload.append(static_cast<const char*>(data), size);
+}
+
+void ArchiveWriter::pad_payload_to(std::size_t alignment) {
+  std::string& payload = sections_.back().payload;
+  payload.resize(padded_to(payload.size(), alignment), '\0');
+}
+
+void ArchiveWriter::write_u8(std::uint8_t value) { append_raw(&value, sizeof value); }
+void ArchiveWriter::write_u32(std::uint32_t value) { append_raw(&value, sizeof value); }
+void ArchiveWriter::write_u64(std::uint64_t value) { append_raw(&value, sizeof value); }
+
+void ArchiveWriter::write_f64(double value) {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+  append_raw(&bits, sizeof bits);
+}
+
+void ArchiveWriter::write_string(std::string_view value) {
+  if (value.size() > 0xFFFFFFFFu) throw std::logic_error("ArchiveWriter: string too long");
+  write_u32(static_cast<std::uint32_t>(value.size()));
+  append_raw(value.data(), value.size());
+}
+
+void ArchiveWriter::write_f64_array(std::span<const double> values) {
+  write_u64(values.size());
+  pad_payload_to(8);
+  append_raw(values.data(), values.size() * sizeof(double));
+}
+
+void ArchiveWriter::write_u32_array(std::span<const std::uint32_t> values) {
+  write_u64(values.size());
+  pad_payload_to(8);
+  append_raw(values.data(), values.size() * sizeof(std::uint32_t));
+}
+
+void ArchiveWriter::write_u64_array(std::span<const std::uint64_t> values) {
+  write_u64(values.size());
+  pad_payload_to(8);
+  append_raw(values.data(), values.size() * sizeof(std::uint64_t));
+}
+
+std::string ArchiveWriter::bytes() const {
+  if (section_open_) throw std::logic_error("ArchiveWriter: bytes() with a section open");
+  std::string out;
+  const std::size_t toc_bytes = sections_.size() * kEntryBytes;
+  std::size_t payload_offset = kHeaderBytes + toc_bytes;  // 8-aligned by construction
+  std::size_t total = payload_offset;
+  for (const Section& section : sections_) total = padded_to(total, 8) + section.payload.size();
+  out.reserve(total);
+
+  const auto append = [&out](const void* data, std::size_t size) {
+    out.append(static_cast<const char*>(data), size);
+  };
+  append(kMagic.data(), kMagic.size());
+  const std::uint32_t version = kArchiveFormatVersion;
+  const std::uint32_t count = static_cast<std::uint32_t>(sections_.size());
+  const std::uint64_t toc_offset = kHeaderBytes;
+  append(&version, sizeof version);
+  append(&count, sizeof count);
+  append(&toc_offset, sizeof toc_offset);
+
+  // Section table: offsets assigned in declaration order, payloads 8-aligned.
+  std::size_t offset = payload_offset;
+  for (const Section& section : sections_) {
+    offset = padded_to(offset, 8);
+    char name[kNameBytes] = {};
+    std::memcpy(name, section.name.data(), section.name.size());
+    append(name, kNameBytes);
+    const std::uint64_t off64 = offset;
+    const std::uint64_t size64 = section.payload.size();
+    const std::uint32_t crc = crc32(std::as_bytes(std::span(section.payload)));
+    const std::uint32_t reserved = 0;
+    append(&off64, sizeof off64);
+    append(&size64, sizeof size64);
+    append(&crc, sizeof crc);
+    append(&reserved, sizeof reserved);
+    offset += section.payload.size();
+  }
+  for (const Section& section : sections_) {
+    out.resize(padded_to(out.size(), 8), '\0');
+    out.append(section.payload);
+  }
+  return out;
+}
+
+void ArchiveWriter::write_stream(std::ostream& out) const {
+  const std::string image = bytes();
+  out.write(image.data(), static_cast<std::streamsize>(image.size()));
+  if (!out) throw IoError("ArchiveWriter: stream write failed");
+}
+
+void ArchiveWriter::write_file(const std::string& path) const {
+  atomic_write_file(path, [this](std::ostream& out) { write_stream(out); });
+}
+
+// ---------------------------------------------------------------------------
+// ArchiveReader
+// ---------------------------------------------------------------------------
+
+bool ArchiveReader::looks_like_archive(std::string_view prefix) noexcept {
+  return prefix.size() >= kMagic.size() &&
+         std::memcmp(prefix.data(), kMagic.data(), kMagic.size()) == 0;
+}
+
+ArchiveReader::ArchiveReader(std::span<const std::byte> data, std::string source,
+                             bool borrowed)
+    : data_(data), source_(std::move(source)), borrowed_(borrowed) {
+  const auto header_fail = [this](const std::string& detail) {
+    throw ParseError("model archive " + source_ + ": " + detail);
+  };
+  if (data_.size() < kHeaderBytes) header_fail("truncated header");
+  if (!looks_like_archive(
+          std::string_view(reinterpret_cast<const char*>(data_.data()), data_.size()))) {
+    header_fail("bad magic (not a frac model archive)");
+  }
+  std::uint32_t count = 0;
+  std::uint64_t toc_offset = 0;
+  std::memcpy(&version_, data_.data() + 8, sizeof version_);
+  std::memcpy(&count, data_.data() + 12, sizeof count);
+  std::memcpy(&toc_offset, data_.data() + 16, sizeof toc_offset);
+  if (version_ != kArchiveFormatVersion) {
+    header_fail(format("unsupported format version %u (this build reads %u)", version_,
+                       kArchiveFormatVersion));
+  }
+  if (toc_offset != kHeaderBytes) header_fail("bad section-table offset");
+  const std::uint64_t toc_end =
+      toc_offset + static_cast<std::uint64_t>(count) * kEntryBytes;
+  if (toc_end > data_.size()) header_fail("truncated section table");
+  entries_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::byte* entry = data_.data() + toc_offset + i * kEntryBytes;
+    Entry parsed;
+    const char* name = reinterpret_cast<const char*>(entry);
+    const void* nul = std::memchr(name, '\0', kNameBytes);
+    const std::size_t name_len =
+        nul == nullptr ? kNameBytes
+                       : static_cast<std::size_t>(static_cast<const char*>(nul) - name);
+    if (name_len == 0 || name_len == kNameBytes) header_fail("bad section name");
+    parsed.name.assign(name, name_len);
+    std::memcpy(&parsed.offset, entry + kNameBytes, sizeof parsed.offset);
+    std::memcpy(&parsed.size, entry + kNameBytes + 8, sizeof parsed.size);
+    std::memcpy(&parsed.crc, entry + kNameBytes + 16, sizeof parsed.crc);
+    if (parsed.offset % 8 != 0 || parsed.offset + parsed.size > data_.size() ||
+        parsed.offset + parsed.size < parsed.offset) {
+      throw ParseError("model archive " + source_ + ", section '" + parsed.name +
+                       "': payload out of file bounds (truncated?)");
+    }
+    entries_.push_back(std::move(parsed));
+  }
+}
+
+std::size_t ArchiveReader::toc_extent() const noexcept {
+  return kHeaderBytes + entries_.size() * kEntryBytes;
+}
+
+bool ArchiveReader::has_section(std::string_view name) const noexcept {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const Entry& e) { return e.name == name; });
+}
+
+std::vector<std::string> ArchiveReader::section_names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& entry : entries_) names.push_back(entry.name);
+  return names;
+}
+
+void ArchiveReader::open_section(std::string_view name) {
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [&](const Entry& e) { return e.name == name; });
+  if (it == entries_.end()) {
+    throw ParseError("model archive " + source_ + ", section '" + std::string(name) +
+                     "': missing");
+  }
+  const std::span<const std::byte> payload = data_.subspan(it->offset, it->size);
+  if (crc32(payload) != it->crc) {
+    throw ParseError("model archive " + source_ + ", section '" + it->name +
+                     "': CRC32 mismatch (corrupted or truncated file)");
+  }
+  open_ = &*it;
+  cursor_ = 0;
+}
+
+void ArchiveReader::fail(const std::string& detail) const {
+  throw ParseError("model archive " + source_ + ", section '" +
+                   (open_ != nullptr ? open_->name : std::string("<none>")) + "': " + detail);
+}
+
+const std::byte* ArchiveReader::section_cursor(std::size_t need) {
+  if (open_ == nullptr) throw std::logic_error("ArchiveReader: read without open_section");
+  if (cursor_ + need > open_->size || cursor_ + need < cursor_) {
+    fail(format("read of %zu bytes past section end (%llu of %llu consumed)", need,
+                static_cast<unsigned long long>(cursor_),
+                static_cast<unsigned long long>(open_->size)));
+  }
+  const std::byte* at = data_.data() + open_->offset + cursor_;
+  cursor_ += need;
+  return at;
+}
+
+void ArchiveReader::align_cursor(std::size_t alignment) {
+  const std::size_t aligned = padded_to(cursor_, alignment);
+  if (aligned != cursor_) section_cursor(aligned - cursor_);
+}
+
+std::uint8_t ArchiveReader::read_u8() {
+  std::uint8_t v;
+  std::memcpy(&v, section_cursor(sizeof v), sizeof v);
+  return v;
+}
+
+std::uint32_t ArchiveReader::read_u32() {
+  std::uint32_t v;
+  std::memcpy(&v, section_cursor(sizeof v), sizeof v);
+  return v;
+}
+
+std::uint64_t ArchiveReader::read_u64() {
+  std::uint64_t v;
+  std::memcpy(&v, section_cursor(sizeof v), sizeof v);
+  return v;
+}
+
+double ArchiveReader::read_f64() {
+  std::uint64_t bits;
+  std::memcpy(&bits, section_cursor(sizeof bits), sizeof bits);
+  return std::bit_cast<double>(bits);
+}
+
+std::string ArchiveReader::read_string() {
+  const std::uint32_t size = read_u32();
+  const std::byte* at = section_cursor(size);
+  return std::string(reinterpret_cast<const char*>(at), size);
+}
+
+std::span<const double> ArchiveReader::read_f64_span() {
+  const std::uint64_t count = read_u64();
+  align_cursor(8);
+  if (count > (open_->size - cursor_) / sizeof(double)) {
+    fail(format("f64 array count %llu exceeds section size",
+                static_cast<unsigned long long>(count)));
+  }
+  const std::byte* at = section_cursor(count * sizeof(double));
+  // Payloads start 8-aligned in the file and the cursor is 8-aligned here, so
+  // this reinterpret is aligned for both mmap- and heap-backed buffers.
+  return std::span<const double>(reinterpret_cast<const double*>(at), count);
+}
+
+std::vector<double> ArchiveReader::read_f64_vector() {
+  const std::span<const double> s = read_f64_span();
+  return std::vector<double>(s.begin(), s.end());
+}
+
+std::vector<std::uint32_t> ArchiveReader::read_u32_vector() {
+  const std::uint64_t count = read_u64();
+  align_cursor(8);
+  if (count > (open_->size - cursor_) / sizeof(std::uint32_t)) {
+    fail(format("u32 array count %llu exceeds section size",
+                static_cast<unsigned long long>(count)));
+  }
+  const std::byte* at = section_cursor(count * sizeof(std::uint32_t));
+  std::vector<std::uint32_t> out(count);
+  std::memcpy(out.data(), at, count * sizeof(std::uint32_t));
+  return out;
+}
+
+std::vector<std::uint64_t> ArchiveReader::read_u64_vector() {
+  const std::uint64_t count = read_u64();
+  align_cursor(8);
+  if (count > (open_->size - cursor_) / sizeof(std::uint64_t)) {
+    fail(format("u64 array count %llu exceeds section size",
+                static_cast<unsigned long long>(count)));
+  }
+  const std::byte* at = section_cursor(count * sizeof(std::uint64_t));
+  std::vector<std::uint64_t> out(count);
+  std::memcpy(out.data(), at, count * sizeof(std::uint64_t));
+  return out;
+}
+
+std::size_t ArchiveReader::section_remaining() const noexcept {
+  return open_ == nullptr ? 0 : open_->size - cursor_;
+}
+
+void ArchiveReader::expect_section_end() const {
+  if (open_ != nullptr && cursor_ != open_->size) {
+    throw ParseError("model archive " + source_ + ", section '" + open_->name + "': " +
+                     format("%llu trailing bytes after the last field",
+                            static_cast<unsigned long long>(open_->size - cursor_)));
+  }
+}
+
+}  // namespace frac

@@ -1,0 +1,160 @@
+// Versioned binary model archive: the on-disk container every model type
+// serializes into (the serialize/deserialize API that replaced the ad-hoc
+// per-type text save/load pairs — see docs/model_format.md for the byte-level
+// spec).
+//
+// Layout: an 8-byte magic, a format version, and a section table (name,
+// offset, size, CRC32 per section) followed by the section payloads. Every
+// payload starts 8-byte aligned and stores numeric arrays as contiguous
+// little-endian values, so a reader over an mmap'ed file can hand non-owning
+// `std::span<const double>` slices straight to the SIMD kernels — loading a
+// model becomes a table walk, not a parse.
+//
+// Integrity: open_section() verifies the section's CRC32 before any field is
+// read, so truncation and bit corruption fail with a ParseError *naming the
+// section* instead of deserializing garbage. Reads past a section's end fail
+// the same way.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace frac {
+
+// The wire format commits to little-endian payloads; big-endian hosts would
+// need byte-swapping reads that nothing here implements.
+static_assert(std::endian::native == std::endian::little,
+              "frac model archives require a little-endian host");
+
+/// IEEE CRC-32 (zlib polynomial) over a byte range.
+std::uint32_t crc32(std::span<const std::byte> data);
+
+/// The archive-level format version written by ArchiveWriter. Version 1 is
+/// the legacy tagged-text model format (no archive container).
+inline constexpr std::uint32_t kArchiveFormatVersion = 2;
+
+/// Builds an archive in memory: begin_section()/end_section() bracket a
+/// named payload, the write_* calls append fields to the open section, and
+/// bytes()/write_file() emit the final image (header + section table +
+/// aligned payloads). Misuse (writes outside a section, duplicate names) is
+/// a logic_error — writer bugs, not data errors.
+class ArchiveWriter {
+ public:
+  void begin_section(std::string_view name);
+  void end_section();
+
+  void write_u8(std::uint8_t value);
+  void write_u32(std::uint32_t value);
+  void write_u64(std::uint64_t value);
+  void write_f64(double value);
+  void write_string(std::string_view value);
+
+  /// Arrays: a u64 count, zero-padding to an 8-byte boundary, then the raw
+  /// little-endian elements (so f64/u64 payloads are 8-aligned in the file).
+  void write_f64_array(std::span<const double> values);
+  void write_u32_array(std::span<const std::uint32_t> values);
+  void write_u64_array(std::span<const std::uint64_t> values);
+
+  /// The complete archive image. All sections must be closed.
+  std::string bytes() const;
+
+  /// Streams bytes(); throws IoError when the stream fails.
+  void write_stream(std::ostream& out) const;
+
+  /// Atomic temp+fsync+rename publish via util/atomic_file.hpp.
+  void write_file(const std::string& path) const;
+
+ private:
+  struct Section {
+    std::string name;
+    std::string payload;
+  };
+
+  void append_raw(const void* data, std::size_t size);
+  void pad_payload_to(std::size_t alignment);
+
+  std::vector<Section> sections_;
+  bool section_open_ = false;
+};
+
+/// Reads an archive image (heap buffer or mmap). `borrowed` declares that
+/// the underlying bytes outlive every deserialized model, which permits
+/// zero-copy reads: read_f64_span() then returns a span into the buffer that
+/// deserializers may retain (ModelBundle sets this; plain file loads do not,
+/// and deserializers copy).
+class ArchiveReader {
+ public:
+  /// Throws ParseError (naming `source`) when the image is not a well-formed
+  /// archive of a supported version.
+  ArchiveReader(std::span<const std::byte> data, std::string source, bool borrowed);
+
+  /// True when `prefix` (>= 8 bytes of a file) carries the archive magic.
+  static bool looks_like_archive(std::string_view prefix) noexcept;
+
+  std::uint32_t format_version() const noexcept { return version_; }
+  bool borrowed() const noexcept { return borrowed_; }
+  const std::string& source() const noexcept { return source_; }
+
+  bool has_section(std::string_view name) const noexcept;
+  std::vector<std::string> section_names() const;
+
+  /// Bytes spanned by the header plus section table. Because every section's
+  /// CRC32 lives in the table, a checksum of this prefix identifies the whole
+  /// archive content without a second pass over the payloads.
+  std::size_t toc_extent() const noexcept;
+
+  /// Selects the named section and verifies its CRC32; subsequent read_*
+  /// calls consume its fields in order. Throws ParseError naming the section
+  /// on a missing section or a checksum mismatch.
+  void open_section(std::string_view name);
+
+  std::uint8_t read_u8();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  double read_f64();
+  std::string read_string();
+
+  /// Zero-copy array read: a span over the archive bytes, valid for the
+  /// reader's lifetime — and for the buffer's lifetime when borrowed().
+  std::span<const double> read_f64_span();
+  std::vector<double> read_f64_vector();
+  std::vector<std::uint32_t> read_u32_vector();
+  std::vector<std::uint64_t> read_u64_vector();
+
+  /// Unconsumed bytes of the open section.
+  std::size_t section_remaining() const noexcept;
+
+  /// ParseError unless the open section was consumed exactly.
+  void expect_section_end() const;
+
+  /// Deserializer escape hatch: throws ParseError with the archive source
+  /// and open section named, plus `detail` (semantic validation failures).
+  [[noreturn]] void fail(const std::string& detail) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::uint64_t offset = 0;
+    std::uint64_t size = 0;
+    std::uint32_t crc = 0;
+  };
+
+  const std::byte* section_cursor(std::size_t need);
+  void align_cursor(std::size_t alignment);
+
+  std::span<const std::byte> data_;
+  std::string source_;
+  bool borrowed_ = false;
+  std::uint32_t version_ = 0;
+  std::vector<Entry> entries_;
+  const Entry* open_ = nullptr;
+  std::size_t cursor_ = 0;  // offset within the open section's payload
+};
+
+}  // namespace frac

@@ -1,0 +1,117 @@
+#include "serialize/model_bundle.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "serialize/archive.hpp"
+#include "util/errors.hpp"
+#include "util/metrics.hpp"
+
+namespace frac {
+
+namespace {
+
+/// Closes a file descriptor at scope exit.
+struct FdGuard {
+  int fd = -1;
+  ~FdGuard() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+std::string read_all(int fd, const std::string& path) {
+  std::string buffer;
+  char chunk[1 << 16];
+  for (;;) {
+    const ::ssize_t got = ::read(fd, chunk, sizeof chunk);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("ModelBundle::open: read failed for " + path + ": " +
+                    std::strerror(errno));
+    }
+    if (got == 0) return buffer;
+    buffer.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+}  // namespace
+
+ModelBundle::~ModelBundle() {
+  if (map_base_ != nullptr) ::munmap(map_base_, map_length_);
+}
+
+std::shared_ptr<const ModelBundle> ModelBundle::open(const std::string& path) {
+  FdGuard fd{::open(path.c_str(), O_RDONLY | O_CLOEXEC)};
+  if (fd.fd < 0) {
+    throw IoError("ModelBundle::open: cannot open " + path + ": " + std::strerror(errno));
+  }
+  struct ::stat st = {};
+  if (::fstat(fd.fd, &st) != 0) {
+    throw IoError("ModelBundle::open: cannot stat " + path + ": " + std::strerror(errno));
+  }
+  if (S_ISREG(st.st_mode) && st.st_size == 0) {
+    throw ParseError("model archive " + path + ": empty file");
+  }
+
+  // shared_ptr rather than make_shared: the constructor is private, and the
+  // control block living apart from the mmap'd pages costs nothing here.
+  std::shared_ptr<ModelBundle> bundle(new ModelBundle());
+  bundle->path_ = path;
+
+  std::span<const std::byte> bytes;
+  if (S_ISREG(st.st_mode)) {
+    const std::size_t size = static_cast<std::size_t>(st.st_size);
+    void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd.fd, 0);
+    if (base != MAP_FAILED) {
+      bundle->map_base_ = base;
+      bundle->map_length_ = size;
+      bytes = {static_cast<const std::byte*>(base), size};
+    }
+  }
+  if (bytes.empty()) {
+    // Pipes, /proc files, or an mmap refusal: fall back to an owned buffer.
+    bundle->owned_bytes_ = read_all(fd.fd, path);
+    bytes = std::as_bytes(std::span<const char>(bundle->owned_bytes_));
+  }
+
+  bundle->file_bytes_ = bytes.size();
+
+  const std::string_view prefix(reinterpret_cast<const char*>(bytes.data()),
+                                std::min<std::size_t>(bytes.size(), 8));
+  if (ArchiveReader::looks_like_archive(prefix)) {
+    bundle->binary_ = true;
+    // borrowed = true: the spans handed to deserializers point into bytes the
+    // bundle owns (mapping or heap buffer) and outlive the model member.
+    ArchiveReader archive(bytes, path, /*borrowed=*/true);
+    // The section table embeds every payload's CRC32, so checksumming just
+    // the header+TOC prefix identifies the content without re-walking the
+    // multi-megabyte payloads deserialize() is about to verify anyway.
+    bundle->content_crc_ = crc32(bytes.first(archive.toc_extent()));
+    bundle->model_ = FracModel::deserialize(archive);
+  } else {
+    bundle->content_crc_ = crc32(bytes);
+    std::istringstream text(
+        std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+    bundle->model_ = FracModel::load(text);
+    // A text parse owns everything; drop the mapping rather than hold pages
+    // the model no longer references.
+    if (bundle->map_base_ != nullptr) {
+      ::munmap(bundle->map_base_, bundle->map_length_);
+      bundle->map_base_ = nullptr;
+      bundle->map_length_ = 0;
+    }
+  }
+
+  metrics_counter("serve.bundle.opened").add();
+  if (bundle->zero_copy()) metrics_counter("serve.bundle.zero_copy").add();
+  return bundle;
+}
+
+}  // namespace frac

@@ -1,0 +1,62 @@
+// A loaded model plus the bytes backing it: the load-once unit the scoring
+// engine serves from.
+//
+// For binary archives the bundle mmaps the file read-only and deserializes
+// with a borrowed ArchiveReader, so predictor weight vectors are non-owning
+// spans straight into the page cache — opening a model is a section-table
+// walk plus a CRC pass, not a parse. When mmap is unavailable (non-regular
+// files) the bundle falls back to an owned heap buffer with the same
+// borrowed-span semantics. Legacy text models parse into fully owned models.
+//
+// Bundles are immutable and shared by shared_ptr<const ModelBundle>: every
+// deserialized span's lifetime is the bundle's, so anything holding the
+// model must hold the bundle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "frac/frac.hpp"
+
+namespace frac {
+
+class ModelBundle {
+ public:
+  /// Loads `path` (either model format; the archive magic decides). Throws
+  /// IoError when the file cannot be read, ParseError/std::runtime_error
+  /// when its content is malformed.
+  static std::shared_ptr<const ModelBundle> open(const std::string& path);
+
+  ~ModelBundle();
+  ModelBundle(const ModelBundle&) = delete;
+  ModelBundle& operator=(const ModelBundle&) = delete;
+
+  const FracModel& model() const noexcept { return model_; }
+  const std::string& path() const noexcept { return path_; }
+
+  /// Size and CRC32 identity of the content as loaded — the cache's key.
+  /// For binary archives the CRC covers the header+TOC prefix (which embeds
+  /// every payload's CRC32, so it pins the whole content in one short pass);
+  /// for legacy text models it covers the full file.
+  std::size_t file_bytes() const noexcept { return file_bytes_; }
+  std::uint32_t content_crc() const noexcept { return content_crc_; }
+
+  /// True when the model's weight spans alias an mmap of the file.
+  bool zero_copy() const noexcept { return map_base_ != nullptr; }
+  bool binary_format() const noexcept { return binary_; }
+
+ private:
+  ModelBundle() = default;
+
+  std::string path_;
+  std::string owned_bytes_;     // heap-backed content (text models, mmap fallback)
+  void* map_base_ = nullptr;    // mmap base when zero_copy()
+  std::size_t map_length_ = 0;
+  std::size_t file_bytes_ = 0;
+  std::uint32_t content_crc_ = 0;
+  bool binary_ = false;
+  FracModel model_;  // declared last: its spans borrow the buffers above
+};
+
+}  // namespace frac

@@ -1,0 +1,237 @@
+#include "serve/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+
+#include "util/errors.hpp"
+#include "util/string_util.hpp"
+
+namespace frac {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string_view source) : text_(text), source_(source) {}
+
+  JsonValue parse_document() {
+    skip_whitespace();
+    JsonValue value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing content after JSON document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& detail) const {
+    throw ParseError(std::string(source_) + ": " + detail + " at byte " +
+                     std::to_string(pos_));
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  void expect_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) fail("invalid literal");
+    pos_ += word.size();
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't': expect_literal("true"); return JsonValue(true);
+      case 'f': expect_literal("false"); return JsonValue(false);
+      case 'n': expect_literal("null"); return JsonValue();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue::Object object;
+    skip_whitespace();
+    if (consume('}')) return JsonValue(std::move(object));
+    for (;;) {
+      skip_whitespace();
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      skip_whitespace();
+      object.insert_or_assign(std::move(key), parse_value());
+      skip_whitespace();
+      if (consume(',')) continue;
+      expect('}');
+      return JsonValue(std::move(object));
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue::Array array;
+    skip_whitespace();
+    if (consume(']')) return JsonValue(std::move(array));
+    for (;;) {
+      skip_whitespace();
+      array.push_back(parse_value());
+      skip_whitespace();
+      if (consume(',')) continue;
+      expect(']');
+      return JsonValue(std::move(array));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("unescaped control character");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: fail("invalid escape");
+      }
+    }
+  }
+
+  std::string parse_unicode_escape() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    std::uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') code |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else fail("invalid \\u escape digit");
+    }
+    // Surrogates (feature names are ASCII in practice) decode to U+FFFD.
+    if (code >= 0xD800 && code <= 0xDFFF) code = 0xFFFD;
+    std::string out;
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    const std::size_t int_start = pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    // RFC 8259: the integer part is 0, or a nonzero digit followed by more.
+    if (pos_ - int_start > 1 && text_[int_start] == '0') {
+      pos_ = start;
+      fail("leading zero in number");
+    }
+    if (consume('.')) {
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (pos_ == start) fail("expected a JSON value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      fail("malformed number");
+    }
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  std::string_view source_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const auto it = as_object().find(std::string(key));
+  return it == as_object().end() ? nullptr : &it->second;
+}
+
+std::string JsonValue::dump() const {
+  if (is_null()) return "null";
+  if (is_bool()) return as_bool() ? "true" : "false";
+  if (is_number()) {
+    const double v = as_number();
+    if (!std::isfinite(v)) return "null";  // JSON has no NaN/Inf
+    return format("%.17g", v);
+  }
+  if (is_string()) return "\"" + json_escape(as_string()) + "\"";
+  std::string out;
+  if (is_array()) {
+    out.push_back('[');
+    for (const JsonValue& v : as_array()) {
+      if (out.size() > 1) out.push_back(',');
+      out += v.dump();
+    }
+    out.push_back(']');
+    return out;
+  }
+  out.push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : as_object()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\"" + json_escape(key) + "\":" + value.dump();
+  }
+  out.push_back('}');
+  return out;
+}
+
+JsonValue parse_json(std::string_view text, std::string_view source) {
+  return Parser(text, source).parse_document();
+}
+
+}  // namespace frac

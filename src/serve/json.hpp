@@ -1,0 +1,63 @@
+// Minimal JSON for the NDJSON serve loop: a recursive-descent parser into a
+// small value tree, plus the escaping helper responses are built with.
+//
+// Scope is deliberately narrow — request lines are flat objects of scalars,
+// arrays, and one level of nesting — but the parser accepts arbitrary JSON
+// (RFC 8259 minus \u surrogate pairs, which decode to U+FFFD). Errors throw
+// ParseError with the byte offset, so a malformed line produces a per-line
+// error response instead of killing the server.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace frac {
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  /// Ordered map: response echoes and tests want stable iteration.
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() = default;  // null
+  explicit JsonValue(bool b) : value_(b) {}
+  explicit JsonValue(double d) : value_(d) {}
+  explicit JsonValue(std::string s) : value_(std::move(s)) {}
+  explicit JsonValue(Array a) : value_(std::move(a)) {}
+  explicit JsonValue(Object o) : value_(std::move(o)) {}
+
+  bool is_null() const noexcept { return std::holds_alternative<std::monostate>(value_); }
+  bool is_bool() const noexcept { return std::holds_alternative<bool>(value_); }
+  bool is_number() const noexcept { return std::holds_alternative<double>(value_); }
+  bool is_string() const noexcept { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const noexcept { return std::holds_alternative<Array>(value_); }
+  bool is_object() const noexcept { return std::holds_alternative<Object>(value_); }
+
+  bool as_bool() const { return std::get<bool>(value_); }
+  double as_number() const { return std::get<double>(value_); }
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+  const Array& as_array() const { return std::get<Array>(value_); }
+  const Object& as_object() const { return std::get<Object>(value_); }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Re-emits the value as compact JSON (numbers at %.17g round-trip
+  /// precision) — used to echo request ids verbatim.
+  std::string dump() const;
+
+ private:
+  std::variant<std::monostate, bool, double, std::string, Array, Object> value_;
+};
+
+/// Parses exactly one JSON document (trailing whitespace allowed; anything
+/// else is an error). Throws ParseError naming `source` and the byte offset.
+/// (Output escaping lives in util/string_util.hpp: json_escape.)
+JsonValue parse_json(std::string_view text, std::string_view source = "request");
+
+}  // namespace frac

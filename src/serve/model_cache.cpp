@@ -1,0 +1,100 @@
+#include "serve/model_cache.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <sys/stat.h>
+
+#include "util/errors.hpp"
+#include "util/metrics.hpp"
+
+namespace frac {
+
+namespace {
+
+struct FileIdentity {
+  std::int64_t mtime_ns = 0;
+  std::uint64_t size = 0;
+};
+
+FileIdentity stat_identity(const std::string& path) {
+  struct ::stat st = {};
+  if (::stat(path.c_str(), &st) != 0) {
+    throw IoError("ModelCache: cannot stat " + path + ": " + std::strerror(errno));
+  }
+  FileIdentity id;
+  id.mtime_ns = static_cast<std::int64_t>(st.st_mtim.tv_sec) * 1'000'000'000 +
+                st.st_mtim.tv_nsec;
+  id.size = static_cast<std::uint64_t>(st.st_size);
+  return id;
+}
+
+}  // namespace
+
+ModelCache::ModelCache(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::shared_ptr<const ScoringEngine> ModelCache::get(const std::string& path) {
+  const FileIdentity id = stat_identity(path);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(path);
+    if (it != entries_.end() && it->second.mtime_ns == id.mtime_ns &&
+        it->second.file_size == id.size) {
+      it->second.last_used = ++clock_;
+      metrics_counter("serve.model_cache.hits").add();
+      return it->second.engine;
+    }
+  }
+
+  // Load outside the lock: a slow disk must not serialize unrelated paths.
+  // Two threads racing the same cold path both load; last writer wins, the
+  // loser's bundle dies with its clients — correct, just briefly redundant.
+  metrics_counter("serve.model_cache.misses").add();
+  std::shared_ptr<const ScoringEngine> engine =
+      std::make_shared<const ScoringEngine>(ModelBundle::open(path));
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(path);
+  if (it != entries_.end()) {
+    metrics_counter("serve.model_cache.reloads").add();
+    // Touched but byte-identical (mtime bumped by a copy or re-save of the
+    // same model): keep the resident engine so its zero-copy clients share.
+    if (it->second.engine->bundle().content_crc() == engine->bundle().content_crc() &&
+        it->second.engine->bundle().file_bytes() == engine->bundle().file_bytes()) {
+      engine = it->second.engine;
+    }
+  }
+  Entry& entry = entries_[path];
+  entry.engine = engine;
+  entry.mtime_ns = id.mtime_ns;
+  entry.file_size = id.size;
+  entry.last_used = ++clock_;
+  evict_locked();
+  metrics_gauge("serve.model_cache.resident").set(static_cast<double>(entries_.size()));
+  return engine;
+}
+
+void ModelCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+std::size_t ModelCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void ModelCache::evict_locked() {
+  while (entries_.size() > capacity_) {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    metrics_counter("serve.model_cache.evictions").add();
+    entries_.erase(victim);
+  }
+}
+
+}  // namespace frac

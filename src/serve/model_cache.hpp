@@ -1,0 +1,51 @@
+// LRU cache of scoring engines keyed by model path, with staleness checks.
+//
+// Identity is (path, mtime, size) for the cheap freshness probe and content
+// CRC32 for the authoritative one: a touched-but-identical file reuses the
+// already-loaded engine (its zero-copy spans stay valid), while changed
+// content swaps the engine atomically — in-flight requests keep scoring the
+// bundle they hold via shared_ptr.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "serve/scoring_engine.hpp"
+
+namespace frac {
+
+class ModelCache {
+ public:
+  /// `capacity` = max engines kept resident (≥ 1).
+  explicit ModelCache(std::size_t capacity);
+
+  /// The engine for `path`, loading or reloading as needed. Thread-safe.
+  /// Load failures propagate (IoError/ParseError/std::runtime_error) and
+  /// leave any previously cached engine for the path in place.
+  std::shared_ptr<const ScoringEngine> get(const std::string& path);
+
+  /// Drops every cached engine (bundles stay alive while clients hold them).
+  void clear();
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const ScoringEngine> engine;
+    std::int64_t mtime_ns = 0;
+    std::uint64_t file_size = 0;
+    std::uint64_t last_used = 0;  // LRU clock value
+  };
+
+  void evict_locked();
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::uint64_t clock_ = 0;
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace frac

@@ -1,0 +1,61 @@
+#include "serve/scoring_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "data/dataset.hpp"
+
+namespace frac {
+
+ScoringEngine::ScoringEngine(std::shared_ptr<const ModelBundle> bundle)
+    : bundle_(std::move(bundle)) {
+  if (bundle_ == nullptr) {
+    throw std::invalid_argument("ScoringEngine: null model bundle");
+  }
+  const Schema& schema = model().schema();
+  index_.reserve(schema.size());
+  for (std::size_t f = 0; f < schema.size(); ++f) index_.emplace(schema[f].name, f);
+}
+
+std::size_t ScoringEngine::feature_index(std::string_view name) const {
+  const auto it = index_.find(std::string(name));
+  return it == index_.end() ? npos : it->second;
+}
+
+Dataset ScoringEngine::as_dataset(Matrix rows) const {
+  if (rows.cols() != feature_count()) {
+    throw std::invalid_argument("ScoringEngine: request has " + std::to_string(rows.cols()) +
+                                " values, model expects " +
+                                std::to_string(feature_count()));
+  }
+  std::vector<Label> labels(rows.rows(), Label::kNormal);
+  Dataset data(model().schema(), std::move(rows), std::move(labels));
+  data.validate();
+  return data;
+}
+
+std::vector<double> ScoringEngine::score(Matrix rows, ThreadPool& pool) const {
+  return model().score(as_dataset(std::move(rows)), pool);
+}
+
+std::vector<std::vector<NsContribution>> ScoringEngine::explain(Matrix rows, std::size_t top_k,
+                                                                ThreadPool& pool) const {
+  const Matrix per_feature = model().per_feature_scores(as_dataset(std::move(rows)), pool);
+  std::vector<std::vector<NsContribution>> out(per_feature.rows());
+  for (std::size_t r = 0; r < per_feature.rows(); ++r) {
+    std::vector<NsContribution>& top = out[r];
+    const auto row = per_feature.row(r);
+    for (std::size_t f = 0; f < per_feature.cols(); ++f) {
+      if (!is_missing(row[f])) top.push_back(NsContribution{f, row[f]});
+    }
+    std::stable_sort(top.begin(), top.end(), [](const NsContribution& a,
+                                                const NsContribution& b) {
+      return a.ns > b.ns;
+    });
+    if (top.size() > top_k) top.resize(top_k);
+  }
+  return out;
+}
+
+}  // namespace frac

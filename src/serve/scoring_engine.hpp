@@ -1,0 +1,58 @@
+// Load-once scoring: an immutable engine over a loaded ModelBundle that
+// scores request batches on the shared thread pool.
+//
+// The engine is stateless beyond the bundle and a feature-name index, so any
+// number of client threads may call score()/explain() concurrently; results
+// are bit-identical to `frac score` on the same model because both paths run
+// FracModel::score (same per-unit summation order for any thread count).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serialize/model_bundle.hpp"
+
+namespace frac {
+
+/// One feature's share of a sample's NS, for explain responses.
+struct NsContribution {
+  std::size_t feature = 0;
+  double ns = 0.0;
+};
+
+class ScoringEngine {
+ public:
+  explicit ScoringEngine(std::shared_ptr<const ModelBundle> bundle);
+
+  const ModelBundle& bundle() const noexcept { return *bundle_; }
+  const FracModel& model() const noexcept { return bundle_->model(); }
+  std::size_t feature_count() const noexcept { return model().feature_count(); }
+
+  /// Column index for a schema feature name; npos when unknown.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t feature_index(std::string_view name) const;
+
+  /// NS per row (rows.cols() must equal feature_count(); categorical cells
+  /// are validated like any dataset — malformed values throw
+  /// std::invalid_argument).
+  std::vector<double> score(Matrix rows, ThreadPool& pool) const;
+
+  /// Per-row top-k NS contributions, largest first (ties and the full
+  /// breakdown follow FracModel::per_feature_scores; features without a
+  /// score are omitted).
+  std::vector<std::vector<NsContribution>> explain(Matrix rows, std::size_t top_k,
+                                                   ThreadPool& pool) const;
+
+ private:
+  Dataset as_dataset(Matrix rows) const;
+
+  std::shared_ptr<const ModelBundle> bundle_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace frac

@@ -1,0 +1,192 @@
+#include "serve/server.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "serve/json.hpp"
+#include "serve/scoring_engine.hpp"
+#include "util/errors.hpp"
+#include "util/metrics.hpp"
+#include "util/stopwatch.hpp"
+#include "util/string_util.hpp"
+#include "util/trace.hpp"
+
+namespace frac {
+
+namespace {
+
+double cell_value(const JsonValue& cell) {
+  if (cell.is_null()) return kMissing;
+  if (!cell.is_number()) throw ParseError("request: cell values must be numbers or null");
+  return cell.as_number();
+}
+
+/// One row from "values": a positional array or a {"name": value} object
+/// (absent features are missing).
+void fill_row(const JsonValue& values, const ScoringEngine& engine, std::span<double> row) {
+  if (values.is_array()) {
+    const JsonValue::Array& cells = values.as_array();
+    if (cells.size() != row.size()) {
+      throw ParseError(format("request: row has %zu values, model expects %zu", cells.size(),
+                              row.size()));
+    }
+    for (std::size_t j = 0; j < cells.size(); ++j) row[j] = cell_value(cells[j]);
+    return;
+  }
+  if (values.is_object()) {
+    for (double& cell : row) cell = kMissing;
+    for (const auto& [name, cell] : values.as_object()) {
+      const std::size_t j = engine.feature_index(name);
+      if (j == ScoringEngine::npos) {
+        throw ParseError("request: unknown feature '" + name + "'");
+      }
+      row[j] = cell_value(cell);
+    }
+    return;
+  }
+  throw ParseError("request: \"values\" must be an array or a name->value object");
+}
+
+std::string contributions_json(const ScoringEngine& engine,
+                               const std::vector<NsContribution>& top) {
+  std::string out = "[";
+  for (const NsContribution& c : top) {
+    if (out.size() > 1) out.push_back(',');
+    out += format("{\"feature\":\"%s\",\"ns\":%.17g}",
+                  json_escape(engine.model().schema()[c.feature].name).c_str(), c.ns);
+  }
+  out.push_back(']');
+  return out;
+}
+
+std::string ns_json(double ns) {
+  // NS is finite by construction (non-finite unit contributions are skipped)
+  // but a response must stay valid JSON regardless.
+  return std::isfinite(ns) ? format("%.17g", ns) : std::string("null");
+}
+
+/// Handles one parsed request line; returns the response JSON.
+std::string handle_request(const JsonValue& request, const std::string& id_json,
+                           const ServeOptions& options, ModelCache& cache, ThreadPool& pool,
+                           std::uint64_t* samples) {
+  const JsonValue* model_field = request.find("model");
+  std::string model_path = options.default_model;
+  if (model_field != nullptr) {
+    if (!model_field->is_string()) throw ParseError("request: \"model\" must be a string");
+    model_path = model_field->as_string();
+  }
+  if (model_path.empty()) {
+    throw ParseError("request: no \"model\" given and no default model configured");
+  }
+
+  std::size_t top_k = options.top_k;
+  if (const JsonValue* field = request.find("top_k"); field != nullptr) {
+    if (!field->is_number() || field->as_number() < 0 ||
+        field->as_number() != std::floor(field->as_number())) {
+      throw ParseError("request: \"top_k\" must be a non-negative integer");
+    }
+    top_k = static_cast<std::size_t>(field->as_number());
+  }
+
+  const std::shared_ptr<const ScoringEngine> engine = cache.get(model_path);
+
+  const JsonValue* values = request.find("values");
+  const JsonValue* batch = request.find("batch");
+  if ((values != nullptr) == (batch != nullptr)) {
+    throw ParseError("request: exactly one of \"values\" or \"batch\" is required");
+  }
+
+  Matrix rows;
+  if (values != nullptr) {
+    rows = Matrix(1, engine->feature_count());
+    fill_row(*values, *engine, rows.row(0));
+  } else {
+    if (!batch->is_array()) throw ParseError("request: \"batch\" must be an array of rows");
+    const JsonValue::Array& lines = batch->as_array();
+    if (lines.empty()) throw ParseError("request: empty \"batch\"");
+    rows = Matrix(lines.size(), engine->feature_count());
+    for (std::size_t r = 0; r < lines.size(); ++r) fill_row(lines[r], *engine, rows.row(r));
+  }
+  *samples += rows.rows();
+
+  std::vector<std::vector<NsContribution>> top;
+  std::vector<double> ns;
+  if (top_k > 0) {
+    // One pass: per-feature contributions also yield the NS total via
+    // score(); both run so "ns" stays bit-identical to scores-only requests
+    // (the summation orders differ between the two kernels).
+    top = engine->explain(rows, top_k, pool);
+  }
+  ns = engine->score(std::move(rows), pool);
+
+  std::string response = "{\"id\":" + id_json + ",\"ns\":";
+  if (values != nullptr) {
+    response += ns_json(ns[0]);
+    if (top_k > 0) response += ",\"top\":" + contributions_json(*engine, top[0]);
+  } else {
+    response.push_back('[');
+    for (std::size_t r = 0; r < ns.size(); ++r) {
+      if (r != 0) response.push_back(',');
+      response += ns_json(ns[r]);
+    }
+    response.push_back(']');
+    if (top_k > 0) {
+      response += ",\"top\":[";
+      for (std::size_t r = 0; r < top.size(); ++r) {
+        if (r != 0) response.push_back(',');
+        response += contributions_json(*engine, top[r]);
+      }
+      response.push_back(']');
+    }
+  }
+  response.push_back('}');
+  return response;
+}
+
+}  // namespace
+
+ServeStats run_serve_loop(std::istream& in, std::ostream& out, const ServeOptions& options,
+                          ModelCache& cache, ThreadPool& pool) {
+  ServeStats stats;
+  Counter& requests_metric = metrics_counter("serve.requests");
+  Counter& samples_metric = metrics_counter("serve.samples");
+  Counter& errors_metric = metrics_counter("serve.errors");
+  Histogram& latency = metrics_histogram("serve.request_seconds");
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;  // blank keepalive
+    const WallStopwatch wall;
+    ++stats.requests;
+    requests_metric.add();
+    std::string id_json = "null";
+    std::string response;
+    try {
+      const JsonValue request = parse_json(line);
+      if (!request.is_object()) throw ParseError("request: line must be a JSON object");
+      if (const JsonValue* id = request.find("id"); id != nullptr) id_json = id->dump();
+      const TraceSpan span("serve.request",
+                           trace_armed() ? format("{\"bytes\": %zu}", line.size())
+                                         : std::string());
+      std::uint64_t samples = 0;
+      response = handle_request(request, id_json, options, cache, pool, &samples);
+      stats.samples += samples;
+      samples_metric.add(samples);
+    } catch (const std::exception& e) {
+      ++stats.errors;
+      errors_metric.add();
+      response = "{\"id\":" + id_json + ",\"error\":\"" + json_escape(e.what()) + "\"}";
+    }
+    latency.observe(wall.seconds());
+    out << response << '\n' << std::flush;
+  }
+  return stats;
+}
+
+}  // namespace frac

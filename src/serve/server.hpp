@@ -1,0 +1,43 @@
+// `frac serve`: an NDJSON request loop over the load-once scoring engine.
+//
+// Protocol (one JSON object per line on stdin, one response per line on
+// stdout, flushed per line so callers can pipeline):
+//
+//   {"id": 7, "values": [0.1, null, 2]}          -> {"id":7,"ns":<NS>}
+//   {"id": 8, "values": {"g0": 0.1, "g2": 2}}    (missing features = NaN)
+//   {"id": 9, "batch": [[...], [...]]}           -> {"id":9,"ns":[<NS>,...]}
+//
+// Optional request fields: "model" (path; overrides the default model via
+// the cache) and "top_k" (adds "top": the request's top-k per-feature NS
+// contributions, the --explain machinery). null cells are missing values.
+// A malformed line yields {"id":...,"error":"..."} and the loop continues —
+// one bad client line must not kill the server.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "parallel/thread_pool.hpp"
+#include "serve/model_cache.hpp"
+
+namespace frac {
+
+struct ServeOptions {
+  std::string default_model;   ///< model used when a request names none
+  std::size_t top_k = 0;       ///< default explain depth (0 = scores only)
+};
+
+struct ServeStats {
+  std::uint64_t requests = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t errors = 0;
+};
+
+/// Runs the request loop until EOF on `in`. Batches score concurrently on
+/// `pool` (the engine path is FracModel::score, so NS values are
+/// bit-identical to `frac score` for any thread count).
+ServeStats run_serve_loop(std::istream& in, std::ostream& out, const ServeOptions& options,
+                          ModelCache& cache, ThreadPool& pool);
+
+}  // namespace frac

@@ -1,52 +1,33 @@
 // frac — command-line front end for the library.
 //
-// Subcommands:
-//   frac list-cohorts
-//       List the paper-analog synthetic cohorts.
-//   frac generate --cohort NAME --out FILE.csv
-//       Write a synthetic cohort as a dataset CSV.
-//   frac train --data TRAIN.csv --model OUT.frac [--diverse P]
-//       Train (full or diverse) FRaC on an all-normal training CSV and
-//       persist the model.
-//   frac score --model M.frac --data TEST.csv [--out SCORES.csv] [--explain K]
-//       Score a test CSV with a saved model; prints AUC when the CSV has
-//       both labels. --explain K additionally prints each test sample's
-//       top-K per-feature NS contributions.
-//   frac explain --model M.frac --data TEST.csv --sample I [--top K]
-//       Why is sample I anomalous? Prints its NS and the top-K features by
-//       NS contribution, with each feature's most influential predictors.
-//   frac detect --train TRAIN.csv --test TEST.csv --method METHOD [options]
-//       One-shot train+score with any variant:
-//         full | filter-ensemble | entropy | partial | diverse |
-//         diverse-ensemble | jl
-//       Options: --keep P (filters, default 0.05), --members N (ensembles,
-//       default 10), --p P (diverse, default 0.5), --dim K (jl, default 64),
-//       --seed S, --out SCORES.csv
-//   frac grid [--cohorts A,B --methods M1,M2 --replicates N --seed S]
-//             [--checkpoint FILE [--resume]] [--out REPORT.csv]
-//       Run the (cohort, method, replicate) experiment grid with per-cell
-//       failure isolation. Every finished cell is persisted atomically to
-//       --checkpoint; --resume skips cells the checkpoint already holds, and
-//       the resumed report is byte-identical to an uninterrupted run's.
-//       SIGINT stops cleanly between cells (exit 130).
+// Subcommands (run `frac <command> --help` for flags; the spec tables in
+// command_specs() below are the single source of truth):
+//   list-cohorts   list the paper-analog synthetic cohorts
+//   generate       write a synthetic cohort as a dataset CSV
+//   train          train (full or diverse) FRaC and persist the model
+//   score          score a test CSV with a saved model (+AUC, --explain)
+//   explain        per-feature NS breakdown for one test sample
+//   detect         one-shot train+score with any variant
+//   grid           the (cohort, method, replicate) experiment grid
+//   convert        convert a model file between text and binary formats
+//   serve          NDJSON scoring loop over a load-once engine (stdin→stdout)
 //
-// Observability (any subcommand):
-//   --manifest FILE or FRAC_MANIFEST=FILE  write a JSON run manifest
-//   FRAC_METRICS=FILE                      dump the metrics registry at exit
-//   FRAC_TRACE=FILE                        collect a chrome://tracing JSON
-//
-// Exit codes: 0 success, 1 usage error, 2 internal failure, 3 I/O failure,
-// 4 parse failure, 5 numeric failure, 130 interrupted.
+// Every command also accepts the shared runtime flags (--threads, --simd,
+// --log, --faults, --trace, --metrics, --manifest); each falls back to its
+// FRAC_* environment variable. Exit codes: see kExitCodeContract
+// (config/cli_spec.cpp) — 0 ok, 1 usage, 2 internal, 3 I/O, 4 parse,
+// 5 numeric, 130 interrupted.
 #include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
-#include <set>
 #include <string>
 #include <vector>
 
+#include "config/cli_spec.hpp"
+#include "config/runtime_config.hpp"
 #include "data/io.hpp"
 #include "expt/grid.hpp"
 #include "expt/registry.hpp"
@@ -55,6 +36,7 @@
 #include "frac/filtering.hpp"
 #include "frac/preprojection.hpp"
 #include "ml/metrics.hpp"
+#include "serve/server.hpp"
 #include "util/atomic_file.hpp"
 #include "util/errors.hpp"
 #include "util/manifest.hpp"
@@ -72,61 +54,103 @@ using namespace frac;
 /// names a path.
 RunManifest* g_manifest = nullptr;
 
-/// --flag value option list; flags without '--' are rejected. Flags named in
-/// `boolean` take no value ("--resume" style switches).
-class Args {
- public:
-  Args(int argc, char** argv, int first, const std::set<std::string>& boolean = {}) {
-    for (int i = first; i < argc; ++i) {
-      const std::string flag = argv[i];
-      if (!starts_with(flag, "--")) {
-        throw std::invalid_argument("expected --flag, got '" + flag + "'");
-      }
-      const std::string key = flag.substr(2);
-      if (boolean.contains(key)) {
-        values_[key] = "true";
-        continue;
-      }
-      if (i + 1 >= argc) throw std::invalid_argument("missing value for " + flag);
-      values_[key] = argv[++i];
-    }
-  }
-
-  std::optional<std::string> get(const std::string& key) const {
-    const auto it = values_.find(key);
-    if (it == values_.end()) return std::nullopt;
-    used_.insert(key);
-    return it->second;
-  }
-
-  bool get_flag(const std::string& key) const { return get(key).has_value(); }
-
-  std::string require(const std::string& key) const {
-    const auto v = get(key);
-    if (!v) throw std::invalid_argument("missing required --" + key);
-    return *v;
-  }
-
-  double get_double(const std::string& key, double fallback) const {
-    const auto v = get(key);
-    return v ? parse_double(*v, "--" + key) : fallback;
-  }
-
-  std::size_t get_size(const std::string& key, std::size_t fallback) const {
-    const auto v = get(key);
-    return v ? parse_size(*v, "--" + key) : fallback;
-  }
-
-  void reject_unused() const {
-    for (const auto& [key, value] : values_) {
-      if (!used_.contains(key)) throw std::invalid_argument("unknown option --" + key);
-    }
-  }
-
- private:
-  std::map<std::string, std::string> values_;
-  mutable std::set<std::string> used_;
-};
+const std::vector<CommandSpec>& command_specs() {
+  static const std::vector<CommandSpec> kSpecs = {
+      {"list-cohorts", "list the paper-analog synthetic cohorts", "", {}},
+      {"generate",
+       "write a synthetic cohort as a dataset CSV",
+       "--cohort NAME --out FILE.csv",
+       {
+           {"cohort", FlagKind::kString, true, "NAME", "cohort name (see list-cohorts)"},
+           {"out", FlagKind::kString, true, "FILE", "output CSV path"},
+       }},
+      {"train",
+       "train (full or diverse) FRaC on an all-normal training CSV",
+       "--data TRAIN.csv --model OUT.fracmdl [--format binary|text]",
+       {
+           {"data", FlagKind::kString, true, "FILE", "training dataset CSV"},
+           {"model", FlagKind::kString, true, "FILE", "output model path"},
+           {"format", FlagKind::kString, false, "FMT",
+            "model encoding: binary (default) or text (legacy)"},
+           {"diverse", FlagKind::kDouble, false, "P",
+            "diverse-FRaC input-sampling probability (default 0: full FRaC)"},
+           {"seed", FlagKind::kSize, false, "S", "training seed (default 23)"},
+       }},
+      {"score",
+       "score a test CSV with a saved model; prints AUC when labeled",
+       "--model M.fracmdl --data TEST.csv [--out SCORES.csv] [--explain K]",
+       {
+           {"model", FlagKind::kString, true, "FILE", "saved model (either format)"},
+           {"data", FlagKind::kString, true, "FILE", "test dataset CSV"},
+           {"out", FlagKind::kString, false, "FILE", "write sample,ns,label CSV"},
+           {"explain", FlagKind::kSize, false, "K",
+            "print each sample's top-K per-feature NS contributions"},
+       }},
+      {"explain",
+       "why is sample I anomalous? NS breakdown and influential predictors",
+       "--model M.fracmdl --data TEST.csv --sample I [--top K]",
+       {
+           {"model", FlagKind::kString, true, "FILE", "saved model (either format)"},
+           {"data", FlagKind::kString, true, "FILE", "test dataset CSV"},
+           {"sample", FlagKind::kSize, false, "I", "test sample index (default 0)"},
+           {"top", FlagKind::kSize, false, "K", "features to show (default 10)"},
+       }},
+      {"detect",
+       "one-shot train+score with any variant",
+       "--train TRAIN.csv --test TEST.csv --method METHOD [options]",
+       {
+           {"train", FlagKind::kString, true, "FILE", "training dataset CSV"},
+           {"test", FlagKind::kString, true, "FILE", "test dataset CSV"},
+           {"method", FlagKind::kString, true, "METHOD",
+            "full | filter-ensemble | entropy | partial | diverse | "
+            "diverse-ensemble | jl"},
+           {"keep", FlagKind::kDouble, false, "P", "filter keep fraction (default 0.05)"},
+           {"members", FlagKind::kSize, false, "N", "ensemble members (default 10)"},
+           {"p", FlagKind::kDouble, false, "P", "diverse sampling probability (default 0.5)"},
+           {"dim", FlagKind::kSize, false, "K", "JL output dimension (default 64)"},
+           {"seed", FlagKind::kSize, false, "S", "run seed (default 23)"},
+           {"out", FlagKind::kString, false, "FILE", "write sample,ns,label CSV"},
+       }},
+      {"grid",
+       "run the (cohort, method, replicate) experiment grid with isolation",
+       "[--cohorts A,B --methods M1,M2 --replicates N] [--checkpoint FILE [--resume]]",
+       {
+           {"cohorts", FlagKind::kString, false, "A,B", "cohort subset (default: all)"},
+           {"methods", FlagKind::kString, false, "M1,M2", "method subset (default: all)"},
+           {"replicates", FlagKind::kSize, false, "N", "replicates per cell"},
+           {"seed", FlagKind::kSize, false, "S", "grid seed (default 23)"},
+           {"keep", FlagKind::kDouble, false, "P", "filter keep fraction"},
+           {"members", FlagKind::kSize, false, "N", "ensemble members"},
+           {"p", FlagKind::kDouble, false, "P", "diverse sampling probability"},
+           {"dim", FlagKind::kSize, false, "K", "JL output dimension"},
+           {"checkpoint", FlagKind::kString, false, "FILE", "persist finished cells here"},
+           {"resume", FlagKind::kBool, false, "", "skip cells the checkpoint holds"},
+           {"out", FlagKind::kString, false, "FILE", "write the report CSV here"},
+       }},
+      {"convert",
+       "convert a saved model between the text and binary formats",
+       "--in OLD.frac --out NEW.fracmdl [--to binary|text]",
+       {
+           {"in", FlagKind::kString, true, "FILE", "source model (either format)"},
+           {"out", FlagKind::kString, true, "FILE", "destination model path"},
+           {"to", FlagKind::kString, false, "FMT",
+            "target encoding: binary (default) or text"},
+       }},
+      {"serve",
+       "NDJSON scoring loop: one JSON request per stdin line, one response "
+       "per stdout line",
+       "--model M.fracmdl [--top-k K] [--cache N]",
+       {
+           {"model", FlagKind::kString, true, "FILE",
+            "default model (requests may override with \"model\")"},
+           {"top-k", FlagKind::kSize, false, "K",
+            "include top-K NS contributions per sample (default 0: scores only)"},
+           {"cache", FlagKind::kSize, false, "N",
+            "max models kept resident across requests (default 4)"},
+       }},
+  };
+  return kSpecs;
+}
 
 void write_scores(const std::string& path, const std::vector<double>& scores,
                   const Dataset& test) {
@@ -148,6 +172,13 @@ void print_auc_if_labeled(const std::vector<double>& scores, const Dataset& test
   }
 }
 
+ModelFormat parse_model_format(const std::string& name, const char* flag) {
+  if (name.empty() || name == "binary") return ModelFormat::kBinary;
+  if (name == "text") return ModelFormat::kText;
+  throw std::invalid_argument(std::string(flag) + " must be 'binary' or 'text', got '" +
+                              name + "'");
+}
+
 int cmd_list_cohorts() {
   for (const CohortSpec& spec : paper_cohorts()) {
     std::cout << spec.name << "  ("
@@ -158,10 +189,9 @@ int cmd_list_cohorts() {
   return 0;
 }
 
-int cmd_generate(const Args& args) {
+int cmd_generate(const ParsedFlags& args) {
   const std::string name = args.require("cohort");
   const std::string out = args.require("out");
-  args.reject_unused();
   const CohortSpec& spec = cohort_by_name(name);
   if (spec.ancestry_confound) {
     const Replicate rep = make_confounded_replicate(spec);
@@ -175,12 +205,12 @@ int cmd_generate(const Args& args) {
   return 0;
 }
 
-int cmd_train(const Args& args) {
+int cmd_train(const ParsedFlags& args) {
   const std::string data_path = args.require("data");
   const std::string model_path = args.require("model");
+  const ModelFormat model_format = parse_model_format(args.get("format").value_or(""), "--format");
   const double diverse_p = args.get_double("diverse", 0.0);
   const std::size_t seed = args.get_size("seed", 23);
-  args.reject_unused();
   if (g_manifest != nullptr) g_manifest->set("train.seed", static_cast<std::uint64_t>(seed));
 
   const Dataset train = load_dataset_csv(data_path);
@@ -190,7 +220,7 @@ int cmd_train(const Args& args) {
   }
   FracConfig config;
   config.seed = seed;
-  ThreadPool& pool = ThreadPool::global();  // sized by FRAC_THREADS
+  ThreadPool& pool = ThreadPool::global();
   FracModel model = [&] {
     if (diverse_p > 0.0) {
       Rng rng(seed);
@@ -199,22 +229,21 @@ int cmd_train(const Args& args) {
     }
     return FracModel::train(train, config, pool);
   }();
-  model.save_file(model_path);
+  model.save_file(model_path, model_format);
   std::cout << "trained " << model.unit_count() << " units on " << train.sample_count()
             << " samples; saved to " << model_path << "\n";
   return 0;
 }
 
-int cmd_score(const Args& args) {
+int cmd_score(const ParsedFlags& args) {
   const std::string model_path = args.require("model");
   const std::string data_path = args.require("data");
   const std::size_t explain_k = args.get_size("explain", 0);
   const auto out = args.get("out");
-  args.reject_unused();
 
   const FracModel model = FracModel::load_file(model_path);
   const Dataset test = load_dataset_csv(data_path);
-  ThreadPool& pool = ThreadPool::global();  // sized by FRAC_THREADS
+  ThreadPool& pool = ThreadPool::global();
   const std::vector<double> scores = model.score(test, pool);
   if (out) write_scores(*out, scores, test);
   print_auc_if_labeled(scores, test);
@@ -243,19 +272,18 @@ int cmd_score(const Args& args) {
   return 0;
 }
 
-int cmd_explain(const Args& args) {
+int cmd_explain(const ParsedFlags& args) {
   const std::string model_path = args.require("model");
   const std::string data_path = args.require("data");
   const std::size_t sample = args.get_size("sample", 0);
   const std::size_t top = args.get_size("top", 10);
-  args.reject_unused();
 
   const FracModel model = FracModel::load_file(model_path);
   const Dataset test = load_dataset_csv(data_path);
   if (sample >= test.sample_count()) {
     throw std::invalid_argument(format("sample %zu out of %zu", sample, test.sample_count()));
   }
-  ThreadPool& pool = ThreadPool::global();  // sized by FRAC_THREADS
+  ThreadPool& pool = ThreadPool::global();
   const Dataset one = test.select_samples({sample});
   const Matrix per_feature = model.per_feature_scores(one, pool);
 
@@ -295,7 +323,7 @@ int cmd_explain(const Args& args) {
   return 0;
 }
 
-int cmd_detect(const Args& args) {
+int cmd_detect(const ParsedFlags& args) {
   const std::string train_path = args.require("train");
   const std::string test_path = args.require("test");
   const std::string method = args.require("method");
@@ -305,7 +333,6 @@ int cmd_detect(const Args& args) {
   const std::size_t dim = args.get_size("dim", 64);
   const std::size_t seed = args.get_size("seed", 23);
   const auto out = args.get("out");
-  args.reject_unused();
   if (g_manifest != nullptr) {
     g_manifest->set("detect.method", method);
     g_manifest->set("detect.seed", static_cast<std::uint64_t>(seed));
@@ -325,7 +352,7 @@ int cmd_detect(const Args& args) {
     config.predictor.tree.max_depth = 6;
   }
 
-  ThreadPool& pool = ThreadPool::global();  // sized by FRAC_THREADS
+  ThreadPool& pool = ThreadPool::global();
   Rng rng(seed);
   ScoredRun run;
   if (method == "full") run = run_frac(rep, config, pool);
@@ -368,7 +395,7 @@ void install_sigint_handler() {
   sigaction(SIGINT, &action, nullptr);
 }
 
-int cmd_grid(const Args& args) {
+int cmd_grid(const ParsedFlags& args) {
   GridConfig config;
   if (const auto v = args.get("cohorts")) config.cohorts = split(*v, ',');
   if (const auto v = args.get("methods")) config.methods = split(*v, ',');
@@ -381,7 +408,6 @@ int cmd_grid(const Args& args) {
   if (const auto v = args.get("checkpoint")) config.checkpoint_path = *v;
   config.resume = args.get_flag("resume");
   const auto out = args.get("out");
-  args.reject_unused();
   if (config.resume && config.checkpoint_path.empty()) {
     throw std::invalid_argument("--resume requires --checkpoint");
   }
@@ -401,7 +427,7 @@ int cmd_grid(const Args& args) {
   }
 
   install_sigint_handler();
-  ThreadPool& pool = ThreadPool::global();  // sized by FRAC_THREADS
+  ThreadPool& pool = ThreadPool::global();
   const GridOutcome outcome =
       run_experiment_grid(config, pool, [] { return g_interrupted != 0; });
   if (g_manifest != nullptr) {
@@ -432,17 +458,71 @@ int cmd_grid(const Args& args) {
   return 0;
 }
 
-int usage() {
-  std::cerr << "usage: frac <list-cohorts|generate|train|score|detect|grid> [--options]\n"
-               "see the header of src/tools/frac_cli.cpp or README.md for details\n";
-  return 1;
+int cmd_convert(const ParsedFlags& args) {
+  const std::string in_path = args.require("in");
+  const std::string out_path = args.require("out");
+  const ModelFormat to = parse_model_format(args.get("to").value_or(""), "--to");
+
+  const FracModel model = FracModel::load_file(in_path);
+  model.save_file(out_path, to);
+  std::cout << "converted " << in_path << " -> " << out_path << " ("
+            << (to == ModelFormat::kBinary ? "binary" : "text") << ", " << model.unit_count()
+            << " units)\n";
+  return 0;
+}
+
+int cmd_serve(const ParsedFlags& args) {
+  ServeOptions options;
+  options.default_model = args.require("model");
+  options.top_k = args.get_size("top-k", 0);
+  const std::size_t cache_capacity = args.get_size("cache", 4);
+
+  ModelCache cache(cache_capacity);
+  // Fail fast: a broken default model should exit with the load error before
+  // the loop starts consuming requests.
+  const std::shared_ptr<const ScoringEngine> engine = cache.get(options.default_model);
+  std::cerr << "serving " << options.default_model << " (" << engine->feature_count()
+            << " features, " << engine->model().unit_count() << " units, "
+            << (engine->bundle().zero_copy() ? "mmap zero-copy" : "heap-backed") << ")\n";
+
+  ThreadPool& pool = ThreadPool::global();
+  const ServeStats stats = run_serve_loop(std::cin, std::cout, options, cache, pool);
+  std::cerr << "serve: " << stats.requests << " requests, " << stats.samples << " samples, "
+            << stats.errors << " errors\n";
+  if (g_manifest != nullptr) {
+    g_manifest->set("serve.model", options.default_model);
+    g_manifest->set_measured("serve.requests", stats.requests);
+    g_manifest->set_measured("serve.samples", stats.samples);
+    g_manifest->set_measured("serve.errors", stats.errors);
+  }
+  return 0;
+}
+
+const CommandSpec* find_command(const std::string& name) {
+  for (const CommandSpec& spec : command_specs()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
+  if (argc < 2) {
+    std::cerr << overview_help(command_specs());
+    return 1;
+  }
   const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    std::cout << overview_help(command_specs());
+    return 0;
+  }
+  const CommandSpec* spec = find_command(command);
+  if (spec == nullptr) {
+    std::cerr << "frac: unknown command '" << command << "'\n\n"
+              << overview_help(command_specs());
+    return 1;
+  }
 
   RunManifest manifest("frac " + command);
   {
@@ -451,8 +531,15 @@ int main(int argc, char** argv) {
     manifest.set("argv", argv_line);
   }
   g_manifest = &manifest;
-  std::optional<std::string> manifest_path;
-  if (const char* env = std::getenv("FRAC_MANIFEST")) manifest_path = env;
+  // Env-only fallback keeps observability working even when flag parsing
+  // fails; successful parses re-resolve with flags taking precedence.
+  RuntimeConfig config;
+  try {
+    config = RuntimeConfig::resolve_env_only();
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "usage error: " << e.what() << "\n";
+    return 1;
+  }
 
   const WallStopwatch wall;
   int rc;
@@ -460,11 +547,14 @@ int main(int argc, char** argv) {
     const CpuStopwatch cpu;
     rc = [&]() -> int {
       try {
-        const Args args(argc, argv, 2, command == "grid" ? std::set<std::string>{"resume"}
-                                                         : std::set<std::string>{});
-        // --manifest works on every subcommand (FRAC_MANIFEST is the env
-        // equivalent); consume it before the command rejects unused flags.
-        if (const auto v = args.get("manifest")) manifest_path = *v;
+        const ParsedFlags args = parse_flags(*spec, argc, argv, 2);
+        if (args.help_requested()) {
+          std::cout << command_help(*spec);
+          return 0;
+        }
+        config = RuntimeConfig::resolve(
+            [&](const std::string& name) { return args.get(name); });
+        config.apply();
         if (command == "list-cohorts") return cmd_list_cohorts();
         if (command == "generate") return cmd_generate(args);
         if (command == "train") return cmd_train(args);
@@ -472,7 +562,8 @@ int main(int argc, char** argv) {
         if (command == "explain") return cmd_explain(args);
         if (command == "detect") return cmd_detect(args);
         if (command == "grid") return cmd_grid(args);
-        return usage();
+        if (command == "convert") return cmd_convert(args);
+        return cmd_serve(args);
       } catch (const ParseError& e) {
         std::cerr << "parse error: " << e.what() << "\n";
         return 4;
@@ -502,13 +593,13 @@ int main(int argc, char** argv) {
   // these may change the command's exit code.
   try {
     flush_trace();
-    if (const char* metrics_path = std::getenv("FRAC_METRICS")) {
-      atomic_write_file(metrics_path, [](std::ostream& out) { metrics_dump(out); });
+    if (!config.metrics_path.empty()) {
+      atomic_write_file(config.metrics_path, [](std::ostream& out) { metrics_dump(out); });
     }
-    if (manifest_path) {
+    if (!config.manifest_path.empty()) {
       manifest.set_measured("exit_code", static_cast<std::uint64_t>(rc));
       manifest.capture_metrics();
-      manifest.write_file(*manifest_path);
+      manifest.write_file(config.manifest_path);
     }
   } catch (const std::exception& e) {
     std::cerr << "warning: failed to write observability output: " << e.what() << "\n";

@@ -1,0 +1,167 @@
+// The declarative CLI layer and RuntimeConfig resolution: spec-driven flag
+// parsing (unknown-flag rejection, required flags, eager numeric
+// validation), help generation, and flags-beat-environment precedence.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/cli_spec.hpp"
+#include "config/runtime_config.hpp"
+
+namespace frac {
+namespace {
+
+const CommandSpec& demo_spec() {
+  static const CommandSpec kSpec{
+      "demo",
+      "a test command",
+      "--data FILE",
+      {
+          {"data", FlagKind::kString, true, "FILE", "input file"},
+          {"rate", FlagKind::kDouble, false, "R", "a rate"},
+          {"count", FlagKind::kSize, false, "N", "a count"},
+          {"verbose", FlagKind::kBool, false, "", "a switch"},
+      }};
+  return kSpec;
+}
+
+ParsedFlags parse(std::vector<std::string> args) {
+  std::vector<char*> argv{const_cast<char*>("frac"), const_cast<char*>("demo")};
+  for (std::string& a : args) argv.push_back(a.data());
+  return parse_flags(demo_spec(), static_cast<int>(argv.size()), argv.data(), 2);
+}
+
+TEST(CliSpec, ParsesTypedFlags) {
+  const ParsedFlags flags =
+      parse({"--data", "in.csv", "--rate", "0.25", "--count", "7", "--verbose"});
+  EXPECT_EQ(flags.require("data"), "in.csv");
+  EXPECT_EQ(flags.get_double("rate", 0.0), 0.25);
+  EXPECT_EQ(flags.get_size("count", 0), 7u);
+  EXPECT_TRUE(flags.get_flag("verbose"));
+  EXPECT_FALSE(flags.get_flag("quiet"));
+  EXPECT_EQ(flags.get("absent"), std::nullopt);
+  EXPECT_EQ(flags.get_size("absent", 42), 42u);
+}
+
+TEST(CliSpec, RejectsUnknownFlagsNamingTheCommand) {
+  try {
+    parse({"--data", "x", "--bogus", "1"});
+    FAIL() << "unknown flag accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("frac demo"), std::string::npos) << what;
+    EXPECT_NE(what.find("--bogus"), std::string::npos) << what;
+  }
+}
+
+TEST(CliSpec, RejectsPositionalTokens) {
+  EXPECT_THROW(parse({"stray"}), std::invalid_argument);
+}
+
+TEST(CliSpec, EnforcesRequiredFlags) {
+  EXPECT_THROW(parse({"--rate", "0.5"}), std::invalid_argument);
+}
+
+TEST(CliSpec, EagerlyValidatesNumericValues) {
+  EXPECT_THROW(parse({"--data", "x", "--count", "seven"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--data", "x", "--rate", "fast"}), std::invalid_argument);
+}
+
+TEST(CliSpec, RejectsMissingValues) {
+  EXPECT_THROW(parse({"--data"}), std::invalid_argument);
+}
+
+TEST(CliSpec, HelpSkipsRequiredChecks) {
+  const ParsedFlags flags = parse({"--help"});
+  EXPECT_TRUE(flags.help_requested());
+}
+
+TEST(CliSpec, RuntimeFlagsAcceptedByEveryCommand) {
+  const ParsedFlags flags = parse({"--data", "x", "--threads", "4", "--simd", "scalar"});
+  EXPECT_EQ(flags.get_size("threads", 0), 4u);
+  EXPECT_EQ(*flags.get("simd"), "scalar");
+}
+
+TEST(CliSpec, HelpTextCoversFlagsRuntimeOptionsAndExitCodes) {
+  const std::string help = command_help(demo_spec());
+  EXPECT_NE(help.find("usage: frac demo --data FILE"), std::string::npos) << help;
+  EXPECT_NE(help.find("--rate"), std::string::npos);
+  EXPECT_NE(help.find("(required)"), std::string::npos);
+  EXPECT_NE(help.find("--threads"), std::string::npos);
+  EXPECT_NE(help.find("exit codes:"), std::string::npos);
+  EXPECT_NE(help.find("130"), std::string::npos);
+
+  const std::string overview = overview_help(std::span<const CommandSpec>(&demo_spec(), 1));
+  EXPECT_NE(overview.find("demo"), std::string::npos);
+  EXPECT_NE(overview.find("a test command"), std::string::npos);
+}
+
+/// Restores one environment variable on scope exit.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) previous_ = old;
+    if (value != nullptr) ::setenv(name, value, 1);
+    else ::unsetenv(name);
+  }
+  ~ScopedEnv() {
+    if (previous_) ::setenv(name_.c_str(), previous_->c_str(), 1);
+    else ::unsetenv(name_.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::optional<std::string> previous_;
+};
+
+RuntimeConfig::FlagLookup lookup(std::vector<std::pair<std::string, std::string>> pairs) {
+  return [pairs = std::move(pairs)](const std::string& name) -> std::optional<std::string> {
+    for (const auto& [k, v] : pairs) {
+      if (k == name) return v;
+    }
+    return std::nullopt;
+  };
+}
+
+TEST(RuntimeConfig, FlagsBeatEnvironment) {
+  ScopedEnv threads("FRAC_THREADS", "2");
+  ScopedEnv simd("FRAC_SIMD", "avx2");
+  const RuntimeConfig config = RuntimeConfig::resolve(lookup({{"threads", "6"}, {"simd", "scalar"}}));
+  EXPECT_EQ(config.threads, 6u);
+  EXPECT_EQ(config.simd, "scalar");
+}
+
+TEST(RuntimeConfig, EnvironmentFillsUnflaggedKnobs) {
+  ScopedEnv threads("FRAC_THREADS", "3");
+  ScopedEnv trace("FRAC_TRACE", "/tmp/t.json");
+  ScopedEnv metrics("FRAC_METRICS", nullptr);
+  const RuntimeConfig config = RuntimeConfig::resolve(lookup({}));
+  EXPECT_EQ(config.threads, 3u);
+  EXPECT_EQ(config.trace_path, "/tmp/t.json");
+  EXPECT_TRUE(config.metrics_path.empty());
+}
+
+TEST(RuntimeConfig, EmptyEnvironmentValuesAreUnset) {
+  ScopedEnv simd("FRAC_SIMD", "");
+  const RuntimeConfig config = RuntimeConfig::resolve(lookup({}));
+  EXPECT_TRUE(config.simd.empty());
+}
+
+TEST(RuntimeConfig, MalformedThreadsIsAUsageError) {
+  ScopedEnv threads("FRAC_THREADS", "many");
+  EXPECT_THROW(RuntimeConfig::resolve(lookup({})), std::invalid_argument);
+  ScopedEnv fixed("FRAC_THREADS", nullptr);
+  EXPECT_THROW(RuntimeConfig::resolve(lookup({{"threads", "-1"}})), std::invalid_argument);
+}
+
+TEST(RuntimeConfig, ResolveEnvOnlyMatchesEmptyLookup) {
+  ScopedEnv log("FRAC_LOG", "debug");
+  EXPECT_EQ(RuntimeConfig::resolve_env_only().log_level, "debug");
+}
+
+}  // namespace
+}  // namespace frac

@@ -2,6 +2,8 @@
 // save() -> load(), for both expression (SVR) and SNP (tree) pipelines.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include <fstream>
 #include <sstream>
 
@@ -33,7 +35,7 @@ TEST(Serialization, LinearSvrRoundTrip) {
   std::stringstream buffer;
   original.save(buffer);
   const LinearSvr restored = LinearSvr::load(buffer);
-  EXPECT_EQ(restored.weights(), original.weights());
+  EXPECT_TRUE(std::ranges::equal(restored.weights(), original.weights()));
   EXPECT_EQ(restored.bias(), original.bias());
   EXPECT_EQ(restored.support_vector_count(), original.support_vector_count());
   for (std::size_t i = 0; i < 5; ++i) {

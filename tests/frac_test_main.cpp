@@ -1,0 +1,13 @@
+// Shared gtest main: applies the FRAC_* environment configuration (threads,
+// simd level, log threshold) before running tests. Library code no longer
+// reads the environment itself, so the entry point has to push it — this is
+// what lets CI run the same test binary under FRAC_SIMD=scalar and =avx2.
+#include <gtest/gtest.h>
+
+#include "config/runtime_config.hpp"
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  frac::RuntimeConfig::resolve_env_only().apply();
+  return RUN_ALL_TESTS();
+}

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include <cmath>
 
 #include "util/rng.hpp"
@@ -92,7 +94,7 @@ TEST(LinearSvr, DeterministicGivenSeed) {
   LinearSvr a, b;
   a.fit(x, y, config);
   b.fit(x, y, config);
-  EXPECT_EQ(a.weights(), b.weights());
+  EXPECT_TRUE(std::ranges::equal(a.weights(), b.weights()));
   EXPECT_EQ(a.bias(), b.bias());
 }
 
@@ -237,7 +239,7 @@ TEST(LinearSvr, RowSubsetViewMatchesMaterializedCopy) {
   LinearSvr from_view, from_copy;
   from_view.fit(MatrixView(x, rows), y_sub, {});
   from_copy.fit(x_copy, y_sub, {});
-  EXPECT_EQ(from_view.weights(), from_copy.weights());
+  EXPECT_TRUE(std::ranges::equal(from_view.weights(), from_copy.weights()));
   EXPECT_EQ(from_view.bias(), from_copy.bias());
 }
 

@@ -1,0 +1,221 @@
+// Container-level tests for the versioned binary model archive: field
+// round-trips, section integrity (CRC, truncation, over/under-reads), and
+// the error contract (ParseError naming the archive source and section).
+#include "serialize/archive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/errors.hpp"
+
+namespace frac {
+namespace {
+
+std::span<const std::byte> as_bytes(const std::string& image) {
+  return std::as_bytes(std::span<const char>(image));
+}
+
+TEST(Archive, FieldRoundTrip) {
+  ArchiveWriter writer;
+  writer.begin_section("fields");
+  writer.write_u8(7);
+  writer.write_u32(123456789);
+  writer.write_u64(0x0123456789abcdefULL);
+  writer.write_f64(-2.5e-300);
+  writer.write_string("hello archive");
+  writer.end_section();
+
+  const std::string image = writer.bytes();
+  ArchiveReader reader(as_bytes(image), "test", /*borrowed=*/false);
+  EXPECT_EQ(reader.format_version(), kArchiveFormatVersion);
+  reader.open_section("fields");
+  EXPECT_EQ(reader.read_u8(), 7);
+  EXPECT_EQ(reader.read_u32(), 123456789u);
+  EXPECT_EQ(reader.read_u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(reader.read_f64(), -2.5e-300);
+  EXPECT_EQ(reader.read_string(), "hello archive");
+  reader.expect_section_end();
+}
+
+TEST(Archive, ArrayRoundTrip) {
+  const std::vector<double> doubles{1.0, -0.0, 3.25, 1e308, -7.5};
+  const std::vector<std::uint32_t> u32s{0, 1, 4294967295u};
+  const std::vector<std::uint64_t> u64s{42};
+
+  ArchiveWriter writer;
+  writer.begin_section("arrays");
+  writer.write_f64_array(doubles);
+  writer.write_u32_array(u32s);
+  writer.write_u64_array(u64s);
+  writer.write_f64_array({});  // empty arrays are legal
+  writer.end_section();
+
+  const std::string image = writer.bytes();
+  ArchiveReader reader(as_bytes(image), "test", false);
+  reader.open_section("arrays");
+  EXPECT_EQ(reader.read_f64_vector(), doubles);
+  EXPECT_EQ(reader.read_u32_vector(), u32s);
+  EXPECT_EQ(reader.read_u64_vector(), u64s);
+  EXPECT_TRUE(reader.read_f64_vector().empty());
+  reader.expect_section_end();
+}
+
+TEST(Archive, MultipleSectionsOpenInAnyOrder) {
+  ArchiveWriter writer;
+  writer.begin_section("a");
+  writer.write_u32(1);
+  writer.end_section();
+  writer.begin_section("b");
+  writer.write_u32(2);
+  writer.end_section();
+
+  const std::string image = writer.bytes();
+  ArchiveReader reader(as_bytes(image), "test", false);
+  EXPECT_TRUE(reader.has_section("a"));
+  EXPECT_TRUE(reader.has_section("b"));
+  EXPECT_FALSE(reader.has_section("c"));
+  EXPECT_EQ(reader.section_names(), (std::vector<std::string>{"a", "b"}));
+  reader.open_section("b");
+  EXPECT_EQ(reader.read_u32(), 2u);
+  reader.open_section("a");
+  EXPECT_EQ(reader.read_u32(), 1u);
+}
+
+TEST(Archive, LooksLikeArchiveSniffsTheMagic) {
+  ArchiveWriter writer;
+  writer.begin_section("s");
+  writer.write_u8(0);
+  writer.end_section();
+  EXPECT_TRUE(ArchiveReader::looks_like_archive(writer.bytes()));
+  EXPECT_FALSE(ArchiveReader::looks_like_archive("frac-model v1\n"));
+  EXPECT_FALSE(ArchiveReader::looks_like_archive(""));
+  EXPECT_FALSE(ArchiveReader::looks_like_archive("\x89"));
+}
+
+TEST(Archive, ZeroCopySpanAliasesTheBufferWhenBorrowed) {
+  const std::vector<double> values{3.0, 1.0, 4.0, 1.0, 5.0};
+  ArchiveWriter writer;
+  writer.begin_section("w");
+  writer.write_f64_array(values);
+  writer.end_section();
+
+  const std::string image = writer.bytes();
+  ArchiveReader reader(as_bytes(image), "test", /*borrowed=*/true);
+  EXPECT_TRUE(reader.borrowed());
+  reader.open_section("w");
+  const std::span<const double> view = reader.read_f64_span();
+  ASSERT_EQ(view.size(), values.size());
+  const char* base = image.data();
+  const char* ptr = reinterpret_cast<const char*>(view.data());
+  EXPECT_GE(ptr, base);
+  EXPECT_LE(ptr + view.size() * sizeof(double), base + image.size());
+  // 8-aligned within the file, as the SIMD kernels expect.
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(ptr) % alignof(double),
+            static_cast<std::uintptr_t>(0));
+  for (std::size_t i = 0; i < values.size(); ++i) EXPECT_EQ(view[i], values[i]);
+}
+
+TEST(Archive, CorruptedPayloadFailsNamingTheSection) {
+  ArchiveWriter writer;
+  writer.begin_section("weights");
+  writer.write_f64_array(std::vector<double>{1.0, 2.0, 3.0});
+  writer.end_section();
+  std::string image = writer.bytes();
+  image.back() ^= 0x01;  // flip one payload bit
+
+  ArchiveReader reader(as_bytes(image), "corrupt.fracmdl", false);
+  try {
+    reader.open_section("weights");
+    FAIL() << "corrupted section opened without error";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("weights"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("corrupt.fracmdl"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Archive, TruncatedImageFails) {
+  ArchiveWriter writer;
+  writer.begin_section("payload");
+  writer.write_f64_array(std::vector<double>(64, 1.5));
+  writer.end_section();
+  const std::string image = writer.bytes();
+
+  // Truncating anywhere must fail cleanly (header, table, or payload).
+  for (const std::size_t keep : {std::size_t{4}, std::size_t{12}, image.size() / 2}) {
+    const std::string cut = image.substr(0, keep);
+    EXPECT_THROW(
+        {
+          ArchiveReader reader(as_bytes(cut), "t", false);
+          reader.open_section("payload");
+        },
+        ParseError)
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST(Archive, NotAnArchiveFails) {
+  const std::string junk = "definitely not a model archive";
+  EXPECT_THROW(ArchiveReader(as_bytes(junk), "junk", false), ParseError);
+}
+
+TEST(Archive, MissingSectionFailsByName) {
+  ArchiveWriter writer;
+  writer.begin_section("present");
+  writer.write_u8(1);
+  writer.end_section();
+  const std::string image = writer.bytes();
+  ArchiveReader reader(as_bytes(image), "t", false);
+  try {
+    reader.open_section("absent");
+    FAIL() << "missing section opened";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("absent"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Archive, ReadPastSectionEndFails) {
+  ArchiveWriter writer;
+  writer.begin_section("small");
+  writer.write_u32(5);
+  writer.end_section();
+  const std::string image = writer.bytes();
+  ArchiveReader reader(as_bytes(image), "t", false);
+  reader.open_section("small");
+  EXPECT_EQ(reader.read_u32(), 5u);
+  EXPECT_THROW(reader.read_u64(), ParseError);
+}
+
+TEST(Archive, UnconsumedBytesFailExpectSectionEnd) {
+  ArchiveWriter writer;
+  writer.begin_section("extra");
+  writer.write_u32(1);
+  writer.write_u32(2);
+  writer.end_section();
+  const std::string image = writer.bytes();
+  ArchiveReader reader(as_bytes(image), "t", false);
+  reader.open_section("extra");
+  EXPECT_EQ(reader.read_u32(), 1u);
+  EXPECT_GT(reader.section_remaining(), 0u);
+  EXPECT_THROW(reader.expect_section_end(), ParseError);
+}
+
+TEST(Archive, WriterMisuseIsALogicError) {
+  ArchiveWriter writer;
+  EXPECT_THROW(writer.write_u8(1), std::logic_error);  // no open section
+  writer.begin_section("s");
+  EXPECT_THROW(writer.begin_section("t"), std::logic_error);  // nested
+  writer.end_section();
+  EXPECT_THROW(writer.begin_section("s"), std::logic_error);  // duplicate name
+}
+
+TEST(Archive, Crc32MatchesKnownVector) {
+  // Standard zlib check value: crc32("123456789") == 0xCBF43926.
+  const std::string data = "123456789";
+  EXPECT_EQ(crc32(as_bytes(data)), 0xCBF43926u);
+}
+
+}  // namespace
+}  // namespace frac

@@ -1,0 +1,75 @@
+// Backward compatibility: models written by the legacy tagged-text format
+// (frac.version 1, pre-archive) must keep loading through the unified
+// FracModel::load_file API forever. The fixture under fixtures/ is a
+// checked-in file written by the v1 writer (tiny 7-feature model trained on
+// fixtures/legacy_v1.train.csv, seed 5) — regenerate only if the text codec
+// itself changes, which it must not.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "data/io.hpp"
+#include "frac/frac.hpp"
+#include "serialize/archive.hpp"
+#include "util/errors.hpp"
+
+#ifndef FRAC_TEST_FIXTURE_DIR
+#error "FRAC_TEST_FIXTURE_DIR must be defined by the build"
+#endif
+
+namespace frac {
+namespace {
+
+const std::string kFixtureDir = FRAC_TEST_FIXTURE_DIR;
+
+ThreadPool& pool() {
+  static ThreadPool p(2);
+  return p;
+}
+
+TEST(Backcompat, LegacyTextModelLoads) {
+  const FracModel model = FracModel::load_file(kFixtureDir + "/legacy_v1.frac");
+  EXPECT_EQ(model.feature_count(), 7u);
+  EXPECT_EQ(model.unit_count(), 7u);
+  EXPECT_EQ(model.schema()[0].name, "g0");
+  EXPECT_EQ(model.schema()[6].name, "snp");
+  EXPECT_EQ(model.schema()[6].arity, 3u);
+  // The v1 format predates failure persistence: records restore empty.
+  EXPECT_TRUE(model.unit_failures().empty());
+}
+
+TEST(Backcompat, LegacyModelScoresItsTrainingData) {
+  const FracModel model = FracModel::load_file(kFixtureDir + "/legacy_v1.frac");
+  const Dataset train = load_dataset_csv(kFixtureDir + "/legacy_v1.train.csv");
+  const auto scores = model.score(train, pool());
+  ASSERT_EQ(scores.size(), train.sample_count());
+  for (const double ns : scores) EXPECT_TRUE(std::isfinite(ns));
+}
+
+TEST(Backcompat, LegacyModelConvertsToBinaryWithIdenticalScores) {
+  // The `frac convert` migration path, end to end in-process.
+  const FracModel from_text = FracModel::load_file(kFixtureDir + "/legacy_v1.frac");
+  const std::string binary_path = ::testing::TempDir() + "backcompat_converted.fracmdl";
+  from_text.save_file(binary_path, ModelFormat::kBinary);
+  const FracModel from_binary = FracModel::load_file(binary_path);
+  std::remove(binary_path.c_str());
+
+  const Dataset train = load_dataset_csv(kFixtureDir + "/legacy_v1.train.csv");
+  const auto a = from_text.score(train, pool());
+  const auto b = from_binary.score(train, pool());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Backcompat, GarbledTextModelStillFailsLikeBefore) {
+  // Legacy text errors keep their historical type (std::runtime_error), so
+  // pre-archive callers' catch sites still work.
+  std::istringstream garbled("frac.version 99\n");
+  EXPECT_THROW(FracModel::load(garbled), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace frac

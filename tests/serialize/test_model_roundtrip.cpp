@@ -1,0 +1,309 @@
+// Binary round-trip property tests: every serializable model type must
+// reproduce bit-identical behavior after serialize() -> deserialize(), and
+// a FracModel saved as text then converted to binary must score identically.
+// Also pins the frac.hpp fix: unit-failure records (and the per-category
+// tallies) survive the binary format, where the legacy text format lost them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/expression_generator.hpp"
+#include "data/snp_generator.hpp"
+#include "frac/error_model.hpp"
+#include "frac/frac.hpp"
+#include "ml/svm/linear_svc.hpp"
+#include "ml/svm/linear_svr.hpp"
+#include "ml/tree/decision_tree.hpp"
+#include "serialize/archive.hpp"
+#include "util/fault_injection.hpp"
+#include "util/rng.hpp"
+
+namespace frac {
+namespace {
+
+ThreadPool& pool() {
+  static ThreadPool p(2);
+  return p;
+}
+
+/// serialize() into a one-section archive, reparse, deserialize().
+template <typename T>
+T round_trip(const T& original) {
+  ArchiveWriter writer;
+  writer.begin_section("model");
+  original.serialize(writer);
+  writer.end_section();
+  const std::string image = writer.bytes();
+  static std::vector<std::string> keep_alive;  // outlive returned models
+  keep_alive.push_back(image);
+  ArchiveReader reader(std::as_bytes(std::span<const char>(keep_alive.back())), "round-trip",
+                       /*borrowed=*/false);
+  reader.open_section("model");
+  T restored = T::deserialize(reader);
+  reader.expect_section_end();
+  return restored;
+}
+
+TEST(ModelRoundTrip, GaussianErrorModel) {
+  Rng rng(11);
+  std::vector<double> residuals(64);
+  for (double& r : residuals) r = 0.3 * rng.normal() - 0.1;
+  GaussianErrorModel original;
+  original.fit(residuals);
+  const GaussianErrorModel restored = round_trip(original);
+  EXPECT_EQ(restored.mean(), original.mean());
+  EXPECT_EQ(restored.sd(), original.sd());
+  for (const double r : {-2.0, -0.1, 0.0, 0.5, 3.0}) {
+    EXPECT_EQ(restored.surprisal(r), original.surprisal(r));
+  }
+}
+
+TEST(ModelRoundTrip, KdeErrorModel) {
+  Rng rng(12);
+  std::vector<double> residuals(48);
+  for (double& r : residuals) r = rng.normal();
+  KdeErrorModel original;
+  original.fit(residuals);
+  const KdeErrorModel restored = round_trip(original);
+  EXPECT_EQ(restored.bandwidth(), original.bandwidth());
+  for (const double r : {-5.0, -1.0, 0.0, 0.7, 4.0}) {
+    EXPECT_EQ(restored.surprisal(r), original.surprisal(r));
+  }
+}
+
+TEST(ModelRoundTrip, ConfusionErrorModel) {
+  Rng rng(13);
+  const std::uint32_t arity = 3;
+  std::vector<std::uint32_t> truth(60), predicted(60);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    truth[i] = static_cast<std::uint32_t>(rng.uniform_index(arity));
+    predicted[i] = static_cast<std::uint32_t>(rng.uniform_index(arity));
+  }
+  ConfusionErrorModel original;
+  original.fit(truth, predicted, arity);
+  const ConfusionErrorModel restored = round_trip(original);
+  EXPECT_EQ(restored.arity(), original.arity());
+  for (std::uint32_t t = 0; t < arity; ++t) {
+    for (std::uint32_t p = 0; p < arity; ++p) {
+      EXPECT_EQ(restored.surprisal(t, p), original.surprisal(t, p));
+      EXPECT_EQ(restored.count(t, p), original.count(t, p));
+    }
+  }
+}
+
+TEST(ModelRoundTrip, DecisionTree) {
+  Rng rng(14);
+  Matrix x(90, 4);
+  std::vector<double> y(90);
+  for (std::size_t i = 0; i < 90; ++i) {
+    x(i, 0) = static_cast<double>(i % 3);
+    for (std::size_t j = 1; j < 4; ++j) x(i, j) = rng.normal();
+    y[i] = (i % 3 == 2) ? 1.0 : 0.0;
+  }
+  const std::vector<std::uint32_t> arities{3, 0, 0, 0};
+  DecisionTree original;
+  original.fit(x, y, arities, TreeTask::kClassification, 2, {});
+  const DecisionTree restored = round_trip(original);
+  EXPECT_EQ(restored.node_count(), original.node_count());
+  EXPECT_EQ(restored.depth(), original.depth());
+  EXPECT_EQ(restored.task(), original.task());
+  EXPECT_EQ(restored.used_features(), original.used_features());
+  for (std::size_t i = 0; i < 90; ++i) {
+    EXPECT_EQ(restored.predict(x.row(i)), original.predict(x.row(i)));
+  }
+}
+
+TEST(ModelRoundTrip, LinearSvr) {
+  Rng rng(15);
+  Matrix x(50, 6);
+  std::vector<double> y(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    for (double& v : x.row(i)) v = rng.normal();
+    y[i] = x(i, 1) - 2.0 * x(i, 4) + 0.05 * rng.normal();
+  }
+  LinearSvr original;
+  original.fit(x, y, {});
+  const LinearSvr restored = round_trip(original);
+  EXPECT_TRUE(std::ranges::equal(restored.weights(), original.weights()));
+  EXPECT_EQ(restored.bias(), original.bias());
+  EXPECT_EQ(restored.support_vector_count(), original.support_vector_count());
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(restored.predict(x.row(i)), original.predict(x.row(i)));
+  }
+}
+
+TEST(ModelRoundTrip, BinaryLinearSvc) {
+  Rng rng(16);
+  Matrix x(60, 5);
+  std::vector<int> y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    for (double& v : x.row(i)) v = rng.normal();
+    y[i] = (x(i, 0) + x(i, 2) > 0.0) ? 1 : -1;
+  }
+  BinaryLinearSvc original;
+  original.fit(x, y, {});
+  const BinaryLinearSvc restored = round_trip(original);
+  EXPECT_TRUE(std::ranges::equal(restored.weights(), original.weights()));
+  EXPECT_EQ(restored.support_vector_count(), original.support_vector_count());
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(restored.decision(x.row(i)), original.decision(x.row(i)));
+    EXPECT_EQ(restored.predict(x.row(i)), original.predict(x.row(i)));
+  }
+}
+
+TEST(ModelRoundTrip, OneVsRestSvc) {
+  Rng rng(17);
+  const std::uint32_t arity = 3;
+  Matrix x(75, 4);
+  std::vector<double> codes(75);
+  for (std::size_t i = 0; i < 75; ++i) {
+    for (double& v : x.row(i)) v = rng.normal();
+    codes[i] = static_cast<double>(i % arity);
+  }
+  OneVsRestSvc original;
+  original.fit(x, codes, arity, {});
+  const OneVsRestSvc restored = round_trip(original);
+  EXPECT_EQ(restored.arity(), original.arity());
+  EXPECT_EQ(restored.support_vector_count(), original.support_vector_count());
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(restored.predict(x.row(i)), original.predict(x.row(i)));
+  }
+}
+
+Dataset make_expression_train(std::size_t samples, std::uint64_t seed) {
+  ExpressionModelConfig c;
+  c.features = 24;
+  c.modules = 3;
+  c.genes_per_module = 5;
+  c.disease_modules = 2;
+  c.seed = seed;
+  const ExpressionModel model(c);
+  Rng rng(seed + 100);
+  return ExpressionModel(c).sample(samples, Label::kNormal, rng);
+}
+
+TEST(ModelRoundTrip, FracModelBinaryScoresBitIdentical) {
+  const Dataset train = make_expression_train(30, 21);
+  const Dataset test = make_expression_train(8, 22);
+  const FracModel original = FracModel::train(train, {}, pool());
+
+  ArchiveWriter writer;
+  original.serialize(writer);
+  const std::string image = writer.bytes();
+  ArchiveReader reader(std::as_bytes(std::span<const char>(image)), "mem", false);
+  const FracModel restored = FracModel::deserialize(reader);
+
+  EXPECT_EQ(restored.feature_count(), original.feature_count());
+  EXPECT_EQ(restored.unit_count(), original.unit_count());
+  const auto a = original.score(test, pool());
+  const auto b = restored.score(test, pool());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  // Entropies and the resource report also persist in the binary format.
+  for (std::size_t u = 0; u < original.unit_count(); ++u) {
+    EXPECT_EQ(restored.unit_entropy(u), original.unit_entropy(u));
+  }
+  EXPECT_EQ(restored.report().models_trained, original.report().models_trained);
+}
+
+TEST(ModelRoundTrip, TextAndBinaryFormatsScoreBitIdentically) {
+  // The `frac convert` contract: text model -> binary model -> identical NS.
+  const Dataset train = make_expression_train(25, 31);
+  const Dataset test = make_expression_train(6, 32);
+  const FracModel original = FracModel::train(train, {}, pool());
+
+  std::stringstream text;
+  original.save(text);  // legacy tagged-text
+  const FracModel from_text = FracModel::load(text);
+
+  ArchiveWriter writer;
+  from_text.serialize(writer);  // the conversion step
+  const std::string image = writer.bytes();
+  ArchiveReader reader(std::as_bytes(std::span<const char>(image)), "mem", false);
+  const FracModel from_binary = FracModel::deserialize(reader);
+
+  const auto direct = original.score(test, pool());
+  const auto text_scores = from_text.score(test, pool());
+  const auto binary_scores = from_binary.score(test, pool());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(text_scores[i], direct[i]);
+    EXPECT_EQ(binary_scores[i], direct[i]);
+  }
+}
+
+TEST(ModelRoundTrip, SnpTreeModelThroughFileApi) {
+  SnpModelConfig c;
+  c.features = 18;
+  c.block_size = 6;
+  c.seed = 41;
+  const SnpModel model(c);
+  Rng rng(141);
+  const Dataset train = model.sample(0, 35, Label::kNormal, rng);
+  const Dataset test = model.sample(1, 8, Label::kAnomaly, rng);
+  FracConfig config;
+  config.predictor.classifier = ClassifierKind::kDecisionTree;
+  const FracModel original = FracModel::train(train, config, pool());
+
+  const std::string path = ::testing::TempDir() + "snp_model.fracmdl";
+  original.save_file(path, ModelFormat::kBinary);
+  const FracModel restored = FracModel::load_file(path);
+  std::remove(path.c_str());
+
+  const auto a = original.score(test, pool());
+  const auto b = restored.score(test, pool());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(ModelRoundTrip, UnitFailureRecordsSurviveTheBinaryFormat) {
+  // Train under an injected fault plan so some units fail, then check the
+  // failure records AND the per-category tallies reload (the text format
+  // dropped them: frac.hpp documented load() leaving them empty).
+  const Dataset train = make_expression_train(20, 51);
+  ScopedFaultPlan plan("predictor_train:0.5:7");
+  const FracModel original = FracModel::train(train, {}, pool());
+  ASSERT_FALSE(original.unit_failures().empty()) << "fault plan injected no failures";
+
+  ArchiveWriter writer;
+  original.serialize(writer);
+  const std::string image = writer.bytes();
+  ArchiveReader reader(std::as_bytes(std::span<const char>(image)), "mem", false);
+  const FracModel restored = FracModel::deserialize(reader);
+
+  ASSERT_EQ(restored.unit_failures().size(), original.unit_failures().size());
+  for (std::size_t i = 0; i < original.unit_failures().size(); ++i) {
+    const UnitFailure& a = original.unit_failures()[i];
+    const UnitFailure& b = restored.unit_failures()[i];
+    EXPECT_EQ(b.unit, a.unit);
+    EXPECT_EQ(b.target, a.target);
+    EXPECT_EQ(b.category, a.category);
+    EXPECT_EQ(b.detail, a.detail);
+  }
+  for (std::size_t c = 0; c < kFailureCategoryCount; ++c) {
+    const auto category = static_cast<FailureCategory>(c);
+    EXPECT_EQ(restored.report().failures[category], original.report().failures[category]);
+  }
+}
+
+TEST(ModelRoundTrip, SniffingDispatchesTextVsBinaryThroughOneLoad) {
+  const Dataset train = make_expression_train(20, 61);
+  const FracModel original = FracModel::train(train, {}, pool());
+
+  std::stringstream text;
+  original.save(text);
+  const FracModel via_text = FracModel::load(text);
+
+  ArchiveWriter writer;
+  original.serialize(writer);
+  std::stringstream binary(writer.bytes());
+  const FracModel via_binary = FracModel::load(binary);
+
+  EXPECT_EQ(via_text.unit_count(), original.unit_count());
+  EXPECT_EQ(via_binary.unit_count(), original.unit_count());
+}
+
+}  // namespace
+}  // namespace frac

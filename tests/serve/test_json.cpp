@@ -1,0 +1,79 @@
+// The serve loop's JSON parser: value coverage, escapes, error offsets.
+#include "serve/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "util/errors.hpp"
+
+namespace frac {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_EQ(parse_json("42").as_number(), 42.0);
+  EXPECT_EQ(parse_json("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const JsonValue v = parse_json(R"({"id": 7, "values": [1, null, -2.5], "opts": {"k": 3}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("id")->as_number(), 7.0);
+  const auto& values = v.find("values")->as_array();
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0].as_number(), 1.0);
+  EXPECT_TRUE(values[1].is_null());
+  EXPECT_EQ(values[2].as_number(), -2.5);
+  EXPECT_EQ(v.find("opts")->find("k")->as_number(), 3.0);
+  EXPECT_EQ(v.find("absent"), nullptr);
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(parse_json(R"("Aé")").as_string(), "A\xc3\xa9");  // A, é in UTF-8
+}
+
+TEST(Json, RoundTripsThroughDump) {
+  const std::string text = R"({"a":[1,2.5,null,true],"b":"x\"y"})";
+  const JsonValue v = parse_json(text);
+  EXPECT_EQ(parse_json(v.dump()).dump(), v.dump());
+}
+
+TEST(Json, DumpKeepsFullDoublePrecision) {
+  const double value = 0.1 + 0.2;  // not representable as a short decimal
+  const JsonValue v = parse_json("0.30000000000000004");
+  EXPECT_EQ(v.as_number(), value);
+  EXPECT_EQ(parse_json(v.dump()).as_number(), value);
+}
+
+TEST(Json, ErrorsNameSourceAndOffset) {
+  try {
+    parse_json("{\"a\": }", "line 3");
+    FAIL() << "malformed JSON parsed";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("byte"), std::string::npos) << what;
+  }
+}
+
+TEST(Json, RejectsTrailingContent) {
+  EXPECT_THROW(parse_json("1 2"), ParseError);
+  EXPECT_THROW(parse_json("{} x"), ParseError);
+  EXPECT_NO_THROW(parse_json("{}  "));
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  for (const char* bad : {"", "{", "[1,", "\"unterminated", "{\"a\" 1}", "tru", "01", "+1",
+                          "{\"a\":1,}", "[1,]", "nan"}) {
+    EXPECT_THROW(parse_json(bad), ParseError) << "accepted: " << bad;
+  }
+}
+
+}  // namespace
+}  // namespace frac

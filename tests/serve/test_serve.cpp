@@ -1,0 +1,325 @@
+// Load-once serving: ModelBundle zero-copy loads, ScoringEngine bit-identity
+// with the direct FracModel path (including 1-vs-N client threads), the LRU
+// ModelCache's hit/reload/evict behavior, and the NDJSON request loop.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/expression_generator.hpp"
+#include "frac/frac.hpp"
+#include "serialize/model_bundle.hpp"
+#include "serve/json.hpp"
+#include "serve/model_cache.hpp"
+#include "serve/scoring_engine.hpp"
+#include "serve/server.hpp"
+#include "util/errors.hpp"
+#include "util/rng.hpp"
+
+namespace frac {
+namespace {
+
+ThreadPool& pool() {
+  static ThreadPool p(4);
+  return p;
+}
+
+struct Fixture {
+  FracModel model;
+  Dataset test;
+  std::string path;  // binary model file in TempDir
+};
+
+/// One trained model + test set + saved binary file, shared by the suite.
+const Fixture& fixture() {
+  static const Fixture f = [] {
+    ExpressionModelConfig c;
+    c.features = 20;
+    c.modules = 2;
+    c.genes_per_module = 5;
+    c.disease_modules = 1;
+    c.seed = 71;
+    const ExpressionModel gen(c);
+    Rng rng(171);
+    const Dataset train = gen.sample(25, Label::kNormal, rng);
+    Fixture built{FracModel::train(train, {}, pool()),
+                  gen.sample(10, Label::kAnomaly, rng),
+                  ::testing::TempDir() + "serve_fixture.fracmdl"};
+    built.model.save_file(built.path, ModelFormat::kBinary);
+    return built;
+  }();
+  return f;
+}
+
+Matrix test_rows(const Dataset& data) {
+  Matrix rows(data.sample_count(), data.feature_count());
+  for (std::size_t i = 0; i < data.sample_count(); ++i) {
+    const auto src = data.values().row(i);
+    std::copy(src.begin(), src.end(), rows.row(i).begin());
+  }
+  return rows;
+}
+
+TEST(ModelBundle, MmapLoadMatchesDirectModel) {
+  const auto bundle = ModelBundle::open(fixture().path);
+  EXPECT_TRUE(bundle->binary_format());
+  EXPECT_TRUE(bundle->zero_copy());
+  EXPECT_GT(bundle->file_bytes(), 0u);
+  EXPECT_EQ(bundle->model().unit_count(), fixture().model.unit_count());
+}
+
+TEST(ModelBundle, TextModelsLoadThroughTheSameApi) {
+  const std::string path = ::testing::TempDir() + "bundle_text.frac";
+  fixture().model.save_file(path, ModelFormat::kText);
+  const auto bundle = ModelBundle::open(path);
+  std::remove(path.c_str());
+  EXPECT_FALSE(bundle->binary_format());
+  EXPECT_FALSE(bundle->zero_copy());
+  EXPECT_EQ(bundle->model().unit_count(), fixture().model.unit_count());
+}
+
+TEST(ModelBundle, MissingAndEmptyFilesFail) {
+  EXPECT_THROW(ModelBundle::open(::testing::TempDir() + "no_such_model.fracmdl"), IoError);
+  const std::string empty = ::testing::TempDir() + "empty.fracmdl";
+  std::ofstream(empty).flush();
+  EXPECT_THROW(ModelBundle::open(empty), ParseError);
+  std::remove(empty.c_str());
+}
+
+TEST(ScoringEngine, BitIdenticalToDirectScore) {
+  const ScoringEngine engine(ModelBundle::open(fixture().path));
+  const auto direct = fixture().model.score(fixture().test, pool());
+  const auto served = engine.score(test_rows(fixture().test), pool());
+  ASSERT_EQ(served.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) EXPECT_EQ(served[i], direct[i]);
+}
+
+TEST(ScoringEngine, BitIdenticalAcrossConcurrentClients) {
+  const ScoringEngine engine(ModelBundle::open(fixture().path));
+  const auto baseline = engine.score(test_rows(fixture().test), pool());
+
+  constexpr int kClients = 8;
+  std::vector<std::vector<double>> results(kClients);
+  std::atomic<int> mismatches{0};
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        results[c] = engine.score(test_rows(fixture().test), pool());
+        if (results[c] != baseline) mismatches.fetch_add(1);
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0) << "concurrent clients saw different NS values";
+}
+
+TEST(ScoringEngine, ExplainRanksContributionsDescending) {
+  const ScoringEngine engine(ModelBundle::open(fixture().path));
+  const auto top = engine.explain(test_rows(fixture().test), 5, pool());
+  ASSERT_EQ(top.size(), fixture().test.sample_count());
+  for (const auto& sample : top) {
+    ASSERT_LE(sample.size(), 5u);
+    for (std::size_t i = 1; i < sample.size(); ++i) {
+      EXPECT_GE(sample[i - 1].ns, sample[i].ns);
+    }
+    for (const NsContribution& c : sample) EXPECT_LT(c.feature, engine.feature_count());
+  }
+}
+
+TEST(ScoringEngine, FeatureIndexResolvesSchemaNames) {
+  const ScoringEngine engine(ModelBundle::open(fixture().path));
+  const auto& schema = engine.model().schema();
+  EXPECT_EQ(engine.feature_index(schema[0].name), 0u);
+  EXPECT_EQ(engine.feature_index(schema[schema.size() - 1].name), schema.size() - 1);
+  EXPECT_EQ(engine.feature_index("definitely-not-a-gene"), ScoringEngine::npos);
+}
+
+TEST(ScoringEngine, RejectsWrongWidthRows) {
+  const ScoringEngine engine(ModelBundle::open(fixture().path));
+  EXPECT_THROW(engine.score(Matrix(1, 3), pool()), std::invalid_argument);
+}
+
+TEST(ModelCache, HitsReuseTheLoadedEngine) {
+  ModelCache cache(2);
+  const auto a = cache.get(fixture().path);
+  const auto b = cache.get(fixture().path);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ModelCache, EvictsLeastRecentlyUsed) {
+  const std::string second = ::testing::TempDir() + "cache_second.fracmdl";
+  const std::string third = ::testing::TempDir() + "cache_third.fracmdl";
+  fixture().model.save_file(second, ModelFormat::kBinary);
+  fixture().model.save_file(third, ModelFormat::kBinary);
+
+  ModelCache cache(2);
+  const auto a = cache.get(fixture().path);
+  cache.get(second);
+  cache.get(fixture().path);  // bump: `second` becomes the LRU entry
+  cache.get(third);           // evicts `second`
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.get(fixture().path).get(), a.get()) << "hot entry was evicted";
+
+  std::remove(second.c_str());
+  std::remove(third.c_str());
+}
+
+TEST(ModelCache, IdenticalRewriteKeepsTheEngineChangedContentSwapsIt) {
+  const std::string path = ::testing::TempDir() + "cache_reload.fracmdl";
+  fixture().model.save_file(path, ModelFormat::kBinary);
+  ModelCache cache(2);
+  const auto original = cache.get(path);
+
+  // Rewrite with identical bytes (fresh mtime): the CRC probe keeps the
+  // loaded engine, so zero-copy spans held by clients stay valid.
+  fixture().model.save_file(path, ModelFormat::kBinary);
+  EXPECT_EQ(cache.get(path).get(), original.get());
+
+  // Genuinely different content must swap the engine.
+  ExpressionModelConfig c;
+  c.features = 20;
+  c.modules = 2;
+  c.genes_per_module = 5;
+  c.disease_modules = 1;
+  c.seed = 99;
+  Rng rng(199);
+  const Dataset train = ExpressionModel(c).sample(22, Label::kNormal, rng);
+  FracModel::train(train, {}, pool()).save_file(path, ModelFormat::kBinary);
+  const auto swapped = cache.get(path);
+  EXPECT_NE(swapped.get(), original.get());
+  // The old engine stays usable while a client holds it (shared_ptr pin).
+  EXPECT_EQ(original->model().unit_count(), fixture().model.unit_count());
+
+  std::remove(path.c_str());
+}
+
+ServeStats run_lines(const std::string& input, const ServeOptions& options, std::string* output) {
+  ModelCache cache(2);
+  std::istringstream in(input);
+  std::ostringstream out;
+  const ServeStats stats = run_serve_loop(in, out, options, cache, pool());
+  *output = out.str();
+  return stats;
+}
+
+TEST(ServeLoop, ScoresMatchDirectModelBitIdentically) {
+  const auto direct = fixture().model.score(fixture().test, pool());
+  std::string input;
+  for (std::size_t i = 0; i < fixture().test.sample_count(); ++i) {
+    std::string line = "{\"id\":" + std::to_string(i) + ",\"values\":[";
+    const auto row = fixture().test.values().row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (j > 0) line += ',';
+      char cell[32];
+      std::snprintf(cell, sizeof cell, "%.17g", row[j]);
+      line += cell;
+    }
+    input += line + "]}\n";
+  }
+
+  std::string output;
+  const ServeStats stats = run_lines(input, {fixture().path, 0}, &output);
+  EXPECT_EQ(stats.requests, fixture().test.sample_count());
+  EXPECT_EQ(stats.samples, fixture().test.sample_count());
+  EXPECT_EQ(stats.errors, 0u);
+
+  std::istringstream lines(output);
+  std::string line;
+  std::size_t i = 0;
+  while (std::getline(lines, line)) {
+    const JsonValue response = parse_json(line);
+    ASSERT_EQ(response.find("id")->as_number(), static_cast<double>(i));
+    ASSERT_NE(response.find("ns"), nullptr) << line;
+    EXPECT_EQ(response.find("ns")->as_number(), direct[i]) << "sample " << i;
+    ++i;
+  }
+  EXPECT_EQ(i, direct.size());
+}
+
+TEST(ServeLoop, BatchNamedValuesAndTopK) {
+  // A batch of two zero rows, a named-values request, and a top_k request.
+  const auto& schema = fixture().model.schema();
+  std::string zeros = "0";
+  for (int j = 1; j < 20; ++j) zeros += ",0";
+  const std::string input = "{\"id\":\"b\",\"batch\":[[" + zeros + "],[" + zeros +
+                            "]]}\n{\"id\":\"n\",\"values\":{\"" + schema[0].name +
+                            "\":1.5}}\n{\"id\":\"k\",\"values\":[" + zeros +
+                            "],\"top_k\":3}\n";
+
+  std::string output;
+  const ServeStats stats = run_lines(input, {fixture().path, 0}, &output);
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.samples, 4u);
+  EXPECT_EQ(stats.errors, 0u);
+
+  std::istringstream lines(output);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  const JsonValue batch = parse_json(line);
+  ASSERT_TRUE(batch.find("ns")->is_array());
+  ASSERT_EQ(batch.find("ns")->as_array().size(), 2u);
+  EXPECT_EQ(batch.find("ns")->as_array()[0].as_number(),
+            batch.find("ns")->as_array()[1].as_number());
+
+  ASSERT_TRUE(std::getline(lines, line));
+  const JsonValue named = parse_json(line);
+  EXPECT_TRUE(named.find("ns")->is_number());
+
+  ASSERT_TRUE(std::getline(lines, line));
+  const JsonValue with_top = parse_json(line);
+  ASSERT_NE(with_top.find("top"), nullptr) << line;
+  const auto& top = with_top.find("top")->as_array();
+  ASSERT_LE(top.size(), 3u);
+  ASSERT_GE(top.size(), 1u);
+  EXPECT_NE(top[0].find("feature"), nullptr);
+  EXPECT_NE(top[0].find("ns"), nullptr);
+}
+
+TEST(ServeLoop, BadLinesYieldErrorResponsesAndTheLoopContinues) {
+  std::string zeros = "0";
+  for (int j = 1; j < 20; ++j) zeros += ",0";
+  const std::string input = "this is not json\n"
+                            "{\"id\":1,\"values\":[1,2]}\n"
+                            "\n"  // blank lines are skipped
+                            "{\"id\":2,\"values\":[" + zeros + "]}\n";
+  std::string output;
+  const ServeStats stats = run_lines(input, {fixture().path, 0}, &output);
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.errors, 2u);
+
+  std::istringstream lines(output);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(parse_json(line).find("error"), nullptr) << line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(parse_json(line).find("error"), nullptr) << line;
+  EXPECT_EQ(parse_json(line).find("id")->as_number(), 1.0);
+  ASSERT_TRUE(std::getline(lines, line));
+  ASSERT_NE(parse_json(line).find("ns"), nullptr) << line;
+  EXPECT_FALSE(std::getline(lines, line)) << "unexpected extra output: " << line;
+}
+
+TEST(ServeLoop, NullCellsAreMissingValues) {
+  // A row of all nulls scores like a row of all NaN: every unit reports its
+  // missing-input path, and the response is still well-formed JSON.
+  std::string nulls = "null";
+  for (int j = 1; j < 20; ++j) nulls += ",null";
+  std::string output;
+  const ServeStats stats = run_lines("{\"id\":0,\"values\":[" + nulls + "]}\n",
+                                     {fixture().path, 0}, &output);
+  EXPECT_EQ(stats.errors, 0u);
+  const JsonValue response = parse_json(output);
+  ASSERT_NE(response.find("ns"), nullptr) << output;
+}
+
+}  // namespace
+}  // namespace frac
