@@ -1,0 +1,229 @@
+// Socket serving benchmark: the TCP tier (`frac serve --listen`) under N
+// concurrent connections, each pipelining single-sample NDJSON requests.
+//
+// The server runs in-process (SocketServer on an ephemeral port); each
+// client thread opens one blocking connection and plays request/response
+// ping-pong, so per-request wall time is a true round-trip latency. Every
+// response is parsed and checked — a response with an "error" field, a
+// missing "ns", or a mismatched "id" counts as a protocol error and fails
+// the run (exit 1), which is what the CI smoke job asserts.
+//
+// Emits BENCH_serve_load.json (git-sha stamped):
+//   serve_load.connections / requests_per_connection / total_requests
+//   serve_load.p50_us / p99_us       round-trip request latency
+//   serve_load.throughput_rps        aggregate requests/second
+//   serve_load.protocol_errors       must be 0
+//
+// Knobs: FRAC_SERVE_LOAD_CONNECTIONS (default 32) and
+// FRAC_SERVE_LOAD_REQUESTS per connection (default 40);
+// FRAC_BENCH_SCALE shrinks the model as in the other benches.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "bench_common.hpp"
+#include "bench_json.hpp"
+#include "frac/frac.hpp"
+#include "serve/json.hpp"
+#include "serve/model_cache.hpp"
+#include "serve/socket_server.hpp"
+#include "util/stopwatch.hpp"
+#include "util/string_util.hpp"
+
+namespace frac::benchtool {
+namespace {
+
+double percentile(std::vector<double> sorted, double p) {
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t index = std::min(
+      sorted.size() - 1, static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[index];
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+}
+
+int connect_to(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one '\n'-terminated line (the response) from a blocking socket.
+bool read_line(int fd, std::string* carry, std::string* line) {
+  for (;;) {
+    const std::size_t nl = carry->find('\n');
+    if (nl != std::string::npos) {
+      *line = carry->substr(0, nl);
+      carry->erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) return false;
+    carry->append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+/// True when the response is a well-formed success for request `id`.
+bool response_ok(const std::string& line, long long id) {
+  try {
+    const JsonValue response = parse_json(line);
+    if (!response.is_object()) return false;
+    if (response.find("error") != nullptr) return false;
+    const JsonValue* id_field = response.find("id");
+    if (id_field == nullptr || !id_field->is_number() ||
+        static_cast<long long>(id_field->as_number()) != id) {
+      return false;
+    }
+    return response.find("ns") != nullptr;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+int run() {
+  const std::size_t connections = env_size("FRAC_SERVE_LOAD_CONNECTIONS", 32);
+  const std::size_t requests_each = env_size("FRAC_SERVE_LOAD_REQUESTS", 40);
+
+  const CohortSpec& spec = cohort_by_name("biomarkers");
+  const auto replicates = make_cohort_replicates(spec, 1);
+  const Replicate& rep = replicates.front();
+  const FracConfig config = paper_frac_config(spec);
+
+  std::printf("training %zu-feature full FRaC for the load test...\n",
+              rep.train.feature_count());
+  const FracModel model = FracModel::train(rep.train, config, pool());
+  const std::string model_path = "serve_load_model.fracmdl";
+  model.save_file(model_path, ModelFormat::kBinary);
+
+  // Pre-render every request line: {"id":K,"values":[...]} over test rows.
+  const Matrix& test = rep.test.values();
+  std::vector<std::string> request_lines;
+  request_lines.reserve(requests_each);
+  for (std::size_t k = 0; k < requests_each; ++k) {
+    const auto row = test.row(k % test.rows());
+    std::string line = "{\"id\":" + std::to_string(k) + ",\"values\":[";
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (j != 0) line.push_back(',');
+      line += format_g17(row[j]);
+    }
+    line += "]}\n";
+    request_lines.push_back(std::move(line));
+  }
+
+  SocketServerOptions options;
+  options.port = 0;  // ephemeral
+  options.max_connections = connections + 8;
+  options.serve.default_model = model_path;
+  SocketServer server(options);
+  ModelCache cache(2);
+  std::thread server_thread([&] { (void)server.run(cache, pool()); });
+
+  std::printf("load: %zu connections x %zu requests against 127.0.0.1:%u\n", connections,
+              requests_each, server.port());
+
+  std::atomic<std::size_t> protocol_errors{0};
+  std::vector<std::vector<double>> latencies_us(connections);
+  const WallStopwatch load_clock;
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(connections);
+    for (std::size_t c = 0; c < connections; ++c) {
+      clients.emplace_back([&, c] {
+        const int fd = connect_to(server.port());
+        if (fd < 0) {
+          protocol_errors.fetch_add(requests_each);
+          return;
+        }
+        std::string carry, response;
+        latencies_us[c].reserve(requests_each);
+        for (std::size_t k = 0; k < requests_each; ++k) {
+          const WallStopwatch round_trip;
+          if (!send_all(fd, request_lines[k]) || !read_line(fd, &carry, &response) ||
+              !response_ok(response, static_cast<long long>(k))) {
+            protocol_errors.fetch_add(1);
+            continue;
+          }
+          latencies_us[c].push_back(round_trip.seconds() * 1e6);
+        }
+        ::close(fd);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  const double load_seconds = load_clock.seconds();
+
+  server.request_stop();
+  server_thread.join();
+  std::remove(model_path.c_str());
+
+  std::vector<double> all_latencies;
+  for (const auto& per_connection : latencies_us) {
+    all_latencies.insert(all_latencies.end(), per_connection.begin(), per_connection.end());
+  }
+  const std::size_t total_requests = connections * requests_each;
+  const double p50_us = all_latencies.empty() ? 0.0 : percentile(all_latencies, 0.50);
+  const double p99_us = all_latencies.empty() ? 0.0 : percentile(all_latencies, 0.99);
+  const double throughput_rps = static_cast<double>(total_requests) / load_seconds;
+
+  std::printf("serve_load: p50 %.0f us   p99 %.0f us   %.0f req/s   %zu protocol errors\n",
+              p50_us, p99_us, throughput_rps, protocol_errors.load());
+
+  JsonBenchWriter json;
+  json.add({"serve_load",
+            {{"connections", static_cast<double>(connections)},
+             {"requests_per_connection", static_cast<double>(requests_each)},
+             {"total_requests", static_cast<double>(total_requests)},
+             {"p50_us", p50_us},
+             {"p99_us", p99_us},
+             {"throughput_rps", throughput_rps},
+             {"protocol_errors", static_cast<double>(protocol_errors.load())},
+             {"threads", static_cast<double>(pool().thread_count())}}});
+  if (!json.write("BENCH_serve_load.json")) {
+    std::cerr << "warning: could not write BENCH_serve_load.json\n";
+  }
+
+  if (protocol_errors.load() != 0) {
+    std::cerr << "FAIL: " << protocol_errors.load() << " protocol errors under load\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace frac::benchtool
+
+int main() { return frac::benchtool::run(); }

@@ -1,0 +1,134 @@
+#include "serve/connection.hpp"
+
+#include <cerrno>
+#include <utility>
+
+#include <unistd.h>
+
+namespace frac {
+
+Connection::Connection(int fd, std::uint64_t id, std::size_t max_line_bytes)
+    : fd_(fd), id_(id), max_line_bytes_(max_line_bytes) {}
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Connection::read_some() {
+  char chunk[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n > 0) {
+      if (discarding_) {
+        // Inside an oversized line: drop bytes (counting them, so the error
+        // names the stdin loop's exact line length) until its newline.
+        std::size_t k = 0;
+        while (k < static_cast<std::size_t>(n) && discarding_) {
+          if (chunk[k] == '\n') {
+            discarding_ = false;
+            oversize_done_ = true;
+          } else {
+            ++discarded_;
+          }
+          ++k;
+        }
+        in_.append(chunk + k, static_cast<std::size_t>(n) - k);
+      } else {
+        in_.append(chunk, static_cast<std::size_t>(n));
+      }
+      if (static_cast<std::size_t>(n) < sizeof chunk) return true;
+      continue;  // a full chunk may mean more is buffered in the kernel
+    }
+    if (n == 0) {
+      saw_eof_ = true;
+      if (discarding_) {
+        // EOF mid-oversized-line: getline would still yield it; report it.
+        discarding_ = false;
+        oversize_done_ = true;
+      }
+      return false;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    saw_eof_ = true;  // hard error: the peer is unusable, same as EOF
+    return false;
+  }
+}
+
+std::optional<Connection::Line> Connection::next_line() {
+  if (oversize_done_) {
+    oversize_done_ = false;
+    Line line;
+    line.seq = next_seq_to_issue_++;
+    line.oversized = true;
+    line.bytes = discarded_;
+    discarded_ = 0;
+    return line;
+  }
+  if (discarding_) return std::nullopt;  // still swallowing the oversized line
+
+  const std::size_t nl = in_.find('\n', scan_from_);
+  if (nl == std::string::npos) {
+    scan_from_ = in_.size();
+    // An unterminated line that outgrew the limit must not buffer without
+    // bound: switch to counting-and-dropping until its newline arrives.
+    if (in_.size() > max_line_bytes_) {
+      discarded_ = in_.size();
+      in_.clear();
+      scan_from_ = 0;
+      discarding_ = true;
+      return std::nullopt;
+    }
+    if (saw_eof_ && !in_.empty() && !eof_line_emitted_) {
+      // EOF mid-line: the stdin loop's getline yields the final unterminated
+      // line, so the socket framing does too.
+      eof_line_emitted_ = true;
+      Line line;
+      line.seq = next_seq_to_issue_++;
+      line.text = std::move(in_);
+      in_.clear();
+      scan_from_ = 0;
+      line.bytes = line.text.size();
+      return line;
+    }
+    return std::nullopt;
+  }
+
+  Line line;
+  line.seq = next_seq_to_issue_++;
+  line.text = in_.substr(0, nl);
+  in_.erase(0, nl + 1);
+  scan_from_ = 0;
+  if (!line.text.empty() && line.text.back() == '\r') line.text.pop_back();
+  line.bytes = line.text.size();
+  if (line.text.size() > max_line_bytes_) {
+    line.text.clear();
+    line.oversized = true;
+  }
+  return line;
+}
+
+void Connection::deliver(std::uint64_t seq, std::string response) {
+  held_.emplace(seq, std::move(response));
+  for (auto it = held_.begin(); it != held_.end() && it->first == next_seq_to_send_;
+       it = held_.erase(it), ++next_seq_to_send_) {
+    out_ += it->second;
+    out_.push_back('\n');
+  }
+}
+
+bool Connection::flush() {
+  while (!out_.empty()) {
+    const ssize_t n = ::write(fd_, out_.data(), out_.size());
+    if (n > 0) {
+      out_.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace frac

@@ -1,0 +1,91 @@
+// One client connection of the socket server: non-blocking buffered I/O,
+// NDJSON line framing, and in-order response delivery.
+//
+// Reads append to an input buffer that next_line() scans for '\n'; writes go
+// through an output buffer flushed opportunistically (flush() is called when
+// the fd turns writable and after responses are queued). Because request
+// scoring is asynchronous, each extracted line is assigned a sequence
+// number, and responses — which can complete out of order when an overload
+// rejection short-circuits the queue — are held in a reorder map until every
+// earlier response has been sent: a client always receives responses in
+// request order, exactly like the stdin loop.
+//
+// A line longer than the configured limit switches the connection into
+// discard mode (bytes are dropped until the terminating '\n'), producing one
+// oversize marker instead of buffering without bound.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace frac {
+
+class Connection {
+ public:
+  /// Takes ownership of the (non-blocking) fd.
+  Connection(int fd, std::uint64_t id, std::size_t max_line_bytes);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd() const noexcept { return fd_; }
+  std::uint64_t id() const noexcept { return id_; }
+
+  /// One framed request line, with its delivery sequence number. `oversized`
+  /// lines arrive truncated-to-empty with only the original byte count.
+  struct Line {
+    std::uint64_t seq = 0;
+    std::string text;
+    bool oversized = false;
+    std::size_t bytes = 0;  ///< original length (== text.size() unless oversized)
+  };
+
+  /// Pulls bytes from the socket into the input buffer. Returns false when
+  /// the peer closed or the connection errored (teardown time); true
+  /// otherwise, including EAGAIN.
+  bool read_some();
+
+  /// Next complete line from the input buffer, stripped of '\n' (and a
+  /// trailing '\r'); nullopt when no full line is buffered. After EOF a
+  /// final unterminated line is returned once (EOF-mid-line behaves like the
+  /// stdin loop's getline).
+  std::optional<Line> next_line();
+
+  /// Queues the response for `seq` and appends every consecutive now-ready
+  /// response to the output buffer ('\n'-terminated). Caller then flush()es.
+  void deliver(std::uint64_t seq, std::string response);
+
+  /// Writes as much buffered output as the socket accepts. Returns false on
+  /// a write error (teardown); true otherwise.
+  bool flush();
+
+  bool has_pending_output() const noexcept { return !out_.empty(); }
+  /// Responses not yet delivered (scoring in flight or held for reordering).
+  std::size_t undelivered() const noexcept { return next_seq_to_issue_ - next_seq_to_send_; }
+  bool saw_eof() const noexcept { return saw_eof_; }
+
+  /// Output high-water mark: above this, the server stops reading from the
+  /// connection until the client drains (read-side backpressure).
+  bool output_above(std::size_t bytes) const noexcept { return out_.size() > bytes; }
+
+ private:
+  int fd_;
+  std::uint64_t id_;
+  std::size_t max_line_bytes_;
+  std::string in_;
+  std::string out_;
+  std::size_t scan_from_ = 0;     ///< first byte of in_ not yet scanned for '\n'
+  bool discarding_ = false;       ///< inside an oversized line, dropping bytes
+  bool oversize_done_ = false;    ///< oversized line fully swallowed; emit marker
+  std::size_t discarded_ = 0;     ///< bytes dropped of the current oversized line
+  bool saw_eof_ = false;
+  bool eof_line_emitted_ = false;
+  std::uint64_t next_seq_to_issue_ = 0;
+  std::uint64_t next_seq_to_send_ = 0;
+  std::map<std::uint64_t, std::string> held_;  ///< completed out of order
+};
+
+}  // namespace frac

@@ -1,0 +1,148 @@
+#include "serve/event_loop.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <poll.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include "util/errors.hpp"
+
+namespace frac {
+
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  throw IoError(std::string("EventLoop: ") + what + ": " + std::strerror(errno));
+}
+
+#ifdef __linux__
+std::uint32_t epoll_mask(bool want_read, bool want_write) {
+  std::uint32_t events = 0;
+  if (want_read) events |= EPOLLIN;
+  if (want_write) events |= EPOLLOUT;
+  return events;  // EPOLLERR/EPOLLHUP are always reported
+}
+#endif
+
+}  // namespace
+
+EventLoop::EventLoop() {
+#ifdef __linux__
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  // epoll_fd_ == -1 (e.g. EMFILE, or a kernel without epoll) falls through
+  // to the poll backend; both see the same interest_ bookkeeping.
+#endif
+}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+EventLoop::Interest* EventLoop::find(int fd) {
+  for (Interest& i : interest_) {
+    if (i.fd == fd) return &i;
+  }
+  return nullptr;
+}
+
+void EventLoop::add(int fd, bool want_read, bool want_write) {
+  if (find(fd) != nullptr) throw std::logic_error("EventLoop: fd already watched");
+  interest_.push_back(Interest{fd, want_read, want_write});
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    struct epoll_event ev = {};
+    ev.events = epoll_mask(want_read, want_write);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      interest_.pop_back();
+      fail("epoll_ctl(ADD)");
+    }
+  }
+#endif
+}
+
+void EventLoop::modify(int fd, bool want_read, bool want_write) {
+  Interest* i = find(fd);
+  if (i == nullptr) throw std::logic_error("EventLoop: modify on unwatched fd");
+  if (i->read == want_read && i->write == want_write) return;
+  i->read = want_read;
+  i->write = want_write;
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    struct epoll_event ev = {};
+    ev.events = epoll_mask(want_read, want_write);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) fail("epoll_ctl(MOD)");
+  }
+#endif
+}
+
+void EventLoop::remove(int fd) {
+  for (std::size_t k = 0; k < interest_.size(); ++k) {
+    if (interest_[k].fd != fd) continue;
+    interest_.erase(interest_.begin() + static_cast<std::ptrdiff_t>(k));
+#ifdef __linux__
+    if (epoll_fd_ >= 0 && ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) != 0) {
+      fail("epoll_ctl(DEL)");
+    }
+#endif
+    return;
+  }
+  throw std::logic_error("EventLoop: remove on unwatched fd");
+}
+
+const std::vector<EventLoop::Event>& EventLoop::wait(int timeout_ms) {
+  ready_.clear();
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    std::vector<struct epoll_event> events(interest_.empty() ? 1 : interest_.size());
+    const int n = ::epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()),
+                               timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return ready_;  // signal: let the caller re-check
+      fail("epoll_wait");
+    }
+    for (int k = 0; k < n; ++k) {
+      Event out;
+      out.fd = events[static_cast<std::size_t>(k)].data.fd;
+      const std::uint32_t mask = events[static_cast<std::size_t>(k)].events;
+      out.readable = (mask & EPOLLIN) != 0;
+      out.writable = (mask & EPOLLOUT) != 0;
+      out.closed = (mask & (EPOLLERR | EPOLLHUP)) != 0;
+      ready_.push_back(out);
+    }
+    return ready_;
+  }
+#endif
+  std::vector<struct pollfd> fds;
+  fds.reserve(interest_.size());
+  for (const Interest& i : interest_) {
+    struct pollfd p = {};
+    p.fd = i.fd;
+    p.events = static_cast<short>((i.read ? POLLIN : 0) | (i.write ? POLLOUT : 0));
+    fds.push_back(p);
+  }
+  const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return ready_;
+    fail("poll");
+  }
+  for (const struct pollfd& p : fds) {
+    if (p.revents == 0) continue;
+    Event out;
+    out.fd = p.fd;
+    out.readable = (p.revents & POLLIN) != 0;
+    out.writable = (p.revents & POLLOUT) != 0;
+    out.closed = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    ready_.push_back(out);
+  }
+  return ready_;
+}
+
+}  // namespace frac

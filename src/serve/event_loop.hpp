@@ -1,0 +1,65 @@
+// Readiness notification for the socket server: epoll when the kernel has
+// it, poll(2) otherwise — one interface, chosen at construction.
+//
+// The server owns a handful of long-lived fds (listener, wakeup pipe) plus
+// one per connection, and runs a single loop thread, so the abstraction is
+// deliberately small: level-triggered readiness, read/write interest per fd,
+// and a wait() that yields the ready set. Level-triggered means a handler
+// that drains only part of a buffer is re-notified next wait — no
+// edge-trigger starvation bugs, at the cost of one syscall per idle cycle.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace frac {
+
+class EventLoop {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    /// Error or hangup: the fd needs teardown (read() will tell us why).
+    bool closed = false;
+  };
+
+  /// Prefers epoll; falls back to poll when epoll_create1 is unavailable
+  /// (non-Linux builds compile the poll backend only).
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` with the given interest set. A watched fd must be
+  /// deregistered with remove() before it is closed.
+  void add(int fd, bool want_read, bool want_write);
+
+  /// Replaces the interest set of a watched fd.
+  void modify(int fd, bool want_read, bool want_write);
+
+  void remove(int fd);
+
+  /// Blocks up to `timeout_ms` (-1 = indefinitely) and returns the ready
+  /// events. The returned reference is invalidated by the next wait().
+  const std::vector<Event>& wait(int timeout_ms);
+
+  std::size_t watched() const noexcept { return interest_.size(); }
+  bool using_epoll() const noexcept { return epoll_fd_ >= 0; }
+
+ private:
+  struct Interest {
+    int fd = -1;
+    bool read = false;
+    bool write = false;
+  };
+
+  Interest* find(int fd);
+
+  int epoll_fd_ = -1;                ///< -1 = poll backend
+  std::vector<Interest> interest_;   ///< registration order; small N
+  std::vector<Event> ready_;
+};
+
+}  // namespace frac

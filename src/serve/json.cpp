@@ -1,9 +1,9 @@
 #include "serve/json.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdint>
-#include <cstdlib>
 
 #include "util/errors.hpp"
 #include "util/string_util.hpp"
@@ -131,7 +131,7 @@ class Parser {
     }
   }
 
-  std::string parse_unicode_escape() {
+  std::uint32_t parse_hex4() {
     if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
     std::uint32_t code = 0;
     for (int i = 0; i < 4; ++i) {
@@ -142,49 +142,129 @@ class Parser {
       else if (c >= 'A' && c <= 'F') code |= static_cast<std::uint32_t>(c - 'A' + 10);
       else fail("invalid \\u escape digit");
     }
-    // Surrogates (feature names are ASCII in practice) decode to U+FFFD.
-    if (code >= 0xD800 && code <= 0xDFFF) code = 0xFFFD;
+    return code;
+  }
+
+  std::string parse_unicode_escape() {
+    std::uint32_t code = parse_hex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      // A high surrogate followed by \uDC00-\uDFFF names one supplementary-
+      // plane code point (RFC 8259 §7); without a valid partner it decodes
+      // to U+FFFD like any lone surrogate.
+      if (pos_ + 2 <= text_.size() && text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+        const std::size_t rewind = pos_;
+        pos_ += 2;
+        const std::uint32_t low = parse_hex4();
+        if (low >= 0xDC00 && low <= 0xDFFF) {
+          code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+        } else {
+          pos_ = rewind;  // the second escape stands alone (it may itself pair)
+          code = 0xFFFD;
+        }
+      } else {
+        code = 0xFFFD;
+      }
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      code = 0xFFFD;  // low surrogate with no preceding high half
+    }
     std::string out;
     if (code < 0x80) {
       out.push_back(static_cast<char>(code));
     } else if (code < 0x800) {
       out.push_back(static_cast<char>(0xC0 | (code >> 6)));
       out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-    } else {
+    } else if (code < 0x10000) {
       out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
       out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
       out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
     }
     return out;
   }
 
+  // RFC 8259 §6 exactly: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?.
+  // Forms strtod would take but the grammar forbids ("1.", ".5", "0x1",
+  // "inf", "nan") are rejected here by the scan itself.
   JsonValue parse_number() {
     const std::size_t start = pos_;
     if (consume('-')) {}
     const std::size_t int_start = pos_;
     while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
-    // RFC 8259: the integer part is 0, or a nonzero digit followed by more.
+    if (pos_ == int_start) {
+      pos_ = start;
+      fail(start == int_start ? "expected a JSON value" : "number lacks integer digits");
+    }
     if (pos_ - int_start > 1 && text_[int_start] == '0') {
       pos_ = start;
       fail("leading zero in number");
     }
     if (consume('.')) {
+      const std::size_t frac_start = pos_;
       while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+      if (pos_ == frac_start) {
+        pos_ = start;
+        fail("number lacks digits after the decimal point");
+      }
     }
     if (peek() == 'e' || peek() == 'E') {
       ++pos_;
       if (peek() == '+' || peek() == '-') ++pos_;
+      const std::size_t exp_start = pos_;
       while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+      if (pos_ == exp_start) {
+        pos_ = start;
+        fail("number lacks exponent digits");
+      }
     }
-    if (pos_ == start) fail("expected a JSON value");
-    const std::string token(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    const double value = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) {
+    // from_chars is locale-independent; strtod honors LC_NUMERIC, so a
+    // linked library's setlocale(LC_NUMERIC, "de_DE") would truncate "1.5"
+    // to 1 there. Huge magnitudes saturate to ±inf like strtod's did.
+    const std::string_view token = text_.substr(start, pos_ - start);
+    double value = 0.0;
+    const auto [end, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec == std::errc::result_out_of_range) {
+      value = out_of_range_value(token);  // strtod-compatible saturation
+    } else if (ec != std::errc{} || end != token.data() + token.size()) {
       pos_ = start;
       fail("malformed number");
     }
     return JsonValue(value);
+  }
+
+  /// strtod saturates out-of-double-range magnitudes to ±HUGE_VAL (overflow)
+  /// or ±0 (underflow); from_chars only reports *that* the value is out of
+  /// range, so the direction is recovered from the token's decimal exponent.
+  static double out_of_range_value(std::string_view token) {
+    const bool negative = token.front() == '-';
+    if (negative) token.remove_prefix(1);
+    const std::size_t e = token.find_first_of("eE");
+    std::string_view mantissa = token.substr(0, e);
+    long long exponent = 0;
+    if (e != std::string_view::npos) {
+      const std::string_view exp_text = token.substr(e + 1);
+      const char* b = exp_text.data() + (exp_text.front() == '+' ? 1 : 0);
+      const auto [_, exp_ec] = std::from_chars(b, exp_text.data() + exp_text.size(), exponent);
+      if (exp_ec == std::errc::result_out_of_range) {
+        exponent = exp_text.front() == '-' ? -1'000'000 : 1'000'000;
+      }
+    }
+    // Decimal exponent of the most significant nonzero digit; the grammar
+    // guarantees an integer part, an optional '.', then fraction digits.
+    const std::size_t dot = mantissa.find('.');
+    const std::size_t int_digits = dot == std::string_view::npos ? mantissa.size() : dot;
+    const std::size_t msd = mantissa.find_first_not_of("0.");
+    if (msd == std::string_view::npos) return negative ? -0.0 : 0.0;  // exact zero
+    const long long msd_exponent =
+        msd < int_digits ? static_cast<long long>(int_digits - 1 - msd)
+                         : -static_cast<long long>(msd - int_digits);
+    // Out-of-range means |msd_exponent + exponent| is ~308 or more, far
+    // beyond the estimate's off-by-nothing accuracy — the sign is reliable.
+    return msd_exponent + exponent > 0 ? (negative ? -HUGE_VAL : HUGE_VAL)
+                                       : (negative ? -0.0 : 0.0);
   }
 
   std::string_view text_;
@@ -206,7 +286,7 @@ std::string JsonValue::dump() const {
   if (is_number()) {
     const double v = as_number();
     if (!std::isfinite(v)) return "null";  // JSON has no NaN/Inf
-    return format("%.17g", v);
+    return format_g17(v);
   }
   if (is_string()) return "\"" + json_escape(as_string()) + "\"";
   std::string out;

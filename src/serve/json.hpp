@@ -3,9 +3,11 @@
 //
 // Scope is deliberately narrow — request lines are flat objects of scalars,
 // arrays, and one level of nesting — but the parser accepts arbitrary JSON
-// (RFC 8259 minus \u surrogate pairs, which decode to U+FFFD). Errors throw
-// ParseError with the byte offset, so a malformed line produces a per-line
-// error response instead of killing the server.
+// (RFC 8259; valid \u surrogate pairs decode to the supplementary-plane
+// code point, lone surrogates to U+FFFD). Numbers parse via std::from_chars
+// and print via std::to_chars, so both directions are immune to LC_NUMERIC.
+// Errors throw ParseError with the byte offset, so a malformed line produces
+// a per-line error response instead of killing the server.
 #pragma once
 
 #include <cstddef>

@@ -17,6 +17,8 @@ namespace {
 struct FileIdentity {
   std::int64_t mtime_ns = 0;
   std::uint64_t size = 0;
+
+  bool operator==(const FileIdentity&) const = default;
 };
 
 FileIdentity stat_identity(const std::string& path) {
@@ -35,10 +37,17 @@ FileIdentity stat_identity(const std::string& path) {
 
 ModelCache::ModelCache(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
 
+void ModelCache::set_test_hook_after_stat(std::function<void()> hook) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  test_hook_after_stat_ = std::move(hook);
+}
+
 std::shared_ptr<const ScoringEngine> ModelCache::get(const std::string& path) {
-  const FileIdentity id = stat_identity(path);
+  FileIdentity id = stat_identity(path);
+  std::shared_ptr<Flight> flight;
+  std::function<void()> after_stat_hook;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
     const auto it = entries_.find(path);
     if (it != entries_.end() && it->second.mtime_ns == id.mtime_ns &&
         it->second.file_size == id.size) {
@@ -46,14 +55,51 @@ std::shared_ptr<const ScoringEngine> ModelCache::get(const std::string& path) {
       metrics_counter("serve.model_cache.hits").add();
       return it->second.engine;
     }
+
+    // Single-flight: the first cold caller for a path loads; everyone who
+    // arrives while that load runs waits for its result instead of opening
+    // the multi-MB bundle again (N connections cold-starting at once would
+    // otherwise each pay — and race — the full load).
+    const auto in_flight = flights_.find(path);
+    if (in_flight != flights_.end()) {
+      std::shared_ptr<Flight> theirs = in_flight->second;
+      metrics_counter("serve.model_cache.coalesced_loads").add();
+      flight_done_.wait(lock, [&] { return theirs->done; });
+      if (theirs->error != nullptr) std::rethrow_exception(theirs->error);
+      return theirs->engine;
+    }
+    flight = std::make_shared<Flight>();
+    flights_.emplace(path, flight);
+    after_stat_hook = test_hook_after_stat_;
   }
 
   // Load outside the lock: a slow disk must not serialize unrelated paths.
-  // Two threads racing the same cold path both load; last writer wins, the
-  // loser's bundle dies with its clients — correct, just briefly redundant.
   metrics_counter("serve.model_cache.misses").add();
-  std::shared_ptr<const ScoringEngine> engine =
-      std::make_shared<const ScoringEngine>(ModelBundle::open(path));
+  std::shared_ptr<const ScoringEngine> engine;
+  try {
+    if (after_stat_hook) after_stat_hook();
+    engine = std::make_shared<const ScoringEngine>(ModelBundle::open(path));
+    // Re-stat after the open: a file swapped between the identity stat and
+    // the open would otherwise cache the *new* content under the *old*
+    // (mtime, size), so the next get() spuriously reloads — or, worse, a
+    // second swap back restores the old identity and the stale probe then
+    // reports the wrong content as fresh. If the identity moved, re-open
+    // until stat-open-stat agrees (bounded; a file being rewritten in a
+    // tight loop settles on the last attempt's post-open identity).
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      const FileIdentity after = stat_identity(path);
+      if (after == id) break;
+      id = after;
+      if (attempt < 2) engine = std::make_shared<const ScoringEngine>(ModelBundle::open(path));
+    }
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    flight->done = true;
+    flight->error = std::current_exception();
+    flights_.erase(path);
+    flight_done_.notify_all();
+    throw;
+  }
 
   const std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(path);
@@ -73,6 +119,10 @@ std::shared_ptr<const ScoringEngine> ModelCache::get(const std::string& path) {
   entry.last_used = ++clock_;
   evict_locked();
   metrics_gauge("serve.model_cache.resident").set(static_cast<double>(entries_.size()));
+  flight->done = true;
+  flight->engine = engine;
+  flights_.erase(path);
+  flight_done_.notify_all();
   return engine;
 }
 

@@ -5,9 +5,18 @@
 // already-loaded engine (its zero-copy spans stay valid), while changed
 // content swaps the engine atomically — in-flight requests keep scoring the
 // bundle they hold via shared_ptr.
+//
+// Cold loads are single-flight: when N threads miss on the same path at
+// once (the socket server's cold-start stampede), exactly one opens the
+// multi-MB bundle and the rest wait for its result instead of loading
+// redundantly. The identity cached with a load is re-stat'ed *after* the
+// open, so a file swapped between stat and open can never be cached under
+// the pre-swap (mtime, size).
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -22,15 +31,22 @@ class ModelCache {
   /// `capacity` = max engines kept resident (≥ 1).
   explicit ModelCache(std::size_t capacity);
 
-  /// The engine for `path`, loading or reloading as needed. Thread-safe.
-  /// Load failures propagate (IoError/ParseError/std::runtime_error) and
-  /// leave any previously cached engine for the path in place.
+  /// The engine for `path`, loading or reloading as needed. Thread-safe;
+  /// concurrent cold callers for one path share a single load. Load
+  /// failures propagate (IoError/ParseError/std::runtime_error) to every
+  /// caller of the failed flight and leave any previously cached engine for
+  /// the path in place.
   std::shared_ptr<const ScoringEngine> get(const std::string& path);
 
   /// Drops every cached engine (bundles stay alive while clients hold them).
   void clear();
 
   std::size_t size() const;
+
+  /// Test seam: runs between a flight's identity stat and ModelBundle::open,
+  /// so TOCTOU races (file swapped mid-load) can be exercised determinism-
+  /// tically. Never set in production code.
+  void set_test_hook_after_stat(std::function<void()> hook);
 
  private:
   struct Entry {
@@ -40,12 +56,23 @@ class ModelCache {
     std::uint64_t last_used = 0;  // LRU clock value
   };
 
+  /// One in-progress load; stampeding callers wait on `done` and share the
+  /// result (or rethrow the loader's failure).
+  struct Flight {
+    bool done = false;
+    std::shared_ptr<const ScoringEngine> engine;
+    std::exception_ptr error;
+  };
+
   void evict_locked();
 
   const std::size_t capacity_;
   mutable std::mutex mutex_;
+  std::condition_variable flight_done_;
   std::uint64_t clock_ = 0;
   std::unordered_map<std::string, Entry> entries_;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+  std::function<void()> test_hook_after_stat_;
 };
 
 }  // namespace frac

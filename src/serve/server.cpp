@@ -58,8 +58,8 @@ std::string contributions_json(const ScoringEngine& engine,
   std::string out = "[";
   for (const NsContribution& c : top) {
     if (out.size() > 1) out.push_back(',');
-    out += format("{\"feature\":\"%s\",\"ns\":%.17g}",
-                  json_escape(engine.model().schema()[c.feature].name).c_str(), c.ns);
+    out += "{\"feature\":\"" + json_escape(engine.model().schema()[c.feature].name) +
+           "\",\"ns\":" + format_g17(c.ns) + "}";
   }
   out.push_back(']');
   return out;
@@ -68,13 +68,20 @@ std::string contributions_json(const ScoringEngine& engine,
 std::string ns_json(double ns) {
   // NS is finite by construction (non-finite unit contributions are skipped)
   // but a response must stay valid JSON regardless.
-  return std::isfinite(ns) ? format("%.17g", ns) : std::string("null");
+  return std::isfinite(ns) ? format_g17(ns) : std::string("null");
 }
 
-/// Handles one parsed request line; returns the response JSON.
-std::string handle_request(const JsonValue& request, const std::string& id_json,
-                           const ServeOptions& options, ModelCache& cache, ThreadPool& pool,
-                           std::uint64_t* samples) {
+}  // namespace
+
+ScoreRequest parse_score_request(const std::string& line, const ServeOptions& options,
+                                 ModelCache& cache, std::string* id_json) {
+  const JsonValue request = parse_json(line);
+  if (!request.is_object()) throw ParseError("request: line must be a JSON object");
+  if (const JsonValue* id = request.find("id"); id != nullptr) *id_json = id->dump();
+
+  ScoreRequest parsed;
+  parsed.id_json = *id_json;
+
   const JsonValue* model_field = request.find("model");
   std::string model_path = options.default_model;
   if (model_field != nullptr) {
@@ -85,16 +92,16 @@ std::string handle_request(const JsonValue& request, const std::string& id_json,
     throw ParseError("request: no \"model\" given and no default model configured");
   }
 
-  std::size_t top_k = options.top_k;
+  parsed.top_k = options.top_k;
   if (const JsonValue* field = request.find("top_k"); field != nullptr) {
     if (!field->is_number() || field->as_number() < 0 ||
         field->as_number() != std::floor(field->as_number())) {
       throw ParseError("request: \"top_k\" must be a non-negative integer");
     }
-    top_k = static_cast<std::size_t>(field->as_number());
+    parsed.top_k = static_cast<std::size_t>(field->as_number());
   }
 
-  const std::shared_ptr<const ScoringEngine> engine = cache.get(model_path);
+  parsed.engine = cache.get(model_path);
 
   const JsonValue* values = request.find("values");
   const JsonValue* batch = request.find("batch");
@@ -102,33 +109,28 @@ std::string handle_request(const JsonValue& request, const std::string& id_json,
     throw ParseError("request: exactly one of \"values\" or \"batch\" is required");
   }
 
-  Matrix rows;
   if (values != nullptr) {
-    rows = Matrix(1, engine->feature_count());
-    fill_row(*values, *engine, rows.row(0));
+    parsed.rows = Matrix(1, parsed.engine->feature_count());
+    fill_row(*values, *parsed.engine, parsed.rows.row(0));
   } else {
+    parsed.batch = true;
     if (!batch->is_array()) throw ParseError("request: \"batch\" must be an array of rows");
     const JsonValue::Array& lines = batch->as_array();
     if (lines.empty()) throw ParseError("request: empty \"batch\"");
-    rows = Matrix(lines.size(), engine->feature_count());
-    for (std::size_t r = 0; r < lines.size(); ++r) fill_row(lines[r], *engine, rows.row(r));
+    parsed.rows = Matrix(lines.size(), parsed.engine->feature_count());
+    for (std::size_t r = 0; r < lines.size(); ++r) {
+      fill_row(lines[r], *parsed.engine, parsed.rows.row(r));
+    }
   }
-  *samples += rows.rows();
+  return parsed;
+}
 
-  std::vector<std::vector<NsContribution>> top;
-  std::vector<double> ns;
-  if (top_k > 0) {
-    // One pass: per-feature contributions also yield the NS total via
-    // score(); both run so "ns" stays bit-identical to scores-only requests
-    // (the summation orders differ between the two kernels).
-    top = engine->explain(rows, top_k, pool);
-  }
-  ns = engine->score(std::move(rows), pool);
-
-  std::string response = "{\"id\":" + id_json + ",\"ns\":";
-  if (values != nullptr) {
+std::string format_score_response(const ScoreRequest& request, std::span<const double> ns,
+                                  std::span<const std::vector<NsContribution>> top) {
+  std::string response = "{\"id\":" + request.id_json + ",\"ns\":";
+  if (!request.batch) {
     response += ns_json(ns[0]);
-    if (top_k > 0) response += ",\"top\":" + contributions_json(*engine, top[0]);
+    if (request.top_k > 0) response += ",\"top\":" + contributions_json(*request.engine, top[0]);
   } else {
     response.push_back('[');
     for (std::size_t r = 0; r < ns.size(); ++r) {
@@ -136,11 +138,11 @@ std::string handle_request(const JsonValue& request, const std::string& id_json,
       response += ns_json(ns[r]);
     }
     response.push_back(']');
-    if (top_k > 0) {
+    if (request.top_k > 0) {
       response += ",\"top\":[";
       for (std::size_t r = 0; r < top.size(); ++r) {
         if (r != 0) response.push_back(',');
-        response += contributions_json(*engine, top[r]);
+        response += contributions_json(*request.engine, top[r]);
       }
       response.push_back(']');
     }
@@ -149,40 +151,57 @@ std::string handle_request(const JsonValue& request, const std::string& id_json,
   return response;
 }
 
-}  // namespace
+std::string error_response(const std::string& id_json, std::string_view message) {
+  return "{\"id\":" + id_json + ",\"error\":\"" + json_escape(message) + "\"}";
+}
+
+std::string handle_request_line(const std::string& line, const ServeOptions& options,
+                                ModelCache& cache, ThreadPool& pool, ServeStats* stats) {
+  static Counter& requests_metric = metrics_counter("serve.requests");
+  static Counter& samples_metric = metrics_counter("serve.samples");
+  static Counter& errors_metric = metrics_counter("serve.errors");
+  ++stats->requests;
+  requests_metric.add();
+  std::string id_json = "null";
+  try {
+    if (line.size() > options.max_request_bytes) {
+      throw ParseError(format("request line of %zu bytes exceeds the %zu-byte limit",
+                              line.size(), options.max_request_bytes));
+    }
+    const TraceSpan span("serve.request", trace_armed()
+                                              ? format("{\"bytes\": %zu}", line.size())
+                                              : std::string());
+    ScoreRequest request = parse_score_request(line, options, cache, &id_json);
+    const std::uint64_t samples = request.rows.rows();
+
+    std::vector<std::vector<NsContribution>> top;
+    if (request.top_k > 0) {
+      // One pass: per-feature contributions also yield the NS total via
+      // score(); both run so "ns" stays bit-identical to scores-only
+      // requests (the summation orders differ between the two kernels).
+      top = request.engine->explain(request.rows, request.top_k, pool);
+    }
+    const std::vector<double> ns = request.engine->score(std::move(request.rows), pool);
+    stats->samples += samples;
+    samples_metric.add(samples);
+    return format_score_response(request, ns, top);
+  } catch (const std::exception& e) {
+    ++stats->errors;
+    errors_metric.add();
+    return error_response(id_json, e.what());
+  }
+}
 
 ServeStats run_serve_loop(std::istream& in, std::ostream& out, const ServeOptions& options,
                           ModelCache& cache, ThreadPool& pool) {
   ServeStats stats;
-  Counter& requests_metric = metrics_counter("serve.requests");
-  Counter& samples_metric = metrics_counter("serve.samples");
-  Counter& errors_metric = metrics_counter("serve.errors");
   Histogram& latency = metrics_histogram("serve.request_seconds");
 
   std::string line;
   while (std::getline(in, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;  // blank keepalive
     const WallStopwatch wall;
-    ++stats.requests;
-    requests_metric.add();
-    std::string id_json = "null";
-    std::string response;
-    try {
-      const JsonValue request = parse_json(line);
-      if (!request.is_object()) throw ParseError("request: line must be a JSON object");
-      if (const JsonValue* id = request.find("id"); id != nullptr) id_json = id->dump();
-      const TraceSpan span("serve.request",
-                           trace_armed() ? format("{\"bytes\": %zu}", line.size())
-                                         : std::string());
-      std::uint64_t samples = 0;
-      response = handle_request(request, id_json, options, cache, pool, &samples);
-      stats.samples += samples;
-      samples_metric.add(samples);
-    } catch (const std::exception& e) {
-      ++stats.errors;
-      errors_metric.add();
-      response = "{\"id\":" + id_json + ",\"error\":\"" + json_escape(e.what()) + "\"}";
-    }
+    const std::string response = handle_request_line(line, options, cache, pool, &stats);
     latency.observe(wall.seconds());
     out << response << '\n' << std::flush;
   }

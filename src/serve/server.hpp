@@ -12,12 +12,21 @@
 // contributions, the --explain machinery). null cells are missing values.
 // A malformed line yields {"id":...,"error":"..."} and the loop continues —
 // one bad client line must not kill the server.
+//
+// The same protocol runs over TCP via SocketServer (serve/socket_server.hpp,
+// `frac serve --listen`); the parse/score/format pipeline below is shared by
+// both so socket responses are byte-identical to the stdin loop's. Full
+// schema: docs/serve_protocol.md.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
+#include "linalg/matrix.hpp"
 #include "parallel/thread_pool.hpp"
 #include "serve/model_cache.hpp"
 
@@ -26,13 +35,51 @@ namespace frac {
 struct ServeOptions {
   std::string default_model;   ///< model used when a request names none
   std::size_t top_k = 0;       ///< default explain depth (0 = scores only)
+  /// Longest accepted request line; longer lines get an error response and
+  /// are skipped. Bounds per-connection buffering on the socket path.
+  std::size_t max_request_bytes = 4u << 20;
 };
 
 struct ServeStats {
   std::uint64_t requests = 0;
   std::uint64_t samples = 0;
-  std::uint64_t errors = 0;
+  std::uint64_t errors = 0;   ///< error responses, including rejections
+  std::uint64_t rejected = 0; ///< overload rejections (socket path only)
 };
+
+/// One request line parsed, validated, and resolved against the model cache:
+/// ready to score. `batch` distinguishes the response shape ("ns" scalar vs
+/// array), not the row count.
+struct ScoreRequest {
+  std::string id_json = "null";  ///< the echoed "id", re-dumped as JSON
+  std::shared_ptr<const ScoringEngine> engine;
+  Matrix rows;
+  std::size_t top_k = 0;
+  bool batch = false;
+};
+
+/// Parses one request line into a ready-to-score ScoreRequest. On failure
+/// throws (ParseError for protocol violations, IoError for model loads);
+/// *id_json is still updated whenever the line itself parsed as JSON, so the
+/// error response can echo the request id.
+ScoreRequest parse_score_request(const std::string& line, const ServeOptions& options,
+                                 ModelCache& cache, std::string* id_json);
+
+/// Formats the success response for `request` given its per-row NS values
+/// and (when request.top_k > 0) per-row top contributions. No trailing
+/// newline.
+std::string format_score_response(const ScoreRequest& request, std::span<const double> ns,
+                                  std::span<const std::vector<NsContribution>> top);
+
+/// Formats the per-line error response: {"id":<id_json>,"error":"..."}.
+std::string error_response(const std::string& id_json, std::string_view message);
+
+/// Parses, scores, and formats one request line — the whole pipeline, shared
+/// by the stdin loop and the socket server's non-coalesced path. Never
+/// throws: failures become error_response() lines. `stats`/metrics are
+/// updated for the request.
+std::string handle_request_line(const std::string& line, const ServeOptions& options,
+                                ModelCache& cache, ThreadPool& pool, ServeStats* stats);
 
 /// Runs the request loop until EOF on `in`. Batches score concurrently on
 /// `pool` (the engine path is FracModel::score, so NS values are

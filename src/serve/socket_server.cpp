@@ -1,0 +1,405 @@
+#include "serve/socket_server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/connection.hpp"
+#include "serve/event_loop.hpp"
+#include "util/errors.hpp"
+#include "util/metrics.hpp"
+#include "util/string_util.hpp"
+#include "util/trace.hpp"
+
+namespace frac {
+
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  throw IoError(std::string("SocketServer: ") + what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) fail("fcntl(O_NONBLOCK)");
+}
+
+}  // namespace
+
+SocketServer::SocketServer(const SocketServerOptions& options) : options_(options) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) fail("socket");
+  // The destructor does not run when the constructor throws, so every exit
+  // below must close what was opened.
+  try {
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.listen_addr.c_str(), &addr.sin_addr) != 1) {
+      throw IoError("SocketServer: invalid IPv4 listen address '" + options_.listen_addr +
+                    "'");
+    }
+    if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) != 0) {
+      fail(("bind " + options_.listen_addr + ":" + std::to_string(options_.port)).c_str());
+    }
+    if (::listen(listen_fd_, 128) != 0) fail("listen");
+    set_nonblocking(listen_fd_);
+
+    socklen_t addr_len = sizeof addr;
+    if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr), &addr_len) != 0) {
+      fail("getsockname");
+    }
+    port_ = ntohs(addr.sin_port);
+
+    int pipe_fds[2];
+    if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) fail("pipe2");
+    wake_read_fd_ = pipe_fds[0];
+    wake_write_fd_ = pipe_fds[1];
+  } catch (...) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw;
+  }
+}
+
+SocketServer::~SocketServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+}
+
+void SocketServer::request_stop() noexcept {
+  stop_.store(true, std::memory_order_release);
+  // write(2) is async-signal-safe; one byte wakes the loop thread, which
+  // does the non-signal-safe notification of the scoring thread itself.
+  const char byte = 's';
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+}
+
+ServeStats SocketServer::run(ModelCache& cache, ThreadPool& pool) {
+  static Counter& requests_metric = metrics_counter("serve.requests");
+  static Counter& errors_metric = metrics_counter("serve.errors");
+  static Counter& rejected_metric = metrics_counter("serve.rejected");
+  static Gauge& connections_gauge = metrics_gauge("serve.connections");
+  static Gauge& depth_gauge = metrics_gauge("serve.queue_depth");
+
+  EventLoop loop;
+  loop.add(listen_fd_, true, false);
+  loop.add(wake_read_fd_, true, false);
+
+  std::unordered_map<int, std::unique_ptr<Connection>> conns_by_fd;
+  std::unordered_map<std::uint64_t, int> fd_by_id;
+  std::uint64_t next_conn_id = 1;
+  bool listening = true;
+
+  std::thread scorer([&] { scoring_main(cache, pool); });
+
+  auto close_connection = [&](int fd) {
+    const auto it = conns_by_fd.find(fd);
+    if (it == conns_by_fd.end()) return;
+    loop.remove(fd);
+    fd_by_id.erase(it->second->id());
+    conns_by_fd.erase(it);  // the Connection destructor closes the fd
+    connections_gauge.set(static_cast<double>(conns_by_fd.size()));
+  };
+
+  auto update_interest = [&](Connection& conn) {
+    const bool want_read = !stop_.load(std::memory_order_acquire) && !conn.saw_eof() &&
+                           !conn.output_above(options_.output_high_water);
+    loop.modify(conn.fd(), want_read, conn.has_pending_output());
+  };
+
+  // Frames every line buffered on `conn`: admitted lines join the scoring
+  // queue; lines beyond max_inflight are answered "overloaded" on the spot
+  // (the reorder map still delivers the rejection in request order).
+  auto enqueue_lines = [&](Connection& conn) {
+    while (auto line = conn.next_line()) {
+      if (!line->oversized && line->text.find_first_not_of(" \t\r") == std::string::npos) {
+        continue;  // blank keepalive, skipped exactly like the stdin loop
+      }
+      std::unique_lock lock(mutex_);
+      if (inflight_ >= options_.max_inflight) {
+        ++stats_.requests;
+        ++stats_.errors;
+        ++stats_.rejected;
+        lock.unlock();
+        requests_metric.add();
+        errors_metric.add();
+        rejected_metric.add();
+        conn.deliver(line->seq, error_response("null", "overloaded"));
+        continue;
+      }
+      Work work;
+      work.conn_id = conn.id();
+      work.seq = line->seq;
+      work.line = std::move(line->text);
+      work.oversized = line->oversized;
+      work.bytes = line->bytes;
+      queue_.push_back(std::move(work));
+      ++inflight_;
+      depth_gauge.set(static_cast<double>(queue_.size()));
+      lock.unlock();
+      work_cv_.notify_one();
+    }
+  };
+
+  for (;;) {
+    const bool stopping = stop_.load(std::memory_order_acquire);
+    if (stopping && listening) {
+      loop.remove(listen_fd_);
+      listening = false;
+      work_cv_.notify_all();  // the scorer re-checks stop_ (signal-safe relay)
+    }
+
+    // Hand finished responses to their connections.
+    std::vector<Done> done;
+    {
+      const std::lock_guard lock(mutex_);
+      done.swap(completed_);
+    }
+    for (Done& d : done) {
+      const auto it = fd_by_id.find(d.conn_id);
+      if (it == fd_by_id.end()) continue;  // client left before its answer
+      conns_by_fd.at(it->second)->deliver(d.seq, std::move(d.response));
+    }
+
+    // Flush, refresh interest, and reap finished connections.
+    std::vector<int> to_close;
+    for (auto& [fd, conn] : conns_by_fd) {
+      if (!conn->flush()) {
+        to_close.push_back(fd);
+        continue;
+      }
+      if (conn->saw_eof() && conn->undelivered() == 0 && !conn->has_pending_output()) {
+        to_close.push_back(fd);
+        continue;
+      }
+      update_interest(*conn);
+    }
+    for (const int fd : to_close) close_connection(fd);
+
+    if (stopping) {
+      const std::lock_guard lock(mutex_);
+      bool drained = inflight_ == 0;
+      for (const auto& [fd, conn] : conns_by_fd) {
+        if (conn->undelivered() != 0 || conn->has_pending_output()) drained = false;
+      }
+      if (drained) break;
+    }
+
+    // Block until something is ready; during the drain poll at 50ms so a
+    // missed wakeup cannot stall shutdown.
+    for (const EventLoop::Event& event : loop.wait(stopping ? 50 : -1)) {
+      if (event.fd == wake_read_fd_) {
+        char buffer[256];
+        while (::read(wake_read_fd_, buffer, sizeof buffer) > 0) {
+        }
+        continue;
+      }
+      if (event.fd == listen_fd_) {
+        for (;;) {
+          const int client_fd =
+              ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+          if (client_fd < 0) break;  // EAGAIN or transient: next readiness retries
+          if (conns_by_fd.size() >= options_.max_connections) {
+            rejected_metric.add();
+            ::close(client_fd);
+            continue;
+          }
+          const int one = 1;
+          ::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+          auto conn = std::make_unique<Connection>(client_fd, next_conn_id++,
+                                                   options_.serve.max_request_bytes);
+          fd_by_id.emplace(conn->id(), client_fd);
+          loop.add(client_fd, true, false);
+          conns_by_fd.emplace(client_fd, std::move(conn));
+          connections_gauge.set(static_cast<double>(conns_by_fd.size()));
+        }
+        continue;
+      }
+      const auto it = conns_by_fd.find(event.fd);
+      if (it == conns_by_fd.end()) continue;
+      Connection& conn = *it->second;
+      if (event.readable || event.closed) conn.read_some();
+      enqueue_lines(conn);  // also picks up the EOF-mid-line final line
+      if (event.writable) conn.flush();
+      // Teardown (EOF or write error) is decided by the sweep above.
+    }
+  }
+
+  work_cv_.notify_all();
+  scorer.join();
+
+  std::vector<int> open_fds;
+  open_fds.reserve(conns_by_fd.size());
+  for (const auto& [fd, conn] : conns_by_fd) open_fds.push_back(fd);
+  for (const int fd : open_fds) close_connection(fd);
+  if (listening) loop.remove(listen_fd_);
+  loop.remove(wake_read_fd_);
+
+  const std::lock_guard lock(mutex_);
+  depth_gauge.set(0.0);
+  return stats_;
+}
+
+void SocketServer::scoring_main(ModelCache& cache, ThreadPool& pool) {
+  static Gauge& depth_gauge = metrics_gauge("serve.queue_depth");
+  for (;;) {
+    std::vector<Work> batch;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return !queue_.empty() || stop_.load(std::memory_order_acquire);
+      });
+      if (queue_.empty()) return;  // stop requested and nothing left
+      batch.assign(std::make_move_iterator(queue_.begin()),
+                   std::make_move_iterator(queue_.end()));
+      queue_.clear();
+    }
+    depth_gauge.set(0.0);
+
+    std::vector<Done> done = process_batch(std::move(batch), pool, cache);
+    {
+      const std::lock_guard lock(mutex_);
+      inflight_ -= done.size();
+      for (Done& d : done) completed_.push_back(std::move(d));
+    }
+    const char byte = 'c';
+    [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+std::vector<SocketServer::Done> SocketServer::process_batch(std::vector<Work> batch,
+                                                            ThreadPool& pool,
+                                                            ModelCache& cache) {
+  static Counter& requests_metric = metrics_counter("serve.requests");
+  static Counter& samples_metric = metrics_counter("serve.samples");
+  static Counter& errors_metric = metrics_counter("serve.errors");
+  static Histogram& latency_metric = metrics_histogram("serve.request_seconds");
+
+  struct Item {
+    ScoreRequest request;
+    std::string id_json = "null";
+    bool ready = false;  ///< response decided (parse error, or scored)
+    std::string response;
+  };
+  std::vector<Item> items(batch.size());
+  ServeStats delta;
+
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    Work& work = batch[k];
+    Item& item = items[k];
+    ++delta.requests;
+    requests_metric.add();
+    try {
+      if (work.oversized) {
+        throw ParseError(format("request line of %zu bytes exceeds the %zu-byte limit",
+                                work.bytes, options_.serve.max_request_bytes));
+      }
+      const TraceSpan span("serve.request",
+                           trace_armed() ? format("{\"bytes\": %zu}", work.line.size())
+                                         : std::string());
+      item.request = parse_score_request(work.line, options_.serve, cache, &item.id_json);
+    } catch (const std::exception& e) {
+      ++delta.errors;
+      errors_metric.add();
+      item.ready = true;
+      item.response = error_response(item.id_json, e.what());
+    }
+  }
+
+  // The full stdin-loop pipeline for one request (explain before score, same
+  // error envelope) — the non-coalesced path and the coalescing fallback.
+  auto score_single = [&](std::size_t k) {
+    Item& item = items[k];
+    try {
+      ScoreRequest& request = item.request;
+      const std::uint64_t samples = request.rows.rows();
+      std::vector<std::vector<NsContribution>> top;
+      if (request.top_k > 0) {
+        top = request.engine->explain(request.rows, request.top_k, pool);
+      }
+      const std::vector<double> ns = request.engine->score(std::move(request.rows), pool);
+      delta.samples += samples;
+      samples_metric.add(samples);
+      item.response = format_score_response(request, ns, top);
+    } catch (const std::exception& e) {
+      ++delta.errors;
+      errors_metric.add();
+      item.response = error_response(item.id_json, e.what());
+    }
+    item.ready = true;
+  };
+
+  // Coalesce: single-row scores-only requests for the same engine, drained
+  // in one sweep, score as one stacked Matrix. FracModel::score is per-row
+  // independent, so each response is bit-identical to scoring alone.
+  std::unordered_map<const ScoringEngine*, std::vector<std::size_t>> groups;
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    const Item& item = items[k];
+    if (item.ready || item.request.batch || item.request.top_k != 0 ||
+        item.request.rows.rows() != 1) {
+      continue;
+    }
+    groups[item.request.engine.get()].push_back(k);
+  }
+  for (const auto& [engine, members] : groups) {
+    if (members.size() < 2) continue;
+    // Copy (not move) each row into the stack so a failed group can fall
+    // back to per-request scoring with the rows intact.
+    Matrix stacked(members.size(), items[members[0]].request.rows.cols());
+    for (std::size_t r = 0; r < members.size(); ++r) {
+      const auto row = items[members[r]].request.rows.row(0);
+      std::copy(row.begin(), row.end(), stacked.row(r).begin());
+    }
+    try {
+      const std::vector<double> ns = engine->score(std::move(stacked), pool);
+      for (std::size_t r = 0; r < members.size(); ++r) {
+        Item& item = items[members[r]];
+        item.response =
+            format_score_response(item.request, std::span<const double>(&ns[r], 1), {});
+        item.ready = true;
+      }
+      delta.samples += members.size();
+      samples_metric.add(members.size());
+    } catch (const std::exception&) {
+      // Rare (numeric validation): reproduce the stdin loop's per-request
+      // outcome exactly by scoring members one at a time.
+      for (const std::size_t member : members) score_single(member);
+    }
+  }
+
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    if (!items[k].ready) score_single(k);
+  }
+
+  std::vector<Done> done(batch.size());
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    done[k].conn_id = batch[k].conn_id;
+    done[k].seq = batch[k].seq;
+    done[k].response = std::move(items[k].response);
+    latency_metric.observe(batch[k].wall.seconds());
+  }
+
+  const std::lock_guard lock(mutex_);
+  stats_.requests += delta.requests;
+  stats_.samples += delta.samples;
+  stats_.errors += delta.errors;
+  return done;
+}
+
+}  // namespace frac

@@ -1,0 +1,113 @@
+// TCP serving tier: the NDJSON protocol of serve/server.hpp over many
+// concurrent sockets.
+//
+// Two threads. The *loop thread* (the caller of run()) multiplexes the
+// listener, a wakeup pipe, and every connection through an EventLoop:
+// it accepts, frames lines (serve/connection.hpp), applies admission
+// control, and writes responses. The *scoring thread* drains the request
+// queue, parses each line with parse_score_request(), and scores on the
+// shared thread pool — so scoring never blocks the event loop, and socket
+// I/O never waits on a model.
+//
+// Coalescing: when one drain of the queue yields several single-row
+// scores-only requests for the same engine, their rows are stacked into one
+// Matrix and scored in a single engine call. FracModel::score computes each
+// row's NS independently (a per-row sum over units), so every response is
+// bit-identical to scoring the row alone — which is what makes the protocol
+// contract hold: byte-identical responses to the stdin loop, at any
+// connection count.
+//
+// Backpressure, both directions:
+//   - admission: at most max_inflight requests queued-or-scoring; beyond
+//     that a line is answered {"id":null,"error":"overloaded"} immediately
+//     (counted in serve.rejected) instead of buffering without bound.
+//   - read-side: a connection whose output buffer exceeds the high-water
+//     mark stops being read until the client drains it.
+// Responses are delivered per connection in request order regardless of
+// completion order (Connection's reorder map).
+//
+// Shutdown: request_stop() is async-signal-safe (atomic store + self-pipe
+// write) — the CLI calls it from the SIGTERM/SIGINT handler. The server
+// then stops accepting and reading, finishes every in-flight request,
+// flushes every response, and returns its ServeStats for the manifest.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "serve/model_cache.hpp"
+#include "serve/server.hpp"
+#include "util/stopwatch.hpp"
+
+namespace frac {
+
+struct SocketServerOptions {
+  std::string listen_addr = "127.0.0.1";  ///< IPv4 dotted quad to bind
+  std::uint16_t port = 0;                 ///< 0 = kernel-assigned (see port())
+  std::size_t max_connections = 256;      ///< beyond this, accepts are closed
+  std::size_t max_inflight = 1024;        ///< queued + scoring request cap
+  std::size_t output_high_water = 1u << 20;  ///< read-side backpressure bound
+  ServeOptions serve;
+};
+
+class SocketServer {
+ public:
+  /// Binds and listens (SO_REUSEADDR, non-blocking). Throws IoError when the
+  /// address cannot be bound.
+  explicit SocketServer(const SocketServerOptions& options);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// The bound port — the kernel's choice when options.port was 0.
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Serves until request_stop(), then drains and returns the totals.
+  /// Call at most once.
+  ServeStats run(ModelCache& cache, ThreadPool& pool);
+
+  /// Begins graceful shutdown. Async-signal-safe; callable from any thread.
+  void request_stop() noexcept;
+
+ private:
+  struct Work {
+    std::uint64_t conn_id = 0;
+    std::uint64_t seq = 0;
+    std::string line;
+    bool oversized = false;
+    std::size_t bytes = 0;  ///< original line length when oversized
+    WallStopwatch wall;     ///< started at line receipt (latency metric)
+  };
+  struct Done {
+    std::uint64_t conn_id = 0;
+    std::uint64_t seq = 0;
+    std::string response;
+  };
+
+  void scoring_main(ModelCache& cache, ThreadPool& pool);
+  std::vector<Done> process_batch(std::vector<Work> batch, ThreadPool& pool,
+                                  ModelCache& cache);
+
+  SocketServerOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::atomic<bool> stop_{false};
+
+  std::mutex mutex_;                 ///< guards the four fields below
+  std::condition_variable work_cv_;  ///< scoring thread sleeps here
+  std::deque<Work> queue_;
+  std::vector<Done> completed_;
+  std::size_t inflight_ = 0;  ///< queue_.size() + requests being scored
+  ServeStats stats_;
+};
+
+}  // namespace frac

@@ -23,6 +23,7 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <utility>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,7 @@
 #include "frac/preprojection.hpp"
 #include "ml/metrics.hpp"
 #include "serve/server.hpp"
+#include "serve/socket_server.hpp"
 #include "util/atomic_file.hpp"
 #include "util/errors.hpp"
 #include "util/manifest.hpp"
@@ -138,8 +140,8 @@ const std::vector<CommandSpec>& command_specs() {
        }},
       {"serve",
        "NDJSON scoring loop: one JSON request per stdin line, one response "
-       "per stdout line",
-       "--model M.fracmdl [--top-k K] [--cache N]",
+       "per stdout line — or over TCP with --listen",
+       "--model M.fracmdl [--top-k K] [--cache N] [--listen ADDR:PORT]",
        {
            {"model", FlagKind::kString, true, "FILE",
             "default model (requests may override with \"model\")"},
@@ -147,6 +149,14 @@ const std::vector<CommandSpec>& command_specs() {
             "include top-K NS contributions per sample (default 0: scores only)"},
            {"cache", FlagKind::kSize, false, "N",
             "max models kept resident across requests (default 4)"},
+           {"listen", FlagKind::kString, false, "ADDR:PORT",
+            "serve the same protocol over TCP (port 0 = kernel-assigned; "
+            "the bound address is printed on stderr)"},
+           {"max-connections", FlagKind::kSize, false, "N",
+            "concurrent connection cap for --listen (default 256)"},
+           {"max-inflight", FlagKind::kSize, false, "N",
+            "queued+scoring request cap for --listen; beyond it requests "
+            "get {\"error\":\"overloaded\"} (default 1024)"},
        }},
   };
   return kSpecs;
@@ -383,16 +393,24 @@ int cmd_detect(const ParsedFlags& args) {
 }
 
 volatile std::sig_atomic_t g_interrupted = 0;
+SocketServer* g_socket_server = nullptr;
 
-void handle_sigint(int) { g_interrupted = 1; }
+void handle_sigint(int) {
+  g_interrupted = 1;
+  // request_stop is async-signal-safe (atomic store + self-pipe write); the
+  // server drains in-flight requests and returns from run().
+  if (g_socket_server != nullptr) g_socket_server->request_stop();
+}
 
 /// Stop cleanly between grid cells on Ctrl-C: every finished cell is already
 /// checkpointed, so `frac grid --resume` picks up exactly where this left off.
-void install_sigint_handler() {
+/// `frac serve --listen` also routes SIGTERM here for a graceful drain.
+void install_sigint_handler(bool also_sigterm = false) {
   struct sigaction action {};
   action.sa_handler = handle_sigint;
   sigemptyset(&action.sa_mask);
   sigaction(SIGINT, &action, nullptr);
+  if (also_sigterm) sigaction(SIGTERM, &action, nullptr);
 }
 
 int cmd_grid(const ParsedFlags& args) {
@@ -471,6 +489,28 @@ int cmd_convert(const ParsedFlags& args) {
   return 0;
 }
 
+/// "ADDR:PORT" for --listen. An empty ADDR means every interface; the port
+/// may be 0 for a kernel-assigned one (printed on stderr once bound).
+std::pair<std::string, std::uint16_t> parse_listen_address(const std::string& value) {
+  const std::size_t colon = value.rfind(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument("--listen expects ADDR:PORT, got '" + value + "'");
+  }
+  std::string addr = value.substr(0, colon);
+  if (addr.empty()) addr = "0.0.0.0";
+  const std::string port_text = value.substr(colon + 1);
+  unsigned long port = 0;
+  try {
+    std::size_t used = 0;
+    port = std::stoul(port_text, &used);
+    if (used != port_text.size()) throw std::invalid_argument(port_text);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--listen: invalid port '" + port_text + "'");
+  }
+  if (port > 65535) throw std::invalid_argument("--listen: port " + port_text + " > 65535");
+  return {addr, static_cast<std::uint16_t>(port)};
+}
+
 int cmd_serve(const ParsedFlags& args) {
   ServeOptions options;
   options.default_model = args.require("model");
@@ -486,14 +526,40 @@ int cmd_serve(const ParsedFlags& args) {
             << (engine->bundle().zero_copy() ? "mmap zero-copy" : "heap-backed") << ")\n";
 
   ThreadPool& pool = ThreadPool::global();
-  const ServeStats stats = run_serve_loop(std::cin, std::cout, options, cache, pool);
+  ServeStats stats;
+  const auto listen = args.get("listen");
+  if (listen) {
+    SocketServerOptions socket_options;
+    std::tie(socket_options.listen_addr, socket_options.port) = parse_listen_address(*listen);
+    socket_options.max_connections = args.get_size("max-connections", 256);
+    socket_options.max_inflight = args.get_size("max-inflight", 1024);
+    socket_options.serve = options;
+
+    SocketServer server(socket_options);
+    std::cerr << "serve: listening on " << socket_options.listen_addr << ":" << server.port()
+              << "\n"
+              << std::flush;
+    g_socket_server = &server;
+    install_sigint_handler(/*also_sigterm=*/true);
+    stats = server.run(cache, pool);
+    g_socket_server = nullptr;
+    std::cerr << "serve: drained\n";
+  } else {
+    stats = run_serve_loop(std::cin, std::cout, options, cache, pool);
+  }
   std::cerr << "serve: " << stats.requests << " requests, " << stats.samples << " samples, "
-            << stats.errors << " errors\n";
+            << stats.errors << " errors";
+  if (listen) std::cerr << ", " << stats.rejected << " rejected";
+  std::cerr << "\n";
   if (g_manifest != nullptr) {
     g_manifest->set("serve.model", options.default_model);
     g_manifest->set_measured("serve.requests", stats.requests);
     g_manifest->set_measured("serve.samples", stats.samples);
     g_manifest->set_measured("serve.errors", stats.errors);
+    if (listen) {
+      g_manifest->set("serve.listen", *listen);
+      g_manifest->set_measured("serve.rejected", stats.rejected);
+    }
   }
   return 0;
 }

@@ -77,6 +77,16 @@ std::string json_escape(std::string_view text) {
   return out;
 }
 
+std::string format_g17(double value) {
+  // %.17g round-trips every finite double; to_chars(general, 17) is specified
+  // to produce exactly printf's "C"-locale bytes for the same conversion.
+  char buffer[32];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof buffer, value, std::chars_format::general, 17);
+  if (ec != std::errc{}) throw std::invalid_argument("format_g17: value does not fit");
+  return std::string(buffer, ptr);
+}
+
 std::string format(const char* fmt, ...) {
   va_list args;
   va_start(args, fmt);

@@ -26,6 +26,12 @@ bool starts_with(std::string_view text, std::string_view prefix);
 /// printf-style formatting into a std::string.
 std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// `value` as `%.17g` would print it in the "C" locale, via std::to_chars —
+/// byte-identical to printf on a "C"-locale process but immune to a linked
+/// library calling setlocale(LC_NUMERIC, ...): serve responses and score
+/// CSVs must stay valid (period decimal point) under any process locale.
+std::string format_g17(double value);
+
 /// Escapes `text` for inclusion inside a JSON string literal (quotes,
 /// backslashes, control characters). Used by the trace/metrics/manifest
 /// writers; does not add the surrounding quotes.

@@ -1,8 +1,10 @@
-// The serve loop's JSON parser: value coverage, escapes, error offsets.
+// The serve loop's JSON parser: value coverage, escapes, error offsets,
+// RFC 8259 number grammar, locale immunity, and surrogate-pair decoding.
 #include "serve/json.hpp"
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cmath>
 #include <string>
 
@@ -72,6 +74,120 @@ TEST(Json, RejectsMalformedDocuments) {
   for (const char* bad : {"", "{", "[1,", "\"unterminated", "{\"a\" 1}", "tru", "01", "+1",
                           "{\"a\":1,}", "[1,]", "nan"}) {
     EXPECT_THROW(parse_json(bad), ParseError) << "accepted: " << bad;
+  }
+}
+
+TEST(Json, RejectsNonRfc8259Numbers) {
+  // strtod accepted all of these; RFC 8259 §6 does not.
+  for (const char* bad : {"1.", ".5", "-.5", "1.e5", "1e", "1e+", "1E-", "-", "--1", "+1",
+                          "0x10", "1d4", "infinity", "00", "01.5"}) {
+    EXPECT_THROW(parse_json(bad), ParseError) << "accepted: " << bad;
+  }
+}
+
+TEST(Json, AcceptsTheFullRfc8259NumberGrammar) {
+  EXPECT_EQ(parse_json("0").as_number(), 0.0);
+  EXPECT_EQ(parse_json("-0").as_number(), 0.0);
+  EXPECT_TRUE(std::signbit(parse_json("-0").as_number()));
+  EXPECT_EQ(parse_json("0.5").as_number(), 0.5);
+  EXPECT_EQ(parse_json("10").as_number(), 10.0);
+  EXPECT_EQ(parse_json("1e5").as_number(), 1e5);
+  EXPECT_EQ(parse_json("1E+5").as_number(), 1e5);
+  EXPECT_EQ(parse_json("12.25e-3").as_number(), 12.25e-3);
+  EXPECT_EQ(parse_json("0e0").as_number(), 0.0);
+  EXPECT_EQ(parse_json("1.7976931348623157e308").as_number(), 1.7976931348623157e308);
+  EXPECT_EQ(parse_json("5e-324").as_number(), 5e-324);  // smallest subnormal
+}
+
+TEST(Json, OutOfRangeNumbersSaturateLikeStrtod) {
+  // Out-of-range magnitudes keep strtod's contract: overflow to ±HUGE_VAL,
+  // underflow to ±0 — from_chars alone leaves the value unset on ERANGE.
+  EXPECT_EQ(parse_json("1e999").as_number(), HUGE_VAL);
+  EXPECT_EQ(parse_json("-1e999").as_number(), -HUGE_VAL);
+  EXPECT_EQ(parse_json("1e-999").as_number(), 0.0);
+  EXPECT_TRUE(std::signbit(parse_json("-1e-999").as_number()));
+  // The exponent estimate must weigh the mantissa's leading zeros/digits.
+  EXPECT_EQ(parse_json("0.0001e312").as_number(), 1e308);
+  EXPECT_EQ(parse_json("1000e305").as_number(), 1e308);
+  EXPECT_EQ(parse_json("0e999").as_number(), 0.0);
+  EXPECT_EQ(parse_json("0.0e-999").as_number(), 0.0);
+}
+
+/// Applies a decimal-comma locale for the scope, or skips the test when the
+/// container has none installed.
+class CommaLocaleGuard {
+ public:
+  CommaLocaleGuard() {
+    previous_ = std::setlocale(LC_NUMERIC, nullptr);
+    for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8", "fr_FR.utf8",
+                             "it_IT.UTF-8", "es_ES.UTF-8"}) {
+      if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+        active_ = true;
+        return;
+      }
+    }
+  }
+  ~CommaLocaleGuard() { std::setlocale(LC_NUMERIC, previous_.c_str()); }
+  bool active() const { return active_; }
+
+ private:
+  std::string previous_;
+  bool active_ = false;
+};
+
+TEST(Json, NumbersAreLocaleIndependent) {
+  // A linked library calling setlocale(LC_NUMERIC, "de_DE") must not corrupt
+  // the protocol: strtod/%.17g honor the locale ('.' becomes ','), the
+  // from_chars/to_chars paths do not.
+  const CommaLocaleGuard guard;
+  if (!guard.active()) GTEST_SKIP() << "no decimal-comma locale installed";
+  EXPECT_EQ(parse_json("2.5").as_number(), 2.5);
+  EXPECT_EQ(parse_json("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(parse_json("2.5").dump(), "2.5");
+  EXPECT_EQ(parse_json("0.30000000000000004").dump(), "0.30000000000000004");
+  EXPECT_THROW(parse_json("2,5"), ParseError);
+}
+
+TEST(Json, SurrogatePairsDecodeToSupplementaryPlanes) {
+  // \ud83d\ude00 is U+1F600 (😀): one code point, 4-byte UTF-8.
+  EXPECT_EQ(parse_json("\"\\ud83d\\ude00\"").as_string(), "\xf0\x9f\x98\x80");
+  EXPECT_EQ(parse_json("\"\\uD83D\\uDE00\"").as_string(), "\xf0\x9f\x98\x80");
+  // U+10000, the first supplementary code point.
+  EXPECT_EQ(parse_json("\"\\ud800\\udc00\"").as_string(), "\xf0\x90\x80\x80");
+  // U+10FFFF, the last.
+  EXPECT_EQ(parse_json("\"\\udbff\\udfff\"").as_string(), "\xf4\x8f\xbf\xbf");
+  // Pairs embedded in surrounding text.
+  EXPECT_EQ(parse_json("\"a\\ud83d\\ude00b\"").as_string(), "a\xf0\x9f\x98\x80" "b");
+}
+
+TEST(Json, LoneSurrogatesBecomeReplacementCharacters) {
+  const std::string replacement = "\xef\xbf\xbd";  // U+FFFD
+  EXPECT_EQ(parse_json("\"\\ud83d\"").as_string(), replacement);
+  EXPECT_EQ(parse_json("\"\\udc00\"").as_string(), replacement);  // low alone
+  EXPECT_EQ(parse_json("\"\\ud83dx\"").as_string(), replacement + "x");
+  // High surrogate followed by a non-surrogate escape: the second escape
+  // must still decode on its own.
+  EXPECT_EQ(parse_json("\"\\ud83d\\u0041\"").as_string(), replacement + "A");
+  // Two high surrogates: two replacements.
+  EXPECT_EQ(parse_json("\"\\ud83d\\ud83d\"").as_string(), replacement + replacement);
+}
+
+TEST(Json, SurrogatePairsSurviveDumpRoundTrips) {
+  const JsonValue v = parse_json("\"\\ud83d\\ude00 ok\"");
+  EXPECT_EQ(parse_json(v.dump()).as_string(), v.as_string());
+}
+
+TEST(Json, DumpParseDumpIsAFixedPoint) {
+  // dump(parse(dump(x))) == dump(x): the printed form must re-parse to the
+  // same value and re-print identically, for every value shape at once.
+  for (const char* text :
+       {"0.30000000000000004", "-0", "5e-324", "1.7976931348623157e308", "42",
+        "-12345678901234567", "1e-7", "[1,2.5,null,true,false]",
+        R"({"a":[0.1,{"b":"x\"y"},[]],"c":-0.25})", "\"\\ud83d\\ude00\"", "[[[]]]",
+        R"({"deep":{"deeper":{"n":6.02e23}}})"}) {
+    const std::string once = parse_json(text).dump();
+    const std::string twice = parse_json(once).dump();
+    EXPECT_EQ(twice, once) << "not a fixed point for: " << text;
   }
 }
 

@@ -20,6 +20,7 @@
 #include "serve/scoring_engine.hpp"
 #include "serve/server.hpp"
 #include "util/errors.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace frac {
@@ -202,6 +203,103 @@ TEST(ModelCache, IdenticalRewriteKeepsTheEngineChangedContentSwapsIt) {
   std::remove(path.c_str());
 }
 
+TEST(ModelCache, ColdStampedeLoadsOnceAndSharesTheEngine) {
+  // N threads miss on the same path at once: single-flight must run exactly
+  // one load, with every caller handed the same engine.
+  const std::string path = ::testing::TempDir() + "cache_stampede.fracmdl";
+  fixture().model.save_file(path, ModelFormat::kBinary);
+  Counter& misses = metrics_counter("serve.model_cache.misses");
+  const std::uint64_t misses_before = misses.value();
+
+  ModelCache cache(4);
+  constexpr int kThreads = 8;
+  std::atomic<int> ready{0};
+  std::vector<std::shared_ptr<const ScoringEngine>> engines(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        ready.fetch_add(1);
+        while (ready.load() < kThreads) {
+        }  // barrier: all threads reach get() together
+        engines[t] = cache.get(path);
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(engines[t].get(), engines[0].get()) << "thread " << t << " got its own load";
+  }
+  EXPECT_EQ(misses.value() - misses_before, 1u)
+      << "a cold-path stampede must open the bundle exactly once";
+  EXPECT_EQ(cache.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ModelCache, FileSwappedBetweenStatAndOpenIsCachedUnderItsRealIdentity) {
+  // TOCTOU: the file is replaced after the flight's stat but before the
+  // open. The cache must key the entry by the *post-open* identity — so the
+  // very next get() is a hit, not a spurious reload of the swapped file.
+  const std::string path = ::testing::TempDir() + "cache_toctou.fracmdl";
+  fixture().model.save_file(path, ModelFormat::kBinary);
+
+  // A different model (different seed → different bytes and size).
+  ExpressionModelConfig c;
+  c.features = 20;
+  c.modules = 2;
+  c.genes_per_module = 5;
+  c.disease_modules = 1;
+  c.seed = 99;
+  Rng rng(199);
+  const FracModel other =
+      FracModel::train(ExpressionModel(c).sample(22, Label::kNormal, rng), {}, pool());
+
+  ModelCache cache(4);
+  std::atomic<int> swaps{0};
+  cache.set_test_hook_after_stat([&] {
+    if (swaps.fetch_add(1) == 0) other.save_file(path, ModelFormat::kBinary);
+  });
+  const auto loaded = cache.get(path);
+  cache.set_test_hook_after_stat(nullptr);
+
+  Counter& misses = metrics_counter("serve.model_cache.misses");
+  Counter& reloads = metrics_counter("serve.model_cache.reloads");
+  const std::uint64_t misses_before = misses.value();
+  const std::uint64_t reloads_before = reloads.value();
+  const auto again = cache.get(path);
+  EXPECT_EQ(again.get(), loaded.get())
+      << "entry was cached under the pre-swap identity (stat/open race)";
+  EXPECT_EQ(misses.value(), misses_before);
+  EXPECT_EQ(reloads.value(), reloads_before);
+  std::remove(path.c_str());
+}
+
+TEST(ModelCache, FailedLoadPropagatesToEveryStampedingCaller) {
+  const std::string path = ::testing::TempDir() + "cache_absent.fracmdl";
+  ModelCache cache(2);
+  constexpr int kThreads = 4;
+  std::atomic<int> ready{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {
+      }
+      try {
+        (void)cache.get(path);
+      } catch (const IoError&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), kThreads);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
 ServeStats run_lines(const std::string& input, const ServeOptions& options, std::string* output) {
   ModelCache cache(2);
   std::istringstream in(input);
@@ -306,6 +404,82 @@ TEST(ServeLoop, BadLinesYieldErrorResponsesAndTheLoopContinues) {
   ASSERT_TRUE(std::getline(lines, line));
   ASSERT_NE(parse_json(line).find("ns"), nullptr) << line;
   EXPECT_FALSE(std::getline(lines, line)) << "unexpected extra output: " << line;
+}
+
+TEST(ServeLoop, EofMidLineStillScoresTheFinalLine) {
+  // getline yields a final unterminated line; it must be served, not lost.
+  std::string zeros = "0";
+  for (int j = 1; j < 20; ++j) zeros += ",0";
+  std::string output;
+  const ServeStats stats =
+      run_lines("{\"id\":3,\"values\":[" + zeros + "]}", {fixture().path, 0}, &output);
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.errors, 0u);
+  const JsonValue response = parse_json(output);
+  EXPECT_EQ(response.find("id")->as_number(), 3.0);
+  EXPECT_NE(response.find("ns"), nullptr) << output;
+}
+
+TEST(ServeLoop, OversizedRequestLineIsRejectedNotScored) {
+  ServeOptions options{fixture().path, 0};
+  options.max_request_bytes = 64;
+  std::string zeros = "0";
+  for (int j = 1; j < 20; ++j) zeros += ",0";
+  const std::string long_line =
+      "{\"id\":1,\"values\":[" + zeros + "],\"pad\":\"" + std::string(100, 'x') + "\"}";
+  std::string output;
+  const ServeStats stats =
+      run_lines(long_line + "\n{\"id\":2,\"values\":[" + zeros + "]}\n", options, &output);
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.errors, 1u);
+
+  std::istringstream lines(output);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  const JsonValue error = parse_json(line);
+  ASSERT_NE(error.find("error"), nullptr) << line;
+  EXPECT_NE(error.find("error")->as_string().find("exceeds"), std::string::npos);
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(parse_json(line).find("ns"), nullptr) << "loop died after oversized line";
+}
+
+TEST(ServeLoop, TopKBeyondFeatureCountClampsToEveryFeature) {
+  std::string zeros = "0";
+  for (int j = 1; j < 20; ++j) zeros += ",0";
+  std::string output;
+  const ServeStats stats = run_lines(
+      "{\"id\":0,\"values\":[" + zeros + "],\"top_k\":1000}\n", {fixture().path, 0}, &output);
+  EXPECT_EQ(stats.errors, 0u) << output;
+  const JsonValue response = parse_json(output);
+  ASSERT_NE(response.find("top"), nullptr) << output;
+  const auto& top = response.find("top")->as_array();
+  EXPECT_LE(top.size(), 20u);
+  EXPECT_GE(top.size(), 1u);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].find("ns")->as_number(), top[i].find("ns")->as_number());
+  }
+}
+
+TEST(ServeLoop, BatchRowsMayMixArrayAndObjectForms) {
+  // Row 1 positional, row 2 named: the named row with every feature present
+  // must score identically to the positional one.
+  const auto& schema = fixture().model.schema();
+  std::string zeros = "0";
+  std::string named = "\"" + schema[0].name + "\":0";
+  for (int j = 1; j < 20; ++j) {
+    zeros += ",0";
+    named += ",\"" + schema[static_cast<std::size_t>(j)].name + "\":0";
+  }
+  std::string output;
+  const ServeStats stats = run_lines(
+      "{\"id\":0,\"batch\":[[" + zeros + "],{" + named + "}]}\n", {fixture().path, 0}, &output);
+  EXPECT_EQ(stats.errors, 0u) << output;
+  EXPECT_EQ(stats.samples, 2u);
+  const JsonValue response = parse_json(output);
+  const auto& ns = response.find("ns")->as_array();
+  ASSERT_EQ(ns.size(), 2u);
+  EXPECT_EQ(ns[0].as_number(), ns[1].as_number())
+      << "named row diverged from the equivalent positional row";
 }
 
 TEST(ServeLoop, NullCellsAreMissingValues) {

@@ -1,0 +1,505 @@
+// The TCP serving tier: event-loop readiness, connection framing, and the
+// SocketServer's contract — byte-identical responses to the stdin loop at
+// any connection count, in-order delivery, overload rejection, connection
+// caps, and graceful drain via request_stop().
+#include "serve/socket_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "data/expression_generator.hpp"
+#include "frac/frac.hpp"
+#include "serve/connection.hpp"
+#include "serve/event_loop.hpp"
+#include "serve/json.hpp"
+#include "serve/server.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+
+namespace frac {
+namespace {
+
+ThreadPool& pool() {
+  static ThreadPool p(4);
+  return p;
+}
+
+struct Fixture {
+  FracModel model;
+  Dataset test;
+  std::string path;
+};
+
+const Fixture& fixture() {
+  static const Fixture f = [] {
+    ExpressionModelConfig c;
+    c.features = 20;
+    c.modules = 2;
+    c.genes_per_module = 5;
+    c.disease_modules = 1;
+    c.seed = 71;
+    const ExpressionModel gen(c);
+    Rng rng(171);
+    const Dataset train = gen.sample(25, Label::kNormal, rng);
+    Fixture built{FracModel::train(train, {}, pool()),
+                  gen.sample(10, Label::kAnomaly, rng),
+                  ::testing::TempDir() + "socket_fixture.fracmdl"};
+    built.model.save_file(built.path, ModelFormat::kBinary);
+    return built;
+  }();
+  return f;
+}
+
+std::vector<std::string> fixture_request_lines() {
+  std::vector<std::string> lines;
+  for (std::size_t i = 0; i < fixture().test.sample_count(); ++i) {
+    const auto row = fixture().test.values().row(i);
+    std::string line = "{\"id\":" + std::to_string(i) + ",\"values\":[";
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (j != 0) line.push_back(',');
+      line += format_g17(row[j]);
+    }
+    line += "]}";
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+/// The stdin loop's exact output for these lines — the reference the socket
+/// path must reproduce byte for byte.
+std::string stdin_loop_output(const std::vector<std::string>& lines,
+                              const ServeOptions& options) {
+  std::string input;
+  for (const std::string& line : lines) input += line + "\n";
+  ModelCache cache(2);
+  std::istringstream in(input);
+  std::ostringstream out;
+  (void)run_serve_loop(in, out, options, cache, pool());
+  return out.str();
+}
+
+int connect_to(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads exactly `count` '\n'-terminated lines (newlines included).
+std::string read_lines(int fd, std::size_t count) {
+  std::string buffer;
+  std::size_t newlines = 0;
+  char chunk[4096];
+  while (newlines < count) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) break;
+    for (ssize_t k = 0; k < n; ++k) {
+      if (chunk[k] == '\n') ++newlines;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  return buffer;
+}
+
+/// A running server + the plumbing every test needs; stops on destruction.
+struct RunningServer {
+  explicit RunningServer(SocketServerOptions options)
+      : cache(4), server(options), thread([this] { stats = server.run(cache, pool()); }) {}
+  ~RunningServer() {
+    if (thread.joinable()) {
+      server.request_stop();
+      thread.join();
+    }
+  }
+  ServeStats stop_and_join() {
+    server.request_stop();
+    thread.join();
+    return stats;
+  }
+
+  ModelCache cache;
+  SocketServer server;
+  std::thread thread;
+  ServeStats stats;
+};
+
+SocketServerOptions base_options() {
+  SocketServerOptions options;
+  options.port = 0;  // ephemeral
+  options.serve.default_model = fixture().path;
+  return options;
+}
+
+TEST(EventLoop, ReportsPipeReadiness) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  EventLoop loop;
+  loop.add(fds[0], true, false);
+  EXPECT_EQ(loop.wait(0).size(), 0u) << "empty pipe reported readable";
+
+  ASSERT_EQ(::write(fds[1], "x", 1), 1);
+  const auto& ready = loop.wait(1000);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0].fd, fds[0]);
+  EXPECT_TRUE(ready[0].readable);
+
+  loop.modify(fds[0], false, false);
+  EXPECT_EQ(loop.wait(0).size(), 0u) << "interest cleared but still notified";
+
+  loop.remove(fds[0]);
+  EXPECT_EQ(loop.watched(), 0u);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+#ifdef __linux__
+TEST(EventLoop, UsesEpollOnLinux) {
+  EventLoop loop;
+  EXPECT_TRUE(loop.using_epoll());
+}
+#endif
+
+TEST(Connection, FramesLinesAcrossPartialReads) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Connection conn(fds[0], 1, 1024);
+  ASSERT_EQ(::write(fds[1], "alpha\nbra", 9), 9);
+  ASSERT_TRUE(conn.read_some());
+  auto first = conn.next_line();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->text, "alpha");
+  EXPECT_EQ(first->seq, 0u);
+  EXPECT_FALSE(conn.next_line().has_value()) << "partial line emitted early";
+
+  ASSERT_EQ(::write(fds[1], "vo\r\n", 4), 4);
+  ASSERT_TRUE(conn.read_some());
+  auto second = conn.next_line();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->text, "bravo") << "CRLF not stripped";
+  ::close(fds[1]);  // fds[0] owned by conn
+}
+
+TEST(Connection, EofMidLineEmitsTheFinalLineOnce) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Connection conn(fds[0], 1, 1024);
+  ASSERT_EQ(::write(fds[1], "unterminated", 12), 12);
+  ::close(fds[1]);
+  EXPECT_TRUE(conn.read_some());   // the buffered bytes
+  EXPECT_FALSE(conn.read_some());  // EOF
+  auto line = conn.next_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(line->text, "unterminated");
+  EXPECT_FALSE(conn.next_line().has_value()) << "final line emitted twice";
+  EXPECT_TRUE(conn.saw_eof());
+}
+
+TEST(Connection, OversizedLineIsDiscardedWithExactByteCount) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Connection conn(fds[0], 1, 16);
+  const std::string big(100, 'x');
+  ASSERT_EQ(::write(fds[1], (big + "\nok\n").c_str(), big.size() + 4),
+            static_cast<ssize_t>(big.size() + 4));
+  ASSERT_TRUE(conn.read_some());
+  auto marker = conn.next_line();
+  ASSERT_TRUE(marker.has_value());
+  EXPECT_TRUE(marker->oversized);
+  EXPECT_EQ(marker->bytes, big.size()) << "error must name the stdin loop's line length";
+  EXPECT_TRUE(marker->text.empty());
+  auto after = conn.next_line();
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->text, "ok") << "connection did not recover after the oversized line";
+  ::close(fds[1]);
+}
+
+TEST(Connection, OversizedLineSpanningManyReadsIsCountedInFull) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Connection conn(fds[0], 1, 8);
+  std::size_t total = 0;
+  for (int part = 0; part < 5; ++part) {
+    const std::string piece(40, static_cast<char>('a' + part));
+    ASSERT_TRUE(send_all(fds[1], piece));
+    total += piece.size();
+    ASSERT_TRUE(conn.read_some());
+    EXPECT_FALSE(conn.next_line().has_value()) << "marker emitted before the newline";
+  }
+  ASSERT_TRUE(send_all(fds[1], "\n"));
+  ASSERT_TRUE(conn.read_some());
+  auto marker = conn.next_line();
+  ASSERT_TRUE(marker.has_value());
+  EXPECT_TRUE(marker->oversized);
+  EXPECT_EQ(marker->bytes, total);
+  ::close(fds[1]);
+}
+
+TEST(Connection, DeliverReordersOutOfOrderResponses) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Connection conn(fds[0], 1, 1024);
+  ASSERT_EQ(::write(fds[1], "a\nb\nc\n", 6), 6);
+  ASSERT_TRUE(conn.read_some());
+  while (conn.next_line().has_value()) {
+  }
+  EXPECT_EQ(conn.undelivered(), 3u);
+
+  conn.deliver(2, "third");
+  conn.deliver(0, "first");
+  ASSERT_TRUE(conn.flush());
+  char buffer[64] = {};
+  EXPECT_EQ(::read(fds[1], buffer, sizeof buffer), 6);  // "first\n" only
+  EXPECT_STREQ(buffer, "first\n");
+
+  conn.deliver(1, "second");
+  ASSERT_TRUE(conn.flush());
+  char rest[64] = {};
+  EXPECT_EQ(::read(fds[1], rest, sizeof rest), 13);  // "second\nthird\n"
+  EXPECT_STREQ(rest, "second\nthird\n");
+  EXPECT_EQ(conn.undelivered(), 0u);
+  ::close(fds[1]);
+}
+
+TEST(SocketServer, ByteIdenticalToStdinLoopAcross32Connections) {
+  const std::vector<std::string> lines = fixture_request_lines();
+  SocketServerOptions options = base_options();
+  const std::string expected = stdin_loop_output(lines, options.serve);
+  ASSERT_FALSE(expected.empty());
+
+  RunningServer running(options);
+  constexpr int kClients = 32;
+  std::vector<std::string> got(kClients);
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        const int fd = connect_to(running.server.port());
+        if (fd < 0) return;
+        std::string input;
+        for (const std::string& line : lines) input += line + "\n";
+        if (send_all(fd, input)) got[c] = read_lines(fd, lines.size());
+        ::close(fd);
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(got[c], expected) << "client " << c << " diverged from the stdin loop";
+  }
+  const ServeStats stats = running.stop_and_join();
+  EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(kClients) * lines.size());
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST(SocketServer, MixedRequestShapesMatchTheStdinLoop) {
+  // Batches, named values, top_k, bad lines: one pipelined stream of every
+  // request shape must come back byte-identical and in order.
+  const auto& schema = fixture().model.schema();
+  std::string zeros = "0";
+  for (int j = 1; j < 20; ++j) zeros += ",0";
+  const std::vector<std::string> lines = {
+      "{\"id\":\"b\",\"batch\":[[" + zeros + "],[" + zeros + "]]}",
+      "{\"id\":\"n\",\"values\":{\"" + schema[0].name + "\":1.5}}",
+      "not json at all",
+      "{\"id\":\"k\",\"values\":[" + zeros + "],\"top_k\":3}",
+      "{\"id\":9,\"values\":[1,2]}",
+  };
+  SocketServerOptions options = base_options();
+  const std::string expected = stdin_loop_output(lines, options.serve);
+
+  RunningServer running(options);
+  const int fd = connect_to(running.server.port());
+  ASSERT_GE(fd, 0);
+  std::string input;
+  for (const std::string& line : lines) input += line + "\n";
+  ASSERT_TRUE(send_all(fd, input));
+  EXPECT_EQ(read_lines(fd, lines.size()), expected);
+  ::close(fd);
+}
+
+TEST(SocketServer, OverloadRepliesOverloadedAndKeepsOrder) {
+  SocketServerOptions options = base_options();
+  options.max_inflight = 1;
+
+  // One expensive request followed by a flood, written in a single send: the
+  // flood reaches the loop while the big batch still occupies the queue, so
+  // rejections are deterministic.
+  std::string zeros = "0";
+  for (int j = 1; j < 20; ++j) zeros += ",0";
+  std::string big_batch = "{\"id\":0,\"batch\":[[" + zeros + "]";
+  for (int r = 1; r < 400; ++r) big_batch += ",[" + zeros + "]";
+  big_batch += "],\"top_k\":3}";
+
+  constexpr std::size_t kFlood = 40;
+  std::string input = big_batch + "\n";
+  for (std::size_t k = 0; k < kFlood; ++k) {
+    input += "{\"id\":" + std::to_string(k + 1) + ",\"values\":[" + zeros + "]}\n";
+  }
+
+  RunningServer running(options);
+  const int fd = connect_to(running.server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(send_all(fd, input));
+  const std::string output = read_lines(fd, kFlood + 1);
+  ::close(fd);
+
+  std::istringstream lines(output);
+  std::string line;
+  std::size_t responses = 0;
+  std::size_t overloaded = 0;
+  bool first_ok = false;
+  while (std::getline(lines, line)) {
+    const JsonValue response = parse_json(line);
+    const JsonValue* error = response.find("error");
+    if (responses == 0) first_ok = error == nullptr && response.find("ns") != nullptr;
+    if (error != nullptr && error->as_string() == "overloaded") ++overloaded;
+    ++responses;
+  }
+  EXPECT_EQ(responses, kFlood + 1) << "every request must get a response";
+  EXPECT_TRUE(first_ok) << "the admitted request must still succeed";
+  EXPECT_GE(overloaded, 1u) << "no overload rejection under a full queue";
+
+  const ServeStats stats = running.stop_and_join();
+  EXPECT_EQ(stats.rejected, overloaded);
+}
+
+TEST(SocketServer, GracefulStopDrainsInFlightRequests) {
+  SocketServerOptions options = base_options();
+  std::string zeros = "0";
+  for (int j = 1; j < 20; ++j) zeros += ",0";
+  std::string batch = "{\"id\":0,\"batch\":[[" + zeros + "]";
+  for (int r = 1; r < 300; ++r) batch += ",[" + zeros + "]";
+  batch += "],\"top_k\":5}\n";
+
+  RunningServer running(options);
+  const int fd = connect_to(running.server.port());
+  ASSERT_GE(fd, 0);
+  // Stop once the request is admitted (serve.requests ticks at the start of
+  // processing) so the drain, not the accept path, is what's under test:
+  // the response must still be delivered before run() returns.
+  Counter& admitted = metrics_counter("serve.requests");
+  const std::uint64_t before = admitted.value();
+  ASSERT_TRUE(send_all(fd, batch));
+  while (admitted.value() == before) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  running.server.request_stop();
+  const std::string output = read_lines(fd, 1);
+  ::close(fd);
+  const ServeStats stats = running.stop_and_join();
+
+  ASSERT_FALSE(output.empty()) << "in-flight request dropped on shutdown";
+  const JsonValue response = parse_json(output);
+  EXPECT_EQ(response.find("error"), nullptr) << output;
+  ASSERT_NE(response.find("ns"), nullptr);
+  EXPECT_EQ(response.find("ns")->as_array().size(), 300u);
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.samples, 300u);
+}
+
+TEST(SocketServer, EofMidLineScoresTheFinalLine) {
+  SocketServerOptions options = base_options();
+  RunningServer running(options);
+  const int fd = connect_to(running.server.port());
+  ASSERT_GE(fd, 0);
+  std::string zeros = "0";
+  for (int j = 1; j < 20; ++j) zeros += ",0";
+  ASSERT_TRUE(send_all(fd, "{\"id\":7,\"values\":[" + zeros + "]}"));  // no '\n'
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+  const std::string output = read_lines(fd, 1);
+  const JsonValue response = parse_json(output);
+  EXPECT_EQ(response.find("id")->as_number(), 7.0);
+  EXPECT_NE(response.find("ns"), nullptr) << output;
+  // After the answer the server closes its side too.
+  char byte;
+  EXPECT_EQ(::read(fd, &byte, 1), 0);
+  ::close(fd);
+}
+
+TEST(SocketServer, OversizedLineGetsTheStdinLoopsError) {
+  SocketServerOptions options = base_options();
+  options.serve.max_request_bytes = 128;
+  const std::string big(1000, 'x');
+
+  // The stdin loop's exact message for the same line.
+  const std::string expected = stdin_loop_output({big}, options.serve);
+
+  RunningServer running(options);
+  const int fd = connect_to(running.server.port());
+  ASSERT_GE(fd, 0);
+  std::string zeros = "0";
+  for (int j = 1; j < 20; ++j) zeros += ",0";
+  ASSERT_TRUE(send_all(fd, big + "\n{\"id\":1,\"values\":[" + zeros + "]}\n"));
+  const std::string output = read_lines(fd, 2);
+  ::close(fd);
+
+  std::istringstream lines(output);
+  std::string first, second;
+  ASSERT_TRUE(std::getline(lines, first));
+  ASSERT_TRUE(std::getline(lines, second));
+  EXPECT_EQ(first + "\n", expected);
+  EXPECT_NE(first.find("exceeds"), std::string::npos) << first;
+  EXPECT_NE(parse_json(second).find("ns"), nullptr)
+      << "connection unusable after oversized line: " << second;
+}
+
+TEST(SocketServer, ClosesConnectionsBeyondTheCap) {
+  SocketServerOptions options = base_options();
+  options.max_connections = 1;
+  RunningServer running(options);
+
+  const int first = connect_to(running.server.port());
+  ASSERT_GE(first, 0);
+  // Make sure the server has actually accepted the first connection before
+  // the second arrives (accept order is the kernel queue order).
+  std::string zeros = "0";
+  for (int j = 1; j < 20; ++j) zeros += ",0";
+  ASSERT_TRUE(send_all(first, "{\"id\":0,\"values\":[" + zeros + "]}\n"));
+  ASSERT_FALSE(read_lines(first, 1).empty());
+
+  const int second = connect_to(running.server.port());
+  ASSERT_GE(second, 0);
+  char byte;
+  EXPECT_EQ(::read(second, &byte, 1), 0) << "over-cap connection not closed";
+  ::close(second);
+  ::close(first);
+}
+
+TEST(SocketServer, StopBeforeAnyConnectionReturnsCleanly) {
+  SocketServerOptions options = base_options();
+  RunningServer running(options);
+  const ServeStats stats = running.stop_and_join();
+  EXPECT_EQ(stats.requests, 0u);
+}
+
+}  // namespace
+}  // namespace frac

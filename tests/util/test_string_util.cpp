@@ -53,5 +53,15 @@ TEST(Format, PrintfStyle) {
   EXPECT_EQ(format("%.2f", 1.234), "1.23");
 }
 
+TEST(FormatG17, ByteIdenticalToPrintfG17) {
+  // The serving protocol's number printer: must match %.17g in the C locale
+  // bit for bit (to_chars general/17 is specified to), while staying immune
+  // to setlocale. Round-trip identity is what the serve contract rests on.
+  for (const double value : {0.0, -0.0, 1.0, -1.5, 0.1 + 0.2, 1e-300, -2.5e17,
+                             1.7976931348623157e308, 5e-324, 123456789.0, 3.14}) {
+    EXPECT_EQ(format_g17(value), format("%.17g", value)) << value;
+  }
+}
+
 }  // namespace
 }  // namespace frac
