@@ -56,56 +56,59 @@ bool Connection::read_some() {
 }
 
 std::optional<Connection::Line> Connection::next_line() {
-  if (oversize_done_) {
-    oversize_done_ = false;
-    Line line;
-    line.seq = next_seq_to_issue_++;
-    line.oversized = true;
-    line.bytes = discarded_;
-    discarded_ = 0;
-    return line;
-  }
-  if (discarding_) return std::nullopt;  // still swallowing the oversized line
-
-  const std::size_t nl = in_.find('\n', scan_from_);
-  if (nl == std::string::npos) {
-    scan_from_ = in_.size();
-    // An unterminated line that outgrew the limit must not buffer without
-    // bound: switch to counting-and-dropping until its newline arrives.
-    if (in_.size() > max_line_bytes_) {
-      discarded_ = in_.size();
-      in_.clear();
-      scan_from_ = 0;
-      discarding_ = true;
-      return std::nullopt;
+  for (;;) {
+    if (oversize_done_) {
+      oversize_done_ = false;
+      Line line;
+      line.seq = next_seq_to_issue_++;
+      line.oversized = true;
+      line.bytes = discarded_;
+      discarded_ = 0;
+      return line;
     }
-    if (saw_eof_ && !in_.empty() && !eof_line_emitted_) {
+    if (discarding_) return std::nullopt;  // still swallowing the oversized line
+
+    std::string text;
+    const std::size_t nl = in_.find('\n', scan_from_);
+    if (nl == std::string::npos) {
+      scan_from_ = in_.size();
+      // An unterminated line that outgrew the limit must not buffer without
+      // bound: switch to counting-and-dropping until its newline arrives.
+      if (in_.size() > max_line_bytes_) {
+        discarded_ = in_.size();
+        in_.clear();
+        scan_from_ = 0;
+        discarding_ = true;
+        return std::nullopt;
+      }
+      if (!saw_eof_ || in_.empty() || eof_line_emitted_) return std::nullopt;
       // EOF mid-line: the stdin loop's getline yields the final unterminated
       // line, so the socket framing does too.
       eof_line_emitted_ = true;
-      Line line;
-      line.seq = next_seq_to_issue_++;
-      line.text = std::move(in_);
+      text = std::move(in_);
       in_.clear();
       scan_from_ = 0;
-      line.bytes = line.text.size();
-      return line;
+    } else {
+      text = in_.substr(0, nl);
+      in_.erase(0, nl + 1);
+      scan_from_ = 0;
     }
-    return std::nullopt;
-  }
 
-  Line line;
-  line.seq = next_seq_to_issue_++;
-  line.text = in_.substr(0, nl);
-  in_.erase(0, nl + 1);
-  scan_from_ = 0;
-  if (!line.text.empty() && line.text.back() == '\r') line.text.pop_back();
-  line.bytes = line.text.size();
-  if (line.text.size() > max_line_bytes_) {
-    line.text.clear();
-    line.oversized = true;
+    if (!text.empty() && text.back() == '\r') text.pop_back();
+    // Blank keepalives are dropped here, before a sequence number is issued:
+    // a seq with no response would wedge the in-order delivery map forever.
+    if (text.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    Line line;
+    line.seq = next_seq_to_issue_++;
+    line.bytes = text.size();
+    if (text.size() > max_line_bytes_) {
+      line.oversized = true;
+    } else {
+      line.text = std::move(text);
+    }
+    return line;
   }
-  return line;
 }
 
 void Connection::deliver(std::uint64_t seq, std::string response) {

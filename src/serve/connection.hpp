@@ -51,7 +51,9 @@ class Connection {
   /// Next complete line from the input buffer, stripped of '\n' (and a
   /// trailing '\r'); nullopt when no full line is buffered. After EOF a
   /// final unterminated line is returned once (EOF-mid-line behaves like the
-  /// stdin loop's getline).
+  /// stdin loop's getline). Blank keepalive lines are swallowed here, before
+  /// a seq is issued — every issued seq MUST eventually be deliver()ed, or
+  /// the reorder map stalls and the connection can never drain.
   std::optional<Line> next_line();
 
   /// Queues the response for `seq` and appends every consecutive now-ready

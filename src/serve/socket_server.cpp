@@ -123,16 +123,17 @@ ServeStats SocketServer::run(ModelCache& cache, ThreadPool& pool) {
     loop.modify(conn.fd(), want_read, conn.has_pending_output());
   };
 
-  // Frames every line buffered on `conn`: admitted lines join the scoring
-  // queue; lines beyond max_inflight are answered "overloaded" on the spot
-  // (the reorder map still delivers the rejection in request order).
+  // Frames every line buffered on `conn` (blank keepalives never leave
+  // next_line): admitted lines join the scoring queue; lines beyond
+  // max_inflight — or arriving after shutdown began, e.g. flushed by an
+  // EPOLLHUP once the scorer may already have exited — are answered
+  // "overloaded" on the spot (the reorder map still delivers the rejection
+  // in request order). Nothing is ever queued after stop_ is set, so the
+  // scoring thread's exit condition (stop_ && queue empty) is final.
   auto enqueue_lines = [&](Connection& conn) {
     while (auto line = conn.next_line()) {
-      if (!line->oversized && line->text.find_first_not_of(" \t\r") == std::string::npos) {
-        continue;  // blank keepalive, skipped exactly like the stdin loop
-      }
       std::unique_lock lock(mutex_);
-      if (inflight_ >= options_.max_inflight) {
+      if (stop_.load(std::memory_order_acquire) || inflight_ >= options_.max_inflight) {
         ++stats_.requests;
         ++stats_.errors;
         ++stats_.rejected;

@@ -30,6 +30,9 @@
 // write) — the CLI calls it from the SIGTERM/SIGINT handler. The server
 // then stops accepting and reading, finishes every in-flight request,
 // flushes every response, and returns its ServeStats for the manifest.
+// Lines that still arrive during the drain (already buffered, or flushed
+// by a hangup event) are rejected "overloaded" rather than queued, so no
+// work can appear after the scoring thread has exited.
 #pragma once
 
 #include <atomic>

@@ -17,6 +17,7 @@
 // FRAC_* environment variable. Exit codes: see kExitCodeContract
 // (config/cli_spec.cpp) — 0 ok, 1 usage, 2 internal, 3 I/O, 4 parse,
 // 5 numeric, 130 interrupted.
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <fstream>
@@ -393,13 +394,16 @@ int cmd_detect(const ParsedFlags& args) {
 }
 
 volatile std::sig_atomic_t g_interrupted = 0;
-SocketServer* g_socket_server = nullptr;
+// Atomic: read from the signal handler while the serve path stores/clears it
+// (lock-free atomic loads are async-signal-safe; a plain pointer is not).
+std::atomic<SocketServer*> g_socket_server{nullptr};
 
 void handle_sigint(int) {
   g_interrupted = 1;
   // request_stop is async-signal-safe (atomic store + self-pipe write); the
   // server drains in-flight requests and returns from run().
-  if (g_socket_server != nullptr) g_socket_server->request_stop();
+  SocketServer* const server = g_socket_server.load(std::memory_order_relaxed);
+  if (server != nullptr) server->request_stop();
 }
 
 /// Stop cleanly between grid cells on Ctrl-C: every finished cell is already
@@ -539,10 +543,10 @@ int cmd_serve(const ParsedFlags& args) {
     std::cerr << "serve: listening on " << socket_options.listen_addr << ":" << server.port()
               << "\n"
               << std::flush;
-    g_socket_server = &server;
+    g_socket_server.store(&server, std::memory_order_relaxed);
     install_sigint_handler(/*also_sigterm=*/true);
     stats = server.run(cache, pool);
-    g_socket_server = nullptr;
+    g_socket_server.store(nullptr, std::memory_order_relaxed);
     std::cerr << "serve: drained\n";
   } else {
     stats = run_serve_loop(std::cin, std::cout, options, cache, pool);

@@ -263,6 +263,44 @@ TEST(Connection, OversizedLineSpanningManyReadsIsCountedInFull) {
   ::close(fds[1]);
 }
 
+TEST(Connection, BlankKeepaliveLinesNeverConsumeASeq) {
+  // Regression: blank lines used to be framed with a seq and skipped by the
+  // server afterwards — a seq nothing ever deliver()s, wedging the reorder
+  // map (and with it delivery and drain) for the rest of the connection.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Connection conn(fds[0], 1, 1024);
+  ASSERT_TRUE(send_all(fds[1], "\n  \t\r\nalpha\n\nbravo\n \n"));
+  ASSERT_TRUE(conn.read_some());
+  auto first = conn.next_line();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->text, "alpha");
+  EXPECT_EQ(first->seq, 0u) << "a blank keepalive consumed a seq";
+  auto second = conn.next_line();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->text, "bravo");
+  EXPECT_EQ(second->seq, 1u);
+  EXPECT_FALSE(conn.next_line().has_value());
+  EXPECT_EQ(conn.undelivered(), 2u);
+
+  conn.deliver(0, "one");
+  conn.deliver(1, "two");
+  EXPECT_EQ(conn.undelivered(), 0u) << "reorder map wedged by a skipped seq";
+  ::close(fds[1]);
+}
+
+TEST(Connection, BlankFinalLineAtEofIsNotEmitted) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Connection conn(fds[0], 1, 1024);
+  ASSERT_EQ(::write(fds[1], " \t", 2), 2);
+  ::close(fds[1]);
+  EXPECT_TRUE(conn.read_some());   // the buffered bytes
+  EXPECT_FALSE(conn.read_some());  // EOF
+  EXPECT_FALSE(conn.next_line().has_value());
+  EXPECT_EQ(conn.undelivered(), 0u);
+}
+
 TEST(Connection, DeliverReordersOutOfOrderResponses) {
   int fds[2];
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
@@ -424,6 +462,35 @@ TEST(SocketServer, GracefulStopDrainsInFlightRequests) {
   EXPECT_EQ(response.find("ns")->as_array().size(), 300u);
   EXPECT_EQ(stats.requests, 1u);
   EXPECT_EQ(stats.samples, 300u);
+}
+
+TEST(SocketServer, BlankKeepalivesDoNotWedgeDeliveryOrDrain) {
+  // End-to-end regression for the skipped-seq bug: requests behind a blank
+  // line must still be answered, and the server must still drain on stop
+  // (pre-fix this test hangs — first in read_lines, then in the drain).
+  SocketServerOptions options = base_options();
+  std::string zeros = "0";
+  for (int j = 1; j < 20; ++j) zeros += ",0";
+
+  RunningServer running(options);
+  const int fd = connect_to(running.server.port());
+  ASSERT_GE(fd, 0);
+  const std::string input = "\n{\"id\":1,\"values\":[" + zeros + "]}\n \t\r\n" +
+                            "{\"id\":2,\"values\":[" + zeros + "]}\n\n";
+  ASSERT_TRUE(send_all(fd, input));
+  const std::string output = read_lines(fd, 2);
+  ::close(fd);
+
+  std::istringstream lines(output);
+  std::string first, second;
+  ASSERT_TRUE(std::getline(lines, first));
+  ASSERT_TRUE(std::getline(lines, second));
+  EXPECT_EQ(parse_json(first).find("id")->as_number(), 1.0);
+  EXPECT_EQ(parse_json(second).find("id")->as_number(), 2.0);
+
+  const ServeStats stats = running.stop_and_join();
+  EXPECT_EQ(stats.requests, 2u) << "blank keepalives must not be counted";
+  EXPECT_EQ(stats.errors, 0u);
 }
 
 TEST(SocketServer, EofMidLineScoresTheFinalLine) {
