@@ -33,6 +33,9 @@ std::span<const FlagSpec> runtime_flags() {
        "dump the metrics registry at exit (default: FRAC_METRICS)"},
       {"manifest", FlagKind::kString, false, "FILE",
        "write a JSON run manifest at exit (default: FRAC_MANIFEST)"},
+      {"force-poll", FlagKind::kBool, false, "",
+       "use the poll(2) event-loop backend even where epoll is available "
+       "(default: FRAC_FORCE_POLL)"},
   };
   return kFlags;
 }

@@ -4,6 +4,7 @@
 
 #include "linalg/simd.hpp"
 #include "parallel/thread_pool.hpp"
+#include "serve/event_loop.hpp"
 #include "util/fault_injection.hpp"
 #include "util/logging.hpp"
 #include "util/string_util.hpp"
@@ -51,6 +52,8 @@ RuntimeConfig RuntimeConfig::resolve(const FlagLookup& flags) {
   config.trace_path = pick(flags, "trace", "FRAC_TRACE");
   config.metrics_path = pick(flags, "metrics", "FRAC_METRICS");
   config.manifest_path = pick(flags, "manifest", "FRAC_MANIFEST");
+  const std::string force_poll = pick(flags, "force-poll", "FRAC_FORCE_POLL");
+  config.force_poll = !force_poll.empty() && force_poll != "0" && force_poll != "false";
   return config;
 }
 
@@ -59,6 +62,7 @@ RuntimeConfig RuntimeConfig::resolve_env_only() { return resolve(FlagLookup{}); 
 void RuntimeConfig::apply() const {
   ThreadPool::set_default_thread_count(threads);
   simd::request_level(simd);
+  EventLoop::set_force_poll(force_poll);
   if (!log_level.empty()) {
     LogLevel level = LogLevel::kWarn;
     if (parse_log_level(log_level, &level)) {

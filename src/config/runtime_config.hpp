@@ -22,6 +22,7 @@ struct RuntimeConfig {
   std::string trace_path;     ///< chrome://tracing output; "" = off
   std::string metrics_path;   ///< metrics registry dump; "" = off
   std::string manifest_path;  ///< run manifest; "" = off
+  bool force_poll = false;    ///< poll(2) event-loop backend even with epoll
 
   /// Flag accessor: returns the value of "--<name>" when given, nullopt
   /// otherwise (ParsedFlags::get wrapped in a lambda, or {} for env-only).

@@ -3,9 +3,22 @@
 #include <cerrno>
 #include <utility>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include "util/fault_injection.hpp"
+
 namespace frac {
+
+namespace {
+
+/// The serve fault sites key on (connection id, I/O op index): pure, so an
+/// armed run perturbs the same logical operations regardless of timing.
+std::uint64_t io_fault_key(std::uint64_t conn_id, std::uint64_t op) noexcept {
+  return (conn_id << 20) | (op & 0xFFFFFu);
+}
+
+}  // namespace
 
 Connection::Connection(int fd, std::uint64_t id, std::size_t max_line_bytes)
     : fd_(fd), id_(id), max_line_bytes_(max_line_bytes) {}
@@ -17,7 +30,17 @@ Connection::~Connection() {
 bool Connection::read_some() {
   char chunk[64 * 1024];
   for (;;) {
-    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    std::size_t want = sizeof chunk;
+    if (fault_plan_armed()) {
+      const std::uint64_t key = io_fault_key(id_, io_ops_++);
+      if (fault_fires(FaultSite::kServeConnReset, key)) {
+        saw_eof_ = true;  // injected peer reset: unusable, same as a hard error
+        return false;
+      }
+      // Short read: pull one byte so framing sees maximally fragmented input.
+      if (fault_fires(FaultSite::kServeReadShort, key)) want = 1;
+    }
+    const ssize_t n = ::read(fd_, chunk, want);
     if (n > 0) {
       if (discarding_) {
         // Inside an oversized line: drop bytes (counting them, so the error
@@ -36,7 +59,7 @@ bool Connection::read_some() {
       } else {
         in_.append(chunk, static_cast<std::size_t>(n));
       }
-      if (static_cast<std::size_t>(n) < sizeof chunk) return true;
+      if (static_cast<std::size_t>(n) < want) return true;
       continue;  // a full chunk may mean more is buffered in the kernel
     }
     if (n == 0) {
@@ -59,6 +82,7 @@ std::optional<Connection::Line> Connection::next_line() {
   for (;;) {
     if (oversize_done_) {
       oversize_done_ = false;
+      ++frames_;
       Line line;
       line.seq = next_seq_to_issue_++;
       line.oversized = true;
@@ -95,8 +119,10 @@ std::optional<Connection::Line> Connection::next_line() {
     }
 
     if (!text.empty() && text.back() == '\r') text.pop_back();
+    ++frames_;
     // Blank keepalives are dropped here, before a sequence number is issued:
     // a seq with no response would wedge the in-order delivery map forever.
+    // (They still count as a frame, so they reset the idle-timeout clock.)
     if (text.find_first_not_of(" \t\r") == std::string::npos) continue;
 
     Line line;
@@ -122,9 +148,24 @@ void Connection::deliver(std::uint64_t seq, std::string response) {
 
 bool Connection::flush() {
   while (!out_.empty()) {
-    const ssize_t n = ::write(fd_, out_.data(), out_.size());
+    std::size_t len = out_.size();
+    bool short_write = false;
+    if (fault_plan_armed()) {
+      const std::uint64_t key = io_fault_key(id_, io_ops_++);
+      if (fault_fires(FaultSite::kServeConnReset, key)) return false;
+      if (fault_fires(FaultSite::kServeWriteShort, key)) {
+        // Short write: one byte, then report the buffer as blocked so the
+        // EAGAIN continuation path (write-interest re-arm) is exercised.
+        len = 1;
+        short_write = true;
+      }
+    }
+    // MSG_NOSIGNAL: writing to a connection the peer already reset must fail
+    // with EPIPE here, not kill the process with SIGPIPE.
+    const ssize_t n = ::send(fd_, out_.data(), len, MSG_NOSIGNAL);
     if (n > 0) {
       out_.erase(0, static_cast<std::size_t>(n));
+      if (short_write) return true;
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;

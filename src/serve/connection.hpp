@@ -13,6 +13,13 @@
 // A line longer than the configured limit switches the connection into
 // discard mode (bytes are dropped until the terminating '\n'), producing one
 // oversize marker instead of buffering without bound.
+//
+// Chaos seams: with a fault plan armed (util/fault_injection), the serve I/O
+// sites perturb this layer deterministically — serve_read_short /
+// serve_write_short truncate one read/write to a single byte (no bytes are
+// lost; level-triggered readiness retries), serve_conn_reset fails the
+// connection as if the peer reset it. Firing is a pure hash of (site, seed,
+// key) with key = (connection id << 20) | per-connection I/O op index.
 #pragma once
 
 #include <cstdint>
@@ -64,6 +71,12 @@ class Connection {
   /// a write error (teardown); true otherwise.
   bool flush();
 
+  /// Complete lines framed so far, INCLUDING blank keepalives and oversize
+  /// markers — the idle-timeout clock resets when this advances, so a blank
+  /// line keeps a connection alive but a byte-at-a-time drip (slowloris)
+  /// does not.
+  std::uint64_t frames() const noexcept { return frames_; }
+
   bool has_pending_output() const noexcept { return !out_.empty(); }
   /// Responses not yet delivered (scoring in flight or held for reordering).
   std::size_t undelivered() const noexcept { return next_seq_to_issue_ - next_seq_to_send_; }
@@ -87,6 +100,8 @@ class Connection {
   bool eof_line_emitted_ = false;
   std::uint64_t next_seq_to_issue_ = 0;
   std::uint64_t next_seq_to_send_ = 0;
+  std::uint64_t frames_ = 0;  ///< complete lines framed (see frames())
+  std::uint64_t io_ops_ = 0;  ///< read/write calls issued: the fault-site key
   std::map<std::uint64_t, std::string> held_;  ///< completed out of order
 };
 

@@ -1,6 +1,9 @@
 #include "serve/event_loop.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <climits>
 #include <cstring>
 #include <stdexcept>
 
@@ -17,6 +20,8 @@ namespace frac {
 
 namespace {
 
+std::atomic<bool> g_force_poll{false};
+
 [[noreturn]] void fail(const char* what) {
   throw IoError(std::string("EventLoop: ") + what + ": " + std::strerror(errno));
 }
@@ -32,11 +37,19 @@ std::uint32_t epoll_mask(bool want_read, bool want_write) {
 
 }  // namespace
 
+void EventLoop::set_force_poll(bool force) noexcept {
+  g_force_poll.store(force, std::memory_order_relaxed);
+}
+
+bool EventLoop::force_poll() noexcept { return g_force_poll.load(std::memory_order_relaxed); }
+
 EventLoop::EventLoop() {
 #ifdef __linux__
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  // epoll_fd_ == -1 (e.g. EMFILE, or a kernel without epoll) falls through
-  // to the poll backend; both see the same interest_ bookkeeping.
+  if (!force_poll()) {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    // epoll_fd_ == -1 (e.g. EMFILE, or a kernel without epoll) falls through
+    // to the poll backend; both see the same interest_ bookkeeping.
+  }
 #endif
 }
 
@@ -97,15 +110,57 @@ void EventLoop::remove(int fd) {
   throw std::logic_error("EventLoop: remove on unwatched fd");
 }
 
+void EventLoop::arm_deadline(std::uint64_t token, Clock::time_point when) {
+  cancel_deadline(token);
+  deadline_index_.emplace(token, deadlines_.emplace(when, token));
+}
+
+void EventLoop::cancel_deadline(std::uint64_t token) {
+  const auto it = deadline_index_.find(token);
+  if (it == deadline_index_.end()) return;
+  deadlines_.erase(it->second);
+  deadline_index_.erase(it);
+}
+
+int EventLoop::effective_timeout(int timeout_ms) const {
+  if (deadlines_.empty()) return timeout_ms;
+  const Clock::time_point nearest = deadlines_.begin()->first;
+  const Clock::time_point now = Clock::now();
+  long long ms = 0;
+  if (nearest > now) {
+    // Round up: waking 1ms after the deadline beats a busy-loop just before.
+    ms = std::chrono::duration_cast<std::chrono::milliseconds>(nearest - now).count() + 1;
+    ms = std::min<long long>(ms, INT_MAX);
+  }
+  if (timeout_ms < 0) return static_cast<int>(ms);
+  return std::min(timeout_ms, static_cast<int>(ms));
+}
+
+void EventLoop::pop_expired() {
+  expired_.clear();
+  if (deadlines_.empty()) return;
+  const Clock::time_point now = Clock::now();
+  while (!deadlines_.empty() && deadlines_.begin()->first <= now) {
+    const auto head = deadlines_.begin();
+    expired_.push_back(head->second);
+    deadline_index_.erase(head->second);
+    deadlines_.erase(head);
+  }
+}
+
 const std::vector<EventLoop::Event>& EventLoop::wait(int timeout_ms) {
   ready_.clear();
+  timeout_ms = effective_timeout(timeout_ms);
 #ifdef __linux__
   if (epoll_fd_ >= 0) {
     std::vector<struct epoll_event> events(interest_.empty() ? 1 : interest_.size());
     const int n = ::epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()),
                                timeout_ms);
     if (n < 0) {
-      if (errno == EINTR) return ready_;  // signal: let the caller re-check
+      if (errno == EINTR) {
+        pop_expired();
+        return ready_;  // signal: let the caller re-check
+      }
       fail("epoll_wait");
     }
     for (int k = 0; k < n; ++k) {
@@ -117,6 +172,7 @@ const std::vector<EventLoop::Event>& EventLoop::wait(int timeout_ms) {
       out.closed = (mask & (EPOLLERR | EPOLLHUP)) != 0;
       ready_.push_back(out);
     }
+    pop_expired();
     return ready_;
   }
 #endif
@@ -130,7 +186,10 @@ const std::vector<EventLoop::Event>& EventLoop::wait(int timeout_ms) {
   }
   const int n = ::poll(fds.data(), fds.size(), timeout_ms);
   if (n < 0) {
-    if (errno == EINTR) return ready_;
+    if (errno == EINTR) {
+      pop_expired();
+      return ready_;
+    }
     fail("poll");
   }
   for (const struct pollfd& p : fds) {
@@ -142,6 +201,7 @@ const std::vector<EventLoop::Event>& EventLoop::wait(int timeout_ms) {
     out.closed = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
     ready_.push_back(out);
   }
+  pop_expired();
   return ready_;
 }
 

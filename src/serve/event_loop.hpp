@@ -7,15 +7,32 @@
 // and a wait() that yields the ready set. Level-triggered means a handler
 // that drains only part of a buffer is re-notified next wait — no
 // edge-trigger starvation bugs, at the cost of one syscall per idle cycle.
+//
+// Deadlines: the loop also owns a monotonic deadline queue. arm_deadline()
+// registers an opaque token to fire at a steady_clock time; wait() derives
+// its epoll/poll timeout from the nearest armed deadline (never sleeping
+// past it) and, on return, exposes every expired token through expired().
+// This is what drives the serve tier's idle reaping, write-stall closes,
+// and per-request deadlines without a timer thread.
+//
+// set_force_poll(true) (FRAC_FORCE_POLL via RuntimeConfig) makes every
+// subsequently constructed loop use the poll(2) backend even where epoll is
+// available, so CI exercises both code paths on Linux.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
 #include <vector>
 
 namespace frac {
 
 class EventLoop {
  public:
+  using Clock = std::chrono::steady_clock;
+
   struct Event {
     int fd = -1;
     bool readable = false;
@@ -25,7 +42,8 @@ class EventLoop {
   };
 
   /// Prefers epoll; falls back to poll when epoll_create1 is unavailable
-  /// (non-Linux builds compile the poll backend only).
+  /// (non-Linux builds compile the poll backend only) or when
+  /// set_force_poll(true) is in effect.
   EventLoop();
   ~EventLoop();
 
@@ -41,12 +59,32 @@ class EventLoop {
 
   void remove(int fd);
 
-  /// Blocks up to `timeout_ms` (-1 = indefinitely) and returns the ready
-  /// events. The returned reference is invalidated by the next wait().
+  /// Arms (or re-arms: the latest call wins) deadline `token` to expire at
+  /// `when`. Tokens are caller-defined opaque ids.
+  void arm_deadline(std::uint64_t token, Clock::time_point when);
+
+  /// Disarms `token`; a no-op when it is not armed.
+  void cancel_deadline(std::uint64_t token);
+
+  std::size_t armed_deadlines() const noexcept { return deadline_index_.size(); }
+
+  /// Blocks up to `timeout_ms` (-1 = indefinitely) — but never past the
+  /// nearest armed deadline — and returns the ready events. Deadlines that
+  /// expired are popped into expired(). The returned reference is
+  /// invalidated by the next wait().
   const std::vector<Event>& wait(int timeout_ms);
+
+  /// Deadlines that expired during the last wait(), in expiry order.
+  const std::vector<std::uint64_t>& expired() const noexcept { return expired_; }
 
   std::size_t watched() const noexcept { return interest_.size(); }
   bool using_epoll() const noexcept { return epoll_fd_ >= 0; }
+
+  /// Process-wide backend override: loops constructed while true use the
+  /// poll(2) backend even where epoll exists. RuntimeConfig::apply() sets
+  /// this from FRAC_FORCE_POLL / --force-poll; tests may set it directly.
+  static void set_force_poll(bool force) noexcept;
+  static bool force_poll() noexcept;
 
  private:
   struct Interest {
@@ -56,10 +94,19 @@ class EventLoop {
   };
 
   Interest* find(int fd);
+  /// Milliseconds wait() may sleep: `timeout_ms` clipped to the nearest
+  /// armed deadline (rounded up so the wake lands at-or-after it).
+  int effective_timeout(int timeout_ms) const;
+  void pop_expired();
 
   int epoll_fd_ = -1;                ///< -1 = poll backend
   std::vector<Interest> interest_;   ///< registration order; small N
   std::vector<Event> ready_;
+
+  std::multimap<Clock::time_point, std::uint64_t> deadlines_;  ///< time-ordered
+  std::unordered_map<std::uint64_t, std::multimap<Clock::time_point, std::uint64_t>::iterator>
+      deadline_index_;  ///< token -> its deadlines_ node, for O(log n) re-arm
+  std::vector<std::uint64_t> expired_;
 };
 
 }  // namespace frac

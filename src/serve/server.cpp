@@ -155,6 +155,63 @@ std::string error_response(const std::string& id_json, std::string_view message)
   return "{\"id\":" + id_json + ",\"error\":\"" + json_escape(message) + "\"}";
 }
 
+bool line_may_be_command(const std::string& line) {
+  return line.find("\"cmd\"") != std::string::npos;
+}
+
+std::string format_health_response(const std::string& id_json, const HealthSnapshot& snap) {
+  // Integer milliseconds keep the response locale-proof without touching the
+  // float formatter; every other field is already integral.
+  const auto uptime_ms = static_cast<std::uint64_t>(snap.uptime_seconds * 1000.0);
+  std::string out = "{\"id\":" + id_json + ",\"health\":{\"status\":\"ok\"";
+  out += ",\"model\":\"" + json_escape(snap.model_path) + "\"";
+  out += ",\"model_crc32\":";
+  out += snap.model_loaded ? std::to_string(snap.model_crc32) : std::string("null");
+  out += ",\"uptime_ms\":" + std::to_string(uptime_ms);
+  out += ",\"inflight\":" + std::to_string(snap.inflight);
+  out += ",\"requests\":" + std::to_string(snap.stats.requests);
+  out += ",\"samples\":" + std::to_string(snap.stats.samples);
+  out += ",\"errors\":" + std::to_string(snap.stats.errors);
+  out += ",\"rejected\":" + std::to_string(snap.stats.rejected);
+  out += ",\"reaped\":" + std::to_string(snap.stats.reaped);
+  out += ",\"timeouts\":" + std::to_string(snap.stats.timeouts);
+  out += ",\"deadline_exceeded\":" + std::to_string(snap.stats.deadline_exceeded);
+  out += ",\"health\":" + std::to_string(snap.stats.health);
+  out += "}}";
+  return out;
+}
+
+std::optional<CommandOutcome> try_command_response(
+    const std::string& line, const std::function<HealthSnapshot()>& snapshot) {
+  if (!line_may_be_command(line)) return std::nullopt;
+  std::string id_json = "null";
+  const JsonValue* cmd = nullptr;
+  JsonValue request;
+  try {
+    request = parse_json(line);
+    if (!request.is_object()) return std::nullopt;
+    cmd = request.find("cmd");
+    if (cmd == nullptr) return std::nullopt;  // e.g. a feature named "cmd"
+    if (const JsonValue* id = request.find("id"); id != nullptr) id_json = id->dump();
+  } catch (const std::exception&) {
+    // Malformed JSON takes the scoring pipeline's error path so the message
+    // is byte-identical to the stdin loop's.
+    return std::nullopt;
+  }
+  CommandOutcome outcome;
+  if (!cmd->is_string() || cmd->as_string() != "health") {
+    static Counter& errors_metric = metrics_counter("serve.errors");
+    errors_metric.add();
+    outcome.response = error_response(id_json, "request: unknown \"cmd\" (supported: \"health\")");
+    return outcome;
+  }
+  static Counter& health_metric = metrics_counter("serve.health");
+  health_metric.add();
+  outcome.is_health = true;
+  outcome.response = format_health_response(id_json, snapshot());
+  return outcome;
+}
+
 std::string handle_request_line(const std::string& line, const ServeOptions& options,
                                 ModelCache& cache, ThreadPool& pool, ServeStats* stats) {
   static Counter& requests_metric = metrics_counter("serve.requests");
@@ -196,10 +253,40 @@ ServeStats run_serve_loop(std::istream& in, std::ostream& out, const ServeOption
                           ModelCache& cache, ThreadPool& pool) {
   ServeStats stats;
   Histogram& latency = metrics_histogram("serve.request_seconds");
+  const WallStopwatch uptime;
+
+  // The stdin loop is synchronous, so a health probe always reports zero
+  // in-flight requests; everything else matches the socket path's snapshot.
+  const auto snapshot = [&]() {
+    HealthSnapshot snap;
+    snap.model_path = options.default_model;
+    if (!options.default_model.empty()) {
+      try {
+        const auto engine = cache.get(options.default_model);
+        snap.model_loaded = true;
+        snap.model_crc32 = engine->bundle().content_crc();
+      } catch (const std::exception&) {
+        snap.model_loaded = false;
+      }
+    }
+    snap.uptime_seconds = uptime.seconds();
+    snap.inflight = 0;
+    snap.stats = stats;
+    return snap;
+  };
 
   std::string line;
   while (std::getline(in, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;  // blank keepalive
+    if (std::optional<CommandOutcome> cmd = try_command_response(line, snapshot)) {
+      if (cmd->is_health) {
+        ++stats.health;
+      } else {
+        ++stats.errors;
+      }
+      out << cmd->response << '\n' << std::flush;
+      continue;
+    }
     const WallStopwatch wall;
     const std::string response = handle_request_line(line, options, cache, pool, &stats);
     latency.observe(wall.seconds());

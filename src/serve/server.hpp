@@ -13,6 +13,12 @@
 // A malformed line yields {"id":...,"error":"..."} and the loop continues —
 // one bad client line must not kill the server.
 //
+// Control lines carry a "cmd" member instead of "values"/"batch":
+// {"cmd":"health"} answers a liveness/readiness report (model identity,
+// uptime, in-flight count, cumulative serve.* totals) without touching the
+// scoring queue — on the socket path it is answered by the event-loop thread
+// itself, so probes get through even when scoring is saturated.
+//
 // The same protocol runs over TCP via SocketServer (serve/socket_server.hpp,
 // `frac serve --listen`); the parse/score/format pipeline below is shared by
 // both so socket responses are byte-identical to the stdin loop's. Full
@@ -20,8 +26,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -45,6 +53,23 @@ struct ServeStats {
   std::uint64_t samples = 0;
   std::uint64_t errors = 0;   ///< error responses, including rejections
   std::uint64_t rejected = 0; ///< overload rejections (socket path only)
+  std::uint64_t reaped = 0;   ///< connections closed by the idle timeout
+  std::uint64_t timeouts = 0; ///< connections closed by the write-stall timeout
+  std::uint64_t deadline_exceeded = 0;  ///< requests answered "deadline exceeded"
+  std::uint64_t health = 0;   ///< health probes answered (never queued/scored)
+};
+
+/// What a {"cmd":"health"} probe reports: liveness data assembled without
+/// touching the scoring queue. Model identity comes from the cache's resident
+/// engine for the default model (loaded == false when none is resident and
+/// the path cannot be opened).
+struct HealthSnapshot {
+  std::string model_path;
+  bool model_loaded = false;
+  std::uint32_t model_crc32 = 0;
+  double uptime_seconds = 0.0;
+  std::uint64_t inflight = 0;  ///< requests queued or scoring right now
+  ServeStats stats;            ///< cumulative totals for this serve run
 };
 
 /// One request line parsed, validated, and resolved against the model cache:
@@ -73,6 +98,31 @@ std::string format_score_response(const ScoreRequest& request, std::span<const d
 
 /// Formats the per-line error response: {"id":<id_json>,"error":"..."}.
 std::string error_response(const std::string& id_json, std::string_view message);
+
+/// True when `line` may carry a top-level "cmd" member — the cheap pre-filter
+/// both transports apply before spending a JSON parse on command detection
+/// (a JSON object with a "cmd" key must contain the substring "\"cmd\"").
+bool line_may_be_command(const std::string& line);
+
+/// A handled {"cmd": ...} control line: the response to send, and whether it
+/// was a health probe (callers count stats.health) or an unknown-cmd error
+/// (callers count stats.errors). The serve.health / serve.errors metrics are
+/// already incremented.
+struct CommandOutcome {
+  std::string response;
+  bool is_health = false;
+};
+
+/// Handles a {"cmd": ...} control line: returns the response for a health
+/// probe (snapshot()) or an unknown-cmd error, and nullopt when the line is
+/// not a command at all (no "cmd" member, or malformed JSON — those fall
+/// through to the scoring pipeline so error text stays transport-identical).
+/// `snapshot` is only invoked when the line really is a health probe.
+std::optional<CommandOutcome> try_command_response(
+    const std::string& line, const std::function<HealthSnapshot()>& snapshot);
+
+/// The {"cmd":"health"} response body for `snap`, echoing `id_json`.
+std::string format_health_response(const std::string& id_json, const HealthSnapshot& snap);
 
 /// Parses, scores, and formats one request line — the whole pipeline, shared
 /// by the stdin loop and the socket server's non-coalesced path. Never

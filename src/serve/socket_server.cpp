@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <functional>
 #include <memory>
+#include <set>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -17,7 +20,9 @@
 
 #include "serve/connection.hpp"
 #include "serve/event_loop.hpp"
+#include "serve/json.hpp"
 #include "util/errors.hpp"
+#include "util/fault_injection.hpp"
 #include "util/metrics.hpp"
 #include "util/string_util.hpp"
 #include "util/trace.hpp"
@@ -33,6 +38,20 @@ namespace {
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) fail("fcntl(O_NONBLOCK)");
+}
+
+/// Best-effort "id" echo for a request answered before it was ever parsed
+/// (a queued line whose deadline passed): enough JSON to find the id, with
+/// malformed lines falling back to null.
+std::string extract_id_json(const std::string& line) {
+  try {
+    const JsonValue value = parse_json(line);
+    if (value.is_object()) {
+      if (const JsonValue* id = value.find("id"); id != nullptr) return id->dump();
+    }
+  } catch (const std::exception&) {
+  }
+  return "null";
 }
 
 }  // namespace
@@ -94,8 +113,13 @@ ServeStats SocketServer::run(ModelCache& cache, ThreadPool& pool) {
   static Counter& requests_metric = metrics_counter("serve.requests");
   static Counter& errors_metric = metrics_counter("serve.errors");
   static Counter& rejected_metric = metrics_counter("serve.rejected");
+  static Counter& timeouts_metric = metrics_counter("serve.timeouts");
+  static Counter& reaped_metric = metrics_counter("serve.reaped");
+  static Counter& deadline_metric = metrics_counter("serve.deadline_exceeded");
   static Gauge& connections_gauge = metrics_gauge("serve.connections");
   static Gauge& depth_gauge = metrics_gauge("serve.queue_depth");
+
+  using Clock = EventLoop::Clock;
 
   EventLoop loop;
   loop.add(listen_fd_, true, false);
@@ -104,17 +128,90 @@ ServeStats SocketServer::run(ModelCache& cache, ThreadPool& pool) {
   std::unordered_map<int, std::unique_ptr<Connection>> conns_by_fd;
   std::unordered_map<std::uint64_t, int> fd_by_id;
   std::uint64_t next_conn_id = 1;
+  std::uint64_t accepts = 0;  ///< serve_accept fault-site key
   bool listening = true;
+  const WallStopwatch uptime;
+
+  // Loop-thread-only timer bookkeeping. Every armed EventLoop deadline has a
+  // timers_ entry saying what it protects; a token popped by the loop whose
+  // entry is gone was canceled in the same iteration (its work completed
+  // first) and is ignored.
+  enum class TimerKind : std::uint8_t { kIdle, kStall, kRequest };
+  struct TimerInfo {
+    TimerKind kind;
+    std::uint64_t conn_id;
+    std::uint64_t seq;  ///< kRequest only
+  };
+  struct ConnTimers {
+    std::uint64_t idle_token = 0;
+    std::uint64_t stall_token = 0;
+    std::uint64_t frames_seen = 0;  ///< Connection::frames() at last idle re-arm
+  };
+  std::unordered_map<std::uint64_t, TimerInfo> timers;
+  std::unordered_map<std::uint64_t, ConnTimers> conn_timers;
+  // (conn_id, seq) -> request timer token, for cancellation on completion.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> pending;
+  // Requests already answered "deadline exceeded" whose scorer result must be
+  // dropped when it arrives — each seq is delivered exactly once.
+  std::set<std::pair<std::uint64_t, std::uint64_t>> abandoned;
+  std::uint64_t next_token = 1;
 
   std::thread scorer([&] { scoring_main(cache, pool); });
+
+  auto cancel_timer = [&](std::uint64_t token) {
+    if (token == 0) return;
+    loop.cancel_deadline(token);
+    timers.erase(token);
+  };
 
   auto close_connection = [&](int fd) {
     const auto it = conns_by_fd.find(fd);
     if (it == conns_by_fd.end()) return;
+    const std::uint64_t conn_id = it->second->id();
+    if (const auto ct = conn_timers.find(conn_id); ct != conn_timers.end()) {
+      cancel_timer(ct->second.idle_token);
+      cancel_timer(ct->second.stall_token);
+      conn_timers.erase(ct);
+    }
+    for (auto p = pending.lower_bound({conn_id, 0});
+         p != pending.end() && p->first.first == conn_id; p = pending.erase(p)) {
+      cancel_timer(p->second);
+    }
+    abandoned.erase(abandoned.lower_bound({conn_id, 0}),
+                    abandoned.upper_bound({conn_id, ~std::uint64_t{0}}));
     loop.remove(fd);
-    fd_by_id.erase(it->second->id());
+    fd_by_id.erase(conn_id);
     conns_by_fd.erase(it);  // the Connection destructor closes the fd
     connections_gauge.set(static_cast<double>(conns_by_fd.size()));
+  };
+
+  auto arm_idle = [&](std::uint64_t conn_id) {
+    if (options_.idle_timeout_ms == 0) return;
+    ConnTimers& ct = conn_timers[conn_id];
+    cancel_timer(ct.idle_token);
+    ct.idle_token = next_token++;
+    timers.emplace(ct.idle_token, TimerInfo{TimerKind::kIdle, conn_id, 0});
+    loop.arm_deadline(ct.idle_token,
+                      Clock::now() + std::chrono::milliseconds(options_.idle_timeout_ms));
+  };
+
+  // Arm the stall timer when the output buffer first exceeds the high-water
+  // mark, cancel it the moment the client drains below — only a client that
+  // stays above for the whole interval is closed.
+  auto update_stall = [&](Connection& conn) {
+    if (options_.write_stall_timeout_ms == 0) return;
+    ConnTimers& ct = conn_timers[conn.id()];
+    const bool above = conn.output_above(options_.output_high_water);
+    if (above && ct.stall_token == 0) {
+      ct.stall_token = next_token++;
+      timers.emplace(ct.stall_token, TimerInfo{TimerKind::kStall, conn.id(), 0});
+      loop.arm_deadline(
+          ct.stall_token,
+          Clock::now() + std::chrono::milliseconds(options_.write_stall_timeout_ms));
+    } else if (!above && ct.stall_token != 0) {
+      cancel_timer(ct.stall_token);
+      ct.stall_token = 0;
+    }
   };
 
   auto update_interest = [&](Connection& conn) {
@@ -123,15 +220,52 @@ ServeStats SocketServer::run(ModelCache& cache, ThreadPool& pool) {
     loop.modify(conn.fd(), want_read, conn.has_pending_output());
   };
 
+  // Health probes report live totals without touching the scoring queue; the
+  // model CRC comes from the cache (resident on any warmed-up server).
+  const std::function<HealthSnapshot()> snapshot = [&] {
+    HealthSnapshot snap;
+    snap.model_path = options_.serve.default_model;
+    if (!snap.model_path.empty()) {
+      try {
+        const auto engine = cache.get(snap.model_path);
+        snap.model_loaded = true;
+        snap.model_crc32 = engine->bundle().content_crc();
+      } catch (const std::exception&) {
+        snap.model_loaded = false;
+      }
+    }
+    snap.uptime_seconds = uptime.seconds();
+    const std::lock_guard lock(mutex_);
+    snap.inflight = inflight_;
+    snap.stats = stats_;
+    return snap;
+  };
+
   // Frames every line buffered on `conn` (blank keepalives never leave
-  // next_line): admitted lines join the scoring queue; lines beyond
-  // max_inflight — or arriving after shutdown began, e.g. flushed by an
-  // EPOLLHUP once the scorer may already have exited — are answered
-  // "overloaded" on the spot (the reorder map still delivers the rejection
-  // in request order). Nothing is ever queued after stop_ is set, so the
-  // scoring thread's exit condition (stop_ && queue empty) is final.
+  // next_line): {"cmd":...} control lines are answered right here on the
+  // loop thread — before admission control, so health probes get through a
+  // full queue and a draining server; admitted lines join the scoring queue;
+  // lines beyond max_inflight — or arriving after shutdown began, e.g.
+  // flushed by an EPOLLHUP once the scorer may already have exited — are
+  // answered "overloaded" on the spot (the reorder map still delivers the
+  // rejection in request order). Nothing is ever queued after stop_ is set,
+  // so the scoring thread's exit condition (stop_ && queue empty) is final.
   auto enqueue_lines = [&](Connection& conn) {
     while (auto line = conn.next_line()) {
+      if (!line->oversized) {
+        if (auto cmd = try_command_response(line->text, snapshot)) {
+          {
+            const std::lock_guard lock(mutex_);
+            if (cmd->is_health) {
+              ++stats_.health;
+            } else {
+              ++stats_.errors;
+            }
+          }
+          conn.deliver(line->seq, std::move(cmd->response));
+          continue;
+        }
+      }
       std::unique_lock lock(mutex_);
       if (stop_.load(std::memory_order_acquire) || inflight_ >= options_.max_inflight) {
         ++stats_.requests;
@@ -150,12 +284,66 @@ ServeStats SocketServer::run(ModelCache& cache, ThreadPool& pool) {
       work.line = std::move(line->text);
       work.oversized = line->oversized;
       work.bytes = line->bytes;
+      if (options_.request_timeout_ms > 0) {
+        work.deadline_armed = true;
+        work.deadline =
+            Clock::now() + std::chrono::milliseconds(options_.request_timeout_ms);
+      }
       queue_.push_back(std::move(work));
       ++inflight_;
       depth_gauge.set(static_cast<double>(queue_.size()));
       lock.unlock();
+      if (options_.request_timeout_ms > 0) {
+        const std::uint64_t token = next_token++;
+        timers.emplace(token, TimerInfo{TimerKind::kRequest, conn.id(), line->seq});
+        pending.emplace(std::make_pair(conn.id(), line->seq), token);
+        loop.arm_deadline(token, Clock::now() + std::chrono::milliseconds(
+                                                    options_.request_timeout_ms));
+      }
       work_cv_.notify_one();
     }
+  };
+
+  // A request whose deadline passed: if it is still queued, pull it out and
+  // answer directly; if the scorer already holds it, answer on its behalf and
+  // drop the eventual result (abandoned). Either way the client hears
+  // "deadline exceeded" now instead of whenever the backlog drains.
+  auto on_request_deadline = [&](std::uint64_t conn_id, std::uint64_t seq) {
+    pending.erase({conn_id, seq});
+    std::string id_json = "null";
+    std::string queued_line;
+    bool was_queued = false;
+    {
+      const std::lock_guard lock(mutex_);
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->conn_id != conn_id || it->seq != seq) continue;
+        queued_line = std::move(it->line);
+        queue_.erase(it);
+        --inflight_;
+        depth_gauge.set(static_cast<double>(queue_.size()));
+        was_queued = true;
+        break;
+      }
+      if (was_queued) {
+        ++stats_.requests;
+      } else {
+        if (const auto it = inflight_ids_.find({conn_id, seq}); it != inflight_ids_.end()) {
+          id_json = it->second;
+        }
+        abandoned.insert({conn_id, seq});
+      }
+      ++stats_.errors;
+      ++stats_.deadline_exceeded;
+    }
+    if (was_queued) {
+      requests_metric.add();
+      id_json = extract_id_json(queued_line);
+    }
+    errors_metric.add();
+    deadline_metric.add();
+    const auto it = fd_by_id.find(conn_id);
+    if (it == fd_by_id.end()) return;
+    conns_by_fd.at(it->second)->deliver(seq, error_response(id_json, "deadline exceeded"));
   };
 
   for (;;) {
@@ -166,19 +354,80 @@ ServeStats SocketServer::run(ModelCache& cache, ThreadPool& pool) {
       work_cv_.notify_all();  // the scorer re-checks stop_ (signal-safe relay)
     }
 
-    // Hand finished responses to their connections.
+    // Hand finished responses to their connections. This runs before expired
+    // timers so that a response racing its own deadline wins: the request
+    // timer is canceled here, and the already-popped token goes stale.
     std::vector<Done> done;
     {
       const std::lock_guard lock(mutex_);
       done.swap(completed_);
     }
     for (Done& d : done) {
+      if (const auto p = pending.find({d.conn_id, d.seq}); p != pending.end()) {
+        cancel_timer(p->second);
+        pending.erase(p);
+      }
+      if (const auto a = abandoned.find({d.conn_id, d.seq}); a != abandoned.end()) {
+        abandoned.erase(a);  // already answered "deadline exceeded"
+        continue;
+      }
+      if (d.deadline) {
+        {
+          const std::lock_guard lock(mutex_);
+          ++stats_.deadline_exceeded;
+        }
+        deadline_metric.add();
+      }
       const auto it = fd_by_id.find(d.conn_id);
       if (it == fd_by_id.end()) continue;  // client left before its answer
       conns_by_fd.at(it->second)->deliver(d.seq, std::move(d.response));
     }
 
-    // Flush, refresh interest, and reap finished connections.
+    // Dispatch deadlines that expired during the last wait.
+    for (const std::uint64_t token : loop.expired()) {
+      const auto t = timers.find(token);
+      if (t == timers.end()) continue;  // canceled above: the work beat its deadline
+      const TimerInfo info = t->second;
+      timers.erase(t);
+      const auto fd_it = fd_by_id.find(info.conn_id);
+      switch (info.kind) {
+        case TimerKind::kIdle: {
+          if (fd_it == fd_by_id.end()) break;
+          conn_timers[info.conn_id].idle_token = 0;
+          Connection& conn = *conns_by_fd.at(fd_it->second);
+          if (conn.undelivered() != 0 || conn.has_pending_output()) {
+            // Waiting on us or draining: busy, not idle. Next interval.
+            arm_idle(info.conn_id);
+          } else {
+            {
+              const std::lock_guard lock(mutex_);
+              ++stats_.reaped;
+            }
+            reaped_metric.add();
+            close_connection(fd_it->second);
+          }
+          break;
+        }
+        case TimerKind::kStall: {
+          if (fd_it == fd_by_id.end()) break;
+          conn_timers[info.conn_id].stall_token = 0;
+          if (conns_by_fd.at(fd_it->second)->output_above(options_.output_high_water)) {
+            {
+              const std::lock_guard lock(mutex_);
+              ++stats_.timeouts;
+            }
+            timeouts_metric.add();
+            close_connection(fd_it->second);
+          }
+          break;
+        }
+        case TimerKind::kRequest:
+          on_request_deadline(info.conn_id, info.seq);
+          break;
+      }
+    }
+
+    // Flush, refresh interest and stall timers, and reap finished connections.
     std::vector<int> to_close;
     for (auto& [fd, conn] : conns_by_fd) {
       if (!conn->flush()) {
@@ -189,6 +438,7 @@ ServeStats SocketServer::run(ModelCache& cache, ThreadPool& pool) {
         to_close.push_back(fd);
         continue;
       }
+      update_stall(*conn);
       update_interest(*conn);
     }
     for (const int fd : to_close) close_connection(fd);
@@ -203,7 +453,8 @@ ServeStats SocketServer::run(ModelCache& cache, ThreadPool& pool) {
     }
 
     // Block until something is ready; during the drain poll at 50ms so a
-    // missed wakeup cannot stall shutdown.
+    // missed wakeup cannot stall shutdown. The EventLoop clamps the wait to
+    // the nearest armed deadline either way.
     for (const EventLoop::Event& event : loop.wait(stopping ? 50 : -1)) {
       if (event.fd == wake_read_fd_) {
         char buffer[256];
@@ -216,6 +467,10 @@ ServeStats SocketServer::run(ModelCache& cache, ThreadPool& pool) {
           const int client_fd =
               ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
           if (client_fd < 0) break;  // EAGAIN or transient: next readiness retries
+          if (fault_plan_armed() && fault_fires(FaultSite::kServeAccept, accepts++)) {
+            ::close(client_fd);  // injected accept failure: client sees a reset
+            continue;
+          }
           if (conns_by_fd.size() >= options_.max_connections) {
             rejected_metric.add();
             ::close(client_fd);
@@ -223,12 +478,19 @@ ServeStats SocketServer::run(ModelCache& cache, ThreadPool& pool) {
           }
           const int one = 1;
           ::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+          if (options_.sndbuf_bytes != 0) {
+            const int sndbuf = static_cast<int>(options_.sndbuf_bytes);
+            ::setsockopt(client_fd, SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof sndbuf);
+          }
           auto conn = std::make_unique<Connection>(client_fd, next_conn_id++,
                                                    options_.serve.max_request_bytes);
-          fd_by_id.emplace(conn->id(), client_fd);
+          const std::uint64_t conn_id = conn->id();
+          fd_by_id.emplace(conn_id, client_fd);
           loop.add(client_fd, true, false);
           conns_by_fd.emplace(client_fd, std::move(conn));
           connections_gauge.set(static_cast<double>(conns_by_fd.size()));
+          conn_timers.emplace(conn_id, ConnTimers{});
+          arm_idle(conn_id);  // the clock to the first line starts at accept
         }
         continue;
       }
@@ -237,6 +499,15 @@ ServeStats SocketServer::run(ModelCache& cache, ThreadPool& pool) {
       Connection& conn = *it->second;
       if (event.readable || event.closed) conn.read_some();
       enqueue_lines(conn);  // also picks up the EOF-mid-line final line
+      if (options_.idle_timeout_ms > 0) {
+        // A framed line — including a blank keepalive — resets the idle
+        // clock; partial bytes do not (slowloris drips still expire).
+        ConnTimers& ct = conn_timers[conn.id()];
+        if (conn.frames() != ct.frames_seen) {
+          ct.frames_seen = conn.frames();
+          arm_idle(conn.id());
+        }
+      }
       if (event.writable) conn.flush();
       // Teardown (EOF or write error) is decided by the sweep above.
     }
@@ -277,7 +548,10 @@ void SocketServer::scoring_main(ModelCache& cache, ThreadPool& pool) {
     {
       const std::lock_guard lock(mutex_);
       inflight_ -= done.size();
-      for (Done& d : done) completed_.push_back(std::move(d));
+      for (Done& d : done) {
+        inflight_ids_.erase({d.conn_id, d.seq});
+        completed_.push_back(std::move(d));
+      }
     }
     const char byte = 'c';
     [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
@@ -295,7 +569,8 @@ std::vector<SocketServer::Done> SocketServer::process_batch(std::vector<Work> ba
   struct Item {
     ScoreRequest request;
     std::string id_json = "null";
-    bool ready = false;  ///< response decided (parse error, or scored)
+    bool ready = false;  ///< response decided (parse error, expired, or scored)
+    bool deadline = false;  ///< expired before scoring began
     std::string response;
   };
   std::vector<Item> items(batch.size());
@@ -306,6 +581,20 @@ std::vector<SocketServer::Done> SocketServer::process_batch(std::vector<Work> ba
     Item& item = items[k];
     ++delta.requests;
     requests_metric.add();
+    // Pop-time deadline check: a request that expired while queued is
+    // answered without being scored, so a deep backlog of expired work
+    // drains at parse speed instead of scoring speed. (The loop-side timer
+    // usually answers first and this result is dropped; either way the
+    // client hears "deadline exceeded" exactly once.)
+    if (work.deadline_armed && std::chrono::steady_clock::now() >= work.deadline) {
+      item.id_json = extract_id_json(work.line);
+      ++delta.errors;
+      errors_metric.add();
+      item.ready = true;
+      item.deadline = true;
+      item.response = error_response(item.id_json, "deadline exceeded");
+      continue;
+    }
     try {
       if (work.oversized) {
         throw ParseError(format("request line of %zu bytes exceeds the %zu-byte limit",
@@ -320,6 +609,15 @@ std::vector<SocketServer::Done> SocketServer::process_batch(std::vector<Work> ba
       errors_metric.add();
       item.ready = true;
       item.response = error_response(item.id_json, e.what());
+    }
+  }
+
+  // Publish parsed ids so a request deadline firing mid-scoring can echo the
+  // right "id" in its loop-side error.
+  {
+    const std::lock_guard lock(mutex_);
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      inflight_ids_[{batch[k].conn_id, batch[k].seq}] = items[k].id_json;
     }
   }
 
@@ -393,6 +691,7 @@ std::vector<SocketServer::Done> SocketServer::process_batch(std::vector<Work> ba
     done[k].conn_id = batch[k].conn_id;
     done[k].seq = batch[k].seq;
     done[k].response = std::move(items[k].response);
+    done[k].deadline = items[k].deadline;
     latency_metric.observe(batch[k].wall.seconds());
   }
 

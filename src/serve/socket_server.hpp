@@ -26,6 +26,28 @@
 // Responses are delivered per connection in request order regardless of
 // completion order (Connection's reorder map).
 //
+// Time-based protection (all off by default, driven by the EventLoop's
+// deadline heap so the epoll/poll timeout always wakes at the nearest one):
+//   - idle_timeout_ms: a connection that frames no complete line for T ms is
+//     reaped (serve.reaped) — partial bytes do NOT reset the clock, so a
+//     slowloris drip-feeding one byte per interval still dies; blank
+//     keepalive lines DO reset it. A connection still owed responses or
+//     draining output is busy, not idle, and gets another interval.
+//   - write_stall_timeout_ms: a connection above the output high-water mark
+//     for T ms without draining below it is closed (serve.timeouts) — a
+//     stalled reader cannot pin its buffered responses forever, and cannot
+//     hold up the shutdown drain.
+//   - request_timeout_ms: an admitted request still queued or scoring when
+//     its deadline passes is answered {"id":...,"error":"deadline exceeded"}
+//     (serve.deadline_exceeded) by the loop thread; the scorer's eventual
+//     result for an already-answered request is dropped (each seq is
+//     delivered exactly once). The scorer also answers expired requests at
+//     queue-pop time without scoring them, so a deep backlog drains fast.
+//
+// {"cmd":"health"} lines are answered by the loop thread itself — never
+// queued, never admission-controlled — so probes get through when scoring
+// is saturated or the queue is full.
+//
 // Shutdown: request_stop() is async-signal-safe (atomic store + self-pipe
 // write) — the CLI calls it from the SIGTERM/SIGINT handler. The server
 // then stops accepting and reading, finishes every in-flight request,
@@ -33,14 +55,22 @@
 // Lines that still arrive during the drain (already buffered, or flushed
 // by a hangup event) are rejected "overloaded" rather than queued, so no
 // work can appear after the scoring thread has exited.
+//
+// Chaos seams: with a fault plan armed, serve_accept drops fresh accepts on
+// the floor and the connection-level sites (serve/connection.hpp) shorten
+// reads/writes and inject peer resets — all deterministic pure-hash firings,
+// so a chaos run is reproducible from its seed.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "parallel/thread_pool.hpp"
@@ -56,6 +86,13 @@ struct SocketServerOptions {
   std::size_t max_connections = 256;      ///< beyond this, accepts are closed
   std::size_t max_inflight = 1024;        ///< queued + scoring request cap
   std::size_t output_high_water = 1u << 20;  ///< read-side backpressure bound
+  std::uint32_t idle_timeout_ms = 0;   ///< reap line-less connections (0 = off)
+  std::uint32_t write_stall_timeout_ms = 0;  ///< close non-draining clients (0 = off)
+  std::uint32_t request_timeout_ms = 0;  ///< per-request answer deadline (0 = off)
+  /// SO_SNDBUF for accepted sockets (0 = kernel default). Pinning it small
+  /// makes write-side backpressure observable — the kernel otherwise
+  /// auto-tunes the send buffer into megabytes and hides a stalled reader.
+  std::size_t sndbuf_bytes = 0;
   ServeOptions serve;
 };
 
@@ -87,11 +124,14 @@ class SocketServer {
     bool oversized = false;
     std::size_t bytes = 0;  ///< original line length when oversized
     WallStopwatch wall;     ///< started at line receipt (latency metric)
+    bool deadline_armed = false;
+    std::chrono::steady_clock::time_point deadline{};  ///< answer-by time
   };
   struct Done {
     std::uint64_t conn_id = 0;
     std::uint64_t seq = 0;
     std::string response;
+    bool deadline = false;  ///< answered "deadline exceeded" at queue-pop time
   };
 
   void scoring_main(ModelCache& cache, ThreadPool& pool);
@@ -105,12 +145,15 @@ class SocketServer {
   int wake_write_fd_ = -1;
   std::atomic<bool> stop_{false};
 
-  std::mutex mutex_;                 ///< guards the four fields below
+  std::mutex mutex_;                 ///< guards the five fields below
   std::condition_variable work_cv_;  ///< scoring thread sleeps here
   std::deque<Work> queue_;
   std::vector<Done> completed_;
   std::size_t inflight_ = 0;  ///< queue_.size() + requests being scored
   ServeStats stats_;
+  /// Request ids the scorer has parsed but not yet completed, so a request
+  /// deadline that fires mid-scoring can still echo the right "id".
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::string> inflight_ids_;
 };
 
 }  // namespace frac

@@ -158,6 +158,15 @@ const std::vector<CommandSpec>& command_specs() {
            {"max-inflight", FlagKind::kSize, false, "N",
             "queued+scoring request cap for --listen; beyond it requests "
             "get {\"error\":\"overloaded\"} (default 1024)"},
+           {"idle-timeout-ms", FlagKind::kSize, false, "T",
+            "reap a --listen connection that frames no complete line for "
+            "T ms (default 0: never)"},
+           {"write-stall-timeout-ms", FlagKind::kSize, false, "T",
+            "close a --listen client that stays above the output high-water "
+            "mark for T ms without draining (default 0: never)"},
+           {"request-timeout-ms", FlagKind::kSize, false, "T",
+            "answer a request still queued or scoring after T ms with "
+            "{\"error\":\"deadline exceeded\"} (default 0: never)"},
        }},
   };
   return kSpecs;
@@ -537,6 +546,12 @@ int cmd_serve(const ParsedFlags& args) {
     std::tie(socket_options.listen_addr, socket_options.port) = parse_listen_address(*listen);
     socket_options.max_connections = args.get_size("max-connections", 256);
     socket_options.max_inflight = args.get_size("max-inflight", 1024);
+    socket_options.idle_timeout_ms =
+        static_cast<std::uint32_t>(args.get_size("idle-timeout-ms", 0));
+    socket_options.write_stall_timeout_ms =
+        static_cast<std::uint32_t>(args.get_size("write-stall-timeout-ms", 0));
+    socket_options.request_timeout_ms =
+        static_cast<std::uint32_t>(args.get_size("request-timeout-ms", 0));
     socket_options.serve = options;
 
     SocketServer server(socket_options);
@@ -553,16 +568,24 @@ int cmd_serve(const ParsedFlags& args) {
   }
   std::cerr << "serve: " << stats.requests << " requests, " << stats.samples << " samples, "
             << stats.errors << " errors";
-  if (listen) std::cerr << ", " << stats.rejected << " rejected";
+  if (listen) {
+    std::cerr << ", " << stats.rejected << " rejected, " << stats.reaped << " reaped, "
+              << stats.timeouts << " stalled, " << stats.deadline_exceeded
+              << " past deadline";
+  }
   std::cerr << "\n";
   if (g_manifest != nullptr) {
     g_manifest->set("serve.model", options.default_model);
     g_manifest->set_measured("serve.requests", stats.requests);
     g_manifest->set_measured("serve.samples", stats.samples);
     g_manifest->set_measured("serve.errors", stats.errors);
+    g_manifest->set_measured("serve.health", stats.health);
     if (listen) {
       g_manifest->set("serve.listen", *listen);
       g_manifest->set_measured("serve.rejected", stats.rejected);
+      g_manifest->set_measured("serve.reaped", stats.reaped);
+      g_manifest->set_measured("serve.timeouts", stats.timeouts);
+      g_manifest->set_measured("serve.deadline_exceeded", stats.deadline_exceeded);
     }
   }
   return 0;

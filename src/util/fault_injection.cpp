@@ -65,6 +65,10 @@ const char* fault_site_name(FaultSite site) noexcept {
     case FaultSite::kErrorModelFit: return "error_model_fit";
     case FaultSite::kSerializeWrite: return "serialize_write";
     case FaultSite::kDatasetLoad: return "dataset_load";
+    case FaultSite::kServeAccept: return "serve_accept";
+    case FaultSite::kServeReadShort: return "serve_read_short";
+    case FaultSite::kServeWriteShort: return "serve_write_short";
+    case FaultSite::kServeConnReset: return "serve_conn_reset";
   }
   return "unknown";
 }
@@ -76,7 +80,8 @@ FaultSite fault_site_from_name(const std::string& name) {
   }
   throw std::invalid_argument("unknown fault site '" + name +
                               "' (want predictor_train, error_model_fit, serialize_write, "
-                              "or dataset_load)");
+                              "dataset_load, serve_accept, serve_read_short, "
+                              "serve_write_short, or serve_conn_reset)");
 }
 
 InjectedFault::InjectedFault(FaultSite site, std::uint64_t key)

@@ -26,16 +26,29 @@
 
 namespace frac {
 
-/// The fault-prone operations that carry injection points.
+/// The fault-prone operations that carry injection points. The serve_* sites
+/// perturb socket I/O instead of throwing: an armed serve_accept drops the
+/// freshly accepted connection, serve_read_short / serve_write_short truncate
+/// one I/O to a single byte (no data is lost — the event loop's level-
+/// triggered readiness retries), and serve_conn_reset fails the connection as
+/// if the peer reset it. They are queried with fault_fires(), keyed by a
+/// per-connection I/O operation index, and drive the chaos suite in
+/// tests/serve/.
 enum class FaultSite : std::uint8_t {
   kPredictorTrain = 0,  ///< unit predictor training (CV folds + retained)
   kErrorModelFit,       ///< unit error-model fitting
   kSerializeWrite,      ///< model / dataset / checkpoint file writes
   kDatasetLoad,         ///< dataset CSV loading
+  kServeAccept,         ///< socket accept: drop the new connection
+  kServeReadShort,      ///< socket read truncated to one byte
+  kServeWriteShort,     ///< socket write truncated to one byte
+  kServeConnReset,      ///< connection fails as if the peer reset it
 };
-inline constexpr std::size_t kFaultSiteCount = 4;
+inline constexpr std::size_t kFaultSiteCount = 8;
 
-/// "predictor_train", "error_model_fit", "serialize_write", "dataset_load".
+/// "predictor_train", "error_model_fit", "serialize_write", "dataset_load",
+/// "serve_accept", "serve_read_short", "serve_write_short",
+/// "serve_conn_reset".
 const char* fault_site_name(FaultSite site) noexcept;
 
 /// Inverse of fault_site_name; throws std::invalid_argument on unknown names.
@@ -72,6 +85,12 @@ namespace fault_detail {
 extern std::atomic<bool> g_armed;
 void maybe_inject_slow(FaultSite site, std::uint64_t key);
 }  // namespace fault_detail
+
+/// True when any site is armed — the cheap guard for perturbation sites
+/// (the serve_* I/O sites) that query fault_fires() instead of throwing.
+inline bool fault_plan_armed() noexcept {
+  return fault_detail::g_armed.load(std::memory_order_relaxed);
+}
 
 /// Throws InjectedFault iff (site, key) fires under the active plan.
 /// Near-zero cost when no plan is armed.

@@ -95,6 +95,21 @@ Registry<Counter>& counters() {
       "grid.cells_skipped",
       "grid.cells_failed",
       "log.messages",
+      "serve.requests",
+      "serve.samples",
+      "serve.errors",
+      "serve.rejected",
+      "serve.timeouts",
+      "serve.reaped",
+      "serve.deadline_exceeded",
+      "serve.health",
+      "serve.bundle.opened",
+      "serve.bundle.zero_copy",
+      "serve.model_cache.hits",
+      "serve.model_cache.misses",
+      "serve.model_cache.coalesced_loads",
+      "serve.model_cache.reloads",
+      "serve.model_cache.evictions",
   });
   return *r;
 }
@@ -105,6 +120,9 @@ Registry<Gauge>& gauges() {
       "pool.threads",
       "frac.train_workspace_bytes",
       "frac.peak_bytes",
+      "serve.connections",
+      "serve.queue_depth",
+      "serve.model_cache.resident",
   });
   return *r;
 }
@@ -113,6 +131,7 @@ Registry<Histogram>& histograms() {
   static Registry<Histogram>* r = new Registry<Histogram>({
       "frac.unit_train_seconds",
       "grid.cell_cpu_seconds",
+      "serve.request_seconds",
   });
   return *r;
 }

@@ -1,0 +1,452 @@
+// Network chaos harness for the TCP serving tier (docs/serve_protocol.md,
+// "Chaos invariants").
+//
+// A fault-armed server (all four serve_* injection sites firing on the
+// pure-hash contract of util/fault_injection.hpp) faces concurrent
+// adversarial clients — slowloris drips, mid-JSON connection resets,
+// stalled readers, oversize floods — alongside well-behaved clients.
+// The invariants, checked from the client side plus the final ServeStats:
+//
+//   1. No wedge: every blocking client read either completes or ends in
+//      EOF/reset. A receive *timeout* means the server stopped answering
+//      and fails the test.
+//   2. Byte identity survives perturbation: the response stream on any
+//      connection is a prefix of the stdin loop's output for the same
+//      requests (a reset truncates the stream; it never corrupts it), and
+//      at least one well-behaved client sees the full output verbatim.
+//   3. Protection fires: slowloris connections are reaped, stalled readers
+//      are closed — neither can pin the server or its shutdown drain.
+//   4. The drain terminates: request_stop() returns within the watchdog
+//      budget with every accepted-and-admitted request answered or its
+//      connection closed.
+//
+// Everything here must also hold under ThreadSanitizer — the CI chaos job
+// runs exactly this suite with TSan on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "data/expression_generator.hpp"
+#include "frac/frac.hpp"
+#include "serve/model_cache.hpp"
+#include "serve/server.hpp"
+#include "serve/socket_server.hpp"
+#include "util/fault_injection.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+
+namespace frac {
+namespace {
+
+ThreadPool& pool() {
+  static ThreadPool p(4);
+  return p;
+}
+
+struct Fixture {
+  FracModel model;
+  Dataset test;
+  std::string path;
+};
+
+const Fixture& fixture() {
+  static const Fixture f = [] {
+    ExpressionModelConfig c;
+    c.features = 20;
+    c.modules = 2;
+    c.genes_per_module = 5;
+    c.disease_modules = 1;
+    c.seed = 73;
+    const ExpressionModel gen(c);
+    Rng rng(173);
+    const Dataset train = gen.sample(25, Label::kNormal, rng);
+    Fixture built{FracModel::train(train, {}, pool()),
+                  gen.sample(8, Label::kAnomaly, rng),
+                  ::testing::TempDir() + "chaos_fixture.fracmdl"};
+    built.model.save_file(built.path, ModelFormat::kBinary);
+    return built;
+  }();
+  return f;
+}
+
+std::vector<std::string> fixture_request_lines() {
+  std::vector<std::string> lines;
+  for (std::size_t i = 0; i < fixture().test.sample_count(); ++i) {
+    const auto row = fixture().test.values().row(i);
+    std::string line = "{\"id\":" + std::to_string(i) + ",\"values\":[";
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (j != 0) line.push_back(',');
+      line += format_g17(row[j]);
+    }
+    line += "]}";
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+std::string stdin_loop_output(const std::vector<std::string>& lines,
+                              const ServeOptions& options) {
+  std::string input;
+  for (const std::string& line : lines) input += line + "\n";
+  ModelCache cache(2);
+  std::istringstream in(input);
+  std::ostringstream out;
+  (void)run_serve_loop(in, out, options, cache, pool());
+  return out.str();
+}
+
+int connect_to(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void set_recv_timeout(int fd, int seconds) {
+  struct timeval tv = {};
+  tv.tv_sec = seconds;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+}
+
+/// Best-effort send; false when the connection died mid-send (chaos, not a
+/// test failure — the reader still collects whatever was answered).
+bool send_best_effort(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+enum class ReadEnd { kComplete, kClosed, kTimedOut };
+
+/// Reads until `count` newlines, EOF/reset, or the SO_RCVTIMEO expires.
+/// kTimedOut is the wedge signal: the connection is open but silent.
+ReadEnd read_until(int fd, std::size_t count, std::string* out) {
+  std::size_t newlines = 0;
+  char chunk[4096];
+  while (newlines < count) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n == 0) return ReadEnd::kClosed;
+    if (n < 0) {
+      return (errno == EAGAIN || errno == EWOULDBLOCK) ? ReadEnd::kTimedOut
+                                                       : ReadEnd::kClosed;
+    }
+    for (ssize_t k = 0; k < n; ++k) {
+      if (chunk[k] == '\n') ++newlines;
+    }
+    out->append(chunk, static_cast<std::size_t>(n));
+  }
+  return ReadEnd::kComplete;
+}
+
+/// Failures recorded by client threads, asserted on the main thread.
+class FailureLog {
+ public:
+  void add(std::string message) {
+    const std::lock_guard lock(mutex_);
+    messages_.push_back(std::move(message));
+  }
+  std::string render() {
+    const std::lock_guard lock(mutex_);
+    std::string all;
+    for (const std::string& m : messages_) all += m + "\n";
+    return all;
+  }
+  bool empty() {
+    const std::lock_guard lock(mutex_);
+    return messages_.empty();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::string> messages_;
+};
+
+bool wait_for_counter(Counter& counter, std::uint64_t before, int seconds) {
+  const auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+  while (counter.value() == before) {
+    if (std::chrono::steady_clock::now() > give_up) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return true;
+}
+
+TEST(Chaos, ServeFaultSitesAreDeterministicPureFunctions) {
+  const ScopedFaultPlan plan(
+      "serve_accept:0.5:11,serve_read_short:0.5:12,serve_write_short:0.5:13,"
+      "serve_conn_reset:0.5:14");
+  ASSERT_TRUE(fault_plan_armed());
+  const FaultSite sites[] = {FaultSite::kServeAccept, FaultSite::kServeReadShort,
+                             FaultSite::kServeWriteShort, FaultSite::kServeConnReset};
+  for (const FaultSite site : sites) {
+    EXPECT_EQ(fault_site_from_name(fault_site_name(site)), site);
+    std::size_t fired = 0;
+    for (std::uint64_t key = 0; key < 1000; ++key) {
+      const bool first = fault_fires(site, key);
+      EXPECT_EQ(fault_fires(site, key), first) << "firing not deterministic";
+      fired += first ? 1u : 0u;
+    }
+    // p=0.5 over 1000 keys: a correct hash cannot plausibly leave [350, 650].
+    EXPECT_GT(fired, 350u) << fault_site_name(site);
+    EXPECT_LT(fired, 650u) << fault_site_name(site);
+  }
+}
+
+TEST(Chaos, TruncatedIoPreservesByteIdentity) {
+  // Every socket read and write truncated to ONE byte — the worst legal
+  // perturbation short of a reset. The response stream must still be
+  // byte-identical to the stdin loop: truncation may only slow the bytes
+  // down, never reorder, drop, or corrupt them.
+  const std::vector<std::string> lines = fixture_request_lines();
+  SocketServerOptions options;
+  options.port = 0;
+  options.serve.default_model = fixture().path;
+  const std::string expected = stdin_loop_output(lines, options.serve);
+  ASSERT_FALSE(expected.empty());
+
+  const ScopedFaultPlan plan("serve_read_short:1:21,serve_write_short:1:22");
+  ModelCache cache(4);
+  SocketServer server(options);
+  ServeStats stats;
+  std::thread server_thread([&] { stats = server.run(cache, pool()); });
+
+  const int fd = connect_to(server.port());
+  ASSERT_GE(fd, 0);
+  set_recv_timeout(fd, 30);
+  std::string input;
+  for (const std::string& line : lines) input += line + "\n";
+  ASSERT_TRUE(send_best_effort(fd, input));
+  std::string got;
+  EXPECT_EQ(read_until(fd, lines.size(), &got), ReadEnd::kComplete)
+      << "one-byte I/O wedged the server";
+  EXPECT_EQ(got, expected);
+  ::close(fd);
+
+  server.request_stop();
+  server_thread.join();
+  EXPECT_EQ(stats.requests, lines.size());
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(Chaos, AdversarialClientsAgainstFaultArmedServer) {
+  const std::vector<std::string> lines = fixture_request_lines();
+  SocketServerOptions options;
+  options.port = 0;
+  options.serve.default_model = fixture().path;
+  options.serve.max_request_bytes = 1024;  // the flood's lines must overflow
+  options.idle_timeout_ms = 100;
+  options.write_stall_timeout_ms = 100;
+  options.request_timeout_ms = 5000;  // generous: surviving requests score
+  options.output_high_water = 16384;
+  options.sndbuf_bytes = 8192;  // stalled readers must back up fast
+  const std::string expected = stdin_loop_output(lines, options.serve);
+  ASSERT_FALSE(expected.empty());
+  std::string input;
+  for (const std::string& line : lines) input += line + "\n";
+
+  // All four serve sites armed at the acceptance floor or above, fixed
+  // seeds: which connection draws which fault depends on accept order, but
+  // every firing is a pure function of (site, seed, key).
+  const ScopedFaultPlan plan(
+      "serve_accept:0.05:101,serve_read_short:0.1:102,serve_write_short:0.1:103,"
+      "serve_conn_reset:0.05:104");
+
+  ModelCache cache(4);
+  SocketServer server(options);
+  ServeStats stats;
+  std::thread server_thread([&] { stats = server.run(cache, pool()); });
+
+  FailureLog failures;
+  std::atomic<int> full_matches{0};
+  Counter& reaped = metrics_counter("serve.reaped");
+  Counter& stalled = metrics_counter("serve.timeouts");
+  const std::uint64_t reaped_before = reaped.value();
+  const std::uint64_t stalled_before = stalled.value();
+
+  std::vector<std::thread> clients;
+
+  // Well-behaved clients: pipeline the fixture requests, require a clean
+  // prefix of the stdin loop's bytes every attempt, retry until one attempt
+  // survives the chaos end to end.
+  for (int c = 0; c < 8; ++c) {
+    clients.emplace_back([&, c] {
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const int fd = connect_to(server.port());
+        if (fd < 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          continue;
+        }
+        set_recv_timeout(fd, 10);
+        (void)send_best_effort(fd, input);  // a reset mid-send is chaos, not failure
+        std::string got;
+        const ReadEnd end = read_until(fd, lines.size(), &got);
+        ::close(fd);
+        if (end == ReadEnd::kTimedOut) {
+          failures.add("normal client " + std::to_string(c) +
+                       ": server went silent (wedge) on attempt " + std::to_string(attempt));
+          return;
+        }
+        if (expected.compare(0, got.size(), got) != 0) {
+          failures.add("normal client " + std::to_string(c) +
+                       ": response stream is not a prefix of the stdin loop's output");
+          return;
+        }
+        if (got == expected) {
+          full_matches.fetch_add(1);
+          return;
+        }
+        // Truncated by a reset: try again on a fresh connection.
+      }
+    });
+  }
+
+  // Slowloris: drip bytes that never complete a line until the idle reaper
+  // advances; a server that tolerates the drip forever fails below.
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&] {
+      const auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      while (reaped.value() == reaped_before &&
+             std::chrono::steady_clock::now() < give_up) {
+        const int fd = connect_to(server.port());
+        if (fd < 0) continue;
+        for (int drip = 0; drip < 30 && reaped.value() == reaped_before; ++drip) {
+          if (::send(fd, "{", 1, MSG_NOSIGNAL) <= 0) break;  // reaped or reset
+          std::this_thread::sleep_for(std::chrono::milliseconds(15));
+        }
+        ::close(fd);
+      }
+    });
+  }
+
+  // Mid-JSON resets: abort (RST) halfway through a request line, repeatedly.
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&] {
+      for (int k = 0; k < 10; ++k) {
+        const int fd = connect_to(server.port());
+        if (fd < 0) continue;
+        (void)send_best_effort(fd, "{\"id\":7,\"values\":[1,2,");
+        const struct linger abort_on_close = {1, 0};
+        ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &abort_on_close, sizeof abort_on_close);
+        ::close(fd);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+  }
+
+  // Stalled readers: request big batches, never read, until the write-stall
+  // timer has provably closed someone.
+  const std::string zeros = [] {
+    std::string z = "0";
+    for (int j = 1; j < 20; ++j) z += ",0";
+    return z;
+  }();
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&] {
+      std::string batch = "{\"batch\":[[" + zeros + "]";
+      // ~880 bytes — under max_request_bytes. 200 responses x ~400 bytes of
+      // scores is ~80 KB, far beyond sndbuf + rcvbuf + the high-water mark.
+      for (int r = 1; r < 20; ++r) batch += ",[" + zeros + "]";
+      batch += "]}\n";
+      std::string flood;
+      for (int k = 0; k < 200; ++k) flood += batch;
+      const auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      while (stalled.value() == stalled_before &&
+             std::chrono::steady_clock::now() < give_up) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) continue;
+        const int tiny = 4096;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof tiny);
+        struct sockaddr_in addr = {};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(server.port());
+        ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+        if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) != 0) {
+          ::close(fd);
+          continue;
+        }
+        // Blocking sends; the server closing us (stall timer) unblocks them.
+        (void)send_best_effort(fd, flood);
+        (void)wait_for_counter(stalled, stalled_before, 1);
+        ::close(fd);
+      }
+    });
+  }
+
+  // Oversize floods: every line over max_request_bytes. Each must be
+  // answered with the oversize error (or the connection reset by a fault) —
+  // never silence.
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      const std::string junk(4096, 'x');
+      std::string flood;
+      for (int k = 0; k < 10; ++k) flood += junk + "\n";
+      const int fd = connect_to(server.port());
+      if (fd < 0) return;
+      set_recv_timeout(fd, 10);
+      (void)send_best_effort(fd, flood);
+      std::string got;
+      if (read_until(fd, 10, &got) == ReadEnd::kTimedOut) {
+        failures.add("flood client " + std::to_string(c) + ": server went silent (wedge)");
+      }
+      std::istringstream responses(got);
+      std::string line;
+      while (std::getline(responses, line)) {
+        if (line.find("exceeds") == std::string::npos) {
+          failures.add("flood client " + std::to_string(c) +
+                       ": oversize line got a non-oversize answer: " + line);
+        }
+      }
+      ::close(fd);
+    });
+  }
+
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_TRUE(failures.empty()) << failures.render();
+  EXPECT_GE(full_matches.load(), 1)
+      << "no well-behaved client ever survived to a byte-identical full run";
+  EXPECT_TRUE(wait_for_counter(reaped, reaped_before, 10))
+      << "idle reaper never fired on a slowloris drip";
+  EXPECT_TRUE(wait_for_counter(stalled, stalled_before, 10))
+      << "write-stall timer never fired on a stalled reader";
+
+  // The drain must terminate — open adversarial remnants, queued work, and
+  // armed faults notwithstanding. A wedge here is the bug this harness
+  // exists to catch, so give it a watchdog instead of hanging the suite.
+  auto drained = std::async(std::launch::async, [&] {
+    server.request_stop();
+    server_thread.join();
+  });
+  ASSERT_EQ(drained.wait_for(std::chrono::seconds(60)), std::future_status::ready)
+      << "graceful drain wedged under chaos";
+  EXPECT_GE(stats.reaped, 1u);
+  EXPECT_GE(stats.timeouts, 1u);
+}
+
+}  // namespace
+}  // namespace frac

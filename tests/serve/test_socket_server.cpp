@@ -182,11 +182,88 @@ TEST(EventLoop, ReportsPipeReadiness) {
 }
 
 #ifdef __linux__
-TEST(EventLoop, UsesEpollOnLinux) {
+TEST(EventLoop, UsesEpollOnLinuxUnlessPollIsForced) {
+  // Under FRAC_FORCE_POLL=1 (the CI backend-matrix run) the same suite must
+  // exercise the poll(2) fallback on a kernel that has epoll.
   EventLoop loop;
-  EXPECT_TRUE(loop.using_epoll());
+  EXPECT_EQ(loop.using_epoll(), !EventLoop::force_poll());
 }
 #endif
+
+TEST(EventLoop, ForcePollDisablesEpollButStillReportsReadiness) {
+  const bool saved = EventLoop::force_poll();
+  EventLoop::set_force_poll(true);
+  {
+    EventLoop loop;
+    EXPECT_FALSE(loop.using_epoll());
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    loop.add(fds[0], true, false);
+    ASSERT_EQ(::write(fds[1], "x", 1), 1);
+    const auto& ready = loop.wait(1000);
+    ASSERT_EQ(ready.size(), 1u);
+    EXPECT_EQ(ready[0].fd, fds[0]);
+    EXPECT_TRUE(ready[0].readable);
+    loop.remove(fds[0]);
+    ::close(fds[0]);
+    ::close(fds[1]);
+  }
+  EventLoop::set_force_poll(saved);
+}
+
+TEST(EventLoop, WaitWakesForTheNearestDeadlineAndPopsIt) {
+  EventLoop loop;
+  const auto start = EventLoop::Clock::now();
+  loop.arm_deadline(7, start + std::chrono::milliseconds(10));
+  loop.arm_deadline(8, start + std::chrono::milliseconds(15));
+  loop.arm_deadline(9, start + std::chrono::hours(1));
+  loop.cancel_deadline(8);
+  EXPECT_EQ(loop.armed_deadlines(), 2u);
+
+  // An "infinite" wait must return when token 7 expires — not in an hour.
+  // (Bounded wait per iteration so a regression fails instead of hanging;
+  // EINTR can pop the loop early with nothing expired.)
+  std::vector<std::uint64_t> expired;
+  while (expired.empty() && EventLoop::Clock::now() < start + std::chrono::seconds(10)) {
+    (void)loop.wait(200);
+    expired = loop.expired();
+  }
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0], 7u) << "canceled deadline fired";
+  EXPECT_EQ(loop.armed_deadlines(), 1u) << "far deadline must stay armed";
+  loop.cancel_deadline(9);
+  EXPECT_EQ(loop.armed_deadlines(), 0u);
+}
+
+TEST(EventLoop, ReArmingATokenReplacesItsDeadline) {
+  EventLoop loop;
+  const auto now = EventLoop::Clock::now();
+  loop.arm_deadline(5, now + std::chrono::milliseconds(5));
+  loop.arm_deadline(5, now + std::chrono::hours(1));
+  EXPECT_EQ(loop.armed_deadlines(), 1u);
+  (void)loop.wait(30);
+  EXPECT_TRUE(loop.expired().empty()) << "replaced deadline still fired";
+  loop.cancel_deadline(5);
+  EXPECT_EQ(loop.armed_deadlines(), 0u);
+}
+
+TEST(EventLoop, ExpiredDeadlinesPopInTimeOrder) {
+  EventLoop loop;
+  const auto start = EventLoop::Clock::now();
+  loop.arm_deadline(21, start + std::chrono::milliseconds(6));
+  loop.arm_deadline(22, start + std::chrono::milliseconds(2));
+  loop.arm_deadline(23, start + std::chrono::milliseconds(4));
+  std::vector<std::uint64_t> order;
+  while (order.size() < 3 && EventLoop::Clock::now() < start + std::chrono::seconds(10)) {
+    (void)loop.wait(50);
+    const auto& expired = loop.expired();
+    order.insert(order.end(), expired.begin(), expired.end());
+  }
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 22u);
+  EXPECT_EQ(order[1], 23u);
+  EXPECT_EQ(order[2], 21u);
+}
 
 TEST(Connection, FramesLinesAcrossPartialReads) {
   int fds[2];
@@ -566,6 +643,294 @@ TEST(SocketServer, StopBeforeAnyConnectionReturnsCleanly) {
   RunningServer running(options);
   const ServeStats stats = running.stop_and_join();
   EXPECT_EQ(stats.requests, 0u);
+}
+
+std::string zeros_row() {
+  std::string zeros = "0";
+  for (int j = 1; j < 20; ++j) zeros += ",0";
+  return zeros;
+}
+
+/// Spins until `counter` advances past `before` (or 10s pass — failure).
+bool wait_for_counter(Counter& counter, std::uint64_t before) {
+  const auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (counter.value() == before) {
+    if (std::chrono::steady_clock::now() > give_up) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
+}
+
+TEST(SocketServer, IdleTimeoutReapsSlowlorisConnections) {
+  SocketServerOptions options = base_options();
+  options.idle_timeout_ms = 40;
+  RunningServer running(options);
+  const int fd = connect_to(running.server.port());
+  ASSERT_GE(fd, 0);
+
+  // Drip bytes that never complete a line: progress at the byte level must
+  // NOT reset the idle clock (that is the slowloris hole).
+  Counter& reaped = metrics_counter("serve.reaped");
+  const std::uint64_t before = reaped.value();
+  for (int k = 0; k < 30 && reaped.value() == before; ++k) {
+    (void)::send(fd, "{", 1, MSG_NOSIGNAL);  // ignore EPIPE once reaped
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(wait_for_counter(reaped, before)) << "slowloris connection never reaped";
+
+  char byte;
+  EXPECT_LE(::read(fd, &byte, 1), 0) << "server side still open after the reap";
+  ::close(fd);
+  const ServeStats stats = running.stop_and_join();
+  EXPECT_GE(stats.reaped, 1u);
+  EXPECT_EQ(stats.requests, 0u);
+}
+
+TEST(SocketServer, ActiveConnectionsOutliveTheIdleTimeout) {
+  SocketServerOptions options = base_options();
+  options.idle_timeout_ms = 60;
+  RunningServer running(options);
+  const int fd = connect_to(running.server.port());
+  ASSERT_GE(fd, 0);
+
+  // Five round-trips spread over ~2.5 intervals: every framed line resets
+  // the clock, so a live request/response rhythm must never be reaped.
+  const std::string request = "{\"id\":1,\"values\":[" + zeros_row() + "]}\n";
+  for (int k = 0; k < 5; ++k) {
+    ASSERT_TRUE(send_all(fd, request)) << "reaped mid-conversation at round " << k;
+    ASSERT_FALSE(read_lines(fd, 1).empty()) << "no answer at round " << k;
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  ::close(fd);
+  const ServeStats stats = running.stop_and_join();
+  EXPECT_EQ(stats.reaped, 0u);
+  EXPECT_EQ(stats.requests, 5u);
+}
+
+TEST(SocketServer, BlankKeepalivesResetTheIdleClock) {
+  SocketServerOptions options = base_options();
+  options.idle_timeout_ms = 60;
+  RunningServer running(options);
+  const int fd = connect_to(running.server.port());
+  ASSERT_GE(fd, 0);
+  // Only blank lines for ~3 intervals, then a real request: the keepalives
+  // must hold the connection open even though no request was ever framed.
+  for (int k = 0; k < 6; ++k) {
+    ASSERT_TRUE(send_all(fd, "\n")) << "keepalive did not keep alive (round " << k << ")";
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  ASSERT_TRUE(send_all(fd, "{\"id\":9,\"values\":[" + zeros_row() + "]}\n"));
+  const std::string output = read_lines(fd, 1);
+  ASSERT_FALSE(output.empty());
+  EXPECT_NE(parse_json(output).find("ns"), nullptr) << output;
+  ::close(fd);
+  const ServeStats stats = running.stop_and_join();
+  EXPECT_EQ(stats.reaped, 0u);
+}
+
+TEST(SocketServer, WriteStallTimeoutClosesStalledReaders) {
+  SocketServerOptions options = base_options();
+  options.output_high_water = 4096;  // tiny, so buffered responses trip it
+  options.write_stall_timeout_ms = 60;
+  options.sndbuf_bytes = 8192;  // pin the kernel buffer so the stall is visible
+  RunningServer running(options);
+
+  // A client with a tiny receive buffer that never reads: the (pinned) kernel
+  // windows fill, responses back up in the server's output buffer above the
+  // high-water mark, and the stall timer must close the connection.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  const int tiny = 4096;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof tiny);
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(running.server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr), 0);
+
+  // ~10 batch responses x ~20 KB each, far beyond rcvbuf + sndbuf + HWM.
+  std::string batch = "{\"id\":0,\"batch\":[[" + zeros_row() + "]";
+  for (int r = 1; r < 1000; ++r) batch += ",[" + zeros_row() + "]";
+  batch += "]}\n";
+  std::string input;
+  for (int k = 0; k < 10; ++k) input += batch;
+
+  Counter& timeouts = metrics_counter("serve.timeouts");
+  const std::uint64_t before = timeouts.value();
+  std::size_t sent = 0;
+  while (sent < input.size()) {
+    // Blocking send: once the server's output backs up it stops reading us,
+    // this blocks, and the stall timer's close (client sees a reset) is what
+    // unblocks it — a wedged stall detector would hang the test instead.
+    const ssize_t n = ::send(fd, input.data() + sent, input.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  EXPECT_TRUE(wait_for_counter(timeouts, before)) << "stalled reader never closed";
+  ::close(fd);
+  const ServeStats stats = running.stop_and_join();
+  EXPECT_GE(stats.timeouts, 1u);
+}
+
+TEST(SocketServer, RequestTimeoutAnswersDeadlineExceeded) {
+  SocketServerOptions options = base_options();
+  options.request_timeout_ms = 50;
+  RunningServer running(options);
+  const int fd = connect_to(running.server.port());
+  ASSERT_GE(fd, 0);
+
+  // A batch big enough to keep the scorer busy for many deadline intervals.
+  std::string big = "{\"id\":0,\"batch\":[[" + zeros_row() + "]";
+  for (int r = 1; r < 15000; ++r) big += ",[" + zeros_row() + "]";
+  big += "],\"top_k\":5}\n";
+  Counter& admitted = metrics_counter("serve.requests");
+  const std::uint64_t before = admitted.value();
+  ASSERT_TRUE(send_all(fd, big));
+  // Once serve.requests ticks the scorer has popped the big batch; the two
+  // small requests below therefore sit in an empty queue behind it, and
+  // their 50ms deadlines fire long before the scorer is free again. Both
+  // must be answered "deadline exceeded" without ever being scored — ids
+  // echoed from the queued lines, responses in request order. The big batch
+  // itself also times out (mid-parse or mid-scoring).
+  ASSERT_TRUE(wait_for_counter(admitted, before));
+  ASSERT_TRUE(send_all(fd, "{\"id\":1,\"values\":[" + zeros_row() + "]}\n"
+                           "{\"id\":2,\"values\":[" + zeros_row() + "]}\n"));
+  const std::string output = read_lines(fd, 3);
+  ::close(fd);
+
+  std::istringstream lines(output);
+  std::string first, second, third;
+  ASSERT_TRUE(std::getline(lines, first));
+  ASSERT_TRUE(std::getline(lines, second));
+  ASSERT_TRUE(std::getline(lines, third));
+  EXPECT_NE(first.find("\"error\":\"deadline exceeded\""), std::string::npos) << first;
+  EXPECT_EQ(second, "{\"id\":1,\"error\":\"deadline exceeded\"}") << second;
+  EXPECT_EQ(third, "{\"id\":2,\"error\":\"deadline exceeded\"}") << third;
+
+  const ServeStats stats = running.stop_and_join();
+  EXPECT_GE(stats.deadline_exceeded, 3u);
+  EXPECT_GE(stats.errors, 3u);
+}
+
+TEST(SocketServer, HealthProbeBypassesAFullQueue) {
+  SocketServerOptions options = base_options();
+  options.max_inflight = 1;
+  RunningServer running(options);
+
+  // Occupy the only inflight slot with a slow batch on connection 1...
+  const int busy = connect_to(running.server.port());
+  ASSERT_GE(busy, 0);
+  std::string big = "{\"id\":0,\"batch\":[[" + zeros_row() + "]";
+  for (int r = 1; r < 2000; ++r) big += ",[" + zeros_row() + "]";
+  big += "],\"top_k\":5}\n";
+  Counter& admitted = metrics_counter("serve.requests");
+  const std::uint64_t before = admitted.value();
+  ASSERT_TRUE(send_all(busy, big));
+  ASSERT_TRUE(wait_for_counter(admitted, before));
+
+  // ...then probe from connection 2: the probe must be answered while the
+  // queue is full (a scoring request on the same connection is rejected).
+  const int probe = connect_to(running.server.port());
+  ASSERT_GE(probe, 0);
+  ASSERT_TRUE(send_all(probe, "{\"id\":\"p\",\"cmd\":\"health\"}\n{\"id\":2,\"values\":[" +
+                                  zeros_row() + "]}\n"));
+  const std::string output = read_lines(probe, 2);
+  ::close(probe);
+  ::close(busy);
+
+  std::istringstream lines(output);
+  std::string first, second;
+  ASSERT_TRUE(std::getline(lines, first));
+  ASSERT_TRUE(std::getline(lines, second));
+
+  const JsonValue health_response = parse_json(first);
+  EXPECT_EQ(health_response.find("id")->as_string(), "p");
+  const JsonValue* health = health_response.find("health");
+  ASSERT_NE(health, nullptr) << first;
+  EXPECT_EQ(health->find("status")->as_string(), "ok");
+  EXPECT_EQ(health->find("model")->as_string(), fixture().path);
+  EXPECT_TRUE(health->find("model_crc32")->is_number()) << "resident model must report a CRC";
+  EXPECT_TRUE(health->find("uptime_ms")->is_number());
+  EXPECT_GE(health->find("inflight")->as_number(), 1.0) << "the busy batch is in flight";
+
+  const JsonValue second_response = parse_json(second);
+  const JsonValue* error = second_response.find("error");
+  ASSERT_NE(error, nullptr) << second;
+  EXPECT_EQ(error->as_string(), "overloaded") << "scoring request must still be rejected";
+
+  const ServeStats stats = running.stop_and_join();
+  EXPECT_EQ(stats.health, 1u);
+  EXPECT_EQ(stats.rejected, 1u);
+}
+
+TEST(SocketServer, UnknownCmdGetsAnErrorWithoutTouchingTheQueue) {
+  SocketServerOptions options = base_options();
+  RunningServer running(options);
+  const int fd = connect_to(running.server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(send_all(fd, "{\"id\":3,\"cmd\":\"flush\"}\n"));
+  const std::string output = read_lines(fd, 1);
+  ::close(fd);
+  EXPECT_EQ(output, "{\"id\":3,\"error\":\"request: unknown \\\"cmd\\\" "
+                    "(supported: \\\"health\\\")\"}\n");
+  const ServeStats stats = running.stop_and_join();
+  EXPECT_EQ(stats.requests, 0u) << "command lines must not be queued or scored";
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_EQ(stats.health, 0u);
+}
+
+TEST(ServeLoop, HealthCommandOnStdin) {
+  ServeOptions options;
+  options.default_model = fixture().path;
+  ModelCache cache(2);
+  std::istringstream in("{\"id\":\"h\",\"cmd\":\"health\"}\n"
+                        "{\"cmd\":\"bogus\"}\n"
+                        "{\"id\":5,\"values\":[" + zeros_row() + "]}\n");
+  std::ostringstream out;
+  const ServeStats stats = run_serve_loop(in, out, options, cache, pool());
+
+  std::istringstream lines(out.str());
+  std::string first, second, third;
+  ASSERT_TRUE(std::getline(lines, first));
+  ASSERT_TRUE(std::getline(lines, second));
+  ASSERT_TRUE(std::getline(lines, third));
+
+  const JsonValue health_response = parse_json(first);
+  const JsonValue* health = health_response.find("health");
+  ASSERT_NE(health, nullptr) << first;
+  EXPECT_EQ(health->find("status")->as_string(), "ok");
+  EXPECT_EQ(health->find("model")->as_string(), fixture().path);
+  EXPECT_TRUE(health->find("model_crc32")->is_number());
+  EXPECT_EQ(health->find("inflight")->as_number(), 0.0) << "the stdin loop is synchronous";
+  EXPECT_EQ(health->find("requests")->as_number(), 0.0);
+
+  const JsonValue second_response = parse_json(second);
+  const JsonValue* error = second_response.find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_NE(error->as_string().find("unknown \"cmd\""), std::string::npos);
+  EXPECT_NE(parse_json(third).find("ns"), nullptr) << "loop must continue after commands";
+
+  EXPECT_EQ(stats.health, 1u);
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_EQ(stats.requests, 1u) << "commands must not count as scoring requests";
+}
+
+TEST(ServeLoop, FeatureNamedCmdStillScores) {
+  // A request whose *feature* is named "cmd" contains the "\"cmd\"" substring
+  // but has no top-level command — it must fall through to scoring (here: an
+  // unknown-feature error identical to the stdin pipeline's).
+  ServeOptions options;
+  options.default_model = fixture().path;
+  ModelCache cache(2);
+  std::istringstream in("{\"id\":1,\"values\":{\"cmd\":1.5}}\n");
+  std::ostringstream out;
+  const ServeStats stats = run_serve_loop(in, out, options, cache, pool());
+  const JsonValue response = parse_json(out.str());
+  const JsonValue* error = response.find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_NE(error->as_string().find("unknown feature"), std::string::npos) << out.str();
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.health, 0u);
 }
 
 }  // namespace
