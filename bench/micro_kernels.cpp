@@ -74,6 +74,7 @@ void BM_DotLevel(benchmark::State& state, simd::Level level) {
 }
 BENCHMARK_CAPTURE(BM_DotLevel, scalar, simd::Level::kScalar)->Arg(1024)->Arg(8192);
 BENCHMARK_CAPTURE(BM_DotLevel, avx2, simd::Level::kAvx2)->Arg(1024)->Arg(8192);
+BENCHMARK_CAPTURE(BM_DotLevel, avx512, simd::Level::kAvx512)->Arg(1024)->Arg(8192);
 
 void BM_GemvLevel(benchmark::State& state, simd::Level level) {
   const simd::KernelTable* table = pinned_table(state, level);
@@ -92,6 +93,7 @@ void BM_GemvLevel(benchmark::State& state, simd::Level level) {
 }
 BENCHMARK_CAPTURE(BM_GemvLevel, scalar, simd::Level::kScalar)->Arg(1024)->Arg(4096);
 BENCHMARK_CAPTURE(BM_GemvLevel, avx2, simd::Level::kAvx2)->Arg(1024)->Arg(4096);
+BENCHMARK_CAPTURE(BM_GemvLevel, avx512, simd::Level::kAvx512)->Arg(1024)->Arg(4096);
 
 void BM_MatmulLevel(benchmark::State& state, simd::Level level) {
   const simd::KernelTable* table = pinned_table(state, level);
@@ -109,6 +111,72 @@ void BM_MatmulLevel(benchmark::State& state, simd::Level level) {
 }
 BENCHMARK_CAPTURE(BM_MatmulLevel, scalar, simd::Level::kScalar)->Arg(64)->Arg(256);
 BENCHMARK_CAPTURE(BM_MatmulLevel, avx2, simd::Level::kAvx2)->Arg(64)->Arg(256);
+BENCHMARK_CAPTURE(BM_MatmulLevel, avx512, simd::Level::kAvx512)->Arg(64)->Arg(256);
+
+// The fused serve-path kernel: P[r][u] = X_row_r · W_row_u, both row-major.
+// Shapes follow the Table-II regime (a 32-row request batch against a few
+// hundred full-width weight rows).
+void BM_GemmNtLevel(benchmark::State& state, simd::Level level) {
+  const simd::KernelTable* table = pinned_table(state, level);
+  if (table == nullptr) return;
+  const std::size_t width = static_cast<std::size_t>(state.range(0));
+  const std::size_t rows = 32;
+  const std::size_t units = 256;
+  const Matrix x = random_matrix_values(rows, width, 11);
+  const Matrix w = random_matrix_values(units, width, 12);
+  std::vector<double> p(rows * units);
+  for (auto _ : state) {
+    table->gemm_nt(x.data(), w.data(), p.data(), rows, width, units);
+    benchmark::DoNotOptimize(p.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * rows * units * width));
+}
+BENCHMARK_CAPTURE(BM_GemmNtLevel, scalar, simd::Level::kScalar)->Arg(256)->Arg(1024);
+BENCHMARK_CAPTURE(BM_GemmNtLevel, avx2, simd::Level::kAvx2)->Arg(256)->Arg(1024);
+BENCHMARK_CAPTURE(BM_GemmNtLevel, avx512, simd::Level::kAvx512)->Arg(256)->Arg(1024);
+
+std::vector<float> random_f32(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+void BM_DotF32Level(benchmark::State& state, simd::Level level) {
+  const simd::KernelTable* table = pinned_table(state, level);
+  if (table == nullptr) return;
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const std::vector<float> x = random_f32(d, 13);
+  const std::vector<float> y = random_f32(d, 14);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->dot_f32(x.data(), y.data(), d));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * d * 2 * sizeof(float)));
+}
+BENCHMARK_CAPTURE(BM_DotF32Level, scalar, simd::Level::kScalar)->Arg(1024)->Arg(8192);
+BENCHMARK_CAPTURE(BM_DotF32Level, avx2, simd::Level::kAvx2)->Arg(1024)->Arg(8192);
+BENCHMARK_CAPTURE(BM_DotF32Level, avx512, simd::Level::kAvx512)->Arg(1024)->Arg(8192);
+
+void BM_GemmNtF32Level(benchmark::State& state, simd::Level level) {
+  const simd::KernelTable* table = pinned_table(state, level);
+  if (table == nullptr) return;
+  const std::size_t width = static_cast<std::size_t>(state.range(0));
+  const std::size_t rows = 32;
+  const std::size_t units = 256;
+  const std::vector<float> x = random_f32(rows * width, 15);
+  const std::vector<float> w = random_f32(units * width, 16);
+  std::vector<float> p(rows * units);
+  for (auto _ : state) {
+    table->gemm_nt_f32(x.data(), w.data(), p.data(), rows, width, units);
+    benchmark::DoNotOptimize(p.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * rows * units * width));
+}
+BENCHMARK_CAPTURE(BM_GemmNtF32Level, scalar, simd::Level::kScalar)->Arg(256)->Arg(1024);
+BENCHMARK_CAPTURE(BM_GemmNtF32Level, avx2, simd::Level::kAvx2)->Arg(256)->Arg(1024);
+BENCHMARK_CAPTURE(BM_GemmNtF32Level, avx512, simd::Level::kAvx512)->Arg(256)->Arg(1024);
 
 void BM_SvrFit(benchmark::State& state) {
   const std::size_t n = 50;

@@ -6,12 +6,19 @@
 //   load.text_seconds / load.binary_seconds / load.speedup (best of 5 each)
 //   serve.p50_us / serve.p99_us        single-sample request latency
 //   serve.batch_throughput_sps         samples/second for 64-row batches
+//   fused.per_unit_sps / fused.fused_sps / fused.speedup   (f64 batch scoring)
+//   f32.throughput_sps / f32.auc_delta (f32 weight pack vs the f64 baseline)
 //
-// Exits non-zero when the binary load is not >= 10x faster than the text
-// parse (the format's reason to exist) — skipped for sub-256KB models where
-// both loads sit in constant-overhead noise (FRAC_BENCH_SCALE shrinks the
-// cohort below the regime the claim is about).
+// Exits non-zero when:
+//   - the binary load is not >= 10x faster than the text parse (the format's
+//     reason to exist),
+//   - fused-GEMM batch scoring is not >= 2x the per-unit gemv walk,
+//   - the f32 pack moves the cohort AUC by more than 1e-3.
+// The speed gates are skipped for sub-256KB models where everything sits in
+// constant-overhead noise (FRAC_BENCH_SCALE shrinks the cohort below the
+// regime the claims are about); the AUC gate always runs.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -20,6 +27,7 @@
 #include "bench_common.hpp"
 #include "bench_json.hpp"
 #include "frac/frac.hpp"
+#include "ml/metrics.hpp"
 #include "serialize/model_bundle.hpp"
 #include "serve/scoring_engine.hpp"
 #include "util/stopwatch.hpp"
@@ -54,7 +62,10 @@ int run() {
 
   std::printf("training %zu-feature full FRaC (table II model)...\n",
               rep.train.feature_count());
-  const FracModel model = FracModel::train(rep.train, config, pool());
+  FracModel model = FracModel::train(rep.train, config, pool());
+  // Embed the f32 pack so the saved archive is format v3 and the f32 serve
+  // path below runs off the same file a `frac convert --f32` would produce.
+  model.build_f32_weights();
 
   const std::string text_path = "serve_bench_model.frac";
   const std::string binary_path = "serve_bench_model.fracmdl";
@@ -102,12 +113,45 @@ int run() {
   const double throughput_sps =
       static_cast<double>(kBatchRows) * kBatches / batch_clock.seconds();
 
+  // Fused-GEMM vs the per-unit gemv reference walk, f64, whole test cohort.
+  // Both paths are bit-identical by contract; what's measured is purely the
+  // one-blocked-matmul vs expand+dot-per-unit evaluation cost.
+  const std::size_t cohort_rows = rep.test.sample_count();
+  constexpr int kScoreRepeats = 3;
+  const double per_unit_seconds = best_of(kScoreRepeats, [&] {
+    (void)model.score(rep.test, pool(), ScoreMode::kPerUnit);
+  });
+  const double fused_seconds = best_of(kScoreRepeats, [&] {
+    (void)model.score(rep.test, pool(), ScoreMode::kFused);
+  });
+  const double per_unit_sps = static_cast<double>(cohort_rows) / per_unit_seconds;
+  const double fused_sps = static_cast<double>(cohort_rows) / fused_seconds;
+  const double fused_speedup = per_unit_seconds / fused_seconds;
+
+  // f32 weight pack: throughput plus the accuracy guardrail. The speedup is
+  // informational (bandwidth-bound models gain, compute-bound ones may not);
+  // the AUC delta is the gate.
+  const double f32_seconds = best_of(kScoreRepeats, [&] {
+    (void)model.score(rep.test, pool(), ScoreMode::kFused, ScorePrecision::kF32);
+  });
+  const double f32_sps = static_cast<double>(cohort_rows) / f32_seconds;
+  const std::vector<double> ns_f64 = model.score(rep.test, pool());
+  const std::vector<double> ns_f32 =
+      model.score(rep.test, pool(), ScoreMode::kFused, ScorePrecision::kF32);
+  const double auc_f64 = auc(ns_f64, rep.test.labels());
+  const double auc_f32 = auc(ns_f32, rep.test.labels());
+  const double auc_delta = std::abs(auc_f64 - auc_f32);
+
   const std::size_t binary_bytes = ModelBundle::open(binary_path)->file_bytes();
   std::printf("\nmodel: %zu units, binary file %zu bytes\n", model.unit_count(), binary_bytes);
   std::printf("load:  text %.3f ms   binary %.3f ms   speedup %.1fx\n", text_seconds * 1e3,
               binary_seconds * 1e3, speedup);
   std::printf("serve: p50 %.0f us   p99 %.0f us   batch(%zu) %.0f samples/s\n", p50_us, p99_us,
               kBatchRows, throughput_sps);
+  std::printf("fused: per-unit %.0f samples/s   fused %.0f samples/s   speedup %.2fx\n",
+              per_unit_sps, fused_sps, fused_speedup);
+  std::printf("f32:   %.0f samples/s   AUC %.4f vs f64 %.4f (delta %.2g)\n", f32_sps, auc_f32,
+              auc_f64, auc_delta);
 
   JsonBenchWriter json;
   json.add({"load",
@@ -121,6 +165,16 @@ int run() {
              {"batch_rows", static_cast<double>(kBatchRows)},
              {"batch_throughput_sps", throughput_sps},
              {"threads", static_cast<double>(pool().thread_count())}}});
+  json.add({"fused",
+            {{"per_unit_sps", per_unit_sps},
+             {"fused_sps", fused_sps},
+             {"speedup", fused_speedup},
+             {"cohort_rows", static_cast<double>(cohort_rows)}}});
+  json.add({"f32",
+            {{"throughput_sps", f32_sps},
+             {"auc_f64", auc_f64},
+             {"auc_f32", auc_f32},
+             {"auc_delta", auc_delta}}});
   if (!json.write("BENCH_serve.json")) {
     std::cerr << "warning: could not write BENCH_serve.json\n";
   }
@@ -133,8 +187,17 @@ int run() {
     std::cerr << "FAIL: binary load only " << speedup << "x faster than text parse (need >= 10x)\n";
     return 1;
   }
+  if (binary_bytes >= kSpeedupFloorBytes && fused_speedup < 2.0) {
+    std::cerr << "FAIL: fused-GEMM scoring only " << fused_speedup
+              << "x faster than the per-unit walk (need >= 2x)\n";
+    return 1;
+  }
   if (binary_bytes < kSpeedupFloorBytes) {
-    std::printf("(model under 256 KB: 10x load-speedup gate skipped)\n");
+    std::printf("(model under 256 KB: 10x load and 2x fused speedup gates skipped)\n");
+  }
+  if (auc_delta > 1e-3) {
+    std::cerr << "FAIL: f32 weight pack moved AUC by " << auc_delta << " (limit 1e-3)\n";
+    return 1;
   }
   return 0;
 }

@@ -13,15 +13,23 @@
 // protocol error. Retried latencies include the backoff — overload shows
 // up in the tail, which is what p999 is for.
 //
+// Requests cycle through the protocol's shapes (mixed mode, default on):
+// plain "values" arrays, named-values objects, multi-row "batch" requests,
+// and "top_k" explain requests — so the load test covers every parse/score/
+// format path the serve tier has, not just the cheapest one.
+//
 // Emits BENCH_serve_load.json (git-sha stamped):
 //   serve_load.connections / requests_per_connection / total_requests
 //   serve_load.p50_us / p99_us / p999_us   round-trip request latency
 //   serve_load.throughput_rps        aggregate requests/second
+//   serve_load.throughput_rows_ps    aggregate sample rows/second (batch
+//                                    requests carry several rows each)
 //   serve_load.retries               overload rejections retried
 //   serve_load.protocol_errors       must be 0
 //
-// Knobs: FRAC_SERVE_LOAD_CONNECTIONS (default 32) and
-// FRAC_SERVE_LOAD_REQUESTS per connection (default 40);
+// Knobs: FRAC_SERVE_LOAD_CONNECTIONS (default 32),
+// FRAC_SERVE_LOAD_REQUESTS per connection (default 40), and
+// FRAC_SERVE_LOAD_MIXED (default 1; 0 = single-sample "values" arrays only);
 // FRAC_BENCH_SCALE shrinks the model as in the other benches.
 #include <algorithm>
 #include <atomic>
@@ -30,6 +38,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -128,9 +137,13 @@ ResponseKind classify_response(const std::string& line, long long id) {
   }
 }
 
+/// One value rendered for a JSON request body (missing → null).
+std::string json_cell(double v) { return is_missing(v) ? "null" : format_g17(v); }
+
 int run() {
   const std::size_t connections = env_size("FRAC_SERVE_LOAD_CONNECTIONS", 32);
   const std::size_t requests_each = env_size("FRAC_SERVE_LOAD_REQUESTS", 40);
+  const bool mixed = env_size("FRAC_SERVE_LOAD_MIXED", 1) != 0;
 
   const CohortSpec& spec = cohort_by_name("biomarkers");
   const auto replicates = make_cohort_replicates(spec, 1);
@@ -143,19 +156,59 @@ int run() {
   const std::string model_path = "serve_load_model.fracmdl";
   model.save_file(model_path, ModelFormat::kBinary);
 
-  // Pre-render every request line: {"id":K,"values":[...]} over test rows.
+  // Pre-render every request line over test rows. Mixed mode cycles the
+  // protocol's shapes: plain array, named-values object, 4-row batch, and a
+  // top_k explain request; each carries its row count for the rows/s figure.
   const Matrix& test = rep.test.values();
+  const Schema& schema = rep.test.schema();
+  const auto render_array = [&](std::span<const double> row) {
+    std::string out = "[";
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (j != 0) out.push_back(',');
+      out += json_cell(row[j]);
+    }
+    out.push_back(']');
+    return out;
+  };
+  constexpr std::size_t kBatchRows = 4;
   std::vector<std::string> request_lines;
+  std::vector<std::size_t> request_rows;
   request_lines.reserve(requests_each);
+  request_rows.reserve(requests_each);
   for (std::size_t k = 0; k < requests_each; ++k) {
     const auto row = test.row(k % test.rows());
-    std::string line = "{\"id\":" + std::to_string(k) + ",\"values\":[";
-    for (std::size_t j = 0; j < row.size(); ++j) {
-      if (j != 0) line.push_back(',');
-      line += format_g17(row[j]);
+    std::string line = "{\"id\":" + std::to_string(k) + ",";
+    std::size_t rows = 1;
+    switch (mixed ? k % 4 : 0) {
+      case 1: {  // named-values object
+        line += "\"values\":{";
+        for (std::size_t j = 0; j < row.size(); ++j) {
+          if (j != 0) line.push_back(',');
+          line += "\"" + schema[j].name + "\":" + json_cell(row[j]);
+        }
+        line.push_back('}');
+        break;
+      }
+      case 2: {  // multi-row batch
+        line += "\"batch\":[";
+        for (std::size_t b = 0; b < kBatchRows; ++b) {
+          if (b != 0) line.push_back(',');
+          line += render_array(test.row((k + b) % test.rows()));
+        }
+        line.push_back(']');
+        rows = kBatchRows;
+        break;
+      }
+      case 3:  // explain request
+        line += "\"values\":" + render_array(row) + ",\"top_k\":3";
+        break;
+      default:  // plain array
+        line += "\"values\":" + render_array(row);
+        break;
     }
-    line += "]}\n";
+    line += "}\n";
     request_lines.push_back(std::move(line));
+    request_rows.push_back(rows);
   }
 
   SocketServerOptions options;
@@ -171,6 +224,7 @@ int run() {
 
   std::atomic<std::size_t> protocol_errors{0};
   std::atomic<std::size_t> retries{0};
+  std::atomic<std::size_t> rows_scored{0};
   std::vector<std::vector<double>> latencies_us(connections);
   const WallStopwatch load_clock;
   {
@@ -210,6 +264,7 @@ int run() {
             protocol_errors.fetch_add(1);
             continue;
           }
+          rows_scored.fetch_add(request_rows[k]);
           latencies_us[c].push_back(round_trip.seconds() * 1e6);
         }
         ::close(fd);
@@ -232,11 +287,13 @@ int run() {
   const double p99_us = all_latencies.empty() ? 0.0 : percentile(all_latencies, 0.99);
   const double p999_us = all_latencies.empty() ? 0.0 : percentile(all_latencies, 0.999);
   const double throughput_rps = static_cast<double>(total_requests) / load_seconds;
+  const double throughput_rows_ps = static_cast<double>(rows_scored.load()) / load_seconds;
 
   std::printf(
       "serve_load: p50 %.0f us   p99 %.0f us   p999 %.0f us   %.0f req/s   "
-      "%zu retries   %zu protocol errors\n",
-      p50_us, p99_us, p999_us, throughput_rps, retries.load(), protocol_errors.load());
+      "%.0f rows/s   %zu retries   %zu protocol errors\n",
+      p50_us, p99_us, p999_us, throughput_rps, throughput_rows_ps, retries.load(),
+      protocol_errors.load());
 
   JsonBenchWriter json;
   json.add({"serve_load",
@@ -247,6 +304,9 @@ int run() {
              {"p99_us", p99_us},
              {"p999_us", p999_us},
              {"throughput_rps", throughput_rps},
+             {"throughput_rows_ps", throughput_rows_ps},
+             {"rows_scored", static_cast<double>(rows_scored.load())},
+             {"mixed", mixed ? 1.0 : 0.0},
              {"retries", static_cast<double>(retries.load())},
              {"protocol_errors", static_cast<double>(protocol_errors.load())},
              {"threads", static_cast<double>(pool().thread_count())}}});

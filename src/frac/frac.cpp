@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
@@ -9,6 +10,7 @@
 #include <iterator>
 #include <sstream>
 
+#include "linalg/kernels.hpp"
 #include "ml/cross_validation.hpp"
 #include "parallel/parallel_for.hpp"
 #include "serialize/archive.hpp"
@@ -358,14 +360,8 @@ Matrix FracModel::standardized_values(const Dataset& data) const {
   return values;
 }
 
-std::optional<double> FracModel::unit_surprisal(const Unit& unit, std::span<const double> row,
-                                                std::span<double> scratch) const {
-  if (unit.predictor == nullptr) return std::nullopt;
-  const double truth = row[unit.plan.target];
-  if (is_missing(truth)) return std::nullopt;  // "otherwise: 0" in the NS definition
-  const std::size_t d = unit.plan.inputs.size();
-  for (std::size_t k = 0; k < d; ++k) scratch[k] = row[unit.plan.inputs[k]];
-  const double predicted = unit.predictor->predict(scratch.first(d));
+std::optional<double> FracModel::surprisal_of(const Unit& unit, double truth,
+                                              double predicted) const {
   double surprisal;
   if (unit.categorical) {
     // Validate before the uint32 cast: a negative code is UB in the cast and
@@ -389,51 +385,169 @@ std::optional<double> FracModel::unit_surprisal(const Unit& unit, std::span<cons
   return surprisal - unit.entropy;
 }
 
-std::vector<double> FracModel::score(const Dataset& test, ThreadPool& pool) const {
+const FusedLinearPack& FracModel::fused_pack() const {
+  FusedCell& cell = *fused_;
+  std::call_once(cell.once, [&] {
+    FusedLinearPack pack(arities_);
+    for (std::size_t u = 0; u < units_.size(); ++u) {
+      const Unit& unit = units_[u];
+      if (unit.predictor == nullptr) continue;
+      if (const auto form = unit.predictor->linear_form()) {
+        pack.add_unit(u, unit.plan.inputs, *form);
+      }
+    }
+    cell.pack = std::move(pack);
+  });
+  return cell.pack;
+}
+
+template <typename Emit>
+void FracModel::score_units(const Matrix& values, ThreadPool& pool, ScoreMode mode,
+                            ScorePrecision precision, const Emit& emit) const {
+  const bool f32 = precision == ScorePrecision::kF32;
+  if (f32 && !has_f32_weights()) {
+    throw std::invalid_argument(
+        "FracModel: f32 scoring requires a model with an f32 weight pack "
+        "(run `frac convert --f32`)");
+  }
+  const FusedLinearPack& pack = fused_pack();
+  const std::span<const float> w32 = f32_weights();
+  const bool fused = mode == ScoreMode::kFused && !pack.empty();
+  const std::size_t width = pack.width();
+  const std::size_t pack_rows = pack.rows();
+  std::size_t max_inputs = 0;
+  for (const Unit& unit : units_) max_inputs = std::max(max_inputs, unit.plan.inputs.size());
+  // Rows scored per gemm_nt call. Every output element is an independent
+  // full dot, so the batch boundaries (and therefore chunking/threading)
+  // never change bits — kRowBatch only sets the expansion-buffer footprint.
+  constexpr std::size_t kRowBatch = 32;
+  parallel_for_chunks(pool, 0, values.rows(), [&](std::size_t lo, std::size_t hi) {
+    std::vector<double> scratch(max_inputs);
+    std::vector<double> xblock, pblock, xrow;
+    std::vector<float> xblock32, pblock32, xrow32;
+    if (fused) {
+      if (f32) {
+        xblock32.resize(kRowBatch * width);
+        pblock32.resize(kRowBatch * pack_rows);
+      } else {
+        xblock.resize(kRowBatch * width);
+        pblock.resize(kRowBatch * pack_rows);
+      }
+    } else if (!pack.empty()) {
+      f32 ? xrow32.resize(width) : xrow.resize(width);
+    }
+    for (std::size_t b0 = lo; b0 < hi; b0 += kRowBatch) {
+      const std::size_t bn = std::min(hi, b0 + kRowBatch) - b0;
+      if (fused) {
+        // One blocked GEMM for the whole row batch: expand each row to the
+        // full 1-hot width once, then P[i][row] = X_i · W_row.
+        if (f32) {
+          for (std::size_t i = 0; i < bn; ++i) {
+            pack.expand_row_f32(values.row(b0 + i), schema_,
+                                std::span<float>(xblock32).subspan(i * width, width));
+          }
+          gemm_nt_f32(xblock32.data(), w32.data(), pblock32.data(), bn, width, pack_rows);
+        } else {
+          for (std::size_t i = 0; i < bn; ++i) {
+            pack.expand_row(values.row(b0 + i), schema_,
+                            std::span<double>(xblock).subspan(i * width, width));
+          }
+          gemm_nt(xblock.data(), pack.weights().data(), pblock.data(), bn, width, pack_rows);
+        }
+      }
+      for (std::size_t i = 0; i < bn; ++i) {
+        const std::size_t r = b0 + i;
+        const auto row = values.row(r);
+        auto lin = pack.linear_units().begin();
+        const auto lin_end = pack.linear_units().end();
+        for (std::size_t u = 0; u < units_.size(); ++u) {
+          const Unit& unit = units_[u];
+          if (unit.predictor == nullptr) continue;
+          while (lin != lin_end && lin->unit < u) ++lin;
+          const bool is_linear = lin != lin_end && lin->unit == u;
+          const double truth = row[unit.plan.target];
+          if (is_missing(truth)) continue;
+          double predicted;
+          if (is_linear) {
+            if (!fused) {
+              // Reference walk: the per-unit gemv baseline. Same expansion
+              // and same dot kernel as the fused path, so same bits.
+              if (f32) pack.expand_row_f32(row, schema_, xrow32);
+              else pack.expand_row(row, schema_, xrow);
+            }
+            const auto decision = [&](std::size_t pr) {
+              double d;
+              if (fused) {
+                d = f32 ? static_cast<double>(pblock32[i * pack_rows + pr])
+                        : pblock[i * pack_rows + pr];
+              } else if (f32) {
+                d = static_cast<double>(
+                    dot_f32(xrow32, w32.subspan(pr * width, width)));
+              } else {
+                d = dot(xrow, pack.weight_row(pr));
+              }
+              return d + pack.bias(pr);
+            };
+            if (lin->classifier) {
+              // Replicates OneVsRestSvc::predict: strict >, first max wins.
+              std::uint32_t best = 0;
+              double best_score = -std::numeric_limits<double>::infinity();
+              for (std::uint32_t k = 0; k < lin->row_count; ++k) {
+                const double s = decision(lin->first_row + k);
+                if (s > best_score) {
+                  best_score = s;
+                  best = k;
+                }
+              }
+              predicted = static_cast<double>(best);
+            } else {
+              predicted = decision(lin->first_row);
+            }
+          } else {
+            const std::size_t d = unit.plan.inputs.size();
+            for (std::size_t k = 0; k < d; ++k) scratch[k] = row[unit.plan.inputs[k]];
+            predicted = unit.predictor->predict(std::span<double>(scratch).first(d));
+          }
+          if (const auto s = surprisal_of(unit, truth, predicted)) emit(r, u, *s);
+        }
+      }
+    }
+  });
+}
+
+std::vector<double> FracModel::score(const Dataset& test, ThreadPool& pool, ScoreMode mode,
+                                     ScorePrecision precision) const {
   const TraceSpan score_span(
       "frac.score",
       trace_armed() ? format("{\"rows\": %zu}", test.sample_count()) : std::string());
   metrics_counter("frac.rows_scored").add(test.sample_count());
   const Matrix values = standardized_values(test);
   std::vector<double> scores(test.sample_count(), 0.0);
-  std::size_t max_inputs = 0;
-  for (const Unit& unit : units_) max_inputs = std::max(max_inputs, unit.plan.inputs.size());
-  parallel_for_chunks(pool, 0, test.sample_count(), [&](std::size_t lo, std::size_t hi) {
-    std::vector<double> scratch(max_inputs);
-    for (std::size_t r = lo; r < hi; ++r) {
-      double total = 0.0;
-      for (const Unit& unit : units_) {
-        if (const auto s = unit_surprisal(unit, values.row(r), scratch)) total += *s;
-      }
-      scores[r] = total;
-    }
-  });
+  score_units(values, pool, mode, precision,
+              [&](std::size_t r, std::size_t /*unit*/, double s) { scores[r] += s; });
   return scores;
 }
 
-Matrix FracModel::per_feature_scores(const Dataset& test, ThreadPool& pool) const {
+Matrix FracModel::per_feature_scores(const Dataset& test, ThreadPool& pool, ScoreMode mode,
+                                     ScorePrecision precision) const {
   const TraceSpan score_span(
       "frac.per_feature_scores",
       trace_armed() ? format("{\"rows\": %zu}", test.sample_count()) : std::string());
   metrics_counter("frac.rows_scored").add(test.sample_count());
   const Matrix values = standardized_values(test);
   Matrix scores(test.sample_count(), feature_count(), kMissing);
-  std::size_t max_inputs = 0;
-  for (const Unit& unit : units_) max_inputs = std::max(max_inputs, unit.plan.inputs.size());
-  parallel_for_chunks(pool, 0, test.sample_count(), [&](std::size_t lo, std::size_t hi) {
-    std::vector<double> scratch(max_inputs);
-    for (std::size_t r = lo; r < hi; ++r) {
-      const auto out = scores.row(r);
-      for (const Unit& unit : units_) {
-        if (const auto s = unit_surprisal(unit, values.row(r), scratch)) {
-          // Multiple predictors per target sum (the Σ_j in the NS formula).
-          out[unit.plan.target] = is_missing(out[unit.plan.target]) ? *s
-                                                                    : out[unit.plan.target] + *s;
-        }
-      }
-    }
+  score_units(values, pool, mode, precision, [&](std::size_t r, std::size_t u, double s) {
+    // Multiple predictors per target sum (the Σ_j in the NS formula).
+    const auto out = scores.row(r);
+    const std::size_t target = units_[u].plan.target;
+    out[target] = is_missing(out[target]) ? s : out[target] + s;
   });
   return scores;
+}
+
+void FracModel::build_f32_weights() {
+  if (has_f32_weights()) return;
+  f32_owned_ = fused_pack().weights_f32();
 }
 
 std::vector<std::size_t> FracModel::influential_inputs(std::size_t unit_index,
@@ -504,6 +618,20 @@ void FracModel::serialize(ArchiveWriter& archive) const {
     archive.write_string(failure.detail);
   }
   archive.end_section();
+
+  // Optional f32 weight pack (format v3, `frac convert --f32`): the fused
+  // pack's scattered rows narrowed to f32, stored 8-aligned so mmap'd loads
+  // serve straight from the file. Models without one keep stamping v2, so
+  // default archives stay readable by the previous release.
+  if (has_f32_weights()) {
+    const FusedLinearPack& pack = fused_pack();
+    archive.begin_section("fused_f32");
+    archive.write_u64(pack.rows());
+    archive.write_u64(pack.width());
+    archive.write_f32_array(f32_weights());
+    archive.end_section();
+    archive.set_format_version(3);
+  }
 }
 
 FracModel FracModel::deserialize(ArchiveReader& archive) {
@@ -602,6 +730,35 @@ FracModel FracModel::deserialize(ArchiveReader& archive) {
     model.failures_.push_back(std::move(failure));
   }
   archive.expect_section_end();
+
+  // Optional format-v3 f32 weight pack. Shape-checked against the restored
+  // units (without building the f64 pack — load must stay near-O(1)): the
+  // width is fixed by the arities, the row count by the linear forms.
+  if (archive.has_section("fused_f32")) {
+    archive.open_section("fused_f32");
+    const std::uint64_t rows = archive.read_u64();
+    const std::uint64_t width = archive.read_u64();
+    const std::span<const float> pack = archive.read_f32_span();
+    archive.expect_section_end();
+    std::uint64_t expect_width = 0;
+    for (const std::uint32_t arity : model.arities_) expect_width += arity == 0 ? 1 : arity;
+    std::uint64_t expect_rows = 0;
+    for (const Unit& unit : model.units_) {
+      if (unit.predictor == nullptr) continue;
+      if (const auto form = unit.predictor->linear_form()) expect_rows += form->rows.size();
+    }
+    if (width != expect_width || rows != expect_rows ||
+        pack.size() != static_cast<std::size_t>(rows) * width) {
+      archive.fail(format("f32 pack shape %llux%llu (%zu values) does not match the "
+                          "model's %llux%llu linear units",
+                          static_cast<unsigned long long>(rows),
+                          static_cast<unsigned long long>(width), pack.size(),
+                          static_cast<unsigned long long>(expect_rows),
+                          static_cast<unsigned long long>(expect_width)));
+    }
+    if (archive.borrowed()) model.f32_view_ = pack;
+    else model.f32_owned_.assign(pack.begin(), pack.end());
+  }
   return model;
 }
 

@@ -33,6 +33,7 @@
 #include "frac/entropy.hpp"
 #include "frac/error_model.hpp"
 #include "frac/failure.hpp"
+#include "frac/fused.hpp"
 #include "frac/predictor.hpp"
 #include "frac/resource_accounting.hpp"
 #include "parallel/thread_pool.hpp"
@@ -63,6 +64,19 @@ struct FracConfig {
   std::uint64_t seed = 23;         ///< CV fold assignment / per-unit streams
 };
 
+/// How linear units are evaluated at scoring time. Both modes share the
+/// full-width scattered-weight evaluation (see frac/fused.hpp), so their
+/// NS outputs are bit-identical; kFused batches it into one blocked GEMM
+/// and is the default everywhere. kPerUnit exists as the reference walk the
+/// bit-identity tests and the serve_latency speedup gate compare against.
+enum class ScoreMode : std::uint8_t { kFused, kPerUnit };
+
+/// Weight precision for linear-unit evaluation. kF32 requires a model with
+/// an embedded f32 weight pack (`frac convert --f32`, format v3): the dot
+/// runs in f32, is widened to f64, and everything downstream (bias add,
+/// error models, entropies) stays f64. Tree units are unaffected.
+enum class ScorePrecision : std::uint8_t { kF64, kF32 };
+
 /// One (target, inputs) learning problem. A plan is a list of these; the
 /// paper's Fig. 1 variants are all expressible as plans.
 struct FeaturePlan {
@@ -85,13 +99,29 @@ class FracModel {
                                    const FracConfig& config, ThreadPool& pool);
 
   /// NS score per test sample (higher = more anomalous). The test schema
-  /// must equal the training schema.
-  std::vector<double> score(const Dataset& test, ThreadPool& pool) const;
+  /// must equal the training schema. Defaults run the fused f64 path;
+  /// mode/precision are bench/serve knobs (see ScoreMode/ScorePrecision).
+  std::vector<double> score(const Dataset& test, ThreadPool& pool,
+                            ScoreMode mode = ScoreMode::kFused,
+                            ScorePrecision precision = ScorePrecision::kF64) const;
 
   /// Per-feature NS contributions: n_test × feature_count. Features with no
   /// predictor hold NaN ("no score", distinct from a zero contribution) —
   /// the ensemble median combiner skips them.
-  Matrix per_feature_scores(const Dataset& test, ThreadPool& pool) const;
+  Matrix per_feature_scores(const Dataset& test, ThreadPool& pool,
+                            ScoreMode mode = ScoreMode::kFused,
+                            ScorePrecision precision = ScorePrecision::kF64) const;
+
+  /// True when the model carries the optional f32 weight pack (format v3),
+  /// i.e. f32 scoring is available.
+  bool has_f32_weights() const noexcept {
+    return !f32_view_.empty() || !f32_owned_.empty();
+  }
+
+  /// Builds and embeds the f32 weight pack so save_file(kBinary) writes the
+  /// format-v3 section and f32 scoring works in this process. No-op when
+  /// the model already carries one.
+  void build_f32_weights();
 
   std::size_t feature_count() const noexcept { return schema_.size(); }
   std::size_t unit_count() const noexcept { return units_.size(); }
@@ -153,10 +183,28 @@ class FracModel {
     double entropy = 0.0;
   };
 
-  /// −log P(x_target | prediction) − H(target) for one standardized row;
-  /// nullopt when the target is missing or the unit has no predictor.
-  std::optional<double> unit_surprisal(const Unit& unit, std::span<const double> row,
-                                       std::span<double> scratch) const;
+  /// The error-model tail shared by every scoring path: −log P(truth |
+  /// predicted) − H, the categorical truth guard included; nullopt when the
+  /// surprisal is non-finite (the unit abstains).
+  std::optional<double> surprisal_of(const Unit& unit, double truth, double predicted) const;
+
+  /// Core scoring loop shared by score()/per_feature_scores(): evaluates
+  /// every unit on every row (fused GEMM or per-unit reference for linear
+  /// units, predictor walk for trees) and calls emit(row, unit, ns) for
+  /// each defined contribution, in unit order within a row.
+  template <typename Emit>
+  void score_units(const Matrix& values, ThreadPool& pool, ScoreMode mode,
+                   ScorePrecision precision, const Emit& emit) const;
+
+  /// The lazily-built fused pack (first fused score builds it; call_once
+  /// guards concurrent serve scoring). Lazy so ModelBundle::open stays a
+  /// near-O(1) mmap — the serve_latency load gate depends on that.
+  const FusedLinearPack& fused_pack() const;
+
+  /// The f32 pack: mmap view when the archive was borrowed, owned otherwise.
+  std::span<const float> f32_weights() const noexcept {
+    return f32_view_.empty() ? std::span<const float>(f32_owned_) : f32_view_;
+  }
 
   /// Standardizes a test dataset copy with the training scaler.
   Matrix standardized_values(const Dataset& data) const;
@@ -171,6 +219,9 @@ class FracModel {
   std::vector<Unit> units_;
   ResourceReport report_;
   std::vector<UnitFailure> failures_;
+  std::span<const float> f32_view_;   // borrowed f32 pack (mmap'd archives)
+  std::vector<float> f32_owned_;      // owned f32 pack (build/owning load)
+  std::shared_ptr<FusedCell> fused_ = std::make_shared<FusedCell>();
 };
 
 /// Convenience: train on the replicate's training set, score its test set,

@@ -1,0 +1,102 @@
+#include "frac/fused.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "data/dataset.hpp"
+#include "util/errors.hpp"
+#include "util/string_util.hpp"
+
+namespace frac {
+
+namespace {
+
+/// Width of feature f's block in the 1-hot expansion.
+std::size_t block_width(std::uint32_t arity) { return arity == 0 ? 1 : arity; }
+
+template <typename T>
+void expand_row_impl(std::span<const double> row, const Schema& schema,
+                     std::span<const std::uint32_t> arities,
+                     std::span<const std::size_t> offsets, std::size_t width,
+                     std::span<T> out) {
+  if (row.size() != arities.size() || out.size() != width) {
+    throw std::logic_error("FusedLinearPack: expansion shape mismatch");
+  }
+  std::fill(out.begin(), out.end(), T{0});
+  for (std::size_t f = 0; f < row.size(); ++f) {
+    const double v = row[f];
+    if (is_missing(v)) continue;
+    const std::uint32_t arity = arities[f];
+    if (arity == 0) {
+      out[offsets[f]] = static_cast<T>(v);
+      continue;
+    }
+    if (v < 0.0 || v >= static_cast<double>(arity) || v != std::floor(v)) {
+      throw NumericError(format("feature '%s': categorical code %g outside [0, %u)",
+                                schema[f].name.c_str(), v, arity));
+    }
+    out[offsets[f] + static_cast<std::size_t>(v)] = T{1};
+  }
+}
+
+}  // namespace
+
+FusedLinearPack::FusedLinearPack(std::span<const std::uint32_t> arities)
+    : arities_(arities.begin(), arities.end()) {
+  offsets_.reserve(arities_.size());
+  for (const std::uint32_t arity : arities_) {
+    offsets_.push_back(width_);
+    width_ += block_width(arity);
+  }
+}
+
+void FusedLinearPack::add_unit(std::size_t unit_index, std::span<const std::size_t> inputs,
+                               const PredictorLinearForm& form) {
+  if (form.rows.size() != form.biases.size() || form.rows.empty()) {
+    throw std::logic_error("FusedLinearPack: malformed linear form");
+  }
+  std::size_t compact_width = 0;
+  for (const std::size_t f : inputs) compact_width += block_width(arities_.at(f));
+  UnitRows entry;
+  entry.unit = unit_index;
+  entry.first_row = static_cast<std::uint32_t>(rows());
+  entry.row_count = static_cast<std::uint32_t>(form.rows.size());
+  entry.classifier = form.classifier;
+  for (std::size_t j = 0; j < form.rows.size(); ++j) {
+    const std::span<const double> compact = form.rows[j];
+    if (compact.size() != compact_width) {
+      throw std::logic_error("FusedLinearPack: predictor weight width mismatch");
+    }
+    weights_.resize(weights_.size() + width_, 0.0);
+    double* dst = weights_.data() + (rows()) * width_;
+    std::size_t c = 0;
+    for (const std::size_t f : inputs) {
+      const std::size_t block = block_width(arities_[f]);
+      for (std::size_t b = 0; b < block; ++b) dst[offsets_[f] + b] = compact[c + b];
+      c += block;
+    }
+    biases_.push_back(form.biases[j]);
+  }
+  units_.push_back(entry);
+}
+
+std::vector<float> FusedLinearPack::weights_f32() const {
+  std::vector<float> out(weights_.size());
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    out[i] = static_cast<float>(weights_[i]);
+  }
+  return out;
+}
+
+void FusedLinearPack::expand_row(std::span<const double> row, const Schema& schema,
+                                 std::span<double> out) const {
+  expand_row_impl<double>(row, schema, arities_, offsets_, width_, out);
+}
+
+void FusedLinearPack::expand_row_f32(std::span<const double> row, const Schema& schema,
+                                     std::span<float> out) const {
+  expand_row_impl<float>(row, schema, arities_, offsets_, width_, out);
+}
+
+}  // namespace frac

@@ -1,0 +1,91 @@
+// The fused linear-scoring pack: every linear unit's weight rows (LinearSvr,
+// BinaryLinearSvc one-vs-rest rows) scattered into one contiguous row-major
+// matrix over the model's *full* 1-hot-expanded feature width, plus the
+// unit → row index. Batch scoring then runs one blocked gemm_nt over the
+// pack instead of per-unit expand + dot walks; tree units keep the per-unit
+// walk.
+//
+// Bit-identity: a scattered full-width row dotted against the full-width
+// expansion of a sample produces exactly the bits of the per-unit reference
+// evaluation, because both modes share the same expansion and the same
+// fixed-order dot kernel (zero-weight positions are exact FMA no-ops but
+// still occupy accumulator lanes — which is precisely why the reference
+// path must use the scattered form too, not the predictor's compacted one).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "data/schema.hpp"
+#include "frac/predictor.hpp"
+
+namespace frac {
+
+class FusedLinearPack {
+ public:
+  /// One linear unit's slice of the pack. Entries are appended in unit
+  /// order, so linear_units() ascends by `unit`.
+  struct UnitRows {
+    std::size_t unit = 0;          ///< index into the model's unit list
+    std::uint32_t first_row = 0;   ///< first pack row
+    std::uint32_t row_count = 0;   ///< 1 for regression, arity for one-vs-rest
+    bool classifier = false;       ///< argmax over rows (strict >, first max)
+  };
+
+  FusedLinearPack() = default;
+  /// `arities[f]` describes feature f (0 = real), exactly the model's
+  /// per-feature arity vector; fixes the full expanded width.
+  explicit FusedLinearPack(std::span<const std::uint32_t> arities);
+
+  /// Appends one linear unit: scatters each compacted weight row of `form`
+  /// (laid out over the 1-hot expansion of `inputs`, in input order) into a
+  /// new full-width pack row. Weight-length mismatches throw logic_error.
+  void add_unit(std::size_t unit_index, std::span<const std::size_t> inputs,
+                const PredictorLinearForm& form);
+
+  bool empty() const noexcept { return units_.empty(); }
+  std::size_t width() const noexcept { return width_; }
+  std::size_t rows() const noexcept { return biases_.size(); }
+  const std::vector<UnitRows>& linear_units() const noexcept { return units_; }
+  /// rows() × width() row-major scattered weights.
+  std::span<const double> weights() const noexcept { return weights_; }
+  std::span<const double> weight_row(std::size_t r) const {
+    return std::span<const double>(weights_).subspan(r * width_, width_);
+  }
+  double bias(std::size_t r) const { return biases_[r]; }
+
+  /// The pack's weights narrowed to f32 (for `frac convert --f32`).
+  std::vector<float> weights_f32() const;
+
+  /// Full-width 1-hot expansion of one raw (standardized) sample row:
+  /// missing → all-zero block, real → value, categorical code v → 1.0 at
+  /// offset + v. Unlike the training-side expander this validates
+  /// categorical codes, throwing NumericError naming the feature — a bad
+  /// code would otherwise scatter out of its block.
+  void expand_row(std::span<const double> row, const Schema& schema,
+                  std::span<double> out) const;
+  /// f32 twin (values narrowed with static_cast<float>).
+  void expand_row_f32(std::span<const double> row, const Schema& schema,
+                      std::span<float> out) const;
+
+ private:
+  std::vector<std::uint32_t> arities_;
+  std::vector<std::size_t> offsets_;  // per-feature offset into the expansion
+  std::size_t width_ = 0;
+  std::vector<UnitRows> units_;
+  std::vector<double> weights_;
+  std::vector<double> biases_;
+};
+
+/// Once-guarded cell for the lazily-built pack. FracModel holds it behind a
+/// shared_ptr so the model stays movable (std::once_flag is not) and a
+/// const model can build the pack on first fused score, concurrently safe.
+struct FusedCell {
+  std::once_flag once;
+  FusedLinearPack pack;
+};
+
+}  // namespace frac

@@ -161,6 +161,13 @@ class SvrPredictor final : public FeaturePredictor {
     model_.save(out);
   }
 
+  std::optional<PredictorLinearForm> linear_form() const override {
+    PredictorLinearForm form;
+    form.rows.push_back(model_.weights());
+    form.biases.push_back(model_.bias());
+    return form;
+  }
+
  private:
   std::vector<std::uint32_t> arities_;
   InputExpander expander_;
@@ -244,6 +251,16 @@ class SvcPredictor final : public FeaturePredictor {
     write_tagged(out, "arities",
                  std::vector<std::uint64_t>(arities_.begin(), arities_.end()));
     model_.save(out);
+  }
+
+  std::optional<PredictorLinearForm> linear_form() const override {
+    PredictorLinearForm form;
+    form.classifier = true;
+    for (std::uint32_t k = 0; k < model_.arity(); ++k) {
+      form.rows.push_back(model_.binary(k).weights());
+      form.biases.push_back(model_.binary(k).bias());
+    }
+    return form;
   }
 
  private:

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -38,6 +39,19 @@ struct PredictorConfig {
   LinearSvrConfig svr;
   LinearSvcConfig svc;
   DecisionTreeConfig tree;
+};
+
+/// A linear predictor's weights over its 1-hot-expanded input layout, for
+/// the fused serve path (frac/fused.hpp). One row per output: a single row
+/// for regression, one row per class — in the argmax order predict() walks —
+/// for one-vs-rest classification. Spans borrow the predictor's storage;
+/// callers copy out of them before the predictor goes away. Evaluation
+/// contract: decision = dot(row, expanded inputs) + bias (f64 add after the
+/// dot); classifiers take the argmax with strict >, first max winning.
+struct PredictorLinearForm {
+  std::vector<std::span<const double>> rows;
+  std::vector<double> biases;
+  bool classifier = false;
 };
 
 /// A trained model for one target feature.
@@ -64,6 +78,10 @@ class FeaturePredictor {
   /// Deprecated legacy tagged-text persistence; load with load_predictor().
   /// New code uses serialize()/deserialize_predictor().
   virtual void save(std::ostream& out) const = 0;
+
+  /// Linear predictors expose their weight rows here so scoring can fuse
+  /// them into one GEMM; trees return nullopt and keep the per-unit walk.
+  virtual std::optional<PredictorLinearForm> linear_form() const { return std::nullopt; }
 };
 
 /// Reads back any predictor written by FeaturePredictor::serialize.

@@ -44,6 +44,21 @@ void gemv(const Matrix& a, std::span<const double> x, std::span<double> y) noexc
   simd::active_kernel_table()->gemv(a.data(), a.rows(), a.cols(), x.data(), y.data());
 }
 
+void gemm_nt(const double* x, const double* w, double* p, std::size_t rows,
+             std::size_t width, std::size_t units) noexcept {
+  simd::active_kernel_table()->gemm_nt(x, w, p, rows, width, units);
+}
+
+float dot_f32(std::span<const float> x, std::span<const float> y) noexcept {
+  assert(x.size() == y.size());
+  return simd::active_kernel_table()->dot_f32(x.data(), y.data(), x.size());
+}
+
+void gemm_nt_f32(const float* x, const float* w, float* p, std::size_t rows,
+                 std::size_t width, std::size_t units) noexcept {
+  simd::active_kernel_table()->gemm_nt_f32(x, w, p, rows, width, units);
+}
+
 double gaussian_kernel_sum(std::span<const double> points, double x, double inv_h) noexcept {
   // One shared implementation for every dispatch level: exp() dominates the
   // cost and stays scalar libm, but the accumulation follows the kernel

@@ -3,9 +3,9 @@
 //
 // dot/axpy/scale/squared_norm/squared_distance/gemv (and Matrix matmul)
 // dispatch at runtime to the best instruction-set level (linalg/simd.hpp;
-// override with FRAC_SIMD=scalar|avx2). Every level follows the same fixed
-// lane-block accumulation order, so results are bit-identical across levels
-// and machines — see DESIGN.md §9 for the contract.
+// override with FRAC_SIMD=scalar|avx2|avx512). Every level follows the same
+// fixed lane-block accumulation order, so results are bit-identical across
+// levels and machines — see DESIGN.md §9 for the contract.
 #pragma once
 
 #include <cstddef>
@@ -36,6 +36,22 @@ double squared_distance(std::span<const double> x, std::span<const double> y) no
 
 /// y = A x  (A: m×n, x: n, y: m).
 void gemv(const Matrix& a, std::span<const double> x, std::span<double> y) noexcept;
+
+/// P[r][u] = X_r · W_u with X rows×width and W units×width, both row-major
+/// (the right operand transposed relative to matmul). Every output element
+/// is one full dot in the standard accumulator order, so the result is
+/// independent of the internal blocking and bit-identical to dot() on the
+/// same rows. The fused serve path's batch-scoring kernel.
+void gemm_nt(const double* x, const double* w, double* p, std::size_t rows,
+             std::size_t width, std::size_t units) noexcept;
+
+/// f32 x · y in the same 16-accumulator element order (fmaf per element);
+/// bit-identical across dispatch levels. Sizes must match.
+float dot_f32(std::span<const float> x, std::span<const float> y) noexcept;
+
+/// f32 twin of gemm_nt — the `--precision f32` serve path.
+void gemm_nt_f32(const float* x, const float* w, float* p, std::size_t rows,
+                 std::size_t width, std::size_t units) noexcept;
 
 /// Σ_i exp(-0.5 · ((x − points[i]) · inv_h)²) — the Gaussian KDE inner loop,
 /// accumulated in the kernel layer's fixed lane-block order (one shared

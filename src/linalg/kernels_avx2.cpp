@@ -131,12 +131,43 @@ void matmul_avx2(const double* a, const double* b, double* c, std::size_t m, std
   _mm256_zeroupper();
 }
 
+void gemm_nt_avx2(const double* x, const double* w, double* p, std::size_t rows,
+                  std::size_t width, std::size_t units) {
+  detail::gemm_nt_blocked(x, w, p, rows, width, units, dot_avx2);
+}
+
+float dot_f32_avx2(const float* x, const float* y, std::size_t n) {
+  // Two 8-lane vectors: v0 holds f32 accumulators 0..7 (fed elements
+  // i..i+7), v1 holds 8..15 — the same element -> accumulator map as the
+  // scalar float[16].
+  __m256 v0 = _mm256_setzero_ps();
+  __m256 v1 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + kAccumulators <= n; i += kAccumulators) {
+    v0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i), v0);
+    v1 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 8), _mm256_loadu_ps(y + i + 8), v1);
+  }
+  alignas(32) float acc[kAccumulators];
+  _mm256_store_ps(acc + 0, v0);
+  _mm256_store_ps(acc + 8, v1);
+  _mm256_zeroupper();
+  detail::dot_tail_f32(x, y, i, n, acc);
+  return detail::reduce_accumulators_f32(acc);
+}
+
+void gemm_nt_f32_avx2(const float* x, const float* w, float* p, std::size_t rows,
+                      std::size_t width, std::size_t units) {
+  detail::gemm_nt_blocked(x, w, p, rows, width, units, dot_f32_avx2);
+}
+
 }  // namespace
 
 const KernelTable* avx2_kernel_table() {
   static const KernelTable table{dot_avx2,           axpy_avx2, scale_avx2,
                                  squared_norm_avx2,  squared_distance_avx2,
-                                 gemv_avx2,          matmul_avx2};
+                                 gemv_avx2,          matmul_avx2,
+                                 gemm_nt_avx2,       dot_f32_avx2,
+                                 gemm_nt_f32_avx2};
   return &table;
 }
 

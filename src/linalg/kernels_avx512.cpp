@@ -1,0 +1,166 @@
+// AVX-512F kernels. This translation unit is the only one compiled with
+// -mavx512f (see src/CMakeLists.txt); it is reached only after the
+// dispatcher has confirmed cpuid support, so no other TU may call into it
+// directly.
+//
+// Determinism: each f64 reduction keeps two 8-lane vfmadd accumulators fed
+// in element order — lane j of vector v holds accumulator 8v+j, exactly the
+// double[16] the scalar reference maintains — then stores them and reuses
+// the scalar tail/reduction helpers, so the final double is bit-identical
+// to the scalar and AVX2 paths (kernels_impl.hpp). The f32 dot uses a
+// single 16-lane vector, again matching the scalar float[16] layout.
+//
+// Every kernel executes _mm256_zeroupper() after its last wide op, for the
+// same reason as the AVX2 TU: VZEROUPPER clears the upper YMM *and* ZMM
+// state, and returning with dirty uppers puts subsequent non-VEX scalar FP
+// in the transition-penalty regime. GCC's automatic pass misses kernels
+// that tail-call the shared reduce helpers, so the contract is explicit.
+#include "linalg/kernels_impl.hpp"
+#include "linalg/simd.hpp"
+
+#if defined(FRAC_HAVE_AVX512)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstddef>
+
+namespace frac::simd {
+
+namespace {
+
+using detail::kAccumulators;
+
+double dot_avx512(const double* x, const double* y, std::size_t n) {
+  __m512d v0 = _mm512_setzero_pd();
+  __m512d v1 = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + kAccumulators <= n; i += kAccumulators) {
+    v0 = _mm512_fmadd_pd(_mm512_loadu_pd(x + i), _mm512_loadu_pd(y + i), v0);
+    v1 = _mm512_fmadd_pd(_mm512_loadu_pd(x + i + 8), _mm512_loadu_pd(y + i + 8), v1);
+  }
+  alignas(64) double acc[kAccumulators];
+  _mm512_store_pd(acc + 0, v0);
+  _mm512_store_pd(acc + 8, v1);
+  _mm256_zeroupper();
+  detail::dot_tail(x, y, i, n, acc);
+  return detail::reduce_accumulators(acc);
+}
+
+void axpy_avx512(double alpha, const double* x, double* y, std::size_t n) {
+  const __m512d va = _mm512_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d vy = _mm512_fmadd_pd(va, _mm512_loadu_pd(x + i), _mm512_loadu_pd(y + i));
+    _mm512_storeu_pd(y + i, vy);
+  }
+  _mm256_zeroupper();
+  for (; i < n; ++i) y[i] = std::fma(alpha, x[i], y[i]);
+}
+
+void scale_avx512(double alpha, double* x, std::size_t n) {
+  const __m512d va = _mm512_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_pd(x + i, _mm512_mul_pd(va, _mm512_loadu_pd(x + i)));
+  }
+  _mm256_zeroupper();
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+double squared_norm_avx512(const double* x, std::size_t n) { return dot_avx512(x, x, n); }
+
+double squared_distance_avx512(const double* x, const double* y, std::size_t n) {
+  __m512d v0 = _mm512_setzero_pd();
+  __m512d v1 = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + kAccumulators <= n; i += kAccumulators) {
+    const __m512d d0 = _mm512_sub_pd(_mm512_loadu_pd(x + i), _mm512_loadu_pd(y + i));
+    const __m512d d1 = _mm512_sub_pd(_mm512_loadu_pd(x + i + 8), _mm512_loadu_pd(y + i + 8));
+    v0 = _mm512_fmadd_pd(d0, d0, v0);
+    v1 = _mm512_fmadd_pd(d1, d1, v1);
+  }
+  alignas(64) double acc[kAccumulators];
+  _mm512_store_pd(acc + 0, v0);
+  _mm512_store_pd(acc + 8, v1);
+  _mm256_zeroupper();
+  detail::distance_tail(x, y, i, n, acc);
+  return detail::reduce_accumulators(acc);
+}
+
+void gemv_avx512(const double* a, std::size_t m, std::size_t n, const double* x, double* y) {
+  for (std::size_t i = 0; i < m; ++i) y[i] = dot_avx512(a + i * n, x, n);
+}
+
+void matmul_avx512(const double* a, const double* b, double* c, std::size_t m, std::size_t k,
+                   std::size_t n) {
+  for (std::size_t kk = 0; kk < k; kk += detail::kMatmulKc) {
+    const std::size_t k_end = std::min(k, kk + detail::kMatmulKc);
+    for (std::size_t jj = 0; jj < n; jj += detail::kMatmulNc) {
+      const std::size_t j_end = std::min(n, jj + detail::kMatmulNc);
+      for (std::size_t i = 0; i < m; ++i) {
+        double* crow = c + i * n;
+        for (std::size_t p = kk; p < k_end; ++p) {
+          const __m512d va = _mm512_set1_pd(a[i * k + p]);
+          const double* brow = b + p * n;
+          std::size_t j = jj;
+          for (; j + 8 <= j_end; j += 8) {
+            const __m512d vc =
+                _mm512_fmadd_pd(va, _mm512_loadu_pd(brow + j), _mm512_loadu_pd(crow + j));
+            _mm512_storeu_pd(crow + j, vc);
+          }
+          for (; j < j_end; ++j) crow[j] = std::fma(a[i * k + p], brow[j], crow[j]);
+        }
+      }
+    }
+  }
+  _mm256_zeroupper();
+}
+
+void gemm_nt_avx512(const double* x, const double* w, double* p, std::size_t rows,
+                    std::size_t width, std::size_t units) {
+  detail::gemm_nt_blocked(x, w, p, rows, width, units, dot_avx512);
+}
+
+float dot_f32_avx512(const float* x, const float* y, std::size_t n) {
+  // One 16-lane vector holds all 16 f32 accumulators, lane j fed element
+  // i + j — the same element -> accumulator map as the scalar float[16].
+  __m512 v0 = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + kAccumulators <= n; i += kAccumulators) {
+    v0 = _mm512_fmadd_ps(_mm512_loadu_ps(x + i), _mm512_loadu_ps(y + i), v0);
+  }
+  alignas(64) float acc[kAccumulators];
+  _mm512_store_ps(acc, v0);
+  _mm256_zeroupper();
+  detail::dot_tail_f32(x, y, i, n, acc);
+  return detail::reduce_accumulators_f32(acc);
+}
+
+void gemm_nt_f32_avx512(const float* x, const float* w, float* p, std::size_t rows,
+                        std::size_t width, std::size_t units) {
+  detail::gemm_nt_blocked(x, w, p, rows, width, units, dot_f32_avx512);
+}
+
+}  // namespace
+
+const KernelTable* avx512_kernel_table() {
+  static const KernelTable table{dot_avx512,           axpy_avx512, scale_avx512,
+                                 squared_norm_avx512,  squared_distance_avx512,
+                                 gemv_avx512,          matmul_avx512,
+                                 gemm_nt_avx512,       dot_f32_avx512,
+                                 gemm_nt_f32_avx512};
+  return &table;
+}
+
+}  // namespace frac::simd
+
+#else  // !FRAC_HAVE_AVX512
+
+namespace frac::simd {
+
+const KernelTable* avx512_kernel_table() { return nullptr; }
+
+}  // namespace frac::simd
+
+#endif

@@ -25,12 +25,13 @@
 
 namespace frac::simd {
 
-/// Per-level tables, defined in kernels_scalar.cpp / kernels_avx2.cpp and
-/// re-declared locally by simd.cpp. avx2_kernel_table() returns null when
-/// the binary was built without AVX2 support (non-x86 target or unsupported
-/// compiler flags).
+/// Per-level tables, defined in kernels_scalar.cpp / kernels_avx2.cpp /
+/// kernels_avx512.cpp and re-declared locally by simd.cpp. The vector-level
+/// tables return null when the binary was built without that level's
+/// support (non-x86 target or unsupported compiler flags).
 const KernelTable* scalar_kernel_table();
 const KernelTable* avx2_kernel_table();
+const KernelTable* avx512_kernel_table();
 
 }  // namespace frac::simd
 
@@ -85,5 +86,54 @@ static void distance_tail(const double* x, const double* y, std::size_t i, std::
 /// contract, and identical blocking guarantees it.
 inline constexpr std::size_t kMatmulKc = 64;
 inline constexpr std::size_t kMatmulNc = 512;
+
+/// f32 twin of reduce_accumulators: identical tree, float adds.
+static float reduce_accumulators_f32(const float acc[kAccumulators]) noexcept {
+  float a0 = acc[0] + acc[8];
+  float a1 = acc[1] + acc[9];
+  float a2 = acc[2] + acc[10];
+  float a3 = acc[3] + acc[11];
+  const float a4 = acc[4] + acc[12];
+  const float a5 = acc[5] + acc[13];
+  const float a6 = acc[6] + acc[14];
+  const float a7 = acc[7] + acc[15];
+  a0 += a4;
+  a1 += a5;
+  a2 += a6;
+  a3 += a7;
+  a0 += a2;
+  a1 += a3;
+  return a0 + a1;
+}
+
+/// f32 twin of dot_tail (std::fmaf keeps every update correctly rounded).
+static void dot_tail_f32(const float* x, const float* y, std::size_t i, std::size_t n,
+                         float acc[kAccumulators]) noexcept {
+  for (std::size_t j = 0; i < n; ++i, ++j) acc[j] = std::fmaf(x[i], y[i], acc[j]);
+}
+
+/// Row-block height for gemm_nt. Within a block of X rows the unit loop runs
+/// outermost, so each W row is streamed from memory once per block instead of
+/// once per X row — the cache win — while every output element is still one
+/// full dot in the standard accumulator order, so the blocking is invisible
+/// in the bits.
+inline constexpr std::size_t kGemmNtRowBlock = 16;
+
+/// Shared gemm_nt skeleton: P[r][u] = dot(X_r, W_u) with the level's own dot
+/// function plugged in, blocked kGemmNtRowBlock rows at a time. A static
+/// template (internal linkage) for the same reason as the helpers above.
+template <typename T, typename DotFn>
+static void gemm_nt_blocked(const T* x, const T* w, T* p, std::size_t rows,
+                            std::size_t width, std::size_t units, DotFn dot_fn) noexcept {
+  for (std::size_t r0 = 0; r0 < rows; r0 += kGemmNtRowBlock) {
+    const std::size_t r_end = r0 + kGemmNtRowBlock < rows ? r0 + kGemmNtRowBlock : rows;
+    for (std::size_t u = 0; u < units; ++u) {
+      const T* w_row = w + u * width;
+      for (std::size_t r = r0; r < r_end; ++r) {
+        p[r * units + u] = dot_fn(x + r * width, w_row, width);
+      }
+    }
+  }
+}
 
 }  // namespace frac::simd::detail

@@ -73,12 +73,36 @@ void matmul_scalar(const double* a, const double* b, double* c, std::size_t m, s
   }
 }
 
+void gemm_nt_scalar(const double* x, const double* w, double* p, std::size_t rows,
+                    std::size_t width, std::size_t units) {
+  detail::gemm_nt_blocked(x, w, p, rows, width, units, dot_scalar);
+}
+
+float dot_f32_scalar(const float* x, const float* y, std::size_t n) {
+  float acc[kAccumulators] = {};
+  std::size_t i = 0;
+  for (; i + kAccumulators <= n; i += kAccumulators) {
+    for (std::size_t j = 0; j < kAccumulators; ++j) {
+      acc[j] = std::fmaf(x[i + j], y[i + j], acc[j]);
+    }
+  }
+  detail::dot_tail_f32(x, y, i, n, acc);
+  return detail::reduce_accumulators_f32(acc);
+}
+
+void gemm_nt_f32_scalar(const float* x, const float* w, float* p, std::size_t rows,
+                        std::size_t width, std::size_t units) {
+  detail::gemm_nt_blocked(x, w, p, rows, width, units, dot_f32_scalar);
+}
+
 }  // namespace
 
 const KernelTable* scalar_kernel_table() {
   static const KernelTable table{dot_scalar,           axpy_scalar, scale_scalar,
                                  squared_norm_scalar,  squared_distance_scalar,
-                                 gemv_scalar,          matmul_scalar};
+                                 gemv_scalar,          matmul_scalar,
+                                 gemm_nt_scalar,       dot_f32_scalar,
+                                 gemm_nt_f32_scalar};
   return &table;
 }
 

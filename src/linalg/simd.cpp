@@ -7,16 +7,22 @@
 
 namespace frac::simd {
 
-// Defined in kernels_scalar.cpp / kernels_avx2.cpp. Declared here rather
-// than via kernels_impl.hpp, which must only be included by the kernel TUs.
+// Defined in kernels_scalar.cpp / kernels_avx2.cpp / kernels_avx512.cpp.
+// Declared here rather than via kernels_impl.hpp, which must only be
+// included by the kernel TUs.
 const KernelTable* scalar_kernel_table();
 const KernelTable* avx2_kernel_table();
+const KernelTable* avx512_kernel_table();
 
 namespace {
 
-/// Best level the CPU can execute.
+/// Best level the CPU can execute. Checked top-down so a new level slots in
+/// by adding one clause.
 Level detect_level() {
 #if defined(__x86_64__) || defined(_M_X64)
+  if (avx512_kernel_table() != nullptr && __builtin_cpu_supports("avx512f")) {
+    return Level::kAvx512;
+  }
   if (avx2_kernel_table() != nullptr && __builtin_cpu_supports("avx2") &&
       __builtin_cpu_supports("fma")) {
     return Level::kAvx2;
@@ -26,9 +32,10 @@ Level detect_level() {
 }
 
 /// Mirrors the dispatch decision into the metrics registry (0 = scalar,
-/// 1 = avx2) so run manifests record which kernels produced the numbers.
+/// 1 = avx2, 2 = avx512) so run manifests record which kernels produced the
+/// numbers.
 void publish_level_metric(Level level) {
-  metrics_gauge("simd.level").set(level == Level::kScalar ? 0.0 : 1.0);
+  metrics_gauge("simd.level").set(static_cast<double>(level));
 }
 
 Level initial_level_published() {
@@ -37,60 +44,110 @@ Level initial_level_published() {
   return level;
 }
 
-/// The active table, published once and swapped only by force_level(). The
-/// kernels in kernels.cpp load it with a relaxed atomic read — tables are
-/// immutable and any published table is valid, so no ordering is needed.
-std::atomic<const KernelTable*>& active_table_slot() {
-  static std::atomic<const KernelTable*> slot{kernel_table(initial_level_published())};
-  return slot;
+/// The active table plus its level, published once and swapped only by
+/// force_level(). The kernels in kernels.cpp load the table with a relaxed
+/// atomic read — tables are immutable and any published table is valid, so
+/// no ordering is needed. The level rides in its own atomic: with three
+/// levels a pointer-compare against one table no longer identifies it.
+struct ActiveState {
+  explicit ActiveState(Level initial)
+      : table(kernel_table(initial)), level(static_cast<int>(initial)) {}
+  std::atomic<const KernelTable*> table;
+  std::atomic<int> level;
+};
+
+ActiveState& active_state() {
+  static ActiveState state(initial_level_published());
+  return state;
 }
 
 }  // namespace
 
 bool cpu_supports(Level level) {
-  return level == Level::kScalar || detect_level() == Level::kAvx2;
+  switch (level) {
+    case Level::kScalar:
+      return true;
+    case Level::kAvx2:
+#if defined(__x86_64__) || defined(_M_X64)
+      return avx2_kernel_table() != nullptr && __builtin_cpu_supports("avx2") &&
+             __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case Level::kAvx512:
+#if defined(__x86_64__) || defined(_M_X64)
+      return avx512_kernel_table() != nullptr && __builtin_cpu_supports("avx512f");
+#else
+      return false;
+#endif
+  }
+  return false;
 }
 
 const KernelTable* kernel_table(Level level) {
-  return level == Level::kScalar ? scalar_kernel_table() : avx2_kernel_table();
+  switch (level) {
+    case Level::kScalar:
+      return scalar_kernel_table();
+    case Level::kAvx2:
+      return avx2_kernel_table();
+    case Level::kAvx512:
+      return avx512_kernel_table();
+  }
+  return nullptr;
 }
 
 Level active_level() {
-  return active_table_slot().load(std::memory_order_relaxed) == scalar_kernel_table()
-             ? Level::kScalar
-             : Level::kAvx2;
+  return static_cast<Level>(active_state().level.load(std::memory_order_relaxed));
 }
 
 Level force_level(Level level) {
   if (!cpu_supports(level)) return active_level();
-  active_table_slot().store(kernel_table(level), std::memory_order_relaxed);
+  ActiveState& state = active_state();
+  state.table.store(kernel_table(level), std::memory_order_relaxed);
+  state.level.store(static_cast<int>(level), std::memory_order_relaxed);
   publish_level_metric(level);
   return level;
 }
 
 Level request_level(const std::string& name) {
-  const Level detected = active_level();
-  if (name.empty()) return detected;
-  if (name == "scalar") return force_level(Level::kScalar);
-  if (name == "avx2") {
-    if (cpu_supports(Level::kAvx2)) return force_level(Level::kAvx2);
-    FRAC_WARN << "simd level 'avx2' requested but this CPU/build lacks AVX2+FMA; "
-                 "using scalar kernels";
-    return force_level(Level::kScalar);
+  const Level current = active_level();
+  if (name.empty()) return current;
+  Level wanted;
+  if (name == "scalar") {
+    wanted = Level::kScalar;
+  } else if (name == "avx2") {
+    wanted = Level::kAvx2;
+  } else if (name == "avx512") {
+    wanted = Level::kAvx512;
+  } else {
+    FRAC_WARN << "unrecognized simd level '" << name
+              << "' (expected scalar|avx2|avx512); using " << level_name(current)
+              << " kernels";
+    return current;
   }
-  FRAC_WARN << "unrecognized simd level '" << name << "' (expected scalar|avx2); using "
-            << level_name(detected) << " kernels";
-  return detected;
+  if (cpu_supports(wanted)) return force_level(wanted);
+  const Level fallback = detect_level();
+  FRAC_WARN << "simd level '" << name << "' requested but this CPU/build lacks it; using "
+            << level_name(fallback) << " kernels";
+  return force_level(fallback);
 }
 
 const char* level_name(Level level) {
-  return level == Level::kScalar ? "scalar" : "avx2";
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
 }
 
 /// Internal accessor for kernels.cpp (declared there; kept out of simd.hpp so
 /// ordinary callers go through the span API).
 const KernelTable* active_kernel_table() {
-  return active_table_slot().load(std::memory_order_relaxed);
+  return active_state().table.load(std::memory_order_relaxed);
 }
 
 }  // namespace frac::simd

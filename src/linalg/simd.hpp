@@ -17,6 +17,7 @@ namespace frac::simd {
 enum class Level : int {
   kScalar = 0,  ///< portable reference (std::fma-based, matches FMA hardware)
   kAvx2 = 1,    ///< AVX2 + FMA (x86-64)
+  kAvx512 = 2,  ///< AVX-512F (x86-64), same accumulator order as the others
 };
 
 /// Raw-pointer kernel table for one instruction-set level. Exposed so the
@@ -34,6 +35,20 @@ struct KernelTable {
   /// C += A B, row-major, A m-by-k, B k-by-n; C must be pre-initialized.
   void (*matmul)(const double* a, const double* b, double* c, std::size_t m, std::size_t k,
                  std::size_t n);
+  /// P[r][u] = X_r · W_u with X rows-by-width and W units-by-width, both
+  /// row-major ("NT": the right operand is transposed relative to matmul).
+  /// Every output element is one full dot in the standard 16-accumulator
+  /// element order, so the result is independent of the internal row/unit
+  /// blocking and bit-identical across levels. The fused serve path's kernel.
+  void (*gemm_nt)(const double* x, const double* w, double* p, std::size_t rows,
+                  std::size_t width, std::size_t units);
+  /// f32 dot: 16 f32 accumulators fed in element order (fmaf per element),
+  /// same fixed tree reduction as the f64 contract — bit-identical across
+  /// levels, though of course not to the f64 kernels.
+  float (*dot_f32)(const float* x, const float* y, std::size_t n);
+  /// f32 twin of gemm_nt (the `--precision f32` serve path).
+  void (*gemm_nt_f32)(const float* x, const float* w, float* p, std::size_t rows,
+                      std::size_t width, std::size_t units);
 };
 
 /// True when the CPU can execute `level` (kScalar is always supported).
@@ -47,7 +62,7 @@ Level active_level();
 /// effect: requesting an unsupported level is a no-op.
 Level force_level(Level level);
 
-/// Named override ("scalar" | "avx2"), the RuntimeConfig entry point for
+/// Named override ("scalar" | "avx2" | "avx512"), the RuntimeConfig entry point for
 /// --simd / FRAC_SIMD resolved at CLI startup. An unsupported or
 /// unrecognized name logs a warning and keeps a working level — a bad knob
 /// must not abort (or silently slow down) a run. Empty = keep the current

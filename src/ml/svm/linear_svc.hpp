@@ -48,6 +48,10 @@ class BinaryLinearSvc {
   /// LinearSvr::weights).
   std::span<const double> weights() const noexcept { return w(); }
 
+  /// The bias added after the dot in decision(); exposed (with weights())
+  /// so the fused serve path can replicate `w·x + b` exactly.
+  double bias() const noexcept { return bias_; }
+
   /// Binary persistence into the caller's open archive section; weights are
   /// aligned little-endian f64, zero-copy when the archive is borrowed.
   void serialize(ArchiveWriter& archive) const;
@@ -81,6 +85,10 @@ class OneVsRestSvc {
 
   std::uint32_t arity() const noexcept { return static_cast<std::uint32_t>(binary_.size()); }
   std::size_t support_vector_count() const;
+
+  /// Class k's binary machine, in the argmax order predict() walks — the
+  /// fused serve path extracts per-class weight rows through this.
+  const BinaryLinearSvc& binary(std::uint32_t k) const { return binary_.at(k); }
 
   /// Binary persistence into the caller's open archive section.
   void serialize(ArchiveWriter& archive) const;

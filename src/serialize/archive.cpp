@@ -128,6 +128,12 @@ void ArchiveWriter::write_f64_array(std::span<const double> values) {
   append_raw(values.data(), values.size() * sizeof(double));
 }
 
+void ArchiveWriter::write_f32_array(std::span<const float> values) {
+  write_u64(values.size());
+  pad_payload_to(8);
+  append_raw(values.data(), values.size() * sizeof(float));
+}
+
 void ArchiveWriter::write_u32_array(std::span<const std::uint32_t> values) {
   write_u64(values.size());
   pad_payload_to(8);
@@ -138,6 +144,14 @@ void ArchiveWriter::write_u64_array(std::span<const std::uint64_t> values) {
   write_u64(values.size());
   pad_payload_to(8);
   append_raw(values.data(), values.size() * sizeof(std::uint64_t));
+}
+
+void ArchiveWriter::set_format_version(std::uint32_t version) {
+  if (version < kArchiveFormatVersion || version > kArchiveFormatVersionMax) {
+    throw std::logic_error(format("ArchiveWriter: format version %u outside [%u, %u]",
+                                  version, kArchiveFormatVersion, kArchiveFormatVersionMax));
+  }
+  format_version_ = version;
 }
 
 std::string ArchiveWriter::bytes() const {
@@ -153,7 +167,7 @@ std::string ArchiveWriter::bytes() const {
     out.append(static_cast<const char*>(data), size);
   };
   append(kMagic.data(), kMagic.size());
-  const std::uint32_t version = kArchiveFormatVersion;
+  const std::uint32_t version = format_version_;
   const std::uint32_t count = static_cast<std::uint32_t>(sections_.size());
   const std::uint64_t toc_offset = kHeaderBytes;
   append(&version, sizeof version);
@@ -219,9 +233,9 @@ ArchiveReader::ArchiveReader(std::span<const std::byte> data, std::string source
   std::memcpy(&version_, data_.data() + 8, sizeof version_);
   std::memcpy(&count, data_.data() + 12, sizeof count);
   std::memcpy(&toc_offset, data_.data() + 16, sizeof toc_offset);
-  if (version_ != kArchiveFormatVersion) {
-    header_fail(format("unsupported format version %u (this build reads %u)", version_,
-                       kArchiveFormatVersion));
+  if (version_ < kArchiveFormatVersion || version_ > kArchiveFormatVersionMax) {
+    header_fail(format("unsupported format version %u (this build reads %u..%u)", version_,
+                       kArchiveFormatVersion, kArchiveFormatVersionMax));
   }
   if (toc_offset != kHeaderBytes) header_fail("bad section-table offset");
   const std::uint64_t toc_end =
@@ -350,6 +364,23 @@ std::span<const double> ArchiveReader::read_f64_span() {
 std::vector<double> ArchiveReader::read_f64_vector() {
   const std::span<const double> s = read_f64_span();
   return std::vector<double>(s.begin(), s.end());
+}
+
+std::span<const float> ArchiveReader::read_f32_span() {
+  const std::uint64_t count = read_u64();
+  align_cursor(8);
+  if (count > (open_->size - cursor_) / sizeof(float)) {
+    fail(format("f32 array count %llu exceeds section size",
+                static_cast<unsigned long long>(count)));
+  }
+  const std::byte* at = section_cursor(count * sizeof(float));
+  // 8-aligned cursor over-satisfies float's 4-byte alignment requirement.
+  return std::span<const float>(reinterpret_cast<const float*>(at), count);
+}
+
+std::vector<float> ArchiveReader::read_f32_vector() {
+  const std::span<const float> s = read_f32_span();
+  return std::vector<float>(s.begin(), s.end());
 }
 
 std::vector<std::uint32_t> ArchiveReader::read_u32_vector() {

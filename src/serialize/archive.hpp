@@ -35,9 +35,13 @@ static_assert(std::endian::native == std::endian::little,
 /// IEEE CRC-32 (zlib polynomial) over a byte range.
 std::uint32_t crc32(std::span<const std::byte> data);
 
-/// The archive-level format version written by ArchiveWriter. Version 1 is
-/// the legacy tagged-text model format (no archive container).
+/// The archive-level format version ArchiveWriter stamps by default.
+/// Version 1 is the legacy tagged-text model format (no archive container);
+/// version 3 is the same container plus the optional f32 weight section
+/// (writers opt in via set_format_version when they emit one). Readers
+/// accept [2, kArchiveFormatVersionMax].
 inline constexpr std::uint32_t kArchiveFormatVersion = 2;
+inline constexpr std::uint32_t kArchiveFormatVersionMax = 3;
 
 /// Builds an archive in memory: begin_section()/end_section() bracket a
 /// named payload, the write_* calls append fields to the open section, and
@@ -58,8 +62,14 @@ class ArchiveWriter {
   /// Arrays: a u64 count, zero-padding to an 8-byte boundary, then the raw
   /// little-endian elements (so f64/u64 payloads are 8-aligned in the file).
   void write_f64_array(std::span<const double> values);
+  void write_f32_array(std::span<const float> values);
   void write_u32_array(std::span<const std::uint32_t> values);
   void write_u64_array(std::span<const std::uint64_t> values);
+
+  /// Stamps a non-default header version (e.g. 3 when an f32 weight section
+  /// is present). Must be within [kArchiveFormatVersion,
+  /// kArchiveFormatVersionMax]; anything else is a logic_error.
+  void set_format_version(std::uint32_t version);
 
   /// The complete archive image. All sections must be closed.
   std::string bytes() const;
@@ -81,6 +91,7 @@ class ArchiveWriter {
 
   std::vector<Section> sections_;
   bool section_open_ = false;
+  std::uint32_t format_version_ = kArchiveFormatVersion;
 };
 
 /// Reads an archive image (heap buffer or mmap). `borrowed` declares that
@@ -124,6 +135,8 @@ class ArchiveReader {
   /// reader's lifetime — and for the buffer's lifetime when borrowed().
   std::span<const double> read_f64_span();
   std::vector<double> read_f64_vector();
+  std::span<const float> read_f32_span();
+  std::vector<float> read_f32_vector();
   std::vector<std::uint32_t> read_u32_vector();
   std::vector<std::uint64_t> read_u64_vector();
 

@@ -35,13 +35,16 @@ Dataset ScoringEngine::as_dataset(Matrix rows) const {
   return data;
 }
 
-std::vector<double> ScoringEngine::score(Matrix rows, ThreadPool& pool) const {
-  return model().score(as_dataset(std::move(rows)), pool);
+std::vector<double> ScoringEngine::score(Matrix rows, ThreadPool& pool,
+                                         ScorePrecision precision) const {
+  return model().score(as_dataset(std::move(rows)), pool, ScoreMode::kFused, precision);
 }
 
 std::vector<std::vector<NsContribution>> ScoringEngine::explain(Matrix rows, std::size_t top_k,
-                                                                ThreadPool& pool) const {
-  const Matrix per_feature = model().per_feature_scores(as_dataset(std::move(rows)), pool);
+                                                                ThreadPool& pool,
+                                                                ScorePrecision precision) const {
+  const Matrix per_feature = model().per_feature_scores(as_dataset(std::move(rows)), pool,
+                                                        ScoreMode::kFused, precision);
   std::vector<std::vector<NsContribution>> out(per_feature.rows());
   for (std::size_t r = 0; r < per_feature.rows(); ++r) {
     std::vector<NsContribution>& top = out[r];

@@ -39,14 +39,18 @@ class ScoringEngine {
 
   /// NS per row (rows.cols() must equal feature_count(); categorical cells
   /// are validated like any dataset — malformed values throw
-  /// std::invalid_argument).
-  std::vector<double> score(Matrix rows, ThreadPool& pool) const;
+  /// std::invalid_argument). `precision` selects the f64 path (default) or
+  /// the f32 weight pack (`frac serve --precision f32`; requires a format-v3
+  /// model, otherwise every request fails with an error response).
+  std::vector<double> score(Matrix rows, ThreadPool& pool,
+                            ScorePrecision precision = ScorePrecision::kF64) const;
 
   /// Per-row top-k NS contributions, largest first (ties and the full
   /// breakdown follow FracModel::per_feature_scores; features without a
   /// score are omitted).
   std::vector<std::vector<NsContribution>> explain(Matrix rows, std::size_t top_k,
-                                                   ThreadPool& pool) const;
+                                                   ThreadPool& pool,
+                                                   ScorePrecision precision = ScorePrecision::kF64) const;
 
  private:
   Dataset as_dataset(Matrix rows) const;

@@ -236,9 +236,10 @@ std::string handle_request_line(const std::string& line, const ServeOptions& opt
       // One pass: per-feature contributions also yield the NS total via
       // score(); both run so "ns" stays bit-identical to scores-only
       // requests (the summation orders differ between the two kernels).
-      top = request.engine->explain(request.rows, request.top_k, pool);
+      top = request.engine->explain(request.rows, request.top_k, pool, options.precision);
     }
-    const std::vector<double> ns = request.engine->score(std::move(request.rows), pool);
+    const std::vector<double> ns =
+        request.engine->score(std::move(request.rows), pool, options.precision);
     stats->samples += samples;
     samples_metric.add(samples);
     return format_score_response(request, ns, top);

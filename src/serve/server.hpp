@@ -46,6 +46,10 @@ struct ServeOptions {
   /// Longest accepted request line; longer lines get an error response and
   /// are skipped. Bounds per-connection buffering on the socket path.
   std::size_t max_request_bytes = 4u << 20;
+  /// Weight precision for linear units (`--precision f32` requires models
+  /// converted with `frac convert --f32`; requests against a model without
+  /// the f32 pack get error responses).
+  ScorePrecision precision = ScorePrecision::kF64;
 };
 
 struct ServeStats {

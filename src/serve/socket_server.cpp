@@ -630,9 +630,11 @@ std::vector<SocketServer::Done> SocketServer::process_batch(std::vector<Work> ba
       const std::uint64_t samples = request.rows.rows();
       std::vector<std::vector<NsContribution>> top;
       if (request.top_k > 0) {
-        top = request.engine->explain(request.rows, request.top_k, pool);
+        top = request.engine->explain(request.rows, request.top_k, pool,
+                                      options_.serve.precision);
       }
-      const std::vector<double> ns = request.engine->score(std::move(request.rows), pool);
+      const std::vector<double> ns =
+          request.engine->score(std::move(request.rows), pool, options_.serve.precision);
       delta.samples += samples;
       samples_metric.add(samples);
       item.response = format_score_response(request, ns, top);
@@ -666,7 +668,8 @@ std::vector<SocketServer::Done> SocketServer::process_batch(std::vector<Work> ba
       std::copy(row.begin(), row.end(), stacked.row(r).begin());
     }
     try {
-      const std::vector<double> ns = engine->score(std::move(stacked), pool);
+      const std::vector<double> ns =
+          engine->score(std::move(stacked), pool, options_.serve.precision);
       for (std::size_t r = 0; r < members.size(); ++r) {
         Item& item = items[members[r]];
         item.response =

@@ -132,12 +132,15 @@ const std::vector<CommandSpec>& command_specs() {
        }},
       {"convert",
        "convert a saved model between the text and binary formats",
-       "--in OLD.frac --out NEW.fracmdl [--to binary|text]",
+       "--in OLD.frac --out NEW.fracmdl [--to binary|text] [--f32]",
        {
            {"in", FlagKind::kString, true, "FILE", "source model (either format)"},
            {"out", FlagKind::kString, true, "FILE", "destination model path"},
            {"to", FlagKind::kString, false, "FMT",
             "target encoding: binary (default) or text"},
+           {"f32", FlagKind::kBool, false, "",
+            "embed the f32 linear-weight pack (format v3; enables "
+            "`frac serve --precision f32`)"},
        }},
       {"serve",
        "NDJSON scoring loop: one JSON request per stdin line, one response "
@@ -167,6 +170,9 @@ const std::vector<CommandSpec>& command_specs() {
            {"request-timeout-ms", FlagKind::kSize, false, "T",
             "answer a request still queued or scoring after T ms with "
             "{\"error\":\"deadline exceeded\"} (default 0: never)"},
+           {"precision", FlagKind::kString, false, "P",
+            "linear-unit weight precision: f64 (default) or f32 (requires a "
+            "model converted with `frac convert --f32`)"},
        }},
   };
   return kSpecs;
@@ -493,12 +499,23 @@ int cmd_convert(const ParsedFlags& args) {
   const std::string in_path = args.require("in");
   const std::string out_path = args.require("out");
   const ModelFormat to = parse_model_format(args.get("to").value_or(""), "--to");
+  const bool f32 = args.get_flag("f32");
+  if (f32 && to == ModelFormat::kText) {
+    throw std::invalid_argument("--f32 requires the binary format (--to binary)");
+  }
 
-  const FracModel model = FracModel::load_file(in_path);
+  FracModel model = FracModel::load_file(in_path);
+  if (f32) {
+    model.build_f32_weights();
+    if (!model.has_f32_weights()) {
+      std::cerr << "warning: model has no linear units; --f32 adds nothing "
+                   "(writing plain format v2)\n";
+    }
+  }
   model.save_file(out_path, to);
   std::cout << "converted " << in_path << " -> " << out_path << " ("
             << (to == ModelFormat::kBinary ? "binary" : "text") << ", " << model.unit_count()
-            << " units)\n";
+            << " units" << (model.has_f32_weights() ? ", f32 pack" : "") << ")\n";
   return 0;
 }
 
@@ -528,15 +545,26 @@ int cmd_serve(const ParsedFlags& args) {
   ServeOptions options;
   options.default_model = args.require("model");
   options.top_k = args.get_size("top-k", 0);
+  const std::string precision = args.get("precision").value_or("f64");
+  if (precision == "f32") {
+    options.precision = ScorePrecision::kF32;
+  } else if (precision != "f64") {
+    throw std::invalid_argument("--precision must be 'f64' or 'f32', got '" + precision + "'");
+  }
   const std::size_t cache_capacity = args.get_size("cache", 4);
 
   ModelCache cache(cache_capacity);
   // Fail fast: a broken default model should exit with the load error before
   // the loop starts consuming requests.
   const std::shared_ptr<const ScoringEngine> engine = cache.get(options.default_model);
+  if (options.precision == ScorePrecision::kF32 && !engine->model().has_f32_weights()) {
+    throw std::invalid_argument("--precision f32: model " + options.default_model +
+                                " has no f32 weight pack (run `frac convert --f32`)");
+  }
   std::cerr << "serving " << options.default_model << " (" << engine->feature_count()
             << " features, " << engine->model().unit_count() << " units, "
-            << (engine->bundle().zero_copy() ? "mmap zero-copy" : "heap-backed") << ")\n";
+            << (engine->bundle().zero_copy() ? "mmap zero-copy" : "heap-backed")
+            << (options.precision == ScorePrecision::kF32 ? ", f32 weights" : "") << ")\n";
 
   ThreadPool& pool = ThreadPool::global();
   ServeStats stats;

@@ -1,0 +1,254 @@
+// The fused serve path's contract (frac/fused.hpp): batching every linear
+// unit into one blocked gemm_nt must be *bit-identical* to the per-unit
+// reference walk — for any thread count and any SIMD dispatch level — and
+// the opt-in f32 weight pack must stay within a tight NS error bound of the
+// f64 path while being bit-identical across its own mode/level axes.
+#include "frac/fused.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "data/expression_generator.hpp"
+#include "data/snp_generator.hpp"
+#include "frac/frac.hpp"
+#include "linalg/simd.hpp"
+#include "util/errors.hpp"
+
+namespace frac {
+namespace {
+
+ThreadPool& pool() {
+  static ThreadPool p(2);
+  return p;
+}
+
+Replicate expression_replicate(std::uint64_t seed = 1) {
+  ExpressionModelConfig c;
+  c.features = 40;
+  c.modules = 4;
+  c.genes_per_module = 6;
+  c.noise_sd = 0.4;
+  c.anomaly_mix = 3.0;
+  c.disease_modules = 3;
+  c.seed = seed;
+  const ExpressionModel model(c);
+  Rng rng(seed + 100);
+  Replicate rep;
+  rep.train = model.sample(40, Label::kNormal, rng);
+  rep.test = concat_samples(model.sample(15, Label::kNormal, rng),
+                            model.sample(15, Label::kAnomaly, rng));
+  return rep;
+}
+
+/// SNP replicate scored with one-vs-rest linear SVCs, so the fused pack
+/// carries multi-row classifier units (argmax path) and one-hot inputs.
+Replicate snp_replicate(std::uint64_t seed = 2) {
+  SnpModelConfig c;
+  c.features = 30;
+  c.block_size = 6;
+  c.ld_strength = 0.8;
+  c.fst = 0.35;
+  c.populations = 2;
+  c.seed = seed;
+  const SnpModel model(c);
+  Rng rng(seed + 100);
+  Replicate rep;
+  rep.train = model.sample(0, 50, Label::kNormal, rng);
+  rep.test = concat_samples(model.sample(0, 12, Label::kNormal, rng),
+                            model.sample(1, 12, Label::kAnomaly, rng));
+  return rep;
+}
+
+FracConfig linear_svc_config() {
+  FracConfig config;
+  config.predictor.classifier = ClassifierKind::kLinearSvcOneHot;
+  config.predictor.regressor = RegressorKind::kLinearSvr;
+  config.seed = 7;
+  return config;
+}
+
+void expect_bitwise_equal(const std::vector<double>& a, const std::vector<double>& b,
+                          const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << what << " row " << i;  // exact, not near
+  }
+}
+
+TEST(FusedScoring, FusedMatchesPerUnitBitIdenticalAcrossThreadsAndLevels) {
+  // The tentpole contract: same expansion, same fixed-order dot kernel, so
+  // the one-GEMM fused path and the per-unit reference walk agree on every
+  // bit — crossed with thread counts and every supported dispatch level.
+  const Replicate rep = expression_replicate();
+  const FracModel model = FracModel::train(rep.train, {}, pool());
+  const simd::Level original = simd::active_level();
+  ThreadPool one(1);
+  ThreadPool four(4);
+  simd::force_level(simd::Level::kScalar);
+  const auto reference = model.score(rep.test, one, ScoreMode::kPerUnit);
+  for (const simd::Level level :
+       {simd::Level::kScalar, simd::Level::kAvx2, simd::Level::kAvx512}) {
+    if (!simd::cpu_supports(level)) continue;
+    simd::force_level(level);
+    const auto fused_one = model.score(rep.test, one, ScoreMode::kFused);
+    const auto fused_four = model.score(rep.test, four, ScoreMode::kFused);
+    const auto per_unit_four = model.score(rep.test, four, ScoreMode::kPerUnit);
+    simd::force_level(original);
+    expect_bitwise_equal(reference, fused_one, simd::level_name(level));
+    expect_bitwise_equal(reference, fused_four, simd::level_name(level));
+    expect_bitwise_equal(reference, per_unit_four, simd::level_name(level));
+  }
+}
+
+TEST(FusedScoring, FusedMatchesPerUnitForOneVsRestClassifiers) {
+  // Classifier units scatter one row per class and replicate the strict->
+  // first-max argmax; categorical inputs exercise the one-hot expansion.
+  const Replicate rep = snp_replicate();
+  const FracModel model = FracModel::train(rep.train, linear_svc_config(), pool());
+  const auto fused = model.score(rep.test, pool(), ScoreMode::kFused);
+  const auto per_unit = model.score(rep.test, pool(), ScoreMode::kPerUnit);
+  expect_bitwise_equal(fused, per_unit, "svc");
+}
+
+TEST(FusedScoring, PerFeatureScoresAgreeAcrossModes) {
+  const Replicate rep = expression_replicate(3);
+  const FracModel model = FracModel::train(rep.train, {}, pool());
+  const Matrix fused = model.per_feature_scores(rep.test, pool(), ScoreMode::kFused);
+  const Matrix per_unit = model.per_feature_scores(rep.test, pool(), ScoreMode::kPerUnit);
+  ASSERT_EQ(fused.rows(), per_unit.rows());
+  ASSERT_EQ(fused.cols(), per_unit.cols());
+  for (std::size_t r = 0; r < fused.rows(); ++r) {
+    for (std::size_t f = 0; f < fused.cols(); ++f) {
+      if (is_missing(fused(r, f))) {
+        EXPECT_TRUE(is_missing(per_unit(r, f))) << r << "," << f;
+      } else {
+        EXPECT_EQ(fused(r, f), per_unit(r, f)) << r << "," << f;
+      }
+    }
+  }
+}
+
+TEST(FusedScoring, F32ScoringRequiresTheWeightPack) {
+  const Replicate rep = expression_replicate(4);
+  const FracModel model = FracModel::train(rep.train, {}, pool());
+  ASSERT_FALSE(model.has_f32_weights());
+  EXPECT_THROW(
+      (void)model.score(rep.test, pool(), ScoreMode::kFused, ScorePrecision::kF32),
+      std::invalid_argument);
+}
+
+TEST(FusedScoring, F32StaysWithinRelativeErrorBoundOfF64) {
+  // Narrowing the weights to f32 perturbs each dot by ~1e-7 relative; the
+  // error models keep everything else f64, so NS moves by at most a small
+  // mixed absolute/relative tolerance — far below anything that could alter
+  // an anomaly ranking at the paper's scale.
+  const Replicate rep = expression_replicate(5);
+  FracModel model = FracModel::train(rep.train, {}, pool());
+  model.build_f32_weights();
+  ASSERT_TRUE(model.has_f32_weights());
+  const auto f64_scores = model.score(rep.test, pool());
+  const auto f32_scores =
+      model.score(rep.test, pool(), ScoreMode::kFused, ScorePrecision::kF32);
+  ASSERT_EQ(f64_scores.size(), f32_scores.size());
+  for (std::size_t i = 0; i < f64_scores.size(); ++i) {
+    const double bound = 1e-3 * (1.0 + std::abs(f64_scores[i]));
+    EXPECT_NEAR(f64_scores[i], f32_scores[i], bound) << i;
+  }
+}
+
+TEST(FusedScoring, F32FusedMatchesF32PerUnitBitIdentical) {
+  // The bit-identity contract holds within the f32 precision too: fused
+  // gemm_nt_f32 vs the per-unit dot_f32 walk share expansion and lane order.
+  const Replicate rep = expression_replicate(6);
+  FracModel model = FracModel::train(rep.train, {}, pool());
+  model.build_f32_weights();
+  const auto fused =
+      model.score(rep.test, pool(), ScoreMode::kFused, ScorePrecision::kF32);
+  const auto per_unit =
+      model.score(rep.test, pool(), ScoreMode::kPerUnit, ScorePrecision::kF32);
+  expect_bitwise_equal(fused, per_unit, "f32");
+}
+
+TEST(FusedScoring, TreeOnlyModelsHaveNoLinearPackAndStillScore) {
+  // A tree-only model fuses nothing: build_f32_weights() is a no-op, the
+  // fused mode falls back to the per-unit walk, and scores are unaffected.
+  const Replicate rep = snp_replicate(7);
+  FracConfig config;
+  config.predictor.classifier = ClassifierKind::kDecisionTree;
+  config.predictor.regressor = RegressorKind::kRegressionTree;
+  config.predictor.tree.max_depth = 4;
+  FracModel model = FracModel::train(rep.train, config, pool());
+  model.build_f32_weights();
+  EXPECT_FALSE(model.has_f32_weights());
+  const auto fused = model.score(rep.test, pool(), ScoreMode::kFused);
+  const auto per_unit = model.score(rep.test, pool(), ScoreMode::kPerUnit);
+  expect_bitwise_equal(fused, per_unit, "tree-only");
+}
+
+TEST(FusedScoring, F32PackSurvivesBinaryRoundTrip) {
+  // `frac convert --f32` writes format v3; loading it back must restore the
+  // pack (has_f32_weights) and reproduce both precisions bit for bit.
+  const Replicate rep = expression_replicate(8);
+  FracModel model = FracModel::train(rep.train, {}, pool());
+  model.build_f32_weights();
+  const std::string path = ::testing::TempDir() + "fused_f32_roundtrip.fracmdl";
+  model.save_file(path, ModelFormat::kBinary);
+  const FracModel restored = FracModel::load_file(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(restored.has_f32_weights());
+  expect_bitwise_equal(model.score(rep.test, pool()), restored.score(rep.test, pool()),
+                       "f64 after round trip");
+  expect_bitwise_equal(
+      model.score(rep.test, pool(), ScoreMode::kFused, ScorePrecision::kF32),
+      restored.score(rep.test, pool(), ScoreMode::kFused, ScorePrecision::kF32),
+      "f32 after round trip");
+}
+
+TEST(FusedScoring, CorruptedF32SectionFailsNamingIt) {
+  // Flipping a bit inside the v3 file's f32 payload (the last section written,
+  // so the file's final byte is inside it) must fail the CRC check with a
+  // ParseError naming "fused_f32", not load garbage weights.
+  const Replicate rep = expression_replicate(10);
+  FracModel model = FracModel::train(rep.train, {}, pool());
+  model.build_f32_weights();
+  const std::string path = ::testing::TempDir() + "fused_f32_corrupt.fracmdl";
+  model.save_file(path, ModelFormat::kBinary);
+  {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekg(-1, std::ios::end);
+    char last = 0;
+    file.get(last);
+    file.seekp(-1, std::ios::end);
+    file.put(static_cast<char>(last ^ 0x01));
+  }
+  try {
+    (void)FracModel::load_file(path);
+    std::remove(path.c_str());
+    FAIL() << "corrupted f32 pack loaded without error";
+  } catch (const ParseError& e) {
+    std::remove(path.c_str());
+    EXPECT_NE(std::string(e.what()).find("fused_f32"), std::string::npos) << e.what();
+  }
+}
+
+TEST(FusedLinearPackUnit, RejectsOutOfRangeCategoricalCodes) {
+  // The serve path's expansion validates categorical codes (unlike the
+  // training-side expander): a bad code must throw, not scatter out of its
+  // block.
+  const Replicate rep = snp_replicate(9);
+  const FracModel model = FracModel::train(rep.train, linear_svc_config(), pool());
+  Dataset bad = rep.test;
+  bad.mutable_values()(0, 0) = 99.0;  // arity is 3: far outside [0, 3)
+  EXPECT_THROW((void)model.score(bad, pool(), ScoreMode::kFused), NumericError);
+}
+
+}  // namespace
+}  // namespace frac

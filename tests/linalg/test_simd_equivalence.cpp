@@ -1,8 +1,9 @@
 // Dispatch-level equivalence: every kernel must be *bit-identical* between
-// the scalar reference and the AVX2 path (the determinism contract in
-// DESIGN.md §9 and linalg/kernels_impl.hpp). Bitwise equality — not
-// EXPECT_NEAR — is the point: NS scores built on these kernels must not
+// the scalar reference and each vector path (AVX2, AVX-512 — the determinism
+// contract in DESIGN.md §9 and linalg/kernels_impl.hpp). Bitwise equality —
+// not EXPECT_NEAR — is the point: NS scores built on these kernels must not
 // change when the binary lands on a machine with different SIMD support.
+// Levels the CPU or build lacks skip cleanly.
 #include "linalg/simd.hpp"
 
 #include <gtest/gtest.h>
@@ -23,7 +24,7 @@ using simd::KernelTable;
 using simd::Level;
 
 // Exercises multiples of the 16-element block, the partial-block tail, and
-// off-by-one sizes around both vector width (4) and block width (16).
+// off-by-one sizes around both vector width (4/8) and block width (16).
 const std::size_t kLengths[] = {0, 1, 3, 7, 8, 15, 16, 17, 31, 33, 100, 1024, 1027};
 
 std::vector<double> random_values(std::size_t n, std::uint64_t seed) {
@@ -31,6 +32,15 @@ std::vector<double> random_values(std::size_t n, std::uint64_t seed) {
   std::vector<double> out(n);
   // Mix magnitudes so accumulation order actually matters in the low bits.
   for (std::size_t i = 0; i < n; ++i) out[i] = rng.normal() * (i % 7 == 0 ? 1e6 : 1.0);
+  return out;
+}
+
+std::vector<float> random_values_f32(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(rng.normal() * (i % 7 == 0 ? 1e3 : 1.0));
+  }
   return out;
 }
 
@@ -43,102 +53,163 @@ std::vector<double> random_values(std::size_t n, std::uint64_t seed) {
          << std::bit_cast<std::uint64_t>(b) << ")";
 }
 
-class SimdEquivalence : public ::testing::Test {
+::testing::AssertionResult bits_equal_f32(float a, float b) {
+  if (std::bit_cast<std::uint32_t>(a) == std::bit_cast<std::uint32_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " != " << b << " (bits " << std::bit_cast<std::uint32_t>(a) << " vs "
+         << std::bit_cast<std::uint32_t>(b) << ")";
+}
+
+/// Compares one vector dispatch level (the parameter) against the scalar
+/// reference; skips when the CPU or build lacks the level.
+class SimdEquivalence : public ::testing::TestWithParam<Level> {
  protected:
   void SetUp() override {
     scalar_ = simd::kernel_table(Level::kScalar);
     ASSERT_NE(scalar_, nullptr);
-    avx2_ = simd::kernel_table(Level::kAvx2);
-    if (avx2_ == nullptr || !simd::cpu_supports(Level::kAvx2)) {
-      GTEST_SKIP() << "AVX2 unavailable; nothing to compare against the scalar path";
+    vec_ = simd::kernel_table(GetParam());
+    if (vec_ == nullptr || !simd::cpu_supports(GetParam())) {
+      GTEST_SKIP() << simd::level_name(GetParam())
+                   << " unavailable; nothing to compare against the scalar path";
     }
   }
 
   const KernelTable* scalar_ = nullptr;
-  const KernelTable* avx2_ = nullptr;
+  const KernelTable* vec_ = nullptr;
 };
 
-TEST_F(SimdEquivalence, DotBitIdentical) {
+INSTANTIATE_TEST_SUITE_P(Levels, SimdEquivalence,
+                         ::testing::Values(Level::kAvx2, Level::kAvx512),
+                         [](const ::testing::TestParamInfo<Level>& info) {
+                           return std::string(simd::level_name(info.param));
+                         });
+
+TEST_P(SimdEquivalence, DotBitIdentical) {
   for (const std::size_t n : kLengths) {
     const auto x = random_values(n, 11 + n);
     const auto y = random_values(n, 23 + n);
     EXPECT_TRUE(bits_equal(scalar_->dot(x.data(), y.data(), n),
-                           avx2_->dot(x.data(), y.data(), n)))
+                           vec_->dot(x.data(), y.data(), n)))
         << "n=" << n;
   }
 }
 
-TEST_F(SimdEquivalence, DotBitIdenticalUnaligned) {
+TEST_P(SimdEquivalence, DotBitIdenticalUnaligned) {
   // Misaligned loads must not change the result: offset both operands off
-  // the allocator's 16/32-byte alignment.
+  // the allocator's 16/32/64-byte alignment.
   for (const std::size_t n : kLengths) {
     const auto x = random_values(n + 1, 31 + n);
     const auto y = random_values(n + 1, 37 + n);
     EXPECT_TRUE(bits_equal(scalar_->dot(x.data() + 1, y.data() + 1, n),
-                           avx2_->dot(x.data() + 1, y.data() + 1, n)))
+                           vec_->dot(x.data() + 1, y.data() + 1, n)))
         << "n=" << n;
   }
 }
 
-TEST_F(SimdEquivalence, SquaredNormAndDistanceBitIdentical) {
+TEST_P(SimdEquivalence, SquaredNormAndDistanceBitIdentical) {
   for (const std::size_t n : kLengths) {
     const auto x = random_values(n, 41 + n);
     const auto y = random_values(n, 43 + n);
     EXPECT_TRUE(bits_equal(scalar_->squared_norm(x.data(), n),
-                           avx2_->squared_norm(x.data(), n)))
+                           vec_->squared_norm(x.data(), n)))
         << "n=" << n;
     EXPECT_TRUE(bits_equal(scalar_->squared_distance(x.data(), y.data(), n),
-                           avx2_->squared_distance(x.data(), y.data(), n)))
+                           vec_->squared_distance(x.data(), y.data(), n)))
         << "n=" << n;
   }
 }
 
-TEST_F(SimdEquivalence, AxpyAndScaleBitIdentical) {
+TEST_P(SimdEquivalence, AxpyAndScaleBitIdentical) {
   for (const std::size_t n : kLengths) {
     const auto x = random_values(n, 53 + n);
     auto y_scalar = random_values(n, 59 + n);
-    auto y_avx2 = y_scalar;
+    auto y_vec = y_scalar;
     scalar_->axpy(-1.75, x.data(), y_scalar.data(), n);
-    avx2_->axpy(-1.75, x.data(), y_avx2.data(), n);
+    vec_->axpy(-1.75, x.data(), y_vec.data(), n);
     for (std::size_t i = 0; i < n; ++i) {
-      ASSERT_TRUE(bits_equal(y_scalar[i], y_avx2[i])) << "axpy n=" << n << " i=" << i;
+      ASSERT_TRUE(bits_equal(y_scalar[i], y_vec[i])) << "axpy n=" << n << " i=" << i;
     }
     scalar_->scale(0.3, y_scalar.data(), n);
-    avx2_->scale(0.3, y_avx2.data(), n);
+    vec_->scale(0.3, y_vec.data(), n);
     for (std::size_t i = 0; i < n; ++i) {
-      ASSERT_TRUE(bits_equal(y_scalar[i], y_avx2[i])) << "scale n=" << n << " i=" << i;
+      ASSERT_TRUE(bits_equal(y_scalar[i], y_vec[i])) << "scale n=" << n << " i=" << i;
     }
   }
 }
 
-TEST_F(SimdEquivalence, GemvBitIdentical) {
+TEST_P(SimdEquivalence, GemvBitIdentical) {
   for (const std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{33},
                               std::size_t{1024}}) {
     const std::size_t m = 5;
     const auto a = random_values(m * n, 61 + n);
     const auto x = random_values(n, 67 + n);
-    std::vector<double> y_scalar(m), y_avx2(m);
+    std::vector<double> y_scalar(m), y_vec(m);
     scalar_->gemv(a.data(), m, n, x.data(), y_scalar.data());
-    avx2_->gemv(a.data(), m, n, x.data(), y_avx2.data());
+    vec_->gemv(a.data(), m, n, x.data(), y_vec.data());
     for (std::size_t i = 0; i < m; ++i) {
-      ASSERT_TRUE(bits_equal(y_scalar[i], y_avx2[i])) << "n=" << n << " row=" << i;
+      ASSERT_TRUE(bits_equal(y_scalar[i], y_vec[i])) << "n=" << n << " row=" << i;
     }
   }
 }
 
-TEST_F(SimdEquivalence, MatmulBitIdentical) {
+TEST_P(SimdEquivalence, MatmulBitIdentical) {
   // Sizes spanning less-than-one-block through multiple KC/NC blocks.
   const std::size_t shapes[][3] = {{1, 1, 1}, {3, 5, 2}, {17, 65, 9}, {8, 130, 520}};
   for (const auto& s : shapes) {
     const std::size_t m = s[0], k = s[1], n = s[2];
     const auto a = random_values(m * k, 71 + m);
     const auto b = random_values(k * n, 73 + n);
-    std::vector<double> c_scalar(m * n, 0.0), c_avx2(m * n, 0.0);
+    std::vector<double> c_scalar(m * n, 0.0), c_vec(m * n, 0.0);
     scalar_->matmul(a.data(), b.data(), c_scalar.data(), m, k, n);
-    avx2_->matmul(a.data(), b.data(), c_avx2.data(), m, k, n);
+    vec_->matmul(a.data(), b.data(), c_vec.data(), m, k, n);
     for (std::size_t i = 0; i < m * n; ++i) {
-      ASSERT_TRUE(bits_equal(c_scalar[i], c_avx2[i]))
+      ASSERT_TRUE(bits_equal(c_scalar[i], c_vec[i]))
           << m << "x" << k << "x" << n << " elem=" << i;
+    }
+  }
+}
+
+TEST_P(SimdEquivalence, GemmNtBitIdentical) {
+  // The fused serve-path kernel: rows × units independent full dots.
+  const std::size_t shapes[][3] = {{1, 1, 1}, {3, 7, 2}, {17, 100, 9}, {33, 1027, 5}};
+  for (const auto& s : shapes) {
+    const std::size_t rows = s[0], width = s[1], units = s[2];
+    const auto x = random_values(rows * width, 79 + width);
+    const auto w = random_values(units * width, 83 + width);
+    std::vector<double> p_scalar(rows * units), p_vec(rows * units);
+    scalar_->gemm_nt(x.data(), w.data(), p_scalar.data(), rows, width, units);
+    vec_->gemm_nt(x.data(), w.data(), p_vec.data(), rows, width, units);
+    for (std::size_t i = 0; i < rows * units; ++i) {
+      ASSERT_TRUE(bits_equal(p_scalar[i], p_vec[i]))
+          << rows << "x" << width << "x" << units << " elem=" << i;
+    }
+  }
+}
+
+TEST_P(SimdEquivalence, DotF32BitIdentical) {
+  for (const std::size_t n : kLengths) {
+    const auto x = random_values_f32(n, 89 + n);
+    const auto y = random_values_f32(n, 97 + n);
+    EXPECT_TRUE(bits_equal_f32(scalar_->dot_f32(x.data(), y.data(), n),
+                               vec_->dot_f32(x.data(), y.data(), n)))
+        << "n=" << n;
+  }
+}
+
+TEST_P(SimdEquivalence, GemmNtF32BitIdentical) {
+  const std::size_t shapes[][3] = {{1, 1, 1}, {3, 7, 2}, {17, 100, 9}, {33, 1027, 5}};
+  for (const auto& s : shapes) {
+    const std::size_t rows = s[0], width = s[1], units = s[2];
+    const auto x = random_values_f32(rows * width, 101 + width);
+    const auto w = random_values_f32(units * width, 103 + width);
+    std::vector<float> p_scalar(rows * units), p_vec(rows * units);
+    scalar_->gemm_nt_f32(x.data(), w.data(), p_scalar.data(), rows, width, units);
+    vec_->gemm_nt_f32(x.data(), w.data(), p_vec.data(), rows, width, units);
+    for (std::size_t i = 0; i < rows * units; ++i) {
+      ASSERT_TRUE(bits_equal_f32(p_scalar[i], p_vec[i]))
+          << rows << "x" << width << "x" << units << " elem=" << i;
     }
   }
 }
@@ -169,6 +240,49 @@ TEST(SimdMatmul, BlockedMatchesNaiveReference) {
   }
 }
 
+TEST(SimdGemmNt, MatchesPerRowDotReference) {
+  // gemm_nt's contract is "each output element is one dot() in the canonical
+  // order": blocking must be invisible, so P[r][u] == dot(X_r, W_u) exactly.
+  const std::size_t rows = 37, width = 211, units = 23;
+  const auto x = random_values(rows * width, 107);
+  const auto w = random_values(units * width, 109);
+  std::vector<double> p(rows * units);
+  gemm_nt(x.data(), w.data(), p.data(), rows, width, units);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t u = 0; u < units; ++u) {
+      const double ref = dot(std::span(x).subspan(r * width, width),
+                             std::span(w).subspan(u * width, width));
+      ASSERT_TRUE(bits_equal(p[r * units + u], ref)) << "r=" << r << " u=" << u;
+    }
+  }
+}
+
+TEST(SimdDotF32, MatchesScalarFmaReference) {
+  // The f32 contract mirrors the f64 one: 16 float accumulators, fmaf per
+  // element, the same binary reduction tree.
+  for (const std::size_t n : kLengths) {
+    const auto x = random_values_f32(n, 113 + n);
+    const auto y = random_values_f32(n, 127 + n);
+    float acc[16] = {};
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+      for (std::size_t j = 0; j < 16; ++j) acc[j] = std::fmaf(x[i + j], y[i + j], acc[j]);
+    }
+    for (std::size_t j = 0; i + j < n; ++j) acc[j] = std::fmaf(x[i + j], y[i + j], acc[j]);
+    float a0 = acc[0] + acc[8], a1 = acc[1] + acc[9], a2 = acc[2] + acc[10],
+          a3 = acc[3] + acc[11], a4 = acc[4] + acc[12], a5 = acc[5] + acc[13],
+          a6 = acc[6] + acc[14], a7 = acc[7] + acc[15];
+    a0 += a4;
+    a1 += a5;
+    a2 += a6;
+    a3 += a7;
+    a0 += a2;
+    a1 += a3;
+    const float ref = a0 + a1;
+    EXPECT_TRUE(bits_equal_f32(dot_f32(x, y), ref)) << "n=" << n;
+  }
+}
+
 TEST(SimdDispatch, ForceLevelReroutesSpanKernels) {
   // The span API in kernels.hpp must follow force_level, and results must be
   // bit-identical either way (this passes trivially on non-AVX2 machines,
@@ -180,15 +294,19 @@ TEST(SimdDispatch, ForceLevelReroutesSpanKernels) {
   EXPECT_EQ(simd::active_level(), Level::kScalar);
   const double d_scalar = dot(x, y);
   simd::force_level(Level::kAvx2);
-  const double d_native = dot(x, y);
+  const double d_avx2 = dot(x, y);
+  simd::force_level(Level::kAvx512);
+  const double d_avx512 = dot(x, y);
   simd::force_level(original);
-  EXPECT_TRUE(bits_equal(d_scalar, d_native));
+  EXPECT_TRUE(bits_equal(d_scalar, d_avx2));
+  EXPECT_TRUE(bits_equal(d_scalar, d_avx512));
 }
 
 TEST(SimdDispatch, LevelNamesAndSupport) {
   EXPECT_TRUE(simd::cpu_supports(Level::kScalar));
   EXPECT_STREQ(simd::level_name(Level::kScalar), "scalar");
   EXPECT_STREQ(simd::level_name(Level::kAvx2), "avx2");
+  EXPECT_STREQ(simd::level_name(Level::kAvx512), "avx512");
   EXPECT_NE(simd::kernel_table(Level::kScalar), nullptr);
 }
 

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -116,6 +117,108 @@ TEST(Archive, ZeroCopySpanAliasesTheBufferWhenBorrowed) {
   EXPECT_EQ(reinterpret_cast<std::uintptr_t>(ptr) % alignof(double),
             static_cast<std::uintptr_t>(0));
   for (std::size_t i = 0; i < values.size(); ++i) EXPECT_EQ(view[i], values[i]);
+}
+
+TEST(Archive, F32ArrayRoundTrip) {
+  const std::vector<float> floats{1.0f, -0.0f, 3.25f, 1e38f, -7.5f};
+
+  ArchiveWriter writer;
+  writer.begin_section("f32s");
+  writer.write_f32_array(floats);
+  writer.write_f32_array({});  // empty arrays are legal
+  writer.end_section();
+
+  const std::string image = writer.bytes();
+  ArchiveReader reader(as_bytes(image), "test", false);
+  reader.open_section("f32s");
+  EXPECT_EQ(reader.read_f32_vector(), floats);
+  EXPECT_TRUE(reader.read_f32_vector().empty());
+  reader.expect_section_end();
+}
+
+TEST(Archive, ZeroCopyF32SpanAliasesTheBufferWhenBorrowed) {
+  const std::vector<float> values{3.0f, 1.0f, 4.0f, 1.0f, 5.0f, 9.0f, 2.0f};
+  ArchiveWriter writer;
+  writer.begin_section("fused_f32");
+  writer.write_f32_array(values);
+  writer.end_section();
+
+  const std::string image = writer.bytes();
+  ArchiveReader reader(as_bytes(image), "test", /*borrowed=*/true);
+  reader.open_section("fused_f32");
+  const std::span<const float> view = reader.read_f32_span();
+  ASSERT_EQ(view.size(), values.size());
+  const char* base = image.data();
+  const char* ptr = reinterpret_cast<const char*>(view.data());
+  EXPECT_GE(ptr, base);
+  EXPECT_LE(ptr + view.size() * sizeof(float), base + image.size());
+  // The writer pads to 8 bytes, over-satisfying float's alignment.
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(ptr) % alignof(double),
+            static_cast<std::uintptr_t>(0));
+  for (std::size_t i = 0; i < values.size(); ++i) EXPECT_EQ(view[i], values[i]);
+}
+
+TEST(Archive, FormatVersionDefaultsToV2AndCanStampV3) {
+  ArchiveWriter writer;
+  writer.begin_section("s");
+  writer.write_u8(1);
+  writer.end_section();
+  {
+    // No f32 section, no set_format_version: v2 readers stay compatible.
+    ArchiveReader reader(as_bytes(writer.bytes()), "test", false);
+    EXPECT_EQ(reader.format_version(), kArchiveFormatVersion);
+  }
+  writer.set_format_version(kArchiveFormatVersionMax);
+  {
+    ArchiveReader reader(as_bytes(writer.bytes()), "test", false);
+    EXPECT_EQ(reader.format_version(), kArchiveFormatVersionMax);
+    reader.open_section("s");
+    EXPECT_EQ(reader.read_u8(), 1);
+  }
+  EXPECT_THROW(writer.set_format_version(kArchiveFormatVersion - 1),
+               std::logic_error);
+  EXPECT_THROW(writer.set_format_version(kArchiveFormatVersionMax + 1),
+               std::logic_error);
+}
+
+TEST(Archive, RejectsVersionsOutsideTheSupportedRange) {
+  ArchiveWriter writer;
+  writer.begin_section("s");
+  writer.write_u8(1);
+  writer.end_section();
+  const std::string image = writer.bytes();
+
+  for (const std::uint32_t bad :
+       {kArchiveFormatVersion - 1, kArchiveFormatVersionMax + 1, 999u}) {
+    std::string patched = image;
+    std::memcpy(patched.data() + 8, &bad, sizeof bad);  // version field
+    try {
+      ArchiveReader reader(as_bytes(patched), "future.fracmdl", false);
+      FAIL() << "accepted format version " << bad;
+    } catch (const ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find("unsupported format version"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(Archive, CorruptedF32PayloadFailsNamingTheSection) {
+  ArchiveWriter writer;
+  writer.begin_section("fused_f32");
+  writer.write_f32_array(std::vector<float>{1.0f, 2.0f, 3.0f});
+  writer.end_section();
+  writer.set_format_version(kArchiveFormatVersionMax);
+  std::string image = writer.bytes();
+  image.back() ^= 0x01;  // flip one payload bit
+
+  ArchiveReader reader(as_bytes(image), "corrupt.fracmdl", false);
+  try {
+    reader.open_section("fused_f32");
+    FAIL() << "corrupted f32 section opened without error";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("fused_f32"), std::string::npos) << e.what();
+  }
 }
 
 TEST(Archive, CorruptedPayloadFailsNamingTheSection) {
