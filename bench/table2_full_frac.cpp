@@ -7,11 +7,13 @@
 // must be ~one gathered design matrix, with no CV-fold multiplier. A
 // regression there exits non-zero so CI catches it.
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <numeric>
 
 #include "bench_common.hpp"
 #include "bench_json.hpp"
+#include "frac/shard.hpp"
 #include "util/manifest.hpp"
 #include "util/stopwatch.hpp"
 
@@ -41,6 +43,62 @@ bool check_zero_copy_training(frac::benchtool::JsonBenchWriter& json) {
   }
   std::cout << "zero-copy check: max unit training workspace " << fmt_bytes(workspace)
             << " <= 1.5 x " << fmt_bytes(one_design) << " (one design matrix)\n";
+  return true;
+}
+
+/// Trains the same cohort out-of-core through the column store and checks
+/// the sharded-training contract: scores bit-identical to the in-core model,
+/// and a peak workspace strictly below full-matrix materialization (the
+/// whole point of `frac shard-train` on cohorts that don't fit).
+bool check_out_of_core_training(frac::benchtool::JsonBenchWriter& json) {
+  using namespace frac;
+  using namespace frac::benchtool;
+  const CohortSpec spec = table_grid_cohorts().front();
+  const auto replicates = make_cohort_replicates(spec, 1);
+  const Dataset& train = replicates.front().train;
+  const Dataset& test = replicates.front().test;
+  const FracConfig config = paper_frac_config(spec);
+
+  const FracModel in_core = FracModel::train(train, config, pool());
+  const FracModel out_of_core =
+      train_out_of_core(ColumnStore::from_dataset(train), config, pool());
+
+  const std::vector<double> want = in_core.score(test, pool());
+  const std::vector<double> got = out_of_core.score(test, pool());
+  if (want.size() != got.size() ||
+      std::memcmp(want.data(), got.data(), want.size() * sizeof(double)) != 0) {
+    std::cerr << "FAIL: out-of-core training is not bit-identical to in-core\n";
+    return false;
+  }
+
+  // In-core training holds the materialized sample-major matrix (inside
+  // peak_bytes) *and* a unit's gathered workspace at once; out-of-core holds
+  // only the workspace + retained models, reading columns from the store.
+  // The gate: out-of-core peak must stay strictly below that full-matrix
+  // footprint — the margin is exactly one training matrix.
+  const std::size_t workspace = out_of_core.report().train_workspace_bytes;
+  const std::size_t peak = out_of_core.report().peak_bytes;
+  const std::size_t full_matrix =
+      train.sample_count() * train.feature_count() * sizeof(double);
+  const std::size_t in_core_footprint =
+      in_core.report().peak_bytes + in_core.report().train_workspace_bytes;
+  json.add({"out_of_core_training",
+            {{"train_workspace_bytes", static_cast<double>(workspace)},
+             {"peak_bytes", static_cast<double>(peak)},
+             {"full_matrix_bytes", static_cast<double>(full_matrix)},
+             {"in_core_footprint_bytes", static_cast<double>(in_core_footprint)}}});
+  // The grep'd gate line: the shard CI job fails the build when out-of-core
+  // training regresses to materializing the full sample-major matrix.
+  std::cout << "out-of-core RSS gate: train workspace " << workspace << " bytes, peak "
+            << peak << " bytes, in-core footprint " << in_core_footprint
+            << " bytes (full matrix " << full_matrix << " bytes)\n";
+  if (peak == 0 || peak >= in_core_footprint) {
+    std::cerr << "FAIL: out-of-core peak_bytes = " << peak << " vs in-core footprint = "
+              << in_core_footprint << " — out-of-core training is materializing the dataset?\n";
+    return false;
+  }
+  std::cout << "out-of-core check: scores bit-identical; peak " << fmt_bytes(peak) << " < "
+            << fmt_bytes(in_core_footprint) << " (in-core footprint)\n";
   return true;
 }
 
@@ -91,6 +149,7 @@ int main() {
   std::cout << "\n[bracketed] = extrapolated from the autism run, as in the paper.\n\n";
 
   const bool zero_copy_ok = check_zero_copy_training(json);
+  const bool out_of_core_ok = check_out_of_core_training(json);
   if (!json.write("BENCH_frac.json")) {
     std::cerr << "warning: could not write BENCH_frac.json\n";
   }
@@ -103,5 +162,5 @@ int main() {
   } catch (const std::exception& e) {
     std::cerr << "warning: could not write " << manifest_path << ": " << e.what() << "\n";
   }
-  return zero_copy_ok ? 0 : 1;
+  return (zero_copy_ok && out_of_core_ok) ? 0 : 1;
 }

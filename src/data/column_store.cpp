@@ -1,0 +1,364 @@
+#include "data/column_store.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "data/io.hpp"
+#include "serialize/archive.hpp"
+#include "util/csv.hpp"
+#include "util/errors.hpp"
+#include "util/fault_injection.hpp"
+#include "util/string_util.hpp"
+
+namespace frac {
+
+namespace {
+
+constexpr std::uint32_t kColumnStoreLayoutVersion = 1;
+
+/// Closes a file descriptor at scope exit.
+struct FdGuard {
+  int fd = -1;
+  ~FdGuard() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+std::vector<char> read_all(int fd, const std::string& path) {
+  std::vector<char> buffer;
+  char chunk[1 << 16];
+  for (;;) {
+    const ::ssize_t got = ::read(fd, chunk, sizeof chunk);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("ColumnStore::open: read failed for " + path + ": " + std::strerror(errno));
+    }
+    if (got == 0) return buffer;
+    buffer.insert(buffer.end(), chunk, chunk + got);
+  }
+}
+
+std::string column_section_name(std::size_t f) { return "col." + std::to_string(f); }
+
+void write_header_sections(ArchiveWriter& writer, const Schema& schema,
+                           std::span<const Label> labels) {
+  writer.begin_section("dataset");
+  writer.write_u32(kColumnStoreLayoutVersion);
+  writer.write_u64(labels.size());
+  writer.write_u64(schema.size());
+  writer.end_section();
+
+  // Same per-feature encoding as the model's schema section: name string,
+  // then arity (0 = real-valued).
+  writer.begin_section("schema");
+  for (const FeatureSpec& spec : schema.features()) {
+    writer.write_string(spec.name);
+    writer.write_u32(spec.kind == FeatureKind::kCategorical ? spec.arity : 0);
+  }
+  writer.end_section();
+
+  writer.begin_section("labels");
+  writer.write_u64(labels.size());
+  for (const Label label : labels) writer.write_u8(static_cast<std::uint8_t>(label));
+  writer.end_section();
+}
+
+/// Parses the dataset-CSV header record into a Schema (same validation and
+/// messages as read_dataset_csv — both formats admit exactly the same files).
+Schema parse_csv_header(CsvRecordReader& reader) {
+  std::vector<std::string> header;
+  if (!reader.next(header)) throw std::runtime_error("dataset CSV is empty");
+  if (header.empty() || header.back() != "label") {
+    throw std::invalid_argument("dataset CSV header must end with 'label'");
+  }
+  std::vector<FeatureSpec> specs;
+  specs.reserve(header.size() - 1);
+  for (std::size_t c = 0; c + 1 < header.size(); ++c) {
+    specs.push_back(parse_dataset_header_cell(header[c], c));
+  }
+  return Schema{std::move(specs)};
+}
+
+}  // namespace
+
+ColumnStore::ColumnStore(ColumnStore&& other) noexcept
+    : source_(std::move(other.source_)),
+      map_base_(std::exchange(other.map_base_, nullptr)),
+      map_length_(std::exchange(other.map_length_, 0)),
+      owned_(std::move(other.owned_)),
+      samples_(other.samples_),
+      schema_(std::move(other.schema_)),
+      labels_(std::move(other.labels_)),
+      columns_(std::move(other.columns_)),
+      content_crc_(other.content_crc_) {}
+
+ColumnStore& ColumnStore::operator=(ColumnStore&& other) noexcept {
+  if (this != &other) {
+    release();
+    source_ = std::move(other.source_);
+    map_base_ = std::exchange(other.map_base_, nullptr);
+    map_length_ = std::exchange(other.map_length_, 0);
+    owned_ = std::move(other.owned_);
+    samples_ = other.samples_;
+    schema_ = std::move(other.schema_);
+    labels_ = std::move(other.labels_);
+    columns_ = std::move(other.columns_);
+    content_crc_ = other.content_crc_;
+  }
+  return *this;
+}
+
+ColumnStore::~ColumnStore() { release(); }
+
+void ColumnStore::release() noexcept {
+  if (map_base_ != nullptr) {
+    ::munmap(map_base_, map_length_);
+    map_base_ = nullptr;
+    map_length_ = 0;
+  }
+}
+
+void ColumnStore::parse(std::span<const std::byte> bytes) {
+  // borrowed = true: column spans point into bytes this store owns (mapping
+  // or heap buffer) and stay valid for its lifetime.
+  ArchiveReader reader(bytes, source_, /*borrowed=*/true);
+  content_crc_ = crc32(bytes.first(reader.toc_extent()));
+
+  reader.open_section("dataset");
+  const std::uint32_t layout = reader.read_u32();
+  if (layout != kColumnStoreLayoutVersion) {
+    reader.fail(format("unsupported column-store layout %u (this build reads %u)", layout,
+                       kColumnStoreLayoutVersion));
+  }
+  samples_ = reader.read_u64();
+  const std::uint64_t features = reader.read_u64();
+  reader.expect_section_end();
+
+  reader.open_section("schema");
+  std::vector<FeatureSpec> specs;
+  specs.reserve(features);
+  for (std::uint64_t f = 0; f < features; ++f) {
+    FeatureSpec spec;
+    spec.name = reader.read_string();
+    spec.arity = reader.read_u32();
+    if (spec.arity == 1) reader.fail(format("feature %llu: categorical arity 1 is invalid",
+                                            static_cast<unsigned long long>(f)));
+    spec.kind = spec.arity == 0 ? FeatureKind::kReal : FeatureKind::kCategorical;
+    specs.push_back(std::move(spec));
+  }
+  reader.expect_section_end();
+  schema_ = Schema{std::move(specs)};
+
+  reader.open_section("labels");
+  const std::uint64_t label_count = reader.read_u64();
+  if (label_count != samples_) {
+    reader.fail(format("label count %llu != sample count %llu",
+                       static_cast<unsigned long long>(label_count),
+                       static_cast<unsigned long long>(samples_)));
+  }
+  labels_.clear();
+  labels_.reserve(label_count);
+  for (std::uint64_t i = 0; i < label_count; ++i) {
+    const std::uint8_t code = reader.read_u8();
+    if (code > 1) {
+      reader.fail(format("bad label code %u at sample %llu", code,
+                         static_cast<unsigned long long>(i)));
+    }
+    labels_.push_back(static_cast<Label>(code));
+  }
+  reader.expect_section_end();
+
+  // Open every column eagerly: each open_section verifies the payload CRC,
+  // so corruption anywhere in the file surfaces here, not mid-training.
+  columns_.clear();
+  columns_.reserve(features);
+  for (std::uint64_t f = 0; f < features; ++f) {
+    reader.open_section(column_section_name(f));
+    const std::span<const double> col = reader.read_f64_span();
+    if (col.size() != samples_) {
+      reader.fail(format("column length %zu != sample count %zu", col.size(), samples_));
+    }
+    reader.expect_section_end();
+    columns_.push_back(col);
+  }
+}
+
+ColumnStore ColumnStore::open(const std::string& path) {
+  FdGuard fd{::open(path.c_str(), O_RDONLY | O_CLOEXEC)};
+  if (fd.fd < 0) {
+    throw IoError("ColumnStore::open: cannot open " + path + ": " + std::strerror(errno));
+  }
+  struct ::stat st = {};
+  if (::fstat(fd.fd, &st) != 0) {
+    throw IoError("ColumnStore::open: cannot stat " + path + ": " + std::strerror(errno));
+  }
+  if (S_ISREG(st.st_mode) && st.st_size == 0) {
+    throw ParseError("model archive " + path + ": empty file");
+  }
+
+  ColumnStore store;
+  store.source_ = path;
+
+  std::span<const std::byte> bytes;
+  if (S_ISREG(st.st_mode)) {
+    const std::size_t size = static_cast<std::size_t>(st.st_size);
+    void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd.fd, 0);
+    if (base != MAP_FAILED) {
+      store.map_base_ = base;
+      store.map_length_ = size;
+      bytes = {static_cast<const std::byte*>(base), size};
+    }
+  }
+  if (bytes.empty()) {
+    // Pipes, /proc files, or an mmap refusal: fall back to an owned buffer.
+    store.owned_ = read_all(fd.fd, path);
+    bytes = std::as_bytes(std::span<const char>(store.owned_));
+  }
+
+  store.parse(bytes);
+  return store;
+}
+
+ColumnStore ColumnStore::from_dataset(const Dataset& data) {
+  ArchiveWriter writer;
+  write_header_sections(writer, data.schema(), data.labels());
+  std::vector<double> scratch(data.sample_count());
+  for (std::size_t f = 0; f < data.feature_count(); ++f) {
+    data.values().copy_col(f, scratch);
+    writer.begin_section(column_section_name(f));
+    writer.write_f64_array(scratch);
+    writer.end_section();
+  }
+  const std::string image = writer.bytes();
+
+  ColumnStore store;
+  store.source_ = "<memory>";
+  store.owned_.assign(image.begin(), image.end());
+  store.parse(std::as_bytes(std::span<const char>(store.owned_)));
+  return store;
+}
+
+Dataset ColumnStore::to_dataset() const {
+  const std::size_t features = columns_.size();
+  std::vector<double> values(samples_ * features);
+  for (std::size_t c = 0; c < features; ++c) {
+    const std::span<const double> col = columns_[c];
+    for (std::size_t r = 0; r < samples_; ++r) values[r * features + c] = col[r];
+  }
+  Dataset data(schema_, Matrix(samples_, features, std::move(values)), labels_);
+  data.validate();
+  return data;
+}
+
+void write_column_store(const std::string& path, const Dataset& data) {
+  ArchiveWriter writer;
+  write_header_sections(writer, data.schema(), data.labels());
+  std::vector<double> scratch(data.sample_count());
+  for (std::size_t f = 0; f < data.feature_count(); ++f) {
+    data.values().copy_col(f, scratch);
+    writer.begin_section(column_section_name(f));
+    writer.write_f64_array(scratch);
+    writer.end_section();
+  }
+  writer.write_file(path);
+}
+
+ColumnStoreConvertStats convert_csv_to_column_store(const std::string& csv_path,
+                                                    const std::string& out_path) {
+  maybe_inject(FaultSite::kDatasetLoad, fault_key(csv_path));
+
+  // Pass 1: parse the header and count records, so pass 2 can reserve every
+  // column vector exactly. A single streaming pass cannot know the sample
+  // count up front, and geometric vector growth would overshoot the column
+  // payload by up to 2x — the very doubling this path exists to avoid.
+  Schema schema;
+  std::size_t samples = 0;
+  {
+    std::ifstream in(csv_path);
+    if (!in) throw IoError("cannot open dataset file: " + csv_path);
+    CsvRecordReader reader(in);
+    schema = parse_csv_header(reader);
+    std::vector<std::string> row;
+    while (reader.next(row)) ++samples;
+  }
+  const std::size_t features = schema.size();
+
+  ColumnStoreConvertStats stats;
+  stats.samples = samples;
+  stats.features = features;
+  stats.column_bytes = samples * features * sizeof(double);
+  const std::size_t one_column = samples * sizeof(double);
+  // Columns + the one-column handoff overlap below, plus labels and their
+  // section payload. Kept analytic (capacities are reserved exactly) so the
+  // tests can gate it against column_store_transient_bound().
+  stats.transient_peak_bytes =
+      stats.column_bytes + one_column + samples * (sizeof(Label) + 1) + (1u << 10);
+
+  std::vector<std::vector<double>> cols(features);
+  for (std::vector<double>& col : cols) col.reserve(samples);
+  std::vector<Label> labels;
+  labels.reserve(samples);
+
+  // Pass 2: stream values into the per-column vectors.
+  {
+    std::ifstream in(csv_path);
+    if (!in) throw IoError("cannot open dataset file: " + csv_path);
+    CsvRecordReader reader(in);
+    (void)parse_csv_header(reader);
+    std::vector<std::string> row;
+    std::size_t r = 0;
+    while (reader.next(row)) {
+      if (row.size() != features + 1) {
+        throw std::invalid_argument(format("dataset CSV row %zu has %zu cells, expected %zu",
+                                           r + 1, row.size(), features + 1));
+      }
+      for (std::size_t c = 0; c < features; ++c) {
+        cols[c].push_back(parse_dataset_value_cell(row[c], r + 1, c, schema));
+      }
+      labels.push_back(parse_dataset_label_cell(row.back(), r + 1));
+      ++r;
+    }
+    if (r != samples) throw IoError("dataset CSV changed between passes: " + csv_path);
+  }
+
+  ArchiveWriter writer;
+  write_header_sections(writer, schema, labels);
+  // Hand columns to the writer one at a time, freeing each source as its
+  // payload copy lands: the source/payload overlap never exceeds one column.
+  for (std::size_t c = 0; c < features; ++c) {
+    writer.begin_section(column_section_name(c));
+    writer.write_f64_array(cols[c]);
+    writer.end_section();
+    std::vector<double>().swap(cols[c]);
+  }
+  // write_file streams header + sections piecewise (no second image).
+  writer.write_file(out_path);
+  return stats;
+}
+
+bool looks_like_archive_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open dataset file: " + path);
+  char prefix[8] = {};
+  in.read(prefix, sizeof prefix);
+  if (in.gcount() < static_cast<std::streamsize>(sizeof prefix)) return false;
+  return ArchiveReader::looks_like_archive(std::string_view(prefix, sizeof prefix));
+}
+
+Dataset load_dataset_any(const std::string& path) {
+  if (looks_like_archive_file(path)) {
+    maybe_inject(FaultSite::kDatasetLoad, fault_key(path));
+    return ColumnStore::open(path).to_dataset();
+  }
+  return load_dataset_csv(path);
+}
+
+}  // namespace frac

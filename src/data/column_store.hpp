@@ -1,0 +1,130 @@
+// Columnar on-disk dataset container ("column store").
+//
+// Reuses the sectioned model-archive format (serialize/archive.hpp): one
+// "dataset" header section, a "schema" section, a "labels" section, and one
+// "col.<i>" section per feature holding that column's f64 values. Every
+// payload is CRC32-checked and 8-byte aligned, so an mmap-backed open hands
+// zero-copy `std::span<const double>` column views to training — a sharded
+// trainer (frac/shard.hpp) touches only the columns its units need and never
+// materializes the full sample-major Matrix.
+//
+// Byte-level spec: docs/model_format.md ("Columnar dataset container").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace frac {
+
+/// What a streaming CSV → columnar conversion did and what it cost.
+struct ColumnStoreConvertStats {
+  std::size_t samples = 0;
+  std::size_t features = 0;
+  /// Payload size of the column data alone: samples * features * 8.
+  std::size_t column_bytes = 0;
+  /// Analytic peak of the converter's own buffers (column vectors + archive
+  /// payloads + record scratch). The streaming design bounds this at roughly
+  /// column_bytes + one column; see column_store_transient_bound().
+  std::size_t transient_peak_bytes = 0;
+};
+
+/// The structural bound convert_csv_to_column_store() must stay under: the
+/// column payload itself (reserved exactly — the converter counts records
+/// first, so vector growth never overshoots), plus one column of overlap
+/// while handing columns to the archive writer, plus fixed slack for label
+/// and record scratch. Strictly below the 2x column_bytes a "parse
+/// everything, then copy into the writer" converter would pay. (The second
+/// one_column term folds in the label vector and its section payload.)
+inline std::size_t column_store_transient_bound(std::size_t samples, std::size_t column_bytes) {
+  const std::size_t one_column = samples * sizeof(double);
+  return column_bytes + 2 * one_column + (1u << 16);
+}
+
+/// Read-only view of a columnar dataset archive. Columns are zero-copy spans
+/// into the backing bytes (mmap for file opens when the kernel allows it,
+/// otherwise an owned buffer). Move-only: the instance owns the mapping.
+class ColumnStore {
+ public:
+  ColumnStore(const ColumnStore&) = delete;
+  ColumnStore& operator=(const ColumnStore&) = delete;
+  ColumnStore(ColumnStore&& other) noexcept;
+  ColumnStore& operator=(ColumnStore&& other) noexcept;
+  ~ColumnStore();
+
+  /// Opens a columnar dataset file. Every section's CRC32 is verified up
+  /// front, so a corrupt or truncated file fails here with a ParseError
+  /// naming the file and section, never mid-training. Throws IoError when
+  /// the file cannot be opened.
+  static ColumnStore open(const std::string& path);
+
+  /// Builds an in-memory store from a row-major dataset (tests and the
+  /// out-of-core-vs-in-core bench gate; no file is written).
+  static ColumnStore from_dataset(const Dataset& data);
+
+  std::size_t sample_count() const noexcept { return samples_; }
+  std::size_t feature_count() const noexcept { return columns_.size(); }
+  const Schema& schema() const noexcept { return schema_; }
+  const std::vector<Label>& labels() const noexcept { return labels_; }
+
+  /// Zero-copy view of feature column `f`, valid for the store's lifetime.
+  std::span<const double> column(std::size_t f) const { return columns_.at(f); }
+
+  /// CRC32 of the archive header + section table. Because per-section CRCs
+  /// live in the table, this identifies the full content; shard archives
+  /// record it so `frac merge` can refuse partials trained on different data.
+  std::uint32_t content_crc() const noexcept { return content_crc_; }
+
+  /// Column payload footprint (what a full Matrix of the data would occupy).
+  std::size_t bytes() const noexcept {
+    return samples_ * columns_.size() * sizeof(double);
+  }
+
+  const std::string& source() const noexcept { return source_; }
+
+  /// Materializes the row-major Dataset (validates invariants). This is the
+  /// compatibility path for consumers that need the whole matrix; sharded
+  /// training deliberately avoids it.
+  Dataset to_dataset() const;
+
+ private:
+  ColumnStore() = default;
+  void parse(std::span<const std::byte> bytes);
+  void release() noexcept;
+
+  std::string source_;
+  void* map_base_ = nullptr;
+  std::size_t map_length_ = 0;
+  std::vector<char> owned_;  // fallback / in-memory backing (stable across moves)
+  std::size_t samples_ = 0;
+  Schema schema_;
+  std::vector<Label> labels_;
+  std::vector<std::span<const double>> columns_;
+  std::uint32_t content_crc_ = 0;
+};
+
+/// Writes `data` as a columnar dataset archive (atomic temp+fsync+rename).
+void write_column_store(const std::string& path, const Dataset& data);
+
+/// Streams a dataset CSV (data/io.hpp format) into a columnar archive at
+/// `out_path` without ever holding a cell-string table or a second copy of
+/// the numeric payload: records flow through CsvRecordReader into per-column
+/// vectors, and columns are released to the archive writer one at a time.
+/// Throws the same row/column-identifying errors as read_dataset_csv.
+ColumnStoreConvertStats convert_csv_to_column_store(const std::string& csv_path,
+                                                    const std::string& out_path);
+
+/// True when the file starts with the binary archive magic (a columnar
+/// dataset or any frac archive) — the sniff `frac` CLI data flags use to
+/// route between CSV and columnar loads. Throws IoError if unreadable.
+bool looks_like_archive_file(const std::string& path);
+
+/// Loads a dataset from either format: columnar archives go through
+/// ColumnStore::open().to_dataset(), anything else through load_dataset_csv.
+Dataset load_dataset_any(const std::string& path);
+
+}  // namespace frac

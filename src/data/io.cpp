@@ -14,9 +14,7 @@
 
 namespace frac {
 
-namespace {
-
-FeatureSpec parse_header_cell(const std::string& cell, std::size_t col) {
+FeatureSpec parse_dataset_header_cell(const std::string& cell, std::size_t col) {
   const std::vector<std::string> parts = split(cell, ':');
   if (parts.size() == 2 && parts[1] == "real") {
     return {parts[0], FeatureKind::kReal, 0};
@@ -31,64 +29,72 @@ FeatureSpec parse_header_cell(const std::string& cell, std::size_t col) {
                               " (want name:real or name:cat:K)");
 }
 
-}  // namespace
+double parse_dataset_value_cell(const std::string& raw, std::size_t row, std::size_t col,
+                                const Schema& schema) {
+  const std::string_view cell = trim(raw);
+  if (cell == "?") return kMissing;
+  const double v = parse_double(cell, format("row %zu col %zu", row, col));
+  // parse_double happily admits "inf"/"nan" text; neither is a value —
+  // NaN would silently masquerade as the missing sentinel, and Inf
+  // would poison every downstream sum. Reject with the location.
+  if (!std::isfinite(v)) {
+    throw ParseError(format("dataset CSV row %zu col %zu: non-finite value '%s'", row, col,
+                            std::string(cell).c_str()));
+  }
+  if (schema.is_categorical(col)) {
+    const double arity = static_cast<double>(schema[col].arity);
+    if (v != std::floor(v) || v < 0.0 || v >= arity) {
+      throw ParseError(
+          format("dataset CSV row %zu col %zu: categorical code '%s' is not an integer "
+                 "in [0, %u)",
+                 row, col, std::string(cell).c_str(), schema[col].arity));
+    }
+  }
+  return v;
+}
+
+Label parse_dataset_label_cell(const std::string& raw, std::size_t row) {
+  const std::string_view label = trim(raw);
+  if (label == "normal") return Label::kNormal;
+  if (label == "anomaly") return Label::kAnomaly;
+  throw std::invalid_argument(format("dataset CSV row %zu: bad label '%s'", row,
+                                     std::string(label).c_str()));
+}
 
 Dataset read_dataset_csv(std::istream& in) {
-  const CsvTable table = read_csv(in);
-  if (table.rows.empty()) throw std::runtime_error("dataset CSV is empty");
-
-  const auto& header = table.rows.front();
+  CsvRecordReader reader(in);
+  std::vector<std::string> header;
+  if (!reader.next(header)) throw std::runtime_error("dataset CSV is empty");
   if (header.empty() || header.back() != "label") {
     throw std::invalid_argument("dataset CSV header must end with 'label'");
   }
   std::vector<FeatureSpec> specs;
   specs.reserve(header.size() - 1);
   for (std::size_t c = 0; c + 1 < header.size(); ++c) {
-    specs.push_back(parse_header_cell(header[c], c));
+    specs.push_back(parse_dataset_header_cell(header[c], c));
   }
   Schema schema{std::move(specs)};
+  const std::size_t width = schema.size();
 
-  const std::size_t n = table.rows.size() - 1;
-  Matrix values(n, schema.size());
-  std::vector<Label> labels(n);
-  for (std::size_t r = 0; r < n; ++r) {
-    const auto& row = table.rows[r + 1];
+  // Stream rows straight into the row-major value buffer; the only whole-file
+  // allocations are the numbers themselves and the labels, not a string cell
+  // per value.
+  std::vector<double> values;
+  std::vector<Label> labels;
+  std::vector<std::string> row;
+  std::size_t r = 0;
+  while (reader.next(row)) {
     if (row.size() != schema.size() + 1) {
       throw std::invalid_argument(format("dataset CSV row %zu has %zu cells, expected %zu", r + 1,
                                          row.size(), schema.size() + 1));
     }
     for (std::size_t c = 0; c < schema.size(); ++c) {
-      const std::string_view cell = trim(row[c]);
-      if (cell == "?") {
-        values(r, c) = kMissing;
-        continue;
-      }
-      const double v = parse_double(cell, format("row %zu col %zu", r + 1, c));
-      // parse_double happily admits "inf"/"nan" text; neither is a value —
-      // NaN would silently masquerade as the missing sentinel, and Inf
-      // would poison every downstream sum. Reject with the location.
-      if (!std::isfinite(v)) {
-        throw ParseError(format("dataset CSV row %zu col %zu: non-finite value '%s'", r + 1, c,
-                                std::string(cell).c_str()));
-      }
-      if (schema.is_categorical(c)) {
-        const double arity = static_cast<double>(schema[c].arity);
-        if (v != std::floor(v) || v < 0.0 || v >= arity) {
-          throw ParseError(
-              format("dataset CSV row %zu col %zu: categorical code '%s' is not an integer "
-                     "in [0, %u)",
-                     r + 1, c, std::string(cell).c_str(), schema[c].arity));
-        }
-      }
-      values(r, c) = v;
+      values.push_back(parse_dataset_value_cell(row[c], r + 1, c, schema));
     }
-    const std::string_view label = trim(row.back());
-    if (label == "normal") labels[r] = Label::kNormal;
-    else if (label == "anomaly") labels[r] = Label::kAnomaly;
-    else throw std::invalid_argument(format("dataset CSV row %zu: bad label '%s'", r + 1,
-                                            std::string(label).c_str()));
+    labels.push_back(parse_dataset_label_cell(row.back(), r + 1));
+    ++r;
   }
-  Dataset data(std::move(schema), std::move(values), std::move(labels));
+  Dataset data(std::move(schema), Matrix(r, width, std::move(values)), std::move(labels));
   data.validate();
   return data;
 }

@@ -15,7 +15,24 @@ namespace frac {
 
 /// Parses a dataset from a stream. Throws std::runtime_error /
 /// std::invalid_argument with a row/column-identifying message on bad input.
+/// Streams records through util/csv.hpp's CsvRecordReader: the peak
+/// transient footprint is the numeric value buffer plus one CSV record,
+/// never a whole-file table of cell strings.
 Dataset read_dataset_csv(std::istream& in);
+
+/// Parses one dataset-CSV header cell ("name:real" or "name:cat:K").
+/// Shared by read_dataset_csv and the columnar-dataset converter
+/// (data/column_store.hpp) so both formats admit exactly the same inputs.
+FeatureSpec parse_dataset_header_cell(const std::string& cell, std::size_t col);
+
+/// Parses and validates one dataset-CSV value cell at (1-based data row,
+/// 0-based column); '?' yields kMissing. Throws ParseError naming the
+/// location on non-finite values and out-of-range categorical codes.
+double parse_dataset_value_cell(const std::string& cell, std::size_t row, std::size_t col,
+                                const Schema& schema);
+
+/// Parses the trailing label cell ("normal"/"anomaly") of data row `row`.
+Label parse_dataset_label_cell(const std::string& cell, std::size_t row);
 
 /// Loads a dataset file.
 Dataset load_dataset_csv(const std::string& path);

@@ -10,6 +10,7 @@
 #include <iterator>
 #include <sstream>
 
+#include "frac/train_units.hpp"
 #include "linalg/kernels.hpp"
 #include "ml/cross_validation.hpp"
 #include "parallel/parallel_for.hpp"
@@ -38,6 +39,31 @@ template <typename Fn>
 ScopeExit(Fn) -> ScopeExit<Fn>;
 
 }  // namespace
+
+namespace detail {
+
+void MatrixUnitSource::target_column(std::size_t target, std::vector<std::size_t>& valid,
+                                     std::vector<double>& target_col) const {
+  const std::size_t n = values_.rows();
+  valid.clear();
+  valid.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    if (!is_missing(values_(r, target))) valid.push_back(r);
+  }
+  target_col.resize(valid.size());
+  for (std::size_t i = 0; i < valid.size(); ++i) target_col[i] = values_(valid[i], target);
+}
+
+void MatrixUnitSource::gather(std::span<const std::size_t> valid,
+                              std::span<const std::size_t> inputs, Matrix& x) const {
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    const auto src = values_.row(valid[i]);
+    const auto dst = x.row(i);
+    for (std::size_t k = 0; k < inputs.size(); ++k) dst[k] = src[inputs[k]];
+  }
+}
+
+}  // namespace detail
 
 std::vector<FeaturePlan> default_plan(std::size_t feature_count) {
   std::vector<FeaturePlan> plan;
@@ -101,37 +127,106 @@ FracModel FracModel::train_with_plan(const Dataset& train, std::vector<FeaturePl
   }
   model.scaler_.transform(values);
 
-  const std::size_t n = values.rows();
   model.units_.resize(plan.size());
+  detail::UnitTrainOutcome outcome;
+  const detail::MatrixUnitSource source(values);
+  train_units_range(model, source, plan, /*unit_lo=*/0, /*slot_base=*/0, config, pool, outcome);
+
+  // Resource accounting: data + retained models. models_trained counts the
+  // predictors the unit actually trained — min(cv_folds, defined rows) fold
+  // models, minus folds skipped as empty, plus the retained one — not the
+  // dataset-wide sample count, which overcounts for features with missing
+  // values.
+  model.report_.cpu_seconds = cpu.seconds();
+  model.report_.models_trained = outcome.models_trained;
+  model.report_.train_workspace_bytes = outcome.max_unit_workspace;
+  for (UnitFailure& failure : outcome.failures) {
+    model.report_.failures[failure.category] += 1;
+    model.failures_.push_back(std::move(failure));
+  }
+  std::size_t retained_bytes = 0;
+  for (const Unit& unit : model.units_) {
+    if (unit.predictor == nullptr) continue;
+    retained_bytes += unit.predictor->storage_bytes();
+    ++model.report_.models_retained;
+  }
+  if (!model.failures_.empty()) {
+    FRAC_WARN << "FracModel::train: " << model.failures_.size() << " of " << model.units_.size()
+              << " units demoted (" << model.report_.failures.summary()
+              << "); NS sums over the survivors";
+  }
+  // Zero survivors with recorded failures is not degradation, it is a dead
+  // model (its NS would be identically 0) — fail the run loudly. Zero
+  // retained units *without* failures (every target skipped for undefined
+  // entropy) keeps the legacy degrade-to-zero behavior.
+  if (model.report_.models_retained == 0 && !model.failures_.empty()) {
+    throw NumericError(format("FracModel::train: all %zu units failed (%s)",
+                              model.units_.size(), model.report_.failures.summary().c_str()));
+  }
+  model.report_.peak_bytes = train.bytes() + retained_bytes;
+
+  // Metrics: coarse per-model updates (never inside the unit loop's hot path).
+  metrics_counter("frac.units_trained").add(model.report_.models_retained);
+  metrics_counter("frac.models_trained").add(model.report_.models_trained);
+  metrics_counter("frac.cv_folds")
+      .add(model.report_.models_trained - model.report_.models_retained);
+  for (const UnitFailure& failure : model.failures_) {
+    metrics_counter(std::string("frac.units_failed.") +
+                    failure_category_name(failure.category))
+        .add();
+  }
+  metrics_gauge("frac.train_workspace_bytes")
+      .set_max(static_cast<double>(model.report_.train_workspace_bytes));
+  metrics_gauge("frac.peak_bytes").set_max(static_cast<double>(model.report_.peak_bytes));
+  {
+    Histogram& unit_hist = metrics_histogram("frac.unit_train_seconds");
+    for (const double s : outcome.unit_seconds) unit_hist.observe(s);
+  }
+  return model;
+}
+
+void FracModel::train_units_range(FracModel& model, const detail::UnitColumnSource& source,
+                                  std::vector<FeaturePlan>& plan, std::size_t unit_lo,
+                                  std::size_t slot_base, const FracConfig& config,
+                                  ThreadPool& pool, detail::UnitTrainOutcome& outcome) {
+  const std::size_t count = plan.size();
+  // Pre-split RNG streams, salted by *global* unit index, so results are
+  // identical for any thread count and any sharding of the unit range.
+  // split() advances the master stream, so spin it from unit 0 even when
+  // this call starts mid-range — bit-identity across tilings depends on the
+  // master being in the same state when each unit's stream is drawn.
   Rng master(config.seed);
-  // Pre-split RNG streams so results are identical for any thread count.
   std::vector<Rng> unit_rngs;
-  unit_rngs.reserve(plan.size());
-  for (std::size_t u = 0; u < plan.size(); ++u) unit_rngs.push_back(master.split(u));
+  unit_rngs.reserve(count);
+  for (std::size_t u = 0; u < unit_lo + count; ++u) {
+    Rng child = master.split(u);
+    if (u >= unit_lo) unit_rngs.push_back(child);
+  }
 
   // Predictors actually trained per unit (CV fold models + the retained
   // one), filled by the unit tasks and summed after the loop.
-  std::vector<std::size_t> unit_models_trained(plan.size(), 0);
+  std::vector<std::size_t> unit_models_trained(count, 0);
   // Failure isolation: a unit whose training throws (degenerate predictor,
   // allocation failure, injected fault) or detects non-finite output is
   // demoted to a recorded UnitFailure instead of aborting the whole model —
   // NS then sums over the surviving units. Slots are per-unit, so recording
   // is race-free; compacted after the loop in unit order (deterministic for
   // any thread count).
-  std::vector<UnitFailure> unit_failures(plan.size());
-  std::vector<std::uint8_t> unit_failed(plan.size(), 0);
+  std::vector<UnitFailure> unit_failures(count);
+  std::vector<std::uint8_t> unit_failed(count, 0);
   // Transient training workspace per unit (gathered design matrix + target
-  // column); the model-level figure is the max, since workspaces are freed
-  // when the unit finishes.
-  std::vector<std::size_t> unit_workspace(plan.size(), 0);
+  // column + the source's gather staging); the caller's figure is the max,
+  // since workspaces are freed when the unit finishes.
+  std::vector<std::size_t> unit_workspace(count, 0);
 
-  // Per-unit wall seconds, recorded per slot (race-free) and folded into the
-  // frac.unit_train_seconds histogram after the loop in unit order.
-  std::vector<double> unit_seconds(plan.size(), 0.0);
+  // Per-unit wall seconds, recorded per slot (race-free); the in-core caller
+  // folds them into the frac.unit_train_seconds histogram in unit order.
+  outcome.unit_seconds.assign(count, 0.0);
 
-  parallel_for(pool, 0, plan.size(), [&](std::size_t u) {
-    Unit& unit = model.units_[u];
-    unit.plan = std::move(plan[u]);
+  parallel_for(pool, 0, count, [&](std::size_t i) {
+    const std::size_t u = unit_lo + i;  // global unit index
+    Unit& unit = model.units_[u - slot_base];
+    unit.plan = std::move(plan[i]);
     const std::size_t target = unit.plan.target;
     unit.categorical = model.arities_[target] != 0;
     // One span per logical unit — never per thread — so the span count per
@@ -140,19 +235,12 @@ FracModel FracModel::train_with_plan(const Dataset& train, std::vector<FeaturePl
         "frac.unit_train",
         trace_armed() ? format("{\"unit\": %zu, \"target\": %zu}", u, target) : std::string());
     const WallStopwatch unit_wall;
-    const ScopeExit record_seconds{[&] { unit_seconds[u] = unit_wall.seconds(); }};
+    const ScopeExit record_seconds{[&] { outcome.unit_seconds[i] = unit_wall.seconds(); }};
     try {
-
-      // Valid rows: target defined.
+      // Valid rows (target defined) + the standardized target column.
       std::vector<std::size_t> valid;
-      valid.reserve(n);
-      for (std::size_t r = 0; r < n; ++r) {
-        if (!is_missing(values(r, target))) valid.push_back(r);
-      }
-
-      // Entropy from the (standardized) training column, missing skipped.
-      std::vector<double> target_col(valid.size());
-      for (std::size_t i = 0; i < valid.size(); ++i) target_col[i] = values(valid[i], target);
+      std::vector<double> target_col;
+      source.target_column(target, valid, target_col);
       if (valid.empty()) {
         FRAC_DEBUG << "unit " << u << ": target " << target << " entirely missing; skipped";
         return;
@@ -171,30 +259,28 @@ FracModel FracModel::train_with_plan(const Dataset& train, std::vector<FeaturePl
       // Gather the unit's design matrix once (rows = valid, cols = inputs).
       const std::size_t d = unit.plan.inputs.size();
       Matrix x(valid.size(), d);
-      for (std::size_t i = 0; i < valid.size(); ++i) {
-        const auto src = values.row(valid[i]);
-        const auto dst = x.row(i);
-        for (std::size_t k = 0; k < d; ++k) dst[k] = src[unit.plan.inputs[k]];
-      }
+      source.gather(valid, unit.plan.inputs, x);
       std::vector<std::uint32_t> input_arities(d);
       for (std::size_t k = 0; k < d; ++k) input_arities[k] = model.arities_[unit.plan.inputs[k]];
       // Transient training workspace: the gathered design matrix plus the
       // target column. Fold models train on views of x (below), so no fold
       // multiplier enters here.
-      unit_workspace[u] = x.rows() * x.cols() * sizeof(double)
-                          + target_col.size() * sizeof(double);
+      unit_workspace[i] = x.rows() * x.cols() * sizeof(double)
+                          + target_col.size() * sizeof(double)
+                          + source.gather_overhead_bytes();
 
       // Per-unit predictor hyperparameters get decorrelated seeds.
       PredictorConfig pred_config = config.predictor;
-      Rng& rng = unit_rngs[u];
+      Rng& rng = unit_rngs[i];
       pred_config.svr.seed = rng.split(1)();
       pred_config.svc.seed = rng.split(2)();
       pred_config.tree.seed = rng.split(3)();
 
       // Injection point: covers all of the unit's predictor training (the
       // CV fold models and the retained one fail as a block — the unit is
-      // the isolation boundary). Keyed by unit index: stable for any thread
-      // count, so tests can predict exactly which units fail.
+      // the isolation boundary). Keyed by global unit index: stable for any
+      // thread count or sharding, so tests can predict exactly which units
+      // fail.
       maybe_inject(FaultSite::kPredictorTrain, u);
 
       // Cross-validated (truth, prediction) pairs for the error model.
@@ -226,25 +312,25 @@ FracModel FracModel::train_with_plan(const Dataset& train, std::vector<FeaturePl
         // matrix, not folds+1 of them.
         const MatrixView x_fold(x, train_rows);
         std::vector<double> y_fold(train_rows.size());
-        for (std::size_t i = 0; i < train_rows.size(); ++i) {
-          y_fold[i] = target_col[train_rows[i]];
+        for (std::size_t j = 0; j < train_rows.size(); ++j) {
+          y_fold[j] = target_col[train_rows[j]];
         }
         const std::unique_ptr<FeaturePredictor> cv_model =
             unit.categorical
                 ? train_classifier(x_fold, y_fold, model.arities_[target], input_arities,
                                    pred_config)
                 : train_regressor(x_fold, y_fold, input_arities, pred_config);
-        for (const std::size_t i : fold) {
-          const double predicted = cv_model->predict(x.row(i));
+        for (const std::size_t j : fold) {
+          const double predicted = cv_model->predict(x.row(j));
           if (unit.categorical) {
-            fold_true[k].push_back(static_cast<std::uint32_t>(target_col[i]));
+            fold_true[k].push_back(static_cast<std::uint32_t>(target_col[j]));
             fold_pred[k].push_back(static_cast<std::uint32_t>(predicted));
           } else {
             if (!std::isfinite(predicted)) {
               throw NumericError(
                   format("unit %zu: CV predictor produced non-finite output", u));
             }
-            fold_residuals[k].push_back(target_col[i] - predicted);
+            fold_residuals[k].push_back(target_col[j] - predicted);
           }
         }
         fold_trained[k] = 1;
@@ -282,73 +368,26 @@ FracModel FracModel::train_with_plan(const Dataset& train, std::vector<FeaturePl
               ? train_classifier(x, target_col, model.arities_[target], input_arities,
                                  pred_config)
               : train_regressor(x, target_col, input_arities, pred_config);
-      unit_models_trained[u] = fold_models + 1;
+      unit_models_trained[i] = fold_models + 1;
     } catch (const std::exception& e) {
       // Demote: no predictor means the unit contributes nothing to NS. A
       // half-trained error model is unreachable without the predictor.
       unit.predictor = nullptr;
-      unit_models_trained[u] = 0;
-      unit_failures[u] = UnitFailure{u, target, classify_failure(e), e.what()};
-      unit_failed[u] = 1;
+      unit_models_trained[i] = 0;
+      unit_failures[i] = UnitFailure{u, target, classify_failure(e), e.what()};
+      unit_failed[i] = 1;
       FRAC_DEBUG << "unit " << u << " (target " << target << ") demoted to "
-                 << failure_category_name(unit_failures[u].category)
+                 << failure_category_name(unit_failures[i].category)
                  << " failure: " << e.what();
     }
   });
 
-  // Resource accounting: data + retained models. models_trained counts the
-  // predictors the unit actually trained — min(cv_folds, defined rows) fold
-  // models, minus folds skipped as empty, plus the retained one — not the
-  // dataset-wide sample count, which overcounts for features with missing
-  // values.
-  model.report_.cpu_seconds = cpu.seconds();
-  std::size_t retained_bytes = 0;
-  for (std::size_t u = 0; u < model.units_.size(); ++u) {
-    model.report_.models_trained += unit_models_trained[u];
-    if (unit_failed[u]) {
-      model.report_.failures[unit_failures[u].category] += 1;
-      model.failures_.push_back(std::move(unit_failures[u]));
-    }
-    const Unit& unit = model.units_[u];
-    model.report_.train_workspace_bytes =
-        std::max(model.report_.train_workspace_bytes, unit_workspace[u]);
-    if (unit.predictor == nullptr) continue;
-    retained_bytes += unit.predictor->storage_bytes();
-    ++model.report_.models_retained;
+  // Compacted in unit order: deterministic for any thread count.
+  for (std::size_t i = 0; i < count; ++i) {
+    outcome.models_trained += unit_models_trained[i];
+    outcome.max_unit_workspace = std::max(outcome.max_unit_workspace, unit_workspace[i]);
+    if (unit_failed[i]) outcome.failures.push_back(std::move(unit_failures[i]));
   }
-  if (!model.failures_.empty()) {
-    FRAC_WARN << "FracModel::train: " << model.failures_.size() << " of " << model.units_.size()
-              << " units demoted (" << model.report_.failures.summary()
-              << "); NS sums over the survivors";
-  }
-  // Zero survivors with recorded failures is not degradation, it is a dead
-  // model (its NS would be identically 0) — fail the run loudly. Zero
-  // retained units *without* failures (every target skipped for undefined
-  // entropy) keeps the legacy degrade-to-zero behavior.
-  if (model.report_.models_retained == 0 && !model.failures_.empty()) {
-    throw NumericError(format("FracModel::train: all %zu units failed (%s)",
-                              model.units_.size(), model.report_.failures.summary().c_str()));
-  }
-  model.report_.peak_bytes = train.bytes() + retained_bytes;
-
-  // Metrics: coarse per-model updates (never inside the unit loop's hot path).
-  metrics_counter("frac.units_trained").add(model.report_.models_retained);
-  metrics_counter("frac.models_trained").add(model.report_.models_trained);
-  metrics_counter("frac.cv_folds")
-      .add(model.report_.models_trained - model.report_.models_retained);
-  for (const UnitFailure& failure : model.failures_) {
-    metrics_counter(std::string("frac.units_failed.") +
-                    failure_category_name(failure.category))
-        .add();
-  }
-  metrics_gauge("frac.train_workspace_bytes")
-      .set_max(static_cast<double>(model.report_.train_workspace_bytes));
-  metrics_gauge("frac.peak_bytes").set_max(static_cast<double>(model.report_.peak_bytes));
-  {
-    Histogram& unit_hist = metrics_histogram("frac.unit_train_seconds");
-    for (const double s : unit_seconds) unit_hist.observe(s);
-  }
-  return model;
 }
 
 Matrix FracModel::standardized_values(const Dataset& data) const {

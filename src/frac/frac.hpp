@@ -42,6 +42,12 @@ namespace frac {
 
 class ArchiveWriter;
 class ArchiveReader;
+struct ShardOps;
+
+namespace detail {
+class UnitColumnSource;
+struct UnitTrainOutcome;
+}  // namespace detail
 
 /// Error model for continuous targets: the Gaussian this paper prescribes,
 /// or the nonparametric KDE of the original FRaC paper.
@@ -172,6 +178,11 @@ class FracModel {
   static FracModel load_file(const std::string& path);
 
  private:
+  /// The sharded trainer (frac/shard.cpp): assembles partial models from
+  /// unit ranges and stitches them back together, so it builds Units and
+  /// reports directly.
+  friend struct ShardOps;
+
   struct Unit {
     FeaturePlan plan;
     std::unique_ptr<FeaturePredictor> predictor;  // null if the unit was untrainable
@@ -211,6 +222,18 @@ class FracModel {
 
   /// Legacy tagged-text parser behind load()'s format sniff.
   static FracModel load_text(std::istream& in);
+
+  /// The per-unit training loop shared by train_with_plan and the sharded
+  /// trainer: trains plan.size() units whose *global* indices start at
+  /// unit_lo, writing Unit slots model.units_[unit_lo - slot_base ...].
+  /// RNG streams, fault injection, failure records, and trace spans are all
+  /// keyed by global unit index, so any tiling of [0, U) into ranges
+  /// produces bit-identical units (the shard bit-identity guarantee).
+  /// Consumes `plan` (elements are moved into the units).
+  static void train_units_range(FracModel& model, const detail::UnitColumnSource& source,
+                                std::vector<FeaturePlan>& plan, std::size_t unit_lo,
+                                std::size_t slot_base, const FracConfig& config,
+                                ThreadPool& pool, detail::UnitTrainOutcome& outcome);
 
   Schema schema_;
   std::vector<std::uint32_t> arities_;  // per feature; 0 = real

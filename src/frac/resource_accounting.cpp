@@ -24,6 +24,16 @@ ResourceReport& ResourceReport::merge_concurrent(const ResourceReport& other) {
   return *this;
 }
 
+ResourceReport& ResourceReport::merge_shards(const ResourceReport& other) {
+  cpu_seconds += other.cpu_seconds;
+  peak_bytes += other.peak_bytes;
+  train_workspace_bytes += other.train_workspace_bytes;
+  models_trained += other.models_trained;
+  models_retained += other.models_retained;
+  failures += other.failures;
+  return *this;
+}
+
 std::size_t svm_model_bytes(std::size_t support_vectors, std::size_t dims) {
   return support_vectors * (dims + 1) * sizeof(double);
 }

@@ -54,6 +54,15 @@ struct ResourceReport {
 
   /// Accumulates `other` as *concurrent* work: times add, peaks add.
   ResourceReport& merge_concurrent(const ResourceReport& other);
+
+  /// Accumulates `other` as a sibling *shard process* (`frac merge`).
+  /// merge_sequential's max-of-workspaces invariant ("the workspace is freed
+  /// between runs") only holds inside one address space; shard processes
+  /// each hold their own peak with their own allocator, so a merged report
+  /// must *sum* per-shard train_workspace_bytes (and peak_bytes: every shard
+  /// maps the dataset and retains its units simultaneously in the fleet's
+  /// worst case). Times, model counts, and failure tallies add as always.
+  ResourceReport& merge_shards(const ResourceReport& other);
 };
 
 /// libSVM-equivalent bytes for a linear SVR/SVC model with `support_vectors`

@@ -1,0 +1,653 @@
+#include "frac/shard.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <utility>
+
+#include "frac/train_units.hpp"
+#include "serialize/archive.hpp"
+#include "util/errors.hpp"
+#include "util/logging.hpp"
+#include "util/metrics.hpp"
+#include "util/stopwatch.hpp"
+#include "util/string_util.hpp"
+#include "util/trace.hpp"
+
+namespace frac {
+
+/// The sharded trainer's access into FracModel (a friend, see frac.hpp): it
+/// assembles partial models from unit ranges and stitches them back together,
+/// so it builds Units, reports, and failure lists directly.
+struct ShardOps {
+  using Unit = FracModel::Unit;
+
+  static Schema& schema(FracModel& m) { return m.schema_; }
+  static std::vector<std::uint32_t>& arities(FracModel& m) { return m.arities_; }
+  static StandardScaler& scaler(FracModel& m) { return m.scaler_; }
+  static FracConfig& config(FracModel& m) { return m.config_; }
+  static std::vector<Unit>& units(FracModel& m) { return m.units_; }
+  static ResourceReport& report(FracModel& m) { return m.report_; }
+  static std::vector<UnitFailure>& failures(FracModel& m) { return m.failures_; }
+
+  /// Drops any f32 pack and fused-pack cell the model carries. A partial's
+  /// pack only covers its own units, so after stitching it is stale by
+  /// construction; the merged model rebuilds both lazily from the full unit
+  /// set.
+  static void reset_derived(FracModel& m) {
+    m.f32_view_ = {};
+    m.f32_owned_.clear();
+    m.fused_ = std::make_shared<FusedCell>();
+  }
+
+  static void train_range(FracModel& model, const detail::UnitColumnSource& source,
+                          std::vector<FeaturePlan>& plan, std::size_t unit_lo,
+                          std::size_t slot_base, const FracConfig& config, ThreadPool& pool,
+                          detail::UnitTrainOutcome& outcome) {
+    FracModel::train_units_range(model, source, plan, unit_lo, slot_base, config, pool, outcome);
+  }
+};
+
+namespace {
+
+/// Column source over the columnar store: standardizes per cell during
+/// gather with the same (v - mean) / scale expression the in-core path
+/// pre-applies (see train_units.hpp for the bit-identity argument).
+class StoreUnitSource final : public detail::UnitColumnSource {
+ public:
+  StoreUnitSource(const ColumnStore& store, const StandardScaler& scaler)
+      : store_(store), scaler_(scaler) {}
+
+  std::size_t rows() const override { return store_.sample_count(); }
+
+  void target_column(std::size_t target, std::vector<std::size_t>& valid,
+                     std::vector<double>& target_col) const override {
+    const std::span<const double> col = store_.column(target);
+    const double mean = scaler_.means()[target];
+    const double scale = scaler_.scales()[target];
+    valid.clear();
+    valid.reserve(col.size());
+    for (std::size_t r = 0; r < col.size(); ++r) {
+      if (!is_missing(col[r])) valid.push_back(r);
+    }
+    target_col.resize(valid.size());
+    for (std::size_t i = 0; i < valid.size(); ++i) {
+      target_col[i] = (col[valid[i]] - mean) / scale;
+    }
+  }
+
+  void gather(std::span<const std::size_t> valid, std::span<const std::size_t> inputs,
+              Matrix& x) const override {
+    // Column-major fill: one pass per input column over its zero-copy span.
+    for (std::size_t k = 0; k < inputs.size(); ++k) {
+      const std::span<const double> col = store_.column(inputs[k]);
+      const double mean = scaler_.means()[inputs[k]];
+      const double scale = scaler_.scales()[inputs[k]];
+      for (std::size_t i = 0; i < valid.size(); ++i) {
+        const double v = col[valid[i]];
+        x(i, k) = is_missing(v) ? v : (v - mean) / scale;
+      }
+    }
+  }
+
+ private:
+  const ColumnStore& store_;
+  const StandardScaler& scaler_;
+};
+
+/// StandardScaler::fit replicated over column spans. fit() keeps one
+/// accumulator per column and visits rows in order, so per column the
+/// floating-point addition order is row order — exactly this loop — and the
+/// resulting means/scales are bit-identical to fitting the materialized
+/// matrix. The categorical / no-standardize resets mirror train_with_plan.
+StandardScaler fit_store_scaler(const ColumnStore& store, const FracConfig& config) {
+  const std::size_t cols = store.feature_count();
+  std::vector<double> means(cols, 0.0);
+  std::vector<double> scales(cols, 1.0);
+  for (std::size_t c = 0; c < cols; ++c) {
+    const std::span<const double> col = store.column(c);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    std::size_t count = 0;
+    for (const double v : col) {
+      if (is_missing(v)) continue;
+      sum += v;
+      sum_sq += v * v;
+      ++count;
+    }
+    if (count == 0) continue;
+    const double n = static_cast<double>(count);
+    means[c] = sum / n;
+    const double var = std::max(0.0, sum_sq / n - means[c] * means[c]);
+    const double sd = std::sqrt(var);
+    scales[c] = sd > 1e-12 ? sd : 1.0;
+  }
+  StandardScaler scaler;
+  scaler.restore(std::move(means), std::move(scales));
+  const Schema& schema = store.schema();
+  for (std::size_t f = 0; f < schema.size(); ++f) {
+    if (schema.is_categorical(f)) scaler.reset_column(f);
+  }
+  if (!config.standardize) {
+    for (std::size_t f = 0; f < schema.size(); ++f) scaler.reset_column(f);
+  }
+  return scaler;
+}
+
+/// CRC32 over a canonical little-endian image of every training-relevant
+/// FracConfig field (hyperparameters included). Partials record it so merge
+/// and resume can refuse mixing models trained under different configs —
+/// the units would not be bit-compatible.
+std::uint32_t config_fingerprint(const FracConfig& c) {
+  std::string buf;
+  const auto put_u64 = [&buf](std::uint64_t v) {
+    buf.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  const auto put_f64 = [&](double d) { put_u64(std::bit_cast<std::uint64_t>(d)); };
+  put_u64(1);  // fingerprint layout version
+  put_u64(c.cv_folds);
+  put_u64(static_cast<std::uint64_t>(c.continuous_error));
+  put_f64(c.min_error_sd);
+  put_f64(c.confusion_alpha);
+  put_u64(c.entropy.kde_grid_points);
+  put_u64(c.standardize ? 1 : 0);
+  put_u64(c.seed);
+  const PredictorConfig& p = c.predictor;
+  put_u64(static_cast<std::uint64_t>(p.regressor));
+  put_u64(static_cast<std::uint64_t>(p.classifier));
+  put_f64(p.svr.c);
+  put_f64(p.svr.epsilon);
+  put_u64(p.svr.max_passes);
+  put_f64(p.svr.tol);
+  put_f64(p.svr.objective_tol);
+  put_u64(p.svr.fit_bias ? 1 : 0);
+  put_u64(p.svr.seed);
+  put_f64(p.svc.c);
+  put_u64(p.svc.max_passes);
+  put_f64(p.svc.tol);
+  put_f64(p.svc.objective_tol);
+  put_u64(p.svc.fit_bias ? 1 : 0);
+  put_u64(p.svc.seed);
+  put_u64(p.tree.max_depth);
+  put_u64(p.tree.min_samples_leaf);
+  put_u64(p.tree.min_samples_split);
+  put_f64(p.tree.min_impurity_decrease);
+  put_u64(static_cast<std::uint64_t>(p.tree.criterion));
+  put_u64(p.tree.max_features);
+  put_u64(p.tree.seed);
+  return crc32(std::as_bytes(std::span<const char>(buf.data(), buf.size())));
+}
+
+constexpr std::uint32_t kShardSectionLayout = 1;
+
+/// The "shard" section a partial archive carries on top of the ordinary
+/// model sections (docs/model_format.md).
+struct ShardMeta {
+  std::uint64_t index = 0;        ///< shard k ...
+  std::uint64_t count = 1;        ///< ... of N
+  std::uint64_t lo = 0;           ///< tile [lo, hi) of global unit indices
+  std::uint64_t hi = 0;
+  std::uint64_t done = 0;         ///< frontier: units [lo, done) are trained
+  std::uint64_t total_units = 0;  ///< unit count of the full default plan
+  std::uint64_t samples = 0;      ///< training sample count
+  std::uint32_t dataset_crc = 0;  ///< ColumnStore::content_crc of the data
+  std::uint32_t config_crc = 0;   ///< config_fingerprint of the FracConfig
+};
+
+void write_shard_section(ArchiveWriter& archive, const ShardMeta& meta) {
+  archive.begin_section("shard");
+  archive.write_u32(kShardSectionLayout);
+  archive.write_u64(meta.index);
+  archive.write_u64(meta.count);
+  archive.write_u64(meta.lo);
+  archive.write_u64(meta.hi);
+  archive.write_u64(meta.done);
+  archive.write_u64(meta.total_units);
+  archive.write_u64(meta.samples);
+  archive.write_u32(meta.dataset_crc);
+  archive.write_u32(meta.config_crc);
+  archive.end_section();
+}
+
+ShardMeta read_shard_section(ArchiveReader& archive) {
+  archive.open_section("shard");
+  const std::uint32_t layout = archive.read_u32();
+  if (layout != kShardSectionLayout) {
+    archive.fail(format("unsupported shard layout version %u", layout));
+  }
+  ShardMeta meta;
+  meta.index = archive.read_u64();
+  meta.count = archive.read_u64();
+  meta.lo = archive.read_u64();
+  meta.hi = archive.read_u64();
+  meta.done = archive.read_u64();
+  meta.total_units = archive.read_u64();
+  meta.samples = archive.read_u64();
+  meta.dataset_crc = archive.read_u32();
+  meta.config_crc = archive.read_u32();
+  archive.expect_section_end();
+  if (meta.count == 0 || meta.index >= meta.count) {
+    archive.fail(format("shard index %llu of %llu out of range",
+                        static_cast<unsigned long long>(meta.index),
+                        static_cast<unsigned long long>(meta.count)));
+  }
+  if (meta.lo > meta.hi || meta.hi > meta.total_units || meta.done < meta.lo ||
+      meta.done > meta.hi) {
+    archive.fail(format("inconsistent unit range [%llu, %llu), frontier %llu, total %llu",
+                        static_cast<unsigned long long>(meta.lo),
+                        static_cast<unsigned long long>(meta.hi),
+                        static_cast<unsigned long long>(meta.done),
+                        static_cast<unsigned long long>(meta.total_units)));
+  }
+  return meta;
+}
+
+/// Atomically (re)publishes a shard's partial archive: the model's ordinary
+/// sections plus the "shard" tile record. write_file is temp+fsync+rename,
+/// so a crash mid-checkpoint leaves the previous frontier, never a torn file.
+void persist_partial(const std::string& path, const FracModel& model, const ShardMeta& meta) {
+  ArchiveWriter archive;
+  model.serialize(archive);
+  write_shard_section(archive, meta);
+  archive.write_file(path);
+}
+
+struct PartialModel {
+  std::string path;
+  FracModel model;
+  ShardMeta meta;
+  bool has_f32 = false;
+};
+
+/// Loads a partial shard archive, verifying the CRC32 of *every* section up
+/// front — a corrupt or truncated partial fails here with a ParseError
+/// naming the file and section, before any stitching starts.
+PartialModel load_partial(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open shard archive " + path);
+  const std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  ArchiveReader reader(std::as_bytes(std::span<const char>(bytes.data(), bytes.size())), path,
+                       /*borrowed=*/false);
+  if (!reader.has_section("shard")) {
+    throw ParseError("model archive " + path +
+                     ": not a partial shard archive (no 'shard' section)");
+  }
+  for (const std::string& name : reader.section_names()) reader.open_section(name);
+  PartialModel part;
+  part.path = path;
+  part.meta = read_shard_section(reader);
+  part.has_f32 = reader.has_section("fused_f32");
+  part.model = FracModel::deserialize(reader);
+  return part;
+}
+
+/// The tile [lo, hi) of the default plan (FracModel::train's plan for the
+/// same feature count, restricted to these targets). Built per chunk so a
+/// shard never materializes the full O(features^2) plan.
+std::vector<FeaturePlan> plan_for_range(std::size_t lo, std::size_t hi,
+                                        std::size_t total_units) {
+  std::vector<FeaturePlan> plan;
+  plan.reserve(hi - lo);
+  for (std::size_t t = lo; t < hi; ++t) {
+    FeaturePlan p;
+    p.target = t;
+    p.inputs.reserve(total_units - 1);
+    for (std::size_t j = 0; j < total_units; ++j) {
+      if (j != t) p.inputs.push_back(j);
+    }
+    plan.push_back(std::move(p));
+  }
+  return plan;
+}
+
+/// Sets the model frame every trained unit hangs off: schema, arities, the
+/// store-fit scaler, and the config. Mirrors train_with_plan's setup.
+void init_model_frame(FracModel& model, const ColumnStore& store, StandardScaler scaler,
+                      const FracConfig& config) {
+  ShardOps::schema(model) = store.schema();
+  ShardOps::config(model) = config;
+  auto& arities = ShardOps::arities(model);
+  const Schema& schema = ShardOps::schema(model);
+  arities.resize(schema.size());
+  for (std::size_t f = 0; f < schema.size(); ++f) {
+    arities[f] = schema.is_categorical(f) ? schema[f].arity : 0;
+  }
+  ShardOps::scaler(model) = std::move(scaler);
+}
+
+/// Folds one chunk's training outcome into the shard's cumulative report and
+/// failure list, and feeds the same per-model metrics train_with_plan emits.
+void fold_outcome(FracModel& model, detail::UnitTrainOutcome& outcome) {
+  ResourceReport& report = ShardOps::report(model);
+  report.models_trained += outcome.models_trained;
+  report.train_workspace_bytes =
+      std::max(report.train_workspace_bytes, outcome.max_unit_workspace);
+  for (UnitFailure& failure : outcome.failures) {
+    report.failures[failure.category] += 1;
+    metrics_counter(std::string("frac.units_failed.") + failure_category_name(failure.category))
+        .add();
+    ShardOps::failures(model).push_back(std::move(failure));
+  }
+  metrics_counter("frac.models_trained").add(outcome.models_trained);
+  {
+    Histogram& unit_hist = metrics_histogram("frac.unit_train_seconds");
+    for (const double s : outcome.unit_seconds) unit_hist.observe(s);
+  }
+}
+
+/// Recomputes the derived retained-model figures (they cannot be accumulated
+/// across resumes without double counting): models_retained and the
+/// out-of-core peak — one unit's workspace plus the retained models, the
+/// figure the full-matrix path's `train.bytes() + retained` deliberately
+/// exceeds.
+void refresh_retained(FracModel& model) {
+  ResourceReport& report = ShardOps::report(model);
+  report.models_retained = 0;
+  std::size_t retained_bytes = 0;
+  for (const ShardOps::Unit& unit : ShardOps::units(model)) {
+    if (unit.predictor == nullptr) continue;
+    retained_bytes += unit.predictor->storage_bytes();
+    ++report.models_retained;
+  }
+  report.peak_bytes = report.train_workspace_bytes + retained_bytes;
+  metrics_counter("frac.units_trained").add(report.models_retained);
+  metrics_gauge("frac.train_workspace_bytes")
+      .set_max(static_cast<double>(report.train_workspace_bytes));
+  metrics_gauge("frac.peak_bytes").set_max(static_cast<double>(report.peak_bytes));
+}
+
+}  // namespace
+
+std::pair<std::size_t, std::size_t> shard_unit_range(ShardSpec spec, std::size_t total_units) {
+  if (spec.count == 0 || spec.index >= spec.count) {
+    throw std::invalid_argument("shard_unit_range: want shard k/N with 0 <= k < N");
+  }
+  return {spec.index * total_units / spec.count, (spec.index + 1) * total_units / spec.count};
+}
+
+ShardTrainStatus train_model_shard(const ColumnStore& store, ShardSpec spec,
+                                   const ShardTrainOptions& options, const std::string& out_path,
+                                   ThreadPool& pool) {
+  if (store.sample_count() < 2) {
+    throw std::invalid_argument("train_model_shard: need at least 2 training samples");
+  }
+  const std::size_t total_units = store.feature_count();
+  const auto [lo, hi] = shard_unit_range(spec, total_units);
+
+  const CpuStopwatch cpu;
+  const TraceSpan span(
+      "frac.shard_train",
+      trace_armed() ? format("{\"shard\": \"%zu/%zu\", \"units\": [%zu, %zu)}", spec.index,
+                             spec.count, lo, hi)
+                    : std::string());
+
+  ShardMeta identity;
+  identity.index = spec.index;
+  identity.count = spec.count;
+  identity.lo = lo;
+  identity.hi = hi;
+  identity.total_units = total_units;
+  identity.samples = store.sample_count();
+  identity.dataset_crc = store.content_crc();
+  identity.config_crc = config_fingerprint(options.config);
+
+  StandardScaler scaler = fit_store_scaler(store, options.config);
+
+  ShardTrainStatus status;
+  status.unit_lo = lo;
+  status.unit_hi = hi;
+
+  FracModel model;
+  std::size_t done = lo;
+  double cpu_baseline = 0.0;
+  bool restored = false;
+  if (options.resume && std::ifstream(out_path, std::ios::binary).good()) {
+    PartialModel prior = load_partial(out_path);
+    const ShardMeta& m = prior.meta;
+    if (m.index != identity.index || m.count != identity.count || m.lo != identity.lo ||
+        m.hi != identity.hi || m.total_units != identity.total_units ||
+        m.samples != identity.samples) {
+      throw ParseError(format("shard archive %s: tile %llu/%llu units [%llu, %llu) does not "
+                              "match requested shard %zu/%zu units [%zu, %zu)",
+                              out_path.c_str(), static_cast<unsigned long long>(m.index),
+                              static_cast<unsigned long long>(m.count),
+                              static_cast<unsigned long long>(m.lo),
+                              static_cast<unsigned long long>(m.hi), spec.index, spec.count, lo,
+                              hi));
+    }
+    if (m.dataset_crc != identity.dataset_crc) {
+      throw ParseError("shard archive " + out_path +
+                       ": trained on different dataset content (CRC mismatch); refusing to "
+                       "resume");
+    }
+    if (m.config_crc != identity.config_crc) {
+      throw ParseError("shard archive " + out_path +
+                       ": trained under a different config (fingerprint mismatch); refusing to "
+                       "resume");
+    }
+    model = std::move(prior.model);
+    // The archive does not carry the config; reinstate it (the fingerprint
+    // above proved it equal) and sanity-check the data-derived frame.
+    ShardOps::config(model) = options.config;
+    if (model.schema() != store.schema() ||
+        ShardOps::scaler(model).means() != scaler.means() ||
+        ShardOps::scaler(model).scales() != scaler.scales()) {
+      throw ParseError("shard archive " + out_path +
+                       ": schema or scaler disagrees with the dataset; refusing to resume");
+    }
+    done = m.done;
+    status.units_resumed = done - lo;
+    cpu_baseline = ShardOps::report(model).cpu_seconds;
+    restored = true;
+  }
+  if (!restored) {
+    init_model_frame(model, store, std::move(scaler), options.config);
+    ShardOps::units(model).resize(hi - lo);
+  }
+
+  const std::size_t shard_units = hi - lo;
+  std::size_t chunk = options.checkpoint_units;
+  if (chunk == 0) chunk = std::max<std::size_t>(1, (shard_units + 7) / 8);
+
+  const StoreUnitSource source(store, ShardOps::scaler(model));
+  std::size_t fresh_units = 0;
+  bool persisted = false;
+  const auto interrupted = [&options]() {
+    return options.interrupted && options.interrupted();
+  };
+  while (done < hi && !interrupted()) {
+    const std::size_t end = std::min(hi, done + chunk);
+    std::vector<FeaturePlan> plan = plan_for_range(done, end, total_units);
+    detail::UnitTrainOutcome outcome;
+    ShardOps::train_range(model, source, plan, /*unit_lo=*/done, /*slot_base=*/lo,
+                          options.config, pool, outcome);
+    fold_outcome(model, outcome);
+    fresh_units += end - done;
+    done = end;
+    refresh_retained(model);
+    ShardOps::report(model).cpu_seconds = cpu_baseline + cpu.seconds();
+    if (done == hi && options.f32) model.build_f32_weights();
+    ShardMeta meta = identity;
+    meta.done = done;
+    persist_partial(out_path, model, meta);
+    persisted = true;
+    if (options.stop_after_units != 0 && fresh_units >= options.stop_after_units) break;
+  }
+  if (!persisted) {
+    // Empty shard, immediate interrupt, or resume of an already-complete
+    // partial: republish so the file always reflects this invocation (and
+    // picks up a newly requested f32 pack).
+    if (done == hi && options.f32 && !model.has_f32_weights()) model.build_f32_weights();
+    ShardOps::report(model).cpu_seconds = cpu_baseline + cpu.seconds();
+    ShardMeta meta = identity;
+    meta.done = done;
+    persist_partial(out_path, model, meta);
+  }
+
+  if (!ShardOps::failures(model).empty()) {
+    FRAC_WARN << "train_model_shard: " << ShardOps::failures(model).size() << " of "
+              << (done - lo) << " trained units demoted ("
+              << ShardOps::report(model).failures.summary() << "); merge sums the survivors";
+  }
+
+  status.complete = done == hi;
+  status.units_done = done;
+  status.report = ShardOps::report(model);
+  return status;
+}
+
+FracModel merge_model_shards(std::span<const std::string> parts, ShardMergeSummary* summary) {
+  if (parts.empty()) {
+    throw std::invalid_argument("merge_model_shards: no partial archives given");
+  }
+  std::vector<PartialModel> loaded;
+  loaded.reserve(parts.size());
+  for (const std::string& path : parts) loaded.push_back(load_partial(path));
+  std::sort(loaded.begin(), loaded.end(),
+            [](const PartialModel& a, const PartialModel& b) { return a.meta.lo < b.meta.lo; });
+
+  const ShardMeta first = loaded.front().meta;
+  for (const PartialModel& part : loaded) {
+    const ShardMeta& m = part.meta;
+    if (m.done < m.hi) {
+      throw ParseError(format("shard archive %s: incomplete (trained %llu of %llu units); "
+                              "re-run that shard with --resume before merging",
+                              part.path.c_str(),
+                              static_cast<unsigned long long>(m.done - m.lo),
+                              static_cast<unsigned long long>(m.hi - m.lo)));
+    }
+    if (m.count != parts.size()) {
+      throw ParseError(format("shard archive %s: trained as shard %llu/%llu but %zu partials "
+                              "were given",
+                              part.path.c_str(), static_cast<unsigned long long>(m.index),
+                              static_cast<unsigned long long>(m.count), parts.size()));
+    }
+    if (m.total_units != first.total_units || m.samples != first.samples) {
+      throw ParseError(format("shard archive %s: dataset shape %llu units x %llu samples "
+                              "disagrees with %s (%llu x %llu)",
+                              part.path.c_str(),
+                              static_cast<unsigned long long>(m.total_units),
+                              static_cast<unsigned long long>(m.samples),
+                              loaded.front().path.c_str(),
+                              static_cast<unsigned long long>(first.total_units),
+                              static_cast<unsigned long long>(first.samples)));
+    }
+    if (m.dataset_crc != first.dataset_crc) {
+      throw ParseError("shard archive " + part.path +
+                       ": trained on different dataset content than " + loaded.front().path +
+                       " (CRC mismatch)");
+    }
+    if (m.config_crc != first.config_crc) {
+      throw ParseError("shard archive " + part.path +
+                       ": trained under a different config than " + loaded.front().path +
+                       " (fingerprint mismatch)");
+    }
+  }
+  std::size_t expect_lo = 0;
+  for (const PartialModel& part : loaded) {
+    if (part.meta.lo != expect_lo) {
+      throw ParseError(format("shard archives do not tile the unit range: expected a shard "
+                              "starting at unit %zu, %s covers [%llu, %llu)",
+                              expect_lo, part.path.c_str(),
+                              static_cast<unsigned long long>(part.meta.lo),
+                              static_cast<unsigned long long>(part.meta.hi)));
+    }
+    expect_lo = part.meta.hi;
+  }
+  if (expect_lo != first.total_units) {
+    throw ParseError(format("shard archives cover units [0, %zu) of %llu; a shard is missing",
+                            expect_lo, static_cast<unsigned long long>(first.total_units)));
+  }
+
+  const bool want_f32 =
+      std::any_of(loaded.begin(), loaded.end(), [](const PartialModel& p) { return p.has_f32; });
+
+  FracModel merged = std::move(loaded.front().model);
+  ResourceReport total;
+  total.merge_shards(ShardOps::report(merged));
+  for (std::size_t i = 1; i < loaded.size(); ++i) {
+    FracModel& part = loaded[i].model;
+    if (part.schema() != merged.schema()) {
+      throw ParseError("shard archive " + loaded[i].path + ": schema disagrees with " +
+                       loaded.front().path);
+    }
+    if (ShardOps::scaler(part).means() != ShardOps::scaler(merged).means() ||
+        ShardOps::scaler(part).scales() != ShardOps::scaler(merged).scales()) {
+      throw ParseError("shard archive " + loaded[i].path + ": scaler disagrees with " +
+                       loaded.front().path);
+    }
+    auto& dst = ShardOps::units(merged);
+    auto& src = ShardOps::units(part);
+    dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+               std::make_move_iterator(src.end()));
+    // Failure records carry global unit indices; appending in tile order
+    // keeps them in unit order, same as a single-process run.
+    auto& dst_failures = ShardOps::failures(merged);
+    auto& src_failures = ShardOps::failures(part);
+    dst_failures.insert(dst_failures.end(), std::make_move_iterator(src_failures.begin()),
+                        std::make_move_iterator(src_failures.end()));
+    total.merge_shards(ShardOps::report(part));
+  }
+  ShardOps::report(merged) = total;
+  ShardOps::reset_derived(merged);
+
+  if (total.models_retained == 0 && !ShardOps::failures(merged).empty()) {
+    throw NumericError(format("merge_model_shards: all %zu units failed (%s)",
+                              ShardOps::units(merged).size(), total.failures.summary().c_str()));
+  }
+  // A partial's f32 pack covers only its own units; regenerate a coherent
+  // pack for the merged bundle whenever any shard carried one.
+  if (want_f32) merged.build_f32_weights();
+
+  if (summary != nullptr) {
+    summary->shard_count = loaded.size();
+    summary->units = ShardOps::units(merged).size();
+    summary->report = total;
+  }
+  return merged;
+}
+
+FracModel train_out_of_core(const ColumnStore& store, const FracConfig& config,
+                            ThreadPool& pool) {
+  if (store.sample_count() < 2) {
+    throw std::invalid_argument("FracModel::train: need at least 2 training samples");
+  }
+  const CpuStopwatch cpu;
+  const TraceSpan span("frac.train",
+                       trace_armed() ? format("{\"units\": %zu, \"samples\": %zu}",
+                                              store.feature_count(), store.sample_count())
+                                     : std::string());
+  const std::size_t total_units = store.feature_count();
+  FracModel model;
+  init_model_frame(model, store, fit_store_scaler(store, config), config);
+  ShardOps::units(model).resize(total_units);
+
+  const StoreUnitSource source(store, ShardOps::scaler(model));
+  std::vector<FeaturePlan> plan = plan_for_range(0, total_units, total_units);
+  detail::UnitTrainOutcome outcome;
+  ShardOps::train_range(model, source, plan, /*unit_lo=*/0, /*slot_base=*/0, config, pool,
+                        outcome);
+  fold_outcome(model, outcome);
+  refresh_retained(model);
+  ResourceReport& report = ShardOps::report(model);
+  report.cpu_seconds = cpu.seconds();
+  metrics_counter("frac.cv_folds").add(report.models_trained - report.models_retained);
+
+  if (!ShardOps::failures(model).empty()) {
+    FRAC_WARN << "FracModel::train: " << ShardOps::failures(model).size() << " of "
+              << ShardOps::units(model).size() << " units demoted ("
+              << report.failures.summary() << "); NS sums over the survivors";
+  }
+  if (report.models_retained == 0 && !ShardOps::failures(model).empty()) {
+    throw NumericError(format("FracModel::train: all %zu units failed (%s)",
+                              ShardOps::units(model).size(),
+                              report.failures.summary().c_str()));
+  }
+  return model;
+}
+
+}  // namespace frac

@@ -1,0 +1,105 @@
+// Feature-sharded out-of-core FRaC training (`frac shard-train` / `frac
+// merge`).
+//
+// FRaC's NS is a sum of independent per-unit terms, so the unit range of a
+// default plan tiles across processes exactly: shard k of N trains units
+// [k*U/N, (k+1)*U/N) against a columnar dataset (data/column_store.hpp) and
+// persists a *partial model archive* — the ordinary model sections restricted
+// to its units, plus a "shard" section recording the tile, the dataset
+// content CRC, and a fingerprint of the training config. merge_model_shards
+// stitches N partials into one model whose units, error models, and scores
+// are bit-identical to a single-process FracModel::train at any FRAC_THREADS
+// / FRAC_SIMD setting: RNG streams, fault injection, and failure records are
+// keyed by *global* unit index inside FracModel::train_units_range, and the
+// out-of-core column source evaluates the same standardization expression on
+// the same doubles as the in-core path (see frac/train_units.hpp).
+//
+// Crash safety reuses the checkpoint pattern of expt/checkpoint.hpp: a shard
+// trains in chunks and atomically republishes its partial archive (with the
+// trained-unit frontier advanced) after each chunk, so a killed shard re-run
+// with resume=true restores the finished units and continues — the final
+// merged scores stay byte-identical to an uninterrupted run.
+//
+// Byte-level spec of the "shard" section: docs/model_format.md.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "data/column_store.hpp"
+#include "frac/frac.hpp"
+
+namespace frac {
+
+/// Which tile of the unit range a process owns: shard `index` of `count`.
+struct ShardSpec {
+  std::size_t index = 0;
+  std::size_t count = 1;
+};
+
+/// [lo, hi) of global unit indices for `spec` over `total_units`. The tiles
+/// partition [0, total_units) exactly; sizes differ by at most one.
+std::pair<std::size_t, std::size_t> shard_unit_range(ShardSpec spec, std::size_t total_units);
+
+struct ShardTrainOptions {
+  FracConfig config;
+  /// Continue from an existing partial archive at out_path (after a crash or
+  /// SIGINT). The partial must match this shard's identity — same tile, same
+  /// dataset content CRC, same config fingerprint — or training refuses.
+  bool resume = false;
+  /// Units trained per checkpoint chunk; the partial archive is atomically
+  /// republished after each chunk. 0 = auto (~1/8 of the shard).
+  std::size_t checkpoint_units = 0;
+  /// Embed the f32 weight pack when the shard completes (format v3).
+  bool f32 = false;
+  /// Polled between chunks (the CLI wires the SIGINT flag here); true stops
+  /// after persisting the current frontier, leaving a resumable partial.
+  std::function<bool()> interrupted;
+  /// Testing hook: behave as interrupted once this many new units finished
+  /// (0 = off). Gives the kill+resume tests a deterministic cut point.
+  std::size_t stop_after_units = 0;
+};
+
+struct ShardTrainStatus {
+  bool complete = false;      ///< frontier reached unit_hi; partial is mergeable
+  std::size_t unit_lo = 0;    ///< this shard's tile
+  std::size_t unit_hi = 0;
+  std::size_t units_done = 0;     ///< frontier: units [unit_lo, units_done) trained
+  std::size_t units_resumed = 0;  ///< units restored from the existing partial
+  ResourceReport report;          ///< this shard's cumulative cost (across resumes)
+};
+
+/// Trains one shard of the default plan against `store` and persists the
+/// partial archive to `out_path` (atomic republish per chunk). Returns the
+/// final frontier; complete=false means an interrupt stopped the shard early
+/// and a re-run with resume=true will pick it up.
+ShardTrainStatus train_model_shard(const ColumnStore& store, ShardSpec spec,
+                                   const ShardTrainOptions& options, const std::string& out_path,
+                                   ThreadPool& pool);
+
+struct ShardMergeSummary {
+  std::size_t shard_count = 0;
+  std::size_t units = 0;
+  ResourceReport report;
+};
+
+/// Stitches partial shard archives back into one model. Verifies every
+/// section CRC of every partial up front (corruption fails with a ParseError
+/// naming the file and section, never a half-stitched model), then validates
+/// that the partials are complete, trained on the same dataset content and
+/// config, and tile the unit range exactly. When any partial carries the f32
+/// weight pack, the merged model rebuilds a coherent pack over the full unit
+/// set (a partial's pack only covers its own units, so it is never reused).
+FracModel merge_model_shards(std::span<const std::string> parts,
+                             ShardMergeSummary* summary = nullptr);
+
+/// Single-process out-of-core training straight off the column store: trains
+/// all units through the column source without materializing the sample-major
+/// matrix. Scores are bit-identical to FracModel::train on the materialized
+/// dataset; peak_bytes reflects what out-of-core training actually held (one
+/// unit's workspace + retained models, not the full matrix).
+FracModel train_out_of_core(const ColumnStore& store, const FracConfig& config, ThreadPool& pool);
+
+}  // namespace frac

@@ -1,0 +1,75 @@
+// Internal: the column-access seam of FracModel's per-unit training loop.
+//
+// FracModel::train_units_range (frac.cpp) trains a contiguous range of plan
+// units against a UnitColumnSource instead of a concrete Matrix. Two sources
+// exist: the in-core standardized matrix (train_with_plan), and the
+// out-of-core ColumnStore view the feature-sharded trainer uses
+// (frac/shard.cpp) — the latter never materializes the sample-major matrix,
+// so a shard's peak footprint is one unit's design matrix, not the dataset.
+//
+// Everything a source hands out is *standardized*: the in-core source
+// pre-transforms the whole matrix, the column source applies the scaler per
+// cell during gather. Both evaluate the same (v - mean) / scale expression
+// on the same doubles, and gathering is pure copying, so the trained units
+// are bit-identical between sources (the sharded bit-identity tests pin
+// this).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "frac/failure.hpp"
+#include "linalg/matrix.hpp"
+
+namespace frac::detail {
+
+/// Column access used by the unit-training loop.
+class UnitColumnSource {
+ public:
+  virtual ~UnitColumnSource() = default;
+
+  /// Number of samples.
+  virtual std::size_t rows() const = 0;
+
+  /// Fills `valid` with the rows where `target` is defined (ascending) and
+  /// `target_col` with the standardized target values at those rows.
+  virtual void target_column(std::size_t target, std::vector<std::size_t>& valid,
+                             std::vector<double>& target_col) const = 0;
+
+  /// Gathers the standardized design matrix into `x` (pre-sized
+  /// valid.size() x inputs.size()): x(i, k) = value(valid[i], inputs[k]).
+  virtual void gather(std::span<const std::size_t> valid,
+                      std::span<const std::size_t> inputs, Matrix& x) const = 0;
+
+  /// Extra transient bytes one unit's gather needs beyond the design matrix
+  /// and target column (staging buffers; 0 for the in-core source). Folded
+  /// into the unit's train_workspace_bytes figure.
+  virtual std::size_t gather_overhead_bytes() const { return 0; }
+};
+
+/// In-core source: a matrix already standardized by the caller.
+class MatrixUnitSource final : public UnitColumnSource {
+ public:
+  explicit MatrixUnitSource(const Matrix& values) : values_(values) {}
+
+  std::size_t rows() const override { return values_.rows(); }
+  void target_column(std::size_t target, std::vector<std::size_t>& valid,
+                     std::vector<double>& target_col) const override;
+  void gather(std::span<const std::size_t> valid, std::span<const std::size_t> inputs,
+              Matrix& x) const override;
+
+ private:
+  const Matrix& values_;
+};
+
+/// What a range of unit training produced; the caller (full train or one
+/// shard) folds this into its ResourceReport.
+struct UnitTrainOutcome {
+  std::size_t models_trained = 0;      ///< CV fold models + retained, summed
+  std::size_t max_unit_workspace = 0;  ///< max per-unit transient bytes
+  std::vector<UnitFailure> failures;   ///< demoted units (global indices, unit order)
+  std::vector<double> unit_seconds;    ///< per-unit wall seconds, unit order
+};
+
+}  // namespace frac::detail

@@ -25,6 +25,14 @@ class Matrix {
   Matrix(std::size_t rows, std::size_t cols, double fill)
       : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
 
+  /// Adopts an existing row-major buffer (data.size() must be rows*cols).
+  /// Streaming importers build rows in place and hand the buffer over
+  /// instead of paying a second matrix-sized copy.
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double>&& data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    assert(data_.size() == rows_ * cols_);
+  }
+
   std::size_t rows() const noexcept { return rows_; }
   std::size_t cols() const noexcept { return cols_; }
   std::size_t size() const noexcept { return data_.size(); }

@@ -154,14 +154,11 @@ void ArchiveWriter::set_format_version(std::uint32_t version) {
   format_version_ = version;
 }
 
-std::string ArchiveWriter::bytes() const {
-  if (section_open_) throw std::logic_error("ArchiveWriter: bytes() with a section open");
+std::string ArchiveWriter::prefix_image() const {
+  if (section_open_) throw std::logic_error("ArchiveWriter: emit with a section open");
   std::string out;
   const std::size_t toc_bytes = sections_.size() * kEntryBytes;
-  std::size_t payload_offset = kHeaderBytes + toc_bytes;  // 8-aligned by construction
-  std::size_t total = payload_offset;
-  for (const Section& section : sections_) total = padded_to(total, 8) + section.payload.size();
-  out.reserve(total);
+  out.reserve(kHeaderBytes + toc_bytes);
 
   const auto append = [&out](const void* data, std::size_t size) {
     out.append(static_cast<const char*>(data), size);
@@ -175,7 +172,7 @@ std::string ArchiveWriter::bytes() const {
   append(&toc_offset, sizeof toc_offset);
 
   // Section table: offsets assigned in declaration order, payloads 8-aligned.
-  std::size_t offset = payload_offset;
+  std::size_t offset = kHeaderBytes + toc_bytes;  // 8-aligned by construction
   for (const Section& section : sections_) {
     offset = padded_to(offset, 8);
     char name[kNameBytes] = {};
@@ -191,6 +188,14 @@ std::string ArchiveWriter::bytes() const {
     append(&reserved, sizeof reserved);
     offset += section.payload.size();
   }
+  return out;
+}
+
+std::string ArchiveWriter::bytes() const {
+  std::string out = prefix_image();
+  std::size_t total = out.size();
+  for (const Section& section : sections_) total = padded_to(total, 8) + section.payload.size();
+  out.reserve(total);
   for (const Section& section : sections_) {
     out.resize(padded_to(out.size(), 8), '\0');
     out.append(section.payload);
@@ -199,8 +204,18 @@ std::string ArchiveWriter::bytes() const {
 }
 
 void ArchiveWriter::write_stream(std::ostream& out) const {
-  const std::string image = bytes();
-  out.write(image.data(), static_cast<std::streamsize>(image.size()));
+  // Emit piecewise: the multi-gigabyte columnar-dataset writer must not pay
+  // for a second archive-sized buffer just to hit the disk.
+  const std::string prefix = prefix_image();
+  out.write(prefix.data(), static_cast<std::streamsize>(prefix.size()));
+  std::size_t pos = prefix.size();
+  static constexpr char kZeros[8] = {};
+  for (const Section& section : sections_) {
+    const std::size_t pad = padded_to(pos, 8) - pos;
+    if (pad != 0) out.write(kZeros, static_cast<std::streamsize>(pad));
+    out.write(section.payload.data(), static_cast<std::streamsize>(section.payload.size()));
+    pos += pad + section.payload.size();
+  }
   if (!out) throw IoError("ArchiveWriter: stream write failed");
 }
 

@@ -74,7 +74,9 @@ class ArchiveWriter {
   /// The complete archive image. All sections must be closed.
   std::string bytes() const;
 
-  /// Streams bytes(); throws IoError when the stream fails.
+  /// Streams header + section table + payloads without concatenating them
+  /// into a second full-size image first (the writer's payloads are the only
+  /// archive-sized allocation). Throws IoError when the stream fails.
   void write_stream(std::ostream& out) const;
 
   /// Atomic temp+fsync+rename publish via util/atomic_file.hpp.
@@ -88,6 +90,7 @@ class ArchiveWriter {
 
   void append_raw(const void* data, std::size_t size);
   void pad_payload_to(std::size_t alignment);
+  std::string prefix_image() const;  // header + section table
 
   std::vector<Section> sections_;
   bool section_open_ = false;

@@ -5,11 +5,14 @@
 //   list-cohorts   list the paper-analog synthetic cohorts
 //   generate       write a synthetic cohort as a dataset CSV
 //   train          train (full or diverse) FRaC and persist the model
+//   shard-train    train one feature shard out-of-core into a partial archive
+//   merge          stitch partial shard archives into one model
 //   score          score a test CSV with a saved model (+AUC, --explain)
 //   explain        per-feature NS breakdown for one test sample
 //   detect         one-shot train+score with any variant
 //   grid           the (cohort, method, replicate) experiment grid
-//   convert        convert a model file between text and binary formats
+//   convert        convert a model file between formats, or a dataset CSV to
+//                  the columnar container (--dataset)
 //   serve          NDJSON scoring loop over a load-once engine (stdin→stdout)
 //
 // Every command also accepts the shared runtime flags (--threads, --simd,
@@ -30,7 +33,9 @@
 
 #include "config/cli_spec.hpp"
 #include "config/runtime_config.hpp"
+#include "data/column_store.hpp"
 #include "data/io.hpp"
+#include "frac/shard.hpp"
 #include "expt/grid.hpp"
 #include "expt/registry.hpp"
 #include "frac/diverse.hpp"
@@ -68,16 +73,47 @@ const std::vector<CommandSpec>& command_specs() {
            {"out", FlagKind::kString, true, "FILE", "output CSV path"},
        }},
       {"train",
-       "train (full or diverse) FRaC on an all-normal training CSV",
-       "--data TRAIN.csv --model OUT.fracmdl [--format binary|text]",
+       "train (full or diverse) FRaC on an all-normal training set",
+       "--data TRAIN.csv|TRAIN.fraccol --model OUT.fracmdl [--format binary|text]",
        {
-           {"data", FlagKind::kString, true, "FILE", "training dataset CSV"},
+           {"data", FlagKind::kString, true, "FILE",
+            "training dataset: CSV, or a columnar container (`frac convert "
+            "--dataset`) trained out-of-core"},
            {"model", FlagKind::kString, true, "FILE", "output model path"},
            {"format", FlagKind::kString, false, "FMT",
             "model encoding: binary (default) or text (legacy)"},
            {"diverse", FlagKind::kDouble, false, "P",
             "diverse-FRaC input-sampling probability (default 0: full FRaC)"},
            {"seed", FlagKind::kSize, false, "S", "training seed (default 23)"},
+       }},
+      {"shard-train",
+       "train feature shard K of N out-of-core into a partial model archive",
+       "--data TRAIN.fraccol --out PART.fracmdl --shard K/N [--resume]",
+       {
+           {"data", FlagKind::kString, true, "FILE",
+            "training dataset: columnar container (preferred) or CSV"},
+           {"out", FlagKind::kString, true, "FILE", "partial model archive path"},
+           {"shard", FlagKind::kString, true, "K/N",
+            "this process trains unit tile K of N (0 <= K < N)"},
+           {"seed", FlagKind::kSize, false, "S", "training seed (default 23)"},
+           {"resume", FlagKind::kBool, false, "",
+            "continue from the partial at --out after a crash or Ctrl-C"},
+           {"f32", FlagKind::kBool, false, "",
+            "embed the f32 weight pack when the shard completes"},
+           {"checkpoint-units", FlagKind::kSize, false, "N",
+            "units per atomic checkpoint republish (default: ~1/8 of the shard)"},
+           {"stop-after", FlagKind::kSize, false, "N",
+            "testing hook: stop as if interrupted after N new units"},
+       }},
+      {"merge",
+       "stitch complete partial shard archives into one model",
+       "--parts A.fracmdl,B.fracmdl,... --out MODEL.fracmdl [--f32]",
+       {
+           {"parts", FlagKind::kString, true, "A,B,...",
+            "comma-separated partial archives (every shard of one run)"},
+           {"out", FlagKind::kString, true, "FILE", "merged model path"},
+           {"f32", FlagKind::kBool, false, "",
+            "embed the f32 weight pack even when no shard carried one"},
        }},
       {"score",
        "score a test CSV with a saved model; prints AUC when labeled",
@@ -131,16 +167,22 @@ const std::vector<CommandSpec>& command_specs() {
            {"out", FlagKind::kString, false, "FILE", "write the report CSV here"},
        }},
       {"convert",
-       "convert a saved model between the text and binary formats",
-       "--in OLD.frac --out NEW.fracmdl [--to binary|text] [--f32]",
+       "convert a saved model between formats, or a dataset CSV to the "
+       "columnar container",
+       "--in OLD.frac --out NEW.fracmdl [--to binary|text] [--f32] | "
+       "--in DATA.csv --out DATA.fraccol --dataset",
        {
-           {"in", FlagKind::kString, true, "FILE", "source model (either format)"},
-           {"out", FlagKind::kString, true, "FILE", "destination model path"},
+           {"in", FlagKind::kString, true, "FILE",
+            "source model (either format), or a dataset CSV with --dataset"},
+           {"out", FlagKind::kString, true, "FILE", "destination path"},
            {"to", FlagKind::kString, false, "FMT",
             "target encoding: binary (default) or text"},
            {"f32", FlagKind::kBool, false, "",
             "embed the f32 linear-weight pack (format v3; enables "
             "`frac serve --precision f32`)"},
+           {"dataset", FlagKind::kBool, false, "",
+            "stream a dataset CSV into the columnar container the out-of-core "
+            "trainer reads (`frac train` / `frac shard-train`)"},
        }},
       {"serve",
        "NDJSON scoring loop: one JSON request per stdin line, one response "
@@ -239,14 +281,43 @@ int cmd_train(const ParsedFlags& args) {
   const std::size_t seed = args.get_size("seed", 23);
   if (g_manifest != nullptr) g_manifest->set("train.seed", static_cast<std::uint64_t>(seed));
 
+  FracConfig config;
+  config.seed = seed;
+  ThreadPool& pool = ThreadPool::global();
+
+  if (looks_like_archive_file(data_path)) {
+    // Columnar container: train out-of-core through zero-copy column views —
+    // the sample-major matrix is never materialized.
+    if (diverse_p > 0.0) {
+      throw std::invalid_argument(
+          "--diverse requires a CSV training set (columnar input trains the "
+          "full plan out-of-core)");
+    }
+    const ColumnStore store = ColumnStore::open(data_path);
+    std::size_t anomalies = 0;
+    for (const Label label : store.labels()) anomalies += label == Label::kAnomaly;
+    if (anomalies != 0) {
+      std::cerr << "warning: training set contains " << anomalies
+                << " anomaly-labeled samples; FRaC assumes (mostly) normal training data\n";
+    }
+    const FracModel model = train_out_of_core(store, config, pool);
+    model.save_file(model_path, model_format);
+    const ResourceReport& report = model.report();
+    std::cout << "trained " << model.unit_count() << " units on " << store.sample_count()
+              << " samples out-of-core; saved to " << model_path << "\n";
+    // The out-of-core RSS gate line CI greps: training's transient footprint
+    // vs. what materializing the full matrix would have added.
+    std::cout << "out-of-core RSS gate: train workspace " << report.train_workspace_bytes
+              << " bytes, peak " << report.peak_bytes << " bytes, full-matrix "
+              << store.bytes() << " bytes\n";
+    return 0;
+  }
+
   const Dataset train = load_dataset_csv(data_path);
   if (train.anomaly_count() != 0) {
     std::cerr << "warning: training set contains " << train.anomaly_count()
               << " anomaly-labeled samples; FRaC assumes (mostly) normal training data\n";
   }
-  FracConfig config;
-  config.seed = seed;
-  ThreadPool& pool = ThreadPool::global();
   FracModel model = [&] {
     if (diverse_p > 0.0) {
       Rng rng(seed);
@@ -268,7 +339,7 @@ int cmd_score(const ParsedFlags& args) {
   const auto out = args.get("out");
 
   const FracModel model = FracModel::load_file(model_path);
-  const Dataset test = load_dataset_csv(data_path);
+  const Dataset test = load_dataset_any(data_path);
   ThreadPool& pool = ThreadPool::global();
   const std::vector<double> scores = model.score(test, pool);
   if (out) write_scores(*out, scores, test);
@@ -305,7 +376,7 @@ int cmd_explain(const ParsedFlags& args) {
   const std::size_t top = args.get_size("top", 10);
 
   const FracModel model = FracModel::load_file(model_path);
-  const Dataset test = load_dataset_csv(data_path);
+  const Dataset test = load_dataset_any(data_path);
   if (sample >= test.sample_count()) {
     throw std::invalid_argument(format("sample %zu out of %zu", sample, test.sample_count()));
   }
@@ -364,7 +435,7 @@ int cmd_detect(const ParsedFlags& args) {
     g_manifest->set("detect.seed", static_cast<std::uint64_t>(seed));
   }
 
-  Replicate rep{load_dataset_csv(train_path), load_dataset_csv(test_path)};
+  Replicate rep{load_dataset_any(train_path), load_dataset_any(test_path)};
   FracConfig config;
   config.seed = seed;
   // Trees for categorical-majority data, SVR otherwise (the paper's choice).
@@ -498,6 +569,29 @@ int cmd_grid(const ParsedFlags& args) {
 int cmd_convert(const ParsedFlags& args) {
   const std::string in_path = args.require("in");
   const std::string out_path = args.require("out");
+  if (args.get_flag("dataset")) {
+    if (args.get_flag("f32") || args.get("to")) {
+      throw std::invalid_argument(
+          "--dataset converts a dataset CSV to the columnar container; "
+          "--to/--f32 do not apply");
+    }
+    const ColumnStoreConvertStats stats = convert_csv_to_column_store(in_path, out_path);
+    const std::size_t bound = column_store_transient_bound(stats.samples, stats.column_bytes);
+    std::cout << "converted " << in_path << " -> " << out_path << " (columnar, "
+              << stats.samples << " samples x " << stats.features << " features, "
+              << stats.column_bytes << " column bytes)\n";
+    // The streaming-convert RSS gate line CI greps: the converter's analytic
+    // transient peak vs. the structural bound (strictly below doubling the
+    // column payload, which a parse-then-copy converter would pay).
+    std::cout << "convert RSS gate: transient peak " << stats.transient_peak_bytes
+              << " bytes <= bound " << bound << " bytes (full payload twice: "
+              << 2 * stats.column_bytes << ")\n";
+    if (g_manifest != nullptr) {
+      g_manifest->set_measured("convert.samples", static_cast<std::uint64_t>(stats.samples));
+      g_manifest->set_measured("convert.features", static_cast<std::uint64_t>(stats.features));
+    }
+    return 0;
+  }
   const ModelFormat to = parse_model_format(args.get("to").value_or(""), "--to");
   const bool f32 = args.get_flag("f32");
   if (f32 && to == ModelFormat::kText) {
@@ -516,6 +610,100 @@ int cmd_convert(const ParsedFlags& args) {
   std::cout << "converted " << in_path << " -> " << out_path << " ("
             << (to == ModelFormat::kBinary ? "binary" : "text") << ", " << model.unit_count()
             << " units" << (model.has_f32_weights() ? ", f32 pack" : "") << ")\n";
+  return 0;
+}
+
+/// "K/N" for --shard.
+ShardSpec parse_shard_spec(const std::string& text) {
+  const auto bad = [&text]() -> std::invalid_argument {
+    return std::invalid_argument("--shard expects K/N with 0 <= K < N, got '" + text + "'");
+  };
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) throw bad();
+  ShardSpec spec;
+  try {
+    std::size_t used = 0;
+    spec.index = std::stoull(text.substr(0, slash), &used);
+    if (used != slash) throw bad();
+    const std::string count_text = text.substr(slash + 1);
+    spec.count = std::stoull(count_text, &used);
+    if (used != count_text.size()) throw bad();
+  } catch (const std::invalid_argument&) {
+    throw bad();
+  } catch (const std::out_of_range&) {
+    throw bad();
+  }
+  if (spec.count == 0 || spec.index >= spec.count) throw bad();
+  return spec;
+}
+
+/// Opens the training data as a column store: columnar archives directly
+/// (zero-copy mmap), CSVs through an in-memory store. Either route yields the
+/// same content CRC for the same data, so shards may mix input forms.
+ColumnStore open_column_store(const std::string& data_path) {
+  if (looks_like_archive_file(data_path)) return ColumnStore::open(data_path);
+  return ColumnStore::from_dataset(load_dataset_csv(data_path));
+}
+
+int cmd_shard_train(const ParsedFlags& args) {
+  const std::string data_path = args.require("data");
+  const std::string out_path = args.require("out");
+  const ShardSpec spec = parse_shard_spec(args.require("shard"));
+  ShardTrainOptions options;
+  options.config.seed = args.get_size("seed", 23);
+  options.resume = args.get_flag("resume");
+  options.f32 = args.get_flag("f32");
+  options.checkpoint_units = args.get_size("checkpoint-units", 0);
+  options.stop_after_units = args.get_size("stop-after", 0);
+  if (g_manifest != nullptr) {
+    g_manifest->set("shard.index", static_cast<std::uint64_t>(spec.index));
+    g_manifest->set("shard.count", static_cast<std::uint64_t>(spec.count));
+    g_manifest->set("shard.seed", static_cast<std::uint64_t>(options.config.seed));
+  }
+
+  const ColumnStore store = open_column_store(data_path);
+  install_sigint_handler(/*also_sigterm=*/true);
+  options.interrupted = [] { return g_interrupted != 0; };
+  ThreadPool& pool = ThreadPool::global();
+  const ShardTrainStatus status = train_model_shard(store, spec, options, out_path, pool);
+
+  std::cout << "shard " << spec.index << "/" << spec.count << ": units [" << status.unit_lo
+            << ", " << status.unit_hi << "), " << (status.units_done - status.unit_lo)
+            << " trained";
+  if (status.units_resumed != 0) std::cout << " (" << status.units_resumed << " resumed)";
+  std::cout << "; partial saved to " << out_path << "\n";
+  std::cout << "out-of-core RSS gate: train workspace " << status.report.train_workspace_bytes
+            << " bytes, peak " << status.report.peak_bytes << " bytes, full-matrix "
+            << store.bytes() << " bytes\n";
+  if (g_manifest != nullptr) {
+    g_manifest->set_measured("shard.units_done",
+                             static_cast<std::uint64_t>(status.units_done - status.unit_lo));
+    g_manifest->set_measured("shard.units_resumed",
+                             static_cast<std::uint64_t>(status.units_resumed));
+  }
+  if (!status.complete) {
+    std::cerr << "interrupted: frontier checkpointed at unit " << status.units_done
+              << "; rerun with --resume to finish this shard\n";
+    return 130;
+  }
+  return 0;
+}
+
+int cmd_merge(const ParsedFlags& args) {
+  const std::vector<std::string> parts = split(args.require("parts"), ',');
+  const std::string out_path = args.require("out");
+
+  ShardMergeSummary summary;
+  FracModel model = merge_model_shards(parts, &summary);
+  if (args.get_flag("f32")) model.build_f32_weights();
+  model.save_file(out_path);
+  std::cout << "merged " << summary.shard_count << " shards -> " << out_path << " ("
+            << summary.units << " units, " << summary.report.models_retained << " retained"
+            << (model.has_f32_weights() ? ", f32 pack" : "") << ")\n";
+  if (g_manifest != nullptr) {
+    g_manifest->set("merge.shards", static_cast<std::uint64_t>(summary.shard_count));
+    g_manifest->set_measured("merge.units", static_cast<std::uint64_t>(summary.units));
+  }
   return 0;
 }
 
@@ -679,6 +867,8 @@ int main(int argc, char** argv) {
         if (command == "list-cohorts") return cmd_list_cohorts();
         if (command == "generate") return cmd_generate(args);
         if (command == "train") return cmd_train(args);
+        if (command == "shard-train") return cmd_shard_train(args);
+        if (command == "merge") return cmd_merge(args);
         if (command == "score") return cmd_score(args);
         if (command == "explain") return cmd_explain(args);
         if (command == "detect") return cmd_detect(args);

@@ -55,37 +55,35 @@ std::vector<std::string> parse_csv_line(const std::string& line, char delim) {
   return cells;
 }
 
-CsvTable read_csv(std::istream& in, char delim) {
-  CsvTable table;
-  std::string line;
-  std::string record;       // logical record, grown while a quote stays open
-  bool record_open = false; // true while `record` ends inside a quoted cell
-  std::size_t record_start_row = 0;
-  std::size_t physical_row = 0;
-  std::vector<std::string> cells;
-  while (std::getline(in, line)) {
-    ++physical_row;
+bool CsvRecordReader::next(std::vector<std::string>& cells) {
+  bool record_open = false;  // true while record_ ends inside a quoted cell
+  while (std::getline(in_, line_)) {
+    ++physical_row_;
     if (!record_open) {
-      if (line.empty() || line == "\r") continue;
-      record = std::move(line);
-      record_start_row = physical_row;
+      if (line_.empty() || line_ == "\r") continue;
+      record_ = std::move(line_);
+      record_start_row_ = physical_row_;
     } else {
       // getline consumed a newline that lives inside a quoted cell: restore
       // it, then retry the parse with the extended record.
-      record += '\n';
-      record += line;
+      record_ += '\n';
+      record_ += line_;
     }
-    if (parse_record(record, delim, cells)) {
-      table.rows.push_back(std::move(cells));
-      record_open = false;
-    } else {
-      record_open = true;
-    }
+    if (parse_record(record_, delim_, cells)) return true;
+    record_open = true;
   }
   if (record_open) {
-    throw ParseError("CSV row " + std::to_string(record_start_row) +
+    throw ParseError("CSV row " + std::to_string(record_start_row_) +
                      ": unterminated quote at end of input");
   }
+  return false;
+}
+
+CsvTable read_csv(std::istream& in, char delim) {
+  CsvTable table;
+  CsvRecordReader reader(in, delim);
+  std::vector<std::string> cells;
+  while (reader.next(cells)) table.rows.push_back(std::move(cells));
   return table;
 }
 

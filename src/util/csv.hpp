@@ -26,6 +26,33 @@ struct CsvTable {
 /// record ends inside an open quote.
 std::vector<std::string> parse_csv_line(const std::string& line, char delim = ',');
 
+/// Incremental reader of logical CSV records: each next() fills `cells` with
+/// the next record (quoted cells may span physical lines; blank lines are
+/// skipped) and returns false at end of input. Throws ParseError naming the
+/// record's starting physical row when input ends inside an open quote.
+///
+/// This is the streaming core read_csv() wraps. Large importers (the
+/// dataset CSV reader, the columnar-dataset converter) consume records one
+/// at a time through it, so a multi-GB file never materializes as a
+/// CsvTable of strings alongside its parsed numeric form.
+class CsvRecordReader {
+ public:
+  explicit CsvRecordReader(std::istream& in, char delim = ',') : in_(in), delim_(delim) {}
+
+  bool next(std::vector<std::string>& cells);
+
+  /// 1-based physical line where the last returned record started.
+  std::size_t record_row() const noexcept { return record_start_row_; }
+
+ private:
+  std::istream& in_;
+  char delim_;
+  std::string line_;
+  std::string record_;  // logical record, grown while a quote stays open
+  std::size_t physical_row_ = 0;
+  std::size_t record_start_row_ = 0;
+};
+
 /// Reads a whole CSV file. Throws std::runtime_error if the file cannot
 /// be opened and ParseError (with the row number) on an unterminated quote.
 /// Blank lines between records are skipped.

@@ -1,0 +1,187 @@
+#include "data/column_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "data/expression_generator.hpp"
+#include "data/io.hpp"
+#include "util/errors.hpp"
+#include "util/rng.hpp"
+
+namespace frac {
+namespace {
+
+/// Mixed-type dataset with missing cells in both a real and a categorical
+/// column.
+Dataset mixed_dataset() {
+  const std::string csv =
+      "expr:real,snp:cat:3,other:real,label\n"
+      "1.25,0,4.5,normal\n"
+      "?,2,-0.75,anomaly\n"
+      "-3.5,?,0.125,normal\n"
+      "2.0,1,?,normal\n";
+  std::istringstream in(csv);
+  return read_dataset_csv(in);
+}
+
+Dataset expression_dataset(std::size_t samples = 30, std::uint64_t seed = 5) {
+  ExpressionModelConfig c;
+  c.features = 12;
+  c.modules = 3;
+  c.genes_per_module = 4;
+  c.disease_modules = 2;
+  c.seed = seed;
+  const ExpressionModel model(c);
+  Rng rng(seed + 1);
+  return model.sample(samples, Label::kNormal, rng);
+}
+
+void expect_same_data(const Dataset& a, const Dataset& b) {
+  ASSERT_EQ(a.schema(), b.schema());
+  ASSERT_EQ(a.labels(), b.labels());
+  ASSERT_EQ(a.sample_count(), b.sample_count());
+  for (std::size_t r = 0; r < a.sample_count(); ++r) {
+    for (std::size_t c = 0; c < a.feature_count(); ++c) {
+      if (is_missing(a.value(r, c))) {
+        EXPECT_TRUE(is_missing(b.value(r, c))) << "row " << r << " col " << c;
+      } else {
+        // Bitwise: the container must not perturb values.
+        EXPECT_EQ(a.value(r, c), b.value(r, c)) << "row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+TEST(ColumnStore, FileRoundTripPreservesEverything) {
+  const Dataset data = mixed_dataset();
+  const std::string path = ::testing::TempDir() + "roundtrip.fraccol";
+  write_column_store(path, data);
+  const ColumnStore store = ColumnStore::open(path);
+  EXPECT_EQ(store.sample_count(), data.sample_count());
+  EXPECT_EQ(store.feature_count(), data.feature_count());
+  EXPECT_EQ(store.schema(), data.schema());
+  EXPECT_EQ(store.labels(), data.labels());
+  expect_same_data(data, store.to_dataset());
+  std::remove(path.c_str());
+}
+
+TEST(ColumnStore, ColumnsAreColumnMajorViews) {
+  const Dataset data = expression_dataset();
+  const ColumnStore store = ColumnStore::from_dataset(data);
+  for (std::size_t c = 0; c < data.feature_count(); ++c) {
+    const std::span<const double> col = store.column(c);
+    ASSERT_EQ(col.size(), data.sample_count());
+    for (std::size_t r = 0; r < data.sample_count(); ++r) {
+      EXPECT_EQ(col[r], data.value(r, c));
+    }
+  }
+}
+
+TEST(ColumnStore, InMemoryAndFileContentCrcAgree) {
+  const Dataset data = expression_dataset();
+  const std::string path = ::testing::TempDir() + "crc.fraccol";
+  write_column_store(path, data);
+  const ColumnStore from_file = ColumnStore::open(path);
+  const ColumnStore from_memory = ColumnStore::from_dataset(data);
+  // The CRC identifies content, not provenance: shards fed the CSV and shards
+  // fed the converted container must agree they saw the same data.
+  EXPECT_EQ(from_file.content_crc(), from_memory.content_crc());
+  std::remove(path.c_str());
+}
+
+TEST(ColumnStore, StreamingConvertMatchesCsvReader) {
+  const Dataset data = mixed_dataset();
+  const std::string csv_path = ::testing::TempDir() + "convert_in.csv";
+  const std::string out_path = ::testing::TempDir() + "convert_out.fraccol";
+  save_dataset_csv(csv_path, data);
+
+  const ColumnStoreConvertStats stats = convert_csv_to_column_store(csv_path, out_path);
+  EXPECT_EQ(stats.samples, data.sample_count());
+  EXPECT_EQ(stats.features, data.feature_count());
+  EXPECT_EQ(stats.column_bytes, data.sample_count() * data.feature_count() * sizeof(double));
+
+  expect_same_data(load_dataset_csv(csv_path), ColumnStore::open(out_path).to_dataset());
+  std::remove(csv_path.c_str());
+  std::remove(out_path.c_str());
+}
+
+TEST(ColumnStore, ConvertTransientPeakStaysUnderBound) {
+  // The out-of-core satellite: converting must not transiently double the
+  // column payload. Use enough data that the fixed slack term doesn't
+  // dominate the comparison.
+  const Dataset data = expression_dataset(/*samples=*/400, /*seed=*/9);
+  const std::string csv_path = ::testing::TempDir() + "bound_in.csv";
+  const std::string out_path = ::testing::TempDir() + "bound_out.fraccol";
+  save_dataset_csv(csv_path, data);
+
+  const ColumnStoreConvertStats stats = convert_csv_to_column_store(csv_path, out_path);
+  EXPECT_LE(stats.transient_peak_bytes,
+            column_store_transient_bound(stats.samples, stats.column_bytes));
+  EXPECT_LT(stats.transient_peak_bytes, 2 * stats.column_bytes);
+  std::remove(csv_path.c_str());
+  std::remove(out_path.c_str());
+}
+
+TEST(ColumnStore, CorruptionNamesFileAndSection) {
+  const Dataset data = expression_dataset();
+  const std::string path = ::testing::TempDir() + "corrupt.fraccol";
+  write_column_store(path, data);
+  {
+    // Flip a byte in the last payload (the final column's section).
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(0, std::ios::end);
+    const std::streamoff size = f.tellg();
+    f.seekp(size - 5);
+    f.put('\x5a');
+  }
+  try {
+    ColumnStore::open(path);
+    FAIL() << "corrupt column store opened";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("col."), std::string::npos) << what;
+    EXPECT_NE(what.find("CRC32 mismatch"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ColumnStore, TruncationFailsAtOpenNotMidTraining) {
+  const Dataset data = expression_dataset();
+  const std::string path = ::testing::TempDir() + "truncated.fraccol";
+  write_column_store(path, data);
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    bytes.resize(bytes.size() / 2);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  EXPECT_THROW(ColumnStore::open(path), ParseError);
+  std::remove(path.c_str());
+}
+
+TEST(ColumnStore, LoadDatasetAnySniffsBothFormats) {
+  const Dataset data = mixed_dataset();
+  const std::string csv_path = ::testing::TempDir() + "any.csv";
+  const std::string col_path = ::testing::TempDir() + "any.fraccol";
+  save_dataset_csv(csv_path, data);
+  write_column_store(col_path, data);
+  EXPECT_TRUE(looks_like_archive_file(col_path));
+  EXPECT_FALSE(looks_like_archive_file(csv_path));
+  expect_same_data(load_dataset_any(csv_path), load_dataset_any(col_path));
+  std::remove(csv_path.c_str());
+  std::remove(col_path.c_str());
+}
+
+TEST(ColumnStore, OpenMissingFileIsIoError) {
+  EXPECT_THROW(ColumnStore::open(::testing::TempDir() + "does_not_exist.fraccol"), IoError);
+}
+
+}  // namespace
+}  // namespace frac

@@ -56,6 +56,36 @@ TEST(ResourceReport, FailureCountsAddUnderBothMerges) {
   EXPECT_EQ(conc.failures.summary(), "numeric:3 injected:4");
 }
 
+TEST(ResourceReport, ShardMergeSumsWorkspaceNotMax) {
+  // Regression: `frac merge` used to fold shard reports with sequential
+  // (max) semantics. Two shard *processes* each peaking at W bytes really
+  // cost 2W across the fleet — a silent max under-reports by half.
+  ResourceReport a{.cpu_seconds = 1.0, .peak_bytes = 100, .train_workspace_bytes = 64,
+                   .models_trained = 5, .models_retained = 2, .failures = {}};
+  const ResourceReport b{.cpu_seconds = 2.0, .peak_bytes = 70, .train_workspace_bytes = 48,
+                         .models_trained = 3, .models_retained = 4, .failures = {}};
+  ResourceReport wrong = a;
+  wrong.merge_sequential(b);
+  a.merge_shards(b);
+  EXPECT_EQ(a.train_workspace_bytes, 112u);
+  EXPECT_NE(a.train_workspace_bytes, wrong.train_workspace_bytes);
+  EXPECT_EQ(a.peak_bytes, 170u);
+  EXPECT_DOUBLE_EQ(a.cpu_seconds, 3.0);
+  EXPECT_EQ(a.models_trained, 8u);
+  EXPECT_EQ(a.models_retained, 6u);
+}
+
+TEST(ResourceReport, ShardMergeAlwaysAddsFailures) {
+  ResourceReport a, b;
+  a.failures[FailureCategory::kNumeric] = 2;
+  b.failures[FailureCategory::kNumeric] = 1;
+  b.failures[FailureCategory::kInjected] = 4;
+  a.merge_shards(b);
+  EXPECT_EQ(a.failures[FailureCategory::kNumeric], 3u);
+  EXPECT_EQ(a.failures[FailureCategory::kInjected], 4u);
+  EXPECT_EQ(a.failures.total(), 7u);
+}
+
 TEST(SvmModelBytes, LibsvmEquivalentFormula) {
   // #SV dense vectors of (dims + 1 coefficient) doubles.
   EXPECT_EQ(svm_model_bytes(10, 100), 10u * 101u * sizeof(double));

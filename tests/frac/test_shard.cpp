@@ -1,0 +1,386 @@
+#include "frac/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/expression_generator.hpp"
+#include "util/errors.hpp"
+#include "util/fault_injection.hpp"
+
+namespace frac {
+namespace {
+
+ThreadPool& pool() {
+  static ThreadPool p(2);
+  return p;
+}
+
+/// Small expression cohort with a planted signal (mirrors test_frac.cpp).
+Dataset training_cohort(std::uint64_t seed = 1) {
+  ExpressionModelConfig c;
+  c.features = 24;
+  c.modules = 3;
+  c.genes_per_module = 5;
+  c.noise_sd = 0.4;
+  c.anomaly_mix = 3.0;
+  c.disease_modules = 2;
+  c.seed = seed;
+  const ExpressionModel model(c);
+  Rng rng(seed + 100);
+  return model.sample(40, Label::kNormal, rng);
+}
+
+Dataset test_cohort(std::uint64_t seed = 1) {
+  ExpressionModelConfig c;
+  c.features = 24;
+  c.modules = 3;
+  c.genes_per_module = 5;
+  c.noise_sd = 0.4;
+  c.anomaly_mix = 3.0;
+  c.disease_modules = 2;
+  c.seed = seed;
+  const ExpressionModel model(c);
+  Rng rng(seed + 200);
+  return model.sample_cohort(10, 10, rng);
+}
+
+FracConfig small_config() {
+  FracConfig config;
+  config.seed = 7;
+  return config;
+}
+
+void expect_bit_identical(const std::vector<double>& a, const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Bitwise, not approximate: the shard guarantee is exact.
+    EXPECT_EQ(a[i], b[i]) << "score " << i;
+  }
+}
+
+/// Trains all N shards in-process and returns the partial-archive paths.
+std::vector<std::string> train_shards(const ColumnStore& store, std::size_t count,
+                                      const FracConfig& config, const std::string& tag,
+                                      bool f32 = false) {
+  std::vector<std::string> parts;
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::string path = ::testing::TempDir() + tag + "." + std::to_string(k) + ".of" +
+                             std::to_string(count) + ".fracmdl";
+    ShardTrainOptions options;
+    options.config = config;
+    options.f32 = f32;
+    const ShardTrainStatus status =
+        train_model_shard(store, {k, count}, options, path, pool());
+    EXPECT_TRUE(status.complete);
+    parts.push_back(path);
+  }
+  return parts;
+}
+
+void remove_all(const std::vector<std::string>& paths) {
+  for (const std::string& p : paths) std::remove(p.c_str());
+}
+
+TEST(ShardUnitRange, TilesExactlyForAnyCount) {
+  for (std::size_t total : {0u, 1u, 7u, 24u, 100u}) {
+    for (std::size_t count : {1u, 2u, 3u, 4u, 7u, 13u}) {
+      std::size_t expect_lo = 0;
+      for (std::size_t k = 0; k < count; ++k) {
+        const auto [lo, hi] = shard_unit_range({k, count}, total);
+        EXPECT_EQ(lo, expect_lo) << total << " units, shard " << k << "/" << count;
+        EXPECT_LE(lo, hi);
+        expect_lo = hi;
+      }
+      EXPECT_EQ(expect_lo, total) << total << " units across " << count;
+    }
+  }
+}
+
+TEST(ShardTrain, MergedScoresBitIdenticalToSingleProcess) {
+  const Dataset train = training_cohort();
+  const Dataset test = test_cohort();
+  const ColumnStore store = ColumnStore::from_dataset(train);
+  const FracConfig config = small_config();
+
+  const FracModel reference = FracModel::train(train, config, pool());
+  const std::vector<double> want = reference.score(test, pool());
+
+  for (std::size_t count : {1u, 2u, 4u}) {
+    const std::vector<std::string> parts =
+        train_shards(store, count, config, "bitident" + std::to_string(count));
+    ShardMergeSummary summary;
+    const FracModel merged = merge_model_shards(parts, &summary);
+    EXPECT_EQ(summary.shard_count, count);
+    EXPECT_EQ(summary.units, reference.unit_count());
+    EXPECT_EQ(merged.unit_count(), reference.unit_count());
+    expect_bit_identical(merged.score(test, pool()), want);
+    remove_all(parts);
+  }
+}
+
+TEST(ShardTrain, OutOfCoreTrainingBitIdenticalToInCore) {
+  const Dataset train = training_cohort();
+  const Dataset test = test_cohort();
+  const FracConfig config = small_config();
+
+  const FracModel in_core = FracModel::train(train, config, pool());
+  const FracModel out_of_core = train_out_of_core(ColumnStore::from_dataset(train), config, pool());
+  expect_bit_identical(out_of_core.score(test, pool()), in_core.score(test, pool()));
+  // Out-of-core peak never includes the sample-major matrix.
+  EXPECT_LE(out_of_core.report().train_workspace_bytes, in_core.report().train_workspace_bytes);
+}
+
+TEST(ShardTrain, InterruptedShardResumesToIdenticalMerge) {
+  const Dataset train = training_cohort();
+  const Dataset test = test_cohort();
+  const ColumnStore store = ColumnStore::from_dataset(train);
+  const FracConfig config = small_config();
+
+  const FracModel reference = FracModel::train(train, config, pool());
+  const std::vector<double> want = reference.score(test, pool());
+
+  const std::string part0 = ::testing::TempDir() + "resume.0.of2.fracmdl";
+  const std::string part1 = ::testing::TempDir() + "resume.1.of2.fracmdl";
+
+  // Shard 0: killed mid-train after 4 units, one checkpoint chunk at a time.
+  ShardTrainOptions options;
+  options.config = config;
+  options.checkpoint_units = 2;
+  options.stop_after_units = 4;
+  const ShardTrainStatus interrupted = train_model_shard(store, {0, 2}, options, part0, pool());
+  EXPECT_FALSE(interrupted.complete);
+  EXPECT_EQ(interrupted.units_done, interrupted.unit_lo + 4);
+
+  // Re-run with --resume: restores the checkpointed frontier, finishes.
+  options.stop_after_units = 0;
+  options.resume = true;
+  const ShardTrainStatus resumed = train_model_shard(store, {0, 2}, options, part0, pool());
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.units_resumed, 4u);
+  EXPECT_EQ(resumed.units_done, resumed.unit_hi);
+
+  ShardTrainOptions plain;
+  plain.config = config;
+  const ShardTrainStatus other = train_model_shard(store, {1, 2}, plain, part1, pool());
+  EXPECT_TRUE(other.complete);
+
+  const std::vector<std::string> parts = {part0, part1};
+  const FracModel merged = merge_model_shards(parts);
+  expect_bit_identical(merged.score(test, pool()), want);
+  remove_all(parts);
+}
+
+TEST(ShardTrain, ResumeRefusesMismatchedIdentity) {
+  const Dataset train = training_cohort();
+  const ColumnStore store = ColumnStore::from_dataset(train);
+  const FracConfig config = small_config();
+
+  const std::string path = ::testing::TempDir() + "identity.fracmdl";
+  ShardTrainOptions options;
+  options.config = config;
+  options.checkpoint_units = 2;
+  options.stop_after_units = 2;
+  train_model_shard(store, {0, 2}, options, path, pool());
+
+  options.stop_after_units = 0;
+  options.resume = true;
+
+  // Wrong tile.
+  EXPECT_THROW(train_model_shard(store, {1, 2}, options, path, pool()), ParseError);
+
+  // Different config (fingerprint mismatch).
+  ShardTrainOptions other = options;
+  other.config.seed = 99;
+  EXPECT_THROW(train_model_shard(store, {0, 2}, other, path, pool()), ParseError);
+
+  // Different dataset content (CRC mismatch).
+  const ColumnStore other_store = ColumnStore::from_dataset(training_cohort(/*seed=*/5));
+  EXPECT_THROW(train_model_shard(other_store, {0, 2}, options, path, pool()), ParseError);
+
+  std::remove(path.c_str());
+}
+
+TEST(ShardMerge, RefusesIncompleteAndInconsistentPartials) {
+  const Dataset train = training_cohort();
+  const ColumnStore store = ColumnStore::from_dataset(train);
+  const FracConfig config = small_config();
+
+  const std::vector<std::string> parts = train_shards(store, 2, config, "refuse");
+
+  // Incomplete partial: shard 0 of 2 stopped early.
+  const std::string incomplete = ::testing::TempDir() + "refuse.incomplete.fracmdl";
+  ShardTrainOptions options;
+  options.config = config;
+  options.checkpoint_units = 2;
+  options.stop_after_units = 2;
+  train_model_shard(store, {0, 2}, options, incomplete, pool());
+  {
+    const std::vector<std::string> bad = {incomplete, parts[1]};
+    EXPECT_THROW(merge_model_shards(bad), ParseError);
+  }
+
+  // Wrong shard count: a 2-shard partial cannot merge alone.
+  {
+    const std::vector<std::string> bad = {parts[0]};
+    EXPECT_THROW(merge_model_shards(bad), ParseError);
+  }
+
+  // Duplicate tile instead of a partition.
+  {
+    const std::vector<std::string> bad = {parts[0], parts[0]};
+    EXPECT_THROW(merge_model_shards(bad), ParseError);
+  }
+
+  // Partials from different dataset content.
+  const ColumnStore other_store = ColumnStore::from_dataset(training_cohort(/*seed=*/5));
+  const std::vector<std::string> other_parts =
+      train_shards(other_store, 2, config, "refuse_other");
+  {
+    const std::vector<std::string> bad = {parts[0], other_parts[1]};
+    EXPECT_THROW(merge_model_shards(bad), ParseError);
+  }
+
+  // An ordinary (non-partial) model archive.
+  const std::string full = ::testing::TempDir() + "refuse.full.fracmdl";
+  FracModel::train(train, config, pool()).save_file(full);
+  {
+    const std::vector<std::string> bad = {full, parts[1]};
+    EXPECT_THROW(merge_model_shards(bad), ParseError);
+  }
+
+  remove_all(parts);
+  remove_all(other_parts);
+  std::remove(incomplete.c_str());
+  std::remove(full.c_str());
+}
+
+TEST(ShardMerge, CorruptPartialNamesFileAndSection) {
+  const Dataset train = training_cohort();
+  const ColumnStore store = ColumnStore::from_dataset(train);
+  const std::vector<std::string> parts = train_shards(store, 2, small_config(), "corrupt");
+  {
+    std::fstream f(parts[0], std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(0, std::ios::end);
+    const std::streamoff size = f.tellg();
+    f.seekp(size / 2);
+    char byte = 0;
+    f.seekg(size / 2);
+    f.get(byte);
+    f.seekp(size / 2);
+    f.put(static_cast<char>(byte ^ 0x40));
+  }
+  try {
+    merge_model_shards(parts);
+    FAIL() << "merged a corrupt partial";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(parts[0]), std::string::npos) << what;
+    EXPECT_NE(what.find("section"), std::string::npos) << what;
+  }
+  remove_all(parts);
+}
+
+TEST(ShardMerge, InjectedUnitFailuresSurviveMerge) {
+  const Dataset train = training_cohort();
+  const Dataset test = test_cohort();
+  const ColumnStore store = ColumnStore::from_dataset(train);
+  const FracConfig config = small_config();
+
+  // Fault plan keyed by global unit index: the same units fail in the
+  // single-process run and in whichever shard owns them.
+  ScopedFaultPlan plan("predictor_train:0.3:17");
+
+  const FracModel reference = FracModel::train(train, config, pool());
+  ASSERT_FALSE(reference.unit_failures().empty());
+
+  const std::vector<std::string> parts = train_shards(store, 4, config, "faulty");
+  ShardMergeSummary summary;
+  const FracModel merged = merge_model_shards(parts, &summary);
+
+  ASSERT_EQ(merged.unit_failures().size(), reference.unit_failures().size());
+  for (std::size_t i = 0; i < merged.unit_failures().size(); ++i) {
+    const UnitFailure& got = merged.unit_failures()[i];
+    const UnitFailure& want = reference.unit_failures()[i];
+    EXPECT_EQ(got.unit, want.unit);
+    EXPECT_EQ(got.target, want.target);
+    EXPECT_EQ(got.category, want.category);
+    EXPECT_EQ(got.category, FailureCategory::kInjected);
+  }
+  EXPECT_EQ(merged.report().failures, reference.report().failures);
+  EXPECT_EQ(summary.report.failures, reference.report().failures);
+
+  // Degraded, not broken: surviving units still score bit-identically.
+  expect_bit_identical(merged.score(test, pool()), reference.score(test, pool()));
+  remove_all(parts);
+}
+
+TEST(ShardMerge, RegeneratesF32PackOverAllUnits) {
+  const Dataset train = training_cohort();
+  const Dataset test = test_cohort();
+  const ColumnStore store = ColumnStore::from_dataset(train);
+  const FracConfig config = small_config();
+
+  // Mixed fleet: only shard 0 embeds the f32 pack; the merged model must
+  // regenerate one covering every unit (a partial's pack covers its own
+  // units only).
+  const std::string part0 = ::testing::TempDir() + "f32.0.of2.fracmdl";
+  const std::string part1 = ::testing::TempDir() + "f32.1.of2.fracmdl";
+  ShardTrainOptions with_f32;
+  with_f32.config = config;
+  with_f32.f32 = true;
+  ASSERT_TRUE(train_model_shard(store, {0, 2}, with_f32, part0, pool()).complete);
+  ShardTrainOptions without;
+  without.config = config;
+  ASSERT_TRUE(train_model_shard(store, {1, 2}, without, part1, pool()).complete);
+
+  const std::vector<std::string> parts = {part0, part1};
+  const FracModel merged = merge_model_shards(parts);
+  EXPECT_TRUE(merged.has_f32_weights());
+
+  // f64 scoring is unaffected by the pack; f32 scoring runs over all units.
+  const FracModel reference = FracModel::train(train, config, pool());
+  expect_bit_identical(merged.score(test, pool()), reference.score(test, pool()));
+  const std::vector<double> f32_scores =
+      merged.score(test, pool(), ScoreMode::kFused, ScorePrecision::kF32);
+  EXPECT_EQ(f32_scores.size(), static_cast<std::size_t>(test.sample_count()));
+  remove_all(parts);
+}
+
+TEST(ShardMerge, ReportSumsPerShardWorkspace) {
+  const Dataset train = training_cohort();
+  const ColumnStore store = ColumnStore::from_dataset(train);
+  const FracConfig config = small_config();
+
+  std::vector<ShardTrainStatus> statuses;
+  std::vector<std::string> parts;
+  for (std::size_t k = 0; k < 3; ++k) {
+    const std::string path = ::testing::TempDir() + "report." + std::to_string(k) + ".fracmdl";
+    ShardTrainOptions options;
+    options.config = config;
+    statuses.push_back(train_model_shard(store, {k, 3}, options, path, pool()));
+    parts.push_back(path);
+  }
+
+  ShardMergeSummary summary;
+  const FracModel merged = merge_model_shards(parts, &summary);
+
+  std::size_t workspace_sum = 0;
+  std::size_t trained_sum = 0;
+  for (const ShardTrainStatus& s : statuses) {
+    workspace_sum += s.report.train_workspace_bytes;
+    trained_sum += s.report.models_trained;
+  }
+  // Shard processes coexist: the fleet report *sums* per-shard workspaces
+  // (ResourceReport::merge_shards), unlike in-process sequential max.
+  EXPECT_EQ(summary.report.train_workspace_bytes, workspace_sum);
+  EXPECT_EQ(summary.report.models_trained, trained_sum);
+  EXPECT_EQ(merged.report().train_workspace_bytes, workspace_sum);
+  remove_all(parts);
+}
+
+}  // namespace
+}  // namespace frac
