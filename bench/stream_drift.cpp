@@ -1,0 +1,324 @@
+// Streaming drift-to-rollout benchmark: the full `frac stream` story as one
+// gated harness. Four phases:
+//
+//   A  train a full FRaC on a pre-shift expression cohort (retain_duals on)
+//      and arm a DriftMonitor on a HELD-OUT calibration set's NS — never the
+//      training rows, whose NS is biased low (see src/stream/drift.hpp).
+//   B  stream pre-shift rows (must NOT alarm) then latent-shifted rows (must
+//      alarm within the lag budget past min_samples).
+//   C  retrain on the post-shift rows cold vs warm (warm_retrain from the
+//      retained duals): warm must be >= 2x faster at AUC parity (|delta| <=
+//      1e-3 on a labeled post-shift cohort).
+//   D  hot swap under load: an in-process SocketServer serves a rollout
+//      path while a publisher thread republishes alternating generations and
+//      issues {"cmd":"reload"}; concurrent clients pipeline scoring requests
+//      and every single one must get a well-formed scored response — zero
+//      protocol errors, zero drops.
+//
+// Emits BENCH_stream_drift.json (git-sha stamped) and exits 1 if any gate
+// fails, which is what the CI stream-smoke job asserts. FRAC_BENCH_SCALE
+// shrinks the cohort as in the other benches.
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "bench_common.hpp"
+#include "bench_json.hpp"
+#include "data/expression_generator.hpp"
+#include "frac/frac.hpp"
+#include "ml/metrics.hpp"
+#include "serve/json.hpp"
+#include "serve/model_cache.hpp"
+#include "serve/socket_server.hpp"
+#include "stream/drift.hpp"
+#include "util/stopwatch.hpp"
+
+namespace frac::benchtool {
+namespace {
+
+int connect_to(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + sent, data.size() - sent);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_line(int fd, std::string* carry, std::string* line) {
+  for (;;) {
+    const std::size_t nl = carry->find('\n');
+    if (nl != std::string::npos) {
+      *line = carry->substr(0, nl);
+      carry->erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) return false;
+    carry->append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string render_request(long long id, std::span<const double> row) {
+  std::string line = "{\"id\":" + std::to_string(id) + ",\"values\":[";
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    if (j != 0) line.push_back(',');
+    line += is_missing(row[j]) ? "null" : format_g17(row[j]);
+  }
+  line += "]}\n";
+  return line;
+}
+
+/// A scored response for `id`: has the echoed id and an "ns" field.
+bool well_formed_score(const std::string& line, long long id) {
+  try {
+    const JsonValue response = parse_json(line);
+    if (!response.is_object() || response.find("error") != nullptr) return false;
+    const JsonValue* id_field = response.find("id");
+    if (id_field == nullptr || !id_field->is_number() ||
+        static_cast<long long>(id_field->as_number()) != id) {
+      return false;
+    }
+    return response.find("ns") != nullptr;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+int run() {
+  const double scale = std::max(0.2, bench_scale());
+  ExpressionModelConfig cohort;
+  cohort.features = std::max<std::size_t>(40, static_cast<std::size_t>(160.0 * scale));
+  cohort.modules = 6;
+  cohort.genes_per_module = std::max<std::size_t>(4, cohort.features / 20);
+  cohort.disease_modules = 2;
+  // Saturated disease signal: the AUC-parity gate compares warm vs cold at
+  // 1e-3, which is only meaningful when both competent models actually
+  // separate the cohort instead of ranking noise.
+  cohort.anomaly_mix = 10.0;
+  cohort.seed = 611;
+
+  const std::size_t n_train = 200;
+  const std::size_t n_calib = 100;
+  const std::size_t n_pre = 120;
+  const std::size_t n_post = 200;
+
+  DriftConfig drift_config;
+  drift_config.alpha = 1e-3;
+  drift_config.min_samples = 32;
+  // Detection must land within one min_samples-span past the earliest legal
+  // alarm: the shift is large, so the e-process crosses log(1/alpha) almost
+  // as soon as the monitor is allowed to fire.
+  const std::size_t lag_budget = 2 * drift_config.min_samples;
+
+  // ---- Phase A: train pre-shift, arm the monitor on held-out NS ----------
+  const ExpressionModel gen(cohort);
+  Rng rng(1611);
+  const Dataset train = gen.sample(n_train, Label::kNormal, rng);
+  const Dataset calib = gen.sample(n_calib, Label::kNormal, rng);
+
+  FracConfig config;
+  config.retain_duals = true;
+  std::printf("phase A: training %zu-feature FRaC (retain_duals) on %zu samples...\n",
+              cohort.features, n_train);
+  const FracModel model = FracModel::train(train, config, pool());
+  DriftMonitor monitor(model.score(calib, pool()), drift_config);
+
+  // ---- Phase B: stream pre-shift (quiet) then shifted (alarm) ------------
+  const Dataset pre = gen.sample(n_pre, Label::kNormal, rng);
+  ExpressionModelConfig shifted_cohort = cohort;
+  // The latent mean shift must survive the predictors' compensation: a gene's
+  // in-module peers shift consistently with it, so the conditional models
+  // absorb most of the shift and only the regression-dilution leftover
+  // reaches the residuals. A large latent step leaves a clear NS excess.
+  shifted_cohort.latent_shift = 2.5;
+  const ExpressionModel shifted_gen(shifted_cohort);
+  Rng shifted_rng(2611);
+  const Dataset post = shifted_gen.sample(n_post, Label::kNormal, shifted_rng);
+
+  std::size_t false_alarms = 0;
+  for (const double ns : model.score(pre, pool())) {
+    if (monitor.observe(ns)) ++false_alarms;
+  }
+  std::size_t detection_lag = n_post + 1;  // sentinel: never fired
+  {
+    const std::vector<double> post_ns = model.score(post, pool());
+    for (std::size_t i = 0; i < post_ns.size(); ++i) {
+      if (monitor.observe(post_ns[i])) {
+        detection_lag = i + 1;  // samples into the shifted stream
+        break;
+      }
+    }
+  }
+  std::printf("phase B: %zu false alarms over %zu in-distribution samples; "
+              "detection lag %zu (budget %zu)\n",
+              false_alarms, n_pre, detection_lag, drift_config.min_samples + lag_budget);
+
+  // ---- Phase C: warm vs cold retrain on the shifted rows ------------------
+  // Best-of-3 wall times: the gate compares solver work, not scheduler noise.
+  double cold_seconds = 1e300;
+  double warm_seconds = 1e300;
+  FracModel cold = FracModel::train(post, config, pool());  // warm-up + result
+  FracModel warm = model.warm_retrain(post, config, pool());
+  for (int r = 0; r < 3; ++r) {
+    const WallStopwatch cold_clock;
+    cold = FracModel::train(post, config, pool());
+    cold_seconds = std::min(cold_seconds, cold_clock.seconds());
+    const WallStopwatch warm_clock;
+    warm = model.warm_retrain(post, config, pool());
+    warm_seconds = std::min(warm_seconds, warm_clock.seconds());
+  }
+  const double warm_speedup = cold_seconds / warm_seconds;
+
+  const Dataset labeled = shifted_gen.sample_cohort(150, 150, shifted_rng);
+  const double auc_cold = auc(cold.score(labeled, pool()), labeled.labels());
+  const double auc_warm = auc(warm.score(labeled, pool()), labeled.labels());
+  const double auc_delta = std::abs(auc_warm - auc_cold);
+  std::printf("phase C: cold %.3fs  warm %.3fs  speedup %.2fx  AUC cold %.4f warm %.4f "
+              "(delta %.2g)\n",
+              cold_seconds, warm_seconds, warm_speedup, auc_cold, auc_warm, auc_delta);
+
+  // ---- Phase D: hot swap under load --------------------------------------
+  const std::string rollout_path = "stream_drift_rollout.fracmdl";
+  model.save_file(rollout_path, ModelFormat::kBinary);
+
+  SocketServerOptions options;
+  options.port = 0;
+  options.serve.default_model = rollout_path;
+  SocketServer server(options);
+  ModelCache cache(4);
+  std::thread server_thread([&] { (void)server.run(cache, pool()); });
+
+  constexpr std::size_t kClients = 8;
+  constexpr std::size_t kRequestsEach = 120;
+  constexpr int kReloads = 16;
+  const Matrix& rows = labeled.values();
+  std::atomic<std::size_t> protocol_errors{0};
+  std::atomic<std::size_t> answered{0};
+  std::atomic<int> reloads_ok{0};
+  std::atomic<bool> publishing{true};
+
+  std::thread publisher([&] {
+    for (int k = 0; k < kReloads; ++k) {
+      (k % 2 == 0 ? warm : model).save_file(rollout_path, ModelFormat::kBinary);
+      const int fd = connect_to(server.port());
+      if (fd < 0) break;
+      std::string carry, response;
+      if (send_all(fd, "{\"id\":0,\"cmd\":\"reload\"}\n") && read_line(fd, &carry, &response) &&
+          response.find("\"reload\"") != std::string::npos) {
+        reloads_ok.fetch_add(1);
+      }
+      ::close(fd);
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    }
+    publishing.store(false);
+  });
+
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const int fd = connect_to(server.port());
+      if (fd < 0) {
+        protocol_errors.fetch_add(kRequestsEach);
+        return;
+      }
+      std::string carry, response;
+      for (std::size_t k = 0; k < kRequestsEach; ++k) {
+        const long long id = static_cast<long long>(c * kRequestsEach + k);
+        const auto row = rows.row((c + k) % rows.rows());
+        if (!send_all(fd, render_request(id, row)) || !read_line(fd, &carry, &response)) {
+          protocol_errors.fetch_add(kRequestsEach - k);
+          break;
+        }
+        if (well_formed_score(response, id)) {
+          answered.fetch_add(1);
+        } else {
+          protocol_errors.fetch_add(1);
+        }
+      }
+      ::close(fd);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  publisher.join();
+  server.request_stop();
+  server_thread.join();
+  std::remove(rollout_path.c_str());
+
+  const std::size_t total_requests = kClients * kRequestsEach;
+  std::printf("phase D: %zu/%zu requests answered across %d reloads, %zu protocol errors\n",
+              answered.load(), total_requests, reloads_ok.load(), protocol_errors.load());
+
+  JsonBenchWriter json;
+  json.add({"stream_drift",
+            {{"features", static_cast<double>(cohort.features)},
+             {"baseline_size", static_cast<double>(n_calib)},
+             {"stream_pre", static_cast<double>(n_pre)},
+             {"stream_post", static_cast<double>(n_post)},
+             {"false_alarms", static_cast<double>(false_alarms)},
+             {"detection_lag", static_cast<double>(detection_lag)},
+             {"lag_budget", static_cast<double>(drift_config.min_samples + lag_budget)},
+             {"cold_seconds", cold_seconds},
+             {"warm_seconds", warm_seconds},
+             {"warm_speedup", warm_speedup},
+             {"auc_cold", auc_cold},
+             {"auc_warm", auc_warm},
+             {"auc_delta", auc_delta},
+             {"hotswap_requests", static_cast<double>(total_requests)},
+             {"hotswap_answered", static_cast<double>(answered.load())},
+             {"hotswap_reloads", static_cast<double>(reloads_ok.load())},
+             {"protocol_errors", static_cast<double>(protocol_errors.load())},
+             {"threads", static_cast<double>(pool().thread_count())}}});
+  if (!json.write("BENCH_stream_drift.json")) {
+    std::cerr << "warning: could not write BENCH_stream_drift.json\n";
+  }
+
+  int failures = 0;
+  const auto gate = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      std::cerr << "FAIL: " << what << "\n";
+      ++failures;
+    }
+  };
+  gate(false_alarms == 0, "drift monitor false-alarmed on in-distribution data");
+  gate(detection_lag <= drift_config.min_samples + lag_budget,
+       "drift detected too late (or never)");
+  gate(warm_speedup >= 2.0, "warm retrain is not >= 2x faster than cold");
+  gate(auc_delta <= 1e-3, "warm retrain drifted from cold AUC by > 1e-3");
+  gate(reloads_ok.load() >= 1, "no reload ever succeeded");
+  gate(answered.load() == total_requests, "hot swap dropped in-flight requests");
+  gate(protocol_errors.load() == 0, "protocol errors during hot swap");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace frac::benchtool
+
+int main() { return frac::benchtool::run(); }

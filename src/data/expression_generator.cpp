@@ -30,6 +30,9 @@ void ExpressionModelConfig::validate() const {
     throw std::invalid_argument("expression model: bad loading range");
   }
   if (noise_sd < 0.0) throw std::invalid_argument("expression model: negative noise_sd");
+  if (!std::isfinite(latent_shift)) {
+    throw std::invalid_argument("expression model: non-finite latent_shift");
+  }
 }
 
 ExpressionModel::ExpressionModel(const ExpressionModelConfig& config) : config_(config) {
@@ -83,6 +86,11 @@ Dataset ExpressionModel::sample(std::size_t count, Label label, Rng& rng,
   std::vector<double> z(config_.modules);
   for (std::size_t r = 0; r < count; ++r) {
     for (double& zm : z) zm = rng.normal();
+    // Guarded so latent_shift == 0.0 stays bit-identical (never perturbs a
+    // -0.0 draw); the RNG sequence is unchanged either way.
+    if (config_.latent_shift != 0.0) {
+      for (double& zm : z) zm += config_.latent_shift;
+    }
     // The disease program activates only in *penetrant* anomalous samples:
     // latent magnitude ≈ 1 (so detectability is set by the amplitude a, not
     // by per-sample luck), random sign.

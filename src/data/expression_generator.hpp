@@ -59,6 +59,13 @@ struct ExpressionModelConfig {
   /// marginal variance — the hematopoiesis-like regime where entropy
   /// filtering shines.
   bool entropy_informative = false;
+  /// Additive mean shift applied to every module latent z_m — the covariate
+  /// *drift* knob for streaming tests. A shifted cohort keeps the
+  /// within-module regression structure (slopes unchanged) while moving the
+  /// population, so a drift monitor sees rising NS and warm retraining
+  /// re-converges quickly. 0 (default) leaves sampling bit-identical to the
+  /// unshifted generator.
+  double latent_shift = 0.0;
   std::uint64_t seed = 1;             ///< fixes loadings/module assignment
 
   /// Throws std::invalid_argument if the module layout does not fit.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numbers>
 #include <numeric>
 #include <stdexcept>
 
@@ -86,6 +87,257 @@ FracModel FracModel::train(const Dataset& train, const FracConfig& config, Threa
 
 FracModel FracModel::train_with_plan(const Dataset& train, std::vector<FeaturePlan> plan,
                                      const FracConfig& config, ThreadPool& pool) {
+  return train_impl(train, std::move(plan), config, pool, /*warm_duals=*/nullptr);
+}
+
+namespace {
+
+/// Clones a trained predictor via an in-memory archive round trip: the
+/// predictor hierarchy has no virtual clone, and the serialize codec is
+/// already the canonical full-state copy.
+std::unique_ptr<FeaturePredictor> clone_predictor(const FeaturePredictor& predictor) {
+  ArchiveWriter writer;
+  writer.begin_section("clone");
+  predictor.serialize(writer);
+  writer.end_section();
+  const std::string image = writer.bytes();
+  ArchiveReader reader(std::as_bytes(std::span<const char>(image.data(), image.size())),
+                       "predictor clone", /*borrowed=*/false);
+  reader.open_section("clone");
+  return deserialize_predictor(reader);
+}
+
+}  // namespace
+
+FracModel FracModel::warm_retrain(const Dataset& train, const FracConfig& config,
+                                  ThreadPool& pool) const {
+  if (!(train.schema() == schema_)) {
+    throw std::invalid_argument(
+        "FracModel::warm_retrain: dataset schema does not match the trained model");
+  }
+  if (!has_dual_state()) {
+    throw std::invalid_argument(
+        "FracModel::warm_retrain: model carries no dual state (train with "
+        "FracConfig::retain_duals, or load an archive with a dual_state section)");
+  }
+  if (train.sample_count() < 2) {
+    throw std::invalid_argument("FracModel::warm_retrain: need at least 2 window samples");
+  }
+
+  const CpuStopwatch cpu;
+  const TraceSpan retrain_span(
+      "frac.warm_retrain",
+      trace_armed() ? format("{\"units\": %zu, \"samples\": %zu}", units_.size(),
+                             train.sample_count())
+                    : std::string());
+  FracModel model;
+  model.schema_ = schema_;
+  model.config_ = config;
+  model.arities_ = arities_;
+  // The kept predictors were trained in this model's standardization frame,
+  // so the window must be expressed there too — the warm model inherits the
+  // old scaler rather than fitting one on the window, and refit units train
+  // in the same frame so the result is internally consistent (and in turn
+  // warm-retrainable without a frame change).
+  model.scaler_ = scaler_;
+  Matrix values = train.values();
+  model.scaler_.transform(values);
+
+  const std::size_t unit_count = units_.size();
+  model.units_.resize(unit_count);
+  // Pre-size the dual slots so the width-one train_units_range calls below
+  // never resize concurrently.
+  if (config.retain_duals) model.unit_duals_.resize(unit_count);
+  const detail::MatrixUnitSource source(values);
+
+  // Audition every unit on the window. The retained predictor never trained
+  // on these rows, so its residuals there are unbiased — a unit whose mean
+  // surprisal stays within warm_keep_margin of its error model's own
+  // calibrated expectation kept its regression structure through the drift:
+  // clone it and recalibrate the error model + entropy on the window, no
+  // solver pass needed. Everything else falls through to a full dual-seeded
+  // refit. All decisions are per-unit arithmetic in fixed order, so the
+  // keep/refit split is identical for any thread count.
+  std::vector<std::uint8_t> refit(unit_count, 1);
+  parallel_for(pool, 0, unit_count, [&](std::size_t u) {
+    const Unit& prev = units_[u];
+    Unit& next = model.units_[u];
+    if (prev.predictor == nullptr) return;  // skipped/demoted: try a fresh fit
+    // KDE expectations have no closed form, and an error-kind change must
+    // re-derive CV residuals — both refit.
+    if (!prev.categorical && (prev.error_kind == ContinuousErrorKind::kKde ||
+                              config.continuous_error != prev.error_kind)) {
+      return;
+    }
+    try {
+      std::vector<std::size_t> valid;
+      std::vector<double> target_col;
+      source.target_column(prev.plan.target, valid, target_col);
+      // Too thin a window to judge (or to retrain): let the standard loop's
+      // own guards decide what this unit becomes.
+      if (valid.size() < 4) return;
+      Matrix x(valid.size(), prev.plan.inputs.size());
+      source.gather(valid, prev.plan.inputs, x);
+
+      double expected = 0.0;
+      double mean_surprisal = 0.0;
+      std::vector<double> residuals;
+      std::vector<std::uint32_t> true_codes, pred_codes;
+      if (prev.categorical) {
+        const double arity = static_cast<double>(arities_[prev.plan.target]);
+        std::size_t total = 0;
+        double weighted = 0.0;
+        for (std::uint32_t t = 0; t < prev.confusion.arity(); ++t) {
+          for (std::uint32_t p = 0; p < prev.confusion.arity(); ++p) {
+            const std::size_t n = prev.confusion.count(t, p);
+            total += n;
+            weighted += static_cast<double>(n) * prev.confusion.surprisal(t, p);
+          }
+        }
+        if (total == 0) return;  // no fitted cells to expect against
+        expected = weighted / static_cast<double>(total);
+        for (std::size_t i = 0; i < valid.size(); ++i) {
+          const double truth = target_col[i];
+          if (truth < 0.0 || truth >= arity || truth != std::floor(truth)) return;
+          const double predicted = prev.predictor->predict(x.row(i));
+          if (predicted < 0.0 || predicted >= arity || predicted != std::floor(predicted)) {
+            return;
+          }
+          true_codes.push_back(static_cast<std::uint32_t>(truth));
+          pred_codes.push_back(static_cast<std::uint32_t>(predicted));
+          mean_surprisal += prev.confusion.surprisal(true_codes.back(), pred_codes.back());
+        }
+      } else {
+        // E[-log N(r; mu, sd)] over r ~ N(mu, sd): log(sd sqrt(2 pi)) + 1/2.
+        expected = std::log(prev.gaussian.sd() * std::sqrt(2.0 * std::numbers::pi)) + 0.5;
+        residuals.resize(valid.size());
+        for (std::size_t i = 0; i < valid.size(); ++i) {
+          const double predicted = prev.predictor->predict(x.row(i));
+          if (!std::isfinite(predicted)) return;
+          residuals[i] = target_col[i] - predicted;
+          mean_surprisal += prev.gaussian.surprisal(residuals[i]);
+        }
+      }
+      mean_surprisal /= static_cast<double>(valid.size());
+      if (!std::isfinite(mean_surprisal) ||
+          mean_surprisal - expected > config.warm_keep_margin) {
+        return;
+      }
+
+      // Keep: same predictor, error model + entropy recalibrated on the
+      // window (no CV needed — see the unbiasedness argument above).
+      next.plan = prev.plan;
+      next.categorical = prev.categorical;
+      next.error_kind = prev.error_kind;
+      if (prev.categorical) {
+        next.confusion.fit(true_codes, pred_codes, arities_[prev.plan.target],
+                           config.confusion_alpha);
+      } else {
+        next.gaussian.fit(residuals, config.min_error_sd);
+      }
+      const double entropy =
+          feature_entropy(target_col, schema_[prev.plan.target], config.entropy);
+      next.entropy = std::isfinite(entropy) ? entropy : prev.entropy;
+      next.predictor = clone_predictor(*prev.predictor);
+      if (config.retain_duals) model.unit_duals_[u] = unit_duals_[u];
+      refit[u] = 0;
+    } catch (const std::exception&) {
+      // Audition failures are not verdicts; the standard loop (with its own
+      // failure isolation) decides what the unit becomes.
+      next.predictor = nullptr;
+      refit[u] = 1;
+    }
+  });
+
+  std::vector<std::size_t> refit_units;
+  for (std::size_t u = 0; u < unit_count; ++u) {
+    if (refit[u]) refit_units.push_back(u);
+  }
+  // Each refit unit re-enters the standard training loop as a width-one
+  // range. Per-unit RNG streams are salted by *global* unit index, so a
+  // refit unit trains exactly as a full retrain of that unit would (in the
+  // inherited frame), for any thread count and any keep/refit split.
+  std::vector<detail::UnitTrainOutcome> outcomes(refit_units.size());
+  parallel_for(pool, 0, refit_units.size(), [&](std::size_t i) {
+    const std::size_t u = refit_units[i];
+    std::vector<FeaturePlan> one{units_[u].plan};
+    const std::vector<std::vector<double>> warm{unit_duals_[u]};
+    train_units_range(model, source, one, /*unit_lo=*/u, /*slot_base=*/0, config, pool,
+                      outcomes[i], &warm);
+  });
+
+  detail::UnitTrainOutcome outcome;
+  for (detail::UnitTrainOutcome& one : outcomes) {
+    outcome.models_trained += one.models_trained;
+    outcome.max_unit_workspace = std::max(outcome.max_unit_workspace, one.max_unit_workspace);
+    for (UnitFailure& failure : one.failures) outcome.failures.push_back(std::move(failure));
+    outcome.unit_seconds.insert(outcome.unit_seconds.end(), one.unit_seconds.begin(),
+                                one.unit_seconds.end());
+  }
+
+  model.report_.cpu_seconds = cpu.seconds();
+  model.report_.models_trained = outcome.models_trained;
+  model.report_.train_workspace_bytes = outcome.max_unit_workspace;
+  for (UnitFailure& failure : outcome.failures) {
+    model.report_.failures[failure.category] += 1;
+    model.failures_.push_back(std::move(failure));
+  }
+  std::size_t retained_bytes = 0;
+  for (const Unit& unit : model.units_) {
+    if (unit.predictor == nullptr) continue;
+    retained_bytes += unit.predictor->storage_bytes();
+    ++model.report_.models_retained;
+  }
+  if (!model.failures_.empty()) {
+    FRAC_WARN << "FracModel::warm_retrain: " << model.failures_.size() << " of "
+              << model.units_.size() << " refit units demoted ("
+              << model.report_.failures.summary() << "); NS sums over the survivors";
+  }
+  if (model.report_.models_retained == 0 && !model.failures_.empty()) {
+    throw NumericError(format("FracModel::warm_retrain: all %zu units failed (%s)",
+                              model.units_.size(), model.report_.failures.summary().c_str()));
+  }
+  model.report_.peak_bytes = train.bytes() + retained_bytes;
+
+  // Kept units were audited, not trained: frac.units_trained /
+  // frac.models_trained count only the refit side, the warm counters carry
+  // the keep/refit split.
+  const std::size_t kept = unit_count - refit_units.size();
+  const std::size_t refit_retained =
+      model.report_.models_retained > kept ? model.report_.models_retained - kept : 0;
+  metrics_counter("frac.warm.units_kept").add(kept);
+  metrics_counter("frac.warm.units_refit").add(refit_units.size());
+  metrics_counter("frac.units_trained").add(refit_retained);
+  metrics_counter("frac.models_trained").add(model.report_.models_trained);
+  metrics_counter("frac.cv_folds")
+      .add(outcome.models_trained > refit_retained ? outcome.models_trained - refit_retained
+                                                   : 0);
+  for (const UnitFailure& failure : model.failures_) {
+    metrics_counter(std::string("frac.units_failed.") +
+                    failure_category_name(failure.category))
+        .add();
+  }
+  metrics_gauge("frac.train_workspace_bytes")
+      .set_max(static_cast<double>(model.report_.train_workspace_bytes));
+  metrics_gauge("frac.peak_bytes").set_max(static_cast<double>(model.report_.peak_bytes));
+  {
+    Histogram& unit_hist = metrics_histogram("frac.unit_train_seconds");
+    for (const double s : outcome.unit_seconds) unit_hist.observe(s);
+  }
+  FRAC_DEBUG << "warm_retrain: kept " << kept << "/" << unit_count << " units, refit "
+             << refit_units.size();
+  return model;
+}
+
+bool FracModel::has_dual_state() const noexcept {
+  if (unit_duals_.size() != units_.size()) return false;
+  return std::any_of(unit_duals_.begin(), unit_duals_.end(),
+                     [](const std::vector<double>& d) { return !d.empty(); });
+}
+
+FracModel FracModel::train_impl(const Dataset& train, std::vector<FeaturePlan> plan,
+                                const FracConfig& config, ThreadPool& pool,
+                                const std::vector<std::vector<double>>* warm_duals) {
   if (train.sample_count() < 2) {
     throw std::invalid_argument("FracModel::train: need at least 2 training samples");
   }
@@ -130,7 +382,8 @@ FracModel FracModel::train_with_plan(const Dataset& train, std::vector<FeaturePl
   model.units_.resize(plan.size());
   detail::UnitTrainOutcome outcome;
   const detail::MatrixUnitSource source(values);
-  train_units_range(model, source, plan, /*unit_lo=*/0, /*slot_base=*/0, config, pool, outcome);
+  train_units_range(model, source, plan, /*unit_lo=*/0, /*slot_base=*/0, config, pool, outcome,
+                    warm_duals);
 
   // Resource accounting: data + retained models. models_trained counts the
   // predictors the unit actually trained — min(cv_folds, defined rows) fold
@@ -188,8 +441,14 @@ FracModel FracModel::train_with_plan(const Dataset& train, std::vector<FeaturePl
 void FracModel::train_units_range(FracModel& model, const detail::UnitColumnSource& source,
                                   std::vector<FeaturePlan>& plan, std::size_t unit_lo,
                                   std::size_t slot_base, const FracConfig& config,
-                                  ThreadPool& pool, detail::UnitTrainOutcome& outcome) {
+                                  ThreadPool& pool, detail::UnitTrainOutcome& outcome,
+                                  const std::vector<std::vector<double>>* warm_duals) {
   const std::size_t count = plan.size();
+  // Dual-state slots are per unit, so the tasks fill them race-free; the
+  // sharded trainer calls in repeatedly with the same model, hence resize.
+  if (config.retain_duals && model.unit_duals_.size() != model.units_.size()) {
+    model.unit_duals_.resize(model.units_.size());
+  }
   // Pre-split RNG streams, salted by *global* unit index, so results are
   // identical for any thread count and any sharding of the unit range.
   // split() advances the master stream, so spin it from unit 0 even when
@@ -283,6 +542,15 @@ void FracModel::train_units_range(FracModel& model, const detail::UnitColumnSour
       // fail.
       maybe_inject(FaultSite::kPredictorTrain, u);
 
+      // Warm retraining: the previous model's duals for this unit (plan-
+      // aligned). They index the *previous* cohort's valid rows; the solvers
+      // map them onto the refreshed cohort positionally (truncate/zero-pad),
+      // which is exact for append-only windows and harmless otherwise. Warm
+      // seeds consume no RNG draws, so a null/empty seed leaves the cold
+      // path bit-identical.
+      std::span<const double> unit_warm;
+      if (warm_duals != nullptr && i < warm_duals->size()) unit_warm = (*warm_duals)[i];
+
       // Cross-validated (truth, prediction) pairs for the error model.
       // Categorical targets use stratified folds so rare categories appear
       // in (almost) every training fold.
@@ -315,11 +583,28 @@ void FracModel::train_units_range(FracModel& model, const detail::UnitColumnSour
         for (std::size_t j = 0; j < train_rows.size(); ++j) {
           y_fold[j] = target_col[train_rows[j]];
         }
+        // Row-map the warm seed onto the fold's training subset: fold entry j
+        // seeds from the previous duals' entry for design-matrix row
+        // train_rows[j], per class-major block for classifiers. Rows past the
+        // previous cohort start cold (0).
+        std::vector<double> warm_fold;
+        if (!unit_warm.empty()) {
+          const std::size_t blocks = unit.categorical ? model.arities_[target] : 1;
+          const std::size_t stride = unit_warm.size() / blocks;
+          warm_fold.assign(blocks * train_rows.size(), 0.0);
+          for (std::size_t bkt = 0; bkt < blocks; ++bkt) {
+            for (std::size_t j = 0; j < train_rows.size(); ++j) {
+              if (train_rows[j] < stride) {
+                warm_fold[bkt * train_rows.size() + j] = unit_warm[bkt * stride + train_rows[j]];
+              }
+            }
+          }
+        }
         const std::unique_ptr<FeaturePredictor> cv_model =
             unit.categorical
                 ? train_classifier(x_fold, y_fold, model.arities_[target], input_arities,
-                                   pred_config)
-                : train_regressor(x_fold, y_fold, input_arities, pred_config);
+                                   pred_config, warm_fold)
+                : train_regressor(x_fold, y_fold, input_arities, pred_config, warm_fold);
         for (const std::size_t j : fold) {
           const double predicted = cv_model->predict(x.row(j));
           if (unit.categorical) {
@@ -366,13 +651,18 @@ void FracModel::train_units_range(FracModel& model, const detail::UnitColumnSour
       unit.predictor =
           unit.categorical
               ? train_classifier(x, target_col, model.arities_[target], input_arities,
-                                 pred_config)
-              : train_regressor(x, target_col, input_arities, pred_config);
+                                 pred_config, unit_warm)
+              : train_regressor(x, target_col, input_arities, pred_config, unit_warm);
       unit_models_trained[i] = fold_models + 1;
+      if (config.retain_duals) {
+        const std::span<const double> duals = unit.predictor->dual_state();
+        model.unit_duals_[u - slot_base].assign(duals.begin(), duals.end());
+      }
     } catch (const std::exception& e) {
       // Demote: no predictor means the unit contributes nothing to NS. A
       // half-trained error model is unreachable without the predictor.
       unit.predictor = nullptr;
+      if (u - slot_base < model.unit_duals_.size()) model.unit_duals_[u - slot_base].clear();
       unit_models_trained[i] = 0;
       unit_failures[i] = UnitFailure{u, target, classify_failure(e), e.what()};
       unit_failed[i] = 1;
@@ -658,6 +948,19 @@ void FracModel::serialize(ArchiveWriter& archive) const {
   }
   archive.end_section();
 
+  // Optional per-unit dual state (format v3, FracConfig::retain_duals): the
+  // retained solvers' dual variables, one array per unit (empty for tree,
+  // skipped, and demoted units) — warm_retrain()'s seed. Models without it
+  // keep stamping v2, so default archives stay readable by the previous
+  // release.
+  if (has_dual_state()) {
+    archive.begin_section("dual_state");
+    archive.write_u64(units_.size());
+    for (const std::vector<double>& duals : unit_duals_) archive.write_f64_array(duals);
+    archive.end_section();
+    archive.set_format_version(3);
+  }
+
   // Optional f32 weight pack (format v3, `frac convert --f32`): the fused
   // pack's scattered rows narrowed to f32, stored 8-aligned so mmap'd loads
   // serve straight from the file. Models without one keep stamping v2, so
@@ -797,6 +1100,24 @@ FracModel FracModel::deserialize(ArchiveReader& archive) {
     }
     if (archive.borrowed()) model.f32_view_ = pack;
     else model.f32_owned_.assign(pack.begin(), pack.end());
+  }
+
+  // Optional format-v3 dual-state section: per-unit solver duals for
+  // warm_retrain(). Always copied out (never borrowed): retraining outlives
+  // any mmap the archive came from.
+  if (archive.has_section("dual_state")) {
+    archive.open_section("dual_state");
+    const std::uint64_t dual_units = archive.read_u64();
+    if (dual_units != units) {
+      archive.fail(format("dual_state covers %llu units, model has %llu",
+                          static_cast<unsigned long long>(dual_units),
+                          static_cast<unsigned long long>(units)));
+    }
+    model.unit_duals_.resize(units);
+    for (std::uint64_t u = 0; u < units; ++u) {
+      model.unit_duals_[u] = archive.read_f64_vector();
+    }
+    archive.expect_section_end();
   }
   return model;
 }

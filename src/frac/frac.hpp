@@ -68,6 +68,17 @@ struct FracConfig {
   EntropyConfig entropy;           ///< KDE grid for continuous entropy
   bool standardize = true;         ///< standardize real features on train stats
   std::uint64_t seed = 23;         ///< CV fold assignment / per-unit streams
+  /// Keep each retained SVM solver's dual variables on the model, enabling
+  /// warm_retrain() and the optional dual_state archive section (format v3).
+  /// Off by default: archives stay v2 and bit-identical to prior releases.
+  bool retain_duals = false;
+  /// warm_retrain() keep-or-refit margin, in nats of mean excess surprisal:
+  /// a unit whose window residuals run hotter than its error model's own
+  /// calibrated expectation by more than this is refit from scratch
+  /// (dual-seeded); anything closer keeps its predictor and only
+  /// recalibrates. Mean-surprisal sampling noise is ~sqrt(0.5/window_rows)
+  /// nats for a Gaussian unit, so the default is ~3 sigma at 30 rows.
+  double warm_keep_margin = 0.25;
 };
 
 /// How linear units are evaluated at scoring time. Both modes share the
@@ -103,6 +114,36 @@ class FracModel {
   /// sum Σ_i Σ_j runs over multiple predictors per feature).
   static FracModel train_with_plan(const Dataset& train, std::vector<FeaturePlan> plan,
                                    const FracConfig& config, ThreadPool& pool);
+
+  /// Selectively retrains this model's plan on a refreshed cohort
+  /// (streaming drift recovery: the cohort shifted, the regression
+  /// structure mostly didn't). Each unit is first auditioned on the new
+  /// window — the retained predictor never trained on those rows, so its
+  /// residuals there are unbiased. Units whose mean surprisal stays within
+  /// config.warm_keep_margin of the error model's calibrated expectation
+  /// keep their predictor and only recalibrate (error model + entropy refit
+  /// on the window); units that run hotter — plus demoted, KDE, and
+  /// error-kind-mismatched units — are fully refit through the standard
+  /// per-unit training loop, dual-seeded from this model's retained alphas.
+  /// The window is standardized with *this* model's scaler (kept predictors
+  /// live in that frame), which the result inherits. The result is a fully
+  /// independent model; pass config.retain_duals to keep it
+  /// warm-retrainable in turn. Requires has_dual_state() and a dataset with
+  /// the training schema.
+  FracModel warm_retrain(const Dataset& train, const FracConfig& config, ThreadPool& pool) const;
+
+  /// True when the model carries per-unit solver duals — trained with
+  /// FracConfig::retain_duals or restored from a dual_state archive section —
+  /// i.e. warm_retrain() is available.
+  bool has_dual_state() const noexcept;
+
+  /// Unit `unit`'s retained solver duals (SVR: one β per training row;
+  /// one-vs-rest SVC: class-major α). Empty for trees, demoted units, and
+  /// models without dual state.
+  std::span<const double> unit_duals(std::size_t unit) const {
+    return unit < unit_duals_.size() ? std::span<const double>(unit_duals_[unit])
+                                     : std::span<const double>{};
+  }
 
   /// NS score per test sample (higher = more anomalous). The test schema
   /// must equal the training schema. Defaults run the fused f64 path;
@@ -223,6 +264,13 @@ class FracModel {
   /// Legacy tagged-text parser behind load()'s format sniff.
   static FracModel load_text(std::istream& in);
 
+  /// train_with_plan/warm_retrain shared core. `warm_duals`, when non-null,
+  /// holds plan-aligned dual state from a previous model, fed through the
+  /// predictor factories to warm-start the SVM solvers.
+  static FracModel train_impl(const Dataset& train, std::vector<FeaturePlan> plan,
+                              const FracConfig& config, ThreadPool& pool,
+                              const std::vector<std::vector<double>>* warm_duals);
+
   /// The per-unit training loop shared by train_with_plan and the sharded
   /// trainer: trains plan.size() units whose *global* indices start at
   /// unit_lo, writing Unit slots model.units_[unit_lo - slot_base ...].
@@ -230,16 +278,22 @@ class FracModel {
   /// keyed by global unit index, so any tiling of [0, U) into ranges
   /// produces bit-identical units (the shard bit-identity guarantee).
   /// Consumes `plan` (elements are moved into the units).
+  /// `warm_duals`, when non-null, is plan-aligned (entry i seeds plan[i]'s
+  /// solvers); the sharded trainer never passes it.
   static void train_units_range(FracModel& model, const detail::UnitColumnSource& source,
                                 std::vector<FeaturePlan>& plan, std::size_t unit_lo,
                                 std::size_t slot_base, const FracConfig& config,
-                                ThreadPool& pool, detail::UnitTrainOutcome& outcome);
+                                ThreadPool& pool, detail::UnitTrainOutcome& outcome,
+                                const std::vector<std::vector<double>>* warm_duals = nullptr);
 
   Schema schema_;
   std::vector<std::uint32_t> arities_;  // per feature; 0 = real
   StandardScaler scaler_;
   FracConfig config_;
   std::vector<Unit> units_;
+  // Per-unit retained solver duals (FracConfig::retain_duals): the
+  // warm_retrain() seed, persisted as the optional dual_state section.
+  std::vector<std::vector<double>> unit_duals_;
   ResourceReport report_;
   std::vector<UnitFailure> failures_;
   std::span<const float> f32_view_;   // borrowed f32 pack (mmap'd archives)

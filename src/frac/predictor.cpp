@@ -119,15 +119,17 @@ std::vector<std::uint32_t> top_inputs_by_weight(std::span<const double> w,
 class SvrPredictor final : public FeaturePredictor {
  public:
   SvrPredictor(MatrixView x, std::span<const double> y,
-               std::span<const std::uint32_t> arities, const LinearSvrConfig& config)
+               std::span<const std::uint32_t> arities, const LinearSvrConfig& config,
+               std::span<const double> warm = {})
       : arities_(arities.begin(), arities.end()), expander_(arities_) {
     // Zero-copy fast path: all-real NaN-free inputs need no expansion, so
     // the solver trains directly on the caller's (possibly row-subset) view.
+    // Duals are per training row, so the warm seed is expansion-agnostic.
     if (expander_.is_identity() && !has_missing_values(x)) {
-      model_.fit(x, y, config);
+      model_.fit(x, y, config, warm);
     } else {
       const Matrix expanded = expander_.expand(x);
-      model_.fit(expanded, y, config);
+      model_.fit(expanded, y, config, warm);
     }
   }
 
@@ -167,6 +169,8 @@ class SvrPredictor final : public FeaturePredictor {
     form.biases.push_back(model_.bias());
     return form;
   }
+
+  std::span<const double> dual_state() const override { return model_.duals(); }
 
  private:
   std::vector<std::uint32_t> arities_;
@@ -213,13 +217,14 @@ class TreePredictor final : public FeaturePredictor {
 class SvcPredictor final : public FeaturePredictor {
  public:
   SvcPredictor(MatrixView x, std::span<const double> y, std::uint32_t target_arity,
-               std::span<const std::uint32_t> arities, const LinearSvcConfig& config)
+               std::span<const std::uint32_t> arities, const LinearSvcConfig& config,
+               std::span<const double> warm = {})
       : arities_(arities.begin(), arities.end()), expander_(arities_) {
     if (expander_.is_identity() && !has_missing_values(x)) {
-      model_.fit(x, y, target_arity, config);
+      model_.fit(x, y, target_arity, config, warm);
     } else {
       const Matrix expanded = expander_.expand(x);
-      model_.fit(expanded, y, target_arity, config);
+      model_.fit(expanded, y, target_arity, config, warm);
     }
   }
 
@@ -262,6 +267,8 @@ class SvcPredictor final : public FeaturePredictor {
     }
     return form;
   }
+
+  std::span<const double> dual_state() const override { return model_.duals(); }
 
  private:
   std::vector<std::uint32_t> arities_;
@@ -307,13 +314,14 @@ std::unique_ptr<FeaturePredictor> load_predictor(std::istream& in) {
 
 std::unique_ptr<FeaturePredictor> train_regressor(MatrixView x, std::span<const double> y,
                                                   std::span<const std::uint32_t> arities,
-                                                  const PredictorConfig& config) {
+                                                  const PredictorConfig& config,
+                                                  std::span<const double> warm) {
   const TraceSpan span(
       "frac.predictor_train",
       trace_armed() ? format("{\"kind\": \"regressor\", \"rows\": %zu}", x.rows())
                     : std::string());
   if (config.regressor == RegressorKind::kLinearSvr) {
-    return std::make_unique<SvrPredictor>(x, y, arities, config.svr);
+    return std::make_unique<SvrPredictor>(x, y, arities, config.svr, warm);
   }
   return std::make_unique<TreePredictor>(x, y, arities, TreeTask::kRegression, 0, config.tree);
 }
@@ -321,7 +329,8 @@ std::unique_ptr<FeaturePredictor> train_regressor(MatrixView x, std::span<const 
 std::unique_ptr<FeaturePredictor> train_classifier(MatrixView x, std::span<const double> y,
                                                    std::uint32_t target_arity,
                                                    std::span<const std::uint32_t> arities,
-                                                   const PredictorConfig& config) {
+                                                   const PredictorConfig& config,
+                                                   std::span<const double> warm) {
   const TraceSpan span(
       "frac.predictor_train",
       trace_armed() ? format("{\"kind\": \"classifier\", \"rows\": %zu}", x.rows())
@@ -330,7 +339,7 @@ std::unique_ptr<FeaturePredictor> train_classifier(MatrixView x, std::span<const
     return std::make_unique<TreePredictor>(x, y, arities, TreeTask::kClassification,
                                            target_arity, config.tree);
   }
-  return std::make_unique<SvcPredictor>(x, y, target_arity, arities, config.svc);
+  return std::make_unique<SvcPredictor>(x, y, target_arity, arities, config.svc, warm);
 }
 
 }  // namespace frac

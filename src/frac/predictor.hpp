@@ -82,6 +82,13 @@ class FeaturePredictor {
   /// Linear predictors expose their weight rows here so scoring can fuse
   /// them into one GEMM; trees return nullopt and keep the per-unit walk.
   virtual std::optional<PredictorLinearForm> linear_form() const { return std::nullopt; }
+
+  /// The solver's dual variables from training, in training-row order (SVR:
+  /// β, one per row; one-vs-rest SVC: class-major α, arity·rows entries) —
+  /// the warm-start seed FracModel::warm_retrain persists and feeds back
+  /// through the train_* factories' `warm` parameter. Empty for trees and for
+  /// deserialized predictors (FracModel persists dual state separately).
+  virtual std::span<const double> dual_state() const { return {}; }
 };
 
 /// Reads back any predictor written by FeaturePredictor::serialize.
@@ -94,14 +101,20 @@ std::unique_ptr<FeaturePredictor> load_predictor(std::istream& in);
 /// `arities[j]` describes input column j (0 = real). Accepts a MatrixView,
 /// so CV folds train on row subsets of a shared design matrix zero-copy;
 /// all-real NaN-free inputs skip the 1-hot expansion copy entirely.
+/// `warm` optionally seeds an SVM solver's duals from a previous model's
+/// dual_state() (ignored by trees; empty = cold start, bit-identical to the
+/// pre-warm-start behavior).
 std::unique_ptr<FeaturePredictor> train_regressor(MatrixView x, std::span<const double> y,
                                                   std::span<const std::uint32_t> arities,
-                                                  const PredictorConfig& config);
+                                                  const PredictorConfig& config,
+                                                  std::span<const double> warm = {});
 
 /// Trains a classifier on rows of x against target codes in [0, arity).
+/// `warm` follows OneVsRestSvc::fit's class-major layout (see train_regressor).
 std::unique_ptr<FeaturePredictor> train_classifier(MatrixView x, std::span<const double> y,
                                                    std::uint32_t target_arity,
                                                    std::span<const std::uint32_t> arities,
-                                                   const PredictorConfig& config);
+                                                   const PredictorConfig& config,
+                                                   std::span<const double> warm = {});
 
 }  // namespace frac

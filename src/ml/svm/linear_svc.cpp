@@ -12,7 +12,8 @@
 
 namespace frac {
 
-void BinaryLinearSvc::fit(MatrixView x, std::span<const int> y, const LinearSvcConfig& config) {
+void BinaryLinearSvc::fit(MatrixView x, std::span<const int> y, const LinearSvcConfig& config,
+                          std::span<const double> warm) {
   const std::size_t n = x.rows();
   const std::size_t d = x.cols();
   if (n == 0) throw std::invalid_argument("BinaryLinearSvc::fit: empty training set");
@@ -27,6 +28,18 @@ void BinaryLinearSvc::fit(MatrixView x, std::span<const int> y, const LinearSvcC
   w_view_ = {};  // refitting an archived model reverts it to owned weights
   bias_ = 0.0;
   std::vector<double> alpha(n, 0.0);
+  // Warm start: seed α (clipped to the box) and rebuild w = Σ α_i y_i x̃_i.
+  if (!warm.empty()) {
+    const std::size_t seeded = std::min(n, warm.size());
+    for (std::size_t i = 0; i < seeded; ++i) {
+      const double a = std::clamp(warm[i], 0.0, config.c);
+      if (a == 0.0) continue;
+      alpha[i] = a;
+      const double ay = a * static_cast<double>(y[i]);
+      axpy(ay, x.row(i), w_);
+      if (config.fit_bias) bias_ += ay;
+    }
+  }
   std::vector<double> q_diag(n);
   for (std::size_t i = 0; i < n; ++i) {
     q_diag[i] = squared_norm(x.row(i)) + (config.fit_bias ? 1.0 : 0.0);
@@ -72,6 +85,7 @@ void BinaryLinearSvc::fit(MatrixView x, std::span<const int> y, const LinearSvcC
 
   support_vectors_ = static_cast<std::size_t>(
       std::count_if(alpha.begin(), alpha.end(), [](double a) { return a != 0.0; }));
+  duals_ = std::move(alpha);
 }
 
 double BinaryLinearSvc::decision(std::span<const double> x) const {
@@ -84,9 +98,12 @@ int BinaryLinearSvc::predict(std::span<const double> x) const {
 }
 
 void OneVsRestSvc::fit(MatrixView x, std::span<const double> codes, std::uint32_t arity,
-                       const LinearSvcConfig& config) {
+                       const LinearSvcConfig& config, std::span<const double> warm) {
   if (arity < 2) throw std::invalid_argument("OneVsRestSvc::fit: arity must be >= 2");
   binary_.assign(arity, BinaryLinearSvc{});
+  // Class-major warm layout (duals() below): equal consecutive slices, one
+  // per class, sized by the *previous* fit's row count.
+  const std::size_t warm_stride = warm.size() / arity;
   std::vector<int> y(x.rows());
   for (std::uint32_t k = 0; k < arity; ++k) {
     for (std::size_t i = 0; i < x.rows(); ++i) {
@@ -94,7 +111,14 @@ void OneVsRestSvc::fit(MatrixView x, std::span<const double> codes, std::uint32_
     }
     LinearSvcConfig per_class = config;
     per_class.seed = config.seed + k;
-    binary_[k].fit(x, y, per_class);
+    binary_[k].fit(x, y, per_class,
+                   warm_stride == 0 ? std::span<const double>{}
+                                    : warm.subspan(k * warm_stride, warm_stride));
+  }
+  duals_.clear();
+  duals_.reserve(static_cast<std::size_t>(arity) * x.rows());
+  for (const BinaryLinearSvc& b : binary_) {
+    duals_.insert(duals_.end(), b.duals().begin(), b.duals().end());
   }
 }
 

@@ -34,7 +34,14 @@ struct LinearSvcConfig {
 class BinaryLinearSvc {
  public:
   /// Accepts a MatrixView, so CV folds train on row subsets without copying.
-  void fit(MatrixView x, std::span<const int> y, const LinearSvcConfig& config);
+  ///
+  /// `warm` optionally seeds the dual variables α from a previous fit (warm
+  /// retraining): entries are clipped to [0, C] and (w, bias) reconstructed
+  /// from the seed before the descent loop refines it. Extra entries are
+  /// ignored, missing ones start at 0; an empty span is a cold start,
+  /// bit-identical to the pre-warm-start solver.
+  void fit(MatrixView x, std::span<const int> y, const LinearSvcConfig& config,
+           std::span<const double> warm = {});
 
   /// Signed decision value w·x + b.
   double decision(std::span<const double> x) const;
@@ -43,6 +50,10 @@ class BinaryLinearSvc {
   int predict(std::span<const double> x) const;
 
   std::size_t support_vector_count() const noexcept { return support_vectors_; }
+
+  /// The dual variables α from the last fit(), in training-row order — the
+  /// warm-start seed for a later refit. Empty for deserialized models.
+  std::span<const double> duals() const noexcept { return duals_; }
 
   /// The dense weight vector (a borrowed view for mmap-backed models; see
   /// LinearSvr::weights).
@@ -71,14 +82,24 @@ class BinaryLinearSvc {
   std::span<const double> w_view_;  // borrowed weights (zero-copy deserialize)
   double bias_ = 0.0;
   std::size_t support_vectors_ = 0;
+  std::vector<double> duals_;       // α from the last fit (warm-start seed)
 };
 
 /// One-vs-rest multiclass wrapper over BinaryLinearSvc for categorical
 /// targets with codes 0..arity-1.
 class OneVsRestSvc {
  public:
+  /// `warm` optionally seeds every per-class machine's duals: the layout is
+  /// class-major — `warm.size() / arity` consecutive entries per class, the
+  /// layout duals() emits — so a previous fit's duals() round-trips even when
+  /// the new training set has a different row count (each class slice is
+  /// truncated or zero-padded per BinaryLinearSvc::fit). Empty = cold start.
   void fit(MatrixView x, std::span<const double> codes, std::uint32_t arity,
-           const LinearSvcConfig& config);
+           const LinearSvcConfig& config, std::span<const double> warm = {});
+
+  /// Concatenated per-class duals (class-major, `arity * n` entries) from the
+  /// last fit(); feed back through fit(warm) to warm-start a refit.
+  std::span<const double> duals() const noexcept { return duals_; }
 
   /// argmax over per-class decision values.
   std::uint32_t predict(std::span<const double> x) const;
@@ -100,6 +121,7 @@ class OneVsRestSvc {
 
  private:
   std::vector<BinaryLinearSvc> binary_;
+  std::vector<double> duals_;  // class-major concatenation of binary duals
 };
 
 }  // namespace frac

@@ -12,7 +12,8 @@
 
 namespace frac {
 
-void LinearSvr::fit(MatrixView x, std::span<const double> y, const LinearSvrConfig& config) {
+void LinearSvr::fit(MatrixView x, std::span<const double> y, const LinearSvrConfig& config,
+                    std::span<const double> warm) {
   const std::size_t n = x.rows();
   const std::size_t d = x.cols();
   if (n == 0) throw std::invalid_argument("LinearSvr::fit: empty training set");
@@ -24,6 +25,19 @@ void LinearSvr::fit(MatrixView x, std::span<const double> y, const LinearSvrConf
   w_view_ = {};  // refitting an archived model reverts it to owned weights
   bias_ = 0.0;
   std::vector<double> beta(n, 0.0);
+  // Warm start: seed the duals from the previous model (clipped to the box)
+  // and rebuild the primal pair exactly as the update loop would have —
+  // w = Σ β_i x̃_i — so a near-optimal seed converges in a couple of passes.
+  if (!warm.empty()) {
+    const std::size_t seeded = std::min(n, warm.size());
+    for (std::size_t i = 0; i < seeded; ++i) {
+      const double b = std::clamp(warm[i], -config.c, config.c);
+      if (b == 0.0) continue;
+      beta[i] = b;
+      axpy(b, x.row(i), w_);
+      if (config.fit_bias) bias_ += b;
+    }
+  }
 
   // Q_ii = ‖x̃_i‖² with the augmented bias feature.
   std::vector<double> q_diag(n);
@@ -107,6 +121,7 @@ void LinearSvr::fit(MatrixView x, std::span<const double> y, const LinearSvrConf
 
   support_vectors_ = static_cast<std::size_t>(
       std::count_if(beta.begin(), beta.end(), [](double b) { return b != 0.0; }));
+  duals_ = std::move(beta);
 }
 
 void LinearSvr::serialize(ArchiveWriter& archive) const {

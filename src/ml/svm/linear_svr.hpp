@@ -57,7 +57,15 @@ class LinearSvr {
   /// Trains on rows of x (n × d) against y (n). Rows with missing y are the
   /// caller's responsibility; x must be NaN-free (scale/encode first).
   /// Accepts a MatrixView, so CV folds train on row subsets without copying.
-  void fit(MatrixView x, std::span<const double> y, const LinearSvrConfig& config);
+  ///
+  /// `warm` optionally seeds the dual variables from a previous fit on a
+  /// related problem (warm retraining): warm[i] is clipped to [-C, C] and the
+  /// primal (w, bias) is reconstructed from the seeded duals before the
+  /// normal coordinate-descent loop refines them. Extra entries are ignored,
+  /// missing ones start at 0. An empty span is a cold start and leaves the
+  /// fit bit-identical to the pre-warm-start solver (no extra RNG draws).
+  void fit(MatrixView x, std::span<const double> y, const LinearSvrConfig& config,
+           std::span<const double> warm = {});
 
   /// w·x + b for one feature vector of the training width.
   double predict(std::span<const double> x) const;
@@ -75,6 +83,11 @@ class LinearSvr {
 
   /// Coordinate passes actually used (for solver diagnostics/tests).
   std::size_t passes_used() const noexcept { return passes_used_; }
+
+  /// The dual variables β from the last fit(), in training-row order — the
+  /// warm-start seed for a later refit. Empty for deserialized models (dual
+  /// state is persisted at the FracModel level, not per solver).
+  std::span<const double> duals() const noexcept { return duals_; }
 
   /// Binary persistence into the caller's open archive section. Weights are
   /// stored as a contiguous aligned little-endian f64 array; deserializing
@@ -99,6 +112,7 @@ class LinearSvr {
   double bias_ = 0.0;
   std::size_t support_vectors_ = 0;
   std::size_t passes_used_ = 0;
+  std::vector<double> duals_;         // β from the last fit (warm-start seed)
 };
 
 }  // namespace frac

@@ -126,6 +126,19 @@ std::shared_ptr<const ScoringEngine> ModelCache::get(const std::string& path) {
   return engine;
 }
 
+void ModelCache::invalidate(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.erase(path) != 0) {
+    metrics_counter("serve.model_cache.invalidations").add();
+    metrics_gauge("serve.model_cache.resident").set(static_cast<double>(entries_.size()));
+  }
+}
+
+std::shared_ptr<const ScoringEngine> ModelCache::reload(const std::string& path) {
+  invalidate(path);
+  return get(path);
+}
+
 void ModelCache::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();

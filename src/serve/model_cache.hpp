@@ -38,6 +38,18 @@ class ModelCache {
   /// the path in place.
   std::shared_ptr<const ScoringEngine> get(const std::string& path);
 
+  /// Drops `path`'s cached engine so the next get() must re-stat and reload
+  /// from disk — the explicit refresh hook behind `{"cmd":"reload"}` and
+  /// warm-retrain republish. A load already in flight is left to finish (its
+  /// callers keep their single-flight result); in-flight requests keep
+  /// scoring the engine they hold via shared_ptr. No-op for uncached paths.
+  void invalidate(const std::string& path);
+
+  /// invalidate() + get(): forces a fresh stat/open of `path` and returns
+  /// the newly loaded engine. Single-flight and post-open re-stat (TOCTOU)
+  /// guarantees are get()'s own, unchanged.
+  std::shared_ptr<const ScoringEngine> reload(const std::string& path);
+
   /// Drops every cached engine (bundles stay alive while clients hold them).
   void clear();
 

@@ -181,8 +181,109 @@ std::string format_health_response(const std::string& id_json, const HealthSnaps
   return out;
 }
 
-std::optional<CommandOutcome> try_command_response(
-    const std::string& line, const std::function<HealthSnapshot()>& snapshot) {
+namespace {
+
+/// A command handler formats the full response line (or throws; the
+/// dispatcher turns the exception into an error response).
+struct CommandHandler {
+  std::string_view name;
+  std::string_view help;
+  CommandOutcome::Kind kind;
+  std::string (*handle)(const std::string& id_json, const JsonValue& request,
+                        const CommandContext& ctx);
+};
+
+std::string handle_health(const std::string& id_json, const JsonValue&,
+                          const CommandContext& ctx) {
+  static Counter& health_metric = metrics_counter("serve.health");
+  health_metric.add();
+  if (!ctx.snapshot) throw ParseError("health: no snapshot in this transport");
+  return format_health_response(id_json, ctx.snapshot());
+}
+
+std::string handle_stats(const std::string& id_json, const JsonValue&,
+                         const CommandContext&) {
+  return "{\"id\":" + id_json + ",\"stats\":" + metrics_dump_compact_json() + "}";
+}
+
+std::string handle_reload(const std::string& id_json, const JsonValue& request,
+                          const CommandContext& ctx) {
+  if (ctx.cache == nullptr) throw ParseError("reload: no model cache in this transport");
+  std::string path = ctx.options != nullptr ? ctx.options->default_model : std::string();
+  if (const JsonValue* model = request.find("model"); model != nullptr) {
+    if (!model->is_string()) throw ParseError("reload: \"model\" must be a string");
+    path = model->as_string();
+  }
+  if (path.empty()) {
+    throw ParseError("reload: no \"model\" given and no default model configured");
+  }
+  const std::shared_ptr<const ScoringEngine> engine = ctx.cache->reload(path);
+  return "{\"id\":" + id_json + ",\"reload\":{\"model\":\"" + json_escape(path) +
+         "\",\"model_crc32\":" + std::to_string(engine->bundle().content_crc()) + "}}";
+}
+
+std::string handle_drift(const std::string& id_json, const JsonValue&,
+                         const CommandContext& ctx) {
+  const std::shared_ptr<ServeDriftMonitor> monitor =
+      ctx.options != nullptr ? ctx.options->drift : nullptr;
+  if (monitor == nullptr) {
+    return "{\"id\":" + id_json + ",\"drift\":{\"monitoring\":false}}";
+  }
+  const ServeDriftMonitor::Status s = monitor->status();
+  std::string out = "{\"id\":" + id_json + ",\"drift\":{\"monitoring\":true";
+  out += ",\"samples\":" + std::to_string(s.samples_seen);
+  out += ",\"statistic\":" + format_g17(s.statistic);
+  out += ",\"threshold\":" + format_g17(s.threshold);
+  out += std::string(",\"drifted\":") + (s.drifted ? "true" : "false");
+  out += ",\"drift_sample\":" + std::to_string(s.drift_sample);
+  out += ",\"baseline\":" + std::to_string(s.baseline_size);
+  out += "}}";
+  return out;
+}
+
+/// The registry: sorted by name (serve_command_table() exposes it; the
+/// unknown-cmd error text enumerates it in this order).
+constexpr CommandHandler kCommandHandlers[] = {
+    {"drift", "report the armed drift monitor's status", CommandOutcome::Kind::kOther,
+     handle_drift},
+    {"health", "report liveness, model identity, and serve totals",
+     CommandOutcome::Kind::kHealth, handle_health},
+    {"reload", "invalidate and reload a model through the cache",
+     CommandOutcome::Kind::kOther, handle_reload},
+    {"stats", "dump the metrics registry as one JSON object", CommandOutcome::Kind::kOther,
+     handle_stats},
+};
+
+const std::string& unknown_cmd_message() {
+  static const std::string message = [] {
+    std::string out = "request: unknown \"cmd\" (supported: ";
+    bool first = true;
+    for (const CommandHandler& handler : kCommandHandlers) {
+      if (!first) out += ", ";
+      out += "\"" + std::string(handler.name) + "\"";
+      first = false;
+    }
+    out += ")";
+    return out;
+  }();
+  return message;
+}
+
+}  // namespace
+
+std::span<const CommandInfo> serve_command_table() {
+  static const std::vector<CommandInfo> table = [] {
+    std::vector<CommandInfo> out;
+    for (const CommandHandler& handler : kCommandHandlers) {
+      out.push_back(CommandInfo{handler.name, handler.help});
+    }
+    return out;
+  }();
+  return table;
+}
+
+std::optional<CommandOutcome> try_command_response(const std::string& line,
+                                                   const CommandContext& context) {
   if (!line_may_be_command(line)) return std::nullopt;
   std::string id_json = "null";
   const JsonValue* cmd = nullptr;
@@ -198,18 +299,57 @@ std::optional<CommandOutcome> try_command_response(
     // is byte-identical to the stdin loop's.
     return std::nullopt;
   }
+  static Counter& errors_metric = metrics_counter("serve.errors");
+  const CommandHandler* handler = nullptr;
+  if (cmd->is_string()) {
+    for (const CommandHandler& candidate : kCommandHandlers) {
+      if (cmd->as_string() == candidate.name) {
+        handler = &candidate;
+        break;
+      }
+    }
+  }
   CommandOutcome outcome;
-  if (!cmd->is_string() || cmd->as_string() != "health") {
-    static Counter& errors_metric = metrics_counter("serve.errors");
+  if (handler == nullptr) {
     errors_metric.add();
-    outcome.response = error_response(id_json, "request: unknown \"cmd\" (supported: \"health\")");
+    outcome.kind = CommandOutcome::Kind::kError;
+    outcome.response = error_response(id_json, unknown_cmd_message());
     return outcome;
   }
-  static Counter& health_metric = metrics_counter("serve.health");
-  health_metric.add();
-  outcome.is_health = true;
-  outcome.response = format_health_response(id_json, snapshot());
+  static Counter& commands_metric = metrics_counter("serve.commands");
+  commands_metric.add();
+  try {
+    outcome.response = handler->handle(id_json, request, context);
+    outcome.kind = handler->kind;
+  } catch (const std::exception& e) {
+    errors_metric.add();
+    outcome.kind = CommandOutcome::Kind::kError;
+    outcome.response = error_response(id_json, e.what());
+  }
   return outcome;
+}
+
+bool ServeDriftMonitor::observe(double ns) {
+  static Counter& samples_metric = metrics_counter("serve.drift.samples");
+  static Counter& detections_metric = metrics_counter("serve.drift.detections");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const bool was_drifted = monitor_.drifted();
+  const bool drifted = monitor_.observe(ns);
+  samples_metric.add();
+  if (drifted && !was_drifted) detections_metric.add();
+  return drifted;
+}
+
+ServeDriftMonitor::Status ServeDriftMonitor::status() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Status s;
+  s.samples_seen = monitor_.samples_seen();
+  s.statistic = monitor_.statistic();
+  s.threshold = monitor_.threshold();
+  s.drifted = monitor_.drifted();
+  s.drift_sample = monitor_.drift_sample();
+  s.baseline_size = monitor_.baseline_size();
+  return s;
 }
 
 std::string handle_request_line(const std::string& line, const ServeOptions& options,
@@ -242,6 +382,11 @@ std::string handle_request_line(const std::string& line, const ServeOptions& opt
         request.engine->score(std::move(request.rows), pool, options.precision);
     stats->samples += samples;
     samples_metric.add(samples);
+    // Feed the drift monitor in row order — the stdin loop is synchronous,
+    // so this is exactly sample arrival order.
+    if (options.drift != nullptr) {
+      for (const double value : ns) options.drift->observe(value);
+    }
     return format_score_response(request, ns, top);
   } catch (const std::exception& e) {
     ++stats->errors;
@@ -276,13 +421,18 @@ ServeStats run_serve_loop(std::istream& in, std::ostream& out, const ServeOption
     return snap;
   };
 
+  CommandContext command_context;
+  command_context.snapshot = snapshot;
+  command_context.cache = &cache;
+  command_context.options = &options;
+
   std::string line;
   while (std::getline(in, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;  // blank keepalive
-    if (std::optional<CommandOutcome> cmd = try_command_response(line, snapshot)) {
-      if (cmd->is_health) {
+    if (std::optional<CommandOutcome> cmd = try_command_response(line, command_context)) {
+      if (cmd->kind == CommandOutcome::Kind::kHealth) {
         ++stats.health;
-      } else {
+      } else if (cmd->kind == CommandOutcome::Kind::kError) {
         ++stats.errors;
       }
       out << cmd->response << '\n' << std::flush;

@@ -13,11 +13,17 @@
 // A malformed line yields {"id":...,"error":"..."} and the loop continues —
 // one bad client line must not kill the server.
 //
-// Control lines carry a "cmd" member instead of "values"/"batch":
-// {"cmd":"health"} answers a liveness/readiness report (model identity,
-// uptime, in-flight count, cumulative serve.* totals) without touching the
-// scoring queue — on the socket path it is answered by the event-loop thread
-// itself, so probes get through even when scoring is saturated.
+// Control lines carry a "cmd" member instead of "values"/"batch" and
+// dispatch through a registered command table (serve_command_table()):
+//   health  — liveness/readiness report (model identity, uptime, in-flight
+//             count, cumulative serve.* totals)
+//   stats   — one-line snapshot of the full metrics registry
+//   reload  — explicitly invalidate + reload a model through the cache
+//   drift   — the armed drift monitor's status (or {"monitoring":false})
+// All commands share one parse/reply/error path on both transports; an
+// unknown "cmd" answers an error enumerating the registered names. On the
+// socket path commands are answered by the event-loop thread itself, so
+// probes get through even when scoring is saturated.
 //
 // The same protocol runs over TCP via SocketServer (serve/socket_server.hpp,
 // `frac serve --listen`); the parse/score/format pipeline below is shared by
@@ -29,16 +35,47 @@
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "linalg/matrix.hpp"
 #include "parallel/thread_pool.hpp"
 #include "serve/model_cache.hpp"
+#include "stream/drift.hpp"
 
 namespace frac {
+
+/// Thread-safe DriftMonitor for the serve tier: the scoring path observes
+/// every per-sample NS in arrival order, the {"cmd":"drift"} handler reads a
+/// consistent status. Observation order equals request completion order on
+/// the single scoring thread, so decisions stay deterministic for a given
+/// request sequence.
+class ServeDriftMonitor {
+ public:
+  explicit ServeDriftMonitor(DriftMonitor monitor) : monitor_(std::move(monitor)) {}
+
+  /// Folds one scored sample's NS; returns drifted(). Counts
+  /// serve.drift.samples, and serve.drift.detections on the alarm edge.
+  bool observe(double ns);
+
+  struct Status {
+    std::size_t samples_seen = 0;
+    double statistic = 0.0;
+    double threshold = 0.0;
+    bool drifted = false;
+    std::size_t drift_sample = 0;
+    std::size_t baseline_size = 0;
+  };
+  Status status() const;
+
+ private:
+  mutable std::mutex mutex_;
+  DriftMonitor monitor_;
+};
 
 struct ServeOptions {
   std::string default_model;   ///< model used when a request names none
@@ -50,6 +87,9 @@ struct ServeOptions {
   /// converted with `frac convert --f32`; requests against a model without
   /// the f32 pack get error responses).
   ScorePrecision precision = ScorePrecision::kF64;
+  /// When set, every scored sample's NS is folded into the monitor (arrival
+  /// order) and {"cmd":"drift"} reports its status. Null = no monitoring.
+  std::shared_ptr<ServeDriftMonitor> drift = nullptr;
 };
 
 struct ServeStats {
@@ -108,22 +148,44 @@ std::string error_response(const std::string& id_json, std::string_view message)
 /// (a JSON object with a "cmd" key must contain the substring "\"cmd\"").
 bool line_may_be_command(const std::string& line);
 
-/// A handled {"cmd": ...} control line: the response to send, and whether it
-/// was a health probe (callers count stats.health) or an unknown-cmd error
-/// (callers count stats.errors). The serve.health / serve.errors metrics are
-/// already incremented.
+/// A handled {"cmd": ...} control line: the response to send plus how the
+/// transport should count it — kHealth into stats.health, kError into
+/// stats.errors, kOther not at all (the serve.health / serve.errors /
+/// serve.commands metrics are already incremented).
 struct CommandOutcome {
+  enum class Kind : std::uint8_t { kHealth, kError, kOther };
   std::string response;
-  bool is_health = false;
+  Kind kind = Kind::kOther;
 };
 
-/// Handles a {"cmd": ...} control line: returns the response for a health
-/// probe (snapshot()) or an unknown-cmd error, and nullopt when the line is
-/// not a command at all (no "cmd" member, or malformed JSON — those fall
-/// through to the scoring pipeline so error text stays transport-identical).
-/// `snapshot` is only invoked when the line really is a health probe.
-std::optional<CommandOutcome> try_command_response(
-    const std::string& line, const std::function<HealthSnapshot()>& snapshot);
+/// One registered control command. The table drives dispatch, the
+/// unknown-"cmd" error text, and the protocol docs.
+struct CommandInfo {
+  std::string_view name;
+  std::string_view help;  ///< one line, imperative
+};
+
+/// The registered control commands, sorted by name.
+std::span<const CommandInfo> serve_command_table();
+
+/// Everything a control-command handler may touch. `snapshot` is invoked
+/// lazily — only by handlers that report liveness. `cache` enables
+/// {"cmd":"reload"}; `options` supplies the default model path and the
+/// armed drift monitor. Null members degrade the commands needing them to
+/// error responses, never to crashes.
+struct CommandContext {
+  std::function<HealthSnapshot()> snapshot;
+  ModelCache* cache = nullptr;
+  const ServeOptions* options = nullptr;
+};
+
+/// Handles a {"cmd": ...} control line by dispatching through the command
+/// table: returns the command's response (an error response for unknown
+/// commands or a failed handler), and nullopt when the line is not a command
+/// at all (no "cmd" member, or malformed JSON — those fall through to the
+/// scoring pipeline so error text stays transport-identical).
+std::optional<CommandOutcome> try_command_response(const std::string& line,
+                                                   const CommandContext& context);
 
 /// The {"cmd":"health"} response body for `snap`, echoing `id_json`.
 std::string format_health_response(const std::string& id_json, const HealthSnapshot& snap);

@@ -240,6 +240,10 @@ ServeStats SocketServer::run(ModelCache& cache, ThreadPool& pool) {
     snap.stats = stats_;
     return snap;
   };
+  CommandContext command_context;
+  command_context.snapshot = snapshot;
+  command_context.cache = &cache;
+  command_context.options = &options_.serve;
 
   // Frames every line buffered on `conn` (blank keepalives never leave
   // next_line): {"cmd":...} control lines are answered right here on the
@@ -253,12 +257,12 @@ ServeStats SocketServer::run(ModelCache& cache, ThreadPool& pool) {
   auto enqueue_lines = [&](Connection& conn) {
     while (auto line = conn.next_line()) {
       if (!line->oversized) {
-        if (auto cmd = try_command_response(line->text, snapshot)) {
+        if (auto cmd = try_command_response(line->text, command_context)) {
           {
             const std::lock_guard lock(mutex_);
-            if (cmd->is_health) {
+            if (cmd->kind == CommandOutcome::Kind::kHealth) {
               ++stats_.health;
-            } else {
+            } else if (cmd->kind == CommandOutcome::Kind::kError) {
               ++stats_.errors;
             }
           }
@@ -572,6 +576,7 @@ std::vector<SocketServer::Done> SocketServer::process_batch(std::vector<Work> ba
     bool ready = false;  ///< response decided (parse error, expired, or scored)
     bool deadline = false;  ///< expired before scoring began
     std::string response;
+    std::vector<double> ns_values;  ///< scored NS, for the drift monitor
   };
   std::vector<Item> items(batch.size());
   ServeStats delta;
@@ -633,11 +638,12 @@ std::vector<SocketServer::Done> SocketServer::process_batch(std::vector<Work> ba
         top = request.engine->explain(request.rows, request.top_k, pool,
                                       options_.serve.precision);
       }
-      const std::vector<double> ns =
+      std::vector<double> ns =
           request.engine->score(std::move(request.rows), pool, options_.serve.precision);
       delta.samples += samples;
       samples_metric.add(samples);
       item.response = format_score_response(request, ns, top);
+      item.ns_values = std::move(ns);
     } catch (const std::exception& e) {
       ++delta.errors;
       errors_metric.add();
@@ -674,6 +680,7 @@ std::vector<SocketServer::Done> SocketServer::process_batch(std::vector<Work> ba
         Item& item = items[members[r]];
         item.response =
             format_score_response(item.request, std::span<const double>(&ns[r], 1), {});
+        item.ns_values.assign(1, ns[r]);
         item.ready = true;
       }
       delta.samples += members.size();
@@ -687,6 +694,18 @@ std::vector<SocketServer::Done> SocketServer::process_batch(std::vector<Work> ba
 
   for (std::size_t k = 0; k < items.size(); ++k) {
     if (!items[k].ready) score_single(k);
+  }
+
+  // Drift observation in batch (= arrival) order. Scoring above may
+  // interleave coalesced groups with singles, but this pass runs
+  // sequentially on the one scoring thread, so the monitor's decisions are
+  // deterministic for a given request sequence — and identical to the stdin
+  // loop's over the same lines. Error/deadline items scored nothing and
+  // contribute nothing.
+  if (options_.serve.drift != nullptr) {
+    for (const Item& item : items) {
+      for (const double value : item.ns_values) options_.serve.drift->observe(value);
+    }
   }
 
   std::vector<Done> done(batch.size());

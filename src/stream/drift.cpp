@@ -1,0 +1,152 @@
+#include "stream/drift.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <iterator>
+#include <span>
+#include <stdexcept>
+
+#include "serialize/archive.hpp"
+#include "util/errors.hpp"
+
+namespace frac {
+
+DriftMonitor::DriftMonitor(std::vector<double> baseline, const DriftConfig& config)
+    : config_(config), baseline_(std::move(baseline)) {
+  if (baseline_.empty()) {
+    throw std::invalid_argument("DriftMonitor: empty baseline");
+  }
+  for (const double ns : baseline_) {
+    if (!std::isfinite(ns)) throw std::invalid_argument("DriftMonitor: non-finite baseline NS");
+  }
+  if (!(config_.alpha > 0.0) || !(config_.alpha < 1.0)) {
+    throw std::invalid_argument("DriftMonitor: alpha must be in (0, 1)");
+  }
+  std::sort(baseline_.begin(), baseline_.end());
+  threshold_ = std::log(1.0 / config_.alpha);
+}
+
+bool DriftMonitor::observe(double ns) {
+  if (!std::isfinite(ns)) {
+    throw NumericError("DriftMonitor::observe: non-finite NS");
+  }
+  ++samples_seen_;
+  // #{baseline >= ns} on the ascending baseline; with ns drawn from the
+  // baseline distribution, p is a (discrete, conservative) uniform p-value.
+  const std::size_t count_ge = static_cast<std::size_t>(
+      baseline_.end() - std::lower_bound(baseline_.begin(), baseline_.end(), ns));
+  const double p = (1.0 + static_cast<double>(count_ge)) /
+                   (static_cast<double>(baseline_.size()) + 1.0);
+  // log e(p) for the calibrator e(p) = 1/(2*sqrt(p)).
+  const double log_e = -std::log(2.0) - 0.5 * std::log(p);
+  statistic_ = std::max(0.0, statistic_ + log_e);
+  if (!drifted_ && samples_seen_ >= config_.min_samples && statistic_ >= threshold_) {
+    drifted_ = true;
+    drift_sample_ = samples_seen_;
+  }
+  return drifted_;
+}
+
+void DriftMonitor::reset() noexcept {
+  statistic_ = 0.0;
+  samples_seen_ = 0;
+  drift_sample_ = 0;
+  drifted_ = false;
+}
+
+void DriftMonitor::rebaseline(std::vector<double> baseline) {
+  DriftMonitor fresh(std::move(baseline), config_);
+  *this = std::move(fresh);
+}
+
+void DriftMonitor::serialize(ArchiveWriter& archive) const {
+  archive.begin_section("drift_monitor");
+  archive.write_u32(1);  // monitor layout version within the section
+  archive.write_f64(config_.alpha);
+  archive.write_u64(config_.min_samples);
+  archive.write_f64(statistic_);
+  archive.write_u64(samples_seen_);
+  archive.write_u64(drift_sample_);
+  archive.write_u8(drifted_ ? 1 : 0);
+  archive.write_f64_array(baseline_);
+  archive.end_section();
+}
+
+DriftMonitor DriftMonitor::deserialize(ArchiveReader& archive) {
+  archive.open_section("drift_monitor");
+  const std::uint32_t layout = archive.read_u32();
+  if (layout != 1) {
+    archive.fail("unsupported drift_monitor layout version " + std::to_string(layout));
+  }
+  DriftMonitor monitor;
+  monitor.config_.alpha = archive.read_f64();
+  monitor.config_.min_samples = archive.read_u64();
+  monitor.statistic_ = archive.read_f64();
+  monitor.samples_seen_ = archive.read_u64();
+  monitor.drift_sample_ = archive.read_u64();
+  monitor.drifted_ = archive.read_u8() != 0;
+  monitor.baseline_ = archive.read_f64_vector();
+  archive.expect_section_end();
+  if (monitor.baseline_.empty()) archive.fail("empty drift baseline");
+  if (!(monitor.config_.alpha > 0.0) || !(monitor.config_.alpha < 1.0)) {
+    archive.fail("alpha outside (0, 1)");
+  }
+  if (!std::is_sorted(monitor.baseline_.begin(), monitor.baseline_.end())) {
+    archive.fail("drift baseline not sorted");
+  }
+  monitor.threshold_ = std::log(1.0 / monitor.config_.alpha);
+  return monitor;
+}
+
+void DriftMonitor::save_file(const std::string& path) const {
+  ArchiveWriter archive;
+  serialize(archive);
+  archive.write_file(path);
+}
+
+DriftMonitor DriftMonitor::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("DriftMonitor::load_file: cannot open " + path);
+  const std::string buffer{std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>()};
+  if (in.bad()) throw IoError("DriftMonitor::load_file: read failed for " + path);
+  ArchiveReader archive(std::as_bytes(std::span<const char>(buffer)), path,
+                        /*borrowed=*/false);
+  return deserialize(archive);
+}
+
+std::vector<double> load_ns_baseline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("load_ns_baseline: cannot open " + path);
+  std::vector<double> ns;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    // `frac score` CSV rows are "sample,ns,label"; take the second field.
+    // A comma-free line is a bare NS value.
+    std::string_view field = line;
+    if (const std::size_t comma = line.find(','); comma != std::string::npos) {
+      const std::size_t next = line.find(',', comma + 1);
+      field = std::string_view(line).substr(
+          comma + 1, next == std::string::npos ? std::string::npos : next - comma - 1);
+    }
+    double value = 0.0;
+    const auto [ptr, ec] = std::from_chars(field.data(), field.data() + field.size(), value);
+    if (ec != std::errc{} || ptr != field.data() + field.size()) {
+      if (line_no == 1) continue;  // CSV header row
+      throw ParseError("load_ns_baseline: " + path + ":" + std::to_string(line_no) +
+                       ": not an NS value: '" + std::string(field) + "'");
+    }
+    ns.push_back(value);
+  }
+  if (in.bad()) throw IoError("load_ns_baseline: read failed for " + path);
+  if (ns.empty()) throw ParseError("load_ns_baseline: " + path + ": no NS values");
+  return ns;
+}
+
+}  // namespace frac

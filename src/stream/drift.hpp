@@ -1,0 +1,107 @@
+// Online drift detection over FRaC normalized surprisal (NS).
+//
+// A trained FRaC model defines "normal" through its training-time NS
+// distribution. The monitor holds that distribution as a sorted baseline
+// and folds each incoming sample's NS into an anytime-valid e-process
+// (Hyndman-style rank test, Vovk's p-to-e calibrator):
+//
+//   rank p-value  p_t = (1 + #{baseline >= ns_t}) / (B + 1)
+//   e-value       e(p) = 1 / (2 sqrt(p))        (valid calibrator: E[e] <= 1)
+//   CUSUM         S_t  = max(0, S_{t-1} + log e(p_t))
+//
+// Under the no-drift null each e_t has mean <= 1, so by Ville's inequality
+// P(sup_t S_t >= log(1/alpha)) <= alpha — the alarm threshold log(1/alpha)
+// gives an anytime-valid false-alarm bound with no multiple-testing
+// correction, however long the stream runs. Upward NS drift (the cohort
+// becoming more surprising to the model) drives p small and S up.
+//
+// Determinism: observe() is a pure sequential function of the NS sequence —
+// no clocks, no RNG, fixed-order accumulation — so decisions are
+// bit-identical for any FRAC_THREADS value and across kill/resume through
+// the snapshot round trip (serialize/deserialize).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace frac {
+
+class ArchiveWriter;
+class ArchiveReader;
+
+struct DriftConfig {
+  /// Anytime false-alarm probability: the monitor fires spuriously on an
+  /// undrifted stream with probability at most alpha, over the whole run.
+  double alpha = 1e-3;
+  /// Samples that must be seen before the alarm may fire (guards against
+  /// a handful of early outliers tripping a fresh monitor).
+  std::size_t min_samples = 32;
+};
+
+/// Sequential NS drift monitor. Feed every scored sample, in arrival order,
+/// through observe(); the monitor latches drifted() once the e-process
+/// crosses its threshold.
+class DriftMonitor {
+ public:
+  /// `baseline` is the reference NS sample (the training cohort scored by
+  /// the model being monitored); it is sorted internally. Throws
+  /// std::invalid_argument on an empty or non-finite baseline or
+  /// alpha outside (0, 1).
+  DriftMonitor(std::vector<double> baseline, const DriftConfig& config = {});
+
+  /// Folds one sample's NS into the e-process; returns drifted(). Throws
+  /// NumericError on a non-finite ns.
+  bool observe(double ns);
+
+  /// Current CUSUM statistic S_t (nats of accumulated evidence).
+  double statistic() const noexcept { return statistic_; }
+  /// Alarm threshold log(1/alpha).
+  double threshold() const noexcept { return threshold_; }
+  /// True once the alarm has fired; latched until reset()/rebaseline().
+  bool drifted() const noexcept { return drifted_; }
+  /// Samples observed since construction/reset.
+  std::size_t samples_seen() const noexcept { return samples_seen_; }
+  /// 1-based index of the sample that fired the alarm; 0 = not fired.
+  std::size_t drift_sample() const noexcept { return drift_sample_; }
+  std::size_t baseline_size() const noexcept { return baseline_.size(); }
+  const DriftConfig& config() const noexcept { return config_; }
+
+  /// Clears the e-process (statistic, sample count, latch) but keeps the
+  /// baseline: restart monitoring against the same reference.
+  void reset() noexcept;
+
+  /// Swaps in a new reference distribution (a refreshed model's NS over a
+  /// recent window) and reset()s — the post-retrain rearm.
+  void rebaseline(std::vector<double> baseline);
+
+  /// Snapshot persistence: one "drift_monitor" archive section holding the
+  /// config, the e-process state, and the sorted baseline. A deserialized
+  /// monitor continues the stream bit-identically to one that never stopped.
+  void serialize(ArchiveWriter& archive) const;
+  static DriftMonitor deserialize(ArchiveReader& archive);
+
+  /// Atomic single-section archive file (temp+fsync+rename).
+  void save_file(const std::string& path) const;
+  static DriftMonitor load_file(const std::string& path);
+
+ private:
+  DriftMonitor() = default;
+
+  DriftConfig config_;
+  std::vector<double> baseline_;  // ascending
+  double threshold_ = 0.0;
+  double statistic_ = 0.0;
+  std::size_t samples_seen_ = 0;
+  std::size_t drift_sample_ = 0;
+  bool drifted_ = false;
+};
+
+/// Reads a reference NS sample from `path`: either `frac score` CSV output
+/// ("sample,ns,label" header, NS in the second field) or one NS value per
+/// line. Throws IoError/ParseError on unreadable or valueless input.
+std::vector<double> load_ns_baseline(const std::string& path);
+
+}  // namespace frac

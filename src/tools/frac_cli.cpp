@@ -14,12 +14,15 @@
 //   convert        convert a model file between formats, or a dataset CSV to
 //                  the columnar container (--dataset)
 //   serve          NDJSON scoring loop over a load-once engine (stdin→stdout)
+//   stream         sequential scoring with online NS drift detection and
+//                  optional warm retrain + atomic republish on drift
 //
 // Every command also accepts the shared runtime flags (--threads, --simd,
 // --log, --faults, --trace, --metrics, --manifest); each falls back to its
 // FRAC_* environment variable. Exit codes: see kExitCodeContract
 // (config/cli_spec.cpp) — 0 ok, 1 usage, 2 internal, 3 I/O, 4 parse,
 // 5 numeric, 130 interrupted.
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -45,6 +48,7 @@
 #include "ml/metrics.hpp"
 #include "serve/server.hpp"
 #include "serve/socket_server.hpp"
+#include "stream/drift.hpp"
 #include "util/atomic_file.hpp"
 #include "util/errors.hpp"
 #include "util/manifest.hpp"
@@ -71,6 +75,12 @@ const std::vector<CommandSpec>& command_specs() {
        {
            {"cohort", FlagKind::kString, true, "NAME", "cohort name (see list-cohorts)"},
            {"out", FlagKind::kString, true, "FILE", "output CSV path"},
+           {"latent-shift", FlagKind::kDouble, false, "S",
+            "additive mean shift on the expression model's module latents "
+            "(drift injection for streaming tests; expression cohorts only)"},
+           {"seed", FlagKind::kSize, false, "N",
+            "override the cohort's sampling seed (fresh draws from the same "
+            "generative model)"},
        }},
       {"train",
        "train (full or diverse) FRaC on an all-normal training set",
@@ -85,6 +95,9 @@ const std::vector<CommandSpec>& command_specs() {
            {"diverse", FlagKind::kDouble, false, "P",
             "diverse-FRaC input-sampling probability (default 0: full FRaC)"},
            {"seed", FlagKind::kSize, false, "S", "training seed (default 23)"},
+           {"retain-duals", FlagKind::kBool, false, "",
+            "persist the solvers' dual variables in the archive (format v3) "
+            "so `frac stream --retrain` can warm-start refits"},
        }},
       {"shard-train",
        "train feature shard K of N out-of-core into a partial model archive",
@@ -215,6 +228,51 @@ const std::vector<CommandSpec>& command_specs() {
            {"precision", FlagKind::kString, false, "P",
             "linear-unit weight precision: f64 (default) or f32 (requires a "
             "model converted with `frac convert --f32`)"},
+           {"drift-baseline", FlagKind::kString, false, "FILE",
+            "arm an NS drift monitor with this reference sample (`frac score "
+            "--out` CSV or one NS per line); status via {\"cmd\":\"drift\"}"},
+           {"drift-alpha", FlagKind::kDouble, false, "A",
+            "drift monitor anytime false-alarm bound (default 1e-3)"},
+           {"drift-min-samples", FlagKind::kSize, false, "N",
+            "samples the drift monitor must see before it may fire (default 32)"},
+       }},
+      {"stream",
+       "score a stream CSV in row order with online NS drift detection and "
+       "optional warm retrain + atomic republish on drift",
+       "--model M.fracmdl --data STREAM.csv --baseline NS.csv [--retrain] "
+       "[--out OUT.csv]",
+       {
+           {"model", FlagKind::kString, true, "FILE",
+            "model to score with (warm refits start from its dual state; "
+            "train with --retain-duals)"},
+           {"data", FlagKind::kString, true, "FILE",
+            "stream dataset, scored in row (arrival) order"},
+           {"baseline", FlagKind::kString, false, "FILE",
+            "reference NS sample (`frac score --out` CSV or one NS per "
+            "line). Score a HELD-OUT calibration set — NS on the model's own "
+            "training rows is biased low and false-alarms. Required unless "
+            "--state resumes a snapshot"},
+           {"out", FlagKind::kString, false, "FILE",
+            "write sample,ns,statistic,drifted,generation CSV"},
+           {"alpha", FlagKind::kDouble, false, "A",
+            "anytime false-alarm bound (default 1e-3)"},
+           {"min-samples", FlagKind::kSize, false, "N",
+            "samples before the alarm may fire (default 32)"},
+           {"window", FlagKind::kSize, false, "W",
+            "trailing rows used to retrain and rebaseline (default 256)"},
+           {"chunk", FlagKind::kSize, false, "N",
+            "rows scored per batch (default 256; throughput only — drift "
+            "decisions are per-sample and chunk-size independent)"},
+           {"retrain", FlagKind::kBool, false, "",
+            "on drift: warm-retrain on the trailing window, republish the "
+            "model atomically, rebaseline, continue"},
+           {"publish", FlagKind::kString, false, "FILE",
+            "republish path for retrained models (default: --model; a serve "
+            "cache watching that path hot-swaps on its next stat)"},
+           {"seed", FlagKind::kSize, false, "S", "retrain seed (default 23)"},
+           {"state", FlagKind::kString, false, "FILE",
+            "monitor snapshot: resumed from when present, saved on exit "
+            "(kill/resume continues the stream bit-identically)"},
        }},
   };
   return kSpecs;
@@ -260,7 +318,17 @@ int cmd_list_cohorts() {
 int cmd_generate(const ParsedFlags& args) {
   const std::string name = args.require("cohort");
   const std::string out = args.require("out");
-  const CohortSpec& spec = cohort_by_name(name);
+  CohortSpec spec = cohort_by_name(name);
+  const double latent_shift = args.get_double("latent-shift", 0.0);
+  if (latent_shift != 0.0) {
+    if (spec.kind != CohortKind::kExpression) {
+      throw std::invalid_argument("--latent-shift applies to expression cohorts only");
+    }
+    spec.expression.latent_shift = latent_shift;
+  }
+  if (const auto seed = args.get("seed")) {
+    spec.seed = args.get_size("seed", spec.seed);
+  }
   if (spec.ancestry_confound) {
     const Replicate rep = make_confounded_replicate(spec);
     save_dataset_csv(out + ".train.csv", rep.train);
@@ -283,6 +351,7 @@ int cmd_train(const ParsedFlags& args) {
 
   FracConfig config;
   config.seed = seed;
+  config.retain_duals = args.get_flag("retain-duals");
   ThreadPool& pool = ThreadPool::global();
 
   if (looks_like_archive_file(data_path)) {
@@ -740,6 +809,16 @@ int cmd_serve(const ParsedFlags& args) {
     throw std::invalid_argument("--precision must be 'f64' or 'f32', got '" + precision + "'");
   }
   const std::size_t cache_capacity = args.get_size("cache", 4);
+  if (const auto drift_baseline = args.get("drift-baseline")) {
+    DriftConfig drift_config;
+    drift_config.alpha = args.get_double("drift-alpha", drift_config.alpha);
+    drift_config.min_samples = args.get_size("drift-min-samples", drift_config.min_samples);
+    options.drift = std::make_shared<ServeDriftMonitor>(
+        DriftMonitor(load_ns_baseline(*drift_baseline), drift_config));
+  } else if (args.get("drift-alpha") || args.get("drift-min-samples")) {
+    throw std::invalid_argument(
+        "--drift-alpha/--drift-min-samples require --drift-baseline");
+  }
 
   ModelCache cache(cache_capacity);
   // Fail fast: a broken default model should exit with the load error before
@@ -803,6 +882,154 @@ int cmd_serve(const ParsedFlags& args) {
       g_manifest->set_measured("serve.timeouts", stats.timeouts);
       g_manifest->set_measured("serve.deadline_exceeded", stats.deadline_exceeded);
     }
+  }
+  return 0;
+}
+
+/// `frac stream`: the zero-downtime streaming loop. Rows are scored in
+/// arrival order against the current model generation, every NS feeds the
+/// drift monitor sequentially (decisions are chunk-size independent), and —
+/// with --retrain — a detection triggers a warm refit on the trailing window,
+/// an atomic republish, and a rebaseline before the stream continues. A
+/// serve-tier cache watching the publish path hot-swaps on its next stat (or
+/// immediately via {"cmd":"reload"}).
+int cmd_stream(const ParsedFlags& args) {
+  const std::string model_path = args.require("model");
+  const std::string data_path = args.require("data");
+  const auto out = args.get("out");
+  const auto state_path = args.get("state");
+  DriftConfig drift_config;
+  drift_config.alpha = args.get_double("alpha", drift_config.alpha);
+  drift_config.min_samples = args.get_size("min-samples", drift_config.min_samples);
+  const std::size_t window = args.get_size("window", 256);
+  const std::size_t chunk_rows = args.get_size("chunk", 256);
+  const bool retrain = args.get_flag("retrain");
+  const std::string publish = args.get("publish").value_or(model_path);
+  const std::size_t seed = args.get_size("seed", 23);
+  if (window < 2) throw std::invalid_argument("--window must be at least 2");
+  if (chunk_rows == 0) throw std::invalid_argument("--chunk must be positive");
+
+  FracModel model = FracModel::load_file(model_path);
+  const Dataset stream = load_dataset_any(data_path);
+  const bool resume = state_path && std::ifstream(*state_path).good();
+  DriftMonitor monitor = [&] {
+    if (resume) return DriftMonitor::load_file(*state_path);
+    const auto baseline = args.get("baseline");
+    if (!baseline) {
+      throw std::invalid_argument(
+          "--baseline is required (no --state snapshot to resume from)");
+    }
+    return DriftMonitor(load_ns_baseline(*baseline), drift_config);
+  }();
+  if (retrain && !model.has_dual_state()) {
+    std::cerr << "warning: model carries no dual state (train with "
+                 "--retain-duals); drift triggers cold refits\n";
+  }
+
+  static Counter& samples_metric = metrics_counter("stream.samples");
+  static Counter& drifts_metric = metrics_counter("stream.drifts");
+  static Counter& retrains_metric = metrics_counter("stream.retrains");
+  static Histogram& retrain_seconds = metrics_histogram("stream.retrain_seconds");
+
+  ThreadPool& pool = ThreadPool::global();
+  struct StreamRow {
+    double ns;
+    double statistic;
+    bool drifted;
+    std::size_t generation;
+  };
+  std::vector<StreamRow> rows;
+  rows.reserve(stream.sample_count());
+  std::size_t generation = 0, drifts = 0, retrains = 0;
+
+  std::size_t pos = 0;
+  while (pos < stream.sample_count()) {
+    const std::size_t end = std::min(pos + chunk_rows, stream.sample_count());
+    std::vector<std::size_t> indices;
+    indices.reserve(end - pos);
+    for (std::size_t i = pos; i < end; ++i) indices.push_back(i);
+    const std::vector<double> ns = model.score(stream.select_samples(indices), pool);
+    bool fired = false;
+    for (const double value : ns) {
+      const bool was_drifted = monitor.drifted();
+      monitor.observe(value);
+      if (!was_drifted && monitor.drifted()) {
+        fired = true;
+        ++drifts;
+        drifts_metric.add();
+        std::cerr << "stream: drift at sample " << rows.size()
+                  << " (S=" << format("%.3f", monitor.statistic())
+                  << " >= " << format("%.3f", monitor.threshold()) << ")\n";
+      }
+      rows.push_back({value, monitor.statistic(), monitor.drifted(), generation});
+    }
+    samples_metric.add(ns.size());
+    pos = end;
+
+    if (fired && retrain) {
+      // Refit on the older rows of the trailing window and rearm the monitor
+      // on the newest third, scored held-out by the refreshed model. The
+      // split matters: FRaC's NS on rows a model trained on is biased low
+      // (the retained predictors have seen them), so an in-sample rebaseline
+      // makes every subsequent held-out sample look surprising and the
+      // monitor re-fires forever.
+      const std::size_t lo = pos > window ? pos - window : 0;
+      const std::size_t n = pos - lo;
+      const std::size_t calib = std::clamp<std::size_t>(n / 3, 1, n - 1);
+      std::vector<std::size_t> recent_idx, calib_idx;
+      recent_idx.reserve(n - calib);
+      calib_idx.reserve(calib);
+      for (std::size_t i = lo; i < pos - calib; ++i) recent_idx.push_back(i);
+      for (std::size_t i = pos - calib; i < pos; ++i) calib_idx.push_back(i);
+      const Dataset recent = stream.select_samples(recent_idx);
+      FracConfig config;
+      config.seed = seed;
+      config.retain_duals = true;
+      const WallStopwatch refit_watch;
+      FracModel next = [&] {
+        if (model.has_dual_state()) return model.warm_retrain(recent, config, pool);
+        // Cold fallback preserving the model's plan (full retrain, same units).
+        std::vector<FeaturePlan> plan;
+        plan.reserve(model.unit_count());
+        for (std::size_t u = 0; u < model.unit_count(); ++u) {
+          plan.push_back(model.unit_plan(u));
+        }
+        return FracModel::train_with_plan(recent, std::move(plan), config, pool);
+      }();
+      retrain_seconds.observe(refit_watch.seconds());
+      ++retrains;
+      retrains_metric.add();
+      next.save_file(publish);
+      monitor.rebaseline(next.score(stream.select_samples(calib_idx), pool));
+      model = std::move(next);
+      ++generation;
+      std::cerr << "stream: retrained on " << recent_idx.size() << " rows in "
+                << format("%.2f", refit_watch.seconds()) << "s ("
+                << (model.has_dual_state() ? "warm" : "cold") << "); published generation "
+                << generation << " to " << publish << "\n";
+    }
+  }
+
+  if (out) {
+    atomic_write_file(*out, [&](std::ostream& csv) {
+      csv << "sample,ns,statistic,drifted,generation\n";
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        csv << i << ',' << format("%.17g", rows[i].ns) << ','
+            << format("%.17g", rows[i].statistic) << ',' << (rows[i].drifted ? 1 : 0) << ','
+            << rows[i].generation << '\n';
+      }
+      if (!csv) throw IoError("stream CSV " + *out + ": stream write failed");
+    });
+  }
+  if (state_path) monitor.save_file(*state_path);
+
+  std::cerr << "stream: " << rows.size() << " samples, " << drifts << " drifts, " << retrains
+            << " retrains (final generation " << generation << ")\n";
+  if (g_manifest != nullptr) {
+    g_manifest->set("stream.model", model_path);
+    g_manifest->set_measured("stream.samples", static_cast<std::uint64_t>(rows.size()));
+    g_manifest->set_measured("stream.drifts", static_cast<std::uint64_t>(drifts));
+    g_manifest->set_measured("stream.retrains", static_cast<std::uint64_t>(retrains));
   }
   return 0;
 }
@@ -874,6 +1101,7 @@ int main(int argc, char** argv) {
         if (command == "detect") return cmd_detect(args);
         if (command == "grid") return cmd_grid(args);
         if (command == "convert") return cmd_convert(args);
+        if (command == "stream") return cmd_stream(args);
         return cmd_serve(args);
       } catch (const ParseError& e) {
         std::cerr << "parse error: " << e.what() << "\n";

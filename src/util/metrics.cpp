@@ -87,6 +87,8 @@ Registry<Counter>& counters() {
       "frac.units_failed.injected",
       "frac.models_trained",
       "frac.cv_folds",
+      "frac.warm.units_kept",
+      "frac.warm.units_refit",
       "frac.rows_scored",
       "ensemble.members_trained",
       "ensemble.members_failed",
@@ -110,6 +112,13 @@ Registry<Counter>& counters() {
       "serve.model_cache.coalesced_loads",
       "serve.model_cache.reloads",
       "serve.model_cache.evictions",
+      "serve.model_cache.invalidations",
+      "serve.commands",
+      "serve.drift.samples",
+      "serve.drift.detections",
+      "stream.samples",
+      "stream.drifts",
+      "stream.retrains",
   });
   return *r;
 }
@@ -132,6 +141,7 @@ Registry<Histogram>& histograms() {
       "frac.unit_train_seconds",
       "grid.cell_cpu_seconds",
       "serve.request_seconds",
+      "stream.retrain_seconds",
   });
   return *r;
 }
@@ -179,6 +189,32 @@ void metrics_dump(std::ostream& out) {
 std::string metrics_dump_json() {
   std::ostringstream out;
   metrics_dump(out);
+  return out.str();
+}
+
+std::string metrics_dump_compact_json() {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  counters().for_each([&](const std::string& name, Counter& c) {
+    out << (first ? "" : ",") << '"' << json_escape(name) << "\":" << c.value();
+    first = false;
+  });
+  out << "},\"gauges\":{";
+  first = true;
+  gauges().for_each([&](const std::string& name, Gauge& g) {
+    out << (first ? "" : ",") << '"' << json_escape(name)
+        << "\":" << format("%.17g", g.value());
+    first = false;
+  });
+  out << "},\"histograms\":{";
+  first = true;
+  histograms().for_each([&](const std::string& name, Histogram& h) {
+    out << (first ? "" : ",") << '"' << json_escape(name) << "\":{\"count\":" << h.count()
+        << ",\"sum\":" << format("%.17g", h.sum()) << '}';
+    first = false;
+  });
+  out << "}}";
   return out.str();
 }
 

@@ -93,6 +93,11 @@ void metrics_dump(std::ostream& out);
 /// metrics_dump() into a string (manifest embedding, tests).
 std::string metrics_dump_json();
 
+/// Single-line variant of metrics_dump_json() — same registration order,
+/// histograms collapsed to {count, sum} — for embedding in one-line NDJSON
+/// protocol replies (the serve tier's {"cmd":"stats"}).
+std::string metrics_dump_compact_json();
+
 /// Zeroes every registered metric (tests; the registry itself persists).
 void metrics_reset();
 

@@ -1,0 +1,137 @@
+// FracModel warm retraining: retained dual state (FracConfig::retain_duals),
+// the optional `dual_state` archive section (format v3), and
+// FracModel::warm_retrain — the warm path must reach AUC parity with a cold
+// retrain, and models without the option must stay exactly as before.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/expression_generator.hpp"
+#include "frac/frac.hpp"
+#include "ml/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace frac {
+namespace {
+
+ThreadPool& pool() {
+  static ThreadPool p(4);
+  return p;
+}
+
+ExpressionModelConfig cohort_config(double latent_shift = 0.0) {
+  ExpressionModelConfig c;
+  c.features = 24;
+  c.modules = 3;
+  c.genes_per_module = 6;
+  c.disease_modules = 1;
+  c.seed = 81;
+  c.latent_shift = latent_shift;
+  return c;
+}
+
+TEST(WarmRetrain, RetainDualsPopulatesAndPersistsDualState) {
+  const ExpressionModel gen(cohort_config());
+  Rng rng(181);
+  const Dataset train = gen.sample(30, Label::kNormal, rng);
+
+  FracConfig config;
+  config.retain_duals = true;
+  const FracModel model = FracModel::train(train, config, pool());
+  ASSERT_TRUE(model.has_dual_state());
+  std::size_t nonempty = 0;
+  for (std::size_t u = 0; u < model.unit_count(); ++u) {
+    nonempty += !model.unit_duals(u).empty();
+  }
+  EXPECT_GT(nonempty, 0u) << "SVM-backed units must retain their duals";
+
+  // Round trip: the dual_state section survives binary serialization bit for
+  // bit, and the model still scores identically.
+  const std::string path = ::testing::TempDir() + "warm_retrain.fracmdl";
+  model.save_file(path, ModelFormat::kBinary);
+  const FracModel restored = FracModel::load_file(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(restored.has_dual_state());
+  for (std::size_t u = 0; u < model.unit_count(); ++u) {
+    const auto original = model.unit_duals(u);
+    const auto loaded = restored.unit_duals(u);
+    ASSERT_EQ(loaded.size(), original.size()) << "unit " << u;
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      ASSERT_EQ(loaded[i], original[i]) << "unit " << u << " dual " << i;
+    }
+  }
+  const Dataset test = gen.sample(10, Label::kAnomaly, rng);
+  EXPECT_EQ(restored.score(test, pool()), model.score(test, pool()));
+}
+
+TEST(WarmRetrain, DefaultConfigRetainsNothingAndStaysV2) {
+  const ExpressionModel gen(cohort_config());
+  Rng rng(182);
+  const Dataset train = gen.sample(25, Label::kNormal, rng);
+  const FracModel model = FracModel::train(train, {}, pool());
+  EXPECT_FALSE(model.has_dual_state());
+
+  const std::string path = ::testing::TempDir() + "no_duals.fracmdl";
+  model.save_file(path, ModelFormat::kBinary);
+  const FracModel restored = FracModel::load_file(path);
+  std::remove(path.c_str());
+  EXPECT_FALSE(restored.has_dual_state());
+  ThreadPool one(1);
+  EXPECT_THROW((void)restored.warm_retrain(train, {}, one), std::invalid_argument)
+      << "warm_retrain must refuse a model without dual state";
+}
+
+TEST(WarmRetrain, WarmMatchesColdAucOnAShiftedCohort) {
+  // The streaming scenario: a model trained pre-shift is warm-retrained on
+  // post-shift data. Warm and cold retrains on the same rows must agree on
+  // anomaly ranking (AUC parity within 1e-3) — the warm seed accelerates the
+  // solver, it must not change what the model learns.
+  const ExpressionModel gen(cohort_config());
+  Rng rng(183);
+  const Dataset train_pre = gen.sample(30, Label::kNormal, rng);
+
+  const ExpressionModel shifted_gen(cohort_config(/*latent_shift=*/1.0));
+  Rng shifted_rng(283);
+  const Dataset train_post = shifted_gen.sample(30, Label::kNormal, shifted_rng);
+  const Dataset test = shifted_gen.sample_cohort(20, 20, shifted_rng);
+
+  FracConfig config;
+  config.retain_duals = true;
+  const FracModel base = FracModel::train(train_pre, config, pool());
+  ASSERT_TRUE(base.has_dual_state());
+
+  const FracModel warm = base.warm_retrain(train_post, config, pool());
+  const FracModel cold = FracModel::train(train_post, config, pool());
+  ASSERT_TRUE(warm.has_dual_state()) << "a warm retrain re-arms the next retrain";
+  ASSERT_EQ(warm.unit_count(), cold.unit_count());
+
+  // At this cohort size AUC moves in steps of 1/400, so parity here means
+  // "within a couple of rank flips"; bench/stream_drift enforces the tight
+  // 1e-3 gate at full scale.
+  const double auc_warm = auc(warm.score(test, pool()), test.labels());
+  const double auc_cold = auc(cold.score(test, pool()), test.labels());
+  EXPECT_NEAR(auc_warm, auc_cold, 0.02);
+}
+
+TEST(WarmRetrain, RejectsSchemaMismatch) {
+  const ExpressionModel gen(cohort_config());
+  Rng rng(184);
+  const Dataset train = gen.sample(25, Label::kNormal, rng);
+  FracConfig config;
+  config.retain_duals = true;
+  const FracModel model = FracModel::train(train, config, pool());
+
+  ExpressionModelConfig other = cohort_config();
+  other.features = 32;
+  other.modules = 4;
+  const ExpressionModel other_gen(other);
+  Rng other_rng(284);
+  const Dataset mismatched = other_gen.sample(25, Label::kNormal, other_rng);
+  EXPECT_THROW((void)model.warm_retrain(mismatched, config, pool()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace frac

@@ -1,0 +1,184 @@
+// Warm-started dual coordinate descent (LinearSvr / BinaryLinearSvc /
+// OneVsRestSvc): an empty warm span must leave the solver bit-identical to
+// the pre-warm-start code path, and seeding from a converged fit's duals()
+// must land on (essentially) the same solution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "ml/svm/linear_svc.hpp"
+#include "ml/svm/linear_svr.hpp"
+#include "util/rng.hpp"
+
+namespace frac {
+namespace {
+
+void make_regression(std::size_t n, Matrix& x, std::vector<double>& y, std::uint64_t seed) {
+  Rng rng(seed);
+  x = Matrix(n, 3);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) x(i, j) = rng.normal();
+    y[i] = 1.5 * x(i, 0) - 0.5 * x(i, 1) + 0.25 + 0.02 * rng.normal();
+  }
+}
+
+void make_classification(std::size_t n, Matrix& x, std::vector<int>& y, std::uint64_t seed) {
+  Rng rng(seed);
+  x = Matrix(n, 3);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) x(i, j) = rng.normal();
+    y[i] = x(i, 0) + 0.5 * x(i, 2) > 0.0 ? 1 : -1;
+  }
+}
+
+TEST(WarmStart, EmptyWarmSpanIsBitIdenticalToColdSvr) {
+  Matrix x;
+  std::vector<double> y;
+  make_regression(80, x, y, 21);
+  LinearSvrConfig config;
+
+  LinearSvr cold, warm_empty;
+  cold.fit(x, y, config);
+  warm_empty.fit(x, y, config, std::span<const double>{});
+  ASSERT_EQ(cold.weights().size(), warm_empty.weights().size());
+  for (std::size_t j = 0; j < cold.weights().size(); ++j) {
+    EXPECT_EQ(cold.weights()[j], warm_empty.weights()[j]) << "weight " << j;
+  }
+  EXPECT_EQ(cold.bias(), warm_empty.bias());
+}
+
+TEST(WarmStart, SvrSeededFromConvergedDualsStaysConverged) {
+  Matrix x;
+  std::vector<double> y;
+  make_regression(80, x, y, 22);
+  LinearSvrConfig config;
+  config.max_passes = 200;
+  config.tol = 1e-6;
+
+  LinearSvr cold;
+  cold.fit(x, y, config);
+  ASSERT_EQ(cold.duals().size(), x.rows());
+
+  // Refit the same problem from the converged duals with a tiny pass budget:
+  // the seed already solves the problem, so even 2 passes must land within
+  // optimization noise of the converged weights.
+  LinearSvrConfig cheap = config;
+  cheap.max_passes = 2;
+  LinearSvr warm;
+  warm.fit(x, y, cheap, cold.duals());
+  for (std::size_t j = 0; j < cold.weights().size(); ++j) {
+    EXPECT_NEAR(warm.weights()[j], cold.weights()[j], 1e-2) << "weight " << j;
+  }
+  EXPECT_NEAR(warm.bias(), cold.bias(), 1e-2);
+
+  // A cold fit with the same tiny budget is NOT there yet on this problem —
+  // the warm seed is doing real work.
+  LinearSvr cold_cheap;
+  cold_cheap.fit(x, y, cheap);
+  double warm_err = 0.0, cold_err = 0.0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    warm_err += std::abs(warm.predict(x.row(i)) - y[i]);
+    cold_err += std::abs(cold_cheap.predict(x.row(i)) - y[i]);
+  }
+  EXPECT_LE(warm_err, cold_err);
+}
+
+TEST(WarmStart, SvrClipsOutOfRangeAndTruncatesOversizedSeeds) {
+  Matrix x;
+  std::vector<double> y;
+  make_regression(40, x, y, 23);
+  LinearSvrConfig config;
+
+  // Garbage seeds (out of [-C, C], too many entries) must be absorbed, not
+  // crash or poison the fit: the descent loop still converges.
+  std::vector<double> garbage(x.rows() + 16, 1e9);
+  LinearSvr svr;
+  svr.fit(x, y, config, garbage);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    max_err = std::max(max_err, std::abs(svr.predict(x.row(i)) - y[i]));
+  }
+  EXPECT_LT(max_err, 1.0);
+}
+
+TEST(WarmStart, EmptyWarmSpanIsBitIdenticalToColdSvc) {
+  Matrix x;
+  std::vector<int> y;
+  make_classification(80, x, y, 24);
+  LinearSvcConfig config;
+
+  BinaryLinearSvc cold, warm_empty;
+  cold.fit(x, y, config);
+  warm_empty.fit(x, y, config, std::span<const double>{});
+  ASSERT_EQ(cold.weights().size(), warm_empty.weights().size());
+  for (std::size_t j = 0; j < cold.weights().size(); ++j) {
+    EXPECT_EQ(cold.weights()[j], warm_empty.weights()[j]) << "weight " << j;
+  }
+  EXPECT_EQ(cold.bias(), warm_empty.bias());
+}
+
+TEST(WarmStart, SvcSeededFromConvergedDualsKeepsItsPredictions) {
+  Matrix x;
+  std::vector<int> y;
+  make_classification(100, x, y, 25);
+  LinearSvcConfig config;
+  config.max_passes = 200;
+
+  BinaryLinearSvc cold;
+  cold.fit(x, y, config);
+  ASSERT_EQ(cold.duals().size(), x.rows());
+
+  LinearSvcConfig cheap = config;
+  cheap.max_passes = 2;
+  BinaryLinearSvc warm;
+  warm.fit(x, y, cheap, cold.duals());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    EXPECT_EQ(warm.predict(x.row(i)), cold.predict(x.row(i))) << "row " << i;
+  }
+}
+
+TEST(WarmStart, OneVsRestRoundTripsClassMajorDuals) {
+  Rng rng(26);
+  Matrix x(90, 2);
+  std::vector<double> codes(90);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const std::size_t cls = i % 3;
+    x(i, 0) = rng.normal() * 0.3 + static_cast<double>(cls);
+    x(i, 1) = rng.normal() * 0.3 - static_cast<double>(cls);
+    codes[i] = static_cast<double>(cls);
+  }
+  LinearSvcConfig config;
+
+  OneVsRestSvc cold;
+  cold.fit(x, codes, 3, config);
+  ASSERT_EQ(cold.duals().size(), 3 * x.rows()) << "class-major concatenation";
+
+  // duals() feeds straight back through fit(warm): near-total prediction
+  // agreement (a borderline row may flip — the cheap refit reshuffles ties).
+  OneVsRestSvc warm;
+  LinearSvcConfig cheap = config;
+  cheap.max_passes = 2;
+  warm.fit(x, codes, 3, cheap, cold.duals());
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    agree += warm.predict(x.row(i)) == cold.predict(x.row(i));
+  }
+  EXPECT_GE(agree, x.rows() - x.rows() / 20) << "warm seed changed the learned classifier";
+
+  // Empty warm stays bit-identical to cold for the multi-class wrapper too.
+  OneVsRestSvc cold_again;
+  cold_again.fit(x, codes, 3, config, std::span<const double>{});
+  for (std::uint32_t k = 0; k < 3; ++k) {
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      ASSERT_EQ(cold_again.binary(k).decision(x.row(i)), cold.binary(k).decision(x.row(i)))
+          << "class " << k << " row " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace frac

@@ -448,5 +448,138 @@ TEST(Chaos, AdversarialClientsAgainstFaultArmedServer) {
   EXPECT_GE(stats.timeouts, 1u);
 }
 
+TEST(Chaos, ReloadUnderLoadServesEveryInFlightRequest) {
+  // The zero-downtime rollout invariant: while well-behaved clients pipeline
+  // scoring requests, a publisher thread repeatedly republishes the model
+  // file (alternating two generations via the atomic temp+rename save) and
+  // issues {"cmd":"reload"}. Every client response must be a complete,
+  // well-formed score from one of the two generations — never an error,
+  // never a dropped line, never a torn read of a half-written model.
+  const std::string rollout_path = ::testing::TempDir() + "rollout.fracmdl";
+  const FracModel& gen_a = fixture().model;
+  const FracModel gen_b = [] {
+    ExpressionModelConfig c;
+    c.features = 20;
+    c.modules = 2;
+    c.genes_per_module = 5;
+    c.disease_modules = 1;
+    c.seed = 73;
+    const ExpressionModel gen(c);
+    Rng rng(373);  // different draw, same schema: a retrained generation
+    return FracModel::train(gen.sample(25, Label::kNormal, rng), {}, pool());
+  }();
+  gen_a.save_file(rollout_path, ModelFormat::kBinary);
+
+  const std::vector<std::string> lines = fixture_request_lines();
+  SocketServerOptions options;
+  options.port = 0;
+  options.serve.default_model = rollout_path;
+  const std::string expected_a = stdin_loop_output(lines, options.serve);
+  gen_b.save_file(rollout_path, ModelFormat::kBinary);
+  const std::string expected_b = stdin_loop_output(lines, options.serve);
+  gen_a.save_file(rollout_path, ModelFormat::kBinary);
+  ASSERT_NE(expected_a, expected_b) << "the two generations must be distinguishable";
+  const auto split_lines = [](const std::string& text) {
+    std::vector<std::string> out;
+    std::istringstream in(text);
+    for (std::string line; std::getline(in, line);) out.push_back(line);
+    return out;
+  };
+  const std::vector<std::string> lines_a = split_lines(expected_a);
+  const std::vector<std::string> lines_b = split_lines(expected_b);
+  ASSERT_EQ(lines_a.size(), lines.size());
+  ASSERT_EQ(lines_b.size(), lines.size());
+  std::string input;
+  for (const std::string& line : lines) input += line + "\n";
+
+  ModelCache cache(4);
+  SocketServer server(options);
+  ServeStats stats;
+  std::thread server_thread([&] { stats = server.run(cache, pool()); });
+
+  FailureLog failures;
+  std::atomic<bool> publishing{true};
+  std::atomic<int> reloads_ok{0};
+
+  // The publisher: alternate generations, republish atomically, reload.
+  std::thread publisher([&] {
+    for (int k = 0; k < 20; ++k) {
+      (k % 2 == 0 ? gen_b : gen_a).save_file(rollout_path, ModelFormat::kBinary);
+      const int fd = connect_to(server.port());
+      if (fd < 0) {
+        failures.add("publisher: connect failed");
+        break;
+      }
+      set_recv_timeout(fd, 10);
+      (void)send_best_effort(fd, "{\"id\":\"pub\",\"cmd\":\"reload\"}\n");
+      std::string got;
+      if (read_until(fd, 1, &got) != ReadEnd::kComplete) {
+        failures.add("publisher: reload " + std::to_string(k) + " got no answer");
+      } else if (got.find("\"reload\"") == std::string::npos) {
+        failures.add("publisher: reload " + std::to_string(k) + " answered: " + got);
+      } else {
+        reloads_ok.fetch_add(1);
+      }
+      ::close(fd);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    publishing.store(false);
+  });
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 6; ++c) {
+    clients.emplace_back([&, c] {
+      while (publishing.load()) {
+        const int fd = connect_to(server.port());
+        if (fd < 0) {
+          failures.add("client " + std::to_string(c) + ": connect failed");
+          return;
+        }
+        set_recv_timeout(fd, 10);
+        if (!send_best_effort(fd, input)) {
+          failures.add("client " + std::to_string(c) + ": send failed");
+          ::close(fd);
+          return;
+        }
+        std::string got;
+        const ReadEnd end = read_until(fd, lines.size(), &got);
+        ::close(fd);
+        if (end != ReadEnd::kComplete) {
+          failures.add("client " + std::to_string(c) +
+                       ": incomplete response stream during rollout");
+          return;
+        }
+        const std::vector<std::string> answers = split_lines(got);
+        if (answers.size() != lines.size()) {
+          failures.add("client " + std::to_string(c) + ": dropped responses");
+          return;
+        }
+        for (std::size_t i = 0; i < answers.size(); ++i) {
+          if (answers[i] != lines_a[i] && answers[i] != lines_b[i]) {
+            failures.add("client " + std::to_string(c) + " line " + std::to_string(i) +
+                         ": response from neither generation: " + answers[i]);
+            return;
+          }
+        }
+      }
+    });
+  }
+
+  publisher.join();
+  for (std::thread& t : clients) t.join();
+
+  auto drained = std::async(std::launch::async, [&] {
+    server.request_stop();
+    server_thread.join();
+  });
+  ASSERT_EQ(drained.wait_for(std::chrono::seconds(60)), std::future_status::ready)
+      << "drain wedged during rollout";
+
+  EXPECT_TRUE(failures.empty()) << failures.render();
+  EXPECT_GE(reloads_ok.load(), 1) << "no reload command ever succeeded";
+  EXPECT_EQ(stats.errors, 0u) << "a rollout must never surface protocol errors";
+  std::remove(rollout_path.c_str());
+}
+
 }  // namespace
 }  // namespace frac

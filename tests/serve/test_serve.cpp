@@ -495,5 +495,114 @@ TEST(ServeLoop, NullCellsAreMissingValues) {
   ASSERT_NE(response.find("ns"), nullptr) << output;
 }
 
+TEST(CommandTable, EnumeratesRegisteredCommandsSortedWithHelp) {
+  const auto table = serve_command_table();
+  ASSERT_EQ(table.size(), 4u);
+  EXPECT_EQ(table[0].name, "drift");
+  EXPECT_EQ(table[1].name, "health");
+  EXPECT_EQ(table[2].name, "reload");
+  EXPECT_EQ(table[3].name, "stats");
+  for (const CommandInfo& info : table) {
+    EXPECT_FALSE(info.help.empty()) << info.name;
+  }
+}
+
+TEST(ServeLoop, StatsCommandDumpsTheCompactMetricsRegistry) {
+  std::string output;
+  const ServeStats stats =
+      run_lines("{\"id\":\"s\",\"cmd\":\"stats\"}\n", {fixture().path, 0}, &output);
+  EXPECT_EQ(stats.requests, 0u) << "commands are not scoring requests";
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.health, 0u) << "stats is not a health probe";
+
+  const JsonValue response = parse_json(output);
+  EXPECT_EQ(response.find("id")->as_string(), "s");
+  const JsonValue* snapshot = response.find("stats");
+  ASSERT_NE(snapshot, nullptr) << output;
+  ASSERT_NE(snapshot->find("counters"), nullptr);
+  ASSERT_NE(snapshot->find("gauges"), nullptr);
+  ASSERT_NE(snapshot->find("histograms"), nullptr);
+  EXPECT_TRUE(snapshot->find("counters")->find("serve.requests")->is_number());
+  EXPECT_TRUE(snapshot->find("counters")->find("serve.drift.samples")->is_number())
+      << "streaming counters must be pre-registered";
+  EXPECT_TRUE(snapshot->find("counters")->find("stream.retrains")->is_number());
+}
+
+TEST(ServeLoop, ReloadCommandRefreshesTheDefaultModel) {
+  const std::uint64_t invalidations_before =
+      metrics_counter("serve.model_cache.invalidations").value();
+  // A scoring request first, so the default model is resident in the cache —
+  // reload on a cold cache has nothing to invalidate.
+  std::string zeros = "0";
+  for (int j = 1; j < 20; ++j) zeros += ",0";
+  std::string output;
+  const ServeStats stats = run_lines(
+      "{\"id\":0,\"values\":[" + zeros +
+          "]}\n"
+          "{\"id\":1,\"cmd\":\"reload\"}\n"
+          "{\"id\":2,\"cmd\":\"reload\",\"model\":\"/no/such/model.fracmdl\"}\n"
+          "{\"id\":3,\"cmd\":\"reload\",\"model\":7}\n",
+      {fixture().path, 0}, &output);
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.errors, 2u) << "bad path and non-string model are errors";
+
+  std::istringstream lines(output);
+  std::string scored, first, second, third;
+  ASSERT_TRUE(std::getline(lines, scored));
+  ASSERT_TRUE(std::getline(lines, first));
+  ASSERT_TRUE(std::getline(lines, second));
+  ASSERT_TRUE(std::getline(lines, third));
+
+  const JsonValue ok = parse_json(first);
+  const JsonValue* reload = ok.find("reload");
+  ASSERT_NE(reload, nullptr) << first;
+  EXPECT_EQ(reload->find("model")->as_string(), fixture().path);
+  EXPECT_TRUE(reload->find("model_crc32")->is_number());
+  EXPECT_GE(metrics_counter("serve.model_cache.invalidations").value(),
+            invalidations_before + 1)
+      << "reload must go through ModelCache::invalidate";
+
+  ASSERT_NE(parse_json(second).find("error"), nullptr) << second;
+  ASSERT_NE(parse_json(third).find("error"), nullptr) << third;
+}
+
+TEST(ServeLoop, DriftCommandReportsUnarmedMonitor) {
+  std::string output;
+  (void)run_lines("{\"id\":\"d\",\"cmd\":\"drift\"}\n", {fixture().path, 0}, &output);
+  const JsonValue response = parse_json(output);
+  const JsonValue* drift = response.find("drift");
+  ASSERT_NE(drift, nullptr) << output;
+  ASSERT_NE(drift->find("monitoring"), nullptr);
+  EXPECT_FALSE(drift->find("monitoring")->as_bool());
+}
+
+TEST(ServeLoop, ArmedDriftMonitorObservesEveryScoredSample) {
+  ServeOptions options;
+  options.default_model = fixture().path;
+  options.drift = std::make_shared<ServeDriftMonitor>(
+      DriftMonitor(fixture().model.score(fixture().test, pool())));
+
+  std::string zeros = "0";
+  for (int j = 1; j < 20; ++j) zeros += ",0";
+  std::string output;
+  (void)run_lines("{\"id\":1,\"values\":[" + zeros + "]}\n"
+                  "{\"id\":2,\"batch\":[[" + zeros + "],[" + zeros + "]]}\n"
+                  "{\"id\":\"d\",\"cmd\":\"drift\"}\n",
+                  options, &output);
+
+  std::istringstream lines(output);
+  std::string line;
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(std::getline(lines, line));
+  const JsonValue response = parse_json(line);
+  const JsonValue* drift = response.find("drift");
+  ASSERT_NE(drift, nullptr) << line;
+  EXPECT_TRUE(drift->find("monitoring")->as_bool());
+  EXPECT_EQ(drift->find("samples")->as_number(), 3.0)
+      << "one scalar + one 2-row batch = 3 observed samples";
+  EXPECT_TRUE(drift->find("statistic")->is_number());
+  EXPECT_TRUE(drift->find("threshold")->is_number());
+  EXPECT_EQ(options.drift->status().samples_seen, 3u);
+}
+
 }  // namespace
 }  // namespace frac

@@ -872,11 +872,55 @@ TEST(SocketServer, UnknownCmdGetsAnErrorWithoutTouchingTheQueue) {
   const std::string output = read_lines(fd, 1);
   ::close(fd);
   EXPECT_EQ(output, "{\"id\":3,\"error\":\"request: unknown \\\"cmd\\\" "
-                    "(supported: \\\"health\\\")\"}\n");
+                    "(supported: \\\"drift\\\", \\\"health\\\", \\\"reload\\\", "
+                    "\\\"stats\\\")\"}\n");
   const ServeStats stats = running.stop_and_join();
   EXPECT_EQ(stats.requests, 0u) << "command lines must not be queued or scored";
   EXPECT_EQ(stats.errors, 1u);
   EXPECT_EQ(stats.health, 0u);
+}
+
+TEST(SocketServer, ArmedDriftMonitorObservesTheBatchPath) {
+  // Every sample scored through the socket scoring thread feeds the monitor
+  // in batch (arrival) order; {"cmd":"drift"} — answered by the loop thread —
+  // reports a consistent snapshot. Decisions must match the stdin loop's for
+  // the same lines: both transports observe in arrival order.
+  SocketServerOptions options = base_options();
+  options.serve.drift = std::make_shared<ServeDriftMonitor>(
+      DriftMonitor(fixture().model.score(fixture().test, pool())));
+  const std::vector<std::string> lines = fixture_request_lines();
+
+  ServeOptions stdin_options = base_options().serve;
+  stdin_options.drift = std::make_shared<ServeDriftMonitor>(
+      DriftMonitor(fixture().model.score(fixture().test, pool())));
+  (void)stdin_loop_output(lines, stdin_options);
+  const ServeDriftMonitor::Status reference = stdin_options.drift->status();
+  ASSERT_EQ(reference.samples_seen, lines.size());
+
+  RunningServer running(options);
+  const int fd = connect_to(running.server.port());
+  ASSERT_GE(fd, 0);
+  std::string input;
+  for (const std::string& line : lines) input += line + "\n";
+  ASSERT_TRUE(send_all(fd, input));
+  (void)read_lines(fd, lines.size());
+  ASSERT_TRUE(send_all(fd, "{\"id\":\"d\",\"cmd\":\"drift\"}\n"));
+  const std::string drift_line = read_lines(fd, 1);
+  ::close(fd);
+  (void)running.stop_and_join();
+
+  const JsonValue response = parse_json(drift_line);
+  const JsonValue* drift = response.find("drift");
+  ASSERT_NE(drift, nullptr) << drift_line;
+  EXPECT_TRUE(drift->find("monitoring")->as_bool());
+  EXPECT_EQ(drift->find("samples")->as_number(), static_cast<double>(lines.size()));
+
+  const ServeDriftMonitor::Status socket_status = options.serve.drift->status();
+  EXPECT_EQ(socket_status.samples_seen, reference.samples_seen);
+  EXPECT_EQ(socket_status.statistic, reference.statistic)
+      << "transports must accumulate bit-identically";
+  EXPECT_EQ(socket_status.drifted, reference.drifted);
+  EXPECT_EQ(socket_status.drift_sample, reference.drift_sample);
 }
 
 TEST(ServeLoop, HealthCommandOnStdin) {

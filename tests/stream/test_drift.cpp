@@ -1,0 +1,207 @@
+// DriftMonitor: the anytime-valid NS e-process (src/stream/drift.hpp).
+//
+// The contracts under test:
+//   1. Validity: an in-distribution stream does not alarm (alpha bounds the
+//      false-alarm probability over the whole run); an upward-shifted stream
+//      alarms within a small lag after min_samples.
+//   2. Determinism: decisions are a pure sequential function of the NS
+//      sequence — bit-identical when the NS values come from 1-thread vs
+//      N-thread scoring (the FRaC bit-identity contract), and across a
+//      kill/resume through the snapshot round trip.
+//   3. Persistence: serialize/load_file restores statistic, latch, sample
+//      count, and baseline exactly.
+#include "stream/drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "data/expression_generator.hpp"
+#include "frac/frac.hpp"
+#include "util/errors.hpp"
+#include "util/rng.hpp"
+
+namespace frac {
+namespace {
+
+std::vector<double> normal_draws(std::size_t n, double mean, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> draws(n);
+  for (double& d : draws) d = mean + rng.normal();
+  return draws;
+}
+
+TEST(DriftMonitor, RejectsDegenerateInputs) {
+  EXPECT_THROW(DriftMonitor({}, {}), std::invalid_argument);
+  EXPECT_THROW(DriftMonitor({1.0, std::numeric_limits<double>::quiet_NaN()}, {}),
+               std::invalid_argument);
+  DriftConfig bad;
+  bad.alpha = 0.0;
+  EXPECT_THROW(DriftMonitor({1.0, 2.0}, bad), std::invalid_argument);
+  bad.alpha = 1.0;
+  EXPECT_THROW(DriftMonitor({1.0, 2.0}, bad), std::invalid_argument);
+
+  DriftMonitor monitor(normal_draws(50, 0.0, 1));
+  EXPECT_THROW(monitor.observe(std::numeric_limits<double>::infinity()), NumericError);
+}
+
+TEST(DriftMonitor, InDistributionStreamDoesNotAlarm) {
+  DriftConfig config;
+  config.alpha = 1e-3;
+  DriftMonitor monitor(normal_draws(300, 0.0, 2), config);
+  EXPECT_DOUBLE_EQ(monitor.threshold(), std::log(1e3));
+  for (const double ns : normal_draws(600, 0.0, 3)) monitor.observe(ns);
+  EXPECT_FALSE(monitor.drifted());
+  EXPECT_EQ(monitor.drift_sample(), 0u);
+  EXPECT_EQ(monitor.samples_seen(), 600u);
+}
+
+TEST(DriftMonitor, ShiftedStreamAlarmsShortlyAfterMinSamples) {
+  DriftConfig config;
+  config.alpha = 1e-3;
+  config.min_samples = 16;
+  DriftMonitor monitor(normal_draws(300, 0.0, 4), config);
+  bool fired = false;
+  std::size_t at = 0;
+  const std::vector<double> shifted = normal_draws(200, 4.0, 5);
+  for (std::size_t i = 0; i < shifted.size() && !fired; ++i) {
+    fired = monitor.observe(shifted[i]);
+    at = i + 1;
+  }
+  ASSERT_TRUE(fired);
+  EXPECT_EQ(monitor.drift_sample(), at);
+  EXPECT_GE(at, config.min_samples);
+  EXPECT_LE(at, config.min_samples + 8) << "a 4-sigma shift must fire nearly immediately";
+  EXPECT_GE(monitor.statistic(), monitor.threshold());
+
+  // The latch holds and the firing sample does not move.
+  monitor.observe(0.0);
+  EXPECT_TRUE(monitor.drifted());
+  EXPECT_EQ(monitor.drift_sample(), at);
+}
+
+TEST(DriftMonitor, ResetKeepsBaselineRebaselineSwapsIt) {
+  DriftMonitor monitor(normal_draws(100, 0.0, 6));
+  for (const double ns : normal_draws(80, 5.0, 7)) monitor.observe(ns);
+  ASSERT_TRUE(monitor.drifted());
+
+  monitor.reset();
+  EXPECT_FALSE(monitor.drifted());
+  EXPECT_EQ(monitor.samples_seen(), 0u);
+  EXPECT_EQ(monitor.drift_sample(), 0u);
+  EXPECT_DOUBLE_EQ(monitor.statistic(), 0.0);
+  EXPECT_EQ(monitor.baseline_size(), 100u);
+
+  // After rebaselining on the shifted distribution, the shifted stream is
+  // the new normal.
+  monitor.rebaseline(normal_draws(100, 5.0, 8));
+  for (const double ns : normal_draws(200, 5.0, 9)) monitor.observe(ns);
+  EXPECT_FALSE(monitor.drifted());
+}
+
+TEST(DriftMonitor, SnapshotRoundTripContinuesBitIdentically) {
+  DriftConfig config;
+  config.alpha = 1e-2;
+  config.min_samples = 8;
+  DriftMonitor live(normal_draws(200, 0.0, 10), config);
+
+  // Feed half the stream, snapshot mid-flight, restore, and feed the rest to
+  // both monitors: every observable must stay bit-identical.
+  const std::vector<double> stream = normal_draws(120, 1.2, 11);
+  for (std::size_t i = 0; i < 60; ++i) live.observe(stream[i]);
+
+  const std::string path = ::testing::TempDir() + "drift_monitor.snap";
+  live.save_file(path);
+  DriftMonitor restored = DriftMonitor::load_file(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(restored.statistic(), live.statistic());
+  EXPECT_EQ(restored.samples_seen(), live.samples_seen());
+  EXPECT_EQ(restored.baseline_size(), live.baseline_size());
+  EXPECT_EQ(restored.threshold(), live.threshold());
+  EXPECT_EQ(restored.config().alpha, config.alpha);
+  EXPECT_EQ(restored.config().min_samples, config.min_samples);
+
+  for (std::size_t i = 60; i < stream.size(); ++i) {
+    EXPECT_EQ(restored.observe(stream[i]), live.observe(stream[i])) << "sample " << i;
+    ASSERT_EQ(restored.statistic(), live.statistic()) << "sample " << i;
+  }
+  EXPECT_EQ(restored.drifted(), live.drifted());
+  EXPECT_EQ(restored.drift_sample(), live.drift_sample());
+}
+
+TEST(DriftMonitor, DecisionsAreThreadCountInvariant) {
+  // The NS inputs come from FRaC scoring, whose values are bit-identical for
+  // any FRAC_THREADS (the standing contract); the monitor adds no float
+  // reassociation of its own, so the full pipeline's drift decisions match
+  // bit for bit between a 1-thread and a 4-thread server.
+  ExpressionModelConfig c;
+  c.features = 16;
+  c.modules = 2;
+  c.genes_per_module = 4;
+  c.disease_modules = 1;
+  c.seed = 91;
+  const ExpressionModel gen(c);
+  Rng rng(191);
+  const Dataset train = gen.sample(30, Label::kNormal, rng);
+  const Dataset calib = gen.sample(20, Label::kNormal, rng);
+  const Dataset stream = gen.sample(25, Label::kAnomaly, rng);
+
+  ThreadPool one(1);
+  ThreadPool four(4);
+  const FracModel model = FracModel::train(train, {}, four);
+
+  DriftMonitor serial(model.score(calib, one));
+  DriftMonitor parallel(model.score(calib, four));
+  const std::vector<double> ns_serial = model.score(stream, one);
+  const std::vector<double> ns_parallel = model.score(stream, four);
+  ASSERT_EQ(ns_serial, ns_parallel) << "FRaC scoring must be thread-count invariant";
+
+  for (std::size_t i = 0; i < ns_serial.size(); ++i) {
+    EXPECT_EQ(serial.observe(ns_serial[i]), parallel.observe(ns_parallel[i]));
+    ASSERT_EQ(serial.statistic(), parallel.statistic()) << "sample " << i;
+  }
+  EXPECT_EQ(serial.drifted(), parallel.drifted());
+  EXPECT_EQ(serial.drift_sample(), parallel.drift_sample());
+}
+
+TEST(LoadNsBaseline, ReadsScoreCsvAndPlainLines) {
+  const std::string csv_path = ::testing::TempDir() + "baseline.csv";
+  {
+    std::ofstream out(csv_path);
+    out << "sample,ns,label\n0,-1.5,normal\n1,2.25,normal\n";
+  }
+  const std::vector<double> from_csv = load_ns_baseline(csv_path);
+  std::remove(csv_path.c_str());
+  ASSERT_EQ(from_csv.size(), 2u);
+  EXPECT_DOUBLE_EQ(from_csv[0], -1.5);
+  EXPECT_DOUBLE_EQ(from_csv[1], 2.25);
+
+  const std::string plain_path = ::testing::TempDir() + "baseline.txt";
+  {
+    std::ofstream out(plain_path);
+    out << "-3.5\n0.125\n7\n";
+  }
+  const std::vector<double> from_plain = load_ns_baseline(plain_path);
+  std::remove(plain_path.c_str());
+  ASSERT_EQ(from_plain.size(), 3u);
+  EXPECT_DOUBLE_EQ(from_plain[0], -3.5);
+  EXPECT_DOUBLE_EQ(from_plain[2], 7.0);
+
+  EXPECT_THROW(load_ns_baseline(::testing::TempDir() + "no_such_baseline.csv"), IoError);
+  const std::string junk_path = ::testing::TempDir() + "junk.csv";
+  {
+    std::ofstream out(junk_path);
+    out << "header,line\nnot,numbers\n";
+  }
+  EXPECT_THROW(load_ns_baseline(junk_path), ParseError);
+  std::remove(junk_path.c_str());
+}
+
+}  // namespace
+}  // namespace frac
